@@ -1,0 +1,94 @@
+"""Extension bench: the IDP pipeline generalized to K classes.
+
+The paper evaluates binary tasks only ("for ease of exposition", Sec. 3).
+This bench runs the multiclass generalization on the 4-topic synthetic
+dataset and checks that the paper's headline shape carries over:
+
+    Nemo-MC (SEU + contextualized)  >  SEU-only  >  Snorkel-MC (random)
+
+plus a label-model comparison (Dawid-Skene EM vs majority vote) under the
+random pipeline, mirroring the binary label-model-agnosticism ablation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import current_scale
+from repro.experiments.reporting import format_table
+from repro.multiclass import (
+    MCContextualizer,
+    MCMajorityVote,
+    MCPercentileTuner,
+    MCRandomSelector,
+    MCSEUSelector,
+    MCSimulatedUser,
+    MultiClassSession,
+    make_topics_dataset,
+)
+
+_SCALE_DOCS = {"tiny": 600, "bench": 1500, "paper": 4000}
+_SCALE_VOCAB = {"tiny": 8, "bench": 15, "paper": 40}
+
+
+def _curve_average(dataset, selector_factory, contextualize, label_model_factory, seed, scale):
+    session = MultiClassSession(
+        dataset,
+        selector_factory(),
+        MCSimulatedUser(dataset, accuracy_threshold=0.5, seed=seed),
+        label_model_factory=label_model_factory,
+        contextualizer=(
+            MCContextualizer(n_classes=dataset.n_classes) if contextualize else None
+        ),
+        percentile_tuner=MCPercentileTuner() if contextualize else None,
+        seed=seed,
+    )
+    points = []
+    for i in range(scale.n_iterations):
+        session.step()
+        if (i + 1) % scale.eval_every == 0:
+            points.append(session.test_score())
+    return float(np.mean(points))
+
+
+def _run_multiclass_table():
+    scale = current_scale()
+    dataset = make_topics_dataset(
+        n_docs=_SCALE_DOCS[scale.name], seed=0, vocab_scale=_SCALE_VOCAB[scale.name]
+    )
+    priors = dataset.class_priors
+    configs = {
+        "nemo-mc": (MCSEUSelector, True, None),
+        "seu-only": (MCSEUSelector, False, None),
+        "ctx-only": (MCRandomSelector, True, None),
+        "snorkel-mc": (MCRandomSelector, False, None),
+        "snorkel-mc/majority": (
+            MCRandomSelector,
+            False,
+            lambda: MCMajorityVote(n_classes=4, class_priors=priors),
+        ),
+    }
+    results = {}
+    for name, (selector_factory, ctx, lm_factory) in configs.items():
+        scores = [
+            _curve_average(dataset, selector_factory, ctx, lm_factory, seed, scale)
+            for seed in range(scale.n_seeds)
+        ]
+        results[name] = float(np.mean(scores))
+    return results
+
+
+def test_ext_multiclass_idp(benchmark, scale):
+    results = benchmark.pedantic(_run_multiclass_table, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            f"Extension - multiclass IDP on 4-topic dataset (scale={scale.name})",
+            list(results),
+            {"topics": [results[k] for k in results]},
+        )
+    )
+    if scale.name == "tiny":
+        return
+    assert results["nemo-mc"] > results["snorkel-mc"], "Nemo-MC must beat random+standard"
+    assert results["seu-only"] > results["snorkel-mc"] - 0.01, "SEU carries to K classes"
+    # The DS label model should not fall behind plain majority vote.
+    assert results["snorkel-mc"] >= results["snorkel-mc/majority"] - 0.03

@@ -1,0 +1,43 @@
+"""Figure 2: LF coverage and accuracy by distance-to-development-data.
+
+Paper claim (Fig. 2, averaged over 100 LFs on Amazon): both the coverage
+and the accuracy of an LF decay as examples get further from the LF's
+development data — the premise of the contextualizer (Eq. 4).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import current_scale, get_dataset
+from repro.experiments.reporting import format_table
+from repro.experiments.subspace import lf_subspace_profile
+
+
+def _run():
+    scale = current_scale()
+    dataset = get_dataset("amazon")
+    n_lfs = 100 if scale.name != "tiny" else 30
+    return lf_subspace_profile(dataset, n_lfs=n_lfs, n_bins=4, seed=0)
+
+
+def test_figure2_lf_subspace_decay(benchmark, scale):
+    profile = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = {
+        label: [cov, acc if not np.isnan(acc) else None]
+        for label, cov, acc in profile.rows()
+    }
+    print()
+    print(
+        format_table(
+            f"Figure 2 - LF coverage/accuracy by distance percentile bin "
+            f"(amazon, {profile.n_lfs} simulated-user LFs, scale={scale.name})",
+            ["coverage", "accuracy"],
+            rows,
+            highlight_max=False,
+        )
+    )
+    # Shape assertions: both quantities decay with distance.
+    assert profile.coverage[0] > profile.coverage[-1]
+    accs = profile.accuracy
+    finite = accs[~np.isnan(accs)]
+    assert accs[0] >= finite.min()
+    assert accs[0] > finite[-1] - 0.02  # near bin at least matches the far bin

@@ -1,0 +1,159 @@
+"""Figures 6 & 7: the selector's and contextualizer's mechanics, measured.
+
+Figure 6 (selection): once the dominant clusters are saturated with LFs,
+random sampling keeps landing on already-covered examples while SEU's
+expected utility concentrates on the under-covered small clusters.
+
+Figure 7 (contextualization): on the paper's 2-D toy, two over-generalized
+LFs with opposite labels conflict between their clusters; even with perfect
+per-source accuracies the standard pipeline mislabels one side of the
+conflict region, while radius refinement (Eq. 4) resolves it.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import get_dataset
+from repro.core import LFContextualizer, LFFamily, LineageStore, SEUSelector
+from repro.core.selection import SessionState
+from repro.experiments.reporting import format_table
+from repro.labelmodel import MetalLabelModel, apply_lfs
+from repro.labelmodel.base import posterior_entropy
+
+
+def _figure6():
+    dataset = get_dataset("amazon")
+    train = dataset.train
+    family = LFFamily(dataset.primitive_names, train.B)
+    rng = np.random.default_rng(0)
+
+    # Cover the two dominant clusters with simulated-user-style LFs.
+    from repro.interactive.simulated_user import SimulatedUser
+
+    user = SimulatedUser(dataset, seed=0)
+    big_clusters = {0, 1}
+    state = _state(dataset, family, rng)
+    lfs = []
+    candidates = np.flatnonzero(np.isin(train.clusters, list(big_clusters)))
+    for dev in rng.permutation(candidates):
+        lf = user.create_lf(int(dev), state)
+        if lf is not None:
+            lfs.append(lf)
+            state.lfs.append(lf)
+        if len(lfs) >= 40:  # saturate the dominant clusters (Fig. 6's premise)
+            break
+    L = apply_lfs(lfs, train.B)
+    model = MetalLabelModel(class_prior=dataset.label_prior)
+    soft = model.fit_predict_proba(L)
+    state.L_train = L
+    state.soft_labels = soft
+    state.entropies = posterior_entropy(soft)
+    # Emulate the session's ground-truth proxy: an end model trained on the
+    # current soft labels (SEU is meaningless with a prior-flat proxy).
+    from repro.endmodel.logistic import SoftLabelLogisticRegression
+
+    covered = (L != 0).any(axis=1)
+    end_model = SoftLabelLogisticRegression()
+    end_model.fit(train.X[np.flatnonzero(covered)], soft[covered])
+    state.proxy_proba = end_model.predict_proba(train.X)
+    state.proxy_labels = np.where(state.proxy_proba >= 0.5, 1, -1)
+
+    small_mask = ~np.isin(train.clusters, list(big_clusters))
+    # Random selection hits the small clusters at their population rate...
+    random_rate = small_mask.mean()
+    # ...while SEU's expected utility concentrates there.
+    seu = SEUSelector(warmup=0)
+    scores = seu.expected_utilities(state)
+    top = np.argsort(scores)[::-1][:50]
+    seu_rate = small_mask[top].mean()
+    return {
+        "small-cluster population mass (= random hit rate)": [float(random_rate)],
+        "SEU top-50 in small clusters": [float(seu_rate)],
+        "n saturating LFs": [float(len(lfs))],
+    }
+
+
+def _state(dataset, family, rng):
+    n = dataset.train.n
+    prior = dataset.label_prior
+    soft = np.full(n, prior)
+    return SessionState(
+        dataset=dataset,
+        family=family,
+        iteration=0,
+        lfs=[],
+        L_train=np.zeros((n, 0), dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy(soft),
+        proxy_labels=np.where(rng.random(n) < prior, 1, -1),
+        proxy_proba=np.full(n, prior),
+        selected=set(),
+        rng=rng,
+    )
+
+
+def _figure7():
+    """Example 4.5/4.6 on the paper's 2-D toy geometry (Eq. 4 by hand)."""
+    from repro.data.synthetic import make_toy_clusters
+    from repro.text.distance import euclidean_distances_to_point
+
+    X, y, clusters = make_toy_clusters(n_docs=800, n_clusters=4, separation=4.0,
+                                       noise=1.1, seed=2)
+    # Development points: one from a +1 cluster, one from a -1 cluster.
+    dev_pos = int(np.flatnonzero((clusters == 0) & (y == 1))[0])
+    dev_neg = int(np.flatnonzero((clusters == 1) & (y == -1))[0])
+    # Over-generalized LFs: vote their label within a too-large radius.
+    votes = np.zeros((len(y), 2), dtype=np.int8)
+    dist_pos = euclidean_distances_to_point(X, X[dev_pos])
+    dist_neg = euclidean_distances_to_point(X, X[dev_neg])
+    votes[dist_pos < 5.5, 0] = 1
+    votes[dist_neg < 5.5, 1] = -1
+    conflict = (votes[:, 0] != 0) & (votes[:, 1] != 0)
+
+    def resolve(L):
+        total = L.sum(axis=1)
+        return np.sign(total)
+
+    standard_preds = resolve(votes)  # ties in the conflict region stay 0
+    # Eq. 4: keep each LF only within the p-th percentile of its distances.
+    refined = votes.copy()
+    for j, dists in enumerate((dist_pos, dist_neg)):
+        radius = np.percentile(dists, 25.0)
+        refined[dists > radius, j] = 0
+    refined_preds = resolve(refined)
+
+    def acc(preds, mask):
+        decided = mask & (preds != 0)
+        if not decided.any():
+            return None
+        return float((preds[decided] == y[decided]).mean())
+
+    covered = (votes != 0).any(axis=1)
+    return {
+        "accuracy on covered": [acc(standard_preds, covered), acc(refined_preds, covered)],
+        "conflict points decided correctly": [
+            acc(standard_preds, conflict),
+            acc(refined_preds, conflict),
+        ],
+        "n conflict points": [float(conflict.sum()), float(conflict.sum())],
+    }
+
+
+def test_figure6_selection_mechanics(benchmark):
+    rows = benchmark.pedantic(_figure6, rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 6 - where selection looks after big clusters are covered",
+                       ["rate"], rows, highlight_max=False))
+    assert (
+        rows["SEU top-50 in small clusters"][0]
+        >= rows["small-cluster population mass (= random hit rate)"][0]
+    )
+
+
+def test_figure7_contextualizer_mechanics(benchmark):
+    rows = benchmark.pedantic(_figure7, rounds=1, iterations=1)
+    print()
+    print(format_table("Figure 7 - standard vs contextualized on two conflicting LFs",
+                       ["standard", "contextualized"], rows, highlight_max=False))
+    std, ctx = rows["accuracy on covered"]
+    assert ctx is not None and std is not None
+    assert ctx >= std - 0.05

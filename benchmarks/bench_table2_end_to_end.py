@@ -1,0 +1,44 @@
+"""Table 2: end-to-end performance of Nemo vs. every baseline.
+
+Paper reference (Table 2, learning-curve averages):
+
+    dataset  Nemo    Snorkel Sn-Abs  Sn-Dis  ImplyL  US      IWS     BALD    AW
+    amazon   0.7674  0.6774  0.6783  0.6733  0.6822  0.5970  0.6234  0.6193  0.6951
+    yelp     0.7907  0.6556  0.6664  0.6887  0.7009  0.6239  0.6415  0.6129  0.6745
+    imdb     0.7958  0.7107  0.7338  0.7480  0.6766  0.6058  0.6295  0.5933  0.7247
+    youtube  0.8722  0.8235  0.8541  0.8527  0.6811  0.7609  0.7904  0.7816  0.8073
+    sms      0.7038  0.4789  0.6189  0.5485  0.5065  0.4234  0.6305  0.4536  0.5569
+    vg       0.6701  0.6152  0.6250  0.6384  0.6270  0.5662  0.5976  0.5703  0.5914
+
+Expected *shapes* (absolute numbers will differ on the synthetic substrate):
+Nemo is the strongest full-IDP method; IDP methods generally beat the
+label-per-query schemes (US/BALD); SEU-style gains are largest on SMS.
+"""
+
+from benchmarks.conftest import ALL_DATASETS, run_table
+from repro.experiments.reporting import format_table
+from repro.experiments.runners import TABLE2_METHODS
+
+
+def test_table2_end_to_end(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_table, args=(TABLE2_METHODS, ALL_DATASETS), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            f"Table 2 - end-to-end learning-curve averages (scale={scale.name}, "
+            f"{scale.n_seeds} seeds x {scale.n_iterations} iterations)",
+            list(TABLE2_METHODS),
+            rows,
+        )
+    )
+    if scale.name == "tiny":  # smoke only: shape claims need bench scale
+        return
+    nemo_idx = TABLE2_METHODS.index("nemo")
+    snorkel_idx = TABLE2_METHODS.index("snorkel")
+    us_idx = TABLE2_METHODS.index("us")
+    wins = sum(rows[ds][nemo_idx] > rows[ds][snorkel_idx] for ds in rows)
+    assert wins >= len(rows) - 1, "Nemo should beat Snorkel almost everywhere"
+    nemo_beats_al = sum(rows[ds][nemo_idx] > rows[ds][us_idx] for ds in rows)
+    assert nemo_beats_al >= len(rows) - 1, "full IDP beats label-per-query AL"

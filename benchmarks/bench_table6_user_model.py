@@ -1,0 +1,37 @@
+"""Table 6: SEU user-model ablation (accuracy-weighted vs uniform).
+
+Paper reference (Table 6): replacing Eq. 2's accuracy weighting with a
+uniform pick distribution costs SEU most of its advantage on every dataset.
+
+    dataset  SEU(Eq.6)  Uniform
+    amazon   0.7384     0.6774
+    yelp     0.7219     0.6556
+    imdb     0.7932     0.7107
+    youtube  0.8628     0.8235
+    sms      0.6899     0.4789
+    vg       0.6542     0.5592
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ALL_DATASETS, run_table
+from repro.experiments.reporting import format_table
+
+METHODS = ("seu", "seu-uniform")
+
+
+def test_table6_user_model_ablation(benchmark, scale):
+    rows = benchmark.pedantic(run_table, args=(METHODS, ALL_DATASETS), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            f"Table 6 - SEU user-model ablation (scale={scale.name})",
+            ["seu (accuracy-weighted)", "seu (uniform)"],
+            rows,
+        )
+    )
+    if scale.name == "tiny":
+        return
+    accuracy_weighted = np.array([rows[ds][0] for ds in rows])
+    uniform = np.array([rows[ds][1] for ds in rows])
+    assert accuracy_weighted.mean() > uniform.mean() - 0.01

@@ -1,0 +1,39 @@
+"""Table 9: contextualized learning with different distance functions.
+
+Paper reference (Table 9): cosine distance generally brings larger lift
+than euclidean; both beat the standard pipeline.
+
+    dataset  Cosine  Euclidean  Standard
+    amazon   0.7244  0.6913     0.6774
+    yelp     0.7360  0.6991     0.6556
+    imdb     0.7557  0.7200     0.7107
+    youtube  0.8407  0.8181     0.8235
+    sms      0.6092  0.6174     0.4789
+    vg       0.6253  0.6332     0.6152
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ALL_DATASETS, run_table
+from repro.experiments.reporting import format_table
+
+METHODS = ("ctx-cosine", "ctx-euclidean", "standard")
+
+
+def test_table9_distance_functions(benchmark, scale):
+    rows = benchmark.pedantic(run_table, args=(METHODS, ALL_DATASETS), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            f"Table 9 - contextualizer distance functions (scale={scale.name})",
+            ["cosine", "euclidean", "standard"],
+            rows,
+        )
+    )
+    if scale.name == "tiny":
+        return
+    cosine = np.array([rows[ds][0] for ds in rows])
+    euclid = np.array([rows[ds][1] for ds in rows])
+    std = np.array([rows[ds][2] for ds in rows])
+    assert cosine.mean() > std.mean() - 1e-6
+    assert euclid.mean() > std.mean() - 0.02

@@ -1,0 +1,103 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every table and figure of the paper's evaluation has one bench module.
+Each bench runs the relevant experiment once (``benchmark.pedantic`` with a
+single round — the quantity of interest is the *result*, not the wall
+time) and prints a paper-style table to stdout.
+
+Scale is controlled by the ``REPRO_SCALE`` environment variable:
+
+* ``tiny``  — smoke scale (CI): tiny corpora, 15 iterations, 2 seeds.
+* ``bench`` — default: ~10x-reduced corpora, the paper's 50 iterations
+  (eval every 5), 3 seeds.
+* ``paper`` — paper-sized corpora, 50 iterations, 5 seeds (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments.protocol import evaluate_method
+from repro.experiments.runners import make_method
+
+ALL_DATASETS = ("amazon", "yelp", "imdb", "youtube", "sms", "vg")
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    dataset_scale: str
+    n_iterations: int
+    eval_every: int
+    n_seeds: int
+
+
+_SCALES = {
+    "tiny": BenchScale("tiny", "tiny", 15, 5, 2),
+    "bench": BenchScale("bench", "bench", 50, 5, 3),
+    "paper": BenchScale("paper", "paper", 50, 5, 5),
+}
+
+
+def current_scale() -> BenchScale:
+    name = os.environ.get("REPRO_SCALE", "bench")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        ) from None
+
+
+_dataset_cache: dict[tuple[str, str], object] = {}
+
+
+def get_dataset(name: str, scale: BenchScale | None = None):
+    """Load (and cache) a benchmark dataset at the current scale."""
+    scale = scale or current_scale()
+    key = (name, scale.dataset_scale)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = load_dataset(name, scale=scale.dataset_scale, seed=0)
+    return _dataset_cache[key]
+
+
+def run_cell(
+    method_name: str,
+    dataset,
+    scale: BenchScale | None = None,
+    user_threshold: float = 0.5,
+    base_seed: int = 0,
+):
+    """One (method, dataset) cell of a results table."""
+    scale = scale or current_scale()
+    return evaluate_method(
+        make_method(method_name, user_threshold=user_threshold),
+        method_name,
+        dataset,
+        n_iterations=scale.n_iterations,
+        eval_every=scale.eval_every,
+        n_seeds=scale.n_seeds,
+        base_seed=base_seed,
+    )
+
+
+def run_table(method_names, dataset_names, user_threshold: float = 0.5):
+    """Fill a whole table: {dataset: [summary per method]}."""
+    scale = current_scale()
+    rows = {}
+    for ds_name in dataset_names:
+        dataset = get_dataset(ds_name, scale)
+        rows[ds_name] = [
+            run_cell(m, dataset, scale, user_threshold=user_threshold).summary_mean
+            for m in method_names
+        ]
+    return rows
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return current_scale()

@@ -1,0 +1,89 @@
+"""A terminal version of the Nemo user interface (paper Fig. 5).
+
+Plays the role of the paper's frontend: each iteration shows you the
+selected development example, you pick a label and a primitive (by number),
+and Nemo creates the LF, contextualizes it, and refits the models — the
+full IDP loop with *you* as the user instead of the oracle simulation.
+
+Run:  python examples/interactive_cli.py           # interactive
+      python examples/interactive_cli.py --auto    # scripted demo answers
+"""
+
+import sys
+
+from repro import SimulatedUser, load_dataset, nemo_config
+from repro.core.session import LFDeveloper
+
+
+class TerminalUser(LFDeveloper):
+    """Prompts a human for the label and primitive (Fig. 5's two clicks)."""
+
+    def __init__(self, dataset, auto: bool = False) -> None:
+        self.dataset = dataset
+        self.auto = auto
+        self._oracle = SimulatedUser(dataset, seed=0) if auto else None
+
+    def create_lf(self, dev_index, state):
+        text = self.dataset.train.texts[dev_index]
+        candidates = state.family.primitives_in(dev_index)
+        print("\n" + "=" * 64)
+        print(f"Development example #{dev_index}:")
+        print(f"  {text}")
+        if self.auto:
+            lf = self._oracle.create_lf(dev_index, state)
+            print(f"[auto] created: {lf.name if lf else 'skip'}")
+            return lf
+        label = self._ask_label()
+        if label is None:
+            return None
+        primitive_id = self._ask_primitive(state, candidates, label)
+        if primitive_id is None:
+            return None
+        lf = state.family.make(primitive_id, label)
+        print(f"created LF: {lf.name}")
+        return lf
+
+    def _ask_label(self):
+        answer = input("label this example [p]ositive / [n]egative / [s]kip: ").strip().lower()
+        if answer.startswith("p"):
+            return 1
+        if answer.startswith("n"):
+            return -1
+        return None
+
+    def _ask_primitive(self, state, candidates, label):
+        names = [state.family.primitive_names[int(c)] for c in candidates]
+        print("candidate primitives:")
+        for pos, name in enumerate(names):
+            print(f"  [{pos}] {name}")
+        while True:
+            answer = input(
+                "pick a primitive number, 'e N' to explore N's examples, empty to skip: "
+            ).strip()
+            if answer.startswith("e ") and answer[2:].isdigit():
+                pos = int(answer[2:])
+                if pos < len(candidates):
+                    # Paper Sec. 7: the primitive-based example explorer.
+                    for idx in state.family.explore_examples(int(candidates[pos]), k=3):
+                        print(f"    ... {self.dataset.train.texts[int(idx)][:90]}")
+                continue
+            if not answer.isdigit() or int(answer) >= len(candidates):
+                return None
+            return int(candidates[int(answer)])
+
+
+def main() -> None:
+    auto = "--auto" in sys.argv
+    dataset = load_dataset("amazon", scale="tiny", seed=0)
+    print(dataset.describe())
+    user = TerminalUser(dataset, auto=auto)
+    session = nemo_config().create_session(dataset, user, seed=0)
+    n_iterations = 6 if auto else 10
+    for iteration in range(1, n_iterations + 1):
+        session.step()
+        print(f"-> after iteration {iteration}: test accuracy = {session.test_score():.3f}")
+    print("\nfinal LF set:", [lf.name for lf in session.lfs])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Record an IDP session, persist it, and re-score it under new pipelines.
+
+This mirrors how the paper evaluates learning-stage alternatives on
+human-generated LFs: the user study records one LF sequence per
+participant, and "the result for ImplyLoss [is computed] based on LFs
+created in the Snorkel user study" (Sec. 5.2).  With ``repro.io`` the same
+workflow is three calls: record → save → replay with a different pipeline.
+
+Run:  python examples/record_and_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import SimulatedUser, load_dataset
+from repro.core.context_sequence import ContextSequenceContextualizer
+from repro.core.contextualizer import LFContextualizer
+from repro.core.session import DataProgrammingSession
+from repro.interactive.basic_selectors import RandomSelector
+from repro.io import load_transcript, replay_session, save_transcript, transcript_from_session
+from repro.labelmodel import make_label_model
+
+N_ITERATIONS = 25
+
+
+def main() -> None:
+    dataset = load_dataset("amazon", scale="tiny", seed=0)
+
+    # 1. A live session: random selection, standard pipeline (= Snorkel).
+    live = DataProgrammingSession(
+        dataset, RandomSelector(), SimulatedUser(dataset, seed=7), seed=7
+    )
+    live.run(N_ITERATIONS)
+    print(f"live session: {len(live.lfs)} LFs, test score {live.test_score():.3f}")
+
+    # 2. Persist the interaction history.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "snorkel_session.json"
+        save_transcript(
+            transcript_from_session(live, metadata={"method": "snorkel", "seed": 7}),
+            path,
+        )
+        print(f"transcript saved to {path.name} ({path.stat().st_size} bytes)")
+        transcript = load_transcript(path)
+
+    # 3. Re-score the exact same LF sequence under alternative pipelines.
+    pipelines = {
+        "standard (as recorded)": {},
+        "contextualized (Eq. 4)": {"contextualizer": LFContextualizer(percentile=75.0)},
+        "context-sequence (gamma=0.5)": {
+            "contextualizer": ContextSequenceContextualizer(gamma=0.5, percentile=75.0)
+        },
+        "majority-vote label model": {
+            "label_model_factory": lambda: make_label_model(
+                "majority", class_prior=dataset.label_prior
+            )
+        },
+    }
+    print(f"\nre-scoring the recorded {len(transcript)}-LF sequence:")
+    for name, kwargs in pipelines.items():
+        session = replay_session(transcript, dataset, seed=0, **kwargs)
+        print(f"  {name:<32s} test score {session.test_score():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Spam filtering under heavy class imbalance (the paper's SMS task).
+
+With 13% positives, random development-data sampling shows the user ham
+almost every time, so spam LFs — the ones the F1 metric needs — arrive
+slowly.  SEU redirects the user to high-uncertainty regions (uncovered or
+conflicted messages), which is where the spam lives.  This reproduces the
+paper's largest single-dataset win (SMS: Snorkel 0.479 -> Nemo 0.704).
+
+Run:  python examples/spam_filtering.py
+"""
+
+from collections import Counter
+
+from repro import SimulatedUser, load_dataset
+from repro.core import NemoConfig, nemo_config, snorkel_config
+
+
+def run(config, dataset, seed: int):
+    user = SimulatedUser(dataset, seed=seed)
+    session = config.create_session(dataset, user, seed=seed)
+    f1_curve = []
+    for iteration in range(1, 51):
+        session.step()
+        if iteration % 10 == 0:
+            f1_curve.append(round(session.test_score(), 3))
+    polarity = Counter("spam" if lf.label == 1 else "ham" for lf in session.lfs)
+    return f1_curve, polarity
+
+
+def main() -> None:
+    dataset = load_dataset("sms", scale="bench", seed=0)
+    print(dataset.describe())
+    print(f"class balance: {(dataset.train.y == 1).mean():.1%} spam\n")
+
+    for name, config in [
+        ("snorkel (random)", snorkel_config()),
+        ("seu only", NemoConfig(selector="seu", contextualize=False)),
+        ("nemo (full)", nemo_config()),
+    ]:
+        curve, polarity = run(config, dataset, seed=0)
+        print(f"{name:18s} F1 every 10 iters: {curve}")
+        print(f"{'':18s} LF polarity mix  : {dict(polarity)}\n")
+
+
+if __name__ == "__main__":
+    main()

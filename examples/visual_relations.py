@@ -1,0 +1,58 @@
+"""Visual relation classification: "riding" vs "carrying" (the paper's VG task).
+
+The Visual Genome setup differs from the text tasks in one important way:
+the primitive domain is the set of *object annotations* of each image, not
+words (paper Sec. 5.1).  Examples here are synthetic scenes — bags of
+object tokens — and an LF reads "if the scene contains a horse, predict
+riding".  Everything else (selection, contextualization, learning) is the
+identical machinery, which is the point: Nemo is domain-agnostic once a
+primitive domain is configured.
+
+Run:  python examples/visual_relations.py
+"""
+
+import numpy as np
+
+from repro import SimulatedUser, load_dataset, nemo_config, snorkel_config
+
+
+def show_scene(dataset, index: int) -> None:
+    relation = "riding" if dataset.train.y[index] == 1 else "carrying"
+    objects = dataset.train.texts[index].split()
+    print(f"  scene {index}: objects={objects[:8]}{'...' if len(objects) > 8 else ''}")
+    print(f"           ground-truth relation: {relation}")
+
+
+def main() -> None:
+    dataset = load_dataset("vg", scale="bench", seed=0)
+    print(dataset.describe(), "\n")
+    print("Sample scenes (object-annotation sets):")
+    for index in (0, 1, 2):
+        show_scene(dataset, index)
+
+    print("\nInteractive sessions (40 iterations):")
+    for name, config in [("snorkel", snorkel_config()), ("nemo", nemo_config())]:
+        user = SimulatedUser(dataset, seed=3)
+        session = config.create_session(dataset, user, seed=3)
+        session.run(40)
+        lf_names = [lf.name for lf in session.lfs[:8]]
+        print(f"\n{name}: accuracy={session.test_score():.3f}")
+        print(f"  first LFs: {lf_names}")
+
+    # The object vocabulary behaves exactly like keywords: objects that
+    # strongly indicate a relation make accurate LFs.
+    names = dataset.primitive_names
+    B, y = dataset.train.B, dataset.train.y
+    print("\nObject -> relation reliability (train split):")
+    for obj in ("horse", "bicycle", "backpack", "tray", "person"):
+        if obj not in names:
+            continue
+        present = np.asarray(B[:, names.index(obj)].todense()).ravel() > 0
+        if present.sum() < 5:
+            continue
+        riding_rate = (y[present] == 1).mean()
+        print(f"  contains {obj:9s} -> riding {riding_rate:.2f} ({int(present.sum())} scenes)")
+
+
+if __name__ == "__main__":
+    main()

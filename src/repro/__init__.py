@@ -1,0 +1,74 @@
+"""repro — a full reproduction of *Nemo: Guiding and Contextualizing Weak
+Supervision for Interactive Data Programming* (Hsieh, Zhang, Ratner;
+PVLDB 15(13), 2022).
+
+The package implements the complete Interactive Data Programming stack from
+scratch: TF-IDF featurization, synthetic benchmark corpora, primitive-based
+labeling functions, the SEU development-data selector, the LF
+contextualizer, label models (MeTaL-style, majority vote, Dawid-Skene,
+triplets, ImplyLoss), the logistic end model, simulated users, every
+baseline of the paper's evaluation, and the experiment harness that
+regenerates its tables and figures.
+
+Beyond the paper's evaluated scope it ships the multiclass generalization
+(:mod:`repro.multiclass`), the weighted context-sequence contextualizer the
+paper names as future work (:mod:`repro.core.context_sequence`), session
+transcripts with replay (:mod:`repro.io`), and a command-line interface
+(``python -m repro``).
+
+Quickstart
+----------
+>>> from repro import load_dataset, NemoConfig, SimulatedUser
+>>> dataset = load_dataset("amazon", scale="tiny", seed=0)
+>>> user = SimulatedUser(dataset, seed=0)
+>>> session = NemoConfig().create_session(dataset, user, seed=0)
+>>> score = session.run(10).test_score()
+>>> 0.0 <= score <= 1.0
+True
+"""
+
+from repro.core import (
+    BatchDataProgrammingSession,
+    BatchRandomSelector,
+    BatchSEUSelector,
+    DataProgrammingSession,
+    LFContextualizer,
+    LFFamily,
+    LineageStore,
+    NemoConfig,
+    PrimitiveLF,
+    SEUSelector,
+    nemo_config,
+    snorkel_config,
+)
+from repro.data import load_dataset
+from repro.endmodel import SoftLabelLogisticRegression
+from repro.experiments import evaluate_method, make_method, run_learning_curve
+from repro.interactive import SimulatedUser
+from repro.labelmodel import MetalLabelModel, make_label_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "load_dataset",
+    "PrimitiveLF",
+    "LFFamily",
+    "LineageStore",
+    "LFContextualizer",
+    "SEUSelector",
+    "DataProgrammingSession",
+    "BatchDataProgrammingSession",
+    "BatchSEUSelector",
+    "BatchRandomSelector",
+    "NemoConfig",
+    "nemo_config",
+    "snorkel_config",
+    "SimulatedUser",
+    "MetalLabelModel",
+    "make_label_model",
+    "SoftLabelLogisticRegression",
+    "evaluate_method",
+    "make_method",
+    "run_learning_curve",
+]

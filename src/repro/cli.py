@@ -1,0 +1,290 @@
+"""Command-line interface to the reproduction.
+
+Four subcommands cover the workflows a downstream user needs without
+writing Python:
+
+* ``datasets`` — Table-1-style statistics for the bundled benchmarks.
+* ``run``      — evaluate one method on one dataset (learning curve +
+  curve-average summary, optional transcript recording).
+* ``compare``  — a results table of several methods on one dataset.
+* ``replay``   — re-score a recorded transcript under a different
+  learning pipeline (the paper's user-study workflow, Sec. 5.2).
+
+Invoke as ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+DATASET_NAMES = ("amazon", "yelp", "imdb", "youtube", "sms", "vg")
+#: The multiclass extension dataset; selects the K-class method registry.
+MC_DATASET_NAMES = ("topics",)
+SCALES = ("tiny", "bench", "paper")
+
+_TOPICS_DOCS = {"tiny": 600, "bench": 1500, "paper": 4000}
+_TOPICS_VOCAB = {"tiny": 8, "bench": 15, "paper": 40}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nemo (VLDB 2022) reproduction: interactive data programming.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="print dataset statistics (Table 1)")
+    p_datasets.add_argument("--scale", choices=SCALES, default="bench")
+    p_datasets.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="evaluate one method on one dataset")
+    _add_common_run_args(p_run)
+    p_run.add_argument("--method", default="nemo", help="registry name (e.g. nemo, snorkel, seu)")
+    p_run.add_argument(
+        "--save-transcript",
+        metavar="PATH",
+        default=None,
+        help="record the first seed's session to a JSON transcript",
+    )
+
+    p_compare = sub.add_parser("compare", help="compare several methods on one dataset")
+    _add_common_run_args(p_compare)
+    p_compare.add_argument(
+        "--methods",
+        nargs="+",
+        default=["nemo", "snorkel"],
+        help="registry names to compare",
+    )
+
+    p_replay = sub.add_parser(
+        "replay", help="re-score a recorded transcript under a chosen pipeline"
+    )
+    p_replay.add_argument("transcript", help="path to a JSON transcript")
+    p_replay.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    p_replay.add_argument("--scale", choices=SCALES, default="bench")
+    p_replay.add_argument("--seed", type=int, default=0)
+    p_replay.add_argument(
+        "--contextualize",
+        action="store_true",
+        help="refine the recorded LFs with the Eq.-4 contextualizer",
+    )
+    p_replay.add_argument(
+        "--gamma",
+        type=float,
+        default=0.0,
+        help="context-sequence recency decay (0 = single-point Eq. 4)",
+    )
+    p_replay.add_argument(
+        "--percentile", type=float, default=75.0, help="refinement radius percentile"
+    )
+    p_replay.add_argument(
+        "--label-model",
+        default="metal",
+        help="aggregator registry name (metal, majority, dawid-skene, triplet)",
+    )
+    return parser
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES + MC_DATASET_NAMES,
+        default="amazon",
+        help="'topics' selects the multiclass extension (use *-mc methods)",
+    )
+    parser.add_argument("--scale", choices=SCALES, default="bench")
+    parser.add_argument("--iterations", type=int, default=50)
+    parser.add_argument("--eval-every", type=int, default=5)
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="simulated-user LF accuracy threshold t (paper Sec. 5.1)",
+    )
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+def cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import load_dataset
+
+    print(f"Benchmark datasets at scale={args.scale} (Table 1):")
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name, scale=args.scale, seed=args.seed)
+        print(f"  {dataset.describe()}")
+    return 0
+
+
+def _load_mc_dataset(scale: str):
+    from repro.multiclass import make_topics_dataset
+
+    return make_topics_dataset(
+        n_docs=_TOPICS_DOCS[scale], seed=0, vocab_scale=_TOPICS_VOCAB[scale]
+    )
+
+
+def _evaluate_named(args: argparse.Namespace, method_name: str, dataset):
+    """Dispatch to the binary or multiclass registry by dataset kind."""
+    if args.dataset in MC_DATASET_NAMES:
+        from repro.multiclass.experiments import evaluate_mc_method
+
+        return evaluate_mc_method(
+            method_name,
+            dataset,
+            n_iterations=args.iterations,
+            eval_every=args.eval_every,
+            n_seeds=args.seeds,
+            base_seed=args.seed,
+            user_threshold=args.threshold,
+        )
+    from repro.experiments import evaluate_method, make_method
+
+    return evaluate_method(
+        make_method(method_name, user_threshold=args.threshold),
+        method_name,
+        dataset,
+        n_iterations=args.iterations,
+        eval_every=args.eval_every,
+        n_seeds=args.seeds,
+        base_seed=args.seed,
+    )
+
+
+def _load_any_dataset(args: argparse.Namespace):
+    if args.dataset in MC_DATASET_NAMES:
+        return _load_mc_dataset(args.scale)
+    from repro.data import load_dataset
+
+    return load_dataset(args.dataset, scale=args.scale, seed=0)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    dataset = _load_any_dataset(args)
+    print(dataset.describe())
+    result = _evaluate_named(args, args.method, dataset)
+    mean_curve = result.mean_curve()
+    print(f"\nmethod={args.method} seeds={args.seeds}")
+    print("iteration: " + " ".join(f"{i:>6d}" for i in mean_curve.iterations))
+    print("score:     " + " ".join(f"{s:6.3f}" for s in mean_curve.scores))
+    print(
+        f"curve average = {result.summary_mean:.4f} "
+        f"(± {result.summary_std:.4f} across seeds)"
+    )
+    if args.save_transcript:
+        _record_transcript(args, dataset)
+    return 0
+
+
+def _record_transcript(args: argparse.Namespace, dataset) -> None:
+    from repro.core.session import DataProgrammingSession
+    from repro.io import save_transcript, transcript_from_session
+    from repro.multiclass.session import MultiClassSession
+    from repro.utils.rng import stable_hash_seed
+
+    seed = stable_hash_seed(args.method, dataset.name, 0, args.seed)
+    if args.dataset in MC_DATASET_NAMES:
+        from repro.multiclass.experiments import make_mc_method
+
+        method = make_mc_method(args.method, user_threshold=args.threshold)(dataset, seed)
+    else:
+        from repro.experiments import make_method
+
+        method = make_method(args.method, user_threshold=args.threshold)(dataset, seed)
+    if not isinstance(method, (DataProgrammingSession, MultiClassSession)):
+        print(
+            f"cannot record {args.method!r}: only LF-producing sessions have "
+            f"transcripts (active-learning baselines do not)",
+            file=sys.stderr,
+        )
+        return
+    method.run(args.iterations)
+    path = save_transcript(
+        transcript_from_session(
+            method, metadata={"method": args.method, "dataset": dataset.name, "seed": seed}
+        ),
+        args.save_transcript,
+    )
+    print(f"transcript ({len(method.lfs)} LFs) written to {path}")
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+
+    dataset = _load_any_dataset(args)
+    print(dataset.describe())
+    cells = []
+    for name in args.methods:
+        result = _evaluate_named(args, name, dataset)
+        cells.append(result.summary_mean)
+    print()
+    print(
+        format_table(
+            f"{args.dataset} (scale={args.scale}, {args.seeds} seeds, "
+            f"{args.iterations} iterations)",
+            list(args.methods),
+            {args.dataset: cells},
+        )
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.context_sequence import ContextSequenceContextualizer
+    from repro.core.contextualizer import LFContextualizer
+    from repro.data import load_dataset
+    from repro.io import load_transcript, replay_session
+    from repro.labelmodel import make_label_model
+
+    transcript = load_transcript(args.transcript)
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=0)
+    contextualizer = None
+    if args.contextualize or args.gamma > 0:
+        if args.gamma > 0:
+            contextualizer = ContextSequenceContextualizer(
+                gamma=args.gamma, percentile=args.percentile
+            )
+        else:
+            contextualizer = LFContextualizer(percentile=args.percentile)
+    prior = dataset.label_prior
+    session = replay_session(
+        transcript,
+        dataset,
+        seed=args.seed,
+        contextualizer=contextualizer,
+        label_model_factory=lambda: make_label_model(args.label_model, class_prior=prior),
+    )
+    pipeline = "standard" if contextualizer is None else (
+        f"context-sequence(gamma={args.gamma})" if args.gamma > 0 else "contextualized"
+    )
+    print(
+        f"replayed {len(transcript)} recorded LFs on {dataset.name} "
+        f"[pipeline={pipeline}, label_model={args.label_model}]"
+    )
+    print(f"test score = {session.test_score():.4f}")
+    return 0
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "replay": cmd_replay,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Nemo core: the paper's primary contribution.
+
+LF family and lineage, the SEU selector (Eq. 1–3), the LF contextualizer
+(Eq. 4), and the interactive session engine tying them together.
+"""
+
+from repro.core.batch_session import (
+    BatchDataProgrammingSession,
+    BatchRandomSelector,
+    BatchSEUSelector,
+)
+from repro.core.config import NemoConfig, nemo_config, snorkel_config
+from repro.core.context_sequence import ContextSequenceContextualizer
+from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.lf import LFFamily, PrimitiveLF
+from repro.core.lineage import LineageRecord, LineageStore
+from repro.core.selection import DevDataSelector, SessionState
+from repro.core.session import DataProgrammingSession, InteractiveMethod, LFDeveloper
+from repro.core.seu import SEUSelector
+from repro.core.user_model import (
+    USER_MODELS,
+    AccuracyWeightedUserModel,
+    ThresholdedUserModel,
+    UniformUserModel,
+    UserModel,
+    make_user_model,
+)
+from repro.core.utility import (
+    UTILITIES,
+    FullUtility,
+    LFUtility,
+    NoCorrectnessUtility,
+    NoInformativenessUtility,
+    make_utility,
+)
+
+__all__ = [
+    "PrimitiveLF",
+    "LFFamily",
+    "LineageRecord",
+    "LineageStore",
+    "LFContextualizer",
+    "ContextSequenceContextualizer",
+    "PercentileTuner",
+    "SessionState",
+    "DevDataSelector",
+    "SEUSelector",
+    "UserModel",
+    "AccuracyWeightedUserModel",
+    "UniformUserModel",
+    "ThresholdedUserModel",
+    "USER_MODELS",
+    "make_user_model",
+    "LFUtility",
+    "FullUtility",
+    "NoInformativenessUtility",
+    "NoCorrectnessUtility",
+    "UTILITIES",
+    "make_utility",
+    "InteractiveMethod",
+    "LFDeveloper",
+    "DataProgrammingSession",
+    "BatchDataProgrammingSession",
+    "BatchSEUSelector",
+    "BatchRandomSelector",
+    "NemoConfig",
+    "nemo_config",
+    "snorkel_config",
+]

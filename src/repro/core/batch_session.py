@@ -1,0 +1,116 @@
+"""The general (batched) IDP setup of paper Section 7.
+
+The evaluated system is *atomic*: one development example, one LF per
+iteration (|S_t| = |Λ_t| = 1).  Section 7 sketches the general setup where
+the user consumes ``batch_size`` examples and may return several LFs per
+iteration, with the multi-LF user model of Eq. 5/6:
+
+    x* = argmax_x E_{P(Λ|x)}[ Σ_{λ∈Λ} Ψ_t(λ) ],
+    P(Λ|x) = Π_λ P(λ|x),
+    P(λ_{z,y}|x) ∝ acc(λ_{z,y}) · 1[acc(λ_{z,y}) > 0.5].
+
+Under independent picks, the expectation of the summed utility decomposes
+into per-example single-LF expectations, so batch selection reduces to
+taking the top-``batch_size`` examples under the *thresholded* user model —
+which is exactly how :class:`BatchDataProgrammingSession` selects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import DevDataSelector, SessionState
+from repro.core.session import DataProgrammingSession
+from repro.core.seu import SEUSelector
+
+
+class BatchSEUSelector(SEUSelector):
+    """Top-k SEU selection with the Sec.-7 thresholded user model (Eq. 6)."""
+
+    name = "batch-seu"
+
+    def __init__(self, batch_size: int = 3, warmup: int = 3) -> None:
+        super().__init__(user_model="thresholded", utility="full", warmup=warmup)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def select_batch(self, state: SessionState) -> list[int]:
+        """The ``batch_size`` highest-expected-utility eligible examples."""
+        mask = state.candidate_mask()
+        if not mask.any():
+            return []
+        eligible = np.flatnonzero(mask)
+        if self._in_cold_start(state):
+            size = min(self.batch_size, eligible.size)
+            return [int(i) for i in state.rng.choice(eligible, size=size, replace=False)]
+        scores = self.expected_utilities(state)
+        order = eligible[np.argsort(scores[eligible])[::-1]]
+        return [int(i) for i in order[: self.batch_size]]
+
+
+class BatchRandomSelector(DevDataSelector):
+    """Uniform batch selection (the batched Snorkel baseline)."""
+
+    name = "batch-random"
+
+    def __init__(self, batch_size: int = 3) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def select(self, state: SessionState) -> int | None:  # pragma: no cover - unused
+        batch = self.select_batch(state)
+        return batch[0] if batch else None
+
+    def select_batch(self, state: SessionState) -> list[int]:
+        mask = state.candidate_mask()
+        if not mask.any():
+            return []
+        eligible = np.flatnonzero(mask)
+        size = min(self.batch_size, eligible.size)
+        return [int(i) for i in state.rng.choice(eligible, size=size, replace=False)]
+
+
+class BatchDataProgrammingSession(DataProgrammingSession):
+    """IDP session consuming a *batch* of development examples per iteration.
+
+    Each :meth:`step` selects ``selector.select_batch(...)`` examples, asks
+    the user for an LF on each, and refits the pipeline **once** at the end
+    of the batch — the efficiency trade-off Sec. 7 discusses: the selector
+    cannot adapt within a batch, so batched sessions may collect redundant
+    LFs relative to the atomic setting.
+
+    All other configuration matches :class:`DataProgrammingSession`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not hasattr(self.selector, "select_batch"):
+            raise TypeError(
+                "BatchDataProgrammingSession needs a selector with select_batch() "
+                "(e.g. BatchSEUSelector or BatchRandomSelector)"
+            )
+
+    def step(self) -> None:
+        state = self.build_state()
+        batch = self.selector.select_batch(state)
+        self.iteration += 1
+        if not batch:
+            return
+        new_columns_train = []
+        new_columns_valid = []
+        for dev_index in batch:
+            self.selected.add(dev_index)
+            lf = self.user.create_lf(dev_index, state)
+            if lf is None:
+                continue
+            self.lineage.add(lf, dev_index, self.iteration - 1)
+            state.lfs.append(lf)  # visible to later picks in the same batch
+            new_columns_train.append(lf.apply(self.dataset.train.B))
+            new_columns_valid.append(lf.apply(self.dataset.valid.B))
+        if not new_columns_train:
+            return
+        self.L_train = np.column_stack([self.L_train, *new_columns_train]).astype(np.int8)
+        self.L_valid = np.column_stack([self.L_valid, *new_columns_valid]).astype(np.int8)
+        self._refit()

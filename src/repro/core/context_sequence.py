@@ -1,0 +1,138 @@
+"""Weighted context-sequence contextualizer (the paper's stated future work).
+
+Section 3 of the paper notes that the development context of an LF created
+at iteration ``t`` is really the whole sequence of development data the
+user has seen, ``(S_1, ..., S_t)``, but restricts the context window to the
+current example and "leave[s] the incorporation of longer weighted
+context-sequence as a future direction".  This module implements that
+direction.
+
+Rationale: by iteration ``t`` the user has internalized patterns from every
+example seen so far; the heuristic they extract from ``S_t`` is shaped by —
+and plausibly generalizes toward — earlier examples too, with influence
+fading for older ones.  We therefore measure each example's distance to an
+LF not from the single development point but from the *recency-weighted
+context sequence*:
+
+    d_ctx(x, λ_j) = Σ_{k ≤ t_j} w_k · dist(x, s_k)  /  Σ_{k ≤ t_j} w_k,
+    w_k = γ^{t_j − k}
+
+where ``s_k`` is the development point of iteration ``k``, ``t_j`` the
+iteration at which λ_j was created, and ``γ ∈ [0, 1]`` the recency-decay
+factor.  ``γ = 0`` uses only the current development point (``0^0 = 1``),
+recovering the paper's Eq. 4 exactly; ``γ = 1`` weighs the entire history
+uniformly.  Radii are, as in Eq. 4, the ``p``-th percentile of the
+context distances over the train split, so the two variants are directly
+comparable at equal ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.contextualizer import LFContextualizer
+from repro.core.lineage import LineageStore
+from repro.labelmodel.matrix import validate_label_matrix
+from repro.utils.validation import check_in_range
+
+
+class ContextSequenceContextualizer(LFContextualizer):
+    """Eq. 4 with recency-weighted multi-point development context.
+
+    Parameters
+    ----------
+    gamma:
+        Recency-decay factor ``γ ∈ [0, 1]``.  Older development points get
+        weight ``γ^age``; ``γ = 0`` reduces to the single-point
+        :class:`~repro.core.contextualizer.LFContextualizer`.
+    metric:
+        ``"cosine"`` (default) or ``"euclidean"``.
+    percentile:
+        The radius percentile ``p`` (overridable per call).
+    max_window:
+        Optional hard cap on how many most-recent development points enter
+        the context (``None`` = unbounded).  With γ < 1 the tail weights
+        vanish anyway; the cap bounds compute for γ = 1.
+    """
+
+    def __init__(
+        self,
+        gamma: float = 0.5,
+        metric: str = "cosine",
+        percentile: float = 75.0,
+        max_window: int | None = None,
+    ) -> None:
+        super().__init__(metric=metric, percentile=percentile)
+        check_in_range("gamma", gamma, 0.0, 1.0)
+        if max_window is not None and max_window < 1:
+            raise ValueError(f"max_window must be >= 1, got {max_window}")
+        self.gamma = gamma
+        self.max_window = max_window
+
+    # ------------------------------------------------------------------ #
+    # context distances
+    # ------------------------------------------------------------------ #
+    def context_distances(self, lineage: LineageStore, split: str) -> np.ndarray:
+        """``(n_split, m)`` recency-weighted context distances.
+
+        Column ``j`` holds ``d_ctx(x_i, λ_j)`` for every example ``i`` of
+        the split.  The context of λ_j consists of the development points
+        of all records with ``iteration <= iteration_j`` (the user had seen
+        them when writing λ_j), ordered by iteration.
+        """
+        base = lineage.distances(split, self.metric)  # (n, m) single-point columns
+        m = base.shape[1]
+        if m == 0:
+            return base
+        iterations = np.array([r.iteration for r in lineage.records], dtype=int)
+        out = np.empty_like(base)
+        for j in range(m):
+            # Records visible to the author of λ_j, most recent last.
+            visible = np.flatnonzero(iterations <= iterations[j])
+            visible = visible[np.argsort(iterations[visible], kind="stable")]
+            if self.max_window is not None:
+                visible = visible[-self.max_window :]
+            ages = iterations[j] - iterations[visible]
+            with np.errstate(invalid="ignore"):
+                weights = np.where(ages == 0, 1.0, self.gamma**ages)
+            total = weights.sum()
+            out[:, j] = (base[:, visible] @ weights) / total
+        return out
+
+    # ------------------------------------------------------------------ #
+    # LFContextualizer interface (radii/refine on context distances)
+    # ------------------------------------------------------------------ #
+    def radii(self, lineage: LineageStore, percentile: float | None = None) -> np.ndarray:
+        """Per-LF radii: the ``p``-th percentile of *context* distances."""
+        p = self.percentile if percentile is None else percentile
+        check_in_range("percentile", p, 0.0, 100.0)
+        train_dists = self.context_distances(lineage, "train")
+        if train_dists.shape[1] == 0:
+            return np.zeros(0)
+        return np.percentile(train_dists, p, axis=0)
+
+    def refine(
+        self,
+        L: np.ndarray,
+        lineage: LineageStore,
+        split: str = "train",
+        percentile: float | None = None,
+    ) -> np.ndarray:
+        """Apply Eq. 4 against the recency-weighted context distances."""
+        L = validate_label_matrix(L)
+        if L.shape[1] != len(lineage):
+            raise ValueError(
+                f"label matrix has {L.shape[1]} columns but lineage has "
+                f"{len(lineage)} records"
+            )
+        if L.shape[1] == 0:
+            return L.copy()
+        radii = self.radii(lineage, percentile)
+        dists = self.context_distances(lineage, split)
+        if dists.shape[0] != L.shape[0]:
+            raise ValueError(
+                f"distance rows ({dists.shape[0]}) do not match label matrix "
+                f"rows ({L.shape[0]})"
+            )
+        keep = dists <= radii[None, :]
+        return np.where(keep, L, 0).astype(np.int8)

@@ -1,0 +1,117 @@
+"""Development-data selection interface and the per-iteration session state.
+
+Every selector sees the same :class:`SessionState` snapshot — the label
+matrix, the label model's posterior/uncertainty, and the end model's
+current predictions — and returns the index of the next development
+example.  This is the "Development Data Selection Stage" of the IDP loop
+(paper Sec. 3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.lf import LFFamily, PrimitiveLF
+from repro.data.dataset import FeaturizedDataset
+
+
+@dataclass
+class SessionState:
+    """Snapshot of an IDP session at selection time.
+
+    Attributes
+    ----------
+    dataset:
+        The featurized dataset (selectors may read features/primitives but
+        never ground-truth train labels).
+    family:
+        The primitive-LF family over the train split.
+    iteration:
+        Zero-based index of the upcoming interaction.
+    lfs:
+        LFs collected so far.
+    L_train:
+        ``(n_train, m)`` *unrefined* vote matrix of those LFs.
+    soft_labels:
+        ``(n_train,)`` current label-model posterior ``P(y=+1|L)`` (from the
+        session's active pipeline — refined votes if contextualization is on).
+    entropies:
+        ``(n_train,)`` posterior entropies (ψ_uncertainty of Eq. 3).
+    proxy_labels:
+        ``(n_train,)`` ±1 end-model predictions ŷ (the ground-truth proxy of
+        Sec. 4.2); prior-sampled before the first model exists.
+    proxy_proba:
+        ``(n_train,)`` end-model probabilities ``P(y=+1|x)`` — the *graded*
+        ground-truth proxy SEU consumes.  Hard predictions collapse to a
+        single class early in the loop (one-sided LF sets), zeroing an
+        entire branch of the user model and locking SEU onto one polarity;
+        probabilities preserve the ranking signal (see DESIGN.md).
+    selected:
+        Train indices already shown to the user (selectors avoid repeats).
+    rng:
+        Shared random generator (tie-breaking, sampling).
+    """
+
+    dataset: FeaturizedDataset
+    family: LFFamily
+    iteration: int
+    lfs: list[PrimitiveLF]
+    L_train: np.ndarray
+    soft_labels: np.ndarray
+    entropies: np.ndarray
+    proxy_labels: np.ndarray
+    proxy_proba: np.ndarray = None
+    selected: set[int] = field(default_factory=set)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.proxy_proba is None:
+            self.proxy_proba = (np.asarray(self.proxy_labels, dtype=float) + 1.0) / 2.0
+
+    @property
+    def B(self) -> sp.csr_matrix:
+        """Train-split primitive incidence matrix."""
+        return self.dataset.train.B
+
+    @property
+    def n_train(self) -> int:
+        return self.dataset.train.n
+
+    def candidate_mask(self) -> np.ndarray:
+        """Examples still eligible for selection.
+
+        Excludes previously-selected dev points and examples containing no
+        primitives (no LF can be written from them).
+        """
+        mask = np.ones(self.n_train, dtype=bool)
+        if self.selected:
+            mask[list(self.selected)] = False
+        has_primitive = np.asarray(self.B.sum(axis=1)).ravel() > 0
+        return mask & has_primitive
+
+
+class DevDataSelector(ABC):
+    """Strategy choosing the next development example (paper Sec. 4.2)."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, state: SessionState) -> int | None:
+        """Return the chosen train index, or ``None`` if nothing is eligible."""
+
+    @staticmethod
+    def _argmax_with_ties(scores: np.ndarray, mask: np.ndarray, rng: np.random.Generator) -> int | None:
+        """Argmax over masked scores with uniform random tie-breaking."""
+        if not mask.any():
+            return None
+        masked = np.where(mask, scores, -np.inf)
+        best = masked.max()
+        if not np.isfinite(best):
+            eligible = np.flatnonzero(mask)
+            return int(rng.choice(eligible))
+        ties = np.flatnonzero(masked >= best - 1e-12)
+        return int(rng.choice(ties))

@@ -1,0 +1,309 @@
+"""The Interactive Data Programming session engine (paper Fig. 4 / Sec. 3).
+
+:class:`DataProgrammingSession` drives the atomic IDP loop: select one
+development example, obtain one LF from the (simulated) user, optionally
+contextualize the collected LFs, then refit the label model and end model.
+Every paper method that supplies LFs — Snorkel, Snorkel-Abs/Dis, SEU-only,
+contextualized-only, and full Nemo — is an instantiation of this class with
+different components plugged in; the active-learning and IWS baselines
+implement the same :class:`InteractiveMethod` interface in
+:mod:`repro.interactive`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.lf import LFFamily, PrimitiveLF
+from repro.core.lineage import LineageStore
+from repro.core.selection import DevDataSelector, SessionState
+from repro.data.dataset import FeaturizedDataset
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+from repro.endmodel.metrics import get_metric
+from repro.labelmodel.base import LabelModel, posterior_entropy
+from repro.labelmodel.matrix import coverage_mask
+from repro.labelmodel.metal import MetalLabelModel
+from repro.utils.rng import ensure_rng
+
+
+class InteractiveMethod(ABC):
+    """One interactive learning scheme, driven one interaction at a time.
+
+    The experiment protocol (Sec. 5.1) calls :meth:`step` once per
+    iteration and :meth:`test_score` at evaluation points.
+    """
+
+    def __init__(self, dataset: FeaturizedDataset, seed=None) -> None:
+        self.dataset = dataset
+        self.rng = ensure_rng(seed)
+        self._metric_fn = get_metric(dataset.metric)
+
+    @abstractmethod
+    def step(self) -> None:
+        """Run one user interaction and update internal models."""
+
+    @abstractmethod
+    def predict_test(self) -> np.ndarray:
+        """±1 predictions of the current end model on the test split."""
+
+    def test_score(self) -> float:
+        """The dataset's metric (accuracy or F1) on the test split."""
+        return self._metric_fn(self.dataset.test.y, self.predict_test())
+
+    def _prior_predictions(self, n: int) -> np.ndarray:
+        """Fallback predictions before any model exists: the prior class."""
+        majority = 1 if self.dataset.label_prior >= 0.5 else -1
+        return np.full(n, majority, dtype=int)
+
+
+class LFDeveloper(ABC):
+    """The user in the loop: turns a development example into an LF.
+
+    Concrete implementations: the oracle simulated user of Sec. 5.1
+    (:class:`repro.interactive.simulated_user.SimulatedUser`) and the noisy
+    per-participant variant used for the user-study bench.
+    """
+
+    @abstractmethod
+    def create_lf(self, dev_index: int, state: SessionState) -> PrimitiveLF | None:
+        """Return a new LF developed from ``dev_index``, or ``None``.
+
+        ``None`` models a user unable to extract a (sufficiently accurate,
+        non-duplicate) heuristic from the shown example; the iteration is
+        still consumed.
+        """
+
+
+class DataProgrammingSession(InteractiveMethod):
+    """The end-to-end DP pipeline with pluggable IDP components.
+
+    Parameters
+    ----------
+    dataset:
+        Featurized dataset.
+    selector:
+        Development-data selection strategy (Random/Abstain/Disagree/SEU).
+    user:
+        The :class:`LFDeveloper` producing LFs from selected examples.
+    label_model_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.labelmodel.base.LabelModel`; defaults to the
+        MeTaL-style model with the dataset's class prior (the paper's
+        default aggregator).
+    end_model:
+        Soft-label classifier; defaults to logistic regression (the paper
+        fixes logistic regression for all methods).
+    contextualizer:
+        Optional :class:`~repro.core.contextualizer.LFContextualizer`;
+        ``None`` gives the *standard* (uncontextualized) learning pipeline.
+    percentile_tuner:
+        Optional :class:`~repro.core.contextualizer.PercentileTuner`; when
+        provided (and contextualization is on), the refinement percentile is
+        re-tuned on validation soft-label accuracy every ``tune_every``
+        iterations.
+    tune_every:
+        Cadence of percentile re-tuning.
+    calibrate_proxy:
+        Optionally Platt-calibrate the end model's probabilities on the
+        validation split before handing them to selectors as the
+        ground-truth proxy.  Off by default — the paper feeds raw end-model
+        predictions to SEU; the calibrated variant is provided for study
+        (see :mod:`repro.endmodel.calibration`).
+    seed:
+        Seed for all session randomness.
+    """
+
+    def __init__(
+        self,
+        dataset: FeaturizedDataset,
+        selector: DevDataSelector,
+        user: LFDeveloper,
+        label_model_factory: Callable[[], LabelModel] | None = None,
+        end_model: SoftLabelLogisticRegression | None = None,
+        contextualizer: LFContextualizer | None = None,
+        percentile_tuner: PercentileTuner | None = None,
+        tune_every: int = 5,
+        calibrate_proxy: bool = False,
+        seed=None,
+    ) -> None:
+        super().__init__(dataset, seed)
+        self.selector = selector
+        self.user = user
+        if label_model_factory is None:
+            prior = dataset.label_prior
+            label_model_factory = lambda: MetalLabelModel(class_prior=prior)  # noqa: E731
+        self.label_model_factory = label_model_factory
+        self.end_model = end_model if end_model is not None else SoftLabelLogisticRegression()
+        self.contextualizer = contextualizer
+        self.percentile_tuner = percentile_tuner
+        if tune_every < 1:
+            raise ValueError(f"tune_every must be >= 1, got {tune_every}")
+        self.tune_every = tune_every
+        self.calibrate_proxy = calibrate_proxy
+
+        n_train = dataset.train.n
+        self.family = LFFamily(dataset.primitive_names, dataset.train.B)
+        self.selection_soft_labels: np.ndarray | None = None
+        self.selection_entropies: np.ndarray | None = None
+        self.lineage = LineageStore(dataset)
+        self.iteration = 0
+        self.selected: set[int] = set()
+        self.L_train = np.zeros((n_train, 0), dtype=np.int8)
+        self.L_valid = np.zeros((dataset.valid.n, 0), dtype=np.int8)
+        prior = dataset.label_prior
+        self.soft_labels = np.full(n_train, prior)
+        self.entropies = posterior_entropy(self.soft_labels)
+        # Prior-sampled proxy labels until the first end model exists.
+        self.proxy_labels = np.where(self.rng.random(n_train) < prior, 1, -1)
+        self.proxy_proba = np.full(n_train, prior)
+        self.label_model_: LabelModel | None = None
+        self._end_model_fitted = False
+        self.active_percentile_: float | None = (
+            contextualizer.percentile if contextualizer is not None else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # IDP loop
+    # ------------------------------------------------------------------ #
+    @property
+    def lfs(self) -> list[PrimitiveLF]:
+        return self.lineage.lfs
+
+    def build_state(self) -> SessionState:
+        """Snapshot the session for selectors and the user."""
+        return SessionState(
+            dataset=self.dataset,
+            family=self.family,
+            iteration=self.iteration,
+            lfs=self.lfs,
+            L_train=self.L_train,
+            soft_labels=(
+                self.selection_soft_labels
+                if self.selection_soft_labels is not None
+                else self.soft_labels
+            ),
+            entropies=(
+                self.selection_entropies
+                if self.selection_entropies is not None
+                else self.entropies
+            ),
+            proxy_labels=self.proxy_labels,
+            proxy_proba=self.proxy_proba,
+            selected=self.selected,
+            rng=self.rng,
+        )
+
+    def step(self) -> None:
+        """One IDP iteration: select → develop → contextualize → learn."""
+        state = self.build_state()
+        dev_index = self.selector.select(state)
+        self.iteration += 1
+        if dev_index is None:
+            return
+        self.selected.add(dev_index)
+        lf = self.user.create_lf(dev_index, state)
+        if lf is None:
+            return
+        self.lineage.add(lf, dev_index, self.iteration - 1)
+        self.L_train = np.column_stack([self.L_train, lf.apply(self.dataset.train.B)]).astype(
+            np.int8
+        )
+        self.L_valid = np.column_stack([self.L_valid, lf.apply(self.dataset.valid.B)]).astype(
+            np.int8
+        )
+        self._refit()
+
+    def run(self, n_iterations: int) -> "DataProgrammingSession":
+        """Run ``n_iterations`` steps; returns self for chaining."""
+        for _ in range(n_iterations):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # learning stage
+    # ------------------------------------------------------------------ #
+    def _refit(self) -> None:
+        L_effective = self._effective_label_matrix()
+        model = self.label_model_factory()
+        model.fit(L_effective)
+        self.label_model_ = model
+        self.soft_labels = model.predict_proba(L_effective)
+        self.entropies = posterior_entropy(self.soft_labels)
+        self._refit_selection_view(L_effective)
+        covered = coverage_mask(L_effective)
+        if covered.any():
+            X = self.dataset.train.X
+            self.end_model.fit(X[np.flatnonzero(covered)], self.soft_labels[covered])
+            self._end_model_fitted = True
+            if self.calibrate_proxy:
+                from repro.endmodel.calibration import PlattCalibrator
+
+                calibrator = PlattCalibrator()
+                self.proxy_proba = calibrator.fit_transform_from(
+                    self.end_model, self.dataset.valid.X, self.dataset.valid.y, X
+                )
+            else:
+                self.proxy_proba = self.end_model.predict_proba(X)
+            self.proxy_labels = np.where(self.proxy_proba >= 0.5, 1, -1)
+
+    def _effective_label_matrix(self) -> np.ndarray:
+        if self.contextualizer is None:
+            return self.L_train
+        if self.percentile_tuner is not None and self._should_tune():
+            self.active_percentile_ = self.percentile_tuner.best_percentile(
+                self.contextualizer,
+                self.L_train,
+                self.L_valid,
+                self.lineage,
+                self.label_model_factory,
+                self.dataset.valid.y,
+            )
+        percentile = self.active_percentile_
+        return self.contextualizer.refine(
+            self.L_train, self.lineage, "train", percentile=percentile
+        )
+
+    def _refit_selection_view(self, L_effective: np.ndarray) -> None:
+        """Posterior over the *unrefined* votes, for selectors only.
+
+        Refinement makes over-generalizing LFs abstain far from their
+        development data — which is good for learning, but it also erases
+        the conflict signal there, and conflicts are exactly where the
+        uncertainty-seeking selectors should look (Eq. 3's ψ peaks on
+        "examples on which the LFs disagree the most").  Selectors
+        therefore see the posterior of the raw vote matrix; the learning
+        pipeline keeps the refined one.
+        """
+        if self.contextualizer is None or L_effective is self.L_train:
+            self.selection_soft_labels = None
+            self.selection_entropies = None
+            return
+        raw_model = self.label_model_factory()
+        raw_model.fit(self.L_train)
+        self.selection_soft_labels = raw_model.predict_proba(self.L_train)
+        self.selection_entropies = posterior_entropy(self.selection_soft_labels)
+
+    def _should_tune(self) -> bool:
+        # The refinement radius matters most in the low-LF regime (each vote
+        # carries a large posterior weight), so tune on every new LF early,
+        # then back off to every ``tune_every`` LFs.
+        m = len(self.lineage)
+        return m >= 1 and (m <= 6 or m % self.tune_every == 0)
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    def predict_test(self) -> np.ndarray:
+        if not self._end_model_fitted:
+            return self._prior_predictions(self.dataset.test.n)
+        return self.end_model.predict(self.dataset.test.X)
+
+    def predict_proba_test(self) -> np.ndarray:
+        """``P(y=+1|x)`` on the test split (prior before any model exists)."""
+        if not self._end_model_fitted:
+            return np.full(self.dataset.test.n, self.dataset.label_prior)
+        return self.end_model.predict_proba(self.dataset.test.X)

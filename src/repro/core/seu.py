@@ -1,0 +1,134 @@
+"""Select by Expected Utility — Nemo's development-data selector (Eq. 1).
+
+SEU scores every unlabeled example by the expected utility of the LF the
+user would create from it:
+
+    x* = argmax_x  E_{P(λ|x)}[ Ψ_t(λ) ]
+       = argmax_x  Σ_y P(y) · Σ_{z ∈ x} w_y(z)·Ψ(λ_{z,y}) / Σ_{z ∈ x} w_y(z)
+
+where the pick weights ``w_y(z)`` come from the user model (Eq. 2) and Ψ
+from the utility function (Eq. 3).  With primitive LFs everything reduces
+to a handful of sparse mat-vecs over the incidence matrix ``B`` — no loops
+over the LF family (see DESIGN.md, "SEU vectorization").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import DevDataSelector, SessionState
+from repro.core.user_model import UserModel, make_user_model
+from repro.core.utility import LFUtility, make_utility
+
+
+class SEUSelector(DevDataSelector):
+    """The Nemo selector.
+
+    Parameters
+    ----------
+    user_model:
+        A :class:`~repro.core.user_model.UserModel` instance or registry
+        name (``"accuracy"`` for Eq. 2, ``"uniform"`` for the Table-6
+        ablation).
+    utility:
+        A :class:`~repro.core.utility.LFUtility` instance or registry name
+        (``"full"`` for Eq. 3, or the Table-7 ablations).
+    warmup:
+        Select uniformly at random until at least this many LFs exist *and*
+        both polarities are represented.  SEU's expectation is computed
+        against the end model's predictions (Sec. 4.2); before a
+        discriminative model exists — in particular while every LF votes
+        the same class — those predictions carry no signal and expected
+        utilities degenerate (one user-model branch is starved and the
+        ranking collapses onto coverage artifacts).  A brief random phase
+        is the standard cold-start treatment for model-guided acquisition.
+
+    Notes
+    -----
+    Ground-truth accuracies and vote correctness are approximated with the
+    end model's current predictions ŷ (Sec. 4.2); SEU therefore improves as
+    the loop progresses and the end model sharpens.
+    """
+
+    name = "seu"
+
+    def __init__(
+        self,
+        user_model: UserModel | str = "accuracy",
+        utility: LFUtility | str = "full",
+        warmup: int = 3,
+    ) -> None:
+        self.user_model = (
+            make_user_model(user_model) if isinstance(user_model, str) else user_model
+        )
+        self.utility = make_utility(utility) if isinstance(utility, str) else utility
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        self.warmup = warmup
+
+    def select(self, state: SessionState) -> int | None:
+        mask = state.candidate_mask()
+        if not mask.any():
+            return None
+        if self._in_cold_start(state):
+            return int(state.rng.choice(np.flatnonzero(mask)))
+        scores = self.expected_utilities(state)
+        return self._argmax_with_ties(scores, mask, state.rng)
+
+    def _in_cold_start(self, state: SessionState) -> bool:
+        if len(state.lfs) < self.warmup:
+            return True
+        polarities = {lf.label for lf in state.lfs}
+        return len(polarities) < 2
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def expected_utilities(self, state: SessionState) -> np.ndarray:
+        """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``."""
+        B = state.B
+        acc_pos = state.family.empirical_accuracies(state.proxy_proba)
+        w_pos, w_neg = self.user_model.pick_weights(acc_pos)
+        util_pos = self.utility.scores(B, state.entropies, state.proxy_proba)
+        util_neg = self.utility.negative_scores(B, state.entropies, state.proxy_proba)
+        prior = state.dataset.label_prior
+        expected = np.zeros(state.n_train)
+        for class_prior, weights, utils in (
+            (prior, w_pos, util_pos),
+            (1.0 - prior, w_neg, util_neg),
+        ):
+            numerator = np.asarray(B @ (weights * utils)).ravel()
+            denominator = np.asarray(B @ weights).ravel()
+            contribution = np.divide(
+                numerator,
+                denominator,
+                out=np.zeros_like(numerator),
+                where=denominator > 1e-12,
+            )
+            expected += class_prior * contribution
+        return expected
+
+    def expected_utility_of(self, example_index: int, state: SessionState) -> float:
+        """Scalar expected utility of one example (reference path for tests).
+
+        Enumerates the candidate LFs of the example explicitly and combines
+        the scalar user-model probabilities with scalar utilities — the
+        direct transcription of Eq. 1 used to validate the vectorized path.
+        """
+        family = state.family
+        primitives = family.primitives_in(example_index)
+        if primitives.size == 0:
+            return 0.0
+        acc_pos = family.empirical_accuracies(state.proxy_proba)
+        total = 0.0
+        for label in (1, -1):
+            for pid in primitives:
+                lf = family.make(pid, label)
+                prob = self.user_model.probability(
+                    lf, example_index, family, acc_pos, state.dataset.label_prior
+                )
+                if prob > 0:
+                    total += prob * self.utility.score_lf(
+                        lf, state.B, state.entropies, state.proxy_proba
+                    )
+        return total

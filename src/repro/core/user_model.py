@@ -1,0 +1,132 @@
+"""User models: P(λ | x), the probability a user writes LF λ from example x.
+
+SEU's expectation (Eq. 1) is taken under a *user model* that mirrors the
+observed two-step LF-writing procedure (Sec. 4.1/4.2): determine the label
+``y`` of the development example, then pick a ``y``-indicative primitive
+``z`` contained in it.  Eq. 2 models the pick probability as proportional
+to the (estimated) accuracy of the induced LF:
+
+    P(λ_{z,y} | x) = P(y) · acc(λ_{z,y}) / Σ_{z' in x} acc(λ_{z',y})
+
+with ground-truth accuracies approximated by the end model's current
+predictions ŷ.  The ``Uniform`` variant (Table 6's ablation) replaces the
+accuracy weights by constants; the ``Thresholded`` variant is the paper's
+Sec.-7 multi-LF generalization (Eq. 6), which additionally zeroes the
+probability of worse-than-random LFs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.lf import LFFamily, PrimitiveLF
+
+
+class UserModel(ABC):
+    """Assigns pick weights to candidate LFs; SEU normalizes them per example.
+
+    The vectorized interface returns, for every primitive ``z``, the
+    *unnormalized* weight of ``λ_{z,+1}`` and ``λ_{z,-1}`` given the current
+    accuracy estimates.  SEU divides by the per-example sum (Eq. 2's
+    denominator), so only ratios matter.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(w_pos, w_neg)`` weights per primitive.
+
+        Parameters
+        ----------
+        acc_pos:
+            ``(|Z|,)`` estimated accuracies of ``λ_{z,+1}``; by symmetry the
+            accuracy of ``λ_{z,-1}`` is ``1 - acc_pos``.
+        """
+
+    def probability(
+        self,
+        lf: PrimitiveLF,
+        example_index: int,
+        family: LFFamily,
+        acc_pos: np.ndarray,
+        label_prior: float,
+    ) -> float:
+        """Exact ``P(λ | x)`` for one LF and example (reference implementation).
+
+        This is the scalar form of Eq. 2, used in tests and documentation;
+        SEU uses the vectorized path.
+        """
+        primitives = family.primitives_in(example_index)
+        if lf.primitive_id not in primitives:
+            return 0.0
+        w_pos, w_neg = self.pick_weights(acc_pos)
+        weights = w_pos if lf.label == 1 else w_neg
+        denom = float(weights[primitives].sum())
+        if denom <= 0:
+            return 0.0
+        prior = label_prior if lf.label == 1 else 1.0 - label_prior
+        return prior * float(weights[lf.primitive_id]) / denom
+
+
+class AccuracyWeightedUserModel(UserModel):
+    """Eq. 2: pick probability proportional to estimated LF accuracy."""
+
+    name = "accuracy"
+
+    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        acc_pos = np.asarray(acc_pos, dtype=float)
+        return acc_pos, 1.0 - acc_pos
+
+
+class UniformUserModel(UserModel):
+    """Table-6 ablation: all candidate primitives equally likely."""
+
+    name = "uniform"
+
+    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ones = np.ones_like(np.asarray(acc_pos, dtype=float))
+        return ones, ones.copy()
+
+
+class ThresholdedUserModel(UserModel):
+    """Eq. 6 (Sec. 7): accuracy-weighted with worse-than-random LFs zeroed.
+
+    ``P(λ_{z,y}|x) ∝ acc(λ_{z,y}) · 1[acc(λ_{z,y}) > 0.5]`` — the building
+    block of the multi-LF user model ``P(Λ|x) = Π P(λ|x)``.
+    """
+
+    name = "thresholded"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
+        self.threshold = threshold
+
+    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        acc_pos = np.asarray(acc_pos, dtype=float)
+        acc_neg = 1.0 - acc_pos
+        return (
+            np.where(acc_pos > self.threshold, acc_pos, 0.0),
+            np.where(acc_neg > self.threshold, acc_neg, 0.0),
+        )
+
+
+USER_MODELS = {
+    "accuracy": AccuracyWeightedUserModel,
+    "uniform": UniformUserModel,
+    "thresholded": ThresholdedUserModel,
+}
+
+
+def make_user_model(name: str, **kwargs) -> UserModel:
+    """Instantiate a registered user model by name."""
+    try:
+        cls = USER_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown user model {name!r}; choose from {sorted(USER_MODELS)}"
+        ) from None
+    return cls(**kwargs)

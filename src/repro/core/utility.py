@@ -1,0 +1,131 @@
+"""LF utility functions Ψ_t (paper Eq. 3 and its Table-7 ablations).
+
+The utility of LF ``λ`` measures how informative its supervision would be
+given the LFs already collected:
+
+    Ψ_t(λ) = Σ_{i ∈ C(λ)}  ψ_uncertainty(x_i) · (λ(x_i) · ŷ_i)
+
+where ``C(λ)`` are the examples λ covers, ``ψ_uncertainty`` is the label
+model's posterior entropy, and ``λ(x_i)·ŷ_i ∈ {−1,+1}`` scores the vote's
+(approximate) correctness.  For primitive LFs the whole family's utilities
+reduce to two sparse mat-vecs:
+
+    Ψ(λ_{z,+1}) =  (Bᵀ (ψ ⊙ ŷ))_z          Ψ(λ_{z,-1}) = −(Bᵀ (ψ ⊙ ŷ))_z
+
+The two ablations drop one factor each: *no-informativeness* removes ψ,
+*no-correctness* removes the ŷ agreement term.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def signed_proxy(proxy: np.ndarray) -> np.ndarray:
+    """Map a ground-truth proxy to signed agreement values in [-1, +1].
+
+    Hard ±1 predictions pass through; probabilities ``P(y=+1|x) ∈ [0, 1]``
+    become ``2p - 1`` (the expected value of ŷ).  The soft form is what the
+    session supplies — it keeps SEU's correctness term informative even when
+    the end model momentarily predicts a single class everywhere.
+    """
+    proxy = np.asarray(proxy, dtype=float)
+    if set(np.unique(proxy)) <= {-1.0, 1.0}:
+        return proxy
+    if np.any(proxy < 0) or np.any(proxy > 1):
+        raise ValueError("proxy must be ±1 hard labels or probabilities in [0, 1]")
+    return 2.0 * proxy - 1.0
+
+
+class LFUtility(ABC):
+    """Vectorized Ψ over the primitive-LF family.
+
+    :meth:`scores` returns the utility of ``λ_{z,+1}`` for every primitive
+    ``z``; the utility of ``λ_{z,-1}`` follows from :meth:`negative_scores`
+    (for Eq. 3 it is the exact negation, but the ablations differ — the
+    no-correctness variant is label-symmetric).
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def scores(self, B: sp.csr_matrix, entropies: np.ndarray, proxy_labels: np.ndarray) -> np.ndarray:
+        """Utility of ``λ_{z,+1}`` per primitive, shape ``(|Z|,)``."""
+
+    @abstractmethod
+    def negative_scores(
+        self, B: sp.csr_matrix, entropies: np.ndarray, proxy_labels: np.ndarray
+    ) -> np.ndarray:
+        """Utility of ``λ_{z,-1}`` per primitive, shape ``(|Z|,)``."""
+
+    def score_lf(
+        self,
+        lf,
+        B: sp.csr_matrix,
+        entropies: np.ndarray,
+        proxy_labels: np.ndarray,
+    ) -> float:
+        """Scalar Ψ(λ) for one LF (reference implementation for tests)."""
+        table = self.scores(B, entropies, proxy_labels) if lf.label == 1 else (
+            self.negative_scores(B, entropies, proxy_labels)
+        )
+        return float(table[lf.primitive_id])
+
+
+class FullUtility(LFUtility):
+    """Eq. 3: informativeness (entropy) × correctness (ŷ agreement)."""
+
+    name = "full"
+
+    def scores(self, B, entropies, proxy_labels):
+        signal = np.asarray(entropies, dtype=float) * signed_proxy(proxy_labels)
+        return np.asarray(B.T @ signal).ravel()
+
+    def negative_scores(self, B, entropies, proxy_labels):
+        return -self.scores(B, entropies, proxy_labels)
+
+
+class NoInformativenessUtility(LFUtility):
+    """Table-7 ablation: Ψ(λ) = Σ_C λ(x_i)·ŷ_i (correctness only)."""
+
+    name = "no-informativeness"
+
+    def scores(self, B, entropies, proxy_labels):
+        return np.asarray(B.T @ signed_proxy(proxy_labels)).ravel()
+
+    def negative_scores(self, B, entropies, proxy_labels):
+        return -self.scores(B, entropies, proxy_labels)
+
+
+class NoCorrectnessUtility(LFUtility):
+    """Table-7 ablation: Ψ(λ) = Σ_C ψ_uncertainty(x_i) (coverage of uncertainty).
+
+    Label-symmetric: both polarities of a primitive score identically.
+    """
+
+    name = "no-correctness"
+
+    def scores(self, B, entropies, proxy_labels):
+        return np.asarray(B.T @ np.asarray(entropies, dtype=float)).ravel()
+
+    def negative_scores(self, B, entropies, proxy_labels):
+        return self.scores(B, entropies, proxy_labels)
+
+
+UTILITIES = {
+    "full": FullUtility,
+    "no-informativeness": NoInformativenessUtility,
+    "no-correctness": NoCorrectnessUtility,
+}
+
+
+def make_utility(name: str) -> LFUtility:
+    """Instantiate a registered utility function by name."""
+    try:
+        cls = UTILITIES[name]
+    except KeyError:
+        raise ValueError(f"unknown utility {name!r}; choose from {sorted(UTILITIES)}") from None
+    return cls()

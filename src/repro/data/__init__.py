@@ -1,0 +1,50 @@
+"""Datasets: synthetic corpora reproducing the paper's six benchmarks.
+
+See DESIGN.md for the substitution rationale (the public corpora are
+unavailable offline; the generator reproduces the structural properties the
+paper's methods exploit).
+"""
+
+from repro.data.dataset import (
+    FeaturizedDataset,
+    Split,
+    featurize_corpus,
+    train_valid_test_split,
+)
+from repro.data.recipes import (
+    DATASET_NAMES,
+    load_dataset,
+    make_amazon,
+    make_imdb,
+    make_sms,
+    make_vg,
+    make_yelp,
+    make_youtube,
+)
+from repro.data.synthetic import (
+    ClusterSpec,
+    CorpusGenerator,
+    CorpusSpec,
+    SyntheticCorpus,
+    make_toy_clusters,
+)
+
+__all__ = [
+    "FeaturizedDataset",
+    "Split",
+    "featurize_corpus",
+    "train_valid_test_split",
+    "DATASET_NAMES",
+    "load_dataset",
+    "make_amazon",
+    "make_yelp",
+    "make_imdb",
+    "make_youtube",
+    "make_sms",
+    "make_vg",
+    "ClusterSpec",
+    "CorpusSpec",
+    "CorpusGenerator",
+    "SyntheticCorpus",
+    "make_toy_clusters",
+]

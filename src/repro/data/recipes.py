@@ -1,0 +1,372 @@
+"""Recipes for the paper's six evaluation datasets.
+
+Each recipe builds a :class:`~repro.data.dataset.FeaturizedDataset` whose
+task type, class balance, document shape, and metric mirror the corpus used
+in the paper (Table 1), at one of three scales:
+
+* ``"paper"`` — the paper's exact split sizes (Table 1),
+* ``"bench"`` — ~10x reduction, the default for the benchmark harness,
+* ``"tiny"`` — a few hundred examples, for unit/integration tests.
+
+The substitution of synthetic corpora for the public datasets is documented
+in DESIGN.md; the generator reproduces the structural properties (category
+clusters, globally- and locally-reliable cues) that the paper's methods
+exploit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.data import wordbanks as wb
+from repro.data.minting import expand_bank
+from repro.data.dataset import FeaturizedDataset, featurize_corpus
+from repro.data.synthetic import ClusterSpec, CorpusGenerator, CorpusSpec
+from repro.utils.rng import stable_hash_seed
+
+#: Total corpus sizes per scale.  Paper sizes reproduce Table 1 after the
+#: 80/10/10 split (e.g. Amazon 14,400/1,800/1,800 -> 18,000 total).
+SCALE_SIZES = {
+    "amazon": {"paper": 18_000, "bench": 1_500, "tiny": 300},
+    "yelp": {"paper": 25_000, "bench": 1_500, "tiny": 300},
+    "imdb": {"paper": 25_000, "bench": 1_500, "tiny": 300},
+    "youtube": {"paper": 1_956, "bench": 1_000, "tiny": 300},
+    "sms": {"paper": 5_572, "bench": 1_500, "tiny": 300},
+    "vg": {"paper": 6_354, "bench": 1_200, "tiny": 300},
+}
+
+SCALES = ("paper", "bench", "tiny")
+
+
+#: Skewed cluster weights: a couple of dominant clusters plus small ones,
+#: the regime where random development-data sampling wastes user effort on
+#: already-covered regions (paper Fig. 6).  Index-aligned with each
+#: recipe's cluster order; trailing clusters default to the last weight.
+CLUSTER_WEIGHTS = {
+    "amazon": (0.40, 0.30, 0.18, 0.12),
+    "yelp": (0.52, 0.28, 0.20),
+    "imdb": (0.62, 0.38),
+    "youtube": (0.60, 0.40),
+    "sms": (0.68, 0.32),
+    "vg": (0.50, 0.30, 0.20),
+}
+
+
+#: Word-bank size targets after minted-word expansion.  Real corpora have
+#: thousands of distinct tokens each covering a percent or two of
+#: documents; without the expansion every keyword LF covers 10-25% of the
+#: corpus and coverage saturates within ten iterations, collapsing the
+#: 50-iteration interactive regime the paper studies.  Short-document
+#: datasets use smaller banks so per-word document frequencies stay above
+#: the vocabulary cutoff.
+BANK_TARGETS = {
+    "long": {"common": 300, "marker": 120, "global": 80, "local": 30},
+    # Spam/relation tasks keep their curated cue banks unexpanded (target 0
+    # = no padding): real spam trigger vocabularies are *concentrated* — a
+    # handful of words like "call"/"free" cover a large share of the spam
+    # class — and diluting them starves the minority class of coverage.
+    "short": {"common": 200, "marker": 80, "global": 0, "local": 0},
+}
+
+
+def _clusters_from_banks(
+    dataset_name: str,
+    markers: dict[str, list[str]],
+    local_cues: dict[str, dict[str, list[str]]],
+    weights: tuple[float, ...],
+    targets: dict[str, int],
+    taken: set[str],
+) -> tuple[ClusterSpec, ...]:
+    specs = []
+    for idx, (name, words) in enumerate(markers.items()):
+        weight = weights[idx] if idx < len(weights) else (weights[-1] if weights else 1.0)
+        marker_bank = expand_bank(
+            words, targets["marker"],
+            seed=stable_hash_seed(dataset_name, "mint-marker", name), taken=taken,
+        )
+        taken |= set(marker_bank)
+        local_pos = expand_bank(
+            local_cues[name]["positive"], targets["local"],
+            seed=stable_hash_seed(dataset_name, "mint-lpos", name), taken=taken,
+        )
+        taken |= set(local_pos)
+        local_neg = expand_bank(
+            local_cues[name]["negative"], targets["local"],
+            seed=stable_hash_seed(dataset_name, "mint-lneg", name), taken=taken,
+        )
+        taken |= set(local_neg)
+        specs.append(
+            ClusterSpec(
+                name=name,
+                marker_words=marker_bank,
+                local_positive=local_pos,
+                local_negative=local_neg,
+                weight=weight,
+            )
+        )
+    return tuple(specs)
+
+
+def _expanded_globals(
+    dataset_name: str,
+    positive: list[str],
+    negative: list[str],
+    common: list[str],
+    targets: dict[str, int],
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...], set[str]]:
+    """Expand the global cue and common-filler banks; returns taken-set too."""
+    taken: set[str] = set(positive) | set(negative) | set(common)
+    g_pos = expand_bank(
+        positive, targets["global"],
+        seed=stable_hash_seed(dataset_name, "mint-gpos"), taken=taken,
+    )
+    taken |= set(g_pos)
+    g_neg = expand_bank(
+        negative, targets["global"],
+        seed=stable_hash_seed(dataset_name, "mint-gneg"), taken=taken,
+    )
+    taken |= set(g_neg)
+    g_common = expand_bank(
+        common, targets["common"],
+        seed=stable_hash_seed(dataset_name, "mint-common"), taken=taken,
+    )
+    taken |= set(g_common)
+    return g_pos, g_neg, g_common, taken
+
+
+def _build(spec: CorpusSpec, scale: str, seed, metric: str) -> FeaturizedDataset:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+    n_docs = SCALE_SIZES[spec.name][scale]
+    corpus_seed = stable_hash_seed(spec.name, "corpus", seed)
+    split_seed = stable_hash_seed(spec.name, "split", seed)
+    corpus = CorpusGenerator(spec).generate(n_docs, seed=corpus_seed)
+    min_df = 3 if scale == "paper" else 2
+    return featurize_corpus(corpus, metric=metric, min_df=min_df, seed=split_seed)
+
+
+# --------------------------------------------------------------------- #
+# Sentiment classification
+# --------------------------------------------------------------------- #
+def make_amazon(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """Amazon product reviews: 4 product categories, balanced sentiment."""
+    targets = BANK_TARGETS["long"]
+    g_pos, g_neg, common, taken = _expanded_globals(
+        "amazon", wb.SENTIMENT_POSITIVE, wb.SENTIMENT_NEGATIVE, wb.COMMON_FILLER, targets
+    )
+    clusters = _clusters_from_banks(
+        "amazon", wb.AMAZON_CLUSTERS, wb.AMAZON_LOCAL_CUES, CLUSTER_WEIGHTS["amazon"], targets, taken
+    )
+    spec = CorpusSpec(
+        name="amazon",
+        clusters=clusters,
+        global_positive=g_pos,
+        global_negative=g_neg,
+        common_words=common,
+        positive_ratio=0.5,
+        mean_doc_length=24.0,
+        # Realistic cue quality: real sentiment words are only moderately
+        # reliable (sarcasm, negation, context), which is what leaves the
+        # paper's methods headroom over the random baseline.
+        global_reliability=0.80,
+        local_reliability=0.85,
+        local_leak=0.30,
+    )
+    return _build(spec, scale, seed, metric="accuracy")
+
+
+def make_yelp(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """Yelp business reviews: 3 business categories, balanced sentiment."""
+    targets = BANK_TARGETS["long"]
+    g_pos, g_neg, common, taken = _expanded_globals(
+        "yelp", wb.SENTIMENT_POSITIVE, wb.SENTIMENT_NEGATIVE, wb.COMMON_FILLER, targets
+    )
+    clusters = _clusters_from_banks(
+        "yelp", wb.YELP_CLUSTERS, wb.YELP_LOCAL_CUES, CLUSTER_WEIGHTS["yelp"], targets, taken
+    )
+    spec = CorpusSpec(
+        name="yelp",
+        clusters=clusters,
+        global_positive=g_pos,
+        global_negative=g_neg,
+        common_words=common,
+        positive_ratio=0.5,
+        mean_doc_length=30.0,
+        # Realistic cue quality: real sentiment words are only moderately
+        # reliable (sarcasm, negation, context), which is what leaves the
+        # paper's methods headroom over the random baseline.
+        global_reliability=0.80,
+        local_reliability=0.85,
+        local_leak=0.30,
+    )
+    return _build(spec, scale, seed, metric="accuracy")
+
+
+def make_imdb(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """IMDB movie reviews: 2 genre clusters, long documents."""
+    targets = BANK_TARGETS["long"]
+    g_pos, g_neg, common, taken = _expanded_globals(
+        "imdb", wb.SENTIMENT_POSITIVE, wb.SENTIMENT_NEGATIVE, wb.COMMON_FILLER, targets
+    )
+    clusters = _clusters_from_banks(
+        "imdb", wb.IMDB_CLUSTERS, wb.IMDB_LOCAL_CUES, CLUSTER_WEIGHTS["imdb"], targets, taken
+    )
+    spec = CorpusSpec(
+        name="imdb",
+        clusters=clusters,
+        global_positive=g_pos,
+        global_negative=g_neg,
+        common_words=common,
+        positive_ratio=0.5,
+        mean_doc_length=42.0,
+        # Realistic cue quality: real sentiment words are only moderately
+        # reliable (sarcasm, negation, context), which is what leaves the
+        # paper's methods headroom over the random baseline.
+        global_reliability=0.80,
+        local_reliability=0.85,
+        local_leak=0.30,
+    )
+    return _build(spec, scale, seed, metric="accuracy")
+
+
+# --------------------------------------------------------------------- #
+# Spam classification
+# --------------------------------------------------------------------- #
+def make_youtube(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """YouTube comment spam: short comments, roughly balanced classes."""
+    targets = BANK_TARGETS["short"]
+    g_pos, g_neg, common, taken = _expanded_globals(
+        "youtube", wb.SPAM_GLOBAL_POSITIVE, wb.SPAM_GLOBAL_NEGATIVE, wb.COMMON_FILLER, targets
+    )
+    clusters = _clusters_from_banks(
+        "youtube", wb.YOUTUBE_CLUSTERS, wb.YOUTUBE_LOCAL_CUES, CLUSTER_WEIGHTS["youtube"], targets, taken
+    )
+    spec = CorpusSpec(
+        name="youtube",
+        clusters=clusters,
+        global_positive=g_pos,
+        global_negative=g_neg,
+        common_words=common,
+        positive_ratio=0.49,
+        mean_doc_length=12.0,
+        p_common=0.34,
+        p_marker=0.28,
+        p_global=0.20,
+        p_local=0.18,
+        global_reliability=0.85,
+    )
+    return _build(spec, scale, seed, metric="accuracy")
+
+
+def make_sms(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """SMS spam: heavily imbalanced (~13% spam), evaluated with F1."""
+    targets = BANK_TARGETS["short"]
+    g_pos, g_neg, common, taken = _expanded_globals(
+        "sms", wb.SMS_GLOBAL_POSITIVE, wb.SMS_GLOBAL_NEGATIVE, wb.COMMON_FILLER, targets
+    )
+    clusters = _clusters_from_banks(
+        "sms", wb.SMS_CLUSTERS, wb.SMS_LOCAL_CUES, CLUSTER_WEIGHTS["sms"], targets, taken
+    )
+    spec = CorpusSpec(
+        name="sms",
+        clusters=clusters,
+        global_positive=g_pos,
+        global_negative=g_neg,
+        common_words=common,
+        positive_ratio=0.13,
+        mean_doc_length=11.0,
+        p_common=0.34,
+        p_marker=0.26,
+        p_global=0.22,
+        p_local=0.18,
+        # Under 13%/87% imbalance even a small wrong-class emission rate
+        # destroys the precision of minority-class cues; real spam trigger
+        # words ("txt", "won") are near-exclusive to spam, so ham documents
+        # get high reliability.  Spam, however, deliberately mimics ham
+        # vocabulary ("come", "see", ...), so positive documents leak ham
+        # cues — which makes over-generalizing ham LFs conflict on spam,
+        # the uncertainty signal SEU and Disagree exploit.
+        global_reliability=0.97,
+        global_reliability_pos=0.90,
+        local_reliability=0.96,
+        # Borrowed-cue leakage is essentially off: real SMS spam trigger
+        # vocabulary ("xxx", "claim", "urgent") barely occurs in ham, and
+        # under heavy imbalance even modest leakage makes every minority
+        # cue worse than a coin flip.
+        local_leak=0.02,
+    )
+    return _build(spec, scale, seed, metric="f1")
+
+
+# --------------------------------------------------------------------- #
+# Visual relation classification
+# --------------------------------------------------------------------- #
+def make_vg(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """Visual Genome "riding" (+1) vs "carrying" (-1) relation classification.
+
+    Examples are synthetic object-annotation sets (one token per detected
+    object); the primitive domain is the object vocabulary, exactly how the
+    paper configures VG.  The paper's ResNet features are replaced by TF-IDF
+    over object tokens — Nemo only ever consumes (features, primitives), so
+    the substitution preserves the exercised code paths (see DESIGN.md).
+    """
+    targets = BANK_TARGETS["short"]
+    g_pos, g_neg, common, taken = _expanded_globals(
+        "vg", wb.VG_GLOBAL_POSITIVE, wb.VG_GLOBAL_NEGATIVE, [
+            "person", "man", "woman", "child", "shirt", "pants", "shoes",
+            "hat", "hand", "arm", "head", "shadow", "sky", "ground",
+            "wall", "fence", "light", "window", "door", "pole",
+        ], targets
+    )
+    clusters = _clusters_from_banks(
+        "vg", wb.VG_CLUSTERS, wb.VG_LOCAL_CUES, CLUSTER_WEIGHTS["vg"], targets, taken
+    )
+    spec = CorpusSpec(
+        name="vg",
+        clusters=clusters,
+        global_positive=g_pos,
+        global_negative=g_neg,
+        common_words=common,
+        positive_ratio=0.5,
+        mean_doc_length=9.0,
+        min_doc_length=3,
+        p_common=0.30,
+        p_marker=0.30,
+        p_global=0.22,
+        p_local=0.18,
+    )
+    return _build(spec, scale, seed, metric="accuracy")
+
+
+#: Registry used by :func:`load_dataset` and the benchmark harness.
+DATASET_BUILDERS: dict[str, Callable[..., FeaturizedDataset]] = {
+    "amazon": make_amazon,
+    "yelp": make_yelp,
+    "imdb": make_imdb,
+    "youtube": make_youtube,
+    "sms": make_sms,
+    "vg": make_vg,
+}
+
+DATASET_NAMES = tuple(DATASET_BUILDERS)
+
+
+def load_dataset(name: str, scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+    """Build a named benchmark dataset.
+
+    Parameters
+    ----------
+    name:
+        One of ``amazon``, ``yelp``, ``imdb``, ``youtube``, ``sms``, ``vg``.
+    scale:
+        ``"paper"``, ``"bench"`` (default), or ``"tiny"``.
+    seed:
+        Master seed for corpus generation and splitting.
+    """
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}"
+        ) from None
+    return builder(scale=scale, seed=seed)

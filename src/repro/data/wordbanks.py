@@ -1,0 +1,304 @@
+"""Curated word banks for the synthetic corpus generator.
+
+The paper evaluates on public corpora (Amazon/Yelp/IMDB reviews, YouTube/SMS
+spam, Visual Genome scene graphs) that are unavailable offline.  The
+synthetic generator in :mod:`repro.data.synthetic` rebuilds corpora with the
+same *structure* — latent category clusters, globally reliable cue words, and
+cluster-local cue words whose polarity is only reliable near their home
+cluster (Example 1.1 of the paper).  These word banks supply realistic
+vocabulary for each dataset flavour so that generated documents, primitives,
+and lexicons read like their real counterparts.
+
+Nothing here is load-bearing for the algorithms: swapping any list for
+random strings changes only the aesthetics of examples and error messages.
+"""
+
+from __future__ import annotations
+
+#: Neutral high-frequency filler shared by every text dataset.  These words
+#: carry no label signal and mostly get filtered by the ``max_df_ratio``
+#: vocabulary cut, exactly like real stopwords.
+COMMON_FILLER = [
+    "the", "a", "an", "and", "or", "but", "so", "to", "of", "in", "on",
+    "for", "with", "at", "by", "from", "as", "it", "its", "this", "that",
+    "these", "those", "i", "we", "you", "they", "he", "she", "my", "our",
+    "your", "their", "is", "are", "was", "were", "be", "been", "have",
+    "has", "had", "do", "does", "did", "will", "would", "can", "could",
+    "should", "may", "might", "just", "also", "very", "really", "quite",
+    "then", "than", "when", "while", "after", "before", "because", "if",
+    "about", "into", "over", "under", "again", "more", "most", "some",
+    "any", "all", "both", "each", "few", "other", "such", "only", "own",
+    "same", "too", "not", "no", "nor", "now", "here", "there", "what",
+    "which", "who", "how", "why", "where", "out", "up", "down", "off",
+]
+
+# --------------------------------------------------------------------- #
+# Sentiment cue words (global: reliable in every category)
+# --------------------------------------------------------------------- #
+SENTIMENT_POSITIVE = [
+    "great", "excellent", "amazing", "wonderful", "fantastic", "perfect",
+    "love", "loved", "best", "awesome", "superb", "outstanding",
+    "impressive", "satisfied", "recommend", "happy", "pleased", "enjoyable",
+]
+
+SENTIMENT_NEGATIVE = [
+    "terrible", "awful", "horrible", "worst", "bad", "poor",
+    "disappointing", "disappointed", "waste", "useless", "broken",
+    "refund", "regret", "annoying", "garbage", "mediocre", "unusable",
+    "defective",
+]
+
+# --------------------------------------------------------------------- #
+# Amazon product reviews: four product categories (Fig. 3's four clusters)
+# --------------------------------------------------------------------- #
+AMAZON_CLUSTERS = {
+    "food": [
+        "taste", "flavor", "snack", "coffee", "tea", "chocolate", "sauce",
+        "recipe", "chips", "cookies", "organic", "sugar", "protein",
+        "drink", "cereal", "spice", "honey", "juice", "pasta", "candy",
+        "kitchen", "meal", "breakfast", "packaging",
+    ],
+    "electronics": [
+        "battery", "screen", "charger", "cable", "device", "laptop",
+        "phone", "camera", "speaker", "bluetooth", "wireless", "usb",
+        "keyboard", "mouse", "monitor", "headphones", "software", "setup",
+        "firmware", "adapter", "tablet", "router", "pixel", "port",
+    ],
+    "movies": [
+        "movie", "film", "plot", "actor", "actress", "director", "scene",
+        "character", "story", "dialogue", "ending", "sequel", "drama",
+        "thriller", "comedy", "soundtrack", "cinematography", "cast",
+        "episode", "series", "screenplay", "remake", "trailer", "studio",
+    ],
+    "sports": [
+        "workout", "gym", "running", "yoga", "weights", "fitness", "bike",
+        "tennis", "golf", "ball", "shoes", "grip", "training", "mat",
+        "resistance", "treadmill", "jersey", "outdoor", "hiking", "camping",
+        "racket", "helmet", "gloves", "stretch",
+    ],
+}
+
+#: Cluster-local sentiment cues: reliable *within* their home category,
+#: ambiguous elsewhere (e.g. "funny" is positive for movies, a red flag for
+#: food).  Keys mirror ``AMAZON_CLUSTERS``.
+AMAZON_LOCAL_CUES = {
+    "food": {
+        "positive": ["delicious", "tasty", "fresh", "crispy", "yummy", "savory"],
+        "negative": ["stale", "bland", "soggy", "rancid", "expired", "funny"],
+    },
+    "electronics": {
+        "positive": ["fast", "sturdy", "responsive", "crisp", "seamless", "durable"],
+        "negative": ["laggy", "flimsy", "overheats", "glitchy", "bricked", "slow"],
+    },
+    "movies": {
+        "positive": ["funny", "gripping", "moving", "hilarious", "captivating", "touching"],
+        "negative": ["boring", "predictable", "slow", "cheesy", "overacted", "dull"],
+    },
+    "sports": {
+        "positive": ["comfortable", "lightweight", "supportive", "breathable", "durable", "snug"],
+        "negative": ["heavy", "stiff", "slippery", "bulky", "flimsy", "tight"],
+    },
+}
+
+# --------------------------------------------------------------------- #
+# Yelp restaurant/business reviews: three business categories
+# --------------------------------------------------------------------- #
+YELP_CLUSTERS = {
+    "restaurant": [
+        "menu", "waiter", "dish", "appetizer", "dessert", "dinner", "lunch",
+        "brunch", "chef", "table", "reservation", "portion", "entree",
+        "burger", "sushi", "pizza", "tacos", "noodles", "steak", "salad",
+        "patio", "takeout", "happy_hour", "buffet",
+    ],
+    "salon": [
+        "haircut", "stylist", "salon", "appointment", "color", "nails",
+        "manicure", "massage", "spa", "facial", "barber", "trim", "wax",
+        "blowout", "polish", "treatment", "scalp", "lashes", "brows",
+        "shampoo", "conditioner", "booking", "chair", "mirror",
+    ],
+    "repair": [
+        "mechanic", "repair", "oil", "brakes", "engine", "tires",
+        "transmission", "estimate", "quote", "diagnostic", "warranty",
+        "alignment", "inspection", "battery", "bumper", "windshield",
+        "garage", "labor", "parts", "tow", "leak", "muffler", "dent",
+        "shop",
+    ],
+}
+
+YELP_LOCAL_CUES = {
+    "restaurant": {
+        "positive": ["delicious", "flavorful", "fresh", "cozy", "attentive", "generous"],
+        "negative": ["bland", "cold", "greasy", "slow", "rude", "overpriced"],
+    },
+    "salon": {
+        "positive": ["relaxing", "gentle", "stylish", "clean", "friendly", "precise"],
+        "negative": ["botched", "uneven", "painful", "rushed", "unsanitary", "cold"],
+    },
+    "repair": {
+        "positive": ["honest", "quick", "fair", "reliable", "thorough", "transparent"],
+        "negative": ["overcharged", "shady", "slow", "sloppy", "unresolved", "greasy"],
+    },
+}
+
+# --------------------------------------------------------------------- #
+# IMDB movie reviews: two broad genre clusters, longer documents
+# --------------------------------------------------------------------- #
+IMDB_CLUSTERS = {
+    "drama": [
+        "drama", "performance", "oscar", "emotional", "character", "novel",
+        "adaptation", "monologue", "tragedy", "romance", "biopic", "period",
+        "acting", "script", "dialogue", "theme", "narrative", "subtle",
+        "portrayal", "ensemble", "arc", "pacing", "tone", "depth",
+    ],
+    "action": [
+        "action", "explosion", "chase", "fight", "stunt", "villain", "hero",
+        "sequel", "franchise", "blockbuster", "cgi", "effects", "gunfight",
+        "car", "spy", "mission", "battle", "warrior", "showdown",
+        "adrenaline", "budget", "choreography", "set_piece", "finale",
+    ],
+}
+
+IMDB_LOCAL_CUES = {
+    "drama": {
+        "positive": ["moving", "nuanced", "powerful", "haunting", "poignant", "masterful"],
+        "negative": ["melodramatic", "slow", "pretentious", "tedious", "hollow", "overwrought"],
+    },
+    "action": {
+        "positive": ["thrilling", "explosive", "slick", "relentless", "spectacular", "fun"],
+        "negative": ["mindless", "incoherent", "loud", "derivative", "bloated", "choppy"],
+    },
+}
+
+# --------------------------------------------------------------------- #
+# YouTube comment spam: two comment-context clusters
+# --------------------------------------------------------------------- #
+YOUTUBE_CLUSTERS = {
+    "music": [
+        "song", "music", "video", "album", "beat", "lyrics", "voice",
+        "remix", "artist", "listening", "chorus", "melody", "concert",
+        "playlist", "cover", "tune", "track", "singer", "band", "guitar",
+    ],
+    "gaming": [
+        "game", "gameplay", "level", "player", "stream", "console", "clip",
+        "speedrun", "boss", "mod", "update", "patch", "server", "loot",
+        "quest", "tutorial", "walkthrough", "controller", "graphics", "fps",
+    ],
+}
+
+#: Spam cue words: "positive" here means the spam class (+1).
+SPAM_GLOBAL_POSITIVE = [
+    "subscribe", "free", "win", "winner", "click", "link", "channel",
+    "giveaway", "promo", "follow", "cash", "prize", "offer", "earn",
+    "money", "visit", "website", "bonus",
+]
+
+#: Ham cue words (the -1 class): ordinary engagement vocabulary.
+SPAM_GLOBAL_NEGATIVE = [
+    "love", "favorite", "awesome", "thanks", "nice", "best", "cool",
+    "beautiful", "amazing", "classic", "memories", "masterpiece",
+    "talented", "legend", "epic", "underrated", "vibes", "chills",
+]
+
+YOUTUBE_LOCAL_CUES = {
+    "music": {
+        "positive": ["sub4sub", "mixtape", "soundcloud", "promotion", "collab", "shoutout"],
+        "negative": ["nostalgia", "anthem", "goosebumps", "repeat", "timeless", "acoustic"],
+    },
+    "gaming": {
+        "positive": ["hack", "cheats", "generator", "unlock", "coins", "glitch"],
+        "negative": ["clutch", "strategy", "build", "squad", "ranked", "grind"],
+    },
+}
+
+# --------------------------------------------------------------------- #
+# SMS spam: two message-context clusters, heavy class imbalance
+# --------------------------------------------------------------------- #
+SMS_CLUSTERS = {
+    "personal": [
+        "home", "tonight", "tomorrow", "meet", "dinner", "call", "later",
+        "love", "miss", "sorry", "ok", "yeah", "lol", "good", "night",
+        "morning", "mum", "dad", "friend", "movie", "bus", "class", "work",
+        "sleep",
+    ],
+    "transactional": [
+        "account", "bank", "order", "delivery", "appointment", "reminder",
+        "confirm", "code", "payment", "balance", "ticket", "booking",
+        "flight", "train", "invoice", "receipt", "schedule", "update",
+        "service", "customer", "ref", "number", "due", "renewal",
+    ],
+}
+
+SMS_LOCAL_CUES = {
+    "personal": {
+        "positive": ["xxx", "dating", "hot", "singles", "chat", "babe"],
+        "negative": ["haha", "cya", "thx", "gonna", "wanna", "hugs"],
+    },
+    "transactional": {
+        "positive": ["won", "claim", "urgent", "guaranteed", "prize", "tone"],
+        "negative": ["dispatched", "confirmed", "arrives", "statement", "branch", "helpline"],
+    },
+}
+
+SMS_GLOBAL_POSITIVE = [
+    "free", "win", "cash", "txt", "text", "call", "mobile", "stop",
+    "award", "awarded", "entry", "offer", "credit", "voucher", "bonus",
+    "winner", "congratulations", "selected",
+]
+
+SMS_GLOBAL_NEGATIVE = [
+    "see", "come", "know", "time", "today", "still", "thing", "going",
+    "feel", "want", "said", "back", "take", "need", "week", "right",
+    "think", "day",
+]
+
+# --------------------------------------------------------------------- #
+# Visual Genome "carrying" vs "riding": object tokens per scene type.
+# Examples are object-token sets; primitives are the object annotations,
+# exactly as the paper configures VG (Sec. 5.1).
+# --------------------------------------------------------------------- #
+VG_CLUSTERS = {
+    "street": [
+        "road", "sidewalk", "car", "traffic_light", "crosswalk", "building",
+        "sign", "lamp_post", "bus", "curb", "intersection", "pavement",
+        "storefront", "pedestrian", "crowd", "umbrella", "jacket", "street",
+    ],
+    "park": [
+        "grass", "tree", "bench", "path", "fountain", "playground", "dog",
+        "leash", "picnic", "field", "pond", "trail", "shade", "kite",
+        "frisbee", "flowers", "lawn", "gate",
+    ],
+    "beach": [
+        "sand", "ocean", "wave", "towel", "sunglasses", "swimsuit", "shore",
+        "seagull", "pier", "shell", "tide", "dune", "boardwalk", "cooler",
+        "sunscreen", "palm", "surf", "breeze",
+    ],
+}
+
+#: Objects that indicate the "riding" relation (+1 class).
+VG_GLOBAL_POSITIVE = [
+    "horse", "bicycle", "motorcycle", "skateboard", "saddle", "helmet",
+    "handlebars", "scooter", "wagon", "elephant", "carousel", "surfboard",
+    "wheel", "pedal",
+]
+
+#: Objects that indicate the "carrying" relation (-1 class).
+VG_GLOBAL_NEGATIVE = [
+    "bag", "backpack", "tray", "box", "basket", "suitcase", "satchel",
+    "bundle", "groceries", "luggage", "purse", "briefcase", "bucket",
+    "parcel",
+]
+
+VG_LOCAL_CUES = {
+    "street": {
+        "positive": ["taxi", "rickshaw", "segway", "moped", "tram", "unicycle"],
+        "negative": ["shopping_bag", "crate", "delivery", "package", "cart", "umbrella_bag"],
+    },
+    "park": {
+        "positive": ["pony", "tricycle", "rollerblades", "tandem", "mare", "stirrup"],
+        "negative": ["picnic_basket", "cooler_box", "water_bottle", "blanket_roll", "toy_bag", "stroller_bag"],
+    },
+    "beach": {
+        "positive": ["jetski", "paddleboard", "bodyboard", "kayak", "windsurfer", "raft"],
+        "negative": ["beach_bag", "bucket_spade", "towel_roll", "icebox", "net_bag", "umbrella_case"],
+    },
+}

@@ -1,0 +1,88 @@
+"""Platt calibration of end-model probabilities.
+
+SEU approximates ground truth with the end model's predictions (paper
+Sec. 4.2).  Raw logistic-regression probabilities are badly overconfident
+*off the training support* — early in the interactive loop the LF set is
+often one-sided, the covered region is small, and the model extrapolates
+a single class everywhere with near-certainty.  Feeding that to SEU is
+self-confirming: the selector scores "imagined harm" for exactly the LFs
+that would correct the model, and locks onto one polarity.
+
+Platt scaling on the labeled validation split repairs this with the same
+resource the paper already uses for hyperparameter tuning: fit
+``p_cal = σ(a·s + b)`` on validation decision scores.  When the model is
+no better than chance, the fitted slope ``a ≈ 0`` flattens every
+probability toward the base rate (a *neutral* proxy); as the model becomes
+genuinely accurate the slope grows and confidence is restored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+from repro.utils.validation import check_binary_labels, check_matching_length
+
+
+class PlattCalibrator:
+    """One-dimensional logistic recalibration of decision scores.
+
+    Parameters
+    ----------
+    l2:
+        Mild regularization of the slope/offset — keeps the map stable on
+        small validation splits.
+    min_slope:
+        The slope is clamped below at this value; a *negative* slope would
+        mean trusting the model's predictions inverted, which turns a
+        transiently-bad model into actively-poisonous supervision.
+    """
+
+    def __init__(self, l2: float = 1.0, min_slope: float = 0.0) -> None:
+        self.l2 = l2
+        self.min_slope = min_slope
+        self.slope_: float | None = None
+        self.offset_: float = 0.0
+
+    def fit(self, scores: np.ndarray, y: np.ndarray) -> "PlattCalibrator":
+        """Fit the calibration map on validation ``(scores, ±1 labels)``."""
+        scores = np.asarray(scores, dtype=float).ravel()
+        y = check_binary_labels("y", y)
+        check_matching_length("scores", scores, "y", y)
+        # Standardize scores so l2 means the same thing at every model scale.
+        scale = float(np.std(scores))
+        if scale < 1e-12:
+            # Constant scores carry no ranking information: calibrate to the
+            # base rate alone.
+            self.slope_ = 0.0
+            base = float(np.clip((y == 1).mean(), 1e-3, 1 - 1e-3))
+            self.offset_ = float(np.log(base / (1 - base)))
+            self._scale = 1.0
+            return self
+        model = SoftLabelLogisticRegression(
+            l2=self.l2, penalize_intercept=False, warm_start=False
+        )
+        model.fit((scores / scale)[:, None], (y + 1) / 2.0)
+        self.slope_ = max(float(model.coef_[0]), self.min_slope)
+        self.offset_ = float(model.intercept_)
+        self._scale = scale
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw decision scores to calibrated ``P(y=+1)``."""
+        if self.slope_ is None:
+            raise RuntimeError("PlattCalibrator.transform called before fit")
+        scores = np.asarray(scores, dtype=float).ravel()
+        z = self.slope_ * (scores / self._scale) + self.offset_
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))
+
+    def fit_transform_from(
+        self,
+        model: SoftLabelLogisticRegression,
+        X_valid,
+        y_valid: np.ndarray,
+        X_target,
+    ) -> np.ndarray:
+        """Calibrate ``model`` on a validation split, then score ``X_target``."""
+        self.fit(model.decision_function(X_valid), y_valid)
+        return self.transform(model.decision_function(X_target))

@@ -1,0 +1,97 @@
+"""Evaluation metrics and the paper's learning-curve summary.
+
+The paper reports Accuracy for all datasets except SMS (F1, positive =
+spam), and summarizes each learning curve by the mean of its evaluated
+points — "the average performance on the learning curve, which essentially
+corresponds to its area under curve" (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.utils.validation import check_binary_labels, check_matching_length
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact ±1 agreements."""
+    y_true = check_binary_labels("y_true", y_true)
+    y_pred = check_binary_labels("y_pred", y_pred)
+    check_matching_length("y_true", y_true, "y_pred", y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Precision of the +1 class (0.0 when nothing is predicted positive)."""
+    y_true = check_binary_labels("y_true", y_true)
+    y_pred = check_binary_labels("y_pred", y_pred)
+    check_matching_length("y_true", y_true, "y_pred", y_pred)
+    predicted_pos = y_pred == 1
+    if not predicted_pos.any():
+        return 0.0
+    return float((y_true[predicted_pos] == 1).mean())
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Recall of the +1 class (0.0 when no positives exist)."""
+    y_true = check_binary_labels("y_true", y_true)
+    y_pred = check_binary_labels("y_pred", y_pred)
+    check_matching_length("y_true", y_true, "y_pred", y_pred)
+    actual_pos = y_true == 1
+    if not actual_pos.any():
+        return 0.0
+    return float((y_pred[actual_pos] == 1).mean())
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall for the +1 class."""
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    if p + r == 0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def soft_label_accuracy(y_true: np.ndarray, proba: np.ndarray) -> float:
+    """Accuracy of thresholded soft labels — the contextualizer's tuning signal.
+
+    Used by Nemo to pick the refinement-radius percentile on the validation
+    split (Sec. 4.3: "selected based on the validation accuracy of the
+    resultant estimated soft labels").
+    """
+    y_true = check_binary_labels("y_true", y_true)
+    proba = np.asarray(proba, dtype=float)
+    check_matching_length("y_true", y_true, "proba", proba)
+    preds = np.where(proba >= 0.5, 1, -1)
+    return float((preds == y_true).mean())
+
+
+METRICS: dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "accuracy": accuracy_score,
+    "f1": f1_score,
+    "precision": precision_score,
+    "recall": recall_score,
+}
+
+
+def get_metric(name: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Look up a metric function by name."""
+    try:
+        return METRICS[name]
+    except KeyError:
+        raise ValueError(f"unknown metric {name!r}; choose from {sorted(METRICS)}") from None
+
+
+def learning_curve_summary(scores: list[float] | np.ndarray) -> float:
+    """The paper's curve summary: the mean of the evaluated points.
+
+    Given curve points ``{(x_i, y_i)}``, returns ``(1/n) Σ y_i`` — the
+    (normalized) area under the learning curve for evenly-spaced
+    evaluations.
+    """
+    arr = np.asarray(scores, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty learning curve")
+    return float(arr.mean())

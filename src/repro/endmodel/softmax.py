@@ -1,0 +1,161 @@
+"""Soft-label softmax (multinomial logistic) regression.
+
+The K-class end model for :mod:`repro.multiclass`: trained on the label
+model's ``(n, K)`` probabilistic labels by minimizing the expected
+cross-entropy under the soft targets with L-BFGS on an analytic gradient —
+the direct multinomial generalization of
+:class:`repro.endmodel.logistic.SoftLabelLogisticRegression`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import minimize
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftLabelSoftmaxRegression:
+    """L2-regularized multinomial logistic regression with soft targets.
+
+    Parameters
+    ----------
+    n_classes:
+        The number of classes ``K``.
+    l2:
+        L2 penalty strength on the weights (intercepts are unpenalized,
+        matching the binary end model's default).
+    max_iter / tol:
+        L-BFGS iteration cap and gradient tolerance.
+    warm_start:
+        Reuse the previous solution as the initial point on refit — the
+        interactive loop changes the soft labels only a little per
+        iteration.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [1.0], [4.0], [5.0]])
+    >>> Q = np.array([[0.9, 0.1], [0.8, 0.2], [0.1, 0.9], [0.05, 0.95]])
+    >>> clf = SoftLabelSoftmaxRegression(n_classes=2).fit(X, Q)
+    >>> int(clf.predict(np.array([[5.0]]))[0])
+    1
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        l2: float = 1e-2,
+        max_iter: int = 200,
+        tol: float = 1e-6,
+        warm_start: bool = True,
+    ) -> None:
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.n_classes = n_classes
+        self.l2 = l2
+        self.max_iter = max_iter
+        self.tol = tol
+        self.warm_start = warm_start
+        self.coef_: np.ndarray | None = None  # (d, K)
+        self.intercept_: np.ndarray | None = None  # (K,)
+        self.n_features_: int | None = None
+
+    def fit(
+        self,
+        X,
+        soft_labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "SoftLabelSoftmaxRegression":
+        """Fit to soft targets ``Q[i, k] = P(y_i = k)`` (rows sum to 1).
+
+        A 1-D integer class vector may be passed as well; it is one-hot
+        encoded.
+        """
+        X = sp.csr_matrix(X) if not sp.issparse(X) else X.tocsr()
+        n, d = X.shape
+        K = self.n_classes
+        Q = np.asarray(soft_labels, dtype=float)
+        if Q.ndim == 1:
+            y = Q.astype(int)
+            if np.any(y < 0) or np.any(y >= K):
+                raise ValueError(f"hard labels must lie in [0, {K}), got values outside")
+            Q = np.zeros((n, K))
+            Q[np.arange(n), y] = 1.0
+        if Q.shape != (n, K):
+            raise ValueError(f"soft labels must have shape ({n}, {K}), got {Q.shape}")
+        if np.any(Q < -1e-9) or not np.allclose(Q.sum(axis=1), 1.0, atol=1e-6):
+            raise ValueError("soft labels must be row-stochastic")
+        if sample_weight is None:
+            weight = np.ones(n)
+        else:
+            weight = np.asarray(sample_weight, dtype=float).ravel()
+            if len(weight) != n:
+                raise ValueError(f"got {len(weight)} sample weights for {n} rows")
+            if np.any(weight < 0):
+                raise ValueError("sample weights must be non-negative")
+
+        theta0 = np.zeros((d + 1) * K)
+        if self.warm_start and self.coef_ is not None and self.n_features_ == d:
+            theta0[: d * K] = self.coef_.ravel()
+            theta0[d * K :] = self.intercept_
+
+        def objective(theta):
+            W = theta[: d * K].reshape(d, K)
+            b = theta[d * K :]
+            scores = np.asarray(X @ W) + b[None, :]
+            # log-sum-exp per row for the expected cross-entropy
+            shifted = scores - scores.max(axis=1, keepdims=True)
+            log_norm = np.log(np.exp(shifted).sum(axis=1)) + scores.max(axis=1)
+            loss = float(weight @ (log_norm - (Q * scores).sum(axis=1)))
+            loss += 0.5 * self.l2 * float((W * W).sum())
+            P = _softmax(scores)
+            residual = weight[:, None] * (P - Q)  # (n, K)
+            grad_W = np.asarray(X.T @ residual) + self.l2 * W
+            grad_b = residual.sum(axis=0)
+            return loss, np.concatenate([grad_W.ravel(), grad_b])
+
+        result = minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": self.max_iter, "gtol": self.tol},
+        )
+        self.coef_ = result.x[: d * K].reshape(d, K)
+        self.intercept_ = result.x[d * K :]
+        self.n_features_ = d
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw class scores ``X·W + b``, shape ``(n, K)``."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(X @ self.coef_) + self.intercept_[None, :]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """``(n, K)`` class probabilities."""
+        return _softmax(self.decision_function(X))
+
+    def predict(self, X) -> np.ndarray:
+        """Hard class predictions (argmax)."""
+        return np.argmax(self.decision_function(X), axis=1).astype(int)
+
+    def clone_unfitted(self) -> "SoftLabelSoftmaxRegression":
+        """A fresh estimator with the same hyperparameters."""
+        return SoftLabelSoftmaxRegression(
+            n_classes=self.n_classes,
+            l2=self.l2,
+            max_iter=self.max_iter,
+            tol=self.tol,
+            warm_start=self.warm_start,
+        )

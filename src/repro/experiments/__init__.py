@@ -1,0 +1,30 @@
+"""Experiment harness: protocol, method registry, analysis, reporting."""
+
+from repro.experiments.protocol import (
+    LearningCurve,
+    RunResult,
+    evaluate_method,
+    run_learning_curve,
+)
+from repro.experiments.reporting import format_series, format_table, relative_lift
+from repro.experiments.runners import (
+    TABLE2_METHODS,
+    TABLE5_METHODS,
+    make_method,
+)
+from repro.experiments.subspace import SubspaceProfile, lf_subspace_profile
+
+__all__ = [
+    "LearningCurve",
+    "RunResult",
+    "run_learning_curve",
+    "evaluate_method",
+    "make_method",
+    "TABLE2_METHODS",
+    "TABLE5_METHODS",
+    "format_table",
+    "format_series",
+    "relative_lift",
+    "SubspaceProfile",
+    "lf_subspace_profile",
+]

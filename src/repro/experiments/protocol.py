@@ -1,0 +1,112 @@
+"""The paper's evaluation protocol (Sec. 5.1).
+
+Each method runs for ``n_iterations`` interactions; the end model's test
+performance is recorded every ``eval_every`` iterations; a learning curve
+is summarized by the mean of its evaluated points ("average performance on
+the learning curve ... essentially its area under curve"); results are
+averaged over several seeded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import InteractiveMethod
+from repro.endmodel.metrics import learning_curve_summary
+from repro.utils.rng import stable_hash_seed
+
+
+@dataclass
+class LearningCurve:
+    """One run's evaluation trace."""
+
+    iterations: list[int]
+    scores: list[float]
+
+    @property
+    def summary(self) -> float:
+        """Curve average — the paper's headline number per run."""
+        return learning_curve_summary(self.scores)
+
+    @property
+    def final(self) -> float:
+        """Score at the last evaluation point."""
+        return self.scores[-1]
+
+
+@dataclass
+class RunResult:
+    """Aggregated multi-seed result for one (method, dataset) cell."""
+
+    method: str
+    dataset: str
+    curves: list[LearningCurve] = field(default_factory=list)
+
+    @property
+    def summary_mean(self) -> float:
+        return float(np.mean([c.summary for c in self.curves]))
+
+    @property
+    def summary_std(self) -> float:
+        return float(np.std([c.summary for c in self.curves]))
+
+    @property
+    def final_mean(self) -> float:
+        return float(np.mean([c.final for c in self.curves]))
+
+    def mean_curve(self) -> LearningCurve:
+        """Pointwise mean across seeds (for plotting-style output)."""
+        iterations = self.curves[0].iterations
+        scores = np.mean([c.scores for c in self.curves], axis=0)
+        return LearningCurve(iterations=list(iterations), scores=[float(s) for s in scores])
+
+
+def run_learning_curve(
+    method: InteractiveMethod,
+    n_iterations: int = 50,
+    eval_every: int = 5,
+) -> LearningCurve:
+    """Drive one method through the interactive protocol."""
+    if n_iterations < 1:
+        raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+    if eval_every < 1:
+        raise ValueError(f"eval_every must be >= 1, got {eval_every}")
+    iterations: list[int] = []
+    scores: list[float] = []
+    for it in range(1, n_iterations + 1):
+        method.step()
+        if it % eval_every == 0:
+            iterations.append(it)
+            scores.append(method.test_score())
+    if not scores:  # n_iterations < eval_every: evaluate once at the end
+        iterations.append(n_iterations)
+        scores.append(method.test_score())
+    return LearningCurve(iterations=iterations, scores=scores)
+
+
+def evaluate_method(
+    method_factory,
+    method_name: str,
+    dataset,
+    n_iterations: int = 50,
+    eval_every: int = 5,
+    n_seeds: int = 5,
+    base_seed: int = 0,
+) -> RunResult:
+    """Run ``method_factory(dataset, seed)`` across seeds and aggregate.
+
+    Seeds are derived stably from ``(method, dataset, run index, base)`` so
+    any cell of any table can be reproduced in isolation.
+    """
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    result = RunResult(method=method_name, dataset=dataset.name)
+    for run_idx in range(n_seeds):
+        seed = stable_hash_seed(method_name, dataset.name, run_idx, base_seed)
+        method = method_factory(dataset, seed)
+        result.curves.append(
+            run_learning_curve(method, n_iterations=n_iterations, eval_every=eval_every)
+        )
+    return result

@@ -1,0 +1,83 @@
+"""Table formatting for benchmark output.
+
+Benches print paper-style tables; these helpers keep the formatting
+consistent (aligned columns, bold-free plain text, winner marking).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Mapping[str, Sequence[float | str | None]],
+    highlight_max: bool = True,
+    precision: int = 4,
+) -> str:
+    """Render a results table as aligned plain text.
+
+    Parameters
+    ----------
+    title:
+        Header line (e.g. ``"Table 2: end-to-end performance"``).
+    column_names:
+        Column headers (method names).
+    rows:
+        Mapping of row label (dataset) to per-column values; ``None``
+        renders as ``"n/a"``; strings pass through.
+    highlight_max:
+        Mark the best numeric value in each row with ``*``.
+    precision:
+        Decimal places for floats.
+    """
+    headers = ["dataset", *column_names]
+    body: list[list[str]] = []
+    for label, values in rows.items():
+        if len(values) != len(column_names):
+            raise ValueError(
+                f"row {label!r} has {len(values)} values for {len(column_names)} columns"
+            )
+        numeric = [v for v in values if isinstance(v, (int, float))]
+        best = max(numeric) if (numeric and highlight_max) else None
+        rendered = [label]
+        for value in values:
+            if value is None:
+                rendered.append("n/a")
+            elif isinstance(value, str):
+                rendered.append(value)
+            else:
+                mark = "*" if (best is not None and value >= best - 1e-12) else ""
+                rendered.append(f"{value:.{precision}f}{mark}")
+        body.append(rendered)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in body)) if body else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, xs: Sequence[float], ys: Sequence[float], x_name: str = "x", y_name: str = "y") -> str:
+    """Render a figure-style (x, y) series as two aligned text rows."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    x_cells = [f"{x:g}" for x in xs]
+    y_cells = [f"{y:.4f}" for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    lines = [title]
+    lines.append(f"{x_name:>12s}  " + "  ".join(c.rjust(w) for c, w in zip(x_cells, widths)))
+    lines.append(f"{y_name:>12s}  " + "  ".join(c.rjust(w) for c, w in zip(y_cells, widths)))
+    return "\n".join(lines)
+
+
+def relative_lift(new: float, baseline: float) -> float:
+    """The paper's "X% improvement" convention: ``(new - base) / base``."""
+    if baseline == 0:
+        raise ValueError("baseline is zero; relative lift is undefined")
+    return (new - baseline) / abs(baseline)

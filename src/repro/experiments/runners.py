@@ -1,0 +1,141 @@
+"""Named method registry: every row of the paper's tables as a factory.
+
+``make_method(name)(dataset, seed)`` returns a ready-to-run
+:class:`~repro.core.session.InteractiveMethod`.  The registry covers the
+full IDP system (Nemo), its ablations (Tables 4–9), and every baseline of
+Table 2 — so each bench is just "evaluate these registry names on these
+datasets".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import NemoConfig
+from repro.core.session import InteractiveMethod
+from repro.data.dataset import FeaturizedDataset
+from repro.interactive.active_weasul import ActiveWeaSuLMethod
+from repro.interactive.implyloss_session import ImplyLossSession
+from repro.interactive.iws import IWSLSEMethod
+from repro.interactive.simulated_user import SimulatedUser
+from repro.interactive.uncertainty import BALD, UncertaintySampling
+from repro.utils.rng import stable_hash_seed
+
+MethodFactory = Callable[[FeaturizedDataset, int], InteractiveMethod]
+
+#: Default simulated-user accuracy threshold (paper Sec. 5.1: t = 0.5).
+DEFAULT_USER_THRESHOLD = 0.5
+
+
+def _make_user(dataset: FeaturizedDataset, seed, threshold: float) -> SimulatedUser:
+    user_seed = stable_hash_seed("user", dataset.name, seed)
+    return SimulatedUser(dataset, accuracy_threshold=threshold, seed=user_seed)
+
+
+def _session_factory(config: NemoConfig, threshold: float) -> MethodFactory:
+    def factory(dataset: FeaturizedDataset, seed) -> InteractiveMethod:
+        user = _make_user(dataset, seed, threshold)
+        return config.create_session(dataset, user, seed=seed)
+
+    return factory
+
+
+def make_method(name: str, user_threshold: float = DEFAULT_USER_THRESHOLD) -> MethodFactory:
+    """Resolve a method name to a ``(dataset, seed) -> InteractiveMethod`` factory.
+
+    Recognized names (paper Sec. 5.2–5.4):
+
+    ==================  =====================================================
+    ``nemo``            Full IDP: SEU + contextualized learning.
+    ``snorkel``         Random selection + standard pipeline (vanilla IDP).
+    ``snorkel-abs``     Abstain-based selection, standard pipeline [9].
+    ``snorkel-dis``     Disagreement-based selection, standard pipeline [9].
+    ``implyloss-l``     Random selection + ImplyLoss joint model [3].
+    ``us``              Uncertainty sampling (active learning) [20].
+    ``bald``            BALD committee active learning [12, 17].
+    ``iws-lse``         Interactive weak supervision with LSE acquisition [6].
+    ``active-weasul``   maxKL hand-labeling over a warm-started LF set [5].
+    ``seu``             SEU selection only (standard pipeline) — Table 5.
+    ``random``/``abstain``/``disagree``  Selection-only rows of Table 5.
+    ``nemo-no-selector``        Table 4: random selection + contextualizer.
+    ``nemo-no-contextualizer``  Table 4: SEU + standard pipeline.
+    ``seu-uniform``             Table 6: uniform user model.
+    ``seu-no-informativeness``  Table 7 ablation.
+    ``seu-no-correctness``      Table 7 ablation.
+    ``contextualized``          Table 8: random + contextualized pipeline.
+    ``standard``                Table 8: random + standard pipeline.
+    ``ctx-cosine``/``ctx-euclidean``  Table 9 distance ablations.
+    ==================  =====================================================
+    """
+    configs: dict[str, NemoConfig] = {
+        "nemo": NemoConfig(),
+        "snorkel": NemoConfig(selector="random", contextualize=False),
+        "snorkel-abs": NemoConfig(selector="abstain", contextualize=False),
+        "snorkel-dis": NemoConfig(selector="disagree", contextualize=False),
+        "seu": NemoConfig(selector="seu", contextualize=False),
+        "random": NemoConfig(selector="random", contextualize=False),
+        "abstain": NemoConfig(selector="abstain", contextualize=False),
+        "disagree": NemoConfig(selector="disagree", contextualize=False),
+        "nemo-no-selector": NemoConfig(selector="random", contextualize=True),
+        "nemo-no-contextualizer": NemoConfig(selector="seu", contextualize=False),
+        "seu-uniform": NemoConfig(
+            selector="seu", user_model="uniform", contextualize=False
+        ),
+        "seu-no-informativeness": NemoConfig(
+            selector="seu", utility="no-informativeness", contextualize=False
+        ),
+        "seu-no-correctness": NemoConfig(
+            selector="seu", utility="no-correctness", contextualize=False
+        ),
+        "contextualized": NemoConfig(selector="random", contextualize=True),
+        "standard": NemoConfig(selector="random", contextualize=False),
+        "ctx-cosine": NemoConfig(
+            selector="random", contextualize=True, distance_metric="cosine"
+        ),
+        "ctx-euclidean": NemoConfig(
+            selector="random", contextualize=True, distance_metric="euclidean"
+        ),
+    }
+    if name in configs:
+        return _session_factory(configs[name], user_threshold)
+
+    if name == "implyloss-l":
+
+        def implyloss_factory(dataset: FeaturizedDataset, seed) -> InteractiveMethod:
+            user = _make_user(dataset, seed, user_threshold)
+            return ImplyLossSession(dataset, user, seed=seed)
+
+        return implyloss_factory
+    if name == "us":
+        return lambda dataset, seed: UncertaintySampling(dataset, seed=seed)
+    if name == "bald":
+        return lambda dataset, seed: BALD(dataset, seed=seed)
+    if name == "iws-lse":
+        return lambda dataset, seed: IWSLSEMethod(
+            dataset, usefulness_threshold=user_threshold, seed=seed
+        )
+    if name == "active-weasul":
+
+        def aw_factory(dataset: FeaturizedDataset, seed) -> InteractiveMethod:
+            user = _make_user(dataset, seed, user_threshold)
+            return ActiveWeaSuLMethod(dataset, user, seed=seed)
+
+        return aw_factory
+    raise ValueError(f"unknown method {name!r}")
+
+
+#: Method columns of Table 2, in the paper's order.
+TABLE2_METHODS = (
+    "nemo",
+    "snorkel",
+    "snorkel-abs",
+    "snorkel-dis",
+    "implyloss-l",
+    "us",
+    "iws-lse",
+    "bald",
+    "active-weasul",
+)
+
+#: Selection strategies of Table 5.
+TABLE5_METHODS = ("seu", "random", "abstain", "disagree")

@@ -1,0 +1,130 @@
+"""Figure-2 analysis: LF coverage/accuracy by distance-to-development-data.
+
+Reproduces the paper's motivating measurement: generate many LFs with the
+simulated user from random development examples, split all examples into
+subspaces by percentile of their distance to each LF's development point,
+and average per-subspace coverage and accuracy over the LFs.  The paper's
+claim — both quantities decay with distance — is what the contextualizer
+(Eq. 4) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lf import LFFamily
+from repro.core.selection import SessionState
+from repro.data.dataset import FeaturizedDataset
+from repro.interactive.simulated_user import SimulatedUser
+from repro.labelmodel.base import posterior_entropy
+from repro.text.distance import get_distance_fn
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class SubspaceProfile:
+    """Averaged per-subspace statistics over many LFs."""
+
+    n_lfs: int
+    n_bins: int
+    coverage: np.ndarray  # (n_bins,) mean coverage fraction per subspace
+    accuracy: np.ndarray  # (n_bins,) mean accuracy per subspace (NaN-safe mean)
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(bin label, coverage, accuracy) rows for reporting."""
+        labels = [
+            f"{int(100 * b / self.n_bins)}-{int(100 * (b + 1) / self.n_bins)}%"
+            for b in range(self.n_bins)
+        ]
+        return [
+            (label, float(c), float(a))
+            for label, c, a in zip(labels, self.coverage, self.accuracy)
+        ]
+
+
+def lf_subspace_profile(
+    dataset: FeaturizedDataset,
+    n_lfs: int = 100,
+    n_bins: int = 4,
+    metric: str = "cosine",
+    user_threshold: float = 0.5,
+    seed=None,
+) -> SubspaceProfile:
+    """Measure Figure 2: LF coverage/accuracy vs distance percentile bins.
+
+    LFs are created by the oracle simulated user from uniformly-sampled
+    development examples (the paper averages over 100 LFs on Amazon).
+    """
+    if n_lfs < 1:
+        raise ValueError(f"n_lfs must be >= 1, got {n_lfs}")
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    rng = ensure_rng(seed)
+    user = SimulatedUser(dataset, accuracy_threshold=user_threshold, seed=rng)
+    family = LFFamily(dataset.primitive_names, dataset.train.B)
+    train = dataset.train
+    distance_fn = get_distance_fn(metric)
+    state = _analysis_state(dataset, family, rng)
+
+    coverage = np.zeros((n_lfs, n_bins))
+    accuracy = np.full((n_lfs, n_bins), np.nan)
+    eligible = np.flatnonzero(np.asarray(train.B.sum(axis=1)).ravel() > 0)
+    count = 0
+    attempts = 0
+    while count < n_lfs and attempts < 20 * n_lfs:
+        attempts += 1
+        dev_index = int(rng.choice(eligible))
+        lf = user.create_lf(dev_index, state)
+        if lf is None:
+            continue
+        votes = lf.apply(train.B)
+        dists = distance_fn(train.X, train.X[dev_index])
+        edges = np.quantile(dists, np.linspace(0, 1, n_bins + 1))
+        edges[0] -= 1e-9
+        for b in range(n_bins):
+            in_bin = (dists > edges[b]) & (dists <= edges[b + 1])
+            n_in = int(in_bin.sum())
+            if n_in == 0:
+                continue
+            fired = in_bin & (votes != 0)
+            coverage[count, b] = fired.sum() / n_in
+            if fired.any():
+                accuracy[count, b] = float((votes[fired] == train.y[fired]).mean())
+        count += 1
+    if count == 0:
+        raise RuntimeError("simulated user produced no LFs; lower user_threshold")
+    acc_matrix = accuracy[:count]
+    mean_accuracy = np.full(n_bins, np.nan)
+    for b in range(n_bins):
+        column = acc_matrix[:, b]
+        finite = column[~np.isnan(column)]
+        if finite.size:  # an all-NaN bin (no LF ever fires that far) stays NaN
+            mean_accuracy[b] = float(finite.mean())
+    return SubspaceProfile(
+        n_lfs=count,
+        n_bins=n_bins,
+        coverage=coverage[:count].mean(axis=0),
+        accuracy=mean_accuracy,
+    )
+
+
+def _analysis_state(dataset, family, rng) -> SessionState:
+    """A minimal no-LF session state for driving the simulated user."""
+    n = dataset.train.n
+    prior = dataset.label_prior
+    soft = np.full(n, prior)
+    return SessionState(
+        dataset=dataset,
+        family=family,
+        iteration=0,
+        lfs=[],
+        L_train=np.zeros((n, 0), dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy(soft),
+        proxy_labels=np.where(rng.random(n) < prior, 1, -1),
+        proxy_proba=np.full(n, prior),
+        selected=set(),
+        rng=rng,
+    )

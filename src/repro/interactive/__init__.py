@@ -1,0 +1,35 @@
+"""Interactive schemes: the simulated user and all baseline methods.
+
+Everything here implements :class:`repro.core.session.InteractiveMethod`
+(or :class:`repro.core.session.LFDeveloper`) so the experiment protocol can
+drive Nemo and every baseline identically.
+"""
+
+from repro.interactive.active_weasul import ActiveWeaSuLMethod
+from repro.interactive.basic_selectors import (
+    BASIC_SELECTORS,
+    AbstainSelector,
+    DisagreeSelector,
+    RandomSelector,
+    make_basic_selector,
+)
+from repro.interactive.implyloss_session import ImplyLossSession
+from repro.interactive.iws import IWSLSEMethod
+from repro.interactive.simulated_user import NoisyUser, SimulatedUser, sample_user_cohort
+from repro.interactive.uncertainty import BALD, UncertaintySampling
+
+__all__ = [
+    "SimulatedUser",
+    "NoisyUser",
+    "sample_user_cohort",
+    "RandomSelector",
+    "AbstainSelector",
+    "DisagreeSelector",
+    "BASIC_SELECTORS",
+    "make_basic_selector",
+    "UncertaintySampling",
+    "BALD",
+    "IWSLSEMethod",
+    "ActiveWeaSuLMethod",
+    "ImplyLossSession",
+]

@@ -1,0 +1,166 @@
+"""Active WeaSuL: active learning *inside* weak supervision [5].
+
+Active WeaSuL assumes an existing LF set and spends its query budget on
+hand labels that help the label model denoise those LFs.  Following the
+paper's experimental setup (Sec. 5.2): the first ``warmup_iterations`` run
+vanilla Snorkel (random selection + simulated-user LFs) to build the LF
+set; afterwards each iteration hand-labels one point chosen by the *maxKL*
+acquisition — the point from the LF-vote bucket where the label model's
+posterior diverges most from the empirical label distribution of the hand
+labels collected in that bucket.
+
+Hand labels enter the pipeline as an extra high-accuracy "expert LF"
+column and override the soft labels of their examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.session import DataProgrammingSession, InteractiveMethod, LFDeveloper
+from repro.data.dataset import FeaturizedDataset
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+from repro.interactive.basic_selectors import RandomSelector
+from repro.labelmodel.base import posterior_entropy
+from repro.labelmodel.metal import MetalLabelModel
+
+
+class ActiveWeaSuLMethod(InteractiveMethod):
+    """maxKL active learning on top of a warm-started LF set.
+
+    Parameters
+    ----------
+    dataset:
+        Featurized dataset (ground truth answers the hand-label queries).
+    user:
+        Simulated user for the Snorkel warm-up phase.
+    warmup_iterations:
+        Number of initial Snorkel iterations used to build the LF set
+        (10 in the paper's setup).
+    smoothing:
+        Additive smoothing of empirical bucket label distributions.
+    seed:
+        Randomness for warm-up and bucket sampling.
+    """
+
+    name = "active-weasul"
+
+    def __init__(
+        self,
+        dataset: FeaturizedDataset,
+        user: LFDeveloper,
+        warmup_iterations: int = 10,
+        smoothing: float = 1.0,
+        l2: float = 1e-2,
+        seed=None,
+    ) -> None:
+        super().__init__(dataset, seed)
+        if warmup_iterations < 1:
+            raise ValueError(f"warmup_iterations must be >= 1, got {warmup_iterations}")
+        self.warmup_iterations = warmup_iterations
+        self.smoothing = smoothing
+        self.session = DataProgrammingSession(
+            dataset,
+            selector=RandomSelector(),
+            user=user,
+            seed=self.rng,
+        )
+        self.end_model = SoftLabelLogisticRegression(l2=l2)
+        self.labeled: dict[int, int] = {}
+        self.iteration = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        if self.iteration < self.warmup_iterations:
+            self.session.step()
+            self._fitted = self.session._end_model_fitted
+        else:
+            idx = self._maxkl_query()
+            if idx is not None:
+                self.labeled[idx] = int(self.dataset.train.y[idx])
+            self._refit_with_labels()
+        self.iteration += 1
+
+    # ------------------------------------------------------------------ #
+    # maxKL acquisition
+    # ------------------------------------------------------------------ #
+    def _maxkl_query(self) -> int | None:
+        L = self.session.L_train
+        n = L.shape[0]
+        unlabeled = np.setdiff1d(np.arange(n), np.asarray(list(self.labeled), dtype=int))
+        if unlabeled.size == 0:
+            return None
+        if L.shape[1] == 0:
+            return int(self.rng.choice(unlabeled))
+        posterior = self._label_model_posterior(L)
+        bucket_keys = self._bucket_keys(L)
+        scores = self._bucket_scores(bucket_keys, posterior)
+        candidate_scores = np.array([scores[bucket_keys[i]] for i in unlabeled])
+        best = candidate_scores.max()
+        ties = unlabeled[np.flatnonzero(candidate_scores >= best - 1e-12)]
+        return int(self.rng.choice(ties))
+
+    @staticmethod
+    def _bucket_keys(L: np.ndarray) -> list[bytes]:
+        return [row.tobytes() for row in np.ascontiguousarray(L)]
+
+    def _bucket_scores(self, bucket_keys: list[bytes], posterior: np.ndarray) -> dict[bytes, float]:
+        """Per-bucket acquisition: KL(empirical ‖ model) or entropy if unlabeled."""
+        by_bucket: dict[bytes, list[int]] = {}
+        for i, key in enumerate(bucket_keys):
+            by_bucket.setdefault(key, []).append(i)
+        alpha = self.smoothing
+        scores: dict[bytes, float] = {}
+        for key, members in by_bucket.items():
+            q = float(np.clip(posterior[members].mean(), 1e-6, 1 - 1e-6))
+            labeled_members = [i for i in members if i in self.labeled]
+            if labeled_members:
+                n_pos = sum(1 for i in labeled_members if self.labeled[i] == 1)
+                p_hat = (n_pos + alpha * 0.5) / (len(labeled_members) + alpha)
+                p_hat = float(np.clip(p_hat, 1e-6, 1 - 1e-6))
+                scores[key] = p_hat * np.log(p_hat / q) + (1 - p_hat) * np.log(
+                    (1 - p_hat) / (1 - q)
+                )
+            else:
+                # No evidence in this bucket yet: explore by posterior entropy.
+                scores[key] = float(posterior_entropy(np.array([q]))[0])
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # learning with hand labels
+    # ------------------------------------------------------------------ #
+    def _augmented_matrix(self, L: np.ndarray) -> np.ndarray:
+        """Append the expert-LF column voting the hand labels."""
+        expert = np.zeros(L.shape[0], dtype=np.int8)
+        for idx, label in self.labeled.items():
+            expert[idx] = label
+        return np.column_stack([L, expert]).astype(np.int8)
+
+    def _label_model_posterior(self, L: np.ndarray) -> np.ndarray:
+        model = MetalLabelModel(class_prior=self.dataset.label_prior)
+        matrix = self._augmented_matrix(L) if self.labeled else L
+        return model.fit_predict_proba(matrix)
+
+    def _refit_with_labels(self) -> None:
+        L = self.session.L_train
+        if L.shape[1] == 0 and not self.labeled:
+            return
+        soft = self._label_model_posterior(L)
+        for idx, label in self.labeled.items():
+            soft[idx] = 1.0 if label == 1 else 0.0
+        covered = (self._augmented_matrix(L) != 0).any(axis=1)
+        if not covered.any():
+            return
+        X = self.dataset.train.X
+        self.end_model.fit(X[np.flatnonzero(covered)], soft[covered])
+        self._fitted = True
+
+    def predict_test(self) -> np.ndarray:
+        if self.iteration <= self.warmup_iterations:
+            if self.session._end_model_fitted:
+                return self.session.predict_test()
+            return self._prior_predictions(self.dataset.test.n)
+        if not self._fitted:
+            return self._prior_predictions(self.dataset.test.n)
+        return self.end_model.predict(self.dataset.test.X)

@@ -1,0 +1,200 @@
+"""IWS-LSE: Interactive Weak Supervision with level-set acquisition [6].
+
+A different interaction scheme from IDP: instead of showing *data* to the
+user, the system shows candidate *LFs* and asks "is this heuristic useful
+(better than random)?".  A probabilistic model over LF feature vectors
+learns to predict usefulness from the accumulated answers; acquisition uses
+the LSE *straddle* rule, which queries the candidate whose usefulness is
+most uncertain around the decision level.  The final LF set (queried-useful
+plus confidently-predicted-useful candidates) feeds the standard label
+model + end model pipeline.
+
+Implementation notes (offline surrogates for the reference system):
+* LF features are truncated-SVD embeddings of the primitive-incidence
+  columns plus a coverage feature and the LF's output label — the same
+  "term embedding" role as the original's word vectors.
+* The Gaussian-process ensemble is replaced by a bootstrap ensemble of
+  logistic models (mean/std over members), the standard cheap surrogate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import svds
+
+from repro.core.lf import PrimitiveLF
+from repro.core.session import InteractiveMethod
+from repro.data.dataset import FeaturizedDataset
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+from repro.labelmodel.matrix import apply_lfs, coverage_mask
+from repro.labelmodel.metal import MetalLabelModel
+
+
+class IWSLSEMethod(InteractiveMethod):
+    """Interactive weak supervision with LSE-straddle acquisition.
+
+    Parameters
+    ----------
+    dataset:
+        Featurized dataset; ground truth answers the usefulness queries.
+    usefulness_threshold:
+        An LF counts as useful iff its true accuracy exceeds this (0.5 =
+        "better than random", the definition in [6]).
+    min_coverage:
+        Candidates must cover at least this many train examples.
+    max_candidates:
+        Pool cap (highest-coverage candidates kept) to bound the per-step
+        ensemble scoring cost.
+    embed_dim:
+        Truncated-SVD dimension of the primitive embeddings.
+    ensemble_size / n_random_init:
+        Bootstrap ensemble size and number of warm-up random queries.
+    straddle_kappa:
+        The straddle exploration weight (1.96 in the LSE literature).
+    """
+
+    name = "iws-lse"
+
+    def __init__(
+        self,
+        dataset: FeaturizedDataset,
+        usefulness_threshold: float = 0.5,
+        min_coverage: int = 5,
+        max_candidates: int = 2000,
+        embed_dim: int = 32,
+        ensemble_size: int = 7,
+        n_random_init: int = 5,
+        straddle_kappa: float = 1.96,
+        l2: float = 1e-2,
+        seed=None,
+    ) -> None:
+        super().__init__(dataset, seed)
+        self.usefulness_threshold = usefulness_threshold
+        self.ensemble_size = ensemble_size
+        self.n_random_init = n_random_init
+        self.straddle_kappa = straddle_kappa
+        self.end_model = SoftLabelLogisticRegression(l2=l2)
+        self._fitted = False
+
+        self._build_candidates(min_coverage, max_candidates, embed_dim)
+        self.queried: list[int] = []  # candidate indices
+        self.answers: list[bool] = []
+
+    # ------------------------------------------------------------------ #
+    # candidate pool
+    # ------------------------------------------------------------------ #
+    def _build_candidates(self, min_coverage: int, max_candidates: int, embed_dim: int) -> None:
+        B = self.dataset.train.B
+        y = self.dataset.train.y
+        coverage = np.asarray(B.sum(axis=0)).ravel()
+        pos = np.asarray(B.T @ (y == 1).astype(float)).ravel()
+        acc_pos = np.divide(pos, coverage, out=np.full_like(pos, 0.5), where=coverage > 0)
+
+        eligible = np.flatnonzero(coverage >= min_coverage)
+        if eligible.size > max_candidates // 2:
+            order = np.argsort(coverage[eligible])[::-1]
+            eligible = eligible[order[: max_candidates // 2]]
+
+        k = int(min(embed_dim, min(B.shape) - 1))
+        if k >= 2:
+            _, _, vt = svds(B.asfptype(), k=k, random_state=0)
+            embeddings = vt.T  # (|Z|, k)
+        else:  # pathological tiny corpora
+            embeddings = np.asarray(B.todense()).T
+
+        feats, lfs, truths = [], [], []
+        cov_norm = coverage / max(coverage.max(), 1)
+        for pid in eligible:
+            for label in (1, -1):
+                true_acc = acc_pos[pid] if label == 1 else 1.0 - acc_pos[pid]
+                feats.append(
+                    np.concatenate([embeddings[pid], [cov_norm[pid], float(label)]])
+                )
+                lfs.append(
+                    PrimitiveLF(int(pid), self.dataset.primitive_names[int(pid)], label)
+                )
+                truths.append(true_acc > self.usefulness_threshold)
+        self.candidate_features = np.asarray(feats)
+        self.candidate_lfs: list[PrimitiveLF] = lfs
+        self.candidate_truths = np.asarray(truths, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # interaction loop
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        idx = self._choose_query()
+        if idx is None:
+            return
+        self.queried.append(idx)
+        self.answers.append(bool(self.candidate_truths[idx]))
+        self._retrain_pipeline()
+
+    def _choose_query(self) -> int | None:
+        unqueried = np.setdiff1d(
+            np.arange(len(self.candidate_lfs)), np.asarray(self.queried, dtype=int)
+        )
+        if unqueried.size == 0:
+            return None
+        answers = np.asarray(self.answers, dtype=bool)
+        warm = len(self.queried) < self.n_random_init or len(set(answers.tolist())) < 2
+        if warm:
+            return int(self.rng.choice(unqueried))
+        mean, std = self._ensemble_posterior(self.candidate_features[unqueried])
+        straddle = self.straddle_kappa * std - np.abs(mean - 0.5)
+        best = straddle.max()
+        ties = unqueried[np.flatnonzero(straddle >= best - 1e-12)]
+        return int(self.rng.choice(ties))
+
+    def _ensemble_posterior(self, feats: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        X = np.asarray(self.candidate_features)[np.asarray(self.queried, dtype=int)]
+        y = np.asarray(self.answers, dtype=float)
+        preds = []
+        for _ in range(self.ensemble_size):
+            boot = self.rng.integers(0, len(y), size=len(y))
+            if len(set(y[boot].tolist())) < 2:
+                continue
+            member = SoftLabelLogisticRegression(l2=1e-1, warm_start=False)
+            member.fit(X[boot], y[boot])
+            preds.append(member.predict_proba(feats))
+        if len(preds) < 2:
+            return np.full(len(feats), 0.5), np.full(len(feats), 0.5)
+        stacked = np.stack(preds, axis=0)
+        return stacked.mean(axis=0), stacked.std(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # downstream pipeline
+    # ------------------------------------------------------------------ #
+    def current_lf_set(self) -> list[PrimitiveLF]:
+        """Queried-useful LFs plus confidently-predicted-useful candidates."""
+        chosen = [self.candidate_lfs[i] for i, a in zip(self.queried, self.answers) if a]
+        answers = np.asarray(self.answers, dtype=bool)
+        if len(self.queried) >= self.n_random_init and len(set(answers.tolist())) == 2:
+            unqueried = np.setdiff1d(
+                np.arange(len(self.candidate_lfs)), np.asarray(self.queried, dtype=int)
+            )
+            if unqueried.size:
+                mean, _ = self._ensemble_posterior(self.candidate_features[unqueried])
+                confident = unqueried[mean >= 0.6]
+                chosen.extend(self.candidate_lfs[int(i)] for i in confident)
+        return chosen
+
+    def _retrain_pipeline(self) -> None:
+        lfs = self.current_lf_set()
+        if not lfs:
+            self._fitted = False
+            return
+        L = apply_lfs(lfs, self.dataset.train.B)
+        covered = coverage_mask(L)
+        if not covered.any():
+            self._fitted = False
+            return
+        label_model = MetalLabelModel(class_prior=self.dataset.label_prior)
+        soft = label_model.fit_predict_proba(L)
+        self.end_model.fit(self.dataset.train.X[np.flatnonzero(covered)], soft[covered])
+        self._fitted = True
+
+    def predict_test(self) -> np.ndarray:
+        if not self._fitted:
+            return self._prior_predictions(self.dataset.test.n)
+        return self.end_model.predict(self.dataset.test.X)

@@ -1,0 +1,223 @@
+"""Simulated users for LF development (paper Sec. 5.1 and Table 3).
+
+The oracle :class:`SimulatedUser` reproduces the paper's protocol: given a
+selected example, enumerate the candidate LFs ``{λ_{z,y_i} | z ∈ x_i}``
+using the ground-truth label ``y_i``, filter out LFs with (ground-truth)
+accuracy below a threshold ``t`` ("to resemble human expertise"), and
+sample one of the survivors.  When an external lexicon is available, the
+sample is biased toward lexicon-consistent primitives (footnote 1).
+
+:class:`NoisyUser` adds per-participant imperfections for the user-study
+reproduction: occasional mislabeling of the development example, imperfect
+accuracy judgment, and variable lexicon adherence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lf import PrimitiveLF
+from repro.core.selection import SessionState
+from repro.core.session import LFDeveloper
+from repro.data.dataset import FeaturizedDataset
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range
+
+
+class SimulatedUser(LFDeveloper):
+    """Oracle user with an accuracy threshold (paper Sec. 5.1).
+
+    Parameters
+    ----------
+    dataset:
+        The featurized dataset; the user reads ground-truth *train* labels
+        (that is the point of the oracle simulation).
+    accuracy_threshold:
+        Candidate LFs with true accuracy below ``t`` are filtered out
+        (``t = 0.5`` in the paper unless stated otherwise; Figure 8 sweeps
+        it).
+    use_lexicon:
+        Prefer primitives whose lexicon polarity matches the example label,
+        when any such candidate survives the filter.
+    min_coverage:
+        Candidates covering fewer than this many train examples are
+        dropped (a user would not consider a one-off token generalizable).
+    seed:
+        Private randomness for the sampling step.
+    """
+
+    def __init__(
+        self,
+        dataset: FeaturizedDataset,
+        accuracy_threshold: float = 0.5,
+        use_lexicon: bool = True,
+        min_coverage: int = 2,
+        seed=None,
+    ) -> None:
+        check_in_range("accuracy_threshold", accuracy_threshold, 0.0, 1.0)
+        if min_coverage < 1:
+            raise ValueError(f"min_coverage must be >= 1, got {min_coverage}")
+        self.dataset = dataset
+        self.accuracy_threshold = accuracy_threshold
+        self.use_lexicon = use_lexicon
+        self.min_coverage = min_coverage
+        self.rng = ensure_rng(seed)
+        # Ground-truth per-primitive accuracy of λ_{z,+1}, computed once.
+        B = dataset.train.B
+        y = dataset.train.y
+        self._coverage = np.asarray(B.sum(axis=0)).ravel()
+        pos = np.asarray(B.T @ (y == 1).astype(float)).ravel()
+        self._acc_pos = np.divide(
+            pos, self._coverage, out=np.full(len(pos), 0.5), where=self._coverage > 0
+        )
+        self._lexicon_polarity = self._build_lexicon_polarity()
+
+    def _build_lexicon_polarity(self) -> dict[int, int]:
+        polarity: dict[int, int] = {}
+        for token, label in self.dataset.lexicon.items():
+            try:
+                polarity[self.dataset.primitive_id(token)] = int(label)
+            except KeyError:
+                continue  # lexicon word absent from the primitive domain
+        return polarity
+
+    # ------------------------------------------------------------------ #
+    # LFDeveloper interface
+    # ------------------------------------------------------------------ #
+    def create_lf(self, dev_index: int, state: SessionState) -> PrimitiveLF | None:
+        label = self._determine_label(dev_index)
+        candidates = self._candidate_primitives(dev_index, label, state)
+        if candidates.size == 0:
+            return None
+        chosen = self._sample_primitive(candidates, label)
+        return state.family.make(int(chosen), int(label))
+
+    # ------------------------------------------------------------------ #
+    # the three user steps (Sec. 4.1)
+    # ------------------------------------------------------------------ #
+    def _determine_label(self, dev_index: int) -> int:
+        """Step 1: the oracle reads the true label."""
+        return int(self.dataset.train.y[dev_index])
+
+    def _candidate_primitives(
+        self, dev_index: int, label: int, state: SessionState
+    ) -> np.ndarray:
+        """Step 2: label-indicative, sufficiently-accurate, novel primitives."""
+        primitives = state.family.primitives_in(dev_index)
+        if primitives.size == 0:
+            return primitives
+        acc = self._true_accuracy(primitives, label)
+        keep = (acc >= self.accuracy_threshold) & (
+            self._coverage[primitives] >= self.min_coverage
+        )
+        candidates = primitives[keep]
+        existing = {(lf.primitive_id, lf.label) for lf in state.lfs}
+        if existing:
+            novel = np.array(
+                [(pid, label) not in existing for pid in candidates], dtype=bool
+            )
+            candidates = candidates[novel]
+        return candidates
+
+    def _sample_primitive(self, candidates: np.ndarray, label: int) -> int:
+        """Step 3: sample, preferring lexicon-consistent primitives."""
+        if self.use_lexicon and self._lexicon_polarity:
+            preferred = np.array(
+                [self._lexicon_polarity.get(int(pid)) == label for pid in candidates],
+                dtype=bool,
+            )
+            if preferred.any():
+                candidates = candidates[preferred]
+        return int(self.rng.choice(candidates))
+
+    def _true_accuracy(self, primitive_ids: np.ndarray, label: int) -> np.ndarray:
+        acc_pos = self._acc_pos[primitive_ids]
+        return acc_pos if label == 1 else 1.0 - acc_pos
+
+
+class NoisyUser(SimulatedUser):
+    """A user-study participant with configurable imperfections (Table 3).
+
+    Parameters
+    ----------
+    mislabel_rate:
+        Probability of misreading the development example's label (step 1).
+    judgment_noise:
+        Standard deviation of Gaussian noise added to the user's *perceived*
+        accuracy of each candidate LF before thresholding — imperfect
+        expertise rather than an exact oracle filter.
+    lexicon_adherence:
+        Probability the participant consults the lexicon at all.
+    """
+
+    def __init__(
+        self,
+        dataset: FeaturizedDataset,
+        accuracy_threshold: float = 0.5,
+        mislabel_rate: float = 0.05,
+        judgment_noise: float = 0.1,
+        lexicon_adherence: float = 0.8,
+        min_coverage: int = 2,
+        seed=None,
+    ) -> None:
+        super().__init__(
+            dataset,
+            accuracy_threshold=accuracy_threshold,
+            use_lexicon=True,
+            min_coverage=min_coverage,
+            seed=seed,
+        )
+        check_in_range("mislabel_rate", mislabel_rate, 0.0, 1.0)
+        check_in_range("lexicon_adherence", lexicon_adherence, 0.0, 1.0)
+        if judgment_noise < 0:
+            raise ValueError(f"judgment_noise must be >= 0, got {judgment_noise}")
+        self.mislabel_rate = mislabel_rate
+        self.judgment_noise = judgment_noise
+        self.lexicon_adherence = lexicon_adherence
+
+    def _determine_label(self, dev_index: int) -> int:
+        true_label = super()._determine_label(dev_index)
+        if self.rng.random() < self.mislabel_rate:
+            return -true_label
+        return true_label
+
+    def _true_accuracy(self, primitive_ids: np.ndarray, label: int) -> np.ndarray:
+        exact = super()._true_accuracy(primitive_ids, label)
+        noise = self.judgment_noise * self.rng.standard_normal(len(primitive_ids))
+        return np.clip(exact + noise, 0.0, 1.0)
+
+    def _sample_primitive(self, candidates: np.ndarray, label: int) -> int:
+        consult = self.rng.random() < self.lexicon_adherence
+        original = self.use_lexicon
+        self.use_lexicon = consult
+        try:
+            return super()._sample_primitive(candidates, label)
+        finally:
+            self.use_lexicon = original
+
+
+def sample_user_cohort(
+    dataset: FeaturizedDataset,
+    n_users: int,
+    seed=None,
+    threshold_range: tuple[float, float] = (0.45, 0.7),
+    mislabel_range: tuple[float, float] = (0.0, 0.1),
+    adherence_range: tuple[float, float] = (0.6, 0.95),
+) -> list[NoisyUser]:
+    """Draw a cohort of heterogeneous noisy users for the user-study bench."""
+    if n_users < 1:
+        raise ValueError(f"n_users must be >= 1, got {n_users}")
+    rng = ensure_rng(seed)
+    users = []
+    for _ in range(n_users):
+        users.append(
+            NoisyUser(
+                dataset,
+                accuracy_threshold=float(rng.uniform(*threshold_range)),
+                mislabel_rate=float(rng.uniform(*mislabel_range)),
+                judgment_noise=float(rng.uniform(0.05, 0.15)),
+                lexicon_adherence=float(rng.uniform(*adherence_range)),
+                seed=rng,
+            )
+        )
+    return users

@@ -1,0 +1,136 @@
+"""Classic active-learning baselines: Uncertainty Sampling and BALD.
+
+Both query one *hand label* per iteration (the supervision form of
+traditional active learning, contrasted with IDP's functional-level LFs in
+paper Sec. 3) and train the same logistic-regression end model on the
+labeled pool.
+
+* US [20] queries the example with maximal predictive entropy.
+* BALD [12, 17] queries the example with maximal mutual information
+  between the prediction and the model posterior, approximated with a
+  bootstrap committee (the standard non-deep surrogate for MC dropout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.session import InteractiveMethod
+from repro.data.dataset import FeaturizedDataset
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+
+
+class UncertaintySampling(InteractiveMethod):
+    """Entropy-based active learning with an oracle annotator.
+
+    Parameters
+    ----------
+    dataset:
+        Featurized dataset; ground-truth train labels answer the queries.
+    l2:
+        End-model regularization.
+    seed:
+        Query tie-breaking and the initial random phase.
+    """
+
+    name = "us"
+
+    def __init__(self, dataset: FeaturizedDataset, l2: float = 1e-2, seed=None) -> None:
+        super().__init__(dataset, seed)
+        self.model = SoftLabelLogisticRegression(l2=l2)
+        self.labeled_indices: list[int] = []
+        self.labels: list[int] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        idx = self._choose_query()
+        if idx is None:
+            return
+        self.labeled_indices.append(idx)
+        self.labels.append(int(self.dataset.train.y[idx]))
+        self._maybe_refit()
+
+    def _choose_query(self) -> int | None:
+        n = self.dataset.train.n
+        unlabeled = np.setdiff1d(np.arange(n), np.asarray(self.labeled_indices, dtype=int))
+        if unlabeled.size == 0:
+            return None
+        if not self._fitted:
+            return int(self.rng.choice(unlabeled))
+        scores = self._acquisition(self.dataset.train.X[unlabeled])
+        best = scores.max()
+        ties = unlabeled[np.flatnonzero(scores >= best - 1e-12)]
+        return int(self.rng.choice(ties))
+
+    def _acquisition(self, X) -> np.ndarray:
+        proba = np.clip(self.model.predict_proba(X), 1e-12, 1 - 1e-12)
+        return -(proba * np.log(proba) + (1 - proba) * np.log(1 - proba))
+
+    def _maybe_refit(self) -> None:
+        y = np.asarray(self.labels)
+        if len(set(y.tolist())) < 2:
+            return  # need both classes before a classifier is meaningful
+        X = self.dataset.train.X[np.asarray(self.labeled_indices, dtype=int)]
+        self.model.fit(X, (y + 1) / 2.0)
+        self._fitted = True
+
+    def predict_test(self) -> np.ndarray:
+        if not self._fitted:
+            return self._prior_predictions(self.dataset.test.n)
+        return self.model.predict(self.dataset.test.X)
+
+
+class BALD(UncertaintySampling):
+    """Bayesian Active Learning by Disagreement with a bootstrap committee.
+
+    The acquisition is the mutual information
+
+        I(y; θ | x) ≈ H( mean_k p_k(x) ) − mean_k H( p_k(x) ),
+
+    estimated over ``committee_size`` bootstrap-refitted models.  Falls back
+    to predictive entropy while the labeled pool is too small to resample.
+    """
+
+    name = "bald"
+
+    def __init__(
+        self,
+        dataset: FeaturizedDataset,
+        l2: float = 1e-2,
+        committee_size: int = 7,
+        seed=None,
+    ) -> None:
+        super().__init__(dataset, l2=l2, seed=seed)
+        if committee_size < 2:
+            raise ValueError(f"committee_size must be >= 2, got {committee_size}")
+        self.committee_size = committee_size
+        self._committee: list[SoftLabelLogisticRegression] = []
+
+    def _maybe_refit(self) -> None:
+        super()._maybe_refit()
+        if not self._fitted:
+            return
+        indices = np.asarray(self.labeled_indices, dtype=int)
+        y = np.asarray(self.labels, dtype=float)
+        self._committee = []
+        for _ in range(self.committee_size):
+            boot = self.rng.integers(0, len(indices), size=len(indices))
+            yb = y[boot]
+            if len(set(yb.tolist())) < 2:
+                continue
+            member = SoftLabelLogisticRegression(l2=self.model.l2, warm_start=False)
+            member.fit(self.dataset.train.X[indices[boot]], (yb + 1) / 2.0)
+            self._committee.append(member)
+
+    def _acquisition(self, X) -> np.ndarray:
+        if len(self._committee) < 2:
+            return super()._acquisition(X)
+        probas = np.stack([m.predict_proba(X) for m in self._committee], axis=0)
+        probas = np.clip(probas, 1e-12, 1 - 1e-12)
+        mean_p = probas.mean(axis=0)
+        entropy_of_mean = -(mean_p * np.log(mean_p) + (1 - mean_p) * np.log(1 - mean_p))
+        mean_entropy = (-(probas * np.log(probas) + (1 - probas) * np.log(1 - probas))).mean(
+            axis=0
+        )
+        return entropy_of_mean - mean_entropy

@@ -1,0 +1,36 @@
+"""Session persistence and replay.
+
+Records the interaction history of an IDP session — which development
+example was shown at each iteration and which LF the user created — as a
+JSON-serializable transcript, and replays a transcript through a (possibly
+different) learning pipeline.
+
+Replay is not a convenience: it is how the paper itself evaluates
+alternative pipelines on human-generated LFs ("We compute the result for
+ImplyLoss based on LFs created in the Snorkel user study", Sec. 5.2).  With
+a transcript on disk, any learning-stage ablation — label model, distance
+function, refinement percentile, contextualizer variant — can be re-scored
+on the exact same recorded LF sequence without re-running the user.
+"""
+
+from repro.io.session_store import (
+    ReplayUser,
+    ScriptedSelector,
+    SessionTranscript,
+    TranscriptEntry,
+    load_transcript,
+    replay_session,
+    save_transcript,
+    transcript_from_session,
+)
+
+__all__ = [
+    "TranscriptEntry",
+    "SessionTranscript",
+    "transcript_from_session",
+    "save_transcript",
+    "load_transcript",
+    "ReplayUser",
+    "ScriptedSelector",
+    "replay_session",
+]

@@ -1,0 +1,72 @@
+"""Label-model interface.
+
+A label model consumes the label matrix ``L`` and produces probabilistic
+training labels ``P(y_i = +1 | L_i)`` (paper Sec. 2, stage 2).  All models
+here are binary (Y = {-1, +1}) with abstains, matching the paper's scope.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.labelmodel.matrix import validate_label_matrix
+
+
+class LabelModel(ABC):
+    """Abstract denoiser/aggregator of weak-supervision votes.
+
+    Subclasses implement :meth:`fit` (estimate source parameters from ``L``)
+    and :meth:`predict_proba` (posterior ``P(y=+1|L_i)`` per example).  The
+    contextualized pipeline (paper Sec. 4.3) is deliberately *model-agnostic*:
+    any subclass can be dropped into Nemo.
+
+    Parameters
+    ----------
+    class_prior:
+        ``P(y = +1)``.  Fixed (not learned) unless a subclass says
+        otherwise, mirroring how class balance is supplied to MeTaL.
+    """
+
+    def __init__(self, class_prior: float = 0.5) -> None:
+        if not 0.0 < class_prior < 1.0:
+            raise ValueError(f"class_prior must be in (0, 1), got {class_prior}")
+        self.class_prior = class_prior
+
+    @abstractmethod
+    def fit(self, L: np.ndarray) -> "LabelModel":
+        """Estimate source parameters from the label matrix."""
+
+    @abstractmethod
+    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        """Return ``(n,)`` posterior probabilities ``P(y=+1 | L_i)``.
+
+        Uncovered examples receive the class prior.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared conveniences
+    # ------------------------------------------------------------------ #
+    def fit_predict_proba(self, L: np.ndarray) -> np.ndarray:
+        """``fit(L)`` then ``predict_proba(L)``."""
+        return self.fit(L).predict_proba(L)
+
+    def predict(self, L: np.ndarray) -> np.ndarray:
+        """Hard ±1 labels from the posterior (prior-side ties)."""
+        proba = self.predict_proba(L)
+        return np.where(proba >= 0.5, 1, -1).astype(int)
+
+    @staticmethod
+    def _validated(L: np.ndarray) -> np.ndarray:
+        return validate_label_matrix(L)
+
+
+def posterior_entropy(proba: np.ndarray) -> np.ndarray:
+    """Binary entropy (nats) of ``P(y=+1)`` — the ψ_uncertainty of Eq. 3.
+
+    Uncovered examples, which get the prior, naturally score high when the
+    prior is uninformative; fully-agreed examples score near zero.
+    """
+    p = np.clip(np.asarray(proba, dtype=float), 1e-12, 1 - 1e-12)
+    return -(p * np.log(p) + (1 - p) * np.log(1 - p))

@@ -1,0 +1,279 @@
+"""ImplyLoss-L: learning from rules generalizing labeled exemplars.
+
+Reimplements the model of Awasthi et al. [3] — the paper's
+"contextualized-learning-only" baseline — with a *linear* discriminative
+part (the ``-L`` suffix, Sec. 5.2 footnote 2).  Each rule (LF) ``j`` comes
+with the labeled exemplar it was created from; the model jointly trains
+
+* a classification network ``P_θ(y | x) = σ(w·x + b)`` and
+* a per-rule *rule network* ``g_φ(x, j) = σ(u_j·x + c_j)`` estimating the
+  probability that rule ``j`` applies **correctly** on ``x``,
+
+with three loss terms:
+
+1. cross-entropy of ``P_θ`` on the labeled exemplars;
+2. supervision for ``g``: each rule should fire correctly on its own
+   exemplar, and incorrectly on other rules' exemplars it covers with the
+   wrong label;
+3. the **implication loss** on unlabeled covered pairs ``(i, j)``:
+   ``-log(1 - g(x_i, j) · (1 - P_θ(y_j | x_i)))`` — "if the rule applies
+   correctly, the classifier should predict the rule's label".
+
+Optimization is full-batch Adam on manually-derived gradients (numpy only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.labelmodel.matrix import validate_label_matrix
+from repro.utils.rng import ensure_rng
+
+_EPS = 1e-9
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+class ImplyLossModel:
+    """Joint rule/classification model trained with implication loss.
+
+    Parameters
+    ----------
+    class_prior:
+        ``P(y = +1)`` used only for the uncovered/no-rule fallback.
+    gamma:
+        Weight of the implication loss (their γ; 0.1 in the reference
+        implementation's default range).
+    l2:
+        L2 regularization strength on both networks' weights.
+    learning_rate / n_epochs:
+        Adam step size and full-batch epoch count.
+    seed:
+        Controls weight initialization.
+
+    Notes
+    -----
+    :meth:`fit` takes the *train* features ``X``, label matrix ``L``, and
+    per-rule exemplar indices/labels (the LF lineage — this baseline also
+    consumes development context, which is why the paper files it under
+    "CL-only IDP").
+    """
+
+    def __init__(
+        self,
+        class_prior: float = 0.5,
+        gamma: float = 0.1,
+        l2: float = 1e-4,
+        learning_rate: float = 0.1,
+        n_epochs: int = 150,
+        seed=None,
+    ) -> None:
+        if not 0.0 < class_prior < 1.0:
+            raise ValueError(f"class_prior must be in (0, 1), got {class_prior}")
+        if gamma < 0:
+            raise ValueError(f"gamma must be >= 0, got {gamma}")
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {n_epochs}")
+        self.class_prior = class_prior
+        self.gamma = gamma
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.w_: np.ndarray | None = None
+        self.b_: float = 0.0
+        self.u_: np.ndarray | None = None
+        self.c_: np.ndarray | None = None
+        self.loss_history_: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        X,
+        L: np.ndarray,
+        exemplar_indices: np.ndarray,
+        exemplar_labels: np.ndarray,
+    ) -> "ImplyLossModel":
+        """Train on features ``X``, votes ``L``, and rule exemplars.
+
+        Parameters
+        ----------
+        X:
+            ``(n, d)`` train features (dense or CSR).
+        L:
+            ``(n, m)`` label matrix from the rules.
+        exemplar_indices:
+            ``(m,)`` row index into ``X`` of each rule's development example.
+        exemplar_labels:
+            ``(m,)`` ±1 label of each exemplar (the rule's output label in
+            the primitive-LF setting).
+        """
+        L = validate_label_matrix(L)
+        X = sp.csr_matrix(X) if not sp.issparse(X) else X.tocsr()
+        n, d = X.shape
+        m = L.shape[1]
+        if L.shape[0] != n:
+            raise ValueError(f"X has {n} rows but L has {L.shape[0]}")
+        exemplar_indices = np.asarray(exemplar_indices, dtype=int)
+        exemplar_labels = np.asarray(exemplar_labels, dtype=int)
+        if len(exemplar_indices) != m or len(exemplar_labels) != m:
+            raise ValueError("need exactly one exemplar (index, label) per rule")
+        rng = ensure_rng(self.seed)
+
+        rule_labels = self._rule_labels(L, exemplar_labels)
+        w = 0.01 * rng.standard_normal(d)
+        b = 0.0
+        u = 0.01 * rng.standard_normal((m, d)) if m else np.zeros((0, d))
+        c = np.zeros(m)
+
+        # Precompute structures reused every epoch.
+        exemplar_X = X[exemplar_indices] if m else sp.csr_matrix((0, d))
+        covered = L != 0
+        unlabeled_mask = np.ones(n, dtype=bool)
+        unlabeled_mask[exemplar_indices] = False
+        impl_cov = covered & unlabeled_mask[:, None]  # implication applies off-exemplar
+        cross = self._cross_exemplar_pairs(L, exemplar_indices, exemplar_labels, rule_labels)
+
+        adam = _AdamState([w, np.array([b]), u, c])
+        self.loss_history_ = []
+        for _ in range(self.n_epochs):
+            loss, grads = self._loss_and_grads(
+                X, L, w, b, u, c,
+                exemplar_X, exemplar_indices, exemplar_labels,
+                rule_labels, impl_cov, cross,
+            )
+            self.loss_history_.append(loss)
+            w, b_arr, u, c = adam.step(grads, self.learning_rate)
+            b = float(b_arr[0])
+        self.w_, self.b_, self.u_, self.c_ = w, b, u, c
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """``P(y = +1 | x)`` from the classification network."""
+        if self.w_ is None:
+            raise RuntimeError("ImplyLossModel.predict_proba called before fit")
+        scores = np.asarray(X @ self.w_).ravel() + self.b_
+        return _sigmoid(scores)
+
+    def predict(self, X) -> np.ndarray:
+        """Hard ±1 predictions."""
+        return np.where(self.predict_proba(X) >= 0.5, 1, -1).astype(int)
+
+    def rule_reliability(self, X) -> np.ndarray:
+        """``g_φ(x, j)`` for every (example, rule) pair, shape ``(n, m)``."""
+        if self.u_ is None:
+            raise RuntimeError("ImplyLossModel.rule_reliability called before fit")
+        return _sigmoid(np.asarray(X @ self.u_.T) + self.c_[None, :])
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _rule_labels(L: np.ndarray, exemplar_labels: np.ndarray) -> np.ndarray:
+        """The single label each (uni-polar) rule outputs when it fires."""
+        m = L.shape[1]
+        labels = np.zeros(m, dtype=int)
+        for j in range(m):
+            fired = L[:, j][L[:, j] != 0]
+            labels[j] = int(fired[0]) if fired.size else int(exemplar_labels[j])
+        return labels
+
+    @staticmethod
+    def _cross_exemplar_pairs(L, exemplar_indices, exemplar_labels, rule_labels):
+        """Pairs (exemplar row e_k, rule j) where j fires on e_k with a wrong label."""
+        pairs_rows: list[int] = []
+        pairs_rules: list[int] = []
+        m = L.shape[1]
+        for k in range(m):
+            e_k = exemplar_indices[k]
+            for j in range(m):
+                if j == k or L[e_k, j] == 0:
+                    continue
+                if rule_labels[j] != exemplar_labels[k]:
+                    pairs_rows.append(e_k)
+                    pairs_rules.append(j)
+        return np.asarray(pairs_rows, dtype=int), np.asarray(pairs_rules, dtype=int)
+
+    def _loss_and_grads(
+        self, X, L, w, b, u, c,
+        exemplar_X, exemplar_indices, exemplar_labels,
+        rule_labels, impl_cov, cross,
+    ):
+        n, d = X.shape
+        m = L.shape[1]
+        scores = np.asarray(X @ w).ravel() + b  # (n,)
+        grad_s = np.zeros(n)
+        grad_glogit = np.zeros((n, m))
+        loss = 0.0
+
+        # (1) exemplar cross-entropy for the classifier
+        if m:
+            s_e = scores[exemplar_indices]
+            margins = exemplar_labels * s_e
+            loss += float(np.sum(np.logaddexp(0.0, -margins)))
+            np.add.at(grad_s, exemplar_indices, -exemplar_labels * _sigmoid(-margins))
+
+        # (2) rule-network supervision
+        g_logits = np.asarray(X @ u.T) + c[None, :] if m else np.zeros((n, 0))
+        g = _sigmoid(g_logits)
+        if m:
+            own = (exemplar_indices, np.arange(m))
+            g_own = np.clip(g[own], _EPS, 1 - _EPS)
+            loss += float(-np.log(g_own).sum())
+            grad_glogit[own] += g_own - 1.0  # d(-log σ)/dlogit = σ - 1
+            rows, rules = cross
+            if rows.size:
+                g_cross = np.clip(g[rows, rules], _EPS, 1 - _EPS)
+                loss += float(-np.log(1.0 - g_cross).sum())
+                np.add.at(grad_glogit, (rows, rules), g_cross)
+
+        # (3) implication loss on unlabeled covered pairs
+        if m and impl_cov.any():
+            p_rule = _sigmoid(rule_labels[None, :] * scores[:, None])  # P(y_j | x_i)
+            denom = np.clip(1.0 - g * (1.0 - p_rule), _EPS, None)
+            pair_loss = -np.log(denom)
+            loss += self.gamma * float(pair_loss[impl_cov].sum())
+            dL_dg = np.where(impl_cov, (1.0 - p_rule) / denom, 0.0)
+            grad_glogit += self.gamma * dL_dg * g * (1.0 - g)
+            dL_dp = np.where(impl_cov, -g / denom, 0.0)
+            dp_ds = rule_labels[None, :] * p_rule * (1.0 - p_rule)
+            grad_s += self.gamma * (dL_dp * dp_ds).sum(axis=1)
+
+        # L2 regularization
+        loss += 0.5 * self.l2 * (float(w @ w) + float((u * u).sum()))
+        grad_w = np.asarray(X.T @ grad_s).ravel() + self.l2 * w
+        grad_b = np.array([grad_s.sum()])
+        grad_u = (grad_glogit.T @ X) + self.l2 * u if m else np.zeros_like(u)
+        grad_u = np.asarray(grad_u)
+        grad_c = grad_glogit.sum(axis=0)
+        return loss, [grad_w, grad_b, grad_u, grad_c]
+
+
+class _AdamState:
+    """Minimal Adam optimizer over a list of numpy parameter arrays."""
+
+    def __init__(self, params, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        self.params = [np.array(p, dtype=float) for p in params]
+        self.m = [np.zeros_like(p) for p in self.params]
+        self.v = [np.zeros_like(p) for p in self.params]
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self.t = 0
+
+    def step(self, grads, lr: float):
+        self.t += 1
+        out = []
+        for idx, (p, g) in enumerate(zip(self.params, grads)):
+            g = np.asarray(g, dtype=float)
+            self.m[idx] = self.beta1 * self.m[idx] + (1 - self.beta1) * g
+            self.v[idx] = self.beta2 * self.v[idx] + (1 - self.beta2) * g**2
+            m_hat = self.m[idx] / (1 - self.beta1**self.t)
+            v_hat = self.v[idx] / (1 - self.beta2**self.t)
+            p = p - lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            self.params[idx] = p
+            out.append(p)
+        return out

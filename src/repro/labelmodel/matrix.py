@@ -1,0 +1,140 @@
+"""Label-matrix construction and diagnostics.
+
+The label matrix ``L`` is the central artifact of data programming
+(paper Sec. 2): ``L[i, j] = λ_j(x_i) ∈ {-1, 0, +1}`` with 0 meaning
+*abstain*.  This module builds ``L`` from primitive-based LFs and computes
+the standard weak-supervision diagnostics (coverage, overlap, conflict) that
+both the literature and our selectors/tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+ABSTAIN = 0
+
+
+def apply_lfs(lfs, B: sp.csr_matrix) -> np.ndarray:
+    """Apply primitive-based LFs to a primitive-incidence matrix.
+
+    Parameters
+    ----------
+    lfs:
+        Iterable of objects with ``primitive_id`` (column of ``B``) and
+        ``label`` (±1) attributes — see
+        :class:`repro.core.lf.PrimitiveLF`.
+    B:
+        Binary ``(n, |Z|)`` incidence matrix.
+
+    Returns
+    -------
+    ``(n, m)`` int8 array with entries in {-1, 0, +1}.
+    """
+    lfs = list(lfs)
+    n = B.shape[0]
+    L = np.zeros((n, len(lfs)), dtype=np.int8)
+    for j, lf in enumerate(lfs):
+        col = np.asarray(B[:, lf.primitive_id].todense()).ravel()
+        L[:, j] = np.where(col > 0, lf.label, ABSTAIN).astype(np.int8)
+    return L
+
+
+def validate_label_matrix(L: np.ndarray) -> np.ndarray:
+    """Check that ``L`` is 2-D with entries in {-1, 0, +1}; return as int8."""
+    arr = np.asarray(L)
+    if arr.ndim != 2:
+        raise ValueError(f"label matrix must be 2-D, got shape {arr.shape}")
+    bad = set(np.unique(arr)) - {-1, 0, 1}
+    if bad:
+        raise ValueError(f"label matrix entries must be in {{-1,0,+1}}, found {sorted(bad)}")
+    return arr.astype(np.int8)
+
+
+def coverage_mask(L: np.ndarray) -> np.ndarray:
+    """Boolean ``(n,)`` mask of examples with at least one non-abstain vote."""
+    return (np.asarray(L) != ABSTAIN).any(axis=1)
+
+
+def coverage(L: np.ndarray) -> float:
+    """Fraction of examples covered by at least one LF."""
+    L = np.asarray(L)
+    if L.size == 0:
+        return 0.0
+    return float(coverage_mask(L).mean())
+
+
+def lf_coverages(L: np.ndarray) -> np.ndarray:
+    """Per-LF coverage fractions, shape ``(m,)``."""
+    L = np.asarray(L)
+    if L.shape[0] == 0:
+        return np.zeros(L.shape[1])
+    return (L != ABSTAIN).mean(axis=0)
+
+
+def lf_accuracies(L: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-LF empirical accuracy on covered examples (NaN if uncovered)."""
+    L = np.asarray(L)
+    y = np.asarray(y)
+    votes = L != ABSTAIN
+    correct = (L == y[:, None]) & votes
+    n_votes = votes.sum(axis=0).astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(n_votes > 0, correct.sum(axis=0) / n_votes, np.nan)
+
+
+def conflict_counts(L: np.ndarray) -> np.ndarray:
+    """Per-example number of conflicting vote *pairs*.
+
+    An example with ``p`` positive and ``q`` negative votes contributes
+    ``p * q`` conflicts; this is the quantity the Disagree selector
+    maximizes.
+    """
+    L = np.asarray(L)
+    pos = (L == 1).sum(axis=1)
+    neg = (L == -1).sum(axis=1)
+    return pos * neg
+
+
+def abstain_counts(L: np.ndarray) -> np.ndarray:
+    """Per-example number of abstaining LFs (the Abstain selector's score)."""
+    L = np.asarray(L)
+    return (L == ABSTAIN).sum(axis=1)
+
+
+def overlap_fraction(L: np.ndarray) -> float:
+    """Fraction of examples covered by two or more LFs."""
+    L = np.asarray(L)
+    if L.size == 0:
+        return 0.0
+    return float(((L != ABSTAIN).sum(axis=1) >= 2).mean())
+
+
+def conflict_fraction(L: np.ndarray) -> float:
+    """Fraction of examples with at least one conflicting vote pair."""
+    L = np.asarray(L)
+    if L.size == 0:
+        return 0.0
+    return float((conflict_counts(L) > 0).mean())
+
+
+def vote_tallies(L: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return per-example (positive, negative) vote counts."""
+    L = np.asarray(L)
+    return (L == 1).sum(axis=1), (L == -1).sum(axis=1)
+
+
+def summary(L: np.ndarray, y: np.ndarray | None = None) -> dict[str, float]:
+    """Aggregate diagnostics dict (coverage/overlap/conflict [+ accuracy])."""
+    stats = {
+        "n_examples": float(np.asarray(L).shape[0]),
+        "n_lfs": float(np.asarray(L).shape[1]),
+        "coverage": coverage(L),
+        "overlap": overlap_fraction(L),
+        "conflict": conflict_fraction(L),
+    }
+    if y is not None and np.asarray(L).shape[1] > 0:
+        accs = lf_accuracies(L, y)
+        if np.any(~np.isnan(accs)):
+            stats["mean_lf_accuracy"] = float(np.nanmean(accs))
+    return stats

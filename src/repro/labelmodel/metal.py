@@ -1,0 +1,342 @@
+"""MeTaL-style generative label model (the paper's default aggregator).
+
+The paper adopts MeTaL [30] as its underlying label model.  For binary,
+single-task weak supervision, MeTaL's model is a conditionally-independent
+generative model over the *full* outcome space of each LF — crucially
+including the abstain outcome:
+
+    P(L_i, y) = π_y · Π_j  P(λ_j = L_ij | y),     L_ij ∈ {-1, 0, +1}
+
+Each LF is parameterized by class-conditional fire propensities
+``ρ_j(y) = P(λ_j ≠ 0 | y)`` and a symmetric accuracy-given-fire
+``a_j = P(λ_j = y | λ_j ≠ 0, y)``.  Modelling the abstains is not a
+nicety: the common uni-polar keyword LFs (paper Sec. 4) fire almost
+exclusively on one class, and a model that ignores ``ρ`` (symmetric
+accuracies only) has a *degenerate global optimum* in which one polarity
+coalition is declared anti-perfect and every label collapses to a single
+class.  The propensity terms penalize that mode because it cannot explain
+why an LF's fire rate differs so strongly between the hypothesized classes.
+
+Fitting is by EM (default) or Adam on the marginal likelihood via Fisher's
+identity (``method="sgd"``, mirroring MeTaL's gradient training).  The
+posterior weights each vote by its estimated log-odds accuracy — "the more
+accurate an LF is, the larger the weight its vote receives" (Sec. 4.3) —
+plus the fire/abstain evidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.labelmodel.base import LabelModel
+
+_ACC_FLOOR = 0.05
+_ACC_CEIL = 0.95
+_RHO_FLOOR = 1e-4
+_RHO_CEIL = 1.0 - 1e-4
+_PRIOR_FLOOR = 0.02
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+def _logit(p):
+    p = np.clip(np.asarray(p, dtype=float), 1e-9, 1 - 1e-9)
+    return np.log(p / (1 - p))
+
+
+class MetalLabelModel(LabelModel):
+    """EM/SGD-trained abstain-aware generative model.
+
+    Parameters
+    ----------
+    class_prior:
+        Initial ``P(y = +1)``; refined from the majority-vote posterior
+        when ``learn_prior=True`` (default) — a fixed misspecified prior
+        acts as persistent one-sided evidence during fitting.
+    n_iter:
+        Maximum EM iterations (or Adam epochs for ``method="sgd"``).
+    tol:
+        Convergence threshold on the max parameter change.
+    init_accuracy:
+        Initial accuracy-given-fire; 0.7 encodes the standard
+        better-than-random prior belief about user-written LFs.
+    anchor:
+        Strength (in pseudo-votes) of the Beta anchor pulling each
+        accuracy toward ``init_accuracy`` — Snorkel-style regularization
+        that keeps thinly-covered LFs identifiable.
+    method:
+        ``"em"`` (closed-form M-steps, default) or ``"sgd"``.
+    learn_prior:
+        Whether to re-estimate the class balance during fitting (default).
+        Supplied priors are estimates (the paper's pipeline estimates class
+        balance from the validation split) and a *misspecified* fixed prior
+        acts as persistent one-sided evidence.  Note the interaction with
+        selection: under a one-sided LF set a learned prior drifts toward
+        that side — the SEU selector's warm-up phase exists precisely to
+        keep the LF set two-sided from the start.
+    abstain_evidence:
+        Whether :meth:`predict_proba` includes the *abstain* propensity
+        evidence.  Off by default, recovering MeTaL's posterior semantics:
+        abstains are non-evidence, so uncovered examples score exactly the
+        class prior — maximal uncertainty, the exploration signal Nemo's
+        selectors use.  The term also overcounts badly when correlated LFs
+        abstain together.  The *fire* evidence (propensity
+        log-ratio of the LFs that actually voted) is always included — it
+        is what lets a single minority-class vote overcome a skewed prior.
+        Fitting always uses the full propensity-aware model (that is what
+        keeps EM identifiable for uni-polar LFs).
+
+    Attributes
+    ----------
+    accuracies_:
+        ``(m,)`` fitted accuracies-given-fire.
+    propensities_:
+        ``(m, 2)`` fire rates per class, columns ordered ``(y=-1, y=+1)``.
+    prior_:
+        Final ``P(y = +1)``.
+    converged_:
+        Whether fitting reached ``tol`` before the iteration cap.
+    """
+
+    def __init__(
+        self,
+        class_prior: float = 0.5,
+        n_iter: int = 50,
+        tol: float = 1e-4,
+        init_accuracy: float = 0.7,
+        anchor: float = 2.0,
+        method: str = "em",
+        learning_rate: float = 0.1,
+        learn_prior: bool = True,
+        abstain_evidence: bool = False,
+    ) -> None:
+        super().__init__(class_prior)
+        if n_iter < 1:
+            raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        if not _ACC_FLOOR < init_accuracy < _ACC_CEIL:
+            raise ValueError(
+                f"init_accuracy must be in ({_ACC_FLOOR}, {_ACC_CEIL}), got {init_accuracy}"
+            )
+        if anchor < 0:
+            raise ValueError(f"anchor must be >= 0, got {anchor}")
+        if method not in ("em", "sgd"):
+            raise ValueError(f"method must be 'em' or 'sgd', got {method!r}")
+        self.n_iter = n_iter
+        self.tol = tol
+        self.init_accuracy = init_accuracy
+        self.anchor = anchor
+        self.method = method
+        self.learning_rate = learning_rate
+        self.learn_prior = learn_prior
+        self.abstain_evidence = abstain_evidence
+        self.accuracies_: np.ndarray | None = None
+        self.propensities_: np.ndarray | None = None
+        self.prior_: float = class_prior
+        self.converged_: bool = False
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, L: np.ndarray) -> "MetalLabelModel":
+        L = self._validated(L)
+        m = L.shape[1]
+        self.prior_ = self.class_prior
+        if m == 0 or L.shape[0] == 0:
+            self.accuracies_ = np.zeros(0)
+            self.propensities_ = np.zeros((0, 2))
+            self.converged_ = True
+            return self
+        q = self._majority_posterior(L)
+        if self.learn_prior:
+            covered = (L != 0).any(axis=1)
+            if covered.any():
+                self.prior_ = float(
+                    np.clip(q[covered].mean(), _PRIOR_FLOOR, 1 - _PRIOR_FLOOR)
+                )
+        acc, rho = self._m_step(L, q)
+        if self.method == "em":
+            self._fit_em(L, acc, rho)
+        else:
+            self._fit_sgd(L, acc, rho)
+        return self
+
+    def _fit_em(self, L: np.ndarray, acc: np.ndarray, rho: np.ndarray) -> None:
+        self.converged_ = False
+        for _ in range(self.n_iter):
+            q = self._posterior_params(L, acc, rho)
+            new_acc, new_rho = self._m_step(L, q)
+            delta = max(
+                float(np.max(np.abs(new_acc - acc))),
+                float(np.max(np.abs(new_rho - rho))),
+            )
+            acc, rho = new_acc, new_rho
+            if delta < self.tol:
+                self.converged_ = True
+                break
+        self._finalize(acc, rho)
+
+    def _fit_sgd(self, L: np.ndarray, acc: np.ndarray, rho: np.ndarray) -> None:
+        """Adam on the marginal log-likelihood (gradients via Fisher's identity).
+
+        The expected-complete-data gradient at the current posterior equals
+        the marginal-likelihood gradient, so each step computes the same
+        sufficient statistics as EM but takes a damped gradient step in
+        logit space instead of the closed-form jump.
+        """
+        theta = np.concatenate([_logit(acc), _logit(rho[:, 0]), _logit(rho[:, 1])])
+        adam_m = np.zeros_like(theta)
+        adam_v = np.zeros_like(theta)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        m = L.shape[1]
+        self.converged_ = False
+        for t in range(1, self.n_iter + 1):
+            acc = _sigmoid(theta[:m])
+            rho = np.stack([_sigmoid(theta[m : 2 * m]), _sigmoid(theta[2 * m :])], axis=1)
+            q = self._posterior_params(L, acc, rho)
+            stats = self._sufficient_stats(L, q)
+            # d ll / d logit(a) = (expected_correct - a * expected_fires) etc.
+            grad_acc = stats["correct"] - acc * stats["fires"]
+            grad_acc += self.anchor * (self.init_accuracy - acc)  # Beta anchor
+            grad_rho_neg = stats["fires_neg"] - rho[:, 0] * stats["mass_neg"]
+            grad_rho_pos = stats["fires_pos"] - rho[:, 1] * stats["mass_pos"]
+            grad = np.concatenate([grad_acc, grad_rho_neg, grad_rho_pos])
+            adam_m = beta1 * adam_m + (1 - beta1) * grad
+            adam_v = beta2 * adam_v + (1 - beta2) * grad**2
+            step = self.learning_rate * (adam_m / (1 - beta1**t)) / (
+                np.sqrt(adam_v / (1 - beta2**t)) + eps
+            )
+            new_theta = theta + step
+            if float(np.max(np.abs(new_theta - theta))) < self.tol:
+                theta = new_theta
+                self.converged_ = True
+                break
+            theta = new_theta
+        acc = np.clip(_sigmoid(theta[:m]), _ACC_FLOOR, _ACC_CEIL)
+        rho = np.clip(
+            np.stack([_sigmoid(theta[m : 2 * m]), _sigmoid(theta[2 * m :])], axis=1),
+            _RHO_FLOOR,
+            _RHO_CEIL,
+        )
+        self._finalize(acc, rho)
+
+    def _finalize(self, acc: np.ndarray, rho: np.ndarray) -> None:
+        # Better-than-random guard: resolve the global label-swap mode.
+        if acc.size and float(np.mean(acc)) < 0.5:
+            acc = 1.0 - acc
+            rho = rho[:, ::-1].copy()
+            self.prior_ = 1.0 - self.prior_
+        self.accuracies_ = acc
+        self.propensities_ = rho
+
+    # ------------------------------------------------------------------ #
+    # EM pieces
+    # ------------------------------------------------------------------ #
+    def _sufficient_stats(self, L: np.ndarray, q: np.ndarray) -> dict[str, np.ndarray]:
+        fires = (L != 0).astype(float)
+        correct = ((L == 1) * q[:, None] + (L == -1) * (1 - q)[:, None]).sum(axis=0)
+        return {
+            "correct": correct,
+            "fires": fires.sum(axis=0),
+            "fires_pos": (fires * q[:, None]).sum(axis=0),
+            "fires_neg": (fires * (1 - q)[:, None]).sum(axis=0),
+            "mass_pos": np.full(L.shape[1], q.sum()),
+            "mass_neg": np.full(L.shape[1], (1 - q).sum()),
+        }
+
+    def _m_step(self, L: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        stats = self._sufficient_stats(L, q)
+        anchor = self.anchor
+        acc = (stats["correct"] + anchor * self.init_accuracy) / (stats["fires"] + anchor)
+        acc = np.clip(acc, _ACC_FLOOR, _ACC_CEIL)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rho_pos = np.where(
+                stats["mass_pos"] > 0, stats["fires_pos"] / stats["mass_pos"], 0.5
+            )
+            rho_neg = np.where(
+                stats["mass_neg"] > 0, stats["fires_neg"] / stats["mass_neg"], 0.5
+            )
+        rho = np.clip(np.stack([rho_neg, rho_pos], axis=1), _RHO_FLOOR, _RHO_CEIL)
+        return acc, rho
+
+    def _majority_posterior(self, L: np.ndarray) -> np.ndarray:
+        """Symmetrically-smoothed majority-vote posterior seeding EM."""
+        pos = (L == 1).sum(axis=1).astype(float)
+        neg = (L == -1).sum(axis=1).astype(float)
+        total = pos + neg
+        q = np.full(L.shape[0], 0.5)
+        covered = total > 0
+        q[covered] = (pos[covered] + 0.5) / (total[covered] + 1.0)
+        return q
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        if self.accuracies_ is None or self.propensities_ is None:
+            raise RuntimeError("MetalLabelModel.predict_proba called before fit")
+        L = self._validated(L)
+        if L.shape[1] != len(self.accuracies_):
+            raise ValueError(
+                f"label matrix has {L.shape[1]} LFs but model was fitted with "
+                f"{len(self.accuracies_)}"
+            )
+        if L.shape[1] == 0:
+            return np.full(L.shape[0], self.prior_)
+        return self._posterior_params(
+            L,
+            self.accuracies_,
+            self.propensities_,
+            with_abstain=self.abstain_evidence,
+        )
+
+    def _posterior_params(
+        self,
+        L: np.ndarray,
+        acc: np.ndarray,
+        rho: np.ndarray,
+        with_abstain: bool = True,
+    ) -> np.ndarray:
+        """``P(y=+1 | L_i)`` under parameters ``(acc, rho, prior_)``.
+
+        Log-odds decompose into a vote term (accuracy log-odds per vote), a
+        fire-evidence term (propensity log-ratio of firing LFs), and — when
+        ``with_abstain`` — an abstain-evidence term.  The E-step always uses
+        the full model; inference drops the abstain term by default (see the
+        class docstring).
+        """
+        Lf = L.astype(float)
+        fires = (L != 0).astype(float)
+        vote_weight = np.log(acc / (1 - acc))
+        rho_neg = rho[:, 0]
+        rho_pos = rho[:, 1]
+        fire_evidence = np.log(rho_pos / rho_neg)
+        scores = _logit(self.prior_) + Lf @ vote_weight + fires @ fire_evidence
+        if with_abstain:
+            abstain_evidence = np.log((1 - rho_pos) / (1 - rho_neg))
+            scores = scores + (1 - fires) @ abstain_evidence
+        return _sigmoid(scores)
+
+    def _marginal_ll(self, L: np.ndarray) -> float:
+        """Marginal log-likelihood under the fitted parameters (diagnostics)."""
+        if self.accuracies_ is None or self.propensities_ is None:
+            raise RuntimeError("model is not fitted")
+        acc = self.accuracies_
+        rho = self.propensities_
+        fires = L != 0
+        log_p = np.zeros((L.shape[0], 2))
+        for c_idx, y in enumerate((-1, 1)):
+            r = rho[:, c_idx]
+            p_vote_correct = r * acc
+            p_vote_wrong = r * (1 - acc)
+            p_correct_vote = np.where(np.sign(y) == 1, L == 1, L == -1)
+            p_wrong_vote = np.where(np.sign(y) == 1, L == -1, L == 1)
+            log_p[:, c_idx] = (
+                p_correct_vote @ np.log(p_vote_correct)
+                + p_wrong_vote @ np.log(p_vote_wrong)
+                + (~fires) @ np.log(1 - r)
+            )
+        log_p[:, 0] += np.log(1 - self.prior_)
+        log_p[:, 1] += np.log(self.prior_)
+        return float(np.logaddexp(log_p[:, 0], log_p[:, 1]).sum())

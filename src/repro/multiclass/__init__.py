@@ -1,0 +1,102 @@
+"""Multi-class generalization of the IDP pipeline (paper extension).
+
+The paper restricts its exposition to binary classification "for ease of
+exposition" (Sec. 3) while stating the IDP formalism for an arbitrary label
+space ``Y``.  This subpackage carries every component of the binary pipeline
+to ``K`` classes:
+
+* primitive LFs emit a class in ``{0, ..., K-1}`` (:mod:`repro.multiclass.lf`),
+* the label matrix uses the multiclass weak-supervision convention
+  ``ABSTAIN = -1`` (:mod:`repro.multiclass.matrix`),
+* label models generalize to per-class vote counts (majority vote) and full
+  confusion matrices (Dawid–Skene EM) —
+  :mod:`repro.multiclass.majority`, :mod:`repro.multiclass.dawid_skene`,
+* the SEU selector's user model, utility function, and vectorized expected
+  utility generalize class-by-class
+  (:mod:`repro.multiclass.user_model`, :mod:`repro.multiclass.utility`,
+  :mod:`repro.multiclass.seu`),
+* the contextualizer (Eq. 4 is label-space agnostic) gets a multiclass
+  refinement wrapper (:mod:`repro.multiclass.contextualizer`), and
+* the session engine drives the full loop against a softmax end model
+  (:mod:`repro.multiclass.session`).
+
+Note the abstain conventions deliberately differ between packages: the
+binary pipeline uses the paper's ``{-1, 0, +1}`` vote encoding (0 abstains),
+whereas here classes occupy ``0..K-1`` and ``-1`` abstains — the standard
+encoding of the multiclass weak-supervision literature.
+"""
+
+from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+from repro.multiclass.data import (
+    MCCorpusSpec,
+    MCClusterSpec,
+    MCCorpusGenerator,
+    MCFeaturizedDataset,
+    featurize_mc_corpus,
+    make_topics_dataset,
+)
+from repro.multiclass.dawid_skene import MCDawidSkeneModel
+from repro.multiclass.lf import MultiClassLF, MultiClassLFFamily
+from repro.multiclass.majority import MCMajorityVote
+from repro.multiclass.base import MultiClassLabelModel, posterior_entropy_mc
+from repro.multiclass.matrix import MC_ABSTAIN
+from repro.multiclass.seu import MCSEUSelector
+from repro.multiclass.selection import (
+    MCAbstainSelector,
+    MCDevDataSelector,
+    MCDisagreeSelector,
+    MCRandomSelector,
+    MCSessionState,
+    MCUncertaintySelector,
+)
+from repro.multiclass.session import MCLFDeveloper, MultiClassSession
+from repro.multiclass.simulated_user import MCNoisyUser, MCSimulatedUser
+from repro.multiclass.user_model import (
+    MCAccuracyWeightedUserModel,
+    MCThresholdedUserModel,
+    MCUniformUserModel,
+    MCUserModel,
+)
+from repro.multiclass.utility import (
+    MCFullUtility,
+    MCLFUtility,
+    MCNoCorrectnessUtility,
+    MCNoInformativenessUtility,
+)
+
+__all__ = [
+    "MC_ABSTAIN",
+    "MCAbstainSelector",
+    "MCAccuracyWeightedUserModel",
+    "MCClusterSpec",
+    "MCDisagreeSelector",
+    "MCNoisyUser",
+    "MCThresholdedUserModel",
+    "MCUncertaintySelector",
+    "MCContextualizer",
+    "MCCorpusGenerator",
+    "MCCorpusSpec",
+    "MCDawidSkeneModel",
+    "MCDevDataSelector",
+    "MCFeaturizedDataset",
+    "MCFullUtility",
+    "MCLFDeveloper",
+    "MCLFUtility",
+    "MCMajorityVote",
+    "MCNoCorrectnessUtility",
+    "MCNoInformativenessUtility",
+    "MCPercentileTuner",
+    "MCRandomSelector",
+    "MCSEUSelector",
+    "MCSessionState",
+    "MCSimulatedUser",
+    "MCUniformUserModel",
+    "MCUserModel",
+    "MultiClassLF",
+    "MultiClassLFFamily",
+    "MultiClassLabelModel",
+    "MultiClassSession",
+    "featurize_mc_corpus",
+    "make_topics_dataset",
+    "posterior_entropy_mc",
+]

@@ -1,0 +1,253 @@
+"""Multiclass Dawid–Skene EM with abstain-aware sources.
+
+The classic Dawid–Skene model gives every source a full ``K × K`` confusion
+matrix; we extend it with class-conditional *fire propensities* exactly as
+the binary MeTaL stand-in does (:mod:`repro.labelmodel.metal`), and for the
+same reason: uni-polar keyword LFs fire almost exclusively on one class,
+and without the propensity terms EM has a degenerate optimum that collapses
+all labels onto a single class.  The generative model per LF ``j``:
+
+    P(λ_j = l | y = k)        = ρ_j(k) · Θ_j[k, l]        (l a class)
+    P(λ_j = abstain | y = k)  = 1 - ρ_j(k)
+
+with ``Θ_j`` a row-stochastic confusion matrix over emitted classes.  As in
+the binary model, the posterior used for prediction keeps the vote and
+fire evidence but drops abstain evidence by default, so uncovered examples
+score exactly the class priors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multiclass.base import MultiClassLabelModel
+from repro.multiclass.matrix import MC_ABSTAIN
+
+_THETA_FLOOR = 1e-3
+_RHO_FLOOR = 1e-4
+_RHO_CEIL = 1.0 - 1e-4
+_PRIOR_FLOOR = 0.01
+
+
+class MCDawidSkeneModel(MultiClassLabelModel):
+    """Confusion-matrix EM over abstaining multiclass sources.
+
+    Parameters
+    ----------
+    n_classes:
+        The number of classes ``K``.
+    class_priors:
+        Initial ``(K,)`` prior; refined during fitting when
+        ``learn_priors=True``.
+    n_iter / tol:
+        EM iteration cap and convergence threshold (max parameter change).
+    init_accuracy:
+        Initial (and anchor) probability mass a source puts on the *correct*
+        class; the remaining mass spreads uniformly over the other classes.
+    anchor:
+        Pseudo-vote strength of the Dirichlet anchor pulling each confusion
+        row toward the ``init_accuracy`` pattern — keeps thinly-covered LFs
+        identifiable, as in the binary model.
+    learn_priors:
+        Re-estimate the class balance from the posterior during fitting.
+    abstain_evidence:
+        Include the abstain propensity evidence at *prediction* time
+        (fitting always uses the full model).  Off by default so uncovered
+        examples keep maximal uncertainty — the exploration signal the
+        selectors need.
+
+    Attributes
+    ----------
+    confusions_:
+        ``(m, K, K)`` fitted confusion matrices ``Θ_j[k, l]``.
+    propensities_:
+        ``(m, K)`` fire rates ``ρ_j(k)``.
+    priors_:
+        Final ``(K,)`` class priors.
+    converged_:
+        Whether EM reached ``tol`` before the iteration cap.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        class_priors: np.ndarray | None = None,
+        n_iter: int = 50,
+        tol: float = 1e-4,
+        init_accuracy: float = 0.7,
+        anchor: float = 2.0,
+        learn_priors: bool = True,
+        abstain_evidence: bool = False,
+    ) -> None:
+        super().__init__(n_classes, class_priors)
+        if n_iter < 1:
+            raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        if not 1.0 / n_classes < init_accuracy < 1.0:
+            raise ValueError(
+                f"init_accuracy must be in (1/K, 1) = ({1.0 / n_classes:.3f}, 1), "
+                f"got {init_accuracy}"
+            )
+        if anchor < 0:
+            raise ValueError(f"anchor must be >= 0, got {anchor}")
+        self.n_iter = n_iter
+        self.tol = tol
+        self.init_accuracy = init_accuracy
+        self.anchor = anchor
+        self.learn_priors = learn_priors
+        self.abstain_evidence = abstain_evidence
+        self.confusions_: np.ndarray | None = None
+        self.propensities_: np.ndarray | None = None
+        self.priors_: np.ndarray = self.class_priors.copy()
+        self.converged_: bool = False
+
+    # ------------------------------------------------------------------ #
+    # fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, L: np.ndarray) -> "MCDawidSkeneModel":
+        L = self._validated(L)
+        m = L.shape[1]
+        K = self.n_classes
+        self.priors_ = self.class_priors.copy()
+        if m == 0 or L.shape[0] == 0:
+            self.confusions_ = np.zeros((0, K, K))
+            self.propensities_ = np.zeros((0, K))
+            self.converged_ = True
+            return self
+        Q = self._majority_posterior(L)
+        if self.learn_priors:
+            self._update_priors(L, Q)
+        theta, rho = self._m_step(L, Q)
+        self.converged_ = False
+        for _ in range(self.n_iter):
+            Q = self._posterior_params(L, theta, rho, with_abstain=True)
+            if self.learn_priors:
+                self._update_priors(L, Q)
+            new_theta, new_rho = self._m_step(L, Q)
+            delta = max(
+                float(np.max(np.abs(new_theta - theta))),
+                float(np.max(np.abs(new_rho - rho))),
+            )
+            theta, rho = new_theta, new_rho
+            if delta < self.tol:
+                self.converged_ = True
+                break
+        self.confusions_ = theta
+        self.propensities_ = rho
+        return self
+
+    def _update_priors(self, L: np.ndarray, Q: np.ndarray) -> None:
+        covered = (L != MC_ABSTAIN).any(axis=1)
+        if covered.any():
+            priors = Q[covered].mean(axis=0)
+            priors = np.clip(priors, _PRIOR_FLOOR, None)
+            self.priors_ = priors / priors.sum()
+
+    def _majority_posterior(self, L: np.ndarray) -> np.ndarray:
+        """Smoothed vote-share posterior that seeds EM."""
+        K = self.n_classes
+        counts = np.zeros((L.shape[0], K))
+        for k in range(K):
+            counts[:, k] = (L == k).sum(axis=1)
+        smoothed = counts + self.class_priors[None, :]
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    def _m_step(self, L: np.ndarray, Q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Closed-form confusion/propensity updates with Dirichlet anchors."""
+        n, m = L.shape
+        K = self.n_classes
+        # Anchor pattern: init_accuracy on the diagonal, rest uniform.
+        off_diag = (1.0 - self.init_accuracy) / (K - 1)
+        anchor_row = np.full((K, K), off_diag)
+        np.fill_diagonal(anchor_row, self.init_accuracy)
+
+        theta = np.empty((m, K, K))
+        rho = np.empty((m, K))
+        class_mass = Q.sum(axis=0)  # (K,)
+        for j in range(m):
+            votes_j = L[:, j]
+            fired = votes_j != MC_ABSTAIN
+            # counts[k, l] = Σ_{i: λ_j(x_i) = l} Q[i, k]
+            counts = np.zeros((K, K))
+            for l in range(K):
+                voted_l = votes_j == l
+                if voted_l.any():
+                    counts[:, l] = Q[voted_l].sum(axis=0)
+            counts += self.anchor * anchor_row
+            theta[j] = np.clip(
+                counts / counts.sum(axis=1, keepdims=True), _THETA_FLOOR, 1.0
+            )
+            theta[j] /= theta[j].sum(axis=1, keepdims=True)
+            fire_mass = Q[fired].sum(axis=0) if fired.any() else np.zeros(K)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                rho[j] = np.where(class_mass > 0, fire_mass / class_mass, 0.5)
+        rho = np.clip(rho, _RHO_FLOOR, _RHO_CEIL)
+        return theta, rho
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        if self.confusions_ is None or self.propensities_ is None:
+            raise RuntimeError("MCDawidSkeneModel.predict_proba called before fit")
+        L = self._validated(L)
+        if L.shape[1] != self.confusions_.shape[0]:
+            raise ValueError(
+                f"label matrix has {L.shape[1]} LFs but model was fitted with "
+                f"{self.confusions_.shape[0]}"
+            )
+        if L.shape[1] == 0:
+            return np.tile(self.priors_, (L.shape[0], 1))
+        return self._posterior_params(
+            L, self.confusions_, self.propensities_, with_abstain=self.abstain_evidence
+        )
+
+    def _posterior_params(
+        self,
+        L: np.ndarray,
+        theta: np.ndarray,
+        rho: np.ndarray,
+        with_abstain: bool,
+    ) -> np.ndarray:
+        """``P(y = k | L_i)`` under parameters ``(theta, rho, priors_)``."""
+        n, m = L.shape
+        K = self.n_classes
+        log_post = np.tile(np.log(self.priors_)[None, :], (n, 1))
+        log_theta = np.log(np.clip(theta, _THETA_FLOOR, 1.0))  # (m, K, K)
+        log_rho = np.log(rho)  # (m, K)
+        log_not_rho = np.log1p(-rho)
+        for j in range(m):
+            votes_j = L[:, j]
+            fired = votes_j != MC_ABSTAIN
+            if fired.any():
+                emitted = votes_j[fired].astype(int)
+                # evidence for class k: log ρ_j(k) + log Θ_j[k, emitted]
+                log_post[fired] += log_rho[j][None, :] + log_theta[j][:, emitted].T
+            if with_abstain and (~fired).any():
+                log_post[~fired] += log_not_rho[j][None, :]
+        log_post -= log_post.max(axis=1, keepdims=True)
+        post = np.exp(log_post)
+        return post / post.sum(axis=1, keepdims=True)
+
+    def marginal_ll(self, L: np.ndarray) -> float:
+        """Marginal log-likelihood under the fitted parameters (diagnostics)."""
+        if self.confusions_ is None or self.propensities_ is None:
+            raise RuntimeError("model is not fitted")
+        L = self._validated(L)
+        n, m = L.shape
+        K = self.n_classes
+        log_joint = np.tile(np.log(self.priors_)[None, :], (n, 1))
+        log_theta = np.log(np.clip(self.confusions_, _THETA_FLOOR, 1.0))
+        log_rho = np.log(self.propensities_)
+        log_not_rho = np.log1p(-self.propensities_)
+        for j in range(m):
+            votes_j = L[:, j]
+            fired = votes_j != MC_ABSTAIN
+            if fired.any():
+                emitted = votes_j[fired].astype(int)
+                log_joint[fired] += log_rho[j][None, :] + log_theta[j][:, emitted].T
+            if (~fired).any():
+                log_joint[~fired] += log_not_rho[j][None, :]
+        max_row = log_joint.max(axis=1, keepdims=True)
+        return float(
+            (max_row.ravel() + np.log(np.exp(log_joint - max_row).sum(axis=1))).sum()
+        )

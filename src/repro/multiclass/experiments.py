@@ -1,0 +1,129 @@
+"""Named multiclass method registry and evaluation protocol.
+
+The K-class mirror of :mod:`repro.experiments.runners` /
+:mod:`repro.experiments.protocol`: resolve a method name to a ready-to-run
+:class:`~repro.multiclass.session.MultiClassSession` factory, and evaluate
+it over seeds with the paper's learning-curve protocol.  The binary
+protocol's :class:`~repro.experiments.protocol.LearningCurve` /
+``RunResult`` containers are reused as-is — they only consume
+``step()``/``test_score()``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.protocol import RunResult, run_learning_curve
+from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+from repro.multiclass.data import MCFeaturizedDataset
+from repro.multiclass.dawid_skene import MCDawidSkeneModel
+from repro.multiclass.majority import MCMajorityVote
+from repro.multiclass.selection import (
+    MCAbstainSelector,
+    MCDevDataSelector,
+    MCDisagreeSelector,
+    MCRandomSelector,
+    MCUncertaintySelector,
+)
+from repro.multiclass.seu import MCSEUSelector
+from repro.multiclass.session import MultiClassSession
+from repro.multiclass.simulated_user import MCSimulatedUser
+from repro.utils.rng import stable_hash_seed
+
+#: Default simulated-user accuracy threshold (paper Sec. 5.1: t = 0.5).
+DEFAULT_MC_USER_THRESHOLD = 0.5
+
+_SELECTORS: dict[str, Callable[[], MCDevDataSelector]] = {
+    "seu": MCSEUSelector,
+    "random": MCRandomSelector,
+    "abstain": MCAbstainSelector,
+    "disagree": MCDisagreeSelector,
+    "uncertainty": MCUncertaintySelector,
+}
+
+#: (selector, contextualize, label_model) per registry name.
+_MC_METHODS: dict[str, tuple[str, bool, str]] = {
+    "nemo-mc": ("seu", True, "dawid-skene"),
+    "seu-mc": ("seu", False, "dawid-skene"),
+    "ctx-mc": ("random", True, "dawid-skene"),
+    "snorkel-mc": ("random", False, "dawid-skene"),
+    "abstain-mc": ("abstain", False, "dawid-skene"),
+    "disagree-mc": ("disagree", False, "dawid-skene"),
+    "uncertainty-mc": ("uncertainty", False, "dawid-skene"),
+    "snorkel-mc-majority": ("random", False, "majority"),
+}
+
+MC_METHOD_NAMES = tuple(_MC_METHODS)
+
+
+def make_mc_label_model_factory(name: str, dataset: MCFeaturizedDataset):
+    """A zero-argument factory for a named multiclass label model."""
+    K = dataset.n_classes
+    priors = dataset.class_priors
+    if name == "dawid-skene":
+        return lambda: MCDawidSkeneModel(n_classes=K, class_priors=priors)
+    if name == "majority":
+        return lambda: MCMajorityVote(n_classes=K, class_priors=priors)
+    raise ValueError(f"unknown multiclass label model {name!r}")
+
+
+def make_mc_method(
+    name: str, user_threshold: float = DEFAULT_MC_USER_THRESHOLD
+) -> Callable[[MCFeaturizedDataset, int], MultiClassSession]:
+    """Resolve a registry name to a ``(dataset, seed) -> session`` factory.
+
+    Recognized names: ``nemo-mc`` (SEU + contextualized), ``seu-mc``,
+    ``ctx-mc``, ``snorkel-mc``, ``abstain-mc``, ``disagree-mc``,
+    ``uncertainty-mc``, and ``snorkel-mc-majority`` (majority-vote
+    aggregation).
+    """
+    try:
+        selector_name, contextualize, label_model = _MC_METHODS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown multiclass method {name!r}; choose from {sorted(_MC_METHODS)}"
+        ) from None
+
+    def factory(dataset: MCFeaturizedDataset, seed) -> MultiClassSession:
+        user_seed = stable_hash_seed("mc-user", dataset.name, seed)
+        user = MCSimulatedUser(
+            dataset, accuracy_threshold=user_threshold, seed=user_seed
+        )
+        return MultiClassSession(
+            dataset,
+            _SELECTORS[selector_name](),
+            user,
+            label_model_factory=make_mc_label_model_factory(label_model, dataset),
+            contextualizer=(
+                MCContextualizer(n_classes=dataset.n_classes) if contextualize else None
+            ),
+            percentile_tuner=MCPercentileTuner() if contextualize else None,
+            seed=seed,
+        )
+
+    return factory
+
+
+def evaluate_mc_method(
+    method_name: str,
+    dataset: MCFeaturizedDataset,
+    n_iterations: int = 50,
+    eval_every: int = 5,
+    n_seeds: int = 3,
+    base_seed: int = 0,
+    user_threshold: float = DEFAULT_MC_USER_THRESHOLD,
+) -> RunResult:
+    """Run a registry method across seeds; returns the aggregate result."""
+    if n_seeds < 1:
+        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    factory = make_mc_method(method_name, user_threshold=user_threshold)
+    result = RunResult(method=method_name, dataset=dataset.name)
+    for run_idx in range(n_seeds):
+        seed = stable_hash_seed(method_name, dataset.name, run_idx, base_seed)
+        session = factory(dataset, seed)
+        result.curves.append(
+            run_learning_curve(
+                session, n_iterations=n_iterations, eval_every=eval_every
+            )
+        )
+    return result

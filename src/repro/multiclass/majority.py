@@ -1,0 +1,60 @@
+"""Multiclass majority vote — the simplest multiclass aggregator.
+
+The posterior of each covered example is its (Laplace-smoothed) per-class
+vote share; uncovered examples fall back to the class priors, matching the
+binary package's convention that abstains carry no evidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multiclass.base import MultiClassLabelModel
+from repro.multiclass.matrix import mc_vote_counts
+
+
+class MCMajorityVote(MultiClassLabelModel):
+    """Smoothed per-class vote-share posterior.
+
+    Parameters
+    ----------
+    n_classes:
+        The number of classes ``K``.
+    class_priors:
+        ``(K,)`` prior used for uncovered examples and as the smoothing
+        direction; uniform when omitted.
+    smoothing:
+        Pseudo-votes added per class, distributed according to the priors.
+        With ``smoothing > 0`` a 1-vote example does not get a degenerate
+        one-hot posterior — the label-model entropy the selectors consume
+        stays informative.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        class_priors: np.ndarray | None = None,
+        smoothing: float = 1.0,
+    ) -> None:
+        super().__init__(n_classes, class_priors)
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        self.smoothing = smoothing
+
+    def fit(self, L: np.ndarray) -> "MCMajorityVote":
+        """Majority vote has no parameters; validates the matrix only."""
+        self._validated(L)
+        return self
+
+    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+        L = self._validated(L)
+        n = L.shape[0]
+        if L.shape[1] == 0:
+            return np.tile(self.class_priors, (n, 1))
+        counts = mc_vote_counts(L, self.n_classes)
+        total = counts.sum(axis=1, keepdims=True)
+        smoothed = counts + self.smoothing * self.class_priors[None, :]
+        proba = smoothed / smoothed.sum(axis=1, keepdims=True)
+        uncovered = (total == 0).ravel()
+        proba[uncovered] = self.class_priors
+        return proba

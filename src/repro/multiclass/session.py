@@ -1,0 +1,252 @@
+"""The multiclass IDP session engine.
+
+Mirrors :class:`repro.core.session.DataProgrammingSession` for K classes:
+select one development example, obtain one multiclass LF from the
+(simulated) user, optionally contextualize the collected LFs, then refit
+the label model and the softmax end model.  Reuses the binary package's
+:class:`~repro.core.lineage.LineageStore` unchanged — lineage is about
+*where* an LF came from, not what it votes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.lineage import LineageStore
+from repro.endmodel.softmax import SoftLabelSoftmaxRegression
+from repro.multiclass.base import MultiClassLabelModel, posterior_entropy_mc
+from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+from repro.multiclass.data import MCFeaturizedDataset
+from repro.multiclass.dawid_skene import MCDawidSkeneModel
+from repro.multiclass.lf import MultiClassLF, MultiClassLFFamily
+from repro.multiclass.matrix import MC_ABSTAIN, mc_coverage_mask
+from repro.multiclass.selection import MCDevDataSelector, MCSessionState
+from repro.utils.rng import ensure_rng
+
+
+class MCLFDeveloper(ABC):
+    """The user in the loop: turns a development example into a K-class LF."""
+
+    @abstractmethod
+    def create_lf(self, dev_index: int, state: MCSessionState) -> MultiClassLF | None:
+        """Return a new LF developed from ``dev_index``, or ``None``.
+
+        ``None`` models a user unable to extract a (sufficiently accurate,
+        non-duplicate) heuristic; the iteration is still consumed.
+        """
+
+
+class MultiClassSession:
+    """The end-to-end K-class DP pipeline with pluggable IDP components.
+
+    Parameters
+    ----------
+    dataset:
+        Multiclass featurized dataset.
+    selector:
+        Development-data selection strategy
+        (:class:`~repro.multiclass.selection.MCDevDataSelector`).
+    user:
+        The :class:`MCLFDeveloper` producing LFs from selected examples.
+    label_model_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.multiclass.base.MultiClassLabelModel`; defaults to
+        the abstain-aware Dawid–Skene model with the dataset's priors.
+    end_model:
+        Soft-label classifier; defaults to softmax regression.
+    contextualizer:
+        Optional :class:`~repro.multiclass.contextualizer.MCContextualizer`;
+        ``None`` gives the standard (uncontextualized) pipeline.
+    percentile_tuner:
+        Optional :class:`~repro.multiclass.contextualizer.MCPercentileTuner`
+        re-tuning the refinement percentile on validation accuracy.
+    tune_every:
+        Cadence of percentile re-tuning.
+    seed:
+        Seed for all session randomness.
+    """
+
+    def __init__(
+        self,
+        dataset: MCFeaturizedDataset,
+        selector: MCDevDataSelector,
+        user: MCLFDeveloper,
+        label_model_factory: Callable[[], MultiClassLabelModel] | None = None,
+        end_model: SoftLabelSoftmaxRegression | None = None,
+        contextualizer: MCContextualizer | None = None,
+        percentile_tuner: MCPercentileTuner | None = None,
+        tune_every: int = 5,
+        seed=None,
+    ) -> None:
+        self.dataset = dataset
+        self.rng = ensure_rng(seed)
+        self.selector = selector
+        self.user = user
+        K = dataset.n_classes
+        if label_model_factory is None:
+            priors = dataset.class_priors
+
+            def label_model_factory() -> MultiClassLabelModel:
+                return MCDawidSkeneModel(n_classes=K, class_priors=priors)
+
+        self.label_model_factory = label_model_factory
+        self.end_model = (
+            end_model if end_model is not None else SoftLabelSoftmaxRegression(n_classes=K)
+        )
+        self.contextualizer = contextualizer
+        self.percentile_tuner = percentile_tuner
+        if tune_every < 1:
+            raise ValueError(f"tune_every must be >= 1, got {tune_every}")
+        self.tune_every = tune_every
+
+        n_train = dataset.train.n
+        self.family = MultiClassLFFamily(dataset.primitive_names, dataset.train.B, K)
+        self.lineage = LineageStore(dataset)
+        self.iteration = 0
+        self.selected: set[int] = set()
+        self.L_train = np.full((n_train, 0), MC_ABSTAIN, dtype=np.int8)
+        self.L_valid = np.full((dataset.valid.n, 0), MC_ABSTAIN, dtype=np.int8)
+        self.soft_labels = np.tile(dataset.class_priors, (n_train, 1))
+        self.entropies = posterior_entropy_mc(self.soft_labels)
+        self.selection_soft_labels: np.ndarray | None = None
+        self.selection_entropies: np.ndarray | None = None
+        self.proxy_proba = np.tile(dataset.class_priors, (n_train, 1))
+        self.label_model_: MultiClassLabelModel | None = None
+        self._end_model_fitted = False
+        self.active_percentile_: float | None = (
+            contextualizer.percentile if contextualizer is not None else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # IDP loop
+    # ------------------------------------------------------------------ #
+    @property
+    def lfs(self) -> list[MultiClassLF]:
+        return self.lineage.lfs
+
+    def build_state(self) -> MCSessionState:
+        """Snapshot the session for selectors and the user."""
+        return MCSessionState(
+            dataset=self.dataset,
+            family=self.family,
+            iteration=self.iteration,
+            lfs=self.lfs,
+            L_train=self.L_train,
+            soft_labels=(
+                self.selection_soft_labels
+                if self.selection_soft_labels is not None
+                else self.soft_labels
+            ),
+            entropies=(
+                self.selection_entropies
+                if self.selection_entropies is not None
+                else self.entropies
+            ),
+            proxy_proba=self.proxy_proba,
+            selected=self.selected,
+            rng=self.rng,
+        )
+
+    def step(self) -> None:
+        """One IDP iteration: select → develop → contextualize → learn."""
+        state = self.build_state()
+        dev_index = self.selector.select(state)
+        self.iteration += 1
+        if dev_index is None:
+            return
+        self.selected.add(dev_index)
+        lf = self.user.create_lf(dev_index, state)
+        if lf is None:
+            return
+        self.lineage.add(lf, dev_index, self.iteration - 1)
+        self.L_train = np.column_stack(
+            [self.L_train, lf.apply(self.dataset.train.B)]
+        ).astype(np.int8)
+        self.L_valid = np.column_stack(
+            [self.L_valid, lf.apply(self.dataset.valid.B)]
+        ).astype(np.int8)
+        self._refit()
+
+    def run(self, n_iterations: int) -> "MultiClassSession":
+        """Run ``n_iterations`` steps; returns self for chaining."""
+        for _ in range(n_iterations):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # learning stage
+    # ------------------------------------------------------------------ #
+    def _refit(self) -> None:
+        L_effective = self._effective_label_matrix()
+        model = self.label_model_factory()
+        model.fit(L_effective)
+        self.label_model_ = model
+        self.soft_labels = model.predict_proba(L_effective)
+        self.entropies = posterior_entropy_mc(self.soft_labels)
+        self._refit_selection_view(L_effective)
+        covered = mc_coverage_mask(L_effective)
+        if covered.any():
+            X = self.dataset.train.X
+            self.end_model.fit(X[np.flatnonzero(covered)], self.soft_labels[covered])
+            self._end_model_fitted = True
+            self.proxy_proba = self.end_model.predict_proba(X)
+
+    def _effective_label_matrix(self) -> np.ndarray:
+        if self.contextualizer is None:
+            return self.L_train
+        if self.percentile_tuner is not None and self._should_tune():
+            self.active_percentile_ = self.percentile_tuner.best_percentile(
+                self.contextualizer,
+                self.L_train,
+                self.L_valid,
+                self.lineage,
+                self.label_model_factory,
+                self.dataset.valid.y,
+            )
+        return self.contextualizer.refine(
+            self.L_train, self.lineage, "train", percentile=self.active_percentile_
+        )
+
+    def _refit_selection_view(self, L_effective: np.ndarray) -> None:
+        """Posterior over the *unrefined* votes, for selectors only.
+
+        Same rationale as the binary session: refinement erases the
+        conflict entropy exactly where uncertainty-seeking selectors should
+        look, so selectors read the raw-vote posterior while learning keeps
+        the refined one.
+        """
+        if self.contextualizer is None or L_effective is self.L_train:
+            self.selection_soft_labels = None
+            self.selection_entropies = None
+            return
+        raw_model = self.label_model_factory()
+        raw_model.fit(self.L_train)
+        self.selection_soft_labels = raw_model.predict_proba(self.L_train)
+        self.selection_entropies = posterior_entropy_mc(self.selection_soft_labels)
+
+    def _should_tune(self) -> bool:
+        m = len(self.lineage)
+        return m >= 1 and (m <= 6 or m % self.tune_every == 0)
+
+    # ------------------------------------------------------------------ #
+    # prediction / evaluation
+    # ------------------------------------------------------------------ #
+    def predict_test(self) -> np.ndarray:
+        """Hard class predictions on the test split (prior argmax pre-model)."""
+        if not self._end_model_fitted:
+            majority = int(np.argmax(self.dataset.class_priors))
+            return np.full(self.dataset.test.n, majority, dtype=int)
+        return self.end_model.predict(self.dataset.test.X)
+
+    def predict_proba_test(self) -> np.ndarray:
+        """``(n_test, K)`` class probabilities on the test split."""
+        if not self._end_model_fitted:
+            return np.tile(self.dataset.class_priors, (self.dataset.test.n, 1))
+        return self.end_model.predict_proba(self.dataset.test.X)
+
+    def test_score(self) -> float:
+        """Accuracy on the test split."""
+        return float((self.predict_test() == self.dataset.test.y).mean())

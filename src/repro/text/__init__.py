@@ -1,0 +1,27 @@
+"""Text substrate: tokenization, vocabulary, TF-IDF features, distances.
+
+The paper featurizes text with TF-IDF and measures inter-example proximity
+with cosine (default) or euclidean distance; this subpackage implements that
+stack from scratch on top of ``numpy``/``scipy.sparse``.
+"""
+
+from repro.text.distance import (
+    cosine_distance_matrix,
+    distances_to_point,
+    euclidean_distance_matrix,
+    get_distance_fn,
+)
+from repro.text.tfidf import TfidfVectorizer
+from repro.text.tokenize import simple_tokenize, ngrams
+from repro.text.vocab import Vocabulary
+
+__all__ = [
+    "simple_tokenize",
+    "ngrams",
+    "Vocabulary",
+    "TfidfVectorizer",
+    "cosine_distance_matrix",
+    "euclidean_distance_matrix",
+    "distances_to_point",
+    "get_distance_fn",
+]

@@ -1,0 +1,108 @@
+"""Distance functions used by the LF contextualizer (Eq. 4).
+
+The paper evaluates cosine distance (default, Table 9 winner) and euclidean
+distance.  All functions accept dense arrays or ``scipy.sparse`` matrices and
+are vectorized: the contextualizer only ever needs distances from *one*
+development point to all examples, so :func:`distances_to_point` is the hot
+path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+Matrix = "np.ndarray | sp.spmatrix"
+
+#: Names accepted by :func:`get_distance_fn`.
+DISTANCE_NAMES = ("cosine", "euclidean")
+
+
+def _as_dense_rows(X) -> np.ndarray:
+    if sp.issparse(X):
+        return np.asarray(X.todense(), dtype=float)
+    arr = np.asarray(X, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    return arr
+
+
+def _row_norms(X) -> np.ndarray:
+    if sp.issparse(X):
+        return np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+    return np.linalg.norm(np.asarray(X, dtype=float), axis=1)
+
+
+def cosine_distances_to_point(X, point) -> np.ndarray:
+    """Cosine distance (``1 - cos``) from every row of ``X`` to ``point``.
+
+    Zero vectors are assigned the maximal distance 1.0 (no directional
+    information means "not close to anything").
+    """
+    p = _as_dense_rows(point).ravel()
+    p_norm = np.linalg.norm(p)
+    norms = _row_norms(X)
+    dots = np.asarray(X @ p).ravel()
+    denom = norms * p_norm
+    sims = np.divide(dots, denom, out=np.zeros_like(dots), where=denom > 0)
+    return 1.0 - np.clip(sims, -1.0, 1.0)
+
+
+def euclidean_distances_to_point(X, point) -> np.ndarray:
+    """Euclidean distance from every row of ``X`` to ``point``.
+
+    Uses the expansion ``||x - p||^2 = ||x||^2 - 2 x·p + ||p||^2`` so that
+    sparse inputs never get densified.
+    """
+    p = _as_dense_rows(point).ravel()
+    sq_norms = _row_norms(X) ** 2
+    dots = np.asarray(X @ p).ravel()
+    sq = sq_norms - 2.0 * dots + float(p @ p)
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def distances_to_point(X, point, metric: str = "cosine") -> np.ndarray:
+    """Dispatch to the named point-to-rows distance function."""
+    return get_distance_fn(metric)(X, point)
+
+
+def get_distance_fn(metric: str) -> Callable:
+    """Return the ``(X, point) -> distances`` function for ``metric``.
+
+    Raises ``ValueError`` for unknown names so configuration errors surface
+    immediately.
+    """
+    if metric == "cosine":
+        return cosine_distances_to_point
+    if metric == "euclidean":
+        return euclidean_distances_to_point
+    raise ValueError(f"unknown distance metric {metric!r}; choose from {DISTANCE_NAMES}")
+
+
+def cosine_distance_matrix(X, Y=None) -> np.ndarray:
+    """Full pairwise cosine-distance matrix between rows of ``X`` and ``Y``.
+
+    ``Y`` defaults to ``X``.  Intended for analysis (Figure 2) on modest
+    corpus sizes; the interactive loop itself never materializes this.
+    """
+    if Y is None:
+        Y = X
+    x_norms = _row_norms(X)
+    y_norms = _row_norms(Y)
+    dots = np.asarray((X @ Y.T).todense() if sp.issparse(X) and sp.issparse(Y) else X @ Y.T)
+    denom = np.outer(x_norms, y_norms)
+    sims = np.divide(dots, denom, out=np.zeros_like(dots, dtype=float), where=denom > 0)
+    return 1.0 - np.clip(sims, -1.0, 1.0)
+
+
+def euclidean_distance_matrix(X, Y=None) -> np.ndarray:
+    """Full pairwise euclidean-distance matrix between rows of ``X`` and ``Y``."""
+    if Y is None:
+        Y = X
+    x_sq = _row_norms(X) ** 2
+    y_sq = _row_norms(Y) ** 2
+    dots = np.asarray((X @ Y.T).todense() if sp.issparse(X) and sp.issparse(Y) else X @ Y.T)
+    sq = x_sq[:, None] - 2.0 * dots + y_sq[None, :]
+    return np.sqrt(np.maximum(sq, 0.0))

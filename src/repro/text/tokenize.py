@@ -1,0 +1,49 @@
+"""Tokenization utilities.
+
+Nemo's primitive domain for text tasks is "the set of uni-grams in the
+unlabeled set" (Example 4.1); this module provides the tokenizer that
+defines those uni-grams, plus an n-gram helper for richer primitive domains.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+
+def simple_tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    Lowercases (by default), then extracts maximal runs of
+    ``[a-z0-9']`` characters — punctuation and whitespace act as
+    delimiters.  This mirrors the standard bag-of-words preprocessing used
+    by the paper's TF-IDF featurization.
+
+    Examples
+    --------
+    >>> simple_tokenize("Perfect for my work-outs!")
+    ['perfect', 'for', 'my', 'work', 'outs']
+    >>> simple_tokenize("Don't stop")
+    ["don't", 'stop']
+    """
+    if lowercase:
+        text = text.lower()
+    return _TOKEN_RE.findall(text)
+
+
+def ngrams(tokens: list[str], n: int) -> list[str]:
+    """Return the ``n``-grams of a token list, joined with spaces.
+
+    Examples
+    --------
+    >>> ngrams(["a", "b", "c"], 2)
+    ['a b', 'b c']
+    >>> ngrams(["a"], 2)
+    []
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return list(tokens)
+    return [" ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

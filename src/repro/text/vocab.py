@@ -1,0 +1,118 @@
+"""Vocabulary: a bidirectional token <-> index mapping with frequency filters.
+
+The vocabulary doubles as Nemo's *primitive domain* ``Z`` for text tasks:
+every retained token is a candidate LF primitive.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+
+
+class Vocabulary:
+    """An ordered token <-> integer-id mapping.
+
+    Tokens are assigned ids in the order they are added (via
+    :meth:`add` or :meth:`fit`), which keeps downstream feature matrices
+    deterministic for a fixed corpus.
+
+    Parameters
+    ----------
+    min_df:
+        When built with :meth:`fit`, drop tokens that appear in fewer than
+        this many documents.
+    max_df_ratio:
+        When built with :meth:`fit`, drop tokens that appear in more than
+        this fraction of documents (near-stopwords).
+    """
+
+    def __init__(self, min_df: int = 1, max_df_ratio: float = 1.0) -> None:
+        if min_df < 1:
+            raise ValueError(f"min_df must be >= 1, got {min_df}")
+        if not 0.0 < max_df_ratio <= 1.0:
+            raise ValueError(f"max_df_ratio must be in (0, 1], got {max_df_ratio}")
+        self.min_df = min_df
+        self.max_df_ratio = max_df_ratio
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._doc_freq: Counter[str] = Counter()
+        self._n_docs = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, token: str) -> int:
+        """Add a token (idempotent) and return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def fit(self, tokenized_docs: Iterable[list[str]]) -> "Vocabulary":
+        """Build the vocabulary from tokenized documents, applying filters.
+
+        Document frequency (not term frequency) drives both the ``min_df``
+        and ``max_df_ratio`` filters, matching the conventional TF-IDF
+        pipeline.  Returns ``self`` for chaining.
+        """
+        docs = list(tokenized_docs)
+        self._n_docs = len(docs)
+        self._doc_freq = Counter()
+        for tokens in docs:
+            self._doc_freq.update(set(tokens))
+        max_df = self.max_df_ratio * max(self._n_docs, 1)
+        self._token_to_id = {}
+        self._id_to_token = []
+        for tokens in docs:
+            for token in tokens:
+                if token in self._token_to_id:
+                    continue
+                df = self._doc_freq[token]
+                if df >= self.min_df and df <= max_df:
+                    self.add(token)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``; raises ``KeyError`` if absent."""
+        return self._token_to_id[token]
+
+    def token_of(self, idx: int) -> str:
+        """Return the token with id ``idx``."""
+        return self._id_to_token[idx]
+
+    def get(self, token: str, default: int | None = None) -> int | None:
+        """Return the id of ``token`` or ``default`` when absent."""
+        return self._token_to_id.get(token, default)
+
+    def doc_frequency(self, token: str) -> int:
+        """Document frequency of ``token`` observed during :meth:`fit`."""
+        return self._doc_freq.get(token, 0)
+
+    @property
+    def n_docs_fitted(self) -> int:
+        """Number of documents seen by the last :meth:`fit` call."""
+        return self._n_docs
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens, ordered by id (a copy)."""
+        return list(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary(size={len(self)}, min_df={self.min_df})"

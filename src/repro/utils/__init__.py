@@ -1,0 +1,26 @@
+"""Shared low-level utilities: seeded randomness, validation, logging.
+
+Everything in :mod:`repro` that consumes randomness takes either an integer
+seed or a :class:`numpy.random.Generator`; :func:`ensure_rng` normalizes the
+two so that experiments are reproducible end to end.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_children, stable_hash_seed
+from repro.utils.validation import (
+    check_binary_labels,
+    check_in_range,
+    check_matching_length,
+    check_positive,
+    check_probabilities,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_children",
+    "stable_hash_seed",
+    "check_binary_labels",
+    "check_in_range",
+    "check_matching_length",
+    "check_positive",
+    "check_probabilities",
+]

@@ -1,0 +1,68 @@
+"""Seeded random-number-generation helpers.
+
+All stochastic components of the library accept ``seed`` arguments that may
+be ``None`` (fresh entropy), an ``int`` (deterministic), or an existing
+:class:`numpy.random.Generator` (shared stream).  Centralizing the
+normalization here keeps every experiment reproducible from a single integer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic stream, or an
+        existing generator which is returned unchanged (so callers can share
+        one stream across components).
+
+    Examples
+    --------
+    >>> g = ensure_rng(0)
+    >>> h = ensure_rng(g)
+    >>> g is h
+    True
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_children(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from one seed.
+
+    Used by multi-seed experiment protocols: each run gets its own stream so
+    that adding or removing runs never perturbs the others.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        child_seeds = seed.integers(0, 2**32, size=n)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(n)]
+
+
+def stable_hash_seed(*parts: object) -> int:
+    """Derive a deterministic 32-bit seed from arbitrary string-able parts.
+
+    Unlike :func:`hash`, this is stable across interpreter runs, which makes
+    it safe for naming-based seeding (e.g. one seed per dataset name).
+
+    Examples
+    --------
+    >>> stable_hash_seed("amazon", 0) == stable_hash_seed("amazon", 0)
+    True
+    >>> stable_hash_seed("amazon", 0) != stable_hash_seed("yelp", 0)
+    True
+    """
+    digest = hashlib.sha256("::".join(str(p) for p in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")

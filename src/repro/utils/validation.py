@@ -1,0 +1,69 @@
+"""Argument-validation helpers shared across the library.
+
+These raise early, with messages that name the offending argument, so that
+misconfigured experiments fail at construction time rather than deep inside
+a 50-iteration interactive loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if inclusive:
+        if not low <= value <= high:
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not low < value < high:
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+
+
+def check_matching_length(name_a: str, a, name_b: str, b) -> None:
+    """Raise ``ValueError`` unless the two sized arguments have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have matching lengths, "
+            f"got {len(a)} and {len(b)}"
+        )
+
+
+def check_binary_labels(name: str, labels: np.ndarray) -> np.ndarray:
+    """Validate a vector of labels drawn from {-1, +1}.
+
+    Returns the labels as an ``int`` array.  Abstains (0) are *not* allowed
+    here — use label-matrix utilities for vote matrices that contain 0.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    bad = set(np.unique(arr)) - {-1, 1}
+    if bad:
+        raise ValueError(f"{name} must contain only -1/+1, found {sorted(bad)}")
+    return arr.astype(int)
+
+
+def check_probabilities(name: str, probs: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Validate that ``probs`` are in [0, 1] and sum to 1 along ``axis``."""
+    arr = np.asarray(probs, dtype=float)
+    if np.any(arr < -1e-9) or np.any(arr > 1 + 1e-9):
+        raise ValueError(f"{name} must lie in [0, 1]")
+    sums = arr.sum(axis=axis)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise ValueError(f"{name} must sum to 1 along axis {axis}")
+    return arr

@@ -1,0 +1,36 @@
+"""Shared fixtures for core tests: a small featurized dataset and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.lf import LFFamily
+from repro.core.selection import SessionState
+from repro.data import load_dataset
+from repro.labelmodel.base import posterior_entropy
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+@pytest.fixture()
+def empty_state(tiny_dataset):
+    """A no-LF session state over the tiny dataset."""
+    n = tiny_dataset.train.n
+    prior = tiny_dataset.label_prior
+    rng = np.random.default_rng(0)
+    soft = np.full(n, prior)
+    return SessionState(
+        dataset=tiny_dataset,
+        family=LFFamily(tiny_dataset.primitive_names, tiny_dataset.train.B),
+        iteration=0,
+        lfs=[],
+        L_train=np.zeros((n, 0), dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy(soft),
+        proxy_labels=np.where(rng.random(n) < prior, 1, -1),
+        proxy_proba=np.full(n, prior),
+        selected=set(),
+        rng=np.random.default_rng(1),
+    )

@@ -1,0 +1,174 @@
+"""Tests for the weighted context-sequence contextualizer (Sec. 3 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.context_sequence import ContextSequenceContextualizer
+from repro.core.contextualizer import LFContextualizer
+from repro.core.lf import LFFamily
+from repro.core.lineage import LineageStore
+from repro.labelmodel.matrix import apply_lfs
+
+
+@pytest.fixture()
+def lineage_sequence(tiny_dataset):
+    """Three LFs created at iterations 0, 1, 2 from distinct dev points."""
+    family = LFFamily(tiny_dataset.primitive_names, tiny_dataset.train.B)
+    lineage = LineageStore(tiny_dataset)
+    lfs = []
+    made = 0
+    for pid in range(tiny_dataset.n_primitives):
+        covered = np.flatnonzero(
+            np.asarray(tiny_dataset.train.B[:, pid].todense()).ravel()
+        )
+        if covered.size == 0:
+            continue
+        lf = family.make(pid, 1 if made % 2 == 0 else -1)
+        lineage.add(lf, int(covered[made % covered.size]), made)
+        lfs.append(lf)
+        made += 1
+        if made == 3:
+            break
+    L = apply_lfs(lfs, tiny_dataset.train.B)
+    return lineage, L
+
+
+class TestGammaZeroEquivalence:
+    def test_matches_single_point_contextualizer(self, lineage_sequence):
+        lineage, L = lineage_sequence
+        for percentile in (25.0, 50.0, 90.0):
+            single = LFContextualizer(percentile=percentile).refine(L, lineage)
+            seq = ContextSequenceContextualizer(gamma=0.0, percentile=percentile).refine(
+                L, lineage
+            )
+            np.testing.assert_array_equal(single, seq)
+
+    def test_context_distances_equal_base_at_gamma_zero(self, lineage_sequence):
+        lineage, _ = lineage_sequence
+        ctx = ContextSequenceContextualizer(gamma=0.0)
+        np.testing.assert_allclose(
+            ctx.context_distances(lineage, "train"),
+            lineage.distances("train", "cosine"),
+        )
+
+
+class TestContextDistances:
+    def test_first_lf_sees_only_itself(self, lineage_sequence):
+        # The iteration-0 LF has no earlier context, so any gamma matches.
+        lineage, _ = lineage_sequence
+        base = lineage.distances("train", "cosine")
+        for gamma in (0.0, 0.5, 1.0):
+            ctx = ContextSequenceContextualizer(gamma=gamma)
+            dists = ctx.context_distances(lineage, "train")
+            np.testing.assert_allclose(dists[:, 0], base[:, 0])
+
+    def test_gamma_one_is_uniform_average(self, lineage_sequence):
+        lineage, _ = lineage_sequence
+        base = lineage.distances("train", "cosine")
+        ctx = ContextSequenceContextualizer(gamma=1.0)
+        dists = ctx.context_distances(lineage, "train")
+        np.testing.assert_allclose(dists[:, 2], base[:, :3].mean(axis=1))
+
+    def test_intermediate_gamma_weights_recency(self, lineage_sequence):
+        lineage, _ = lineage_sequence
+        base = lineage.distances("train", "cosine")
+        gamma = 0.5
+        ctx = ContextSequenceContextualizer(gamma=gamma)
+        dists = ctx.context_distances(lineage, "train")
+        w = np.array([gamma**2, gamma, 1.0])
+        expected = (base[:, :3] @ w) / w.sum()
+        np.testing.assert_allclose(dists[:, 2], expected)
+
+    def test_max_window_truncates_history(self, lineage_sequence):
+        lineage, _ = lineage_sequence
+        base = lineage.distances("train", "cosine")
+        ctx = ContextSequenceContextualizer(gamma=1.0, max_window=2)
+        dists = ctx.context_distances(lineage, "train")
+        np.testing.assert_allclose(dists[:, 2], base[:, 1:3].mean(axis=1))
+
+    def test_empty_lineage(self, tiny_dataset):
+        lineage = LineageStore(tiny_dataset)
+        ctx = ContextSequenceContextualizer()
+        assert ctx.context_distances(lineage, "train").shape == (
+            tiny_dataset.train.n,
+            0,
+        )
+
+
+class TestRefinement:
+    def test_refined_votes_subset_of_raw(self, lineage_sequence):
+        lineage, L = lineage_sequence
+        refined = ContextSequenceContextualizer(gamma=0.7, percentile=50.0).refine(
+            L, lineage
+        )
+        changed = refined != L
+        assert (refined[changed] == 0).all()
+
+    def test_percentile_100_keeps_everything(self, lineage_sequence):
+        lineage, L = lineage_sequence
+        refined = ContextSequenceContextualizer(gamma=0.7, percentile=100.0).refine(
+            L, lineage
+        )
+        np.testing.assert_array_equal(refined, L)
+
+    @given(gamma=st.floats(0.0, 1.0))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        # the fixture is read-only; reusing it across generated gammas is safe
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_monotone_in_percentile_any_gamma(self, lineage_sequence, gamma):
+        lineage, L = lineage_sequence
+        ctx = ContextSequenceContextualizer(gamma=gamma)
+        small = ctx.refine(L, lineage, percentile=25.0) != 0
+        large = ctx.refine(L, lineage, percentile=75.0) != 0
+        assert np.all(~small | large)
+
+    def test_column_mismatch_raises(self, lineage_sequence):
+        lineage, L = lineage_sequence
+        with pytest.raises(ValueError, match="lineage"):
+            ContextSequenceContextualizer().refine(L[:, :1], lineage)
+
+    def test_works_on_valid_split(self, tiny_dataset, lineage_sequence):
+        lineage, _ = lineage_sequence
+        L_valid = apply_lfs(lineage.lfs, tiny_dataset.valid.B)
+        refined = ContextSequenceContextualizer(gamma=0.5).refine(
+            L_valid, lineage, split="valid"
+        )
+        assert refined.shape == L_valid.shape
+
+
+class TestValidation:
+    def test_gamma_range(self):
+        with pytest.raises(ValueError, match="gamma"):
+            ContextSequenceContextualizer(gamma=1.5)
+        with pytest.raises(ValueError, match="gamma"):
+            ContextSequenceContextualizer(gamma=-0.1)
+
+    def test_max_window_positive(self):
+        with pytest.raises(ValueError, match="max_window"):
+            ContextSequenceContextualizer(max_window=0)
+
+    def test_inherits_metric_validation(self):
+        with pytest.raises(ValueError, match="metric"):
+            ContextSequenceContextualizer(metric="manhattan")
+
+
+class TestSessionIntegration:
+    def test_session_accepts_sequence_contextualizer(self, tiny_dataset):
+        from repro.core.session import DataProgrammingSession
+        from repro.interactive.basic_selectors import RandomSelector
+        from repro.interactive.simulated_user import SimulatedUser
+
+        session = DataProgrammingSession(
+            tiny_dataset,
+            RandomSelector(),
+            SimulatedUser(tiny_dataset, seed=0),
+            contextualizer=ContextSequenceContextualizer(gamma=0.5),
+            seed=0,
+        )
+        session.run(6)
+        assert 0.0 <= session.test_score() <= 1.0

@@ -1,0 +1,139 @@
+"""Tests for primitive LFs and the LF family."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.lf import LFFamily, PrimitiveLF
+
+
+class TestPrimitiveLF:
+    def test_apply_votes_where_primitive_present(self):
+        B = sp.csr_matrix(np.array([[1, 0], [0, 1]], dtype=float))
+        lf = PrimitiveLF(0, "alpha", 1)
+        np.testing.assert_array_equal(lf.apply(B), [1, 0])
+
+    def test_negative_label(self):
+        B = sp.csr_matrix(np.array([[1], [1], [0]], dtype=float))
+        lf = PrimitiveLF(0, "bad", -1)
+        np.testing.assert_array_equal(lf.apply(B), [-1, -1, 0])
+
+    def test_name(self):
+        assert PrimitiveLF(3, "perfect", 1).name == "perfect->+1"
+        assert PrimitiveLF(3, "awful", -1).name == "awful->-1"
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            PrimitiveLF(0, "x", 0)
+
+    def test_invalid_primitive_id(self):
+        with pytest.raises(ValueError):
+            PrimitiveLF(-1, "x", 1)
+
+    def test_frozen_and_hashable(self):
+        lf = PrimitiveLF(0, "x", 1)
+        assert {lf, PrimitiveLF(0, "x", 1)} == {lf}
+
+
+class TestLFFamily:
+    def make_family(self):
+        B = sp.csr_matrix(
+            np.array([[1, 1, 0], [0, 1, 0], [1, 0, 1], [0, 0, 0]], dtype=float)
+        )
+        return LFFamily(["a", "b", "c"], B)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            LFFamily(["a"], sp.csr_matrix(np.ones((2, 2))))
+
+    def test_coverage_counts(self):
+        fam = self.make_family()
+        np.testing.assert_array_equal(fam.coverage_counts(), [2, 2, 1])
+
+    def test_primitives_in(self):
+        fam = self.make_family()
+        np.testing.assert_array_equal(sorted(fam.primitives_in(0)), [0, 1])
+        assert fam.primitives_in(3).size == 0
+
+    def test_make(self):
+        fam = self.make_family()
+        lf = fam.make(1, -1)
+        assert lf.primitive == "b" and lf.label == -1
+
+    def test_make_by_token(self):
+        fam = self.make_family()
+        assert fam.make_by_token("c", 1).primitive_id == 2
+        with pytest.raises(KeyError):
+            fam.make_by_token("zzz", 1)
+
+    def test_empirical_accuracies_hard_labels(self):
+        fam = self.make_family()
+        proxy = np.array([1, -1, 1, -1])
+        acc = fam.empirical_accuracies(proxy)
+        # primitive "a" covers rows 0, 2 (both +1): acc(a,+1) = 1.0
+        assert acc[0] == pytest.approx(1.0)
+        # primitive "b" covers rows 0 (+1), 1 (-1): acc = 0.5
+        assert acc[1] == pytest.approx(0.5)
+
+    def test_empirical_accuracies_soft_proxy(self):
+        fam = self.make_family()
+        proxy = np.array([0.9, 0.1, 0.7, 0.5])
+        acc = fam.empirical_accuracies(proxy)
+        assert acc[0] == pytest.approx(0.8)  # mean of 0.9 and 0.7
+        assert acc[1] == pytest.approx(0.5)  # mean of 0.9 and 0.1
+
+    def test_zero_coverage_primitive_gets_half(self):
+        B = sp.csr_matrix(np.array([[1, 0]], dtype=float))
+        fam = LFFamily(["a", "never"], B)
+        acc = fam.empirical_accuracies(np.array([1]))
+        assert acc[1] == pytest.approx(0.5)
+
+    def test_accuracy_length_check(self):
+        fam = self.make_family()
+        with pytest.raises(ValueError):
+            fam.empirical_accuracies(np.array([1, -1]))
+
+
+class TestExampleExplorer:
+    """Paper Sec. 7: the primitive-based example explorer."""
+
+    def make_family(self):
+        import numpy as np
+        import scipy.sparse as sp
+        from repro.core.lf import LFFamily
+
+        B = sp.csr_matrix(
+            np.array([[1, 1, 0], [0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        )
+        return LFFamily(["a", "b", "c"], B)
+
+    def test_returns_only_covered_examples(self):
+        import numpy as np
+
+        fam = self.make_family()
+        found = fam.explore_examples(1, k=10, rng=np.random.default_rng(0))
+        assert sorted(found.tolist()) == [0, 1, 3]
+
+    def test_samples_k_when_coverage_large(self):
+        import numpy as np
+
+        fam = self.make_family()
+        found = fam.explore_examples(1, k=2, rng=np.random.default_rng(0))
+        assert len(found) == 2
+        assert set(found.tolist()) <= {0, 1, 3}
+
+    def test_empty_coverage(self):
+        import numpy as np
+        import scipy.sparse as sp
+        from repro.core.lf import LFFamily
+
+        B = sp.csr_matrix(np.array([[1, 0]], dtype=float))
+        fam = LFFamily(["a", "never"], B)
+        assert fam.explore_examples(1, k=3).size == 0
+
+    def test_invalid_k(self):
+        import pytest
+
+        fam = self.make_family()
+        with pytest.raises(ValueError):
+            fam.explore_examples(0, k=0)

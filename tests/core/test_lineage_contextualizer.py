@@ -1,0 +1,172 @@
+"""Tests for lineage tracking and the LF contextualizer (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.lf import LFFamily
+from repro.core.lineage import LineageStore
+from repro.labelmodel.matrix import apply_lfs
+from repro.labelmodel.metal import MetalLabelModel
+
+
+@pytest.fixture()
+def store_with_lfs(tiny_dataset):
+    family = LFFamily(tiny_dataset.primitive_names, tiny_dataset.train.B)
+    store = LineageStore(tiny_dataset)
+    rng = np.random.default_rng(0)
+    eligible = np.flatnonzero(np.asarray(tiny_dataset.train.B.sum(axis=1)).ravel() > 0)
+    for it in range(4):
+        dev = int(rng.choice(eligible))
+        prims = family.primitives_in(dev)
+        lf = family.make(int(prims[0]), 1 if it % 2 == 0 else -1)
+        store.add(lf, dev, it)
+    return store, family
+
+
+class TestLineageStore:
+    def test_records_in_order(self, store_with_lfs):
+        store, _ = store_with_lfs
+        assert [r.iteration for r in store.records] == [0, 1, 2, 3]
+        assert len(store) == 4
+
+    def test_dev_index_bounds(self, tiny_dataset):
+        store = LineageStore(tiny_dataset)
+        lf = LFFamily(tiny_dataset.primitive_names, tiny_dataset.train.B).make(0, 1)
+        with pytest.raises(ValueError):
+            store.add(lf, -1, 0)
+        with pytest.raises(ValueError):
+            store.add(lf, 10**6, 0)
+
+    def test_distance_matrix_shape(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        dists = store.distances("train")
+        assert dists.shape == (tiny_dataset.train.n, 4)
+        valid_dists = store.distances("valid")
+        assert valid_dists.shape == (tiny_dataset.valid.n, 4)
+
+    def test_distance_to_own_dev_point_is_zero(self, store_with_lfs):
+        store, _ = store_with_lfs
+        dists = store.distances("train", "cosine")
+        for j, record in enumerate(store.records):
+            assert dists[record.dev_index, j] == pytest.approx(0.0, abs=1e-9)
+
+    def test_distances_cached(self, store_with_lfs):
+        store, _ = store_with_lfs
+        a = store.distances("train")
+        b = store.distances("train")
+        np.testing.assert_array_equal(a, b)
+
+    def test_exemplar_labels(self, store_with_lfs):
+        store, _ = store_with_lfs
+        np.testing.assert_array_equal(store.exemplar_labels, [1, -1, 1, -1])
+
+    def test_empty_store_distances(self, tiny_dataset):
+        store = LineageStore(tiny_dataset)
+        assert store.distances("train").shape == (tiny_dataset.train.n, 0)
+
+
+class TestContextualizer:
+    def test_refinement_zeroes_only_far_votes(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L = apply_lfs(store.lfs, tiny_dataset.train.B)
+        ctx = LFContextualizer(percentile=50.0)
+        refined = ctx.refine(L, store, "train")
+        # refined votes are a subset of the original votes
+        changed = refined != L
+        assert np.all(refined[changed] == 0)
+        assert (refined != 0).sum() <= (L != 0).sum()
+
+    def test_monotone_in_percentile(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L = apply_lfs(store.lfs, tiny_dataset.train.B)
+        ctx = LFContextualizer()
+        sizes = []
+        for p in (10, 30, 50, 70, 90, 100):
+            refined = ctx.refine(L, store, "train", percentile=p)
+            sizes.append(int((refined != 0).sum()))
+        assert sizes == sorted(sizes)
+
+    def test_percentile_100_keeps_everything(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L = apply_lfs(store.lfs, tiny_dataset.train.B)
+        refined = LFContextualizer().refine(L, store, "train", percentile=100.0)
+        np.testing.assert_array_equal(refined, L)
+
+    def test_dev_point_vote_always_kept(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L = apply_lfs(store.lfs, tiny_dataset.train.B)
+        refined = LFContextualizer().refine(L, store, "train", percentile=5.0)
+        for j, record in enumerate(store.records):
+            assert refined[record.dev_index, j] == L[record.dev_index, j]
+
+    def test_radii_are_percentiles(self, store_with_lfs):
+        store, _ = store_with_lfs
+        ctx = LFContextualizer(percentile=50.0)
+        radii = ctx.radii(store)
+        dists = store.distances("train", "cosine")
+        np.testing.assert_allclose(radii, np.percentile(dists, 50.0, axis=0))
+
+    def test_column_count_mismatch_raises(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L = apply_lfs(store.lfs[:2], tiny_dataset.train.B)
+        with pytest.raises(ValueError, match="lineage"):
+            LFContextualizer().refine(L, store, "train")
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            LFContextualizer(metric="hamming")
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            LFContextualizer(percentile=150)
+
+    def test_valid_split_uses_train_radii(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L_valid = apply_lfs(store.lfs, tiny_dataset.valid.B)
+        refined = LFContextualizer(percentile=50.0).refine(L_valid, store, "valid")
+        assert refined.shape == L_valid.shape
+
+
+class TestPercentileTuner:
+    def test_picks_from_grid(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        L_train = apply_lfs(store.lfs, tiny_dataset.train.B)
+        L_valid = apply_lfs(store.lfs, tiny_dataset.valid.B)
+        tuner = PercentileTuner(grid=(25.0, 75.0))
+        prior = tiny_dataset.label_prior
+        best = tuner.best_percentile(
+            LFContextualizer(),
+            L_train,
+            L_valid,
+            store,
+            lambda: MetalLabelModel(class_prior=prior),
+            tiny_dataset.valid.y,
+        )
+        assert best in (25.0, 75.0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileTuner(grid=())
+
+    def test_metric_name_validated(self):
+        with pytest.raises(ValueError):
+            PercentileTuner(metric="mcc")
+
+    def test_tie_prefers_least_refinement(self, store_with_lfs, tiny_dataset):
+        store, _ = store_with_lfs
+        # Constant-label LF votes make every percentile score identically
+        # on a constant-y validation set slice -> prefer the largest p.
+        L_train = apply_lfs(store.lfs, tiny_dataset.train.B)
+        L_valid = np.zeros((tiny_dataset.valid.n, len(store)), dtype=np.int8)
+        prior = tiny_dataset.label_prior
+        tuner = PercentileTuner(grid=(25.0, 50.0, 100.0))
+        best = tuner.best_percentile(
+            LFContextualizer(),
+            L_train,
+            L_valid,
+            store,
+            lambda: MetalLabelModel(class_prior=prior),
+            tiny_dataset.valid.y,
+        )
+        assert best == 100.0

@@ -1,0 +1,131 @@
+"""Tests for the IDP session engine and NemoConfig."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NemoConfig, nemo_config, snorkel_config
+from repro.core.session import DataProgrammingSession, LFDeveloper
+from repro.interactive.basic_selectors import RandomSelector
+from repro.interactive.simulated_user import SimulatedUser
+
+
+class RefusingUser(LFDeveloper):
+    """A user who never manages to write an LF."""
+
+    def create_lf(self, dev_index, state):
+        return None
+
+
+class TestSessionMechanics:
+    def test_steps_accumulate_lfs(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=0)
+        session = DataProgrammingSession(
+            tiny_dataset, RandomSelector(), user, seed=0
+        )
+        session.run(5)
+        assert session.iteration == 5
+        assert 1 <= len(session.lfs) <= 5
+        assert session.L_train.shape == (tiny_dataset.train.n, len(session.lfs))
+
+    def test_refusing_user_wastes_iterations_gracefully(self, tiny_dataset):
+        session = DataProgrammingSession(
+            tiny_dataset, RandomSelector(), RefusingUser(), seed=0
+        )
+        session.run(3)
+        assert session.iteration == 3
+        assert len(session.lfs) == 0
+        # falls back to prior predictions
+        preds = session.predict_test()
+        assert set(np.unique(preds)) <= {-1, 1}
+
+    def test_selected_dev_points_not_repeated(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=0)
+        session = DataProgrammingSession(tiny_dataset, RandomSelector(), user, seed=0)
+        session.run(20)
+        dev = session.lineage.dev_indices
+        assert len(set(dev.tolist())) == len(dev)
+
+    def test_test_score_in_unit_interval(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=0)
+        session = DataProgrammingSession(tiny_dataset, RandomSelector(), user, seed=0)
+        session.run(8)
+        assert 0.0 <= session.test_score() <= 1.0
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        def run_once():
+            user = SimulatedUser(tiny_dataset, seed=5)
+            session = DataProgrammingSession(
+                tiny_dataset, RandomSelector(), user, seed=5
+            )
+            session.run(10)
+            return [lf.name for lf in session.lfs], session.test_score()
+
+        assert run_once() == run_once()
+
+    def test_valid_matrix_tracks_train_columns(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=1)
+        session = DataProgrammingSession(tiny_dataset, RandomSelector(), user, seed=1)
+        session.run(6)
+        assert session.L_valid.shape == (tiny_dataset.valid.n, len(session.lfs))
+
+    def test_soft_labels_update_after_lfs(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=2)
+        session = DataProgrammingSession(tiny_dataset, RandomSelector(), user, seed=2)
+        before = session.soft_labels.copy()
+        session.run(5)
+        assert not np.allclose(before, session.soft_labels)
+
+    def test_invalid_tune_every(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            DataProgrammingSession(
+                tiny_dataset, RandomSelector(), RefusingUser(), tune_every=0
+            )
+
+
+class TestContextualizedSession:
+    def test_percentile_tuned_during_run(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=3)
+        session = nemo_config().create_session(tiny_dataset, user, seed=3)
+        session.run(10)
+        assert session.active_percentile_ in nemo_config().percentile_grid
+
+    def test_selection_view_differs_from_learning_view(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=4)
+        cfg = NemoConfig(selector="random", contextualize=True, percentile=20.0,
+                         tune_percentile=False)
+        session = cfg.create_session(tiny_dataset, user, seed=4)
+        session.run(10)
+        assert session.selection_soft_labels is not None
+        # refined (learning) posterior and raw (selection) posterior differ
+        assert not np.allclose(session.soft_labels, session.selection_soft_labels)
+
+
+class TestNemoConfig:
+    def test_default_is_full_nemo(self):
+        cfg = nemo_config()
+        assert cfg.selector == "seu" and cfg.contextualize
+
+    def test_snorkel_config(self):
+        cfg = snorkel_config()
+        assert cfg.selector == "random" and not cfg.contextualize
+
+    def test_build_selector_names(self):
+        for name in ("seu", "random", "abstain", "disagree"):
+            assert NemoConfig(selector=name).build_selector() is not None
+
+    def test_unknown_selector(self):
+        with pytest.raises(ValueError):
+            NemoConfig(selector="maxent").build_selector()
+
+    def test_selector_instance_passthrough(self):
+        selector = RandomSelector()
+        assert NemoConfig(selector=selector).build_selector() is selector
+
+    def test_label_model_choice(self, tiny_dataset):
+        cfg = NemoConfig(selector="random", contextualize=False, label_model="majority")
+        user = SimulatedUser(tiny_dataset, seed=0)
+        session = cfg.create_session(tiny_dataset, user, seed=0)
+        session.run(3)
+        from repro.labelmodel.majority import MajorityVote
+
+        assert isinstance(session.label_model_, MajorityVote)

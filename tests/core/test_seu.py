@@ -1,0 +1,88 @@
+"""Tests for the SEU selector (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lf import PrimitiveLF
+from repro.core.seu import SEUSelector
+
+
+class TestColdStart:
+    def test_warmup_selects_randomly_but_validly(self, empty_state):
+        selector = SEUSelector(warmup=3)
+        idx = selector.select(empty_state)
+        assert idx is not None
+        assert empty_state.candidate_mask()[idx]
+
+    def test_cold_start_predicate(self, empty_state):
+        selector = SEUSelector(warmup=2)
+        assert selector._in_cold_start(empty_state)
+        empty_state.lfs = [PrimitiveLF(0, "a", 1), PrimitiveLF(1, "b", 1)]
+        # enough LFs but single polarity -> still cold
+        assert selector._in_cold_start(empty_state)
+        empty_state.lfs = [PrimitiveLF(0, "a", 1), PrimitiveLF(1, "b", -1)]
+        assert not selector._in_cold_start(empty_state)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            SEUSelector(warmup=-1)
+
+
+class TestScoring:
+    def _warm_state(self, state):
+        state.lfs = [PrimitiveLF(0, "a", 1), PrimitiveLF(1, "b", -1)]
+        rng = np.random.default_rng(0)
+        n = state.n_train
+        state.proxy_proba = rng.uniform(0.1, 0.9, n)
+        state.proxy_labels = np.where(state.proxy_proba >= 0.5, 1, -1)
+        state.entropies = rng.uniform(0.0, 0.69, n)
+        return state
+
+    def test_vectorized_matches_reference(self, empty_state):
+        state = self._warm_state(empty_state)
+        selector = SEUSelector(warmup=0)
+        expected = selector.expected_utilities(state)
+        for idx in [0, 3, 7, 19]:
+            scalar = selector.expected_utility_of(idx, state)
+            assert scalar == pytest.approx(expected[idx], rel=1e-9, abs=1e-9)
+
+    def test_selects_argmax_of_expected_utility(self, empty_state):
+        state = self._warm_state(empty_state)
+        selector = SEUSelector(warmup=0)
+        scores = selector.expected_utilities(state)
+        mask = state.candidate_mask()
+        chosen = selector.select(state)
+        best = np.where(mask, scores, -np.inf).max()
+        assert scores[chosen] == pytest.approx(best)
+
+    def test_excludes_already_selected(self, empty_state):
+        state = self._warm_state(empty_state)
+        selector = SEUSelector(warmup=0)
+        first = selector.select(state)
+        state.selected.add(first)
+        second = selector.select(state)
+        assert second != first
+
+    def test_returns_none_when_pool_exhausted(self, empty_state):
+        state = self._warm_state(empty_state)
+        state.selected = set(range(state.n_train))
+        assert SEUSelector(warmup=0).select(state) is None
+
+    def test_uniform_user_model_changes_ranking(self, empty_state):
+        state = self._warm_state(empty_state)
+        acc_scores = SEUSelector(warmup=0, user_model="accuracy").expected_utilities(state)
+        uni_scores = SEUSelector(warmup=0, user_model="uniform").expected_utilities(state)
+        assert not np.allclose(acc_scores, uni_scores)
+
+    def test_utility_ablation_changes_ranking(self, empty_state):
+        state = self._warm_state(empty_state)
+        full = SEUSelector(warmup=0, utility="full").expected_utilities(state)
+        noinf = SEUSelector(warmup=0, utility="no-informativeness").expected_utilities(state)
+        assert not np.allclose(full, noinf)
+
+    def test_examples_without_primitives_never_selected(self, empty_state):
+        state = self._warm_state(empty_state)
+        has_prims = np.asarray(state.B.sum(axis=1)).ravel() > 0
+        if (~has_prims).any():
+            chosen = SEUSelector(warmup=0).select(state)
+            assert has_prims[chosen]

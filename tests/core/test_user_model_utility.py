@@ -1,0 +1,150 @@
+"""Tests for user models (Eq. 2/6) and utility functions (Eq. 3)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.lf import LFFamily
+from repro.core.user_model import (
+    AccuracyWeightedUserModel,
+    ThresholdedUserModel,
+    UniformUserModel,
+    make_user_model,
+)
+from repro.core.utility import (
+    FullUtility,
+    NoCorrectnessUtility,
+    NoInformativenessUtility,
+    make_utility,
+    signed_proxy,
+)
+
+
+@pytest.fixture()
+def small_family():
+    B = sp.csr_matrix(
+        np.array(
+            [[1, 1, 0, 0],
+             [1, 0, 1, 0],
+             [0, 1, 1, 0],
+             [0, 0, 0, 1]], dtype=float)
+    )
+    return LFFamily(["w0", "w1", "w2", "w3"], B)
+
+
+class TestUserModels:
+    def test_accuracy_weights(self):
+        acc = np.array([0.9, 0.5, 0.2])
+        w_pos, w_neg = AccuracyWeightedUserModel().pick_weights(acc)
+        np.testing.assert_allclose(w_pos, acc)
+        np.testing.assert_allclose(w_neg, 1 - acc)
+
+    def test_uniform_weights(self):
+        acc = np.array([0.9, 0.1])
+        w_pos, w_neg = UniformUserModel().pick_weights(acc)
+        np.testing.assert_allclose(w_pos, 1.0)
+        np.testing.assert_allclose(w_neg, 1.0)
+
+    def test_thresholded_zeroes_bad_lfs(self):
+        acc = np.array([0.9, 0.4])
+        w_pos, w_neg = ThresholdedUserModel().pick_weights(acc)
+        assert w_pos[0] == pytest.approx(0.9)
+        assert w_pos[1] == 0.0
+        assert w_neg[0] == 0.0  # acc(z0,-1) = 0.1 < 0.5
+        assert w_neg[1] == pytest.approx(0.6)
+
+    def test_registry(self):
+        assert isinstance(make_user_model("accuracy"), AccuracyWeightedUserModel)
+        assert isinstance(make_user_model("uniform"), UniformUserModel)
+        with pytest.raises(ValueError):
+            make_user_model("gpt")
+
+    def test_probability_eq2(self, small_family):
+        # Example 0 contains w0, w1.  With acc = [0.8, 0.6, ...] and
+        # prior 0.5:  P(λ_{w0,+1}|x0) = 0.5 * 0.8 / (0.8 + 0.6)
+        model = AccuracyWeightedUserModel()
+        acc = np.array([0.8, 0.6, 0.5, 0.5])
+        lf = small_family.make(0, 1)
+        p = model.probability(lf, 0, small_family, acc, 0.5)
+        assert p == pytest.approx(0.5 * 0.8 / 1.4)
+
+    def test_probability_zero_if_primitive_absent(self, small_family):
+        model = AccuracyWeightedUserModel()
+        acc = np.full(4, 0.7)
+        lf = small_family.make(3, 1)  # w3 not in example 0
+        assert model.probability(lf, 0, small_family, acc, 0.5) == 0.0
+
+    def test_probabilities_form_subdistribution(self, small_family):
+        # Summing P(λ|x) over the full family must give <= 1.
+        model = AccuracyWeightedUserModel()
+        rng = np.random.default_rng(0)
+        acc = rng.uniform(0.1, 0.9, 4)
+        total = 0.0
+        for pid in range(4):
+            for label in (1, -1):
+                total += model.probability(
+                    small_family.make(pid, label), 0, small_family, acc, 0.5
+                )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSignedProxy:
+    def test_hard_labels_pass_through(self):
+        np.testing.assert_array_equal(signed_proxy(np.array([1, -1])), [1.0, -1.0])
+
+    def test_probabilities_mapped(self):
+        np.testing.assert_allclose(signed_proxy(np.array([0.75, 0.25])), [0.5, -0.5])
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            signed_proxy(np.array([2.0, 0.5]))
+
+
+class TestUtilities:
+    def setup_method(self):
+        self.B = sp.csr_matrix(
+            np.array([[1, 0], [1, 1], [0, 1]], dtype=float)
+        )
+        self.entropies = np.array([0.6, 0.2, 0.7])
+        self.proxy = np.array([1, -1, 1])
+
+    def test_full_utility_eq3(self):
+        util = FullUtility()
+        scores = util.scores(self.B, self.entropies, self.proxy)
+        # Ψ(λ_{z0,+1}) = 0.6*1 + 0.2*(-1) = 0.4 ; Ψ(λ_{z1,+1}) = -0.2 + 0.7 = 0.5
+        np.testing.assert_allclose(scores, [0.4, 0.5])
+        np.testing.assert_allclose(
+            util.negative_scores(self.B, self.entropies, self.proxy), [-0.4, -0.5]
+        )
+
+    def test_no_informativeness_drops_entropy(self):
+        scores = NoInformativenessUtility().scores(self.B, self.entropies, self.proxy)
+        np.testing.assert_allclose(scores, [0.0, 0.0])
+
+    def test_no_correctness_is_label_symmetric(self):
+        util = NoCorrectnessUtility()
+        pos = util.scores(self.B, self.entropies, self.proxy)
+        neg = util.negative_scores(self.B, self.entropies, self.proxy)
+        np.testing.assert_allclose(pos, neg)
+        np.testing.assert_allclose(pos, [0.8, 0.9])
+
+    def test_registry(self):
+        assert isinstance(make_utility("full"), FullUtility)
+        with pytest.raises(ValueError):
+            make_utility("entropy-only")
+
+    def test_score_lf_matches_vectorized(self):
+        util = FullUtility()
+        from repro.core.lf import PrimitiveLF
+
+        lf = PrimitiveLF(1, "w1", -1)
+        scalar = util.score_lf(lf, self.B, self.entropies, self.proxy)
+        vector = util.negative_scores(self.B, self.entropies, self.proxy)[1]
+        assert scalar == pytest.approx(vector)
+
+    def test_soft_proxy_shrinks_correctness(self):
+        confident = FullUtility().scores(self.B, self.entropies, np.array([1, -1, 1]))
+        hedged = FullUtility().scores(
+            self.B, self.entropies, np.array([0.6, 0.4, 0.6])
+        )
+        assert np.all(np.abs(hedged) <= np.abs(confident) + 1e-12)

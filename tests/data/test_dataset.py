@@ -1,0 +1,99 @@
+"""Tests for dataset containers and featurization."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import featurize_corpus, train_valid_test_split
+from repro.data.synthetic import ClusterSpec, CorpusGenerator, CorpusSpec
+
+
+def tiny_corpus(n=120, seed=0):
+    spec = CorpusSpec(
+        name="unit",
+        clusters=(
+            ClusterSpec("c0", ("alpha", "beta"), ("lp",), ("ln",)),
+            ClusterSpec("c1", ("gamma", "delta"), ("lp2",), ("ln2",)),
+        ),
+        global_positive=("goodword",),
+        global_negative=("badword",),
+        common_words=("the", "and", "with"),
+        mean_doc_length=10.0,
+    )
+    return CorpusGenerator(spec).generate(n, seed=seed)
+
+
+class TestSplit:
+    def test_partition_is_disjoint_and_complete(self):
+        train, valid, test = train_valid_test_split(100, seed=0)
+        combined = np.concatenate([train, valid, test])
+        assert sorted(combined.tolist()) == list(range(100))
+
+    def test_ratios(self):
+        train, valid, test = train_valid_test_split(1000, seed=0)
+        assert len(valid) == 100
+        assert len(test) == 100
+        assert len(train) == 800
+
+    def test_deterministic(self):
+        a = train_valid_test_split(50, seed=3)
+        b = train_valid_test_split(50, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_invalid_ratios(self):
+        with pytest.raises(ValueError):
+            train_valid_test_split(10, valid_ratio=0.6, test_ratio=0.6)
+
+    def test_min_one_example_per_split(self):
+        train, valid, test = train_valid_test_split(10, seed=0)
+        assert len(valid) >= 1 and len(test) >= 1
+
+
+class TestFeaturize:
+    def test_split_sizes(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        assert ds.train.n + ds.valid.n + ds.test.n == 120
+
+    def test_matrix_shapes_consistent(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        for split in ds.splits.values():
+            assert split.X.shape == split.B.shape
+            assert split.X.shape[0] == split.n == len(split.y)
+
+    def test_B_is_binary(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        assert set(np.unique(ds.train.B.toarray())) <= {0.0, 1.0}
+
+    def test_B_pattern_matches_X(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        assert (ds.train.B != (ds.train.X != 0)).nnz == 0
+
+    def test_vocabulary_fitted_on_train_only(self):
+        ds = featurize_corpus(tiny_corpus(), min_df=1, seed=0)
+        train_tokens = set(" ".join(ds.train.texts).split())
+        assert set(ds.primitive_names) <= train_tokens
+
+    def test_label_prior_estimated_from_valid(self):
+        ds = featurize_corpus(tiny_corpus(500), seed=0)
+        expected = np.clip((ds.valid.y == 1).mean(), 0.05, 0.95)
+        assert ds.label_prior == pytest.approx(expected)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            featurize_corpus(tiny_corpus(), metric="auc")
+
+    def test_primitive_id_lookup(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        token = ds.primitive_names[0]
+        assert ds.primitive_id(token) == 0
+        with pytest.raises(KeyError):
+            ds.primitive_id("not-a-token")
+
+    def test_describe_mentions_sizes(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        text = ds.describe()
+        assert "unit" in text and "#Train=" in text
+
+    def test_lexicon_carried_over(self):
+        ds = featurize_corpus(tiny_corpus(), seed=0)
+        assert ds.lexicon.get("goodword") == 1

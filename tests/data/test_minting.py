@@ -1,0 +1,59 @@
+"""Tests for pseudo-word minting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.minting import expand_bank, mint_words
+
+
+class TestMintWords:
+    def test_count_and_uniqueness(self):
+        words = mint_words(50, seed=0)
+        assert len(words) == 50
+        assert len(set(words)) == 50
+
+    def test_deterministic(self):
+        assert mint_words(20, seed=3) == mint_words(20, seed=3)
+
+    def test_avoids_taken(self):
+        taken = set(mint_words(30, seed=0))
+        fresh = mint_words(30, seed=0, taken=taken)
+        assert not (set(fresh) & taken)
+
+    def test_lowercase_alpha(self):
+        for word in mint_words(40, seed=1):
+            assert word.isalpha() and word.islower()
+
+    def test_zero(self):
+        assert mint_words(0, seed=0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mint_words(-1, seed=0)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_always_unique(self, seed):
+        words = mint_words(25, seed=seed)
+        assert len(set(words)) == 25
+
+
+class TestExpandBank:
+    def test_curated_words_stay_first(self):
+        bank = expand_bank(("great", "super"), 10, seed=0)
+        assert bank[:2] == ("great", "super")
+        assert len(bank) == 10
+
+    def test_no_expansion_when_large_enough(self):
+        bank = ("a", "b", "c")
+        assert expand_bank(bank, 2, seed=0) == bank
+
+    def test_minted_avoid_curated(self):
+        bank = expand_bank(("great",), 20, seed=0)
+        assert len(set(bank)) == 20
+
+    def test_taken_respected(self):
+        other = set(expand_bank((), 20, seed=0))
+        bank = expand_bank((), 20, seed=0, taken=other)
+        assert not (set(bank) & other)

@@ -1,0 +1,77 @@
+"""Tests for the six dataset recipes."""
+
+import numpy as np
+import pytest
+
+from repro.data.recipes import DATASET_NAMES, SCALE_SIZES, load_dataset
+
+
+class TestRegistry:
+    def test_all_six_datasets_present(self):
+        assert set(DATASET_NAMES) == {"amazon", "yelp", "imdb", "youtube", "sms", "vg"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            load_dataset("amazon", scale="huge")
+
+
+class TestTinyBuilds:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_builds_and_has_structure(self, name):
+        ds = load_dataset(name, scale="tiny", seed=0)
+        total = SCALE_SIZES[name]["tiny"]
+        assert ds.train.n + ds.valid.n + ds.test.n == total
+        assert ds.n_primitives > 50
+        assert len(ds.lexicon) > 0
+        assert set(np.unique(ds.train.y)) <= {-1, 1}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic(self, name):
+        a = load_dataset(name, scale="tiny", seed=1)
+        b = load_dataset(name, scale="tiny", seed=1)
+        assert a.train.texts == b.train.texts
+        np.testing.assert_array_equal(a.train.y, b.train.y)
+
+    def test_seed_changes_corpus(self):
+        a = load_dataset("amazon", scale="tiny", seed=1)
+        b = load_dataset("amazon", scale="tiny", seed=2)
+        assert a.train.texts != b.train.texts
+
+
+class TestTaskProperties:
+    def test_sms_is_imbalanced_f1(self):
+        ds = load_dataset("sms", scale="tiny", seed=0)
+        assert ds.metric == "f1"
+        assert (ds.train.y == 1).mean() < 0.3
+
+    def test_sentiment_datasets_roughly_balanced(self):
+        for name in ("amazon", "yelp", "imdb"):
+            ds = load_dataset(name, scale="tiny", seed=0)
+            assert ds.metric == "accuracy"
+            assert 0.3 < (ds.train.y == 1).mean() < 0.7
+
+    def test_amazon_has_four_clusters(self):
+        ds = load_dataset("amazon", scale="tiny", seed=0)
+        assert len(ds.cluster_names) == 4
+
+    def test_vg_primitives_are_objects(self):
+        ds = load_dataset("vg", scale="tiny", seed=0)
+        assert "horse" in ds.primitive_names or "bicycle" in ds.primitive_names
+
+    def test_spam_cue_precision_under_imbalance(self):
+        ds = load_dataset("sms", scale="bench", seed=0)
+        B, y = ds.train.B, ds.train.y
+        names = ds.primitive_names
+        # the head curated spam cues must stay usable LF material
+        usable = 0
+        for word in ("free", "win", "txt", "call"):
+            if word not in names:
+                continue
+            col = np.asarray(B[:, names.index(word)].todense()).ravel() > 0
+            if col.sum() >= 5 and (y[col] == 1).mean() > 0.5:
+                usable += 1
+        assert usable >= 2

@@ -1,0 +1,48 @@
+"""Sanity tests for the curated word banks.
+
+The banks are pure data (DESIGN.md: "nothing here is load-bearing"), but
+the generator's semantics assume two structural facts checked here: cue
+banks of opposite polarity are disjoint, and tokens survive the tokenizer
+unchanged (else an LF written on a bank word could never fire).
+"""
+
+import pytest
+
+from repro.data import wordbanks
+from repro.text.tokenize import simple_tokenize
+
+BANKS = {
+    "COMMON_FILLER": wordbanks.COMMON_FILLER,
+    "SENTIMENT_POSITIVE": wordbanks.SENTIMENT_POSITIVE,
+    "SENTIMENT_NEGATIVE": wordbanks.SENTIMENT_NEGATIVE,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BANKS))
+class TestBankHygiene:
+    def test_non_empty(self, name):
+        assert len(BANKS[name]) > 0
+
+    def test_no_duplicates(self, name):
+        bank = BANKS[name]
+        assert len(set(bank)) == len(bank)
+
+    def test_tokens_survive_tokenization(self, name):
+        for word in BANKS[name]:
+            assert simple_tokenize(word) == [word], word
+
+
+class TestPolarityDisjointness:
+    def test_positive_negative_disjoint(self):
+        overlap = set(wordbanks.SENTIMENT_POSITIVE) & set(wordbanks.SENTIMENT_NEGATIVE)
+        assert not overlap
+
+    def test_cue_banks_disjoint_from_filler(self):
+        filler = set(wordbanks.COMMON_FILLER)
+        assert not filler & set(wordbanks.SENTIMENT_POSITIVE)
+        assert not filler & set(wordbanks.SENTIMENT_NEGATIVE)
+
+    def test_cluster_markers_disjoint_from_sentiment_cues(self):
+        cues = set(wordbanks.SENTIMENT_POSITIVE) | set(wordbanks.SENTIMENT_NEGATIVE)
+        for cluster, markers in wordbanks.AMAZON_CLUSTERS.items():
+            assert not cues & set(markers), cluster

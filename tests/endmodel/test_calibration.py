@@ -1,0 +1,52 @@
+"""Tests for Platt calibration."""
+
+import numpy as np
+import pytest
+
+from repro.endmodel.calibration import PlattCalibrator
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+
+
+class TestPlattCalibrator:
+    def test_informative_scores_keep_ranking(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal(200) * 3
+        y = np.where(scores + 0.3 * rng.standard_normal(200) > 0, 1, -1)
+        cal = PlattCalibrator().fit(scores, y)
+        p = cal.transform(np.array([-2.0, 0.0, 2.0]))
+        assert p[0] < p[1] < p[2]
+
+    def test_uninformative_scores_flatten_to_base_rate(self):
+        rng = np.random.default_rng(1)
+        scores = rng.standard_normal(300)
+        y = np.where(rng.random(300) < 0.5, 1, -1)  # independent of scores
+        cal = PlattCalibrator().fit(scores, y)
+        p = cal.transform(np.array([-5.0, 5.0]))
+        assert abs(p[0] - p[1]) < 0.25  # much flatter than raw sigmoids
+
+    def test_anticorrelated_scores_clamped_not_inverted(self):
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal(300)
+        y = np.where(scores < 0, 1, -1)  # inverted relationship
+        cal = PlattCalibrator().fit(scores, y)
+        assert cal.slope_ == 0.0  # never trust the model inverted
+
+    def test_constant_scores_give_base_rate(self):
+        y = np.array([1, 1, -1, -1, -1, -1, -1, -1])
+        cal = PlattCalibrator().fit(np.zeros(8), y)
+        p = cal.transform(np.zeros(3))
+        np.testing.assert_allclose(p, 0.25, atol=0.05)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().transform(np.zeros(2))
+
+    def test_fit_transform_from_end_model(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((200, 2))
+        y = np.where(X[:, 0] > 0, 1, -1)
+        model = SoftLabelLogisticRegression().fit(X, (y + 1) / 2)
+        cal = PlattCalibrator()
+        p = cal.fit_transform_from(model, X, y, X)
+        assert p.shape == (200,)
+        assert ((p >= 0.5).astype(int) * 2 - 1 == y).mean() > 0.9

@@ -1,0 +1,109 @@
+"""Tests for the soft-label logistic regression end model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+
+
+def separable(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 3))
+    y = np.where(X[:, 0] - X[:, 1] > 0, 1, -1)
+    return X, y
+
+
+class TestFit:
+    def test_learns_separable_data(self):
+        X, y = separable()
+        clf = SoftLabelLogisticRegression().fit(X, (y + 1) / 2)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_soft_targets(self):
+        X, y = separable(seed=1)
+        q = np.where(y == 1, 0.8, 0.2)
+        clf = SoftLabelLogisticRegression().fit(X, q)
+        assert (clf.predict(X) == y).mean() > 0.9
+
+    def test_hard_pm1_labels_accepted(self):
+        X, y = separable(seed=2)
+        clf = SoftLabelLogisticRegression().fit(X, y.astype(float))
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_sparse_input(self):
+        X, y = separable(seed=3)
+        clf = SoftLabelLogisticRegression().fit(sp.csr_matrix(X), (y + 1) / 2)
+        assert (clf.predict(sp.csr_matrix(X)) == y).mean() > 0.95
+
+    def test_sample_weights_shift_fit(self):
+        X = np.array([[1.0], [1.0], [-1.0]])
+        q = np.array([1.0, 1.0, 0.0])
+        heavy_neg = SoftLabelLogisticRegression(l2=0.0, penalize_intercept=True).fit(
+            X, q, sample_weight=np.array([1.0, 1.0, 50.0])
+        )
+        balanced = SoftLabelLogisticRegression(l2=0.0, penalize_intercept=True).fit(X, q)
+        assert heavy_neg.predict_proba(np.array([[0.5]]))[0] < balanced.predict_proba(
+            np.array([[0.5]])
+        )[0]
+
+    def test_rejects_bad_targets(self):
+        X, _ = separable()
+        with pytest.raises(ValueError, match="soft labels"):
+            SoftLabelLogisticRegression().fit(X, np.full(X.shape[0], 1.5))
+
+    def test_rejects_length_mismatch(self):
+        X, _ = separable()
+        with pytest.raises(ValueError):
+            SoftLabelLogisticRegression().fit(X, np.array([0.5]))
+
+    def test_rejects_negative_weights(self):
+        X, y = separable()
+        with pytest.raises(ValueError):
+            SoftLabelLogisticRegression().fit(X, (y + 1) / 2, sample_weight=-np.ones(len(y)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SoftLabelLogisticRegression(l2=-1)
+        with pytest.raises(ValueError):
+            SoftLabelLogisticRegression(max_iter=0)
+
+
+class TestBehaviour:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftLabelLogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_stronger_l2_shrinks_weights(self):
+        X, y = separable(seed=4)
+        weak = SoftLabelLogisticRegression(l2=1e-4).fit(X, (y + 1) / 2)
+        strong = SoftLabelLogisticRegression(l2=10.0).fit(X, (y + 1) / 2)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_intercept_penalty_bounds_one_class_confidence(self):
+        X = np.abs(np.random.default_rng(0).standard_normal((100, 2)))
+        q = np.full(100, 0.97)
+        free = SoftLabelLogisticRegression(penalize_intercept=False, l2=1.0).fit(X, q)
+        tied = SoftLabelLogisticRegression(penalize_intercept=True, l2=1.0).fit(X, q)
+        assert abs(tied.intercept_) < abs(free.intercept_)
+
+    def test_warm_start_preserves_dimensions_check(self):
+        X, y = separable()
+        clf = SoftLabelLogisticRegression(warm_start=True).fit(X, (y + 1) / 2)
+        coef_first = clf.coef_.copy()
+        clf.fit(X, (y + 1) / 2)
+        np.testing.assert_allclose(clf.coef_, coef_first, atol=1e-3)
+
+    def test_clone_unfitted(self):
+        clf = SoftLabelLogisticRegression(l2=0.5, penalize_intercept=True)
+        clone = clf.clone_unfitted()
+        assert clone.l2 == 0.5 and clone.penalize_intercept
+        assert clone.coef_ is None
+
+    def test_decision_function_monotone_with_proba(self):
+        X, y = separable(seed=5)
+        clf = SoftLabelLogisticRegression().fit(X, (y + 1) / 2)
+        scores = clf.decision_function(X)
+        probas = clf.predict_proba(X)
+        order = np.argsort(scores)
+        assert np.all(np.diff(probas[order]) >= -1e-12)

@@ -1,0 +1,88 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+from hypothesis import strategies as st
+
+from repro.endmodel.metrics import (
+    accuracy_score,
+    f1_score,
+    get_metric,
+    learning_curve_summary,
+    precision_score,
+    recall_score,
+    soft_label_accuracy,
+)
+
+LABELS = arrays(int, st.integers(1, 30), elements=st.sampled_from([-1, 1]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([1, -1, 1])
+        assert accuracy_score(y, y) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(np.array([1, -1]), np.array([1, 1])) == 0.5
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([1, 0]), np.array([1, 1]))
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = np.array([1, 1, -1, -1, 1])
+        y_pred = np.array([1, -1, 1, -1, 1])
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        y_true = np.array([1, -1])
+        y_pred = np.array([-1, -1])
+        assert precision_score(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+    def test_no_actual_positives(self):
+        y_true = np.array([-1, -1])
+        y_pred = np.array([1, -1])
+        assert recall_score(y_true, y_pred) == 0.0
+
+    @given(LABELS)
+    @settings(max_examples=40, deadline=None)
+    def test_f1_between_precision_and_recall_extremes(self, y):
+        rng = np.random.default_rng(0)
+        pred = np.where(rng.random(len(y)) < 0.5, 1, -1)
+        p, r, f = (
+            precision_score(y, pred),
+            recall_score(y, pred),
+            f1_score(y, pred),
+        )
+        assert min(p, r) - 1e-9 <= f <= max(p, r) + 1e-9
+
+
+class TestSoftLabelAccuracy:
+    def test_thresholding(self):
+        y = np.array([1, -1, 1])
+        proba = np.array([0.9, 0.2, 0.4])
+        assert soft_label_accuracy(y, proba) == pytest.approx(2 / 3)
+
+
+class TestRegistryAndSummary:
+    def test_get_metric(self):
+        assert get_metric("accuracy") is accuracy_score
+        assert get_metric("f1") is f1_score
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            get_metric("mcc")
+
+    def test_curve_summary_is_mean(self):
+        assert learning_curve_summary([0.5, 0.7, 0.9]) == pytest.approx(0.7)
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(ValueError):
+            learning_curve_summary([])

@@ -1,0 +1,125 @@
+"""Tests for the soft-label softmax end model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+from repro.endmodel.softmax import SoftLabelSoftmaxRegression
+
+
+def separable_3class(n=240, seed=0):
+    """Three Gaussian blobs in 2-D, one per class."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 4.0], [4.0, -2.0], [-4.0, -2.0]])
+    y = rng.integers(3, size=n)
+    X = centers[y] + 0.6 * rng.standard_normal((n, 2))
+    return X, y
+
+
+class TestFitting:
+    def test_learns_separable_blobs(self):
+        X, y = separable_3class()
+        Q = np.zeros((len(y), 3))
+        Q[np.arange(len(y)), y] = 1.0
+        clf = SoftLabelSoftmaxRegression(n_classes=3).fit(X, Q)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_accepts_hard_label_vector(self):
+        X, y = separable_3class()
+        clf = SoftLabelSoftmaxRegression(n_classes=3).fit(X, y)
+        assert (clf.predict(X) == y).mean() > 0.95
+
+    def test_soft_targets_shift_boundary(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        confident = np.array([[0.99, 0.01], [0.99, 0.01], [0.01, 0.99], [0.01, 0.99]])
+        hedged = np.array([[0.6, 0.4], [0.6, 0.4], [0.4, 0.6], [0.4, 0.6]])
+        p_confident = SoftLabelSoftmaxRegression(n_classes=2).fit(X, confident)
+        p_hedged = SoftLabelSoftmaxRegression(n_classes=2).fit(X, hedged)
+        # hedged targets produce flatter probabilities
+        spread_confident = np.ptp(p_confident.predict_proba(X)[:, 1])
+        spread_hedged = np.ptp(p_hedged.predict_proba(X)[:, 1])
+        assert spread_hedged < spread_confident
+
+    def test_sparse_input(self):
+        X, y = separable_3class()
+        clf = SoftLabelSoftmaxRegression(n_classes=3).fit(sp.csr_matrix(X), y)
+        assert (clf.predict(sp.csr_matrix(X)) == y).mean() > 0.9
+
+    def test_sample_weights_zero_out_rows(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        Q = np.array([[1, 0], [1, 0], [0, 1], [0, 1]], dtype=float)
+        w = np.array([1.0, 1.0, 0.0, 0.0])
+        clf = SoftLabelSoftmaxRegression(n_classes=2, l2=1e-6).fit(X, Q, sample_weight=w)
+        # with the class-1 rows zeroed out, the model has no reason to
+        # separate: predictions at 10 stay close to the class-0 side
+        assert clf.predict_proba(np.array([[0.5]]))[0, 0] > 0.4
+
+    def test_warm_start_reuses_solution(self):
+        X, y = separable_3class(n=120)
+        clf = SoftLabelSoftmaxRegression(n_classes=3, warm_start=True).fit(X, y)
+        coef_before = clf.coef_.copy()
+        clf.fit(X, y)
+        # refitting the same problem from the previous optimum stays put
+        np.testing.assert_allclose(clf.coef_, coef_before, atol=1e-2)
+
+
+class TestBinaryConsistency:
+    def test_matches_binary_logistic_on_two_classes(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((150, 3))
+        q = 1.0 / (1.0 + np.exp(-(X @ np.array([1.0, -2.0, 0.5]))))
+        soft_binary = q
+        soft_mc = np.stack([1 - q, q], axis=1)
+        binary = SoftLabelLogisticRegression(l2=1e-2).fit(X, soft_binary)
+        mc = SoftLabelSoftmaxRegression(n_classes=2, l2=1e-2).fit(X, soft_mc)
+        p_binary = binary.predict_proba(X)
+        p_mc = mc.predict_proba(X)[:, 1]
+        # Softmax with K=2 is over-parameterized but under matching L2 the
+        # predictive probabilities agree closely.
+        np.testing.assert_allclose(p_binary, p_mc, atol=0.03)
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        clf = SoftLabelSoftmaxRegression(n_classes=3)
+        with pytest.raises(ValueError, match="shape"):
+            clf.fit(np.zeros((4, 2)), np.zeros((4, 2)))
+
+    def test_rejects_non_stochastic_rows(self):
+        clf = SoftLabelSoftmaxRegression(n_classes=2)
+        with pytest.raises(ValueError, match="row-stochastic"):
+            clf.fit(np.zeros((2, 1)), np.array([[0.9, 0.9], [0.1, 0.1]]))
+
+    def test_rejects_out_of_range_hard_labels(self):
+        clf = SoftLabelSoftmaxRegression(n_classes=2)
+        with pytest.raises(ValueError, match="hard labels"):
+            clf.fit(np.zeros((2, 1)), np.array([0, 5]))
+
+    def test_rejects_negative_weights(self):
+        clf = SoftLabelSoftmaxRegression(n_classes=2)
+        with pytest.raises(ValueError, match="non-negative"):
+            clf.fit(
+                np.zeros((2, 1)),
+                np.array([[1.0, 0.0], [0.0, 1.0]]),
+                sample_weight=np.array([1.0, -1.0]),
+            )
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            SoftLabelSoftmaxRegression(n_classes=2).predict(np.zeros((1, 1)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            SoftLabelSoftmaxRegression(n_classes=1)
+        with pytest.raises(ValueError, match="l2"):
+            SoftLabelSoftmaxRegression(n_classes=2, l2=-1.0)
+        with pytest.raises(ValueError, match="max_iter"):
+            SoftLabelSoftmaxRegression(n_classes=2, max_iter=0)
+
+    def test_clone_unfitted(self):
+        clf = SoftLabelSoftmaxRegression(n_classes=3, l2=0.5)
+        clone = clf.clone_unfitted()
+        assert clone.n_classes == 3
+        assert clone.l2 == 0.5
+        assert clone.coef_ is None

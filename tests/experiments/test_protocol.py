@@ -1,0 +1,117 @@
+"""Tests for the evaluation protocol and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import InteractiveMethod
+from repro.data import load_dataset
+from repro.experiments.protocol import (
+    LearningCurve,
+    RunResult,
+    evaluate_method,
+    run_learning_curve,
+)
+from repro.experiments.reporting import format_series, format_table, relative_lift
+
+
+class CountingMethod(InteractiveMethod):
+    """Deterministic fake method: score = iterations stepped / 100."""
+
+    def __init__(self, dataset, seed=None):
+        super().__init__(dataset, seed)
+        self.steps = 0
+
+    def step(self):
+        self.steps += 1
+
+    def predict_test(self):  # pragma: no cover - unused via test_score override
+        return np.ones(self.dataset.test.n, dtype=int)
+
+    def test_score(self):
+        return self.steps / 100.0
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+class TestRunLearningCurve:
+    def test_eval_points(self, dataset):
+        curve = run_learning_curve(CountingMethod(dataset), n_iterations=20, eval_every=5)
+        assert curve.iterations == [5, 10, 15, 20]
+        np.testing.assert_allclose(curve.scores, [0.05, 0.10, 0.15, 0.20])
+
+    def test_summary_is_mean(self, dataset):
+        curve = run_learning_curve(CountingMethod(dataset), n_iterations=20, eval_every=5)
+        assert curve.summary == pytest.approx(0.125)
+        assert curve.final == pytest.approx(0.20)
+
+    def test_short_run_evaluates_once(self, dataset):
+        curve = run_learning_curve(CountingMethod(dataset), n_iterations=3, eval_every=5)
+        assert curve.iterations == [3]
+
+    def test_invalid_args(self, dataset):
+        with pytest.raises(ValueError):
+            run_learning_curve(CountingMethod(dataset), n_iterations=0)
+        with pytest.raises(ValueError):
+            run_learning_curve(CountingMethod(dataset), eval_every=0)
+
+
+class TestEvaluateMethod:
+    def test_aggregates_seeds(self, dataset):
+        result = evaluate_method(
+            lambda ds, seed: CountingMethod(ds, seed),
+            "counting",
+            dataset,
+            n_iterations=10,
+            eval_every=5,
+            n_seeds=3,
+        )
+        assert len(result.curves) == 3
+        assert result.summary_mean == pytest.approx(0.075)
+        assert result.summary_std == pytest.approx(0.0)
+
+    def test_mean_curve(self, dataset):
+        result = RunResult(
+            "m", "d",
+            curves=[
+                LearningCurve([5, 10], [0.2, 0.4]),
+                LearningCurve([5, 10], [0.4, 0.6]),
+            ],
+        )
+        mean = result.mean_curve()
+        np.testing.assert_allclose(mean.scores, [0.3, 0.5])
+
+    def test_invalid_seeds(self, dataset):
+        with pytest.raises(ValueError):
+            evaluate_method(lambda ds, s: CountingMethod(ds), "m", dataset, n_seeds=0)
+
+
+class TestReporting:
+    def test_format_table_marks_winner(self):
+        text = format_table(
+            "T", ["a", "b"], {"ds1": [0.5, 0.7], "ds2": [0.9, 0.1]}
+        )
+        assert "0.7000*" in text and "0.9000*" in text
+
+    def test_format_table_handles_none(self):
+        text = format_table("T", ["a"], {"ds": [None]})
+        assert "n/a" in text
+
+    def test_format_table_row_length_check(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a", "b"], {"ds": [0.5]})
+
+    def test_format_series(self):
+        text = format_series("F", [1, 2, 3], [0.1, 0.2, 0.3], "iter", "acc")
+        assert "iter" in text and "0.3000" in text
+
+    def test_series_length_check(self):
+        with pytest.raises(ValueError):
+            format_series("F", [1], [0.1, 0.2])
+
+    def test_relative_lift(self):
+        assert relative_lift(0.6, 0.5) == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            relative_lift(0.5, 0.0)

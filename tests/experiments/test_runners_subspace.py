@@ -1,0 +1,82 @@
+"""Tests for the method registry and the Figure-2 subspace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import DataProgrammingSession, InteractiveMethod
+from repro.data import load_dataset
+from repro.experiments.runners import TABLE2_METHODS, TABLE5_METHODS, make_method
+from repro.experiments.subspace import lf_subspace_profile
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", TABLE2_METHODS)
+    def test_table2_methods_construct_and_step(self, name, dataset):
+        method = make_method(name)(dataset, 0)
+        assert isinstance(method, InteractiveMethod)
+        method.step()
+        assert 0.0 <= method.test_score() <= 1.0
+
+    @pytest.mark.parametrize("name", TABLE5_METHODS)
+    def test_table5_methods_are_sessions(self, name, dataset):
+        method = make_method(name)(dataset, 0)
+        assert isinstance(method, DataProgrammingSession)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["nemo-no-selector", "nemo-no-contextualizer", "seu-uniform",
+         "seu-no-informativeness", "seu-no-correctness", "contextualized",
+         "standard", "ctx-cosine", "ctx-euclidean"],
+    )
+    def test_ablation_methods_construct(self, name, dataset):
+        method = make_method(name)(dataset, 0)
+        method.step()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            make_method("gpt4-labeling")
+
+    def test_user_threshold_forwarded(self, dataset):
+        method = make_method("snorkel", user_threshold=0.8)(dataset, 0)
+        assert method.user.accuracy_threshold == 0.8
+
+    def test_nemo_has_contextualizer_and_seu(self, dataset):
+        method = make_method("nemo")(dataset, 0)
+        assert method.contextualizer is not None
+        from repro.core.seu import SEUSelector
+
+        assert isinstance(method.selector, SEUSelector)
+
+    def test_snorkel_is_vanilla(self, dataset):
+        method = make_method("snorkel")(dataset, 0)
+        assert method.contextualizer is None
+
+
+class TestSubspaceProfile:
+    def test_figure2_shape_holds(self, dataset):
+        profile = lf_subspace_profile(dataset, n_lfs=40, n_bins=4, seed=0)
+        assert profile.n_lfs == 40
+        # Coverage decays with distance (paper Fig. 2 left).
+        assert profile.coverage[0] > profile.coverage[-1]
+        # Accuracy near the development data beats the far bins (Fig. 2 right).
+        far = profile.accuracy[2:]
+        far = far[~np.isnan(far)]
+        if far.size:
+            assert profile.accuracy[0] > far.mean() - 0.05
+
+    def test_rows_format(self, dataset):
+        profile = lf_subspace_profile(dataset, n_lfs=10, n_bins=4, seed=1)
+        rows = profile.rows()
+        assert len(rows) == 4
+        assert rows[0][0] == "0-25%"
+
+    def test_invalid_args(self, dataset):
+        with pytest.raises(ValueError):
+            lf_subspace_profile(dataset, n_lfs=0)
+        with pytest.raises(ValueError):
+            lf_subspace_profile(dataset, n_bins=1)

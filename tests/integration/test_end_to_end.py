@@ -1,0 +1,94 @@
+"""Integration tests: full IDP sessions across the public API.
+
+These exercise the complete pipeline the way the benchmarks do, on tiny
+corpora, and assert the paper's *qualitative* claims where they are robust
+enough to hold at test scale across seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NemoConfig,
+    SimulatedUser,
+    load_dataset,
+    make_method,
+    nemo_config,
+    run_learning_curve,
+    snorkel_config,
+)
+from repro.experiments.protocol import evaluate_method
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def sms():
+    return load_dataset("sms", scale="tiny", seed=0)
+
+
+class TestFullLoop:
+    def test_quickstart_api(self, amazon):
+        user = SimulatedUser(amazon, seed=0)
+        session = NemoConfig().create_session(amazon, user, seed=0)
+        score = session.run(10).test_score()
+        assert 0.0 <= score <= 1.0
+        assert len(session.lfs) >= 5
+
+    def test_learning_curve_improves_over_prior(self, amazon):
+        factory = make_method("snorkel")
+        curve = run_learning_curve(factory(amazon, 3), n_iterations=25, eval_every=5)
+        majority = max((amazon.test.y == 1).mean(), (amazon.test.y == -1).mean())
+        assert max(curve.scores) > majority
+
+    def test_nemo_beats_snorkel_on_average(self, amazon):
+        n_seeds = 3
+        nemo = evaluate_method(
+            lambda ds, s: nemo_config().create_session(ds, SimulatedUser(ds, seed=s), seed=s),
+            "nemo", amazon, n_iterations=25, eval_every=5, n_seeds=n_seeds,
+        )
+        snorkel = evaluate_method(
+            lambda ds, s: snorkel_config().create_session(ds, SimulatedUser(ds, seed=s), seed=s),
+            "snorkel", amazon, n_iterations=25, eval_every=5, n_seeds=n_seeds,
+        )
+        # The tiny test split has 30 examples (scores quantize to 1/30),
+        # so this is a smoke-level sanity bound; the real comparison runs
+        # at bench scale in benchmarks/bench_table2_end_to_end.py.
+        assert nemo.summary_mean > snorkel.summary_mean - 0.10
+
+    def test_every_table2_method_completes_a_short_run(self, amazon):
+        for name in ("nemo", "snorkel", "snorkel-abs", "snorkel-dis",
+                     "implyloss-l", "us", "bald", "iws-lse", "active-weasul"):
+            method = make_method(name)(amazon, 0)
+            curve = run_learning_curve(method, n_iterations=8, eval_every=4)
+            assert len(curve.scores) == 2, name
+
+    def test_f1_task_end_to_end(self, sms):
+        user = SimulatedUser(sms, seed=0)
+        session = nemo_config().create_session(sms, user, seed=0)
+        session.run(15)
+        score = session.test_score()
+        assert 0.0 <= score <= 1.0
+
+    def test_contextualizer_changes_outcomes(self, amazon):
+        def run(cfg, seed):
+            user = SimulatedUser(amazon, seed=seed)
+            return cfg.create_session(amazon, user, seed=seed).run(15).test_score()
+
+        ctx = NemoConfig(selector="random", contextualize=True, percentile=25.0,
+                         tune_percentile=False)
+        std = NemoConfig(selector="random", contextualize=False)
+        # Same seeds => same LFs; only the learning pipeline differs.
+        scores_ctx = [run(ctx, s) for s in range(3)]
+        scores_std = [run(std, s) for s in range(3)]
+        assert scores_ctx != scores_std
+
+    def test_reproducibility_across_processes(self, amazon):
+        user = SimulatedUser(amazon, seed=9)
+        a = nemo_config().create_session(amazon, user, seed=9).run(12).test_score()
+        user = SimulatedUser(amazon, seed=9)
+        b = nemo_config().create_session(amazon, user, seed=9).run(12).test_score()
+        assert a == b

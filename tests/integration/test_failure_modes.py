@@ -1,0 +1,238 @@
+"""Failure-injection tests: the pipeline must degrade gracefully, not crash.
+
+Each scenario plants a pathological condition — adversarial users, one-sided
+LF sets, degenerate priors, empty candidate pools — and checks that every
+stage (selection, label model, end model, evaluation) keeps well-defined
+semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.contextualizer import LFContextualizer
+from repro.core.lf import PrimitiveLF
+from repro.core.session import DataProgrammingSession, LFDeveloper
+from repro.core.seu import SEUSelector
+from repro.data import load_dataset
+from repro.interactive.basic_selectors import RandomSelector
+from repro.interactive.simulated_user import SimulatedUser
+from repro.labelmodel.metal import MetalLabelModel
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+class AdversarialUser(LFDeveloper):
+    """Always creates the LF with the *wrong* polarity for the dev example."""
+
+    def __init__(self, dataset, seed=None):
+        self.dataset = dataset
+        self.rng = np.random.default_rng(seed)
+
+    def create_lf(self, dev_index, state):
+        primitives = state.family.primitives_in(dev_index)
+        if primitives.size == 0:
+            return None
+        wrong_label = -int(self.dataset.train.y[dev_index])
+        existing = {(lf.primitive_id, lf.label) for lf in state.lfs}
+        fresh = [p for p in primitives if (int(p), wrong_label) not in existing]
+        if not fresh:
+            return None
+        return state.family.make(int(self.rng.choice(fresh)), wrong_label)
+
+
+class RefusingUser(LFDeveloper):
+    """Never produces an LF (a user who cannot find any heuristic)."""
+
+    def create_lf(self, dev_index, state):
+        return None
+
+
+class OnePolarityUser(SimulatedUser):
+    """Only ever writes positive LFs (one-sided supervision)."""
+
+    def create_lf(self, dev_index, state):
+        lf = super().create_lf(dev_index, state)
+        if lf is None or lf.label != 1:
+            return None
+        return lf
+
+
+class TestAdversarialSupervision:
+    def test_session_survives_always_wrong_lfs(self, dataset):
+        session = DataProgrammingSession(
+            dataset, RandomSelector(), AdversarialUser(dataset, seed=0), seed=0
+        )
+        session.run(12)
+        assert len(session.lfs) > 0
+        score = session.test_score()
+        assert 0.0 <= score <= 1.0
+        assert np.all(np.isfinite(session.soft_labels))
+
+    def test_seu_survives_adversarial_user(self, dataset):
+        session = DataProgrammingSession(
+            dataset, SEUSelector(), AdversarialUser(dataset, seed=0), seed=0
+        )
+        session.run(12)
+        assert 0.0 <= session.test_score() <= 1.0
+
+
+class TestRefusals:
+    def test_session_with_no_lfs_ever(self, dataset):
+        session = DataProgrammingSession(dataset, RandomSelector(), RefusingUser(), seed=0)
+        session.run(10)
+        assert len(session.lfs) == 0
+        assert session.iteration == 10
+        # falls back to prior predictions
+        preds = session.predict_test()
+        assert set(np.unique(preds)) <= {-1, 1}
+
+    def test_selected_pool_still_advances(self, dataset):
+        session = DataProgrammingSession(dataset, RandomSelector(), RefusingUser(), seed=0)
+        session.run(10)
+        assert len(session.selected) == 10
+
+
+class TestOneSidedSupervision:
+    def test_single_polarity_set_stays_finite(self, dataset):
+        session = DataProgrammingSession(
+            dataset, RandomSelector(), OnePolarityUser(dataset, seed=0), seed=0
+        )
+        session.run(15)
+        assert all(lf.label == 1 for lf in session.lfs)
+        assert np.all(np.isfinite(session.soft_labels))
+        assert np.all(np.isfinite(session.proxy_proba))
+        assert 0.0 <= session.test_score() <= 1.0
+
+    def test_seu_cold_start_holds_under_one_polarity(self, dataset):
+        # SEU never leaves cold start when only one polarity exists, so it
+        # keeps selecting randomly instead of collapsing onto one class.
+        selector = SEUSelector(warmup=3)
+        session = DataProgrammingSession(
+            dataset, selector, OnePolarityUser(dataset, seed=0), seed=0
+        )
+        session.run(10)
+        assert selector._in_cold_start(session.build_state())
+
+
+class TestExhaustedPool:
+    def test_selection_returns_none_when_pool_empty(self, dataset):
+        session = DataProgrammingSession(
+            dataset, RandomSelector(), SimulatedUser(dataset, seed=0), seed=0
+        )
+        session.selected.update(range(dataset.train.n))
+        n_before = session.iteration
+        session.step()
+        assert session.iteration == n_before + 1
+        assert len(session.lfs) == 0
+
+
+class TestDegenerateLabelMatrices:
+    def test_metal_on_all_abstain_matrix(self):
+        L = np.zeros((40, 3), dtype=np.int8)
+        model = MetalLabelModel(class_prior=0.3).fit(L)
+        proba = model.predict_proba(L)
+        np.testing.assert_allclose(proba, model.prior_)
+
+    def test_metal_on_single_example(self):
+        L = np.array([[1, -1, 0]], dtype=np.int8)
+        proba = MetalLabelModel().fit_predict_proba(L)
+        assert np.all(np.isfinite(proba))
+
+    def test_metal_on_duplicate_lfs(self):
+        rng = np.random.default_rng(0)
+        col = rng.choice([-1, 0, 1], size=60)
+        L = np.stack([col] * 5, axis=1)  # five identical LFs
+        proba = MetalLabelModel().fit_predict_proba(L)
+        assert np.all(np.isfinite(proba))
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_contextualizer_percentile_zero(self, dataset):
+        # radius = 0th percentile: only the nearest example(s) keep votes
+        from repro.core.lineage import LineageStore
+        from repro.labelmodel.matrix import apply_lfs
+
+        family_lf = PrimitiveLF(primitive_id=0, primitive=dataset.primitive_names[0], label=1)
+        lineage = LineageStore(dataset)
+        covered = np.flatnonzero(
+            np.asarray(dataset.train.B[:, 0].todense()).ravel()
+        )
+        if covered.size == 0:
+            pytest.skip("first primitive covers nothing at this scale")
+        lineage.add(family_lf, int(covered[0]), 0)
+        L = apply_lfs([family_lf], dataset.train.B)
+        refined = LFContextualizer(percentile=0.0).refine(L, lineage)
+        assert (refined != 0).sum() <= (L != 0).sum()
+        # the development point itself is at distance 0 and is kept
+        assert refined[covered[0], 0] == L[covered[0], 0]
+
+
+class TestExtremePriors:
+    @pytest.mark.parametrize("prior", [0.02, 0.98])
+    def test_metal_with_extreme_prior_stays_finite(self, prior):
+        rng = np.random.default_rng(0)
+        y = np.where(rng.random(300) < prior, 1, -1)
+        L = np.zeros((300, 4), dtype=np.int8)
+        for j in range(4):
+            fires = rng.random(300) < 0.5
+            correct = rng.random(300) < 0.8
+            L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+        model = MetalLabelModel(class_prior=prior)
+        proba = model.fit_predict_proba(L)
+        assert np.all(np.isfinite(proba))
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_prior_at_bounds_rejected(self):
+        with pytest.raises(ValueError, match="class_prior"):
+            MetalLabelModel(class_prior=0.0)
+        with pytest.raises(ValueError, match="class_prior"):
+            MetalLabelModel(class_prior=1.0)
+
+
+class TestMulticlassFailureModes:
+    def test_mc_session_with_refusing_user(self):
+        from repro.multiclass import MCRandomSelector, MultiClassSession, make_topics_dataset
+        from repro.multiclass.session import MCLFDeveloper
+
+        class MCRefusingUser(MCLFDeveloper):
+            def create_lf(self, dev_index, state):
+                return None
+
+        ds = make_topics_dataset(n_docs=200, seed=0, vocab_scale=4)
+        session = MultiClassSession(ds, MCRandomSelector(), MCRefusingUser(), seed=0)
+        session.run(6)
+        assert len(session.lfs) == 0
+        assert 0.0 <= session.test_score() <= 1.0
+
+    def test_mc_adversarial_user(self):
+        from repro.multiclass import MCRandomSelector, MultiClassSession, make_topics_dataset
+        from repro.multiclass.session import MCLFDeveloper
+
+        class MCAdversarialUser(MCLFDeveloper):
+            def __init__(self, dataset):
+                self.dataset = dataset
+                self.rng = np.random.default_rng(0)
+
+            def create_lf(self, dev_index, state):
+                primitives = state.family.primitives_in(dev_index)
+                if primitives.size == 0:
+                    return None
+                true = int(self.dataset.train.y[dev_index])
+                wrong = (true + 1) % state.n_classes
+                return state.family.make(int(self.rng.choice(primitives)), wrong)
+
+        ds = make_topics_dataset(n_docs=200, seed=0, vocab_scale=4)
+        session = MultiClassSession(ds, MCRandomSelector(), MCAdversarialUser(ds), seed=0)
+        session.run(8)
+        assert np.all(np.isfinite(session.soft_labels))
+        assert 0.0 <= session.test_score() <= 1.0
+
+    def test_mc_dawid_skene_all_abstain(self):
+        from repro.multiclass.dawid_skene import MCDawidSkeneModel
+
+        L = np.full((30, 3), -1, dtype=np.int8)
+        model = MCDawidSkeneModel(n_classes=3).fit(L)
+        proba = model.predict_proba(L)
+        np.testing.assert_allclose(proba, np.tile(model.priors_, (30, 1)))

@@ -1,0 +1,15 @@
+"""Shared fixtures for interactive tests."""
+
+import pytest
+
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_sms():
+    return load_dataset("sms", scale="tiny", seed=0)

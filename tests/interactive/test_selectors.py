@@ -1,0 +1,96 @@
+"""Tests for the baseline selectors (Random/Abstain/Disagree)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lf import LFFamily, PrimitiveLF
+from repro.core.selection import SessionState
+from repro.interactive.basic_selectors import (
+    AbstainSelector,
+    DisagreeSelector,
+    RandomSelector,
+    make_basic_selector,
+)
+from repro.labelmodel.base import posterior_entropy
+
+
+def make_state(dataset, L=None, lfs=()):
+    n = dataset.train.n
+    prior = dataset.label_prior
+    soft = np.full(n, prior)
+    if L is None:
+        L = np.zeros((n, len(lfs)), dtype=np.int8)
+    return SessionState(
+        dataset=dataset,
+        family=LFFamily(dataset.primitive_names, dataset.train.B),
+        iteration=0,
+        lfs=list(lfs),
+        L_train=L,
+        soft_labels=soft,
+        entropies=posterior_entropy(soft),
+        proxy_labels=np.ones(n, dtype=int),
+        proxy_proba=np.full(n, prior),
+        selected=set(),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestRandomSelector:
+    def test_selects_eligible(self, tiny_dataset):
+        state = make_state(tiny_dataset)
+        idx = RandomSelector().select(state)
+        assert state.candidate_mask()[idx]
+
+    def test_respects_exclusions(self, tiny_dataset):
+        state = make_state(tiny_dataset)
+        state.selected = set(range(state.n_train)) - {17}
+        mask = state.candidate_mask()
+        if mask[17]:
+            assert RandomSelector().select(state) == 17
+
+    def test_none_when_exhausted(self, tiny_dataset):
+        state = make_state(tiny_dataset)
+        state.selected = set(range(state.n_train))
+        assert RandomSelector().select(state) is None
+
+
+class TestAbstainSelector:
+    def test_targets_most_abstained_example(self, tiny_dataset):
+        n = tiny_dataset.train.n
+        L = np.ones((n, 3), dtype=np.int8)
+        L[5] = 0  # all three LFs abstain on example 5
+        state = make_state(tiny_dataset, L=L, lfs=[PrimitiveLF(0, "a", 1)] * 3)
+        if state.candidate_mask()[5]:
+            assert AbstainSelector().select(state) == 5
+
+    def test_falls_back_to_random_without_lfs(self, tiny_dataset):
+        state = make_state(tiny_dataset)
+        assert AbstainSelector().select(state) is not None
+
+
+class TestDisagreeSelector:
+    def test_targets_conflicted_example(self, tiny_dataset):
+        n = tiny_dataset.train.n
+        L = np.zeros((n, 2), dtype=np.int8)
+        L[:, 0] = 1
+        L[9, 1] = -1  # only example 9 has a conflict
+        state = make_state(tiny_dataset, L=L, lfs=[PrimitiveLF(0, "a", 1)] * 2)
+        if state.candidate_mask()[9]:
+            assert DisagreeSelector().select(state) == 9
+
+    def test_falls_back_to_random_without_conflicts(self, tiny_dataset):
+        n = tiny_dataset.train.n
+        L = np.ones((n, 2), dtype=np.int8)  # no conflicts anywhere
+        state = make_state(tiny_dataset, L=L, lfs=[PrimitiveLF(0, "a", 1)] * 2)
+        assert DisagreeSelector().select(state) is not None
+
+
+class TestRegistry:
+    def test_names(self):
+        assert isinstance(make_basic_selector("random"), RandomSelector)
+        assert isinstance(make_basic_selector("abstain"), AbstainSelector)
+        assert isinstance(make_basic_selector("disagree"), DisagreeSelector)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_basic_selector("seu")  # seu is not a *basic* selector

@@ -1,0 +1,156 @@
+"""Tests for the oracle and noisy simulated users."""
+
+import numpy as np
+import pytest
+
+from repro.core.lf import LFFamily
+from repro.core.selection import SessionState
+from repro.interactive.simulated_user import NoisyUser, SimulatedUser, sample_user_cohort
+from repro.labelmodel.base import posterior_entropy
+from repro.labelmodel.matrix import apply_lfs, lf_accuracies
+
+
+def make_state(dataset, lfs=()):
+    n = dataset.train.n
+    prior = dataset.label_prior
+    soft = np.full(n, prior)
+    return SessionState(
+        dataset=dataset,
+        family=LFFamily(dataset.primitive_names, dataset.train.B),
+        iteration=0,
+        lfs=list(lfs),
+        L_train=np.zeros((n, len(lfs)), dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy(soft),
+        proxy_labels=np.ones(n, dtype=int),
+        proxy_proba=np.full(n, prior),
+        selected=set(),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestSimulatedUser:
+    def test_lf_label_matches_ground_truth(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=0)
+        state = make_state(tiny_dataset)
+        for dev in range(0, 40, 4):
+            lf = user.create_lf(dev, state)
+            if lf is not None:
+                assert lf.label == tiny_dataset.train.y[dev]
+
+    def test_created_lfs_pass_accuracy_threshold(self, tiny_dataset):
+        threshold = 0.6
+        user = SimulatedUser(tiny_dataset, accuracy_threshold=threshold, seed=0)
+        state = make_state(tiny_dataset)
+        lfs = []
+        for dev in range(60):
+            lf = user.create_lf(dev, state)
+            if lf is not None:
+                lfs.append(lf)
+        assert lfs
+        L = apply_lfs(lfs, tiny_dataset.train.B)
+        accs = lf_accuracies(L, tiny_dataset.train.y)
+        assert np.nanmin(accs) >= threshold - 1e-9
+
+    def test_primitive_comes_from_shown_example(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=1)
+        state = make_state(tiny_dataset)
+        family = state.family
+        for dev in range(30):
+            lf = user.create_lf(dev, state)
+            if lf is not None:
+                assert lf.primitive_id in family.primitives_in(dev)
+
+    def test_never_duplicates_existing_lf(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, seed=2)
+        state = make_state(tiny_dataset)
+        seen = set()
+        for dev in range(80):
+            lf = user.create_lf(dev, state)
+            if lf is not None:
+                key = (lf.primitive_id, lf.label)
+                assert key not in seen
+                seen.add(key)
+                state.lfs.append(lf)
+
+    def test_high_threshold_yields_fewer_lfs(self, tiny_dataset):
+        lenient = SimulatedUser(tiny_dataset, accuracy_threshold=0.5, seed=3)
+        strict = SimulatedUser(tiny_dataset, accuracy_threshold=0.95, seed=3)
+        state_a = make_state(tiny_dataset)
+        state_b = make_state(tiny_dataset)
+        n_lenient = sum(
+            lenient.create_lf(i, state_a) is not None for i in range(50)
+        )
+        n_strict = sum(strict.create_lf(i, state_b) is not None for i in range(50))
+        assert n_strict <= n_lenient
+
+    def test_lexicon_preference(self, tiny_dataset):
+        user = SimulatedUser(tiny_dataset, use_lexicon=True, seed=4)
+        state = make_state(tiny_dataset)
+        lexicon_ids = set(user._lexicon_polarity)
+        hits = total = 0
+        for dev in range(100):
+            lf = user.create_lf(dev, state)
+            if lf is not None:
+                total += 1
+                hits += lf.primitive_id in lexicon_ids
+                state.lfs.append(lf)
+        assert total > 5
+        assert hits / total > 0.5
+
+    def test_invalid_threshold(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SimulatedUser(tiny_dataset, accuracy_threshold=1.5)
+
+    def test_invalid_min_coverage(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            SimulatedUser(tiny_dataset, min_coverage=0)
+
+
+class TestNoisyUser:
+    def test_mislabel_rate_flips_labels(self, tiny_dataset):
+        user = NoisyUser(tiny_dataset, mislabel_rate=1.0, judgment_noise=0.0, seed=0)
+        state = make_state(tiny_dataset)
+        flips = matches = 0
+        for dev in range(60):
+            lf = user.create_lf(dev, state)
+            if lf is not None:
+                if lf.label == -tiny_dataset.train.y[dev]:
+                    flips += 1
+                else:
+                    matches += 1
+        assert flips > 0
+
+    def test_zero_noise_behaves_like_oracle(self, tiny_dataset):
+        noisy = NoisyUser(
+            tiny_dataset, mislabel_rate=0.0, judgment_noise=0.0,
+            lexicon_adherence=1.0, seed=7,
+        )
+        state = make_state(tiny_dataset)
+        for dev in range(30):
+            lf = noisy.create_lf(dev, state)
+            if lf is not None:
+                assert lf.label == tiny_dataset.train.y[dev]
+
+    def test_invalid_rates(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            NoisyUser(tiny_dataset, mislabel_rate=2.0)
+        with pytest.raises(ValueError):
+            NoisyUser(tiny_dataset, judgment_noise=-0.5)
+
+
+class TestCohort:
+    def test_cohort_size_and_heterogeneity(self, tiny_dataset):
+        cohort = sample_user_cohort(tiny_dataset, 8, seed=0)
+        assert len(cohort) == 8
+        thresholds = {round(u.accuracy_threshold, 6) for u in cohort}
+        assert len(thresholds) > 1
+
+    def test_cohort_deterministic(self, tiny_dataset):
+        a = sample_user_cohort(tiny_dataset, 4, seed=1)
+        b = sample_user_cohort(tiny_dataset, 4, seed=1)
+        assert [u.accuracy_threshold for u in a] == [u.accuracy_threshold for u in b]
+
+    def test_invalid_count(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            sample_user_cohort(tiny_dataset, 0)

@@ -1,0 +1,76 @@
+"""Property-based tests: arbitrary transcripts survive the JSON round-trip."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lf import PrimitiveLF
+from repro.io import SessionTranscript, TranscriptEntry
+from repro.multiclass.lf import MultiClassLF
+
+_tokens = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=12
+)
+
+_binary_lfs = st.builds(
+    PrimitiveLF,
+    primitive_id=st.integers(0, 10_000),
+    primitive=_tokens,
+    label=st.sampled_from([-1, 1]),
+)
+
+_mc_lfs = st.builds(
+    MultiClassLF,
+    primitive_id=st.integers(0, 10_000),
+    primitive=_tokens,
+    label=st.integers(0, 9),
+)
+
+
+@st.composite
+def transcripts(draw):
+    lf_strategy = draw(st.sampled_from([_binary_lfs, _mc_lfs]))
+    n = draw(st.integers(0, 12))
+    iterations = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 500), min_size=n, max_size=n, unique=True
+            )
+        )
+    )
+    entries = [
+        TranscriptEntry(
+            iteration=it,
+            dev_index=draw(st.integers(0, 10_000)),
+            lf=draw(lf_strategy),
+        )
+        for it in iterations
+    ]
+    metadata = draw(
+        st.dictionaries(_tokens, st.one_of(st.integers(), st.floats(allow_nan=False), _tokens), max_size=4)
+    )
+    return SessionTranscript(dataset_name=draw(_tokens), entries=entries, metadata=metadata)
+
+
+class TestRoundTripProperties:
+    @given(t=transcripts())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip_identity(self, t):
+        restored = SessionTranscript.from_dict(t.to_dict())
+        assert restored.dataset_name == t.dataset_name
+        assert restored.entries == t.entries
+        assert restored.metadata == t.metadata
+
+    @given(t=transcripts())
+    @settings(max_examples=30, deadline=None)
+    def test_serialized_form_is_json(self, t):
+        text = json.dumps(t.to_dict())
+        assert SessionTranscript.from_dict(json.loads(text)).entries == t.entries
+
+    @given(t=transcripts())
+    @settings(max_examples=30, deadline=None)
+    def test_lf_types_preserved(self, t):
+        restored = SessionTranscript.from_dict(t.to_dict())
+        for original, loaded in zip(t.entries, restored.entries):
+            assert type(original.lf) is type(loaded.lf)

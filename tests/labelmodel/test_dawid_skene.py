@@ -1,0 +1,81 @@
+"""Tests for the Dawid-Skene label model."""
+
+import numpy as np
+import pytest
+
+from repro.labelmodel.dawid_skene import DawidSkene
+
+
+def planted(n=1500, m=5, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.where(rng.random(n) < 0.5, 1, -1)
+    acc = rng.uniform(0.65, 0.9, m)
+    L = np.zeros((n, m), dtype=np.int8)
+    for j in range(m):
+        fires = rng.random(n) < 0.6
+        correct = rng.random(n) < acc[j]
+        L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+    return L, y, acc
+
+
+class TestDawidSkene:
+    def test_posterior_better_than_chance(self):
+        L, y, _ = planted()
+        proba = DawidSkene().fit_predict_proba(L)
+        covered = (L != 0).any(axis=1)
+        acc = (np.where(proba >= 0.5, 1, -1)[covered] == y[covered]).mean()
+        assert acc > 0.72  # planted accuracies span 0.65-0.9
+
+    def test_confusion_rows_are_distributions(self):
+        L, _, _ = planted()
+        model = DawidSkene().fit(L)
+        np.testing.assert_allclose(model.confusion_.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_empty_matrix(self):
+        model = DawidSkene().fit(np.zeros((4, 0), dtype=np.int8))
+        np.testing.assert_allclose(
+            model.predict_proba(np.zeros((4, 0), dtype=np.int8)), model.prior_
+        )
+
+    def test_prior_learned(self):
+        rng = np.random.default_rng(1)
+        y = np.where(rng.random(2000) < 0.75, 1, -1)
+        L = np.zeros((2000, 4), dtype=np.int8)
+        for j in range(4):
+            fires = rng.random(2000) < 0.7
+            correct = rng.random(2000) < 0.9
+            L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+        model = DawidSkene(learn_prior=True).fit(L)
+        assert model.prior_ > 0.6
+
+    def test_fixed_prior_respected(self):
+        L, _, _ = planted(n=300)
+        model = DawidSkene(class_prior=0.4, learn_prior=False).fit(L)
+        assert model.prior_ == pytest.approx(0.4)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DawidSkene().predict_proba(np.zeros((2, 1), dtype=np.int8))
+
+    def test_column_mismatch_raises(self):
+        model = DawidSkene().fit(np.zeros((4, 2), dtype=np.int8))
+        with pytest.raises(ValueError):
+            model.predict_proba(np.zeros((4, 5), dtype=np.int8))
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            DawidSkene(n_iter=0)
+
+    def test_informative_abstains_exploited(self):
+        # An LF that only fires on positives: even its abstain is evidence.
+        rng = np.random.default_rng(2)
+        y = np.where(rng.random(3000) < 0.5, 1, -1)
+        L = np.zeros((3000, 2), dtype=np.int8)
+        L[(y == 1) & (rng.random(3000) < 0.8), 0] = 1
+        fires = rng.random(3000) < 0.5
+        correct = rng.random(3000) < 0.85
+        L[fires, 1] = np.where(correct[fires], y[fires], -y[fires])
+        proba = DawidSkene().fit_predict_proba(L)
+        abstainers_of_0 = L[:, 0] == 0
+        # Among rows where LF0 abstains, posterior should skew negative.
+        assert proba[abstainers_of_0].mean() < 0.5

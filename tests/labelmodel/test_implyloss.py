@@ -1,0 +1,85 @@
+"""Tests for the ImplyLoss joint model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.labelmodel.implyloss import ImplyLossModel
+
+
+def rule_problem(n=400, seed=0):
+    """Linearly-separable 2-D data with radius-limited rules."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 2))
+    y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1, -1)
+    L = np.zeros((n, 4), dtype=np.int8)
+    exemplar_idx, exemplar_lab = [], []
+    for j in range(4):
+        i = int(rng.integers(0, n))
+        lab = int(y[i])
+        near = np.linalg.norm(X - X[i], axis=1) < 1.2
+        L[near, j] = lab
+        exemplar_idx.append(i)
+        exemplar_lab.append(lab)
+    return sp.csr_matrix(X), L, np.array(exemplar_idx), np.array(exemplar_lab), y
+
+
+class TestImplyLoss:
+    def test_learns_decision_boundary(self):
+        X, L, e_idx, e_lab, y = rule_problem()
+        model = ImplyLossModel(n_epochs=150, seed=0).fit(X, L, e_idx, e_lab)
+        acc = (model.predict(X) == y).mean()
+        assert acc > 0.7
+
+    def test_loss_decreases(self):
+        X, L, e_idx, e_lab, _ = rule_problem(seed=1)
+        model = ImplyLossModel(n_epochs=80, seed=0).fit(X, L, e_idx, e_lab)
+        history = model.loss_history_
+        assert history[-1] < history[0]
+
+    def test_rule_reliability_shape_and_range(self):
+        X, L, e_idx, e_lab, _ = rule_problem(seed=2)
+        model = ImplyLossModel(n_epochs=40, seed=0).fit(X, L, e_idx, e_lab)
+        g = model.rule_reliability(X)
+        assert g.shape == (X.shape[0], 4)
+        assert np.all(g >= 0) and np.all(g <= 1)
+
+    def test_rules_reliable_on_own_exemplars(self):
+        X, L, e_idx, e_lab, _ = rule_problem(seed=3)
+        model = ImplyLossModel(n_epochs=120, seed=0).fit(X, L, e_idx, e_lab)
+        g = model.rule_reliability(X)
+        own = g[e_idx, np.arange(len(e_idx))]
+        assert own.mean() > 0.7
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ImplyLossModel().predict(np.zeros((2, 2)))
+
+    def test_shape_mismatch_raises(self):
+        X, L, e_idx, e_lab, _ = rule_problem()
+        with pytest.raises(ValueError, match="exemplar"):
+            ImplyLossModel(n_epochs=1).fit(X, L, e_idx[:-1], e_lab)
+
+    def test_row_mismatch_raises(self):
+        X, L, e_idx, e_lab, _ = rule_problem()
+        with pytest.raises(ValueError):
+            ImplyLossModel(n_epochs=1).fit(X[:-5], L, e_idx, e_lab)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ImplyLossModel(gamma=-1)
+        with pytest.raises(ValueError):
+            ImplyLossModel(n_epochs=0)
+        with pytest.raises(ValueError):
+            ImplyLossModel(class_prior=0.0)
+
+    def test_gamma_zero_still_trains_from_exemplars(self):
+        X, L, e_idx, e_lab, y = rule_problem(seed=4)
+        model = ImplyLossModel(gamma=0.0, n_epochs=120, seed=0).fit(X, L, e_idx, e_lab)
+        assert (model.predict(X) == y).mean() > 0.6
+
+    def test_deterministic_given_seed(self):
+        X, L, e_idx, e_lab, _ = rule_problem(seed=5)
+        a = ImplyLossModel(n_epochs=30, seed=7).fit(X, L, e_idx, e_lab)
+        b = ImplyLossModel(n_epochs=30, seed=7).fit(X, L, e_idx, e_lab)
+        np.testing.assert_allclose(a.w_, b.w_)

@@ -1,0 +1,74 @@
+"""Tests for the majority-vote label model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+from hypothesis import strategies as st
+
+from repro.labelmodel.majority import MajorityVote
+
+LABEL_MATRICES = arrays(
+    np.int8,
+    st.tuples(st.integers(1, 15), st.integers(0, 5)),
+    elements=st.sampled_from([-1, 0, 1]),
+)
+
+
+class TestMajorityVote:
+    def test_unanimous_positive_close_to_one(self):
+        L = np.full((4, 3), 1, dtype=np.int8)
+        proba = MajorityVote(smoothing=0.0).fit_predict_proba(L)
+        np.testing.assert_allclose(proba, 1.0)
+
+    def test_uncovered_gets_prior(self):
+        L = np.zeros((2, 3), dtype=np.int8)
+        proba = MajorityVote(class_prior=0.3).fit_predict_proba(L)
+        np.testing.assert_allclose(proba, 0.3)
+
+    def test_tie_gets_half_with_balanced_prior(self):
+        L = np.array([[1, -1]], dtype=np.int8)
+        proba = MajorityVote(class_prior=0.5).fit_predict_proba(L)
+        assert proba[0] == pytest.approx(0.5)
+
+    def test_smoothing_pulls_toward_prior(self):
+        L = np.array([[1]], dtype=np.int8)
+        smooth = MajorityVote(class_prior=0.5, smoothing=2.0).fit_predict_proba(L)[0]
+        sharp = MajorityVote(class_prior=0.5, smoothing=0.1).fit_predict_proba(L)[0]
+        assert 0.5 < smooth < sharp
+
+    def test_predict_threshold(self):
+        L = np.array([[1, 1, -1], [-1, -1, 1]], dtype=np.int8)
+        preds = MajorityVote().fit(L).predict(L)
+        np.testing.assert_array_equal(preds, [1, -1])
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            MajorityVote(class_prior=1.0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            MajorityVote(smoothing=-1.0)
+
+    @given(LABEL_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_proba_in_unit_interval(self, L):
+        proba = MajorityVote().fit_predict_proba(L)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    @given(LABEL_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_to_lf_permutation(self, L):
+        if L.shape[1] < 2:
+            return
+        perm = np.random.default_rng(0).permutation(L.shape[1])
+        a = MajorityVote().fit_predict_proba(L)
+        b = MajorityVote().fit_predict_proba(L[:, perm])
+        np.testing.assert_allclose(a, b)
+
+    @given(LABEL_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_label_flip_symmetry(self, L):
+        a = MajorityVote(class_prior=0.5).fit_predict_proba(L)
+        b = MajorityVote(class_prior=0.5).fit_predict_proba(-L)
+        np.testing.assert_allclose(a, 1 - b, atol=1e-12)

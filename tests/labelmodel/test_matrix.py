@@ -1,0 +1,128 @@
+"""Tests for label-matrix utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+from hypothesis import strategies as st
+
+from repro.core.lf import PrimitiveLF
+from repro.labelmodel.matrix import (
+    abstain_counts,
+    apply_lfs,
+    conflict_counts,
+    conflict_fraction,
+    coverage,
+    coverage_mask,
+    lf_accuracies,
+    lf_coverages,
+    overlap_fraction,
+    summary,
+    validate_label_matrix,
+    vote_tallies,
+)
+
+LABEL_MATRICES = arrays(
+    np.int8,
+    st.tuples(st.integers(1, 20), st.integers(0, 6)),
+    elements=st.sampled_from([-1, 0, 1]),
+)
+
+
+class TestApplyLfs:
+    def test_votes_follow_incidence(self):
+        B = sp.csr_matrix(np.array([[1, 0], [0, 1], [1, 1]], dtype=float))
+        lfs = [PrimitiveLF(0, "a", 1), PrimitiveLF(1, "b", -1)]
+        L = apply_lfs(lfs, B)
+        expected = np.array([[1, 0], [0, -1], [1, -1]], dtype=np.int8)
+        np.testing.assert_array_equal(L, expected)
+
+    def test_empty_lf_list(self):
+        B = sp.csr_matrix(np.ones((3, 2)))
+        assert apply_lfs([], B).shape == (3, 0)
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        validate_label_matrix(np.array([[1, 0], [-1, 0]]))
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="entries"):
+            validate_label_matrix(np.array([[2, 0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            validate_label_matrix(np.array([1, 0, -1]))
+
+
+class TestDiagnostics:
+    def setup_method(self):
+        self.L = np.array(
+            [[1, 0, -1],
+             [0, 0, 0],
+             [1, 1, 0],
+             [-1, 0, -1]], dtype=np.int8)
+        self.y = np.array([1, -1, 1, -1])
+
+    def test_coverage(self):
+        assert coverage(self.L) == pytest.approx(0.75)
+
+    def test_coverage_mask(self):
+        np.testing.assert_array_equal(coverage_mask(self.L), [True, False, True, True])
+
+    def test_lf_coverages(self):
+        np.testing.assert_allclose(lf_coverages(self.L), [0.75, 0.25, 0.5])
+
+    def test_lf_accuracies(self):
+        accs = lf_accuracies(self.L, self.y)
+        np.testing.assert_allclose(accs, [1.0, 1.0, 0.5])
+
+    def test_lf_accuracy_nan_when_uncovered(self):
+        L = np.zeros((3, 1), dtype=np.int8)
+        assert np.isnan(lf_accuracies(L, np.array([1, 1, -1]))[0])
+
+    def test_conflicts(self):
+        np.testing.assert_array_equal(conflict_counts(self.L), [1, 0, 0, 0])
+        assert conflict_fraction(self.L) == pytest.approx(0.25)
+
+    def test_abstains(self):
+        np.testing.assert_array_equal(abstain_counts(self.L), [1, 3, 1, 1])
+
+    def test_overlap(self):
+        assert overlap_fraction(self.L) == pytest.approx(0.75)
+
+    def test_vote_tallies(self):
+        pos, neg = vote_tallies(self.L)
+        np.testing.assert_array_equal(pos, [1, 0, 2, 0])
+        np.testing.assert_array_equal(neg, [1, 0, 0, 2])
+
+    def test_summary_keys(self):
+        stats = summary(self.L, self.y)
+        assert stats["n_lfs"] == 3
+        assert "mean_lf_accuracy" in stats
+
+    def test_empty_matrix_stats(self):
+        L = np.zeros((0, 3), dtype=np.int8)
+        assert coverage(L) == 0.0
+
+
+class TestProperties:
+    @given(LABEL_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_counts_consistent(self, L):
+        pos, neg = vote_tallies(L)
+        np.testing.assert_array_equal(pos + neg + abstain_counts(L), L.shape[1])
+
+    @given(LABEL_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_implies_overlap(self, L):
+        assert conflict_fraction(L) <= overlap_fraction(L) + 1e-12
+
+    @given(LABEL_MATRICES)
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_invariant_to_column_permutation(self, L):
+        if L.shape[1] < 2:
+            return
+        perm = np.roll(np.arange(L.shape[1]), 1)
+        assert coverage(L) == coverage(L[:, perm])

@@ -1,0 +1,109 @@
+"""Cross-model property tests: invariants every label model must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+from hypothesis import strategies as st
+
+from repro.labelmodel import (
+    DawidSkene,
+    MajorityVote,
+    MetalLabelModel,
+    TripletLabelModel,
+)
+
+MODELS = {
+    "majority": lambda: MajorityVote(),
+    "metal": lambda: MetalLabelModel(n_iter=15),
+    "dawid-skene": lambda: DawidSkene(n_iter=15),
+    "triplet": lambda: TripletLabelModel(),
+}
+
+LABEL_MATRICES = arrays(
+    np.int8,
+    st.tuples(st.integers(2, 25), st.integers(1, 5)),
+    elements=st.sampled_from([-1, 0, 1]),
+)
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+class TestUniversalInvariants:
+    @given(L=LABEL_MATRICES)
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_in_unit_interval(self, name, L):
+        proba = MODELS[name]().fit_predict_proba(L)
+        assert proba.shape == (L.shape[0],)
+        assert np.all(proba >= -1e-9) and np.all(proba <= 1 + 1e-9)
+
+    @given(L=LABEL_MATRICES)
+    @settings(max_examples=25, deadline=None)
+    def test_identical_rows_get_identical_posteriors(self, name, L):
+        L = np.vstack([L, L[:1]])  # duplicate the first row
+        proba = MODELS[name]().fit_predict_proba(L)
+        assert proba[0] == pytest.approx(proba[-1], abs=1e-9)
+
+    @given(L=LABEL_MATRICES)
+    @settings(max_examples=25, deadline=None)
+    def test_column_permutation_invariance(self, name, L):
+        if L.shape[1] < 2:
+            return
+        perm = np.roll(np.arange(L.shape[1]), 1)
+        a = MODELS[name]().fit_predict_proba(L)
+        b = MODELS[name]().fit_predict_proba(L[:, perm])
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    @given(L=LABEL_MATRICES)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, name, L):
+        a = MODELS[name]().fit_predict_proba(L)
+        b = MODELS[name]().fit_predict_proba(L)
+        np.testing.assert_allclose(a, b)
+
+
+class TestVoteMonotonicity:
+    def test_extra_positive_vote_never_lowers_posterior(self):
+        rng = np.random.default_rng(0)
+        y = np.where(rng.random(500) < 0.5, 1, -1)
+        L = np.zeros((500, 3), dtype=np.int8)
+        for j in range(3):
+            fires = rng.random(500) < 0.5
+            correct = rng.random(500) < 0.8
+            L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+        model = MetalLabelModel().fit(L)
+        base = model.predict_proba(L)
+        boosted = L.copy()
+        target = np.flatnonzero(boosted[:, 0] == 0)[:50]
+        boosted[target, 0] = 1
+        lifted = model.predict_proba(boosted)
+        assert np.all(lifted[target] >= base[target] - 1e-9)
+
+    def test_conflicting_votes_pull_toward_half(self):
+        L_agree = np.array([[1, 1]], dtype=np.int8)
+        L_conflict = np.array([[1, -1]], dtype=np.int8)
+        train = np.vstack([np.tile(L_agree, (30, 1)), np.tile(L_conflict, (10, 1))])
+        model = MetalLabelModel().fit(train)
+        q_agree = model.predict_proba(L_agree)[0]
+        q_conflict = model.predict_proba(L_conflict)[0]
+        assert abs(q_conflict - 0.5) < abs(q_agree - 0.5)
+
+
+class TestLabelFlipSymmetry:
+    @given(L=LABEL_MATRICES)
+    @settings(max_examples=20, deadline=None)
+    def test_majority_flip(self, L):
+        a = MajorityVote(class_prior=0.5).fit_predict_proba(L)
+        b = MajorityVote(class_prior=0.5).fit_predict_proba(-L)
+        np.testing.assert_allclose(a, 1 - b, atol=1e-9)
+
+    def test_metal_flip_on_planted_votes(self):
+        rng = np.random.default_rng(1)
+        y = np.where(rng.random(800) < 0.5, 1, -1)
+        L = np.zeros((800, 4), dtype=np.int8)
+        for j in range(4):
+            fires = rng.random(800) < 0.6
+            correct = rng.random(800) < 0.85
+            L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+        a = MetalLabelModel(class_prior=0.5).fit_predict_proba(L)
+        b = MetalLabelModel(class_prior=0.5).fit_predict_proba(-L)
+        np.testing.assert_allclose(a, 1 - b, atol=0.02)

@@ -1,0 +1,67 @@
+"""Tests for the triplet-method label model."""
+
+import numpy as np
+import pytest
+
+from repro.labelmodel.triplet import TripletLabelModel
+
+
+def planted(n=4000, m=6, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.where(rng.random(n) < 0.5, 1, -1)
+    acc = rng.uniform(0.6, 0.9, m)
+    L = np.zeros((n, m), dtype=np.int8)
+    for j in range(m):
+        fires = rng.random(n) < 0.7
+        correct = rng.random(n) < acc[j]
+        L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+    return L, y, acc
+
+
+class TestTriplet:
+    def test_closed_form_recovers_accuracy_order(self):
+        L, y, acc = planted()
+        model = TripletLabelModel().fit(L)
+        corr = np.corrcoef(model.accuracies_, acc)[0, 1]
+        assert corr > 0.8
+
+    def test_posterior_quality(self):
+        L, y, _ = planted(seed=1)
+        proba = TripletLabelModel().fit_predict_proba(L)
+        covered = (L != 0).any(axis=1)
+        assert (np.where(proba >= 0.5, 1, -1)[covered] == y[covered]).mean() > 0.8
+
+    def test_fallback_with_two_lfs(self):
+        L = np.array([[1, -1], [1, 0], [0, -1]], dtype=np.int8)
+        model = TripletLabelModel(fallback_accuracy=0.7).fit(L)
+        np.testing.assert_allclose(model.accuracies_, 0.7)
+
+    def test_empty(self):
+        model = TripletLabelModel().fit(np.zeros((3, 0), dtype=np.int8))
+        np.testing.assert_allclose(
+            model.predict_proba(np.zeros((3, 0), dtype=np.int8)), 0.5
+        )
+
+    def test_degenerate_moments_fallback(self):
+        # LFs that never co-fire leave all pairwise moments undefined.
+        L = np.zeros((9, 3), dtype=np.int8)
+        L[0:3, 0] = 1
+        L[3:6, 1] = -1
+        L[6:9, 2] = 1
+        model = TripletLabelModel(fallback_accuracy=0.8).fit(L)
+        np.testing.assert_allclose(model.accuracies_, 0.8)
+
+    def test_accuracies_clipped(self):
+        L, _, _ = planted(seed=2)
+        model = TripletLabelModel().fit(L)
+        assert np.all(model.accuracies_ >= 0.05) and np.all(model.accuracies_ <= 0.95)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TripletLabelModel(max_triplets=0)
+        with pytest.raises(ValueError):
+            TripletLabelModel(fallback_accuracy=0.4)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            TripletLabelModel().predict_proba(np.zeros((2, 3), dtype=np.int8))

@@ -1,0 +1,50 @@
+"""Shared fixtures for multiclass tests: a small 4-topic dataset and state."""
+
+import numpy as np
+import pytest
+
+from repro.multiclass import (
+    MCSessionState,
+    MultiClassLFFamily,
+    make_topics_dataset,
+    posterior_entropy_mc,
+)
+
+
+@pytest.fixture(scope="session")
+def topics_dataset():
+    return make_topics_dataset(n_docs=500, seed=0, vocab_scale=6)
+
+
+@pytest.fixture()
+def empty_mc_state(topics_dataset):
+    """A no-LF multiclass session state over the topics dataset."""
+    ds = topics_dataset
+    n = ds.train.n
+    soft = np.tile(ds.class_priors, (n, 1))
+    return MCSessionState(
+        dataset=ds,
+        family=MultiClassLFFamily(ds.primitive_names, ds.train.B, ds.n_classes),
+        iteration=0,
+        lfs=[],
+        L_train=np.full((n, 0), -1, dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy_mc(soft),
+        proxy_proba=soft.copy(),
+        selected=set(),
+        rng=np.random.default_rng(1),
+    )
+
+
+def planted_mc(n=1500, m=6, n_classes=3, fire_rate=0.6, acc_range=(0.65, 0.9), seed=0):
+    """A vote matrix from planted per-LF accuracies; errors uniform off-class."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(n_classes, size=n)
+    accs = rng.uniform(*acc_range, size=m)
+    L = np.full((n, m), -1, dtype=np.int8)
+    for j in range(m):
+        fires = rng.random(n) < fire_rate
+        correct = rng.random(n) < accs[j]
+        wrong = (y[fires] + rng.integers(1, n_classes, size=fires.sum())) % n_classes
+        L[fires, j] = np.where(correct[fires], y[fires], wrong)
+    return L, y, accs

@@ -1,0 +1,110 @@
+"""Tests for the multiclass LF contextualizer and percentile tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.lineage import LineageStore
+from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+from repro.multiclass.lf import MultiClassLFFamily
+from repro.multiclass.majority import MCMajorityVote
+from repro.multiclass.matrix import MC_ABSTAIN, apply_mc_lfs
+
+
+@pytest.fixture()
+def lineage_with_lfs(topics_dataset):
+    family = MultiClassLFFamily(
+        topics_dataset.primitive_names, topics_dataset.train.B, 4
+    )
+    lineage = LineageStore(topics_dataset)
+    lfs = [family.make(0, 0), family.make(1, 2)]
+    # development points: pick covered examples for each primitive
+    for i, lf in enumerate(lfs):
+        covered = np.flatnonzero(
+            np.asarray(topics_dataset.train.B[:, lf.primitive_id].todense()).ravel()
+        )
+        lineage.add(lf, int(covered[0]), i)
+    L_train = apply_mc_lfs(lfs, topics_dataset.train.B)
+    L_valid = apply_mc_lfs(lfs, topics_dataset.valid.B)
+    return lineage, L_train, L_valid
+
+
+class TestRefinement:
+    def test_refined_votes_subset_of_raw(self, lineage_with_lfs):
+        lineage, L_train, _ = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4, percentile=50.0)
+        refined = ctx.refine(L_train, lineage)
+        changed = refined != L_train
+        assert (refined[changed] == MC_ABSTAIN).all()
+
+    def test_percentile_100_keeps_everything(self, lineage_with_lfs):
+        lineage, L_train, _ = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4, percentile=100.0)
+        np.testing.assert_array_equal(ctx.refine(L_train, lineage), L_train)
+
+    def test_smaller_percentile_refines_more(self, lineage_with_lfs):
+        lineage, L_train, _ = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4)
+        votes_25 = (ctx.refine(L_train, lineage, percentile=25.0) != MC_ABSTAIN).sum()
+        votes_75 = (ctx.refine(L_train, lineage, percentile=75.0) != MC_ABSTAIN).sum()
+        assert votes_25 <= votes_75
+
+    def test_monotone_coverage_subset(self, lineage_with_lfs):
+        lineage, L_train, _ = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4)
+        small = ctx.refine(L_train, lineage, percentile=25.0)
+        large = ctx.refine(L_train, lineage, percentile=75.0)
+        fired_small = small != MC_ABSTAIN
+        fired_large = large != MC_ABSTAIN
+        assert np.all(~fired_small | fired_large)
+
+    def test_dev_point_always_kept(self, lineage_with_lfs):
+        lineage, L_train, _ = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4, percentile=5.0)
+        refined = ctx.refine(L_train, lineage)
+        for j, record in enumerate(lineage.records):
+            assert refined[record.dev_index, j] == L_train[record.dev_index, j]
+
+    def test_zero_lfs_passthrough(self, topics_dataset):
+        lineage = LineageStore(topics_dataset)
+        ctx = MCContextualizer(n_classes=4)
+        L = np.full((topics_dataset.train.n, 0), MC_ABSTAIN, dtype=np.int8)
+        assert ctx.refine(L, lineage).shape == L.shape
+
+    def test_column_mismatch_raises(self, lineage_with_lfs):
+        lineage, L_train, _ = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4)
+        with pytest.raises(ValueError, match="lineage"):
+            ctx.refine(L_train[:, :1], lineage)
+
+    def test_split_radii_from_train(self, lineage_with_lfs):
+        lineage, _, L_valid = lineage_with_lfs
+        ctx = MCContextualizer(n_classes=4, percentile=50.0)
+        refined_valid = ctx.refine(L_valid, lineage, split="valid")
+        assert refined_valid.shape == L_valid.shape
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            MCContextualizer(n_classes=1)
+        with pytest.raises(ValueError, match="metric"):
+            MCContextualizer(n_classes=3, metric="manhattan")
+        with pytest.raises(ValueError, match="percentile"):
+            MCContextualizer(n_classes=3, percentile=150.0)
+
+
+class TestTuner:
+    def test_returns_grid_member(self, topics_dataset, lineage_with_lfs):
+        lineage, L_train, L_valid = lineage_with_lfs
+        tuner = MCPercentileTuner(grid=(50.0, 90.0))
+        best = tuner.best_percentile(
+            MCContextualizer(n_classes=4),
+            L_train,
+            L_valid,
+            lineage,
+            lambda: MCMajorityVote(n_classes=4),
+            topics_dataset.valid.y,
+        )
+        assert best in (50.0, 90.0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="grid"):
+            MCPercentileTuner(grid=())

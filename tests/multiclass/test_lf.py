@@ -1,0 +1,118 @@
+"""Tests for multiclass primitive LFs and the LF family."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.multiclass.lf import MultiClassLF, MultiClassLFFamily
+from repro.multiclass.matrix import MC_ABSTAIN
+
+
+def small_family(n_classes=3):
+    B = sp.csr_matrix(
+        np.array(
+            [
+                [1, 0, 1],
+                [0, 1, 0],
+                [1, 1, 0],
+                [0, 0, 0],
+            ]
+        )
+    )
+    return MultiClassLFFamily(["alpha", "beta", "gamma"], B, n_classes)
+
+
+class TestMultiClassLF:
+    def test_apply_votes_class_on_covered(self):
+        family = small_family()
+        lf = family.make(0, 2)
+        votes = lf.apply(family.B)
+        np.testing.assert_array_equal(votes, [2, MC_ABSTAIN, 2, MC_ABSTAIN])
+
+    def test_name(self):
+        lf = MultiClassLF(primitive_id=0, primitive="goal", label=1)
+        assert lf.name == "goal->1"
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            MultiClassLF(primitive_id=0, primitive="x", label=-1)
+
+    def test_negative_primitive_id_rejected(self):
+        with pytest.raises(ValueError, match="primitive_id"):
+            MultiClassLF(primitive_id=-1, primitive="x", label=0)
+
+    def test_frozen(self):
+        lf = MultiClassLF(primitive_id=0, primitive="x", label=0)
+        with pytest.raises(AttributeError):
+            lf.label = 1
+
+
+class TestFamily:
+    def test_make_validates_class(self):
+        family = small_family(n_classes=3)
+        with pytest.raises(ValueError, match="label"):
+            family.make(0, 3)
+
+    def test_make_by_token(self):
+        family = small_family()
+        lf = family.make_by_token("beta", 1)
+        assert lf.primitive_id == 1
+
+    def test_make_by_unknown_token_raises(self):
+        family = small_family()
+        with pytest.raises(KeyError):
+            family.make_by_token("delta", 0)
+
+    def test_primitives_in(self):
+        family = small_family()
+        np.testing.assert_array_equal(family.primitives_in(2), [0, 1])
+        assert family.primitives_in(3).size == 0
+
+    def test_coverage_counts(self):
+        family = small_family()
+        np.testing.assert_array_equal(family.coverage_counts(), [2, 2, 1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            MultiClassLFFamily(["a"], sp.csr_matrix((2, 2)), 3)
+
+    def test_n_classes_validated(self):
+        with pytest.raises(ValueError, match="n_classes"):
+            MultiClassLFFamily(["a"], sp.csr_matrix((2, 1)), 1)
+
+    def test_explore_examples_only_covered(self):
+        family = small_family()
+        found = family.explore_examples(0, k=5, rng=np.random.default_rng(0))
+        assert set(found) <= {0, 2}
+
+
+class TestEmpiricalClassMass:
+    def test_one_hot_proxy_recovers_fractions(self):
+        family = small_family(n_classes=3)
+        y = np.array([0, 1, 0, 2])
+        onehot = np.zeros((4, 3))
+        onehot[np.arange(4), y] = 1.0
+        acc = family.empirical_class_mass(onehot)
+        # primitive "alpha" covers rows 0 and 2, both class 0
+        np.testing.assert_allclose(acc[0], [1.0, 0.0, 0.0])
+        # primitive "beta" covers rows 1 (class 1) and 2 (class 0)
+        np.testing.assert_allclose(acc[1], [0.5, 0.5, 0.0])
+
+    def test_rows_sum_to_one_for_covered(self):
+        family = small_family()
+        rng = np.random.default_rng(0)
+        P = rng.dirichlet(np.ones(3), size=4)
+        acc = family.empirical_class_mass(P)
+        np.testing.assert_allclose(acc.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_uncovered_primitive_gets_uniform(self):
+        B = sp.csr_matrix(np.array([[1, 0], [1, 0]]))
+        family = MultiClassLFFamily(["a", "b"], B, 4)
+        P = np.full((2, 4), 0.25)
+        acc = family.empirical_class_mass(P)
+        np.testing.assert_allclose(acc[1], 0.25)
+
+    def test_shape_mismatch_rejected(self):
+        family = small_family()
+        with pytest.raises(ValueError, match="shape"):
+            family.empirical_class_mass(np.zeros((4, 2)))

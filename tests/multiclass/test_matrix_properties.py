@@ -1,0 +1,79 @@
+"""Property-based invariants of the multiclass vote-matrix utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.multiclass.matrix import (
+    MC_ABSTAIN,
+    mc_abstain_counts,
+    mc_conflict_counts,
+    mc_coverage_mask,
+    mc_vote_counts,
+)
+
+K = 4
+MC_MATRICES = arrays(
+    np.int8,
+    st.tuples(st.integers(1, 30), st.integers(0, 8)),
+    elements=st.sampled_from(list(range(-1, K))),
+)
+
+
+def brute_force_conflicts(row: np.ndarray) -> int:
+    votes = [v for v in row if v != MC_ABSTAIN]
+    return sum(
+        1
+        for i in range(len(votes))
+        for j in range(i + 1, len(votes))
+        if votes[i] != votes[j]
+    )
+
+
+class TestCountingIdentities:
+    @given(L=MC_MATRICES)
+    @settings(max_examples=50, deadline=None)
+    def test_votes_plus_abstains_equal_m(self, L):
+        votes = mc_vote_counts(L, K).sum(axis=1)
+        np.testing.assert_array_equal(votes + mc_abstain_counts(L), L.shape[1])
+
+    @given(L=MC_MATRICES)
+    @settings(max_examples=50, deadline=None)
+    def test_conflict_formula_matches_brute_force(self, L):
+        fast = mc_conflict_counts(L, K)
+        slow = np.array([brute_force_conflicts(row) for row in L])
+        np.testing.assert_array_equal(fast, slow)
+
+    @given(L=MC_MATRICES)
+    @settings(max_examples=50, deadline=None)
+    def test_coverage_mask_consistent_with_vote_counts(self, L):
+        covered = mc_coverage_mask(L)
+        has_votes = mc_vote_counts(L, K).sum(axis=1) > 0
+        np.testing.assert_array_equal(covered, has_votes)
+
+    @given(L=MC_MATRICES)
+    @settings(max_examples=50, deadline=None)
+    def test_column_permutation_invariance(self, L):
+        if L.shape[1] < 2:
+            return
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(L.shape[1])
+        np.testing.assert_array_equal(
+            mc_conflict_counts(L, K), mc_conflict_counts(L[:, perm], K)
+        )
+        np.testing.assert_array_equal(
+            mc_vote_counts(L, K), mc_vote_counts(L[:, perm], K)
+        )
+
+    @given(L=MC_MATRICES)
+    @settings(max_examples=50, deadline=None)
+    def test_relabeling_classes_permutes_vote_columns(self, L):
+        # Applying a class permutation to the votes permutes the count
+        # columns identically (no hidden class asymmetry in the counting).
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(K)
+        relabeled = np.where(L == MC_ABSTAIN, MC_ABSTAIN, perm[np.clip(L, 0, None)])
+        base = mc_vote_counts(L, K)
+        moved = mc_vote_counts(relabeled.astype(np.int8), K)
+        np.testing.assert_array_equal(moved[:, perm], base)

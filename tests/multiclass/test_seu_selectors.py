@@ -1,0 +1,133 @@
+"""Tests for multiclass selectors: SEU, random, abstain, disagree, uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.multiclass.lf import MultiClassLFFamily
+from repro.multiclass.matrix import apply_mc_lfs
+from repro.multiclass.base import posterior_entropy_mc
+from repro.multiclass.majority import MCMajorityVote
+from repro.multiclass.selection import (
+    MCAbstainSelector,
+    MCDisagreeSelector,
+    MCRandomSelector,
+    MCSessionState,
+    MCUncertaintySelector,
+)
+from repro.multiclass.seu import MCSEUSelector
+
+
+def state_with_lfs(dataset, primitive_ids_labels, seed=0):
+    """A session state holding the given (primitive_id, label) LFs."""
+    family = MultiClassLFFamily(dataset.primitive_names, dataset.train.B, dataset.n_classes)
+    lfs = [family.make(pid, lbl) for pid, lbl in primitive_ids_labels]
+    L = apply_mc_lfs(lfs, dataset.train.B)
+    model = MCMajorityVote(n_classes=dataset.n_classes, class_priors=dataset.class_priors)
+    soft = model.fit_predict_proba(L)
+    rng = np.random.default_rng(seed)
+    return MCSessionState(
+        dataset=dataset,
+        family=family,
+        iteration=len(lfs),
+        lfs=lfs,
+        L_train=L,
+        soft_labels=soft,
+        entropies=posterior_entropy_mc(soft),
+        proxy_proba=soft.copy(),
+        selected=set(),
+        rng=rng,
+    )
+
+
+class TestBaselineSelectors:
+    def test_random_selects_eligible(self, empty_mc_state):
+        idx = MCRandomSelector().select(empty_mc_state)
+        assert idx is not None
+        assert empty_mc_state.candidate_mask()[idx]
+
+    def test_random_exhausts_to_none(self, topics_dataset, empty_mc_state):
+        empty_mc_state.selected.update(range(topics_dataset.train.n))
+        assert MCRandomSelector().select(empty_mc_state) is None
+
+    def test_abstain_prefers_uncovered(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0), (1, 1)])
+        idx = MCAbstainSelector().select(state)
+        assert (state.L_train[idx] == -1).all()  # fully abstained row exists
+
+    def test_abstain_falls_back_to_random_without_lfs(self, empty_mc_state):
+        assert MCAbstainSelector().select(empty_mc_state) is not None
+
+    def test_disagree_prefers_conflicts(self, topics_dataset):
+        # Find two primitives co-occurring somewhere, vote different classes.
+        B = topics_dataset.train.B
+        co = (B.T @ B).toarray()
+        np.fill_diagonal(co, 0)
+        z1, z2 = np.unravel_index(np.argmax(co), co.shape)
+        state = state_with_lfs(topics_dataset, [(int(z1), 0), (int(z2), 1)])
+        idx = MCDisagreeSelector().select(state)
+        row = state.L_train[idx]
+        assert (row == 0).any() and (row == 1).any()
+
+    def test_uncertainty_picks_max_entropy(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0)])
+        idx = MCUncertaintySelector().select(state)
+        mask = state.candidate_mask()
+        best = np.max(np.where(mask, state.entropies, -np.inf))
+        assert state.entropies[idx] == pytest.approx(best)
+
+    def test_selected_examples_excluded(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0)])
+        state.selected.update({3, 7})
+        mask = state.candidate_mask()
+        assert not mask[3] and not mask[7]
+
+
+class TestSEUSelector:
+    def test_cold_start_is_random_but_eligible(self, empty_mc_state):
+        idx = MCSEUSelector(warmup=3).select(empty_mc_state)
+        assert idx is not None
+        assert empty_mc_state.candidate_mask()[idx]
+
+    def test_cold_start_requires_two_classes(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert MCSEUSelector(warmup=3)._in_cold_start(state)
+        state2 = state_with_lfs(topics_dataset, [(0, 0), (1, 1), (2, 0), (3, 1)])
+        assert not MCSEUSelector(warmup=3)._in_cold_start(state2)
+
+    def test_min_classes_knob(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0), (1, 1), (2, 0), (3, 1)])
+        assert MCSEUSelector(warmup=3, min_classes=4)._in_cold_start(state)
+
+    def test_vectorized_matches_reference(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0), (1, 1), (2, 2), (3, 3)])
+        rng = np.random.default_rng(0)
+        state.proxy_proba = rng.dirichlet(np.ones(4), size=state.n_train)
+        sel = MCSEUSelector()
+        vec = sel.expected_utilities(state)
+        sample = rng.choice(state.n_train, size=20, replace=False)
+        ref = np.array([sel.expected_utility_of(int(i), state) for i in sample])
+        np.testing.assert_allclose(vec[sample], ref, atol=1e-10)
+
+    def test_uniform_user_model_changes_ranking_inputs(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0), (1, 1), (2, 2), (3, 3)])
+        rng = np.random.default_rng(1)
+        state.proxy_proba = rng.dirichlet(np.ones(4), size=state.n_train)
+        acc_scores = MCSEUSelector(user_model="accuracy").expected_utilities(state)
+        uni_scores = MCSEUSelector(user_model="uniform").expected_utilities(state)
+        assert not np.allclose(acc_scores, uni_scores)
+
+    def test_selects_argmax_after_warmup(self, topics_dataset):
+        state = state_with_lfs(topics_dataset, [(0, 0), (1, 1), (2, 2), (3, 3)])
+        rng = np.random.default_rng(2)
+        state.proxy_proba = rng.dirichlet(np.ones(4), size=state.n_train)
+        sel = MCSEUSelector(warmup=1)
+        idx = sel.select(state)
+        scores = sel.expected_utilities(state)
+        mask = state.candidate_mask()
+        assert scores[idx] == pytest.approx(np.max(np.where(mask, scores, -np.inf)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="warmup"):
+            MCSEUSelector(warmup=-1)
+        with pytest.raises(ValueError, match="min_classes"):
+            MCSEUSelector(min_classes=0)

@@ -1,0 +1,160 @@
+"""Tests for multiclass user models and LF utility functions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multiclass.lf import MultiClassLFFamily
+from repro.multiclass.user_model import (
+    MCAccuracyWeightedUserModel,
+    MCThresholdedUserModel,
+    MCUniformUserModel,
+    make_mc_user_model,
+)
+from repro.multiclass.utility import (
+    MCFullUtility,
+    MCNoCorrectnessUtility,
+    MCNoInformativenessUtility,
+    make_mc_utility,
+    signed_agreement,
+)
+
+
+def family_3x3():
+    B = sp.csr_matrix(np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]]))
+    return MultiClassLFFamily(["a", "b", "c"], B, 3)
+
+
+class TestSignedAgreement:
+    def test_zero_at_chance(self):
+        P = np.full((5, 4), 0.25)
+        np.testing.assert_allclose(signed_agreement(P), 0.0, atol=1e-12)
+
+    def test_one_at_certainty(self):
+        P = np.zeros((1, 3))
+        P[0, 1] = 1.0
+        s = signed_agreement(P)
+        assert s[0, 1] == pytest.approx(1.0)
+        assert s[0, 0] == pytest.approx(-0.5)
+
+    def test_recovers_binary_formula(self):
+        p = np.array([[0.7, 0.3], [0.1, 0.9]])
+        np.testing.assert_allclose(signed_agreement(p), 2 * p - 1)
+
+    def test_rejects_one_dim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            signed_agreement(np.array([0.5, 0.5]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="lie in"):
+            signed_agreement(np.array([[1.5, -0.5]]))
+
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_row_sums_are_zero(self, k, n):
+        # Σ_k s_k = (K·1 − K)/(K−1) = 0 for any distribution row.
+        rng = np.random.default_rng(k * 100 + n)
+        P = rng.dirichlet(np.ones(k), size=n)
+        np.testing.assert_allclose(signed_agreement(P).sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestUserModels:
+    def test_accuracy_weights_are_accuracies(self):
+        acc = np.array([[0.5, 0.3, 0.2], [0.1, 0.8, 0.1]])
+        np.testing.assert_allclose(
+            MCAccuracyWeightedUserModel().pick_weights(acc), acc
+        )
+
+    def test_uniform_weights_are_ones(self):
+        acc = np.random.default_rng(0).dirichlet(np.ones(3), size=4)
+        np.testing.assert_allclose(MCUniformUserModel().pick_weights(acc), 1.0)
+
+    def test_thresholded_zeroes_below_chance(self):
+        acc = np.array([[0.5, 0.3, 0.2]])
+        w = MCThresholdedUserModel().pick_weights(acc)  # default threshold 1/3
+        assert w[0, 0] == pytest.approx(0.5)
+        assert w[0, 2] == 0.0
+
+    def test_probability_zero_for_absent_primitive(self):
+        family = family_3x3()
+        acc = np.full((3, 3), 1 / 3)
+        lf = family.make(2, 0)  # primitive c absent from example 0
+        p = MCAccuracyWeightedUserModel().probability(
+            lf, 0, family, acc, np.full(3, 1 / 3)
+        )
+        assert p == 0.0
+
+    def test_probabilities_form_subdistribution(self):
+        family = family_3x3()
+        rng = np.random.default_rng(0)
+        acc = rng.dirichlet(np.ones(3), size=3)
+        priors = np.array([0.2, 0.5, 0.3])
+        model = MCAccuracyWeightedUserModel()
+        total = 0.0
+        for label in range(3):
+            for pid in range(3):
+                total += model.probability(family.make(pid, label), 0, family, acc, priors)
+        # sums to Σ_k P(k) over classes with any candidate = 1
+        assert total == pytest.approx(1.0)
+
+    def test_registry(self):
+        assert isinstance(make_mc_user_model("accuracy"), MCAccuracyWeightedUserModel)
+        assert isinstance(make_mc_user_model("uniform"), MCUniformUserModel)
+        with pytest.raises(ValueError, match="unknown user model"):
+            make_mc_user_model("nope")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            MCThresholdedUserModel(threshold=1.0)
+
+
+class TestUtilities:
+    def setup_method(self):
+        self.B = sp.csr_matrix(np.array([[1, 0], [1, 1], [0, 1]]))
+        self.entropies = np.array([1.0, 0.5, 0.2])
+        rng = np.random.default_rng(0)
+        self.P = rng.dirichlet(np.ones(3), size=3)
+
+    def test_full_matches_manual(self):
+        util = MCFullUtility().scores(self.B, self.entropies, self.P)
+        s = signed_agreement(self.P)
+        expected = np.zeros((2, 3))
+        for z in range(2):
+            covered = np.asarray(self.B[:, z].todense()).ravel() > 0
+            for k in range(3):
+                expected[z, k] = (self.entropies[covered] * s[covered, k]).sum()
+        np.testing.assert_allclose(util, expected)
+
+    def test_no_informativeness_drops_entropy(self):
+        flat = MCNoInformativenessUtility().scores(self.B, self.entropies, self.P)
+        ones = MCNoInformativenessUtility().scores(self.B, np.ones(3), self.P)
+        np.testing.assert_allclose(flat, ones)
+
+    def test_no_correctness_is_class_symmetric(self):
+        util = MCNoCorrectnessUtility().scores(self.B, self.entropies, self.P)
+        np.testing.assert_allclose(util[:, 0], util[:, 1])
+        np.testing.assert_allclose(util[:, 0], util[:, 2])
+
+    def test_score_lf_reads_table(self):
+        family = MultiClassLFFamily(["a", "b"], self.B, 3)
+        lf = family.make(1, 2)
+        table = MCFullUtility().scores(self.B, self.entropies, self.P)
+        scalar = MCFullUtility().score_lf(lf, self.B, self.entropies, self.P)
+        assert scalar == pytest.approx(table[1, 2])
+
+    def test_registry(self):
+        assert isinstance(make_mc_utility("full"), MCFullUtility)
+        with pytest.raises(ValueError, match="unknown utility"):
+            make_mc_utility("nope")
+
+    def test_full_utility_zero_under_uniform_proxy(self):
+        # The chance-centered design: an uninformative end model produces
+        # zero utility for every candidate LF instead of a negative bias.
+        P = np.full((3, 3), 1 / 3)
+        util = MCFullUtility().scores(self.B, self.entropies, P)
+        np.testing.assert_allclose(util, 0.0, atol=1e-12)

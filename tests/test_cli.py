@@ -1,0 +1,154 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "enron"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["datasets", "--scale", "huge"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "nemo"
+        assert args.dataset == "amazon"
+        assert args.iterations == 50
+        assert args.threshold == 0.5
+
+    def test_replay_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "t.json"])
+
+
+class TestSubcommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for name in ("amazon", "yelp", "imdb", "youtube", "sms", "vg"):
+            assert name in out
+
+    def test_run_prints_curve(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--method", "snorkel",
+                "--iterations", "6",
+                "--eval-every", "3",
+                "--seeds", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "curve average" in out
+        assert "method=snorkel" in out
+
+    def test_compare_prints_table(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--methods", "snorkel", "random",
+                "--iterations", "5",
+                "--seeds", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snorkel" in out and "random" in out
+
+    def test_record_and_replay_round_trip(self, tmp_path, capsys):
+        transcript_path = tmp_path / "session.json"
+        code = main(
+            [
+                "run",
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--method", "snorkel",
+                "--iterations", "8",
+                "--seeds", "1",
+                "--save-transcript", str(transcript_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(transcript_path.read_text())
+        assert data["dataset_name"] == "amazon"
+        assert data["metadata"]["method"] == "snorkel"
+
+        code = main(
+            [
+                "replay",
+                str(transcript_path),
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--contextualize",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline=contextualized" in out
+        assert "test score" in out
+
+    def test_replay_with_gamma_uses_context_sequence(self, tmp_path, capsys):
+        transcript_path = tmp_path / "session.json"
+        main(
+            [
+                "run",
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--method", "snorkel",
+                "--iterations", "6",
+                "--seeds", "1",
+                "--save-transcript", str(transcript_path),
+            ]
+        )
+        code = main(
+            [
+                "replay",
+                str(transcript_path),
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--gamma", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "context-sequence(gamma=0.5)" in capsys.readouterr().out
+
+    def test_replay_with_majority_label_model(self, tmp_path, capsys):
+        transcript_path = tmp_path / "session.json"
+        main(
+            [
+                "run",
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--method", "snorkel",
+                "--iterations", "6",
+                "--seeds", "1",
+                "--save-transcript", str(transcript_path),
+            ]
+        )
+        code = main(
+            [
+                "replay",
+                str(transcript_path),
+                "--dataset", "amazon",
+                "--scale", "tiny",
+                "--label-model", "majority",
+            ]
+        )
+        assert code == 0
+        assert "label_model=majority" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Tests for the CLI's multiclass (topics) dataset integration."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopicsDataset:
+    def test_run_with_mc_method(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "topics",
+                "--scale", "tiny",
+                "--method", "snorkel-mc",
+                "--iterations", "4",
+                "--eval-every", "2",
+                "--seeds", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "K=4" in out
+        assert "curve average" in out
+
+    def test_run_with_binary_method_on_topics_fails_clearly(self):
+        with pytest.raises(ValueError, match="unknown multiclass method"):
+            main(
+                [
+                    "run",
+                    "--dataset", "topics",
+                    "--scale", "tiny",
+                    "--method", "nemo",
+                    "--iterations", "2",
+                    "--seeds", "1",
+                ]
+            )
+
+    def test_compare_on_topics(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "topics",
+                "--scale", "tiny",
+                "--methods", "snorkel-mc", "abstain-mc",
+                "--iterations", "4",
+                "--eval-every", "2",
+                "--seeds", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snorkel-mc" in out and "abstain-mc" in out
+
+    def test_record_multiclass_transcript(self, tmp_path, capsys):
+        path = tmp_path / "mc.json"
+        code = main(
+            [
+                "run",
+                "--dataset", "topics",
+                "--scale", "tiny",
+                "--method", "snorkel-mc",
+                "--iterations", "5",
+                "--eval-every", "5",
+                "--seeds", "1",
+                "--save-transcript", str(path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["dataset_name"] == "topics"
+        assert all(e["lf"]["kind"] == "multiclass" for e in data["entries"])

@@ -1,0 +1,44 @@
+"""Run the docstring examples of the public modules as tests.
+
+Keeps the ``Examples`` sections in the API docs honest: if a signature or
+behaviour changes, the example breaks here rather than silently rotting.
+The package-level quickstart (``repro/__init__``) runs a real 10-iteration
+session, so it doubles as a smoke test of the documented entry point.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.data.minting
+import repro.endmodel.logistic
+import repro.endmodel.softmax
+import repro.text.tfidf
+import repro.text.tokenize
+import repro.utils.rng
+
+MODULES_WITH_EXAMPLES = [
+    repro.data.minting,
+    repro.endmodel.logistic,
+    repro.endmodel.softmax,
+    repro.text.tfidf,
+    repro.text.tokenize,
+    repro.utils.rng,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} advertises examples but has none"
+    assert result.failed == 0
+
+
+@pytest.mark.slow
+def test_package_quickstart_doctest():
+    result = doctest.testmod(repro, verbose=False)
+    assert result.attempted > 0
+    assert result.failed == 0

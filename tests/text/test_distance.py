@@ -1,0 +1,126 @@
+"""Tests for distance functions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.text.distance import (
+    cosine_distance_matrix,
+    cosine_distances_to_point,
+    distances_to_point,
+    euclidean_distance_matrix,
+    euclidean_distances_to_point,
+    get_distance_fn,
+)
+
+POINTS = arrays(
+    float,
+    st.tuples(st.integers(1, 8), st.just(4)),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+
+class TestCosine:
+    def test_identical_vectors_zero(self):
+        X = np.array([[1.0, 2.0]])
+        assert cosine_distances_to_point(X, np.array([2.0, 4.0]))[0] == pytest.approx(0.0)
+
+    def test_orthogonal_vectors_one(self):
+        X = np.array([[1.0, 0.0]])
+        assert cosine_distances_to_point(X, np.array([0.0, 1.0]))[0] == pytest.approx(1.0)
+
+    def test_opposite_vectors_two(self):
+        X = np.array([[1.0, 0.0]])
+        assert cosine_distances_to_point(X, np.array([-1.0, 0.0]))[0] == pytest.approx(2.0)
+
+    def test_zero_vector_max_distance(self):
+        X = np.array([[0.0, 0.0]])
+        assert cosine_distances_to_point(X, np.array([1.0, 0.0]))[0] == pytest.approx(1.0)
+
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(0)
+        X = rng.random((6, 5))
+        p = rng.random(5)
+        dense = cosine_distances_to_point(X, p)
+        sparse = cosine_distances_to_point(sp.csr_matrix(X), p)
+        np.testing.assert_allclose(dense, sparse)
+
+    @given(POINTS)
+    @settings(max_examples=30, deadline=None)
+    def test_range(self, X):
+        d = cosine_distances_to_point(X, X[0])
+        assert np.all(d >= -1e-9) and np.all(d <= 2 + 1e-9)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = euclidean_distances_to_point(X, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(d, [0.0, 5.0])
+
+    def test_sparse_matches_dense(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((6, 5))
+        p = rng.random(5)
+        np.testing.assert_allclose(
+            euclidean_distances_to_point(X, p),
+            euclidean_distances_to_point(sp.csr_matrix(X), p),
+            atol=1e-9,
+        )
+
+    @given(POINTS)
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero(self, X):
+        d = euclidean_distances_to_point(X, X[0])
+        assert d[0] == pytest.approx(0.0, abs=1e-6)
+
+    @given(POINTS)
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_via_third_point(self, X):
+        # d(x, p) <= d(x, m) + d(m, p) for every row x, with m = X[0], p = zeros.
+        p = np.zeros(X.shape[1])
+        m = X[0]
+        d_xp = euclidean_distances_to_point(X, p)
+        d_xm = euclidean_distances_to_point(X, m)
+        d_mp = float(np.linalg.norm(m - p))
+        assert np.all(d_xp <= d_xm + d_mp + 1e-6)
+
+
+class TestDispatch:
+    def test_get_distance_fn_names(self):
+        assert get_distance_fn("cosine") is cosine_distances_to_point
+        assert get_distance_fn("euclidean") is euclidean_distances_to_point
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown distance metric"):
+            get_distance_fn("manhattan")
+
+    def test_distances_to_point_dispatches(self):
+        X = np.eye(3)
+        np.testing.assert_allclose(
+            distances_to_point(X, X[0], "euclidean"),
+            euclidean_distances_to_point(X, X[0]),
+        )
+
+
+class TestMatrices:
+    def test_cosine_matrix_diag_zero(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((5, 3)) + 0.1
+        D = cosine_distance_matrix(X)
+        np.testing.assert_allclose(np.diag(D), 0.0, atol=1e-9)
+
+    def test_euclidean_matrix_symmetric(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((5, 3))
+        D = euclidean_distance_matrix(X)
+        np.testing.assert_allclose(D, D.T, atol=1e-9)
+
+    def test_matrix_consistent_with_point_function(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((5, 3))
+        D = cosine_distance_matrix(X)
+        np.testing.assert_allclose(D[:, 2], cosine_distances_to_point(X, X[2]), atol=1e-9)

@@ -1,0 +1,99 @@
+"""Tests for TF-IDF featurization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.tfidf import TfidfVectorizer
+
+DOC_STRATEGY = st.lists(
+    st.text(alphabet="abcde", min_size=1, max_size=4), min_size=1, max_size=8
+).map(" ".join)
+
+
+class TestFitTransform:
+    def test_shape(self):
+        X = TfidfVectorizer().fit_transform(["good movie", "bad movie"])
+        assert X.shape == (2, 3)
+
+    def test_hand_computed_values(self):
+        # Corpus: d0 = "a a b", d1 = "a c".  Smoothed IDF, no normalization.
+        vec = TfidfVectorizer(normalize=False)
+        X = vec.fit_transform(["a a b", "a c"]).toarray()
+        vocab = vec.vocabulary
+        idf_a = np.log(3 / 3) + 1  # df=2, n=2
+        idf_b = np.log(3 / 2) + 1  # df=1
+        assert X[0, vocab.id_of("a")] == pytest.approx(2 * idf_a)
+        assert X[0, vocab.id_of("b")] == pytest.approx(1 * idf_b)
+        assert X[1, vocab.id_of("b")] == 0.0
+
+    def test_rows_l2_normalized(self):
+        X = TfidfVectorizer().fit_transform(["a b c", "c d", "a"])
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_out_of_vocabulary_ignored(self):
+        vec = TfidfVectorizer().fit(["a b"])
+        X = vec.transform(["z z z"])
+        assert X.nnz == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["a"])
+
+    def test_sublinear_tf(self):
+        vec = TfidfVectorizer(normalize=False, sublinear_tf=True)
+        X = vec.fit_transform(["a a a a"]).toarray()
+        expected = (1 + np.log(4)) * vec.idf[0]
+        assert X[0, 0] == pytest.approx(expected)
+
+    def test_min_df_shrinks_vocab(self):
+        vec = TfidfVectorizer(min_df=2).fit(["a b", "a c", "a d"])
+        assert vec.vocabulary.tokens == ["a"]
+
+    def test_empty_doc_row_is_zero(self):
+        vec = TfidfVectorizer().fit(["a b"])
+        X = vec.transform(["", "a"])
+        assert X[0].nnz == 0
+        assert X[1].nnz == 1
+
+    def test_idf_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            _ = TfidfVectorizer().idf
+
+
+class TestProperties:
+    @given(st.lists(DOC_STRATEGY, min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative_and_sparse(self, docs):
+        X = TfidfVectorizer().fit_transform(docs)
+        assert sp.issparse(X)
+        assert (X.data >= 0).all()
+        assert X.shape[0] == len(docs)
+
+    @given(st.lists(DOC_STRATEGY, min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_row_norms_at_most_one(self, docs):
+        X = TfidfVectorizer().fit_transform(docs)
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    @given(st.lists(DOC_STRATEGY, min_size=2, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_deterministic(self, docs):
+        vec = TfidfVectorizer().fit(docs)
+        a = vec.transform(docs).toarray()
+        b = vec.transform(docs).toarray()
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.lists(DOC_STRATEGY, min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_sparsity_pattern_matches_vocabulary_presence(self, docs):
+        vec = TfidfVectorizer()
+        X = vec.fit_transform(docs)
+        vocab = vec.vocabulary
+        for row, doc in enumerate(docs):
+            present = {vocab.get(t) for t in doc.split()} - {None}
+            assert set(X.getrow(row).indices) == present

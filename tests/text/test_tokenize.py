@@ -1,0 +1,59 @@
+"""Tests for tokenization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import ngrams, simple_tokenize
+
+
+class TestSimpleTokenize:
+    def test_basic(self):
+        assert simple_tokenize("Perfect for my workouts") == [
+            "perfect", "for", "my", "workouts",
+        ]
+
+    def test_punctuation_splits(self):
+        assert simple_tokenize("good,bad;ugly!") == ["good", "bad", "ugly"]
+
+    def test_apostrophes_kept(self):
+        assert simple_tokenize("don't") == ["don't"]
+
+    def test_numbers_kept(self):
+        assert simple_tokenize("win 100 dollars") == ["win", "100", "dollars"]
+
+    def test_empty_string(self):
+        assert simple_tokenize("") == []
+
+    def test_no_lowercase(self):
+        assert simple_tokenize("ABC", lowercase=False) == []
+
+    @given(st.text(max_size=200))
+    def test_tokens_are_lowercase_alnum(self, text):
+        for token in simple_tokenize(text):
+            assert token
+            assert all(c.islower() or c.isdigit() or c == "'" for c in token)
+
+    @given(st.text(max_size=200))
+    def test_idempotent_on_own_output(self, text):
+        joined = " ".join(simple_tokenize(text))
+        assert simple_tokenize(joined) == simple_tokenize(text)
+
+
+class TestNgrams:
+    def test_unigrams_passthrough(self):
+        assert ngrams(["a", "b"], 1) == ["a", "b"]
+
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == ["a b", "b c"]
+
+    def test_trigram_of_short_list_empty(self):
+        assert ngrams(["a"], 3) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), max_size=20), st.integers(1, 5))
+    def test_count_invariant(self, tokens, n):
+        assert len(ngrams(tokens, n)) == max(0, len(tokens) - n + 1)

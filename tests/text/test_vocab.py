@@ -1,0 +1,77 @@
+"""Tests for the Vocabulary."""
+
+import pytest
+
+from repro.text.vocab import Vocabulary
+
+
+class TestConstruction:
+    def test_add_assigns_sequential_ids(self):
+        v = Vocabulary()
+        assert v.add("a") == 0
+        assert v.add("b") == 1
+
+    def test_add_is_idempotent(self):
+        v = Vocabulary()
+        assert v.add("a") == v.add("a")
+        assert len(v) == 1
+
+    def test_invalid_min_df(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_df=0)
+
+    def test_invalid_max_df_ratio(self):
+        with pytest.raises(ValueError):
+            Vocabulary(max_df_ratio=0.0)
+
+
+class TestFit:
+    def test_order_is_first_occurrence(self):
+        v = Vocabulary().fit([["b", "a"], ["a", "c"]])
+        assert v.tokens == ["b", "a", "c"]
+
+    def test_min_df_filters(self):
+        v = Vocabulary(min_df=2).fit([["a", "b"], ["a", "c"], ["a"]])
+        assert "a" in v
+        assert "b" not in v and "c" not in v
+
+    def test_max_df_filters_stopwords(self):
+        docs = [["the", "x1"], ["the", "x2"], ["the", "x3"], ["the", "x4"]]
+        v = Vocabulary(max_df_ratio=0.5).fit(docs)
+        assert "the" not in v
+        assert "x1" in v
+
+    def test_doc_frequency_counts_documents_not_terms(self):
+        v = Vocabulary().fit([["a", "a", "a"], ["a"]])
+        assert v.doc_frequency("a") == 2
+
+    def test_refit_resets(self):
+        v = Vocabulary()
+        v.fit([["a"]])
+        v.fit([["b"]])
+        assert "a" not in v and "b" in v
+
+    def test_n_docs_fitted(self):
+        v = Vocabulary().fit([["a"], ["b"], ["c"]])
+        assert v.n_docs_fitted == 3
+
+
+class TestLookup:
+    def test_roundtrip(self):
+        v = Vocabulary().fit([["alpha", "beta"]])
+        for token in v:
+            assert v.token_of(v.id_of(token)) == token
+
+    def test_missing_raises(self):
+        v = Vocabulary().fit([["a"]])
+        with pytest.raises(KeyError):
+            v.id_of("zzz")
+
+    def test_get_default(self):
+        v = Vocabulary().fit([["a"]])
+        assert v.get("zzz") is None
+        assert v.get("zzz", -1) == -1
+
+    def test_contains(self):
+        v = Vocabulary().fit([["a"]])
+        assert "a" in v and "b" not in v

@@ -1,0 +1,63 @@
+"""Tests for seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_children, stable_hash_seed
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        kids = spawn_children(0, 2)
+        assert not np.allclose(kids[0].random(10), kids[1].random(10))
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.random() for g in spawn_children(7, 3)]
+        b = [g.random() for g in spawn_children(7, 3)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_generator_seed_supported(self):
+        kids = spawn_children(np.random.default_rng(0), 3)
+        assert len(kids) == 3
+
+
+class TestStableHashSeed:
+    def test_stable(self):
+        assert stable_hash_seed("amazon", 0) == stable_hash_seed("amazon", 0)
+
+    def test_distinct_inputs_distinct_seeds(self):
+        seeds = {stable_hash_seed(name, i) for name in ("a", "b", "c") for i in range(10)}
+        assert len(seeds) == 30
+
+    def test_in_uint32_range(self):
+        s = stable_hash_seed("x", "y", 123)
+        assert 0 <= s < 2**32

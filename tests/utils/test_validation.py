@@ -1,0 +1,78 @@
+"""Tests for validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_binary_labels,
+    check_in_range,
+    check_matching_length,
+    check_positive,
+    check_probabilities,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1.5)
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        check_positive("x", 0.0, strict=False)
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_ok(self):
+        check_in_range("p", 0.0, 0.0, 1.0)
+        check_in_range("p", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds_fail(self):
+        with pytest.raises(ValueError):
+            check_in_range("p", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="p"):
+            check_in_range("p", 1.5, 0.0, 1.0)
+
+
+class TestCheckMatchingLength:
+    def test_ok(self):
+        check_matching_length("a", [1, 2], "b", [3, 4])
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="a and b"):
+            check_matching_length("a", [1], "b", [1, 2])
+
+
+class TestCheckBinaryLabels:
+    def test_valid(self):
+        out = check_binary_labels("y", np.array([1, -1, 1]))
+        assert out.dtype == int
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_binary_labels("y", np.array([1, 0, -1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_binary_labels("y", np.ones((2, 2)))
+
+
+class TestCheckProbabilities:
+    def test_valid_rows(self):
+        check_probabilities("p", np.array([[0.3, 0.7], [0.5, 0.5]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probabilities("p", np.array([[-0.1, 1.1]]))
+
+    def test_rejects_not_summing(self):
+        with pytest.raises(ValueError):
+            check_probabilities("p", np.array([[0.4, 0.4]]))
