@@ -1,0 +1,182 @@
+"""Session-step throughput benchmark: incremental engine vs from-scratch.
+
+Unlike the ``bench_table*``/``bench_figure*`` modules (which reproduce the
+paper's *results*), this benchmark records the *performance trajectory* of
+the interactive loop itself: iterations/second of the full
+select → develop → refit step at several training-set sizes, for
+
+* the **scratch** path (``warm_start=False, full_refit_every=1``) — the
+  from-scratch refit semantics of the seed implementation, recorded as the
+  baseline; and
+* the **incremental** path (the engine defaults: warm-started label/end
+  model refits with capped inner iterations, k-step cold backstops,
+  sparse-native LF application, refit-scoped SEU caching).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_session.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_perf_session.py --quick    # CI smoke
+
+Writes ``BENCH_session_throughput.json`` (see ``--output``) with
+iterations/sec per size, the speedup, and the end-of-session test scores
+of both paths (the quality-parity sanity check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.session import DataProgrammingSession  # noqa: E402
+from repro.core.seu import SEUSelector  # noqa: E402
+from repro.data import load_dataset  # noqa: E402
+from repro.interactive.simulated_user import SimulatedUser  # noqa: E402
+
+#: The acceptance target this benchmark tracks: step throughput of the
+#: incremental engine at n_train=10k must be ≥ this multiple of scratch.
+TARGET_N_TRAIN = 10_000
+TARGET_SPEEDUP = 3.0
+
+TRAIN_FRACTION = 0.8  # the 80/10/10 split of featurize_corpus
+
+
+def build_dataset(dataset: str, n_train: int, seed: int):
+    n_docs = int(round(n_train / TRAIN_FRACTION))
+    return load_dataset(dataset, scale="bench", seed=seed, n_docs=n_docs)
+
+
+def make_session(ds, mode: str, seed: int) -> DataProgrammingSession:
+    if mode == "scratch":
+        engine_kwargs = {"warm_start": False, "full_refit_every": 1}
+    elif mode == "incremental":
+        engine_kwargs = {}  # the engine defaults ARE the incremental config
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return DataProgrammingSession(
+        ds,
+        SEUSelector(),
+        SimulatedUser(ds, seed=seed + 1),
+        seed=seed,
+        **engine_kwargs,
+    )
+
+
+def time_session(ds, mode: str, n_iterations: int, seed: int) -> dict:
+    session = make_session(ds, mode, seed)
+    start = time.perf_counter()
+    session.run(n_iterations)
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": mode,
+        "seconds": round(elapsed, 4),
+        "iters_per_sec": round(n_iterations / elapsed, 4),
+        "n_lfs": len(session.lfs),
+        "test_score": round(session.test_score(), 4),
+    }
+
+
+def run_benchmark(args) -> dict:
+    results = []
+    for n_train in args.sizes:
+        print(f"[bench] building {args.dataset} with n_train={n_train} ...", flush=True)
+        t0 = time.perf_counter()
+        ds = build_dataset(args.dataset, n_train, args.seed)
+        build_s = time.perf_counter() - t0
+        print(
+            f"[bench]   built in {build_s:.1f}s "
+            f"(n_train={ds.train.n}, |Z|={ds.n_primitives}, nnz(B)={ds.train.B.nnz})",
+            flush=True,
+        )
+        entry = {"n_train": ds.train.n, "n_primitives": ds.n_primitives}
+        for mode in ("scratch", "incremental"):
+            timing = time_session(ds, mode, args.iterations, args.seed)
+            entry[mode] = timing
+            print(
+                f"[bench]   {mode:<12} {timing['seconds']:>8.2f}s "
+                f"= {timing['iters_per_sec']:>7.2f} iters/sec "
+                f"(score {timing['test_score']:.3f})",
+                flush=True,
+            )
+        entry["speedup"] = round(
+            entry["incremental"]["iters_per_sec"] / entry["scratch"]["iters_per_sec"], 3
+        )
+        entry["score_gap"] = round(
+            entry["incremental"]["test_score"] - entry["scratch"]["test_score"], 4
+        )
+        print(f"[bench]   speedup {entry['speedup']}x", flush=True)
+        results.append(entry)
+    return {
+        "benchmark": "session_throughput",
+        "dataset": args.dataset,
+        "iterations_per_session": args.iterations,
+        "seed": args.seed,
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "target": {"n_train": TARGET_N_TRAIN, "min_speedup": TARGET_SPEEDUP},
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1_000, 10_000, 50_000],
+        help="training-set sizes to sweep (default: 1k 10k 50k)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=30, help="session iterations per timing run"
+    )
+    parser.add_argument("--dataset", default="amazon", help="recipe dataset name")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_session_throughput.json"),
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: n_train=1000 only, 10 iterations",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.sizes = [1_000]
+        args.iterations = 10
+
+    record = run_benchmark(args)
+    out = Path(args.output)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[bench] wrote {out}")
+
+    at_target = [
+        r
+        for r in record["results"]
+        if abs(r["n_train"] - TARGET_N_TRAIN) <= TARGET_N_TRAIN * 0.05
+    ]
+    if at_target and not args.quick:
+        speedup = at_target[0]["speedup"]
+        status = "OK" if speedup >= TARGET_SPEEDUP else "BELOW TARGET"
+        print(
+            f"[bench] speedup at n_train={TARGET_N_TRAIN}: "
+            f"{speedup}x (target {TARGET_SPEEDUP}x) -> {status}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

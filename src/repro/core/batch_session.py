@@ -98,8 +98,7 @@ class BatchDataProgrammingSession(DataProgrammingSession):
         self.iteration += 1
         if not batch:
             return
-        new_columns_train = []
-        new_columns_valid = []
+        appended = 0
         for dev_index in batch:
             self.selected.add(dev_index)
             lf = self.user.create_lf(dev_index, state)
@@ -107,10 +106,7 @@ class BatchDataProgrammingSession(DataProgrammingSession):
                 continue
             self.lineage.add(lf, dev_index, self.iteration - 1)
             state.lfs.append(lf)  # visible to later picks in the same batch
-            new_columns_train.append(lf.apply(self.dataset.train.B))
-            new_columns_valid.append(lf.apply(self.dataset.valid.B))
-        if not new_columns_train:
-            return
-        self.L_train = np.column_stack([self.L_train, *new_columns_train]).astype(np.int8)
-        self.L_valid = np.column_stack([self.L_valid, *new_columns_valid]).astype(np.int8)
-        self._refit()
+            self._append_votes(lf)
+            appended += 1
+        if appended:
+            self._refit()

@@ -1,0 +1,314 @@
+"""The shared incremental IDP session engine.
+
+Both the binary (:class:`repro.core.session.DataProgrammingSession`) and the
+multiclass (:class:`repro.multiclass.session.MultiClassSession`) pipelines
+drive the same atomic loop (paper Fig. 4): select one development example,
+obtain one LF from the user, optionally contextualize, then refit the label
+model and the end model.  Historically the two implementations were
+line-for-line mirrors; this module hosts the single engine both now extend,
+parameterized by cardinality through a handful of hooks.
+
+The engine is *incremental* along three axes, each individually defeatable
+(see ENGINE.md for the contract):
+
+1. **Append-only vote storage** — the train/valid vote matrices are
+   :class:`~repro.labelmodel.matrix.VoteMatrix` buffers that grow by column
+   without re-copying, and new LF columns are materialized from a CSC
+   column slice of the incidence matrix (O(nnz_col), no densification).
+2. **Warm-started refits** — the label model is re-fitted via
+   ``fit_warm`` seeded from the previous refit's posterior, with a full
+   cold refit forced every ``full_refit_every`` iterations as a
+   correctness backstop (and whenever warm-starting is unsound, e.g. the
+   very first refit).  The end models warm-start natively.
+3. **Per-refit aggregate caching** — a cache dict scoped to the interval
+   between refits is threaded to selectors through the session state, so
+   SEU's sparse aggregates (``B.T @ proxy``, utility tables, the expected
+   utility vector itself) are computed at most once per refit.
+
+Setting ``warm_start=False`` and ``full_refit_every=1`` reproduces the
+from-scratch semantics of the original sessions exactly — that
+configuration is both the regression baseline for the equivalence tests and
+the recorded baseline of ``benchmarks/bench_perf_session.py``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.core.lineage import LineageStore
+from repro.labelmodel.matrix import VoteMatrix, column_nonzero_rows
+
+
+class IncrementalSessionEngine:
+    """Cardinality-agnostic select → develop → contextualize → learn loop.
+
+    Subclasses provide the label-space specifics:
+
+    * ``abstain_value`` — the vote matrix's abstain sentinel (0 binary,
+      -1 multiclass);
+    * :meth:`_entropy` — posterior entropy of a soft-label array;
+    * :meth:`_coverage_mask` — covered-example mask of a dense vote matrix
+      (used only for contextualizer-refined matrices; the raw path reads
+      the :class:`VoteMatrix` running stats);
+    * :meth:`_update_proxy` — refresh the ground-truth proxy from the
+      freshly fitted end model;
+    * :meth:`build_state` — the selector/user-facing state snapshot.
+
+    Subclasses are expected to set ``dataset``, ``rng``, ``family``,
+    ``soft_labels``, ``entropies`` and their proxy fields before calling
+    :meth:`_init_engine`.
+    """
+
+    #: Abstain sentinel of the vote convention; subclasses override.
+    abstain_value: int = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _init_engine(
+        self,
+        selector,
+        user,
+        label_model_factory,
+        end_model,
+        contextualizer,
+        percentile_tuner,
+        tune_every: int,
+        warm_start: bool = True,
+        full_refit_every: int = 10,
+        warm_after: int = 8,
+        warm_label_iter: int = 3,
+        warm_end_iter: int = 15,
+        warm_min_train: int = 1000,
+    ) -> None:
+        if tune_every < 1:
+            raise ValueError(f"tune_every must be >= 1, got {tune_every}")
+        if full_refit_every < 1:
+            raise ValueError(f"full_refit_every must be >= 1, got {full_refit_every}")
+        if warm_after < 0:
+            raise ValueError(f"warm_after must be >= 0, got {warm_after}")
+        if warm_label_iter < 1:
+            raise ValueError(f"warm_label_iter must be >= 1, got {warm_label_iter}")
+        if warm_end_iter < 1:
+            raise ValueError(f"warm_end_iter must be >= 1, got {warm_end_iter}")
+        if warm_min_train < 0:
+            raise ValueError(f"warm_min_train must be >= 0, got {warm_min_train}")
+        self.selector = selector
+        self.user = user
+        self.label_model_factory = label_model_factory
+        self.end_model = end_model
+        self.contextualizer = contextualizer
+        self.percentile_tuner = percentile_tuner
+        self.tune_every = tune_every
+        self.warm_start = warm_start
+        self.full_refit_every = full_refit_every
+        self.warm_after = warm_after
+        self.warm_label_iter = warm_label_iter
+        self.warm_end_iter = warm_end_iter
+        self.warm_min_train = warm_min_train
+        self._end_model_accepts_max_iter = (
+            "max_iter" in inspect.signature(end_model.fit).parameters
+        )
+
+        self.lineage = LineageStore(self.dataset)
+        self.iteration = 0
+        self.selected: set[int] = set()
+        self._L_train = VoteMatrix(self.dataset.train.n, abstain=self.abstain_value)
+        self._L_valid = VoteMatrix(self.dataset.valid.n, abstain=self.abstain_value)
+        self.selection_soft_labels: np.ndarray | None = None
+        self.selection_entropies: np.ndarray | None = None
+        self.label_model_ = None
+        self._selection_model_ = None
+        self._end_model_fitted = False
+        self._refit_count = 0
+        self._cold_warranted_ = True
+        self._selector_cache: dict = {}
+        self.active_percentile_: float | None = (
+            contextualizer.percentile if contextualizer is not None else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # vote storage
+    # ------------------------------------------------------------------ #
+    @property
+    def lfs(self) -> list:
+        return self.lineage.lfs
+
+    @property
+    def L_train(self) -> np.ndarray:
+        """``(n_train, m)`` unrefined vote matrix (a view into the buffer)."""
+        return self._L_train.values
+
+    @L_train.setter
+    def L_train(self, L: np.ndarray) -> None:
+        self._L_train = VoteMatrix.from_dense(L, abstain=self.abstain_value)
+
+    @property
+    def L_valid(self) -> np.ndarray:
+        """``(n_valid, m)`` unrefined validation vote matrix (a view)."""
+        return self._L_valid.values
+
+    @L_valid.setter
+    def L_valid(self, L: np.ndarray) -> None:
+        self._L_valid = VoteMatrix.from_dense(L, abstain=self.abstain_value)
+
+    def _append_votes(self, lf) -> None:
+        """Append one LF's train/valid vote columns, sparse-natively.
+
+        The train lookup reuses the family's cached CSC (the family is
+        built over the train incidence matrix, so materializing
+        ``dataset.train.B_csc`` as well would hold a second copy).
+        """
+        self._L_train.append_rows(
+            column_nonzero_rows(self.family.B_csc, lf.primitive_id), lf.label
+        )
+        self._L_valid.append_rows(
+            column_nonzero_rows(self.dataset.valid.B_csc, lf.primitive_id), lf.label
+        )
+
+    # ------------------------------------------------------------------ #
+    # IDP loop
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """One IDP iteration: select → develop → contextualize → learn."""
+        state = self.build_state()
+        dev_index = self.selector.select(state)
+        self.iteration += 1
+        if dev_index is None:
+            return
+        self.selected.add(dev_index)
+        lf = self.user.create_lf(dev_index, state)
+        if lf is None:
+            return
+        self.lineage.add(lf, dev_index, self.iteration - 1)
+        self._append_votes(lf)
+        self._refit()
+
+    def run(self, n_iterations: int):
+        """Run ``n_iterations`` steps; returns self for chaining."""
+        for _ in range(n_iterations):
+            self.step()
+        return self
+
+    # ------------------------------------------------------------------ #
+    # learning stage
+    # ------------------------------------------------------------------ #
+    def _cold_refit_due(self) -> bool:
+        """Whether this refit must be a from-scratch fit.
+
+        Cold refits happen (a) always, when warm-starting is off; (b) on
+        the ``full_refit_every`` cadence — the correctness backstop; (c)
+        while fewer than ``warm_after`` LFs exist; and (d) whenever the
+        training split is smaller than ``warm_min_train``.  The low-LF
+        regime is where the label model's likelihood is most multimodal (a
+        one-sided early LF set can collapse the posterior onto one class,
+        and a warm continuation would stay stuck in that mode), and it is
+        also where from-scratch fits are cheapest — so incrementality buys
+        nothing there and risks much.  The same cost argument gates on the
+        training size: every refit cost scales with ``n_train``, so below
+        ``warm_min_train`` the exact path is already fast and the engine
+        keeps its from-scratch semantics outright.
+        """
+        if not self.warm_start or self.full_refit_every == 1:
+            return True
+        if self.dataset.train.n < self.warm_min_train:
+            return True
+        if len(self.lineage) <= self.warm_after:
+            return True
+        return self._refit_count % self.full_refit_every == 0
+
+    def _fit_label_model(self, L: np.ndarray, previous):
+        """Fresh label model fitted on ``L``, warm-seeded when allowed."""
+        model = self.label_model_factory()
+        if self._cold_warranted_ or previous is None or type(previous) is not type(model):
+            model.fit(L)
+        else:
+            model.fit_warm(L, previous, max_iter=self.warm_label_iter)
+        return model
+
+    def _refit(self) -> None:
+        self._cold_warranted_ = self._cold_refit_due()
+        self._refit_count += 1
+        L_effective = self._effective_label_matrix()
+        refined = self.contextualizer is not None
+        model = self._fit_label_model(L_effective, self.label_model_)
+        self.label_model_ = model
+        self.soft_labels = model.predict_proba(L_effective)
+        self.entropies = self._entropy(self.soft_labels)
+        self._refit_selection_view(refined)
+        if refined:
+            covered = self._coverage_mask(L_effective)
+        else:
+            covered = self._L_train.coverage_mask()
+        if covered.any():
+            X = self.dataset.train.X
+            X_covered = X[np.flatnonzero(covered)]
+            targets = self.soft_labels[covered]
+            if self._cold_warranted_ or not self._end_model_accepts_max_iter:
+                self.end_model.fit(X_covered, targets)
+            else:
+                self.end_model.fit(X_covered, targets, max_iter=self.warm_end_iter)
+            self._end_model_fitted = True
+            self._update_proxy()
+        self._selector_cache.clear()
+
+    def _effective_label_matrix(self) -> np.ndarray:
+        if self.contextualizer is None:
+            return self.L_train
+        if self.percentile_tuner is not None and self._should_tune():
+            self.active_percentile_ = self.percentile_tuner.best_percentile(
+                self.contextualizer,
+                self.L_train,
+                self.L_valid,
+                self.lineage,
+                self.label_model_factory,
+                self.dataset.valid.y,
+            )
+        return self.contextualizer.refine(
+            self.L_train, self.lineage, "train", percentile=self.active_percentile_
+        )
+
+    def _refit_selection_view(self, refined: bool) -> None:
+        """Posterior over the *unrefined* votes, for selectors only.
+
+        Refinement makes over-generalizing LFs abstain far from their
+        development data — good for learning, but it erases the conflict
+        signal there, and conflicts are exactly where the
+        uncertainty-seeking selectors should look (Eq. 3's ψ peaks on
+        "examples on which the LFs disagree the most").  Selectors
+        therefore see the posterior of the raw vote matrix; the learning
+        pipeline keeps the refined one.
+        """
+        if not refined:
+            self.selection_soft_labels = None
+            self.selection_entropies = None
+            self._selection_model_ = None
+            return
+        raw_model = self._fit_label_model(self.L_train, self._selection_model_)
+        self._selection_model_ = raw_model
+        self.selection_soft_labels = raw_model.predict_proba(self.L_train)
+        self.selection_entropies = self._entropy(self.selection_soft_labels)
+
+    def _should_tune(self) -> bool:
+        # The refinement radius matters most in the low-LF regime (each vote
+        # carries a large posterior weight), so tune on every new LF early,
+        # then back off to every ``tune_every`` LFs.
+        m = len(self.lineage)
+        return m >= 1 and (m <= 6 or m % self.tune_every == 0)
+
+    # ------------------------------------------------------------------ #
+    # cardinality hooks
+    # ------------------------------------------------------------------ #
+    def _entropy(self, soft_labels: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _update_proxy(self) -> None:
+        raise NotImplementedError
+
+    def build_state(self):
+        raise NotImplementedError

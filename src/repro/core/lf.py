@@ -17,6 +17,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.labelmodel.matrix import column_nonzero_rows
+
 
 @dataclass(frozen=True)
 class PrimitiveLF:
@@ -51,10 +53,13 @@ class PrimitiveLF:
     def apply(self, B: sp.spmatrix) -> np.ndarray:
         """Vote vector over the rows of incidence matrix ``B``.
 
-        Returns an ``(n,)`` int8 array in {-1, 0, +1}.
+        Returns an ``(n,)`` int8 array in {-1, 0, +1}.  Sparse-native: only
+        the rows covered by the primitive are touched (pass a CSC matrix
+        for the O(nnz_col) fast path — no densified column is ever built).
         """
-        col = np.asarray(B[:, self.primitive_id].todense()).ravel()
-        return np.where(col > 0, self.label, 0).astype(np.int8)
+        votes = np.zeros(B.shape[0], dtype=np.int8)
+        votes[column_nonzero_rows(B, self.primitive_id)] = self.label
+        return votes
 
 
 class LFFamily:
@@ -79,7 +84,21 @@ class LFFamily:
             )
         self.primitive_names = list(primitive_names)
         self.B = B.tocsr()
+        self._B_csc: sp.csc_matrix | None = None
         self._coverage_counts = np.asarray(self.B.sum(axis=0)).ravel()
+        # Row nnz of the binary incidence matrix = primitives per example.
+        self._example_primitive_counts = np.diff(self.B.indptr)
+
+    @property
+    def B_csc(self) -> sp.csc_matrix:
+        """Column-major twin of ``B``, built lazily and cached.
+
+        Used for O(nnz_col) covered-row lookups (``explore_examples``,
+        sparse LF application on the train split).
+        """
+        if self._B_csc is None:
+            self._B_csc = self.B.tocsc()
+        return self._B_csc
 
     @property
     def n_primitives(self) -> int:
@@ -89,10 +108,21 @@ class LFFamily:
         """Number of train examples containing each primitive, shape (|Z|,)."""
         return self._coverage_counts.copy()
 
+    def examples_with_primitives(self) -> np.ndarray:
+        """Boolean ``(n_train,)`` mask of examples containing ≥1 primitive.
+
+        Precomputed from the CSR row pointers — selectors call this every
+        iteration and the mask never changes.
+        """
+        return self._example_primitive_counts > 0
+
     def primitives_in(self, example_index: int) -> np.ndarray:
-        """Primitive ids present in the given train example."""
-        row = self.B.getrow(example_index)
-        return row.indices.copy()
+        """Primitive ids present in the given train example.
+
+        Direct CSR index arithmetic — no intermediate sparse row object.
+        """
+        i = int(example_index)
+        return self.B.indices[self.B.indptr[i] : self.B.indptr[i + 1]].copy()
 
     def make(self, primitive_id: int, label: int) -> PrimitiveLF:
         """Construct the LF ``λ_{z,y}`` for a primitive id and label."""
@@ -122,8 +152,7 @@ class LFFamily:
         from repro.utils.rng import ensure_rng
 
         rng = ensure_rng(rng)
-        column = self.B.getcol(int(primitive_id))
-        covered = column.tocoo().row
+        covered = column_nonzero_rows(self.B_csc, primitive_id)
         if covered.size <= k:
             return np.sort(covered)
         return np.sort(rng.choice(covered, size=k, replace=False))
@@ -147,7 +176,7 @@ class LFFamily:
             raise ValueError(
                 f"proxy has length {proxy.shape[0]}, expected {self.B.shape[0]}"
             )
-        if set(np.unique(proxy)) <= {-1.0, 1.0}:
+        if proxy.size and proxy.min() < 0.0:  # hard ±1 encoding -> [0, 1]
             proxy = (proxy + 1.0) / 2.0
         pos_mass = np.asarray(self.B.T @ proxy).ravel()
         cov = self._coverage_counts

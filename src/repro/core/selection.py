@@ -54,6 +54,12 @@ class SessionState:
         Train indices already shown to the user (selectors avoid repeats).
     rng:
         Shared random generator (tie-breaking, sampling).
+    cache:
+        Optional dict scoped to the interval between refits: the session
+        clears it on every refit, and selectors memoize refit-stable
+        aggregates (SEU's ``B.T @ proxy``, utility tables, the expected
+        utility vector) in it.  ``None`` (the default for hand-built
+        states) disables caching entirely.
     """
 
     dataset: FeaturizedDataset
@@ -67,6 +73,7 @@ class SessionState:
     proxy_proba: np.ndarray = None
     selected: set[int] = field(default_factory=set)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    cache: dict | None = None
 
     def __post_init__(self) -> None:
         if self.proxy_proba is None:
@@ -87,11 +94,13 @@ class SessionState:
         Excludes previously-selected dev points and examples containing no
         primitives (no LF can be written from them).
         """
-        mask = np.ones(self.n_train, dtype=bool)
+        has_primitive = self.family.examples_with_primitives()
+        if has_primitive.shape[0] != self.n_train:  # family built on another split
+            has_primitive = np.asarray(self.B.sum(axis=1)).ravel() > 0
+        mask = has_primitive.copy()
         if self.selected:
             mask[list(self.selected)] = False
-        has_primitive = np.asarray(self.B.sum(axis=1)).ravel() > 0
-        return mask & has_primitive
+        return mask
 
 
 class DevDataSelector(ABC):

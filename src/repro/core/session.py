@@ -18,8 +18,8 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.engine import IncrementalSessionEngine
 from repro.core.lf import LFFamily, PrimitiveLF
-from repro.core.lineage import LineageStore
 from repro.core.selection import DevDataSelector, SessionState
 from repro.data.dataset import FeaturizedDataset
 from repro.endmodel.logistic import SoftLabelLogisticRegression
@@ -78,8 +78,14 @@ class LFDeveloper(ABC):
         """
 
 
-class DataProgrammingSession(InteractiveMethod):
+class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
     """The end-to-end DP pipeline with pluggable IDP components.
+
+    The select → develop → contextualize → learn loop itself lives in
+    :class:`~repro.core.engine.IncrementalSessionEngine` (shared with the
+    multiclass session); this class supplies the binary specifics — the
+    ±1 vote convention, the MeTaL default aggregator, the logistic end
+    model, and the ``proxy_labels`` / calibration plumbing.
 
     Parameters
     ----------
@@ -113,9 +119,30 @@ class DataProgrammingSession(InteractiveMethod):
         ground-truth proxy.  Off by default — the paper feeds raw end-model
         predictions to SEU; the calibrated variant is provided for study
         (see :mod:`repro.endmodel.calibration`).
+    warm_start:
+        Warm-start the label model from the previous refit's posterior
+        (see :mod:`repro.core.engine`).  ``False`` forces every refit to
+        be a from-scratch fit — the original (seed) behaviour.
+    full_refit_every:
+        Force a cold label-model refit every this many refits, the
+        incremental path's correctness backstop.  ``1`` means every refit
+        is cold (equivalent to ``warm_start=False``).
+    warm_after:
+        Keep refits cold until this many LFs exist — the low-LF regime is
+        both the cheapest to refit from scratch and the most multimodal
+        to warm-start through (see :mod:`repro.core.engine`).
+    warm_label_iter / warm_end_iter:
+        Inner-iteration caps for warm label-model (EM) and end-model
+        (L-BFGS) refits; full refits are never capped.
+    warm_min_train:
+        Keep the exact from-scratch semantics whenever the training split
+        is smaller than this — refit cost scales with ``n_train``, so
+        small sessions gain nothing from incrementality.
     seed:
         Seed for all session randomness.
     """
+
+    abstain_value = 0
 
     def __init__(
         self,
@@ -128,51 +155,47 @@ class DataProgrammingSession(InteractiveMethod):
         percentile_tuner: PercentileTuner | None = None,
         tune_every: int = 5,
         calibrate_proxy: bool = False,
+        warm_start: bool = True,
+        full_refit_every: int = 10,
+        warm_after: int = 8,
+        warm_label_iter: int = 3,
+        warm_end_iter: int = 15,
+        warm_min_train: int = 1000,
         seed=None,
     ) -> None:
-        super().__init__(dataset, seed)
-        self.selector = selector
-        self.user = user
+        InteractiveMethod.__init__(self, dataset, seed)
         if label_model_factory is None:
             prior = dataset.label_prior
             label_model_factory = lambda: MetalLabelModel(class_prior=prior)  # noqa: E731
-        self.label_model_factory = label_model_factory
-        self.end_model = end_model if end_model is not None else SoftLabelLogisticRegression()
-        self.contextualizer = contextualizer
-        self.percentile_tuner = percentile_tuner
-        if tune_every < 1:
-            raise ValueError(f"tune_every must be >= 1, got {tune_every}")
-        self.tune_every = tune_every
         self.calibrate_proxy = calibrate_proxy
+        self.family = LFFamily(dataset.primitive_names, dataset.train.B)
 
         n_train = dataset.train.n
-        self.family = LFFamily(dataset.primitive_names, dataset.train.B)
-        self.selection_soft_labels: np.ndarray | None = None
-        self.selection_entropies: np.ndarray | None = None
-        self.lineage = LineageStore(dataset)
-        self.iteration = 0
-        self.selected: set[int] = set()
-        self.L_train = np.zeros((n_train, 0), dtype=np.int8)
-        self.L_valid = np.zeros((dataset.valid.n, 0), dtype=np.int8)
         prior = dataset.label_prior
         self.soft_labels = np.full(n_train, prior)
         self.entropies = posterior_entropy(self.soft_labels)
         # Prior-sampled proxy labels until the first end model exists.
         self.proxy_labels = np.where(self.rng.random(n_train) < prior, 1, -1)
         self.proxy_proba = np.full(n_train, prior)
-        self.label_model_: LabelModel | None = None
-        self._end_model_fitted = False
-        self.active_percentile_: float | None = (
-            contextualizer.percentile if contextualizer is not None else None
+        self._init_engine(
+            selector=selector,
+            user=user,
+            label_model_factory=label_model_factory,
+            end_model=end_model if end_model is not None else SoftLabelLogisticRegression(),
+            contextualizer=contextualizer,
+            percentile_tuner=percentile_tuner,
+            tune_every=tune_every,
+            warm_start=warm_start,
+            full_refit_every=full_refit_every,
+            warm_after=warm_after,
+            warm_label_iter=warm_label_iter,
+            warm_end_iter=warm_end_iter,
+            warm_min_train=warm_min_train,
         )
 
     # ------------------------------------------------------------------ #
-    # IDP loop
+    # engine hooks
     # ------------------------------------------------------------------ #
-    @property
-    def lfs(self) -> list[PrimitiveLF]:
-        return self.lineage.lfs
-
     def build_state(self) -> SessionState:
         """Snapshot the session for selectors and the user."""
         return SessionState(
@@ -195,104 +218,27 @@ class DataProgrammingSession(InteractiveMethod):
             proxy_proba=self.proxy_proba,
             selected=self.selected,
             rng=self.rng,
+            cache=self._selector_cache,
         )
 
-    def step(self) -> None:
-        """One IDP iteration: select → develop → contextualize → learn."""
-        state = self.build_state()
-        dev_index = self.selector.select(state)
-        self.iteration += 1
-        if dev_index is None:
-            return
-        self.selected.add(dev_index)
-        lf = self.user.create_lf(dev_index, state)
-        if lf is None:
-            return
-        self.lineage.add(lf, dev_index, self.iteration - 1)
-        self.L_train = np.column_stack([self.L_train, lf.apply(self.dataset.train.B)]).astype(
-            np.int8
-        )
-        self.L_valid = np.column_stack([self.L_valid, lf.apply(self.dataset.valid.B)]).astype(
-            np.int8
-        )
-        self._refit()
+    def _entropy(self, soft_labels: np.ndarray) -> np.ndarray:
+        return posterior_entropy(soft_labels)
 
-    def run(self, n_iterations: int) -> "DataProgrammingSession":
-        """Run ``n_iterations`` steps; returns self for chaining."""
-        for _ in range(n_iterations):
-            self.step()
-        return self
+    def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
+        return coverage_mask(L)
 
-    # ------------------------------------------------------------------ #
-    # learning stage
-    # ------------------------------------------------------------------ #
-    def _refit(self) -> None:
-        L_effective = self._effective_label_matrix()
-        model = self.label_model_factory()
-        model.fit(L_effective)
-        self.label_model_ = model
-        self.soft_labels = model.predict_proba(L_effective)
-        self.entropies = posterior_entropy(self.soft_labels)
-        self._refit_selection_view(L_effective)
-        covered = coverage_mask(L_effective)
-        if covered.any():
-            X = self.dataset.train.X
-            self.end_model.fit(X[np.flatnonzero(covered)], self.soft_labels[covered])
-            self._end_model_fitted = True
-            if self.calibrate_proxy:
-                from repro.endmodel.calibration import PlattCalibrator
+    def _update_proxy(self) -> None:
+        X = self.dataset.train.X
+        if self.calibrate_proxy:
+            from repro.endmodel.calibration import PlattCalibrator
 
-                calibrator = PlattCalibrator()
-                self.proxy_proba = calibrator.fit_transform_from(
-                    self.end_model, self.dataset.valid.X, self.dataset.valid.y, X
-                )
-            else:
-                self.proxy_proba = self.end_model.predict_proba(X)
-            self.proxy_labels = np.where(self.proxy_proba >= 0.5, 1, -1)
-
-    def _effective_label_matrix(self) -> np.ndarray:
-        if self.contextualizer is None:
-            return self.L_train
-        if self.percentile_tuner is not None and self._should_tune():
-            self.active_percentile_ = self.percentile_tuner.best_percentile(
-                self.contextualizer,
-                self.L_train,
-                self.L_valid,
-                self.lineage,
-                self.label_model_factory,
-                self.dataset.valid.y,
+            calibrator = PlattCalibrator()
+            self.proxy_proba = calibrator.fit_transform_from(
+                self.end_model, self.dataset.valid.X, self.dataset.valid.y, X
             )
-        percentile = self.active_percentile_
-        return self.contextualizer.refine(
-            self.L_train, self.lineage, "train", percentile=percentile
-        )
-
-    def _refit_selection_view(self, L_effective: np.ndarray) -> None:
-        """Posterior over the *unrefined* votes, for selectors only.
-
-        Refinement makes over-generalizing LFs abstain far from their
-        development data — which is good for learning, but it also erases
-        the conflict signal there, and conflicts are exactly where the
-        uncertainty-seeking selectors should look (Eq. 3's ψ peaks on
-        "examples on which the LFs disagree the most").  Selectors
-        therefore see the posterior of the raw vote matrix; the learning
-        pipeline keeps the refined one.
-        """
-        if self.contextualizer is None or L_effective is self.L_train:
-            self.selection_soft_labels = None
-            self.selection_entropies = None
-            return
-        raw_model = self.label_model_factory()
-        raw_model.fit(self.L_train)
-        self.selection_soft_labels = raw_model.predict_proba(self.L_train)
-        self.selection_entropies = posterior_entropy(self.selection_soft_labels)
-
-    def _should_tune(self) -> bool:
-        # The refinement radius matters most in the low-LF regime (each vote
-        # carries a large posterior weight), so tune on every new LF early,
-        # then back off to every ``tune_every`` LFs.
-        m = len(self.lineage)
-        return m >= 1 and (m <= 6 or m % self.tune_every == 0)
+        else:
+            self.proxy_proba = self.end_model.predict_proba(X)
+        self.proxy_labels = np.where(self.proxy_proba >= 0.5, 1, -1)
 
     # ------------------------------------------------------------------ #
     # prediction

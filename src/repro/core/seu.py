@@ -85,7 +85,19 @@ class SEUSelector(DevDataSelector):
     # scoring
     # ------------------------------------------------------------------ #
     def expected_utilities(self, state: SessionState) -> np.ndarray:
-        """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``."""
+        """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``.
+
+        Every input of the expectation (the accuracy table ``B.T @ proxy``,
+        the utility tables, the posterior entropies) changes only when the
+        session refits, so the whole score vector is memoized in the
+        refit-scoped ``state.cache`` when one is provided — repeat
+        selections between refits (e.g. after an LF-less iteration) become
+        a dict lookup instead of a pass over the incidence matrix.
+        """
+        cache = getattr(state, "cache", None)
+        cache_key = ("seu_expected", self.user_model.name, self.utility.name)
+        if cache is not None and cache_key in cache:
+            return cache[cache_key]
         B = state.B
         acc_pos = state.family.empirical_accuracies(state.proxy_proba)
         w_pos, w_neg = self.user_model.pick_weights(acc_pos)
@@ -106,6 +118,8 @@ class SEUSelector(DevDataSelector):
                 where=denominator > 1e-12,
             )
             expected += class_prior * contribution
+        if cache is not None:
+            cache[cache_key] = expected
         return expected
 
     def expected_utility_of(self, example_index: int, state: SessionState) -> float:

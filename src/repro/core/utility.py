@@ -33,9 +33,14 @@ def signed_proxy(proxy: np.ndarray) -> np.ndarray:
     the end model momentarily predicts a single class everywhere.
     """
     proxy = np.asarray(proxy, dtype=float)
-    if set(np.unique(proxy)) <= {-1.0, 1.0}:
+    if proxy.size == 0:
         return proxy
-    if np.any(proxy < 0) or np.any(proxy > 1):
+    lo, hi = proxy.min(), proxy.max()
+    if lo < 0.0:  # negative values only occur in the hard ±1 encoding
+        if ((proxy == -1.0) | (proxy == 1.0)).all():
+            return proxy
+        raise ValueError("proxy must be ±1 hard labels or probabilities in [0, 1]")
+    if hi > 1.0:
         raise ValueError("proxy must be ±1 hard labels or probabilities in [0, 1]")
     return 2.0 * proxy - 1.0
 

@@ -42,6 +42,20 @@ class Split:
     def n(self) -> int:
         return len(self.texts)
 
+    @property
+    def B_csc(self) -> sp.csc_matrix:
+        """Column-major twin of ``B``, built lazily and cached.
+
+        LF application reads one primitive column per call; the CSC layout
+        makes that an O(nnz_col) ``indptr`` slice instead of an O(nnz)
+        CSR column extraction.
+        """
+        cached = getattr(self, "_B_csc", None)
+        if cached is None:
+            cached = self.B.tocsc()
+            object.__setattr__(self, "_B_csc", cached)
+        return cached
+
 
 @dataclass
 class FeaturizedDataset:

@@ -134,10 +134,13 @@ def _expanded_globals(
     return g_pos, g_neg, g_common, taken
 
 
-def _build(spec: CorpusSpec, scale: str, seed, metric: str) -> FeaturizedDataset:
+def _build(
+    spec: CorpusSpec, scale: str, seed, metric: str, n_docs: int | None = None
+) -> FeaturizedDataset:
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
-    n_docs = SCALE_SIZES[spec.name][scale]
+    if n_docs is None:
+        n_docs = SCALE_SIZES[spec.name][scale]
     corpus_seed = stable_hash_seed(spec.name, "corpus", seed)
     split_seed = stable_hash_seed(spec.name, "split", seed)
     corpus = CorpusGenerator(spec).generate(n_docs, seed=corpus_seed)
@@ -148,7 +151,9 @@ def _build(spec: CorpusSpec, scale: str, seed, metric: str) -> FeaturizedDataset
 # --------------------------------------------------------------------- #
 # Sentiment classification
 # --------------------------------------------------------------------- #
-def make_amazon(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def make_amazon(
+    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """Amazon product reviews: 4 product categories, balanced sentiment."""
     targets = BANK_TARGETS["long"]
     g_pos, g_neg, common, taken = _expanded_globals(
@@ -172,10 +177,12 @@ def make_amazon(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
         local_reliability=0.85,
         local_leak=0.30,
     )
-    return _build(spec, scale, seed, metric="accuracy")
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
 
 
-def make_yelp(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def make_yelp(
+    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """Yelp business reviews: 3 business categories, balanced sentiment."""
     targets = BANK_TARGETS["long"]
     g_pos, g_neg, common, taken = _expanded_globals(
@@ -199,10 +206,12 @@ def make_yelp(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
         local_reliability=0.85,
         local_leak=0.30,
     )
-    return _build(spec, scale, seed, metric="accuracy")
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
 
 
-def make_imdb(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def make_imdb(
+    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """IMDB movie reviews: 2 genre clusters, long documents."""
     targets = BANK_TARGETS["long"]
     g_pos, g_neg, common, taken = _expanded_globals(
@@ -226,13 +235,15 @@ def make_imdb(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
         local_reliability=0.85,
         local_leak=0.30,
     )
-    return _build(spec, scale, seed, metric="accuracy")
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
 
 
 # --------------------------------------------------------------------- #
 # Spam classification
 # --------------------------------------------------------------------- #
-def make_youtube(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def make_youtube(
+    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """YouTube comment spam: short comments, roughly balanced classes."""
     targets = BANK_TARGETS["short"]
     g_pos, g_neg, common, taken = _expanded_globals(
@@ -255,10 +266,12 @@ def make_youtube(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
         p_local=0.18,
         global_reliability=0.85,
     )
-    return _build(spec, scale, seed, metric="accuracy")
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
 
 
-def make_sms(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def make_sms(
+    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """SMS spam: heavily imbalanced (~13% spam), evaluated with F1."""
     targets = BANK_TARGETS["short"]
     g_pos, g_neg, common, taken = _expanded_globals(
@@ -295,13 +308,15 @@ def make_sms(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
         # cue worse than a coin flip.
         local_leak=0.02,
     )
-    return _build(spec, scale, seed, metric="f1")
+    return _build(spec, scale, seed, metric="f1", n_docs=n_docs)
 
 
 # --------------------------------------------------------------------- #
 # Visual relation classification
 # --------------------------------------------------------------------- #
-def make_vg(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def make_vg(
+    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """Visual Genome "riding" (+1) vs "carrying" (-1) relation classification.
 
     Examples are synthetic object-annotation sets (one token per detected
@@ -335,7 +350,7 @@ def make_vg(scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
         p_global=0.22,
         p_local=0.18,
     )
-    return _build(spec, scale, seed, metric="accuracy")
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
 
 
 #: Registry used by :func:`load_dataset` and the benchmark harness.
@@ -351,7 +366,9 @@ DATASET_BUILDERS: dict[str, Callable[..., FeaturizedDataset]] = {
 DATASET_NAMES = tuple(DATASET_BUILDERS)
 
 
-def load_dataset(name: str, scale: str = "bench", seed: int = 0) -> FeaturizedDataset:
+def load_dataset(
+    name: str, scale: str = "bench", seed: int = 0, n_docs: int | None = None
+) -> FeaturizedDataset:
     """Build a named benchmark dataset.
 
     Parameters
@@ -362,6 +379,10 @@ def load_dataset(name: str, scale: str = "bench", seed: int = 0) -> FeaturizedDa
         ``"paper"``, ``"bench"`` (default), or ``"tiny"``.
     seed:
         Master seed for corpus generation and splitting.
+    n_docs:
+        Optional total corpus size overriding the scale's default — used
+        by the perf benchmarks to sweep dataset sizes beyond the three
+        named scales.
     """
     try:
         builder = DATASET_BUILDERS[name]
@@ -369,4 +390,4 @@ def load_dataset(name: str, scale: str = "bench", seed: int = 0) -> FeaturizedDa
         raise ValueError(
             f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}"
         ) from None
-    return builder(scale=scale, seed=seed)
+    return builder(scale=scale, seed=seed, n_docs=n_docs)

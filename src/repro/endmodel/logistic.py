@@ -75,20 +75,27 @@ class SoftLabelLogisticRegression:
         X,
         soft_labels: np.ndarray,
         sample_weight: np.ndarray | None = None,
+        max_iter: int | None = None,
     ) -> "SoftLabelLogisticRegression":
         """Fit to soft targets ``q_i = P(y_i = +1) ∈ [0, 1]``.
 
         Hard ±1 labels may be passed as well; they are converted to
-        {0, 1} targets.
+        {0, 1} targets.  ``max_iter`` optionally caps L-BFGS iterations
+        for this call only (the incremental session passes a small cap on
+        warm refits — the loss is strictly convex, so the capped solution
+        stays on the path to the unique optimum that a later full refit
+        reaches exactly).
         """
         X = sp.csr_matrix(X) if not sp.issparse(X) else X.tocsr()
         n, d = X.shape
         q = np.asarray(soft_labels, dtype=float).ravel()
         if len(q) != n:
             raise ValueError(f"got {len(q)} targets for {n} rows")
-        if set(np.unique(q)) <= {-1.0, 1.0}:
+        if q.size and q.min() < 0.0:  # negative targets only occur as hard ±1
+            if not ((q == -1.0) | (q == 1.0)).all():
+                raise ValueError("soft labels must lie in [0, 1] (or be ±1 hard labels)")
             q = (q + 1.0) / 2.0
-        if np.any(q < 0) or np.any(q > 1):
+        if np.any(q > 1):
             raise ValueError("soft labels must lie in [0, 1] (or be ±1 hard labels)")
         if sample_weight is None:
             weight = np.ones(n)
@@ -118,12 +125,13 @@ class SoftLabelLogisticRegression:
                 grad_b += self.l2 * b
             return loss, np.concatenate([grad_w, [grad_b]])
 
+        maxiter = self.max_iter if max_iter is None else max(1, min(self.max_iter, max_iter))
         result = minimize(
             objective,
             theta0,
             jac=True,
             method="L-BFGS-B",
-            options={"maxiter": self.max_iter, "gtol": self.tol},
+            options={"maxiter": maxiter, "gtol": self.tol},
         )
         self.coef_ = result.x[:d]
         self.intercept_ = float(result.x[d])

@@ -75,11 +75,14 @@ class SoftLabelSoftmaxRegression:
         X,
         soft_labels: np.ndarray,
         sample_weight: np.ndarray | None = None,
+        max_iter: int | None = None,
     ) -> "SoftLabelSoftmaxRegression":
         """Fit to soft targets ``Q[i, k] = P(y_i = k)`` (rows sum to 1).
 
         A 1-D integer class vector may be passed as well; it is one-hot
-        encoded.
+        encoded.  ``max_iter`` optionally caps L-BFGS iterations for this
+        call only (used by the incremental session on warm refits; see the
+        binary end model).
         """
         X = sp.csr_matrix(X) if not sp.issparse(X) else X.tocsr()
         n, d = X.shape
@@ -124,12 +127,13 @@ class SoftLabelSoftmaxRegression:
             grad_b = residual.sum(axis=0)
             return loss, np.concatenate([grad_W.ravel(), grad_b])
 
+        maxiter = self.max_iter if max_iter is None else max(1, min(self.max_iter, max_iter))
         result = minimize(
             objective,
             theta0,
             jac=True,
             method="L-BFGS-B",
-            options={"maxiter": self.max_iter, "gtol": self.tol},
+            options={"maxiter": maxiter, "gtol": self.tol},
         )
         self.coef_ = result.x[: d * K].reshape(d, K)
         self.intercept_ = result.x[d * K :]

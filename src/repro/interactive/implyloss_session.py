@@ -66,6 +66,7 @@ class ImplyLossSession(DataProgrammingSession):
         is behaviour-preserving.
         """
         self._dirty = True
+        self._selector_cache.clear()
 
     def _refit_now(self) -> None:
         model = ImplyLossModel(
@@ -87,6 +88,7 @@ class ImplyLossSession(DataProgrammingSession):
         self.proxy_proba = self.soft_labels
         self.proxy_labels = np.where(self.soft_labels >= 0.5, 1, -1)
         self._end_model_fitted = True
+        self._selector_cache.clear()
 
     def predict_test(self) -> np.ndarray:
         if self._dirty:

@@ -48,6 +48,25 @@ class LabelModel(ABC):
     # ------------------------------------------------------------------ #
     # shared conveniences
     # ------------------------------------------------------------------ #
+    def fit_warm(
+        self,
+        L: np.ndarray,
+        previous: "LabelModel | None" = None,
+        max_iter: int | None = None,
+    ) -> "LabelModel":
+        """Fit, optionally warm-starting from a previously fitted model.
+
+        ``previous`` is a model of the same class fitted on the first
+        ``m_prev ≤ m`` columns of ``L`` (the incremental session grows the
+        vote matrix one LF at a time); ``max_iter`` optionally caps the
+        inner optimizer iterations for this call — from a warm seed a few
+        steps absorb one new LF, and the engine's periodic cold refit
+        bounds any accumulated drift.  The default implementation ignores
+        both hints and performs a full fit; subclasses with iterative
+        fitting override this to seed from the previous solution.
+        """
+        return self.fit(L)
+
     def fit_predict_proba(self, L: np.ndarray) -> np.ndarray:
         """``fit(L)`` then ``predict_proba(L)``."""
         return self.fit(L).predict_proba(L)

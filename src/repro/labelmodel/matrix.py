@@ -15,6 +15,168 @@ import scipy.sparse as sp
 ABSTAIN = 0
 
 
+def column_nonzero_rows(B: sp.spmatrix, j: int) -> np.ndarray:
+    """Row indices with a nonzero in column ``j`` of a sparse matrix.
+
+    CSC input hits the O(nnz_col) fast path (a direct ``indptr`` slice);
+    other formats fall back to a generic column extraction.  This is the
+    primitive behind sparse-native LF application: a keyword LF's vote
+    vector is fully described by the rows its primitive covers.
+    """
+    j = int(j)
+    if sp.issparse(B) and B.format == "csc":
+        return B.indices[B.indptr[j] : B.indptr[j + 1]]
+    return sp.csc_matrix(B.getcol(j)).indices
+
+
+class VoteMatrix:
+    """Append-only vote matrix that grows by column without re-copies.
+
+    The interactive loop adds one LF (= one column) per iteration; building
+    each new matrix with ``np.column_stack`` copies all previous votes every
+    time, O(n·m) per step and O(n·m²) per session.  ``VoteMatrix``
+    pre-allocates capacity with doubling (amortized O(1) column appends into
+    an int8 buffer) and maintains running per-example vote tallies so
+    coverage/conflict diagnostics are O(n) reads instead of O(n·m) scans.
+
+    Works for both vote conventions: binary (``abstain=0``, votes ±1) and
+    multiclass (``abstain=-1``, votes in {0..K-1}).
+
+    Parameters
+    ----------
+    n_rows:
+        Number of examples (rows are fixed; only columns grow).
+    abstain:
+        The abstain sentinel value (0 binary, -1 multiclass).
+    capacity:
+        Initial column capacity.
+    """
+
+    def __init__(self, n_rows: int, abstain: int = ABSTAIN, capacity: int = 16) -> None:
+        if n_rows < 0:
+            raise ValueError(f"n_rows must be >= 0, got {n_rows}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.n_rows = int(n_rows)
+        self.abstain = int(abstain)
+        self._buf = np.full((self.n_rows, capacity), self.abstain, dtype=np.int8)
+        self.m = 0
+        self._nonabstain = np.zeros(self.n_rows, dtype=np.int64)
+        # Running per-vote-value tallies; values appear lazily as LFs vote.
+        self._value_counts: dict[int, np.ndarray] = {}
+
+    # -- construction -------------------------------------------------- #
+    @classmethod
+    def from_dense(cls, L: np.ndarray, abstain: int = ABSTAIN) -> "VoteMatrix":
+        """Build a :class:`VoteMatrix` from an existing ``(n, m)`` array."""
+        L = np.asarray(L)
+        if L.ndim != 2:
+            raise ValueError(f"vote matrix must be 2-D, got shape {L.shape}")
+        vm = cls(L.shape[0], abstain=abstain, capacity=max(1, L.shape[1]))
+        for j in range(L.shape[1]):
+            vm.append_column(L[:, j])
+        return vm
+
+    # -- views --------------------------------------------------------- #
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.m)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The ``(n, m)`` int8 vote matrix — a *view*, never a copy."""
+        return self._buf[:, : self.m]
+
+    def __len__(self) -> int:
+        return self.m
+
+    # -- growth -------------------------------------------------------- #
+    def _ensure_capacity(self) -> None:
+        if self.m < self._buf.shape[1]:
+            return
+        grown = np.full(
+            (self.n_rows, max(4, 2 * self._buf.shape[1])), self.abstain, dtype=np.int8
+        )
+        grown[:, : self.m] = self._buf[:, : self.m]
+        self._buf = grown
+
+    def append_rows(self, rows: np.ndarray, value: int) -> None:
+        """Append a column voting ``value`` on ``rows``, abstain elsewhere.
+
+        This is the sparse-native append: a primitive LF is one vote value
+        on its covered rows, so only O(nnz_col) work is done (plus the
+        running-stat updates).
+        """
+        value = int(value)
+        if value == self.abstain:
+            raise ValueError(f"vote value {value} equals the abstain sentinel")
+        rows = np.asarray(rows, dtype=np.intp)
+        self._ensure_capacity()
+        column = self._buf[:, self.m]
+        column[rows] = value
+        self.m += 1
+        self._nonabstain[rows] += 1
+        counts = self._value_counts.get(value)
+        if counts is None:
+            counts = self._value_counts.setdefault(value, np.zeros(self.n_rows, dtype=np.int64))
+        counts[rows] += 1
+
+    def append_column(self, votes: np.ndarray) -> None:
+        """Append one dense ``(n,)`` vote column (may contain several values)."""
+        votes = np.asarray(votes)
+        if votes.shape != (self.n_rows,):
+            raise ValueError(f"column must have shape ({self.n_rows},), got {votes.shape}")
+        self._ensure_capacity()
+        self._buf[:, self.m] = votes.astype(np.int8)
+        self.m += 1
+        fired = votes != self.abstain
+        self._nonabstain[fired] += 1
+        for value in np.unique(votes[fired]):
+            value = int(value)
+            counts = self._value_counts.get(value)
+            if counts is None:
+                counts = self._value_counts.setdefault(
+                    value, np.zeros(self.n_rows, dtype=np.int64)
+                )
+            counts[votes == value] += 1
+
+    # -- running diagnostics ------------------------------------------- #
+    def coverage_mask(self) -> np.ndarray:
+        """Boolean ``(n,)`` mask of examples with ≥1 non-abstain vote — O(n)."""
+        return self._nonabstain > 0
+
+    def coverage(self) -> float:
+        """Fraction of examples covered by at least one LF."""
+        if self.m == 0:
+            return 0.0
+        return float(self.coverage_mask().mean())
+
+    def vote_counts(self, value: int) -> np.ndarray:
+        """Per-example count of votes equal to ``value``, shape ``(n,)``."""
+        counts = self._value_counts.get(int(value))
+        if counts is None:
+            return np.zeros(self.n_rows, dtype=np.int64)
+        return counts.copy()
+
+    def abstain_counts(self) -> np.ndarray:
+        """Per-example number of abstaining LFs."""
+        return self.m - self._nonabstain
+
+    def conflict_counts(self) -> np.ndarray:
+        """Per-example number of conflicting vote *pairs* (running, O(n·V)).
+
+        With per-value counts ``c_v`` on an example, the number of
+        unordered pairs of votes naming different values is
+        ``(T² - Σ c_v²) / 2`` with ``T = Σ c_v`` — the multiclass
+        generalization of the binary ``p · q``.
+        """
+        total = self._nonabstain.astype(np.int64)
+        same = np.zeros(self.n_rows, dtype=np.int64)
+        for counts in self._value_counts.values():
+            same += counts * counts
+        return (total * total - same) // 2
+
+
 def apply_lfs(lfs, B: sp.csr_matrix) -> np.ndarray:
     """Apply primitive-based LFs to a primitive-incidence matrix.
 
@@ -34,9 +196,9 @@ def apply_lfs(lfs, B: sp.csr_matrix) -> np.ndarray:
     lfs = list(lfs)
     n = B.shape[0]
     L = np.zeros((n, len(lfs)), dtype=np.int8)
+    Bc = B.tocsc() if sp.issparse(B) else sp.csc_matrix(B)
     for j, lf in enumerate(lfs):
-        col = np.asarray(B[:, lf.primitive_id].todense()).ravel()
-        L[:, j] = np.where(col > 0, lf.label, ABSTAIN).astype(np.int8)
+        L[column_nonzero_rows(Bc, lf.primitive_id), j] = lf.label
     return L
 
 

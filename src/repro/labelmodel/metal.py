@@ -141,26 +141,88 @@ class MetalLabelModel(LabelModel):
     # ------------------------------------------------------------------ #
     def fit(self, L: np.ndarray) -> "MetalLabelModel":
         L = self._validated(L)
-        m = L.shape[1]
         self.prior_ = self.class_prior
-        if m == 0 or L.shape[0] == 0:
+        if L.shape[1] == 0 or L.shape[0] == 0:
             self.accuracies_ = np.zeros(0)
             self.propensities_ = np.zeros((0, 2))
             self.converged_ = True
             return self
-        q = self._majority_posterior(L)
+        self._fit_from_posterior(L, self._majority_posterior(L))
+        return self
+
+    def fit_warm(
+        self,
+        L: np.ndarray,
+        previous: "MetalLabelModel | None" = None,
+        max_iter: int | None = None,
+    ) -> "MetalLabelModel":
+        """Fit seeded from a previous fit's posterior (incremental refits).
+
+        The interactive loop grows ``L`` by one column per iteration, so the
+        converged posterior of the previous refit is already near the new
+        optimum.  Instead of re-seeding EM from the majority vote, compute
+        the posterior of the previous parameters over the columns they were
+        fitted on and continue EM from there — the same objective, anchors,
+        and convergence tolerance as a cold :meth:`fit`.  ``max_iter``
+        additionally caps the EM iterations of this call: each EM step
+        monotonically improves the likelihood, so a short warm
+        continuation absorbs the one new LF while the engine's periodic
+        cold refit bounds accumulated drift.  Falls back to :meth:`fit`
+        whenever the previous model is unusable (unfitted, different
+        class, or the vote matrix shrank).
+        """
+        usable = (
+            type(previous) is type(self)
+            and getattr(previous, "accuracies_", None) is not None
+            and previous.accuracies_.size > 0
+        )
+        if not usable:
+            return self.fit(L)
+        L = self._validated(L)
+        m_prev = previous.accuracies_.shape[0]
+        if L.shape[0] == 0 or L.shape[1] == 0 or L.shape[1] < m_prev:
+            return self.fit(L)
+        self.prior_ = self.class_prior
+        # The class balance must be estimated exactly as a cold fit does —
+        # from the *smoothed majority* posterior, not the previous E-step
+        # posterior.  `_fit_em` never revises `prior_`, so seeding it from
+        # the (extreme) converged posterior creates a positive feedback
+        # loop across refits: a one-sided LF set drags the prior toward
+        # its side, which sharpens the next posterior, which drags it
+        # further, until every label collapses to one class.
+        q_seed = self._posterior_params(
+            L[:, :m_prev], previous.accuracies_, previous.propensities_
+        )
+        full_n_iter = self.n_iter
+        if max_iter is not None:
+            self.n_iter = max(1, min(self.n_iter, int(max_iter)))
+        try:
+            self._fit_from_posterior(L, q_seed, q_prior=self._majority_posterior(L))
+        finally:
+            self.n_iter = full_n_iter  # the cap is scoped to this call only
+        return self
+
+    def _fit_from_posterior(
+        self, L: np.ndarray, q: np.ndarray, q_prior: np.ndarray | None = None
+    ) -> None:
+        """Run the configured optimizer from an initial posterior ``q``.
+
+        ``q_prior`` optionally supplies a different posterior for the class
+        balance estimate (warm fits pass the majority posterior to mirror
+        the cold seeding; see :meth:`fit_warm`).
+        """
         if self.learn_prior:
             covered = (L != 0).any(axis=1)
             if covered.any():
+                balance_q = q if q_prior is None else q_prior
                 self.prior_ = float(
-                    np.clip(q[covered].mean(), _PRIOR_FLOOR, 1 - _PRIOR_FLOOR)
+                    np.clip(balance_q[covered].mean(), _PRIOR_FLOOR, 1 - _PRIOR_FLOOR)
                 )
         acc, rho = self._m_step(L, q)
         if self.method == "em":
             self._fit_em(L, acc, rho)
         else:
             self._fit_sgd(L, acc, rho)
-        return self
 
     def _fit_em(self, L: np.ndarray, acc: np.ndarray, rho: np.ndarray) -> None:
         self.converged_ = False

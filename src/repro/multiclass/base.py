@@ -58,6 +58,22 @@ class MultiClassLabelModel(ABC):
     # ------------------------------------------------------------------ #
     # shared conveniences
     # ------------------------------------------------------------------ #
+    def fit_warm(
+        self,
+        L: np.ndarray,
+        previous: "MultiClassLabelModel | None" = None,
+        max_iter: int | None = None,
+    ) -> "MultiClassLabelModel":
+        """Fit, optionally warm-starting from a previously fitted model.
+
+        ``previous`` is a model of the same class fitted on the first
+        ``m_prev ≤ m`` columns of ``L``; ``max_iter`` optionally caps the
+        inner optimizer iterations for this call (see the binary
+        :meth:`repro.labelmodel.base.LabelModel.fit_warm`).  The default
+        ignores both hints and performs a full fit.
+        """
+        return self.fit(L)
+
     def fit_predict_proba(self, L: np.ndarray) -> np.ndarray:
         """``fit(L)`` then ``predict_proba(L)``."""
         return self.fit(L).predict_proba(L)

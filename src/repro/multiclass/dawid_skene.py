@@ -105,17 +105,72 @@ class MCDawidSkeneModel(MultiClassLabelModel):
     # ------------------------------------------------------------------ #
     def fit(self, L: np.ndarray) -> "MCDawidSkeneModel":
         L = self._validated(L)
-        m = L.shape[1]
         K = self.n_classes
         self.priors_ = self.class_priors.copy()
-        if m == 0 or L.shape[0] == 0:
+        if L.shape[1] == 0 or L.shape[0] == 0:
             self.confusions_ = np.zeros((0, K, K))
             self.propensities_ = np.zeros((0, K))
             self.converged_ = True
             return self
-        Q = self._majority_posterior(L)
+        self._fit_from_posterior(L, self._majority_posterior(L))
+        return self
+
+    def fit_warm(
+        self,
+        L: np.ndarray,
+        previous: "MCDawidSkeneModel | None" = None,
+        max_iter: int | None = None,
+    ) -> "MCDawidSkeneModel":
+        """Fit seeded from a previous fit's posterior (incremental refits).
+
+        Same contract as the binary model's warm fit: EM continues from the
+        posterior of the previous parameters over the columns they were
+        fitted on, with identical anchors and convergence tolerance, and
+        ``max_iter`` optionally caps this call's EM iterations.  Falls
+        back to a cold :meth:`fit` whenever the previous model is unusable.
+        """
+        usable = (
+            type(previous) is type(self)
+            and getattr(previous, "confusions_", None) is not None
+            and previous.confusions_.shape[0] > 0
+            and previous.n_classes == self.n_classes
+        )
+        if not usable:
+            return self.fit(L)
+        L = self._validated(L)
+        m_prev = previous.confusions_.shape[0]
+        if L.shape[0] == 0 or L.shape[1] == 0 or L.shape[1] < m_prev:
+            return self.fit(L)
+        priors = np.clip(previous.priors_, _PRIOR_FLOOR, None)
+        self.priors_ = priors / priors.sum()
+        Q_seed = self._posterior_params(
+            L[:, :m_prev], previous.confusions_, previous.propensities_, with_abstain=True
+        )
+        # As in the binary model, the *initial* class-balance estimate must
+        # mirror the cold seeding (smoothed majority posterior) — seeding
+        # it from the previous converged posterior lets a lopsided LF set
+        # drag the priors further each refit.
+        full_n_iter = self.n_iter
+        if max_iter is not None:
+            self.n_iter = max(1, min(self.n_iter, int(max_iter)))
+        try:
+            self._fit_from_posterior(L, Q_seed, Q_prior=self._majority_posterior(L))
+        finally:
+            self.n_iter = full_n_iter  # the cap is scoped to this call only
+        return self
+
+    def _fit_from_posterior(
+        self, L: np.ndarray, Q: np.ndarray, Q_prior: np.ndarray | None = None
+    ) -> None:
+        """Run EM from an initial posterior ``Q``.
+
+        ``Q_prior`` optionally supplies a different posterior for the
+        initial class-balance update (warm fits pass the majority
+        posterior; subsequent updates inside the loop use the E-step
+        posterior in both the cold and warm paths).
+        """
         if self.learn_priors:
-            self._update_priors(L, Q)
+            self._update_priors(L, Q if Q_prior is None else Q_prior)
         theta, rho = self._m_step(L, Q)
         self.converged_ = False
         for _ in range(self.n_iter):
@@ -133,7 +188,6 @@ class MCDawidSkeneModel(MultiClassLabelModel):
                 break
         self.confusions_ = theta
         self.propensities_ = rho
-        return self
 
     def _update_priors(self, L: np.ndarray, Q: np.ndarray) -> None:
         covered = (L != MC_ABSTAIN).any(axis=1)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.labelmodel.matrix import column_nonzero_rows
 from repro.multiclass.matrix import MC_ABSTAIN
 from repro.utils.rng import ensure_rng
 
@@ -52,10 +53,13 @@ class MultiClassLF:
     def apply(self, B: sp.spmatrix) -> np.ndarray:
         """Vote vector over the rows of incidence matrix ``B``.
 
-        Returns an ``(n,)`` int8 array in {-1, label}.
+        Returns an ``(n,)`` int8 array in {-1, label}.  Sparse-native: only
+        the rows covered by the primitive are touched (pass a CSC matrix
+        for the O(nnz_col) fast path).
         """
-        col = np.asarray(B[:, self.primitive_id].todense()).ravel()
-        return np.where(col > 0, self.label, MC_ABSTAIN).astype(np.int8)
+        votes = np.full(B.shape[0], MC_ABSTAIN, dtype=np.int8)
+        votes[column_nonzero_rows(B, self.primitive_id)] = self.label
+        return votes
 
 
 class MultiClassLFFamily:
@@ -80,8 +84,17 @@ class MultiClassLFFamily:
             raise ValueError(f"n_classes must be >= 2, got {n_classes}")
         self.primitive_names = list(primitive_names)
         self.B = B.tocsr()
+        self._B_csc: sp.csc_matrix | None = None
         self.n_classes = n_classes
         self._coverage_counts = np.asarray(self.B.sum(axis=0)).ravel()
+        self._example_primitive_counts = np.diff(self.B.indptr)
+
+    @property
+    def B_csc(self) -> sp.csc_matrix:
+        """Column-major twin of ``B``, built lazily and cached."""
+        if self._B_csc is None:
+            self._B_csc = self.B.tocsc()
+        return self._B_csc
 
     @property
     def n_primitives(self) -> int:
@@ -91,10 +104,17 @@ class MultiClassLFFamily:
         """Number of train examples containing each primitive, shape (|Z|,)."""
         return self._coverage_counts.copy()
 
+    def examples_with_primitives(self) -> np.ndarray:
+        """Boolean ``(n_train,)`` mask of examples containing ≥1 primitive."""
+        return self._example_primitive_counts > 0
+
     def primitives_in(self, example_index: int) -> np.ndarray:
-        """Primitive ids present in the given train example."""
-        row = self.B.getrow(example_index)
-        return row.indices.copy()
+        """Primitive ids present in the given train example.
+
+        Direct CSR index arithmetic — no intermediate sparse row object.
+        """
+        i = int(example_index)
+        return self.B.indices[self.B.indptr[i] : self.B.indptr[i + 1]].copy()
 
     def make(self, primitive_id: int, label: int) -> MultiClassLF:
         """Construct the LF ``λ_{z,k}`` for a primitive id and class id."""
@@ -119,8 +139,7 @@ class MultiClassLFFamily:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         rng = ensure_rng(rng)
-        column = self.B.getcol(int(primitive_id))
-        covered = column.tocoo().row
+        covered = column_nonzero_rows(self.B_csc, primitive_id)
         if covered.size <= k:
             return np.sort(covered)
         return np.sort(rng.choice(covered, size=k, replace=False))

@@ -14,6 +14,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.labelmodel.matrix import column_nonzero_rows
+
 MC_ABSTAIN = -1
 
 
@@ -74,9 +76,9 @@ def apply_mc_lfs(lfs, B: sp.csr_matrix) -> np.ndarray:
     lfs = list(lfs)
     n = B.shape[0]
     L = np.full((n, len(lfs)), MC_ABSTAIN, dtype=np.int8)
+    Bc = B.tocsc() if sp.issparse(B) else sp.csc_matrix(B)
     for j, lf in enumerate(lfs):
-        col = np.asarray(B[:, lf.primitive_id].todense()).ravel()
-        L[:, j] = np.where(col > 0, lf.label, MC_ABSTAIN).astype(np.int8)
+        L[column_nonzero_rows(Bc, lf.primitive_id), j] = lf.label
     return L
 
 

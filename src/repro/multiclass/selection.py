@@ -46,6 +46,10 @@ class MCSessionState:
         Train indices already shown to the user.
     rng:
         Shared random generator (tie-breaking, sampling).
+    cache:
+        Optional refit-scoped memo dict for selector aggregates (see the
+        binary :class:`~repro.core.selection.SessionState`); ``None``
+        disables caching.
     """
 
     dataset: "MCFeaturizedDataset"  # noqa: F821 — forward ref, avoids import cycle
@@ -58,6 +62,7 @@ class MCSessionState:
     proxy_proba: np.ndarray
     selected: set[int] = field(default_factory=set)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    cache: dict | None = None
 
     @property
     def B(self) -> sp.csr_matrix:
@@ -79,11 +84,13 @@ class MCSessionState:
 
     def candidate_mask(self) -> np.ndarray:
         """Examples still eligible for selection (unseen, with primitives)."""
-        mask = np.ones(self.n_train, dtype=bool)
+        has_primitive = self.family.examples_with_primitives()
+        if has_primitive.shape[0] != self.n_train:  # family built on another split
+            has_primitive = np.asarray(self.B.sum(axis=1)).ravel() > 0
+        mask = has_primitive.copy()
         if self.selected:
             mask[list(self.selected)] = False
-        has_primitive = np.asarray(self.B.sum(axis=1)).ravel() > 0
-        return mask & has_primitive
+        return mask
 
 
 class MCDevDataSelector(ABC):

@@ -1,11 +1,13 @@
 """The multiclass IDP session engine.
 
-Mirrors :class:`repro.core.session.DataProgrammingSession` for K classes:
-select one development example, obtain one multiclass LF from the
-(simulated) user, optionally contextualize the collected LFs, then refit
-the label model and the softmax end model.  Reuses the binary package's
-:class:`~repro.core.lineage.LineageStore` unchanged — lineage is about
-*where* an LF came from, not what it votes.
+A thin K-class adapter over the shared
+:class:`~repro.core.engine.IncrementalSessionEngine`: the select → develop
+→ contextualize → learn loop, the append-only vote storage, the
+warm-started refits, and the selector-cache plumbing are all inherited;
+this module only supplies the multiclass vote convention, the Dawid–Skene
+default aggregator, the softmax end model, and the ``(n, K)`` proxy.
+Reuses the binary package's :class:`~repro.core.lineage.LineageStore`
+unchanged — lineage is about *where* an LF came from, not what it votes.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.core.lineage import LineageStore
+from repro.core.engine import IncrementalSessionEngine
 from repro.endmodel.softmax import SoftLabelSoftmaxRegression
 from repro.multiclass.base import MultiClassLabelModel, posterior_entropy_mc
 from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
@@ -39,7 +41,7 @@ class MCLFDeveloper(ABC):
         """
 
 
-class MultiClassSession:
+class MultiClassSession(IncrementalSessionEngine):
     """The end-to-end K-class DP pipeline with pluggable IDP components.
 
     Parameters
@@ -65,9 +67,29 @@ class MultiClassSession:
         re-tuning the refinement percentile on validation accuracy.
     tune_every:
         Cadence of percentile re-tuning.
+    warm_start:
+        Warm-start the label model from the previous refit's posterior
+        (see :mod:`repro.core.engine`).  ``False`` forces from-scratch
+        refits — the original (seed) behaviour.
+    full_refit_every:
+        Force a cold label-model refit every this many refits — the
+        incremental path's correctness backstop.
+    warm_after:
+        Keep refits cold until this many LFs exist — the low-LF regime is
+        both the cheapest to refit from scratch and the most multimodal
+        to warm-start through (see :mod:`repro.core.engine`).
+    warm_label_iter / warm_end_iter:
+        Inner-iteration caps for warm label-model (EM) and end-model
+        (L-BFGS) refits; full refits are never capped.
+    warm_min_train:
+        Keep the exact from-scratch semantics whenever the training split
+        is smaller than this — refit cost scales with ``n_train``, so
+        small sessions gain nothing from incrementality.
     seed:
         Seed for all session randomness.
     """
+
+    abstain_value = MC_ABSTAIN
 
     def __init__(
         self,
@@ -79,12 +101,16 @@ class MultiClassSession:
         contextualizer: MCContextualizer | None = None,
         percentile_tuner: MCPercentileTuner | None = None,
         tune_every: int = 5,
+        warm_start: bool = True,
+        full_refit_every: int = 10,
+        warm_after: int = 8,
+        warm_label_iter: int = 3,
+        warm_end_iter: int = 15,
+        warm_min_train: int = 1000,
         seed=None,
     ) -> None:
         self.dataset = dataset
         self.rng = ensure_rng(seed)
-        self.selector = selector
-        self.user = user
         K = dataset.n_classes
         if label_model_factory is None:
             priors = dataset.class_priors
@@ -92,41 +118,32 @@ class MultiClassSession:
             def label_model_factory() -> MultiClassLabelModel:
                 return MCDawidSkeneModel(n_classes=K, class_priors=priors)
 
-        self.label_model_factory = label_model_factory
-        self.end_model = (
-            end_model if end_model is not None else SoftLabelSoftmaxRegression(n_classes=K)
-        )
-        self.contextualizer = contextualizer
-        self.percentile_tuner = percentile_tuner
-        if tune_every < 1:
-            raise ValueError(f"tune_every must be >= 1, got {tune_every}")
-        self.tune_every = tune_every
-
-        n_train = dataset.train.n
         self.family = MultiClassLFFamily(dataset.primitive_names, dataset.train.B, K)
-        self.lineage = LineageStore(dataset)
-        self.iteration = 0
-        self.selected: set[int] = set()
-        self.L_train = np.full((n_train, 0), MC_ABSTAIN, dtype=np.int8)
-        self.L_valid = np.full((dataset.valid.n, 0), MC_ABSTAIN, dtype=np.int8)
+        n_train = dataset.train.n
         self.soft_labels = np.tile(dataset.class_priors, (n_train, 1))
         self.entropies = posterior_entropy_mc(self.soft_labels)
-        self.selection_soft_labels: np.ndarray | None = None
-        self.selection_entropies: np.ndarray | None = None
         self.proxy_proba = np.tile(dataset.class_priors, (n_train, 1))
-        self.label_model_: MultiClassLabelModel | None = None
-        self._end_model_fitted = False
-        self.active_percentile_: float | None = (
-            contextualizer.percentile if contextualizer is not None else None
+        self._init_engine(
+            selector=selector,
+            user=user,
+            label_model_factory=label_model_factory,
+            end_model=(
+                end_model if end_model is not None else SoftLabelSoftmaxRegression(n_classes=K)
+            ),
+            contextualizer=contextualizer,
+            percentile_tuner=percentile_tuner,
+            tune_every=tune_every,
+            warm_start=warm_start,
+            full_refit_every=full_refit_every,
+            warm_after=warm_after,
+            warm_label_iter=warm_label_iter,
+            warm_end_iter=warm_end_iter,
+            warm_min_train=warm_min_train,
         )
 
     # ------------------------------------------------------------------ #
-    # IDP loop
+    # engine hooks
     # ------------------------------------------------------------------ #
-    @property
-    def lfs(self) -> list[MultiClassLF]:
-        return self.lineage.lfs
-
     def build_state(self) -> MCSessionState:
         """Snapshot the session for selectors and the user."""
         return MCSessionState(
@@ -148,88 +165,17 @@ class MultiClassSession:
             proxy_proba=self.proxy_proba,
             selected=self.selected,
             rng=self.rng,
+            cache=self._selector_cache,
         )
 
-    def step(self) -> None:
-        """One IDP iteration: select → develop → contextualize → learn."""
-        state = self.build_state()
-        dev_index = self.selector.select(state)
-        self.iteration += 1
-        if dev_index is None:
-            return
-        self.selected.add(dev_index)
-        lf = self.user.create_lf(dev_index, state)
-        if lf is None:
-            return
-        self.lineage.add(lf, dev_index, self.iteration - 1)
-        self.L_train = np.column_stack(
-            [self.L_train, lf.apply(self.dataset.train.B)]
-        ).astype(np.int8)
-        self.L_valid = np.column_stack(
-            [self.L_valid, lf.apply(self.dataset.valid.B)]
-        ).astype(np.int8)
-        self._refit()
+    def _entropy(self, soft_labels: np.ndarray) -> np.ndarray:
+        return posterior_entropy_mc(soft_labels)
 
-    def run(self, n_iterations: int) -> "MultiClassSession":
-        """Run ``n_iterations`` steps; returns self for chaining."""
-        for _ in range(n_iterations):
-            self.step()
-        return self
+    def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
+        return mc_coverage_mask(L)
 
-    # ------------------------------------------------------------------ #
-    # learning stage
-    # ------------------------------------------------------------------ #
-    def _refit(self) -> None:
-        L_effective = self._effective_label_matrix()
-        model = self.label_model_factory()
-        model.fit(L_effective)
-        self.label_model_ = model
-        self.soft_labels = model.predict_proba(L_effective)
-        self.entropies = posterior_entropy_mc(self.soft_labels)
-        self._refit_selection_view(L_effective)
-        covered = mc_coverage_mask(L_effective)
-        if covered.any():
-            X = self.dataset.train.X
-            self.end_model.fit(X[np.flatnonzero(covered)], self.soft_labels[covered])
-            self._end_model_fitted = True
-            self.proxy_proba = self.end_model.predict_proba(X)
-
-    def _effective_label_matrix(self) -> np.ndarray:
-        if self.contextualizer is None:
-            return self.L_train
-        if self.percentile_tuner is not None and self._should_tune():
-            self.active_percentile_ = self.percentile_tuner.best_percentile(
-                self.contextualizer,
-                self.L_train,
-                self.L_valid,
-                self.lineage,
-                self.label_model_factory,
-                self.dataset.valid.y,
-            )
-        return self.contextualizer.refine(
-            self.L_train, self.lineage, "train", percentile=self.active_percentile_
-        )
-
-    def _refit_selection_view(self, L_effective: np.ndarray) -> None:
-        """Posterior over the *unrefined* votes, for selectors only.
-
-        Same rationale as the binary session: refinement erases the
-        conflict entropy exactly where uncertainty-seeking selectors should
-        look, so selectors read the raw-vote posterior while learning keeps
-        the refined one.
-        """
-        if self.contextualizer is None or L_effective is self.L_train:
-            self.selection_soft_labels = None
-            self.selection_entropies = None
-            return
-        raw_model = self.label_model_factory()
-        raw_model.fit(self.L_train)
-        self.selection_soft_labels = raw_model.predict_proba(self.L_train)
-        self.selection_entropies = posterior_entropy_mc(self.selection_soft_labels)
-
-    def _should_tune(self) -> bool:
-        m = len(self.lineage)
-        return m >= 1 and (m <= 6 or m % self.tune_every == 0)
+    def _update_proxy(self) -> None:
+        self.proxy_proba = self.end_model.predict_proba(self.dataset.train.X)
 
     # ------------------------------------------------------------------ #
     # prediction / evaluation

@@ -78,7 +78,15 @@ class MCSEUSelector(MCDevDataSelector):
     # scoring
     # ------------------------------------------------------------------ #
     def expected_utilities(self, state: MCSessionState) -> np.ndarray:
-        """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``."""
+        """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``.
+
+        Memoized in the refit-scoped ``state.cache`` when one is provided —
+        see the binary selector: every input changes only on refit.
+        """
+        cache = getattr(state, "cache", None)
+        cache_key = ("seu_expected", self.user_model.name, self.utility.name)
+        if cache is not None and cache_key in cache:
+            return cache[cache_key]
         B = state.B
         acc = state.family.empirical_class_mass(state.proxy_proba)  # (|Z|, K)
         weights = self.user_model.pick_weights(acc)  # (|Z|, K)
@@ -95,6 +103,8 @@ class MCSEUSelector(MCDevDataSelector):
                 where=denominator > 1e-12,
             )
             expected += priors[k] * contribution
+        if cache is not None:
+            cache[cache_key] = expected
         return expected
 
     def expected_utility_of(self, example_index: int, state: MCSessionState) -> float:

@@ -1,0 +1,92 @@
+"""Equivalence of the vectorized SEU scorer and the scalar Eq.-1 reference.
+
+These tests pin :meth:`SEUSelector.expected_utilities` (the sparse
+mat-vec path, including its refit-scoped caching) against
+:meth:`SEUSelector.expected_utility_of` (the direct transcription of
+Eq. 1 that enumerates candidate LFs) on randomized small datasets.  They
+are the contract the caching/incremental rewrite must keep: any change to
+the vectorized path that drifts from the reference is a bug, not a
+speedup.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.lf import LFFamily
+from repro.core.selection import SessionState
+from repro.core.seu import SEUSelector
+from repro.labelmodel.base import posterior_entropy
+
+
+def random_state(seed: int, n: int = 40, n_primitives: int = 15, density: float = 0.25):
+    """A synthetic session state over a random incidence matrix."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n_primitives)) < density).astype(np.float64)
+    B = sp.csr_matrix(dense)
+    family = LFFamily([f"p{j}" for j in range(n_primitives)], B)
+    dataset = SimpleNamespace(
+        train=SimpleNamespace(B=B, n=n),
+        label_prior=float(rng.uniform(0.2, 0.8)),
+    )
+    proxy_proba = rng.uniform(0.0, 1.0, size=n)
+    soft = rng.uniform(0.0, 1.0, size=n)
+    return SessionState(
+        dataset=dataset,
+        family=family,
+        iteration=0,
+        lfs=[],
+        L_train=np.zeros((n, 0), dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy(soft),
+        proxy_labels=np.where(proxy_proba >= 0.5, 1, -1),
+        proxy_proba=proxy_proba,
+        selected=set(),
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("utility", ["full", "no-informativeness", "no-correctness"])
+@pytest.mark.parametrize("user_model", ["accuracy", "uniform", "thresholded"])
+class TestVectorizedMatchesScalarReference:
+    def test_every_example(self, seed, utility, user_model):
+        state = random_state(seed)
+        selector = SEUSelector(user_model=user_model, utility=utility, warmup=0)
+        expected = selector.expected_utilities(state)
+        assert expected.shape == (state.n_train,)
+        for idx in range(state.n_train):
+            scalar = selector.expected_utility_of(idx, state)
+            assert scalar == pytest.approx(expected[idx], rel=1e-9, abs=1e-9), (
+                f"example {idx}: vectorized {expected[idx]} != reference {scalar}"
+            )
+
+
+class TestCachingIsTransparent:
+    def test_cached_scores_match_uncached(self):
+        uncached = random_state(7)
+        cached = random_state(7)
+        cached.cache = {}
+        selector = SEUSelector(warmup=0)
+        baseline = selector.expected_utilities(uncached)
+        first = selector.expected_utilities(cached)
+        second = selector.expected_utilities(cached)
+        np.testing.assert_allclose(first, baseline, rtol=0, atol=0)
+        assert second is first, "second call should return the memoized vector"
+        assert ("seu_expected", "accuracy", "full") in cached.cache
+
+    def test_cache_keyed_by_utility_and_user_model(self):
+        state = random_state(11)
+        state.cache = {}
+        full = SEUSelector(utility="full", warmup=0).expected_utilities(state)
+        ablated = SEUSelector(utility="no-correctness", warmup=0).expected_utilities(state)
+        assert not np.allclose(full, ablated), "distinct utilities must not share entries"
+
+    def test_reference_path_ignores_cache(self):
+        state = random_state(13)
+        state.cache = {("seu_expected", "accuracy", "full"): np.full(state.n_train, 123.0)}
+        selector = SEUSelector(warmup=0)
+        scalar = selector.expected_utility_of(0, state)
+        assert scalar != pytest.approx(123.0)

@@ -79,3 +79,31 @@ class TestDawidSkene:
         abstainers_of_0 = L[:, 0] == 0
         # Among rows where LF0 abstains, posterior should skew negative.
         assert proba[abstainers_of_0].mean() < 0.5
+
+
+class TestWarmFitDS:
+    def test_max_iter_cap_is_call_scoped(self):
+        import numpy as np
+        from repro.multiclass.dawid_skene import MCDawidSkeneModel
+        rng = np.random.default_rng(0)
+        n, m, K = 300, 6, 3
+        y = rng.integers(K, size=n)
+        L = np.full((n, m), -1, dtype=np.int8)
+        for j in range(m):
+            fires = rng.random(n) < 0.5
+            correct = rng.random(n) < 0.8
+            wrong = (y + rng.integers(1, K, size=n)) % K
+            L[fires, j] = np.where(correct[fires], y[fires], wrong[fires])
+        prev = MCDawidSkeneModel(n_classes=K).fit(L[:, :-1])
+        model = MCDawidSkeneModel(n_classes=K, n_iter=50)
+        model.fit_warm(L, prev, max_iter=2)
+        assert model.n_iter == 50, "fit_warm must not mutate the configured n_iter"
+
+    def test_falls_back_to_cold_fit_without_previous(self):
+        import numpy as np
+        from repro.multiclass.dawid_skene import MCDawidSkeneModel
+        rng = np.random.default_rng(1)
+        L = rng.integers(-1, 3, size=(100, 4)).astype(np.int8)
+        cold = MCDawidSkeneModel(n_classes=3).fit(L)
+        warm = MCDawidSkeneModel(n_classes=3).fit_warm(L, None)
+        np.testing.assert_allclose(warm.predict_proba(L), cold.predict_proba(L))

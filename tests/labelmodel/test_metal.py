@@ -132,3 +132,43 @@ class TestPosteriorSemantics:
         L, _, _ = planted_matrix(n=500, seed=10)
         model = MetalLabelModel(n_iter=200).fit(L)
         assert model.converged_
+
+
+class TestWarmFit:
+    def _planted(self, n=300, m=6, seed=0):
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        y = np.where(rng.random(n) < 0.5, 1, -1)
+        L = np.zeros((n, m), dtype=np.int8)
+        for j in range(m):
+            fires = rng.random(n) < 0.5
+            correct = rng.random(n) < 0.8
+            L[fires, j] = np.where(correct[fires], y[fires], -y[fires])
+        return L
+
+    def test_warm_matches_cold_closely_on_well_determined_data(self):
+        import numpy as np
+        from repro.labelmodel.metal import MetalLabelModel
+        L = self._planted()
+        prev = MetalLabelModel().fit(L[:, :-1])
+        cold = MetalLabelModel().fit(L)
+        warm = MetalLabelModel().fit_warm(L, prev)
+        np.testing.assert_allclose(
+            warm.predict_proba(L), cold.predict_proba(L), atol=0.05
+        )
+
+    def test_max_iter_cap_is_call_scoped(self):
+        from repro.labelmodel.metal import MetalLabelModel
+        L = self._planted()
+        prev = MetalLabelModel().fit(L[:, :-1])
+        model = MetalLabelModel(n_iter=50)
+        model.fit_warm(L, prev, max_iter=2)
+        assert model.n_iter == 50, "fit_warm must not mutate the configured n_iter"
+
+    def test_falls_back_to_cold_fit_without_previous(self):
+        import numpy as np
+        from repro.labelmodel.metal import MetalLabelModel
+        L = self._planted()
+        cold = MetalLabelModel().fit(L)
+        warm = MetalLabelModel().fit_warm(L, None)
+        np.testing.assert_allclose(warm.predict_proba(L), cold.predict_proba(L))

@@ -1,0 +1,77 @@
+"""Equivalence of the vectorized K-class SEU scorer and the scalar reference.
+
+The multiclass twin of ``tests/core/test_seu_equivalence.py``: randomized
+small datasets, every example checked against the enumerating Eq.-1
+transcription, plus the transparency contract of the refit-scoped cache.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.multiclass.base import posterior_entropy_mc
+from repro.multiclass.lf import MultiClassLFFamily
+from repro.multiclass.selection import MCSessionState
+from repro.multiclass.seu import MCSEUSelector
+
+
+def random_mc_state(
+    seed: int, n: int = 35, n_primitives: int = 12, n_classes: int = 3, density: float = 0.3
+):
+    """A synthetic multiclass session state over a random incidence matrix."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n_primitives)) < density).astype(np.float64)
+    B = sp.csr_matrix(dense)
+    family = MultiClassLFFamily([f"p{j}" for j in range(n_primitives)], B, n_classes)
+    priors = rng.dirichlet(np.full(n_classes, 5.0))
+    dataset = SimpleNamespace(
+        train=SimpleNamespace(B=B, n=n),
+        class_priors=priors,
+        n_classes=n_classes,
+    )
+    proxy = rng.dirichlet(np.ones(n_classes), size=n)
+    soft = rng.dirichlet(np.ones(n_classes), size=n)
+    return MCSessionState(
+        dataset=dataset,
+        family=family,
+        iteration=0,
+        lfs=[],
+        L_train=np.full((n, 0), -1, dtype=np.int8),
+        soft_labels=soft,
+        entropies=posterior_entropy_mc(soft),
+        proxy_proba=proxy,
+        selected=set(),
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("utility", ["full", "no-informativeness", "no-correctness"])
+@pytest.mark.parametrize("user_model", ["accuracy", "uniform", "thresholded"])
+class TestVectorizedMatchesScalarReference:
+    def test_every_example(self, seed, utility, user_model):
+        state = random_mc_state(seed)
+        selector = MCSEUSelector(user_model=user_model, utility=utility, warmup=0)
+        expected = selector.expected_utilities(state)
+        assert expected.shape == (state.n_train,)
+        for idx in range(state.n_train):
+            scalar = selector.expected_utility_of(idx, state)
+            assert scalar == pytest.approx(expected[idx], rel=1e-9, abs=1e-9), (
+                f"example {idx}: vectorized {expected[idx]} != reference {scalar}"
+            )
+
+
+class TestCachingIsTransparent:
+    def test_cached_scores_match_uncached(self):
+        uncached = random_mc_state(7)
+        cached = random_mc_state(7)
+        cached.cache = {}
+        selector = MCSEUSelector(warmup=0)
+        baseline = selector.expected_utilities(uncached)
+        first = selector.expected_utilities(cached)
+        second = selector.expected_utilities(cached)
+        np.testing.assert_allclose(first, baseline, rtol=0, atol=0)
+        assert second is first, "second call should return the memoized vector"
+        assert ("seu_expected", "accuracy", "full") in cached.cache
