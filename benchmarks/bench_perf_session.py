@@ -12,14 +12,24 @@ select → develop → refit step at several training-set sizes, for
   model refits with capped inner iterations, k-step cold backstops,
   sparse-native LF application, refit-scoped SEU caching).
 
+Both the binary pipeline (amazon recipe, SEU + simulated user) and the
+multiclass one (4-topic recipe, MC-SEU + MC simulated user) are swept —
+they share one engine, so both tasks ride the same incremental machinery.
+Each timing additionally reports the engine's per-phase attribution
+(select / develop / label_model / end_model, plus the contextualize slice
+of the label-model phase), read from
+``IncrementalSessionEngine.phase_timings``, so future optimizations can be
+attributed to the phase they touch.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_session.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_perf_session.py --quick    # CI smoke
 
 Writes ``BENCH_session_throughput.json`` (see ``--output``) with
-iterations/sec per size, the speedup, and the end-of-session test scores
-of both paths (the quality-parity sanity check).
+iterations/sec per (task, size), the speedup, the per-phase seconds, and
+the end-of-session test scores of both paths (the quality-parity sanity
+check).
 """
 
 from __future__ import annotations
@@ -44,36 +54,57 @@ from repro.data import load_dataset  # noqa: E402
 from repro.interactive.simulated_user import SimulatedUser  # noqa: E402
 
 #: The acceptance target this benchmark tracks: step throughput of the
-#: incremental engine at n_train=10k must be ≥ this multiple of scratch.
+#: incremental engine at n_train=10k (binary task) must be ≥ this multiple
+#: of scratch.
 TARGET_N_TRAIN = 10_000
 TARGET_SPEEDUP = 3.0
 
 TRAIN_FRACTION = 0.8  # the 80/10/10 split of featurize_corpus
 
 
-def build_dataset(dataset: str, n_train: int, seed: int):
+def build_binary_dataset(dataset: str, n_train: int, seed: int):
     n_docs = int(round(n_train / TRAIN_FRACTION))
     return load_dataset(dataset, scale="bench", seed=seed, n_docs=n_docs)
 
 
-def make_session(ds, mode: str, seed: int) -> DataProgrammingSession:
-    if mode == "scratch":
-        engine_kwargs = {"warm_start": False, "full_refit_every": 1}
-    elif mode == "incremental":
-        engine_kwargs = {}  # the engine defaults ARE the incremental config
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
-    return DataProgrammingSession(
+def build_mc_dataset(n_train: int, seed: int):
+    from repro.multiclass import make_topics_dataset
+
+    n_docs = int(round(n_train / TRAIN_FRACTION))
+    return make_topics_dataset(n_docs=n_docs, seed=seed)
+
+
+ENGINE_MODES = {
+    "scratch": {"warm_start": False, "full_refit_every": 1},
+    "incremental": {},  # the engine defaults ARE the incremental config
+}
+
+
+def make_session(ds, task: str, mode: str, seed: int):
+    engine_kwargs = ENGINE_MODES[mode]
+    if task == "binary":
+        return DataProgrammingSession(
+            ds,
+            SEUSelector(),
+            SimulatedUser(ds, seed=seed + 1),
+            seed=seed,
+            **engine_kwargs,
+        )
+    from repro.multiclass.session import MultiClassSession
+    from repro.multiclass.seu import MCSEUSelector
+    from repro.multiclass.simulated_user import MCSimulatedUser
+
+    return MultiClassSession(
         ds,
-        SEUSelector(),
-        SimulatedUser(ds, seed=seed + 1),
+        MCSEUSelector(),
+        MCSimulatedUser(ds, seed=seed + 1),
         seed=seed,
         **engine_kwargs,
     )
 
 
-def time_session(ds, mode: str, n_iterations: int, seed: int) -> dict:
-    session = make_session(ds, mode, seed)
+def time_session(ds, task: str, mode: str, n_iterations: int, seed: int) -> dict:
+    session = make_session(ds, task, mode, seed)
     start = time.perf_counter()
     session.run(n_iterations)
     elapsed = time.perf_counter() - start
@@ -83,29 +114,39 @@ def time_session(ds, mode: str, n_iterations: int, seed: int) -> dict:
         "iters_per_sec": round(n_iterations / elapsed, 4),
         "n_lfs": len(session.lfs),
         "test_score": round(session.test_score(), 4),
+        "phase_seconds": {
+            phase: round(seconds, 4)
+            for phase, seconds in sorted(session.phase_timings.items())
+        },
     }
 
 
-def run_benchmark(args) -> dict:
+def sweep(task: str, sizes, args) -> list[dict]:
     results = []
-    for n_train in args.sizes:
-        print(f"[bench] building {args.dataset} with n_train={n_train} ...", flush=True)
+    for n_train in sizes:
+        print(f"[bench] building {task} dataset with n_train={n_train} ...", flush=True)
         t0 = time.perf_counter()
-        ds = build_dataset(args.dataset, n_train, args.seed)
+        if task == "binary":
+            ds = build_binary_dataset(args.dataset, n_train, args.seed)
+        else:
+            ds = build_mc_dataset(n_train, args.seed)
         build_s = time.perf_counter() - t0
         print(
             f"[bench]   built in {build_s:.1f}s "
             f"(n_train={ds.train.n}, |Z|={ds.n_primitives}, nnz(B)={ds.train.B.nnz})",
             flush=True,
         )
-        entry = {"n_train": ds.train.n, "n_primitives": ds.n_primitives}
+        entry = {"task": task, "n_train": ds.train.n, "n_primitives": ds.n_primitives}
         for mode in ("scratch", "incremental"):
-            timing = time_session(ds, mode, args.iterations, args.seed)
+            timing = time_session(ds, task, mode, args.iterations, args.seed)
             entry[mode] = timing
+            phases = timing["phase_seconds"]
+            dominant = max(phases, key=phases.get)
             print(
                 f"[bench]   {mode:<12} {timing['seconds']:>8.2f}s "
                 f"= {timing['iters_per_sec']:>7.2f} iters/sec "
-                f"(score {timing['test_score']:.3f})",
+                f"(score {timing['test_score']:.3f}, "
+                f"dominant phase {dominant}={phases[dominant]:.2f}s)",
                 flush=True,
             )
         entry["speedup"] = round(
@@ -116,9 +157,16 @@ def run_benchmark(args) -> dict:
         )
         print(f"[bench]   speedup {entry['speedup']}x", flush=True)
         results.append(entry)
+    return results
+
+
+def run_benchmark(args) -> dict:
+    results = sweep("binary", args.sizes, args)
+    results += sweep("multiclass", args.mc_sizes, args)
     return {
         "benchmark": "session_throughput",
         "dataset": args.dataset,
+        "mc_dataset": "topics",
         "iterations_per_session": args.iterations,
         "seed": args.seed,
         "quick": bool(args.quick),
@@ -136,12 +184,19 @@ def main(argv=None) -> int:
         type=int,
         nargs="+",
         default=[1_000, 10_000, 50_000],
-        help="training-set sizes to sweep (default: 1k 10k 50k)",
+        help="binary training-set sizes to sweep (default: 1k 10k 50k)",
+    )
+    parser.add_argument(
+        "--mc-sizes",
+        type=int,
+        nargs="+",
+        default=[1_000, 10_000],
+        help="multiclass training-set sizes to sweep (default: 1k 10k)",
     )
     parser.add_argument(
         "--iterations", type=int, default=30, help="session iterations per timing run"
     )
-    parser.add_argument("--dataset", default="amazon", help="recipe dataset name")
+    parser.add_argument("--dataset", default="amazon", help="binary recipe dataset name")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--output",
@@ -151,11 +206,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke: n_train=1000 only, 10 iterations",
+        help="CI smoke: n_train=1000 only (both tasks), 10 iterations",
     )
     args = parser.parse_args(argv)
     if args.quick:
         args.sizes = [1_000]
+        args.mc_sizes = [1_000]
         args.iterations = 10
 
     record = run_benchmark(args)
@@ -166,7 +222,8 @@ def main(argv=None) -> int:
     at_target = [
         r
         for r in record["results"]
-        if abs(r["n_train"] - TARGET_N_TRAIN) <= TARGET_N_TRAIN * 0.05
+        if r["task"] == "binary"
+        and abs(r["n_train"] - TARGET_N_TRAIN) <= TARGET_N_TRAIN * 0.05
     ]
     if at_target and not args.quick:
         speedup = at_target[0]["speedup"]

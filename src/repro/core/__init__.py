@@ -12,9 +12,28 @@ from repro.core.batch_session import (
 from repro.core.config import NemoConfig, nemo_config, snorkel_config
 from repro.core.context_sequence import ContextSequenceContextualizer
 from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.convention import (
+    BINARY,
+    BinaryVoteConvention,
+    MulticlassVoteConvention,
+    VoteConvention,
+    convention_for,
+    multiclass_convention,
+)
 from repro.core.lf import LFFamily, PrimitiveLF
 from repro.core.lineage import LineageRecord, LineageStore
-from repro.core.selection import DevDataSelector, SessionState
+from repro.core.selection import (
+    BASIC_SELECTORS,
+    AbstainSelector,
+    BaseSessionState,
+    DevDataSelector,
+    DisagreeSelector,
+    MulticlassSessionState,
+    RandomSelector,
+    SessionState,
+    UncertaintySelector,
+    make_basic_selector,
+)
 from repro.core.session import DataProgrammingSession, InteractiveMethod, LFDeveloper
 from repro.core.seu import SEUSelector
 from repro.core.user_model import (
@@ -35,6 +54,20 @@ from repro.core.utility import (
 )
 
 __all__ = [
+    "VoteConvention",
+    "BinaryVoteConvention",
+    "MulticlassVoteConvention",
+    "BINARY",
+    "convention_for",
+    "multiclass_convention",
+    "BaseSessionState",
+    "MulticlassSessionState",
+    "RandomSelector",
+    "AbstainSelector",
+    "DisagreeSelector",
+    "UncertaintySelector",
+    "BASIC_SELECTORS",
+    "make_basic_selector",
     "PrimitiveLF",
     "LFFamily",
     "LineageRecord",

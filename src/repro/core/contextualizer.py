@@ -8,15 +8,20 @@ data point:
 where ``r_j`` is the ``p``-th percentile of the distances from all train
 examples to ``x_{λ_j}``.  The refinement is a pure pre-processing step on
 the label matrix, which is what makes the contextualized pipeline
-label-model agnostic (Sec. 4.3).
+label-model agnostic (Sec. 4.3) — and label-*space* agnostic too: Eq. 4
+only ever moves votes to *abstain*, so the implementation is written once
+against the :class:`~repro.core.convention.VoteConvention` contract
+(matrix validation + abstain sentinel) and serves both the binary and the
+K-class pipelines (:mod:`repro.multiclass.contextualizer` binds the
+latter).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.convention import BINARY, VoteConvention
 from repro.core.lineage import LineageStore
-from repro.labelmodel.matrix import validate_label_matrix
 from repro.text.distance import DISTANCE_NAMES
 from repro.utils.validation import check_in_range
 
@@ -31,14 +36,22 @@ class LFContextualizer:
     percentile:
         The radius percentile ``p`` (system hyperparameter).  May be
         overridden per call, which is how the validation tuner works.
+    convention:
+        The vote convention of the matrices to refine (binary default).
     """
 
-    def __init__(self, metric: str = "cosine", percentile: float = 75.0) -> None:
+    def __init__(
+        self,
+        metric: str = "cosine",
+        percentile: float = 75.0,
+        convention: VoteConvention = BINARY,
+    ) -> None:
         if metric not in DISTANCE_NAMES:
             raise ValueError(f"metric must be one of {DISTANCE_NAMES}, got {metric!r}")
         check_in_range("percentile", percentile, 0.0, 100.0)
         self.metric = metric
         self.percentile = percentile
+        self.convention = convention
 
     def radii(self, lineage: LineageStore, percentile: float | None = None) -> np.ndarray:
         """Per-LF refinement radii ``r_j`` from train-split distances."""
@@ -56,7 +69,7 @@ class LFContextualizer:
         split: str = "train",
         percentile: float | None = None,
     ) -> np.ndarray:
-        """Apply Eq. 4: zero out votes outside each LF's radius.
+        """Apply Eq. 4: abstain votes outside each LF's radius.
 
         Parameters
         ----------
@@ -69,10 +82,11 @@ class LFContextualizer:
         percentile:
             Optional override of the configured ``p``.
         """
-        L = validate_label_matrix(L)
+        L = self.convention.validate_matrix(L)
         if L.shape[1] != len(lineage):
             raise ValueError(
-                f"label matrix has {L.shape[1]} columns but lineage has {len(lineage)} records"
+                f"label matrix has {L.shape[1]} columns but lineage has "
+                f"{len(lineage)} records"
             )
         if L.shape[1] == 0:
             return L.copy()
@@ -80,10 +94,11 @@ class LFContextualizer:
         dists = lineage.distances(split, self.metric)
         if dists.shape[0] != L.shape[0]:
             raise ValueError(
-                f"distance rows ({dists.shape[0]}) do not match label matrix rows ({L.shape[0]})"
+                f"distance rows ({dists.shape[0]}) do not match label matrix "
+                f"rows ({L.shape[0]})"
             )
         keep = dists <= radii[None, :]
-        return np.where(keep, L, 0).astype(np.int8)
+        return np.where(keep, L, self.convention.abstain).astype(np.int8)
 
 
 class PercentileTuner:
@@ -92,17 +107,19 @@ class PercentileTuner:
     The paper tunes ``p`` "based on the validation accuracy of the resultant
     estimated soft labels" (Sec. 4.3).  For each candidate ``p``: refine the
     train votes, fit the label model, refine the validation votes with the
-    same radii, and score the thresholded validation posterior against
-    ground truth — using the *dataset's* metric, so that on imbalanced
-    tasks (SMS, scored by F1) the tuner does not prefer radii that silently
-    drop all minority-class votes (which raw accuracy would reward).
+    same radii, and score the validation posterior's hard labels (threshold
+    for binary, argmax for K classes) against ground truth — using the
+    *dataset's* metric, so that on imbalanced tasks (SMS, scored by F1) the
+    tuner does not prefer radii that silently drop all minority-class votes
+    (which raw accuracy would reward).
 
     Parameters
     ----------
     grid:
         Candidate percentiles, coarse by design — the signal is smooth.
     metric:
-        Metric name (``"accuracy"`` default, ``"f1"`` for imbalanced tasks).
+        Metric name (``"accuracy"`` default, ``"f1"`` for imbalanced binary
+        tasks); resolved against the contextualizer's vote convention.
     """
 
     def __init__(
@@ -115,8 +132,8 @@ class PercentileTuner:
         self.grid = tuple(grid)
         from repro.endmodel.metrics import get_metric
 
+        get_metric(metric)  # eager name validation; resolution is per-convention
         self.metric_name = metric
-        self._metric_fn = get_metric(metric)
 
     def best_percentile(
         self,
@@ -134,6 +151,8 @@ class PercentileTuner:
         is 0 for all of them), and defaulting to aggressive refinement
         would silently discard scarce minority-class votes.
         """
+        convention = contextualizer.convention
+        metric_fn = convention.metric_fn(self.metric_name)
         best_p = max(self.grid)
         best_score = -np.inf
         for p in sorted(self.grid, reverse=True):
@@ -141,9 +160,8 @@ class PercentileTuner:
             model = label_model_factory()
             model.fit(refined_train)
             refined_valid = contextualizer.refine(L_valid, lineage, "valid", percentile=p)
-            proba = model.predict_proba(refined_valid)
-            preds = np.where(proba >= 0.5, 1, -1)
-            score = self._metric_fn(y_valid, preds)
+            preds = convention.posterior_to_votes(model.predict_proba(refined_valid))
+            score = metric_fn(y_valid, preds)
             if score > best_score:
                 best_score = score
                 best_p = p

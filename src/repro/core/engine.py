@@ -34,34 +34,49 @@ the recorded baseline of ``benchmarks/bench_perf_session.py``.
 from __future__ import annotations
 
 import inspect
+import time
 
 import numpy as np
 
+from repro.core.convention import VoteConvention
 from repro.core.lineage import LineageStore
 from repro.labelmodel.matrix import VoteMatrix, column_nonzero_rows
+
+#: The IDP phases attributed by the engine's built-in timing bookkeeping.
+PHASES = ("select", "develop", "label_model", "end_model")
 
 
 class IncrementalSessionEngine:
     """Cardinality-agnostic select → develop → contextualize → learn loop.
 
-    Subclasses provide the label-space specifics:
+    Subclasses bind the label-space specifics through a
+    :class:`~repro.core.convention.VoteConvention` (``self.convention``,
+    set before :meth:`_init_engine`): the abstain sentinel, posterior
+    entropy, and coverage masking all default to the convention's
+    implementations.  Two hooks remain genuinely per-session:
 
-    * ``abstain_value`` — the vote matrix's abstain sentinel (0 binary,
-      -1 multiclass);
-    * :meth:`_entropy` — posterior entropy of a soft-label array;
-    * :meth:`_coverage_mask` — covered-example mask of a dense vote matrix
-      (used only for contextualizer-refined matrices; the raw path reads
-      the :class:`VoteMatrix` running stats);
     * :meth:`_update_proxy` — refresh the ground-truth proxy from the
-      freshly fitted end model;
+      freshly fitted end model (shape and calibration differ);
     * :meth:`build_state` — the selector/user-facing state snapshot.
 
     Subclasses are expected to set ``dataset``, ``rng``, ``family``,
     ``soft_labels``, ``entropies`` and their proxy fields before calling
     :meth:`_init_engine`.
+
+    The engine keeps cumulative per-phase wall-clock totals in
+    ``self.phase_timings`` (seconds per :data:`PHASES` entry, plus
+    ``"contextualize"`` for the Eq.-4 refinement inside the label-model
+    phase) — the attribution record ``benchmarks/bench_perf_session.py``
+    reports.
     """
 
-    #: Abstain sentinel of the vote convention; subclasses override.
+    #: The session's vote convention; subclasses MUST assign one (class or
+    #: instance attribute) before calling _init_engine — fail-closed so a
+    #: new label-space session cannot silently run with wrong semantics.
+    convention: VoteConvention | None = None
+
+    #: Abstain sentinel of the vote convention (kept as a mirror of
+    #: ``convention.abstain`` for backward compatibility).
     abstain_value: int = 0
 
     # ------------------------------------------------------------------ #
@@ -95,6 +110,11 @@ class IncrementalSessionEngine:
             raise ValueError(f"warm_end_iter must be >= 1, got {warm_end_iter}")
         if warm_min_train < 0:
             raise ValueError(f"warm_min_train must be >= 0, got {warm_min_train}")
+        if not isinstance(self.convention, VoteConvention):
+            raise TypeError(
+                "session must assign a VoteConvention to self.convention "
+                "before calling _init_engine"
+            )
         self.selector = selector
         self.user = user
         self.label_model_factory = label_model_factory
@@ -115,6 +135,9 @@ class IncrementalSessionEngine:
         self.lineage = LineageStore(self.dataset)
         self.iteration = 0
         self.selected: set[int] = set()
+        self.abstain_value = self.convention.abstain
+        self.phase_timings: dict[str, float] = {p: 0.0 for p in PHASES}
+        self.phase_timings["contextualize"] = 0.0
         self._L_train = VoteMatrix(self.dataset.train.n, abstain=self.abstain_value)
         self._L_valid = VoteMatrix(self.dataset.valid.n, abstain=self.abstain_value)
         self.selection_soft_labels: np.ndarray | None = None
@@ -173,17 +196,22 @@ class IncrementalSessionEngine:
     # ------------------------------------------------------------------ #
     def step(self) -> None:
         """One IDP iteration: select → develop → contextualize → learn."""
+        t0 = time.perf_counter()
         state = self.build_state()
         dev_index = self.selector.select(state)
+        t1 = time.perf_counter()
+        self.phase_timings["select"] += t1 - t0
         self.iteration += 1
         if dev_index is None:
             return
         self.selected.add(dev_index)
         lf = self.user.create_lf(dev_index, state)
         if lf is None:
+            self.phase_timings["develop"] += time.perf_counter() - t1
             return
         self.lineage.add(lf, dev_index, self.iteration - 1)
         self._append_votes(lf)
+        self.phase_timings["develop"] += time.perf_counter() - t1
         self._refit()
 
     def run(self, n_iterations: int):
@@ -229,6 +257,7 @@ class IncrementalSessionEngine:
         return model
 
     def _refit(self) -> None:
+        t0 = time.perf_counter()
         self._cold_warranted_ = self._cold_refit_due()
         self._refit_count += 1
         L_effective = self._effective_label_matrix()
@@ -238,6 +267,8 @@ class IncrementalSessionEngine:
         self.soft_labels = model.predict_proba(L_effective)
         self.entropies = self._entropy(self.soft_labels)
         self._refit_selection_view(refined)
+        t1 = time.perf_counter()
+        self.phase_timings["label_model"] += t1 - t0
         if refined:
             covered = self._coverage_mask(L_effective)
         else:
@@ -252,11 +283,13 @@ class IncrementalSessionEngine:
                 self.end_model.fit(X_covered, targets, max_iter=self.warm_end_iter)
             self._end_model_fitted = True
             self._update_proxy()
+        self.phase_timings["end_model"] += time.perf_counter() - t1
         self._selector_cache.clear()
 
     def _effective_label_matrix(self) -> np.ndarray:
         if self.contextualizer is None:
             return self.L_train
+        t0 = time.perf_counter()
         if self.percentile_tuner is not None and self._should_tune():
             self.active_percentile_ = self.percentile_tuner.best_percentile(
                 self.contextualizer,
@@ -266,9 +299,11 @@ class IncrementalSessionEngine:
                 self.label_model_factory,
                 self.dataset.valid.y,
             )
-        return self.contextualizer.refine(
+        refined = self.contextualizer.refine(
             self.L_train, self.lineage, "train", percentile=self.active_percentile_
         )
+        self.phase_timings["contextualize"] += time.perf_counter() - t0
+        return refined
 
     def _refit_selection_view(self, refined: bool) -> None:
         """Posterior over the *unrefined* votes, for selectors only.
@@ -299,13 +334,13 @@ class IncrementalSessionEngine:
         return m >= 1 and (m <= 6 or m % self.tune_every == 0)
 
     # ------------------------------------------------------------------ #
-    # cardinality hooks
+    # cardinality hooks (defaults read the vote convention)
     # ------------------------------------------------------------------ #
     def _entropy(self, soft_labels: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
+        return self.convention.posterior_entropy(soft_labels)
 
     def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
+        return self.convention.coverage_mask(L)
 
     def _update_proxy(self) -> None:
         raise NotImplementedError

@@ -1,10 +1,17 @@
-"""Development-data selection interface and the per-iteration session state.
+"""Development-data selection: session states and the baseline selectors.
 
-Every selector sees the same :class:`SessionState` snapshot — the label
-matrix, the label model's posterior/uncertainty, and the end model's
-current predictions — and returns the index of the next development
-example.  This is the "Development Data Selection Stage" of the IDP loop
-(paper Sec. 3).
+Every selector sees a session-state snapshot — the label matrix, the label
+model's posterior/uncertainty, and the end model's current predictions —
+and returns the index of the next development example.  This is the
+"Development Data Selection Stage" of the IDP loop (paper Sec. 3).
+
+The state and the selectors are cardinality-generic: all label-space
+specifics (abstain sentinel, conflict counting, entropy) are read from the
+state's :class:`~repro.core.convention.VoteConvention`.  The binary
+:class:`SessionState` and the K-class :class:`MulticlassSessionState` are
+thin shape adapters over the shared :class:`BaseSessionState`;
+``repro.interactive.basic_selectors`` and ``repro.multiclass.selection``
+re-export the selector classes under their historical names.
 """
 
 from __future__ import annotations
@@ -15,13 +22,14 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.convention import BINARY, VoteConvention, multiclass_convention
 from repro.core.lf import LFFamily, PrimitiveLF
 from repro.data.dataset import FeaturizedDataset
 
 
 @dataclass
-class SessionState:
-    """Snapshot of an IDP session at selection time.
+class BaseSessionState:
+    """Cardinality-generic snapshot of an IDP session at selection time.
 
     Attributes
     ----------
@@ -35,21 +43,19 @@ class SessionState:
     lfs:
         LFs collected so far.
     L_train:
-        ``(n_train, m)`` *unrefined* vote matrix of those LFs.
+        ``(n_train, m)`` *unrefined* vote matrix of those LFs, in the
+        state's vote convention.
     soft_labels:
-        ``(n_train,)`` current label-model posterior ``P(y=+1|L)`` (from the
-        session's active pipeline — refined votes if contextualization is on).
+        Current label-model posterior (from the session's active pipeline —
+        refined votes if contextualization is on); ``(n,)`` for binary,
+        ``(n, K)`` for multiclass.
     entropies:
         ``(n_train,)`` posterior entropies (ψ_uncertainty of Eq. 3).
-    proxy_labels:
-        ``(n_train,)`` ±1 end-model predictions ŷ (the ground-truth proxy of
-        Sec. 4.2); prior-sampled before the first model exists.
-    proxy_proba:
-        ``(n_train,)`` end-model probabilities ``P(y=+1|x)`` — the *graded*
-        ground-truth proxy SEU consumes.  Hard predictions collapse to a
-        single class early in the loop (one-sided LF sets), zeroing an
-        entire branch of the user model and locking SEU onto one polarity;
-        probabilities preserve the ranking signal (see DESIGN.md).
+
+    Subclasses add the proxy fields (whose shape is the one genuinely
+    cardinality-specific part of the snapshot) plus ``selected`` /
+    ``rng`` / ``cache``:
+
     selected:
         Train indices already shown to the user (selectors avoid repeats).
     rng:
@@ -69,15 +75,10 @@ class SessionState:
     L_train: np.ndarray
     soft_labels: np.ndarray
     entropies: np.ndarray
-    proxy_labels: np.ndarray
-    proxy_proba: np.ndarray = None
-    selected: set[int] = field(default_factory=set)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
-    cache: dict | None = None
 
-    def __post_init__(self) -> None:
-        if self.proxy_proba is None:
-            self.proxy_proba = (np.asarray(self.proxy_labels, dtype=float) + 1.0) / 2.0
+    @property
+    def convention(self) -> VoteConvention:
+        raise NotImplementedError
 
     @property
     def B(self) -> sp.csr_matrix:
@@ -103,17 +104,86 @@ class SessionState:
         return mask
 
 
+@dataclass
+class SessionState(BaseSessionState):
+    """Binary session snapshot (votes ±1, ``0`` abstains).
+
+    Adds the binary proxy pair to :class:`BaseSessionState`:
+
+    proxy_labels:
+        ``(n_train,)`` ±1 end-model predictions ŷ (the ground-truth proxy of
+        Sec. 4.2); prior-sampled before the first model exists.
+    proxy_proba:
+        ``(n_train,)`` end-model probabilities ``P(y=+1|x)`` — the *graded*
+        ground-truth proxy SEU consumes.  Hard predictions collapse to a
+        single class early in the loop (one-sided LF sets), zeroing an
+        entire branch of the user model and locking SEU onto one polarity;
+        probabilities preserve the ranking signal (see DESIGN.md).
+    """
+
+    proxy_labels: np.ndarray = None
+    proxy_proba: np.ndarray = None
+    selected: set[int] = field(default_factory=set)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    cache: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.proxy_proba is None:
+            if self.proxy_labels is None:
+                raise TypeError(
+                    "SessionState requires proxy_labels and/or proxy_proba"
+                )
+            self.proxy_proba = (np.asarray(self.proxy_labels, dtype=float) + 1.0) / 2.0
+
+    @property
+    def convention(self) -> VoteConvention:
+        return BINARY
+
+
+@dataclass
+class MulticlassSessionState(BaseSessionState):
+    """K-class session snapshot (votes ``0..K-1``, ``-1`` abstains).
+
+    ``soft_labels`` and ``proxy_proba`` are ``(n, K)`` row-stochastic
+    matrices; the hard ``proxy_labels`` view is derived by argmax.
+    """
+
+    proxy_proba: np.ndarray = None
+    selected: set[int] = field(default_factory=set)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    cache: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.proxy_proba is None:
+            raise TypeError("MulticlassSessionState requires proxy_proba")
+
+    @property
+    def convention(self) -> VoteConvention:
+        return multiclass_convention(self.family.n_classes)
+
+    @property
+    def n_classes(self) -> int:
+        return self.family.n_classes
+
+    @property
+    def proxy_labels(self) -> np.ndarray:
+        """Hard class predictions derived from the graded proxy."""
+        return np.argmax(self.proxy_proba, axis=1).astype(int)
+
+
 class DevDataSelector(ABC):
     """Strategy choosing the next development example (paper Sec. 4.2)."""
 
     name: str = "abstract"
 
     @abstractmethod
-    def select(self, state: SessionState) -> int | None:
+    def select(self, state: BaseSessionState) -> int | None:
         """Return the chosen train index, or ``None`` if nothing is eligible."""
 
     @staticmethod
-    def _argmax_with_ties(scores: np.ndarray, mask: np.ndarray, rng: np.random.Generator) -> int | None:
+    def _argmax_with_ties(
+        scores: np.ndarray, mask: np.ndarray, rng: np.random.Generator
+    ) -> int | None:
         """Argmax over masked scores with uniform random tie-breaking."""
         if not mask.any():
             return None
@@ -124,3 +194,85 @@ class DevDataSelector(ABC):
             return int(rng.choice(eligible))
         ties = np.flatnonzero(masked >= best - 1e-12)
         return int(rng.choice(ties))
+
+
+class RandomSelector(DevDataSelector):
+    """Uniform sampling from the eligible unlabeled pool.
+
+    The prevailing practice (Snorkel's implicit selector).
+    """
+
+    name = "random"
+
+    def select(self, state: BaseSessionState) -> int | None:
+        mask = state.candidate_mask()
+        if not mask.any():
+            return None
+        eligible = np.flatnonzero(mask)
+        return int(state.rng.choice(eligible))
+
+
+class AbstainSelector(DevDataSelector):
+    """Selects the example with the most abstaining LFs ([9])."""
+
+    name = "abstain"
+
+    def select(self, state: BaseSessionState) -> int | None:
+        mask = state.candidate_mask()
+        if state.L_train.shape[1] == 0:
+            # No LFs yet: every example ties at zero votes; fall back to random.
+            return RandomSelector().select(state)
+        scores = state.convention.abstain_counts(state.L_train).astype(float)
+        return self._argmax_with_ties(scores, mask, state.rng)
+
+
+class DisagreeSelector(DevDataSelector):
+    """Selects the example where the current LFs conflict the most ([9])."""
+
+    name = "disagree"
+
+    def select(self, state: BaseSessionState) -> int | None:
+        mask = state.candidate_mask()
+        if state.L_train.shape[1] == 0:
+            return RandomSelector().select(state)
+        scores = state.convention.conflict_counts(state.L_train).astype(float)
+        if scores.max() <= 0:
+            # No conflicts anywhere yet: disagreement is uninformative;
+            # degrade gracefully to random (matching [9]'s behaviour).
+            return RandomSelector().select(state)
+        return self._argmax_with_ties(scores, mask, state.rng)
+
+
+class UncertaintySelector(DevDataSelector):
+    """Pick the example with the highest label-model posterior entropy.
+
+    Classic uncertainty sampling read off the label model (not the end
+    model) — an intermediate baseline between Abstain/Disagree and SEU.
+    """
+
+    name = "uncertainty"
+
+    def select(self, state: BaseSessionState) -> int | None:
+        mask = state.candidate_mask()
+        if state.L_train.shape[1] == 0:
+            return RandomSelector().select(state)
+        return self._argmax_with_ties(np.asarray(state.entropies, float), mask, state.rng)
+
+
+BASIC_SELECTORS = {
+    "random": RandomSelector,
+    "abstain": AbstainSelector,
+    "disagree": DisagreeSelector,
+    "uncertainty": UncertaintySelector,
+}
+
+
+def make_basic_selector(name: str) -> DevDataSelector:
+    """Instantiate a baseline selector by registry name."""
+    try:
+        cls = BASIC_SELECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selector {name!r}; choose from {sorted(BASIC_SELECTORS)} or 'seu'"
+        ) from None
+    return cls()

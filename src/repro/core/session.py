@@ -18,6 +18,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.convention import BINARY
 from repro.core.engine import IncrementalSessionEngine
 from repro.core.lf import LFFamily, PrimitiveLF
 from repro.core.selection import DevDataSelector, SessionState
@@ -25,8 +26,6 @@ from repro.data.dataset import FeaturizedDataset
 from repro.endmodel.logistic import SoftLabelLogisticRegression
 from repro.endmodel.metrics import get_metric
 from repro.labelmodel.base import LabelModel, posterior_entropy
-from repro.labelmodel.matrix import coverage_mask
-from repro.labelmodel.metal import MetalLabelModel
 from repro.utils.rng import ensure_rng
 
 
@@ -83,9 +82,10 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
 
     The select → develop → contextualize → learn loop itself lives in
     :class:`~repro.core.engine.IncrementalSessionEngine` (shared with the
-    multiclass session); this class supplies the binary specifics — the
-    ±1 vote convention, the MeTaL default aggregator, the logistic end
-    model, and the ``proxy_labels`` / calibration plumbing.
+    multiclass session); this class binds the binary
+    :class:`~repro.core.convention.VoteConvention` — which carries the ±1
+    vote alphabet, the MeTaL default aggregator, and the logistic end
+    model — and supplies the ``proxy_labels`` / calibration plumbing.
 
     Parameters
     ----------
@@ -142,7 +142,8 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
         Seed for all session randomness.
     """
 
-    abstain_value = 0
+    convention = BINARY
+    abstain_value = BINARY.abstain
 
     def __init__(
         self,
@@ -165,8 +166,9 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
     ) -> None:
         InteractiveMethod.__init__(self, dataset, seed)
         if label_model_factory is None:
-            prior = dataset.label_prior
-            label_model_factory = lambda: MetalLabelModel(class_prior=prior)  # noqa: E731
+            label_model_factory = self.convention.default_label_model_factory(dataset)
+        if end_model is None:
+            end_model = self.convention.default_end_model(dataset)
         self.calibrate_proxy = calibrate_proxy
         self.family = LFFamily(dataset.primitive_names, dataset.train.B)
 
@@ -181,7 +183,7 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
             selector=selector,
             user=user,
             label_model_factory=label_model_factory,
-            end_model=end_model if end_model is not None else SoftLabelLogisticRegression(),
+            end_model=end_model,
             contextualizer=contextualizer,
             percentile_tuner=percentile_tuner,
             tune_every=tune_every,
@@ -220,12 +222,6 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
             rng=self.rng,
             cache=self._selector_cache,
         )
-
-    def _entropy(self, soft_labels: np.ndarray) -> np.ndarray:
-        return posterior_entropy(soft_labels)
-
-    def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
-        return coverage_mask(L)
 
     def _update_proxy(self) -> None:
         X = self.dataset.train.X

@@ -8,15 +8,22 @@ user would create from it:
 
 where the pick weights ``w_y(z)`` come from the user model (Eq. 2) and Ψ
 from the utility function (Eq. 3).  With primitive LFs everything reduces
-to a handful of sparse mat-vecs over the incidence matrix ``B`` — no loops
-over the LF family (see DESIGN.md, "SEU vectorization").
+to one pair of sparse mat-vecs over the incidence matrix ``B`` per label —
+no loops over the LF family (see DESIGN.md, "SEU vectorization").
+
+The selector is cardinality-generic: the expectation decomposes per label
+exactly the same way for ``Y = {±1}`` and ``Y = {0..K-1}``, so the loop
+runs over the columns of the state convention's canonical label order
+(accuracy table, pick-weight table, utility table, prior vector — see
+:mod:`repro.core.convention`).  ``repro.multiclass.seu`` re-exports the
+class as ``MCSEUSelector``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.selection import DevDataSelector, SessionState
+from repro.core.selection import BaseSessionState, DevDataSelector
 from repro.core.user_model import UserModel, make_user_model
 from repro.core.utility import LFUtility, make_utility
 
@@ -29,19 +36,26 @@ class SEUSelector(DevDataSelector):
     user_model:
         A :class:`~repro.core.user_model.UserModel` instance or registry
         name (``"accuracy"`` for Eq. 2, ``"uniform"`` for the Table-6
-        ablation).
+        ablation, ``"thresholded"`` for Eq. 6).
     utility:
         A :class:`~repro.core.utility.LFUtility` instance or registry name
         (``"full"`` for Eq. 3, or the Table-7 ablations).
     warmup:
         Select uniformly at random until at least this many LFs exist *and*
-        both polarities are represented.  SEU's expectation is computed
-        against the end model's predictions (Sec. 4.2); before a
-        discriminative model exists — in particular while every LF votes
-        the same class — those predictions carry no signal and expected
-        utilities degenerate (one user-model branch is starved and the
-        ranking collapses onto coverage artifacts).  A brief random phase
-        is the standard cold-start treatment for model-guided acquisition.
+        enough distinct labels are represented (see ``min_classes``).
+        SEU's expectation is computed against the end model's predictions
+        (Sec. 4.2); before a discriminative model exists — in particular
+        while every LF votes the same class — those predictions carry no
+        signal and expected utilities degenerate (one user-model branch is
+        starved and the ranking collapses onto coverage artifacts).  A
+        brief random phase is the standard cold-start treatment for
+        model-guided acquisition.
+    min_classes:
+        How many distinct LF labels must be present before leaving the
+        cold-start phase (capped at the label-space cardinality).  Two
+        suffices to break the one-sided degeneracy — and is the whole
+        alphabet in the binary case; raising it toward ``K`` delays SEU
+        until broader class coverage.
 
     Notes
     -----
@@ -57,6 +71,7 @@ class SEUSelector(DevDataSelector):
         user_model: UserModel | str = "accuracy",
         utility: LFUtility | str = "full",
         warmup: int = 3,
+        min_classes: int = 2,
     ) -> None:
         self.user_model = (
             make_user_model(user_model) if isinstance(user_model, str) else user_model
@@ -64,9 +79,12 @@ class SEUSelector(DevDataSelector):
         self.utility = make_utility(utility) if isinstance(utility, str) else utility
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if min_classes < 1:
+            raise ValueError(f"min_classes must be >= 1, got {min_classes}")
         self.warmup = warmup
+        self.min_classes = min_classes
 
-    def select(self, state: SessionState) -> int | None:
+    def select(self, state: BaseSessionState) -> int | None:
         mask = state.candidate_mask()
         if not mask.any():
             return None
@@ -75,16 +93,16 @@ class SEUSelector(DevDataSelector):
         scores = self.expected_utilities(state)
         return self._argmax_with_ties(scores, mask, state.rng)
 
-    def _in_cold_start(self, state: SessionState) -> bool:
+    def _in_cold_start(self, state: BaseSessionState) -> bool:
         if len(state.lfs) < self.warmup:
             return True
-        polarities = {lf.label for lf in state.lfs}
-        return len(polarities) < 2
+        labels = {lf.label for lf in state.lfs}
+        return len(labels) < min(self.min_classes, state.convention.n_classes)
 
     # ------------------------------------------------------------------ #
     # scoring
     # ------------------------------------------------------------------ #
-    def expected_utilities(self, state: SessionState) -> np.ndarray:
+    def expected_utilities(self, state: BaseSessionState) -> np.ndarray:
         """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``.
 
         Every input of the expectation (the accuracy table ``B.T @ proxy``,
@@ -98,51 +116,53 @@ class SEUSelector(DevDataSelector):
         cache_key = ("seu_expected", self.user_model.name, self.utility.name)
         if cache is not None and cache_key in cache:
             return cache[cache_key]
+        convention = state.convention
         B = state.B
-        acc_pos = state.family.empirical_accuracies(state.proxy_proba)
-        w_pos, w_neg = self.user_model.pick_weights(acc_pos)
-        util_pos = self.utility.scores(B, state.entropies, state.proxy_proba)
-        util_neg = self.utility.negative_scores(B, state.entropies, state.proxy_proba)
-        prior = state.dataset.label_prior
+        acc = convention.accuracy_table(state.family, state.proxy_proba)  # (|Z|, K)
+        weights = self.user_model.pick_weight_table(acc)  # (|Z|, K)
+        utils = self.utility.score_table(
+            B, state.entropies, convention.signed_agreement(state.proxy_proba)
+        )  # (|Z|, K)
+        priors = convention.class_prior_vector(state.dataset)
         expected = np.zeros(state.n_train)
-        for class_prior, weights, utils in (
-            (prior, w_pos, util_pos),
-            (1.0 - prior, w_neg, util_neg),
-        ):
-            numerator = np.asarray(B @ (weights * utils)).ravel()
-            denominator = np.asarray(B @ weights).ravel()
+        for j in range(len(convention.labels)):
+            numerator = np.asarray(B @ (weights[:, j] * utils[:, j])).ravel()
+            denominator = np.asarray(B @ weights[:, j]).ravel()
             contribution = np.divide(
                 numerator,
                 denominator,
                 out=np.zeros_like(numerator),
                 where=denominator > 1e-12,
             )
-            expected += class_prior * contribution
+            expected += priors[j] * contribution
         if cache is not None:
             cache[cache_key] = expected
         return expected
 
-    def expected_utility_of(self, example_index: int, state: SessionState) -> float:
+    def expected_utility_of(self, example_index: int, state: BaseSessionState) -> float:
         """Scalar expected utility of one example (reference path for tests).
 
         Enumerates the candidate LFs of the example explicitly and combines
         the scalar user-model probabilities with scalar utilities — the
         direct transcription of Eq. 1 used to validate the vectorized path.
         """
+        convention = state.convention
         family = state.family
         primitives = family.primitives_in(example_index)
         if primitives.size == 0:
             return 0.0
-        acc_pos = family.empirical_accuracies(state.proxy_proba)
+        acc = convention.accuracy_table(family, state.proxy_proba)
+        utils = self.utility.score_table(
+            state.B, state.entropies, convention.signed_agreement(state.proxy_proba)
+        )
+        priors = convention.class_prior_vector(state.dataset)
         total = 0.0
-        for label in (1, -1):
+        for j, label in enumerate(convention.labels):
             for pid in primitives:
-                lf = family.make(pid, label)
-                prob = self.user_model.probability(
-                    lf, example_index, family, acc_pos, state.dataset.label_prior
+                lf = family.make(int(pid), int(label))
+                prob = self.user_model.probability_in_column(
+                    lf, example_index, family, acc, float(priors[j]), j
                 )
                 if prob > 0:
-                    total += prob * self.utility.score_lf(
-                        lf, state.B, state.entropies, state.proxy_proba
-                    )
+                    total += prob * float(utils[lf.primitive_id, j])
         return total

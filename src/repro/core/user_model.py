@@ -12,7 +12,17 @@ with ground-truth accuracies approximated by the end model's current
 predictions ŷ.  The ``Uniform`` variant (Table 6's ablation) replaces the
 accuracy weights by constants; the ``Thresholded`` variant is the paper's
 Sec.-7 multi-LF generalization (Eq. 6), which additionally zeroes the
-probability of worse-than-random LFs.
+probability of worse-than-chance LFs.
+
+The models are cardinality-generic: the core operation,
+:meth:`UserModel.pick_weight_table`, maps a ``(|Z|, K)`` accuracy table
+(columns in the convention's canonical label order — see
+:mod:`repro.core.convention`) to a ``(|Z|, K)`` weight table.  Only
+per-example ratios within a label column matter (Eq. 2's denominator).
+The historical binary interface — ``pick_weights(acc_pos)`` returning the
+``(w_pos, w_neg)`` pair — is preserved as a dispatching convenience, so
+these classes serve both pipelines; :mod:`repro.multiclass.user_model`
+re-exports them under their MC names.
 """
 
 from __future__ import annotations
@@ -24,51 +34,90 @@ import numpy as np
 from repro.core.lf import LFFamily, PrimitiveLF
 
 
-class UserModel(ABC):
-    """Assigns pick weights to candidate LFs; SEU normalizes them per example.
+def _as_table(acc: np.ndarray) -> np.ndarray:
+    """Normalize an accuracy input to the ``(|Z|, K)`` table form.
 
-    The vectorized interface returns, for every primitive ``z``, the
-    *unnormalized* weight of ``λ_{z,+1}`` and ``λ_{z,-1}`` given the current
-    accuracy estimates.  SEU divides by the per-example sum (Eq. 2's
-    denominator), so only ratios matter.
+    1-D input is the binary shorthand: the accuracies of ``λ_{z,+1}``,
+    with ``acc(λ_{z,-1}) = 1 − acc(λ_{z,+1})`` by symmetry.
     """
+    acc = np.asarray(acc, dtype=float)
+    if acc.ndim == 1:
+        return np.stack([acc, 1.0 - acc], axis=1)
+    if acc.ndim != 2:
+        raise ValueError(f"accuracy table must be 1-D or 2-D, got shape {acc.shape}")
+    return acc
+
+
+class UserModel(ABC):
+    """Assigns pick weights to candidate LFs; SEU normalizes them per example."""
 
     name: str = "abstract"
 
     @abstractmethod
-    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(w_pos, w_neg)`` weights per primitive.
+    def pick_weight_table(self, acc: np.ndarray) -> np.ndarray:
+        """Return ``(|Z|, K)`` pick weights from a ``(|Z|, K)`` accuracy table."""
 
-        Parameters
-        ----------
-        acc_pos:
-            ``(|Z|,)`` estimated accuracies of ``λ_{z,+1}``; by symmetry the
-            accuracy of ``λ_{z,-1}`` is ``1 - acc_pos``.
+    def pick_weights(self, acc: np.ndarray):
+        """Pick weights in the shape of the input accuracy estimate.
+
+        ``(|Z|,)`` binary input (accuracies of ``λ_{z,+1}``) returns the
+        historical ``(w_pos, w_neg)`` pair; a ``(|Z|, K)`` table returns
+        the ``(|Z|, K)`` weight table.
         """
+        table = self.pick_weight_table(_as_table(acc))
+        if np.asarray(acc).ndim == 1:
+            return table[:, 0], table[:, 1]
+        return table
+
+    def probability_in_column(
+        self,
+        lf: PrimitiveLF,
+        example_index: int,
+        family: LFFamily,
+        acc_table: np.ndarray,
+        prior: float,
+        column: int,
+    ) -> float:
+        """``P(λ | x)`` with the label column resolved by the caller.
+
+        The scalar form of Eq. 2 over the canonical table layout — the
+        single implementation behind :meth:`probability` and the SEU
+        reference path (whose convention knows which column a vote value
+        occupies).
+        """
+        primitives = family.primitives_in(example_index)
+        if lf.primitive_id not in primitives:
+            return 0.0
+        weights = self.pick_weight_table(_as_table(acc_table))[:, column]
+        denom = float(weights[primitives].sum())
+        if denom <= 0:
+            return 0.0
+        return float(prior) * float(weights[lf.primitive_id]) / denom
 
     def probability(
         self,
         lf: PrimitiveLF,
         example_index: int,
         family: LFFamily,
-        acc_pos: np.ndarray,
-        label_prior: float,
+        acc: np.ndarray,
+        priors,
     ) -> float:
         """Exact ``P(λ | x)`` for one LF and example (reference implementation).
 
         This is the scalar form of Eq. 2, used in tests and documentation;
-        SEU uses the vectorized path.
+        SEU uses the vectorized path.  ``acc``/``priors`` follow the input
+        convention: a 1-D ``acc`` with a scalar positive-class prior
+        (binary, ``lf.label ∈ {±1}``), or a ``(|Z|, K)`` table with a
+        ``(K,)`` prior vector (``lf.label`` a class id).
         """
-        primitives = family.primitives_in(example_index)
-        if lf.primitive_id not in primitives:
-            return 0.0
-        w_pos, w_neg = self.pick_weights(acc_pos)
-        weights = w_pos if lf.label == 1 else w_neg
-        denom = float(weights[primitives].sum())
-        if denom <= 0:
-            return 0.0
-        prior = label_prior if lf.label == 1 else 1.0 - label_prior
-        return prior * float(weights[lf.primitive_id]) / denom
+        acc = np.asarray(acc, dtype=float)
+        if acc.ndim == 1:
+            column = 0 if lf.label == 1 else 1
+            prior = float(priors) if lf.label == 1 else 1.0 - float(priors)
+        else:
+            column = int(lf.label)
+            prior = float(np.asarray(priors, dtype=float)[column])
+        return self.probability_in_column(lf, example_index, family, acc, prior, column)
 
 
 class AccuracyWeightedUserModel(UserModel):
@@ -76,9 +125,8 @@ class AccuracyWeightedUserModel(UserModel):
 
     name = "accuracy"
 
-    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        acc_pos = np.asarray(acc_pos, dtype=float)
-        return acc_pos, 1.0 - acc_pos
+    def pick_weight_table(self, acc: np.ndarray) -> np.ndarray:
+        return np.asarray(acc, dtype=float).copy()
 
 
 class UniformUserModel(UserModel):
@@ -86,32 +134,30 @@ class UniformUserModel(UserModel):
 
     name = "uniform"
 
-    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        ones = np.ones_like(np.asarray(acc_pos, dtype=float))
-        return ones, ones.copy()
+    def pick_weight_table(self, acc: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(acc, dtype=float))
 
 
 class ThresholdedUserModel(UserModel):
-    """Eq. 6 (Sec. 7): accuracy-weighted with worse-than-random LFs zeroed.
+    """Eq. 6 (Sec. 7): accuracy-weighted with worse-than-chance LFs zeroed.
 
-    ``P(λ_{z,y}|x) ∝ acc(λ_{z,y}) · 1[acc(λ_{z,y}) > 0.5]`` — the building
-    block of the multi-LF user model ``P(Λ|x) = Π P(λ|x)``.
+    ``P(λ_{z,y}|x) ∝ acc(λ_{z,y}) · 1[acc(λ_{z,y}) > t]`` — the building
+    block of the multi-LF user model ``P(Λ|x) = Π P(λ|x)``.  ``t`` defaults
+    to chance level ``1/K`` (0.5 binary): an LF whose vote is no better
+    than a uniform guess carries no pick weight.
     """
 
     name = "thresholded"
 
-    def __init__(self, threshold: float = 0.5) -> None:
-        if not 0.0 <= threshold < 1.0:
+    def __init__(self, threshold: float | None = None) -> None:
+        if threshold is not None and not 0.0 <= threshold < 1.0:
             raise ValueError(f"threshold must be in [0, 1), got {threshold}")
         self.threshold = threshold
 
-    def pick_weights(self, acc_pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        acc_pos = np.asarray(acc_pos, dtype=float)
-        acc_neg = 1.0 - acc_pos
-        return (
-            np.where(acc_pos > self.threshold, acc_pos, 0.0),
-            np.where(acc_neg > self.threshold, acc_neg, 0.0),
-        )
+    def pick_weight_table(self, acc: np.ndarray) -> np.ndarray:
+        acc = np.asarray(acc, dtype=float)
+        threshold = self.threshold if self.threshold is not None else 1.0 / acc.shape[1]
+        return np.where(acc > threshold, acc, 0.0)
 
 
 USER_MODELS = {

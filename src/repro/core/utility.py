@@ -3,17 +3,28 @@
 The utility of LF ``λ`` measures how informative its supervision would be
 given the LFs already collected:
 
-    Ψ_t(λ) = Σ_{i ∈ C(λ)}  ψ_uncertainty(x_i) · (λ(x_i) · ŷ_i)
+    Ψ_t(λ) = Σ_{i ∈ C(λ)}  ψ_uncertainty(x_i) · s_λ(x_i)
 
 where ``C(λ)`` are the examples λ covers, ``ψ_uncertainty`` is the label
-model's posterior entropy, and ``λ(x_i)·ŷ_i ∈ {−1,+1}`` scores the vote's
-(approximate) correctness.  For primitive LFs the whole family's utilities
-reduce to two sparse mat-vecs:
+model's posterior entropy, and ``s_λ(x_i)`` scores the vote's (approximate)
+correctness against the ground-truth proxy.  For soft proxies the
+correctness term is the *chance-centered agreement*
 
-    Ψ(λ_{z,+1}) =  (Bᵀ (ψ ⊙ ŷ))_z          Ψ(λ_{z,-1}) = −(Bᵀ (ψ ⊙ ŷ))_z
+    s_k(x_i) = (K·P(y_i = k) − 1) / (K − 1)
 
-The two ablations drop one factor each: *no-informativeness* removes ψ,
-*no-correctness* removes the ŷ agreement term.
+which is +1 at certainty-correct, 0 at chance (so an uninformative end
+model exerts no selection pressure), and reduces exactly to Eq. 3's
+``λ(x)·ŷ`` expectation ``2p − 1`` for K = 2.  For primitive LFs the whole
+family's utilities then reduce to one sparse mat-vec per label:
+
+    Ψ(λ_{z,k}) = (Bᵀ (ψ ⊙ s_k))_z
+
+The implementations are cardinality-generic: :meth:`LFUtility.score_table`
+produces the ``(|Z|, K)`` utility table (columns in canonical label order,
+see :mod:`repro.core.convention`), and the historical binary interface —
+``scores``/``negative_scores`` over a ``(n,)`` proxy — is preserved as a
+dispatching convenience.  The two ablations drop one factor each:
+*no-informativeness* removes ψ, *no-correctness* removes the agreement.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import scipy.sparse as sp
 
 
 def signed_proxy(proxy: np.ndarray) -> np.ndarray:
-    """Map a ground-truth proxy to signed agreement values in [-1, +1].
+    """Map a binary ground-truth proxy to signed agreement values in [-1, +1].
 
     Hard ±1 predictions pass through; probabilities ``P(y=+1|x) ∈ [0, 1]``
     become ``2p - 1`` (the expected value of ŷ).  The soft form is what the
@@ -45,79 +56,122 @@ def signed_proxy(proxy: np.ndarray) -> np.ndarray:
     return 2.0 * proxy - 1.0
 
 
+def signed_agreement(proxy_proba: np.ndarray) -> np.ndarray:
+    """Map ``(n, K)`` label probabilities to chance-centered agreement values.
+
+    ``out[i, k] = (K·P(y_i = k) − 1) / (K − 1)`` — the Eq. 3 correctness
+    term rescaled so that a chance-level proxy contributes zero (see the
+    module docstring); identical to ``2p − 1`` when K = 2.
+    """
+    P = np.asarray(proxy_proba, dtype=float)
+    if P.ndim != 2:
+        raise ValueError(f"proxy_proba must be 2-D (n, K), got shape {P.shape}")
+    if np.any(P < -1e-9) or np.any(P > 1 + 1e-9):
+        raise ValueError("proxy_proba entries must lie in [0, 1]")
+    K = P.shape[1]
+    if K < 2:
+        raise ValueError(f"proxy_proba must have at least 2 class columns, got {K}")
+    return (K * P - 1.0) / (K - 1.0)
+
+
+def _agreement(proxy: np.ndarray) -> np.ndarray:
+    """Per-label agreement matrix from either proxy form.
+
+    1-D input is the binary shorthand (``P(y=+1)`` probabilities or hard ±1
+    predictions, canonical columns ``(+1, −1)``), routed through the binary
+    convention's exact-negation specialization; 2-D input is the
+    multiclass probability matrix.
+    """
+    from repro.core.convention import BINARY
+
+    proxy = np.asarray(proxy)
+    if proxy.ndim == 1:
+        return BINARY.signed_agreement(proxy)
+    return signed_agreement(proxy)
+
+
 class LFUtility(ABC):
     """Vectorized Ψ over the primitive-LF family.
 
-    :meth:`scores` returns the utility of ``λ_{z,+1}`` for every primitive
-    ``z``; the utility of ``λ_{z,-1}`` follows from :meth:`negative_scores`
-    (for Eq. 3 it is the exact negation, but the ablations differ — the
-    no-correctness variant is label-symmetric).
+    :meth:`score_table` is the single cardinality-generic implementation;
+    :meth:`scores` / :meth:`negative_scores` adapt it to the input shape
+    (binary 1-D proxies keep their historical pair-of-vectors interface).
     """
 
     name: str = "abstract"
 
     @abstractmethod
-    def scores(self, B: sp.csr_matrix, entropies: np.ndarray, proxy_labels: np.ndarray) -> np.ndarray:
-        """Utility of ``λ_{z,+1}`` per primitive, shape ``(|Z|,)``."""
-
-    @abstractmethod
-    def negative_scores(
-        self, B: sp.csr_matrix, entropies: np.ndarray, proxy_labels: np.ndarray
+    def score_table(
+        self, B: sp.csr_matrix, entropies: np.ndarray, agreement: np.ndarray
     ) -> np.ndarray:
-        """Utility of ``λ_{z,-1}`` per primitive, shape ``(|Z|,)``."""
+        """Utility of ``λ_{z,k}`` per (primitive, label), shape ``(|Z|, K)``.
+
+        ``agreement`` is the ``(n, K)`` chance-centered correctness matrix
+        (see :func:`signed_agreement`).
+        """
+
+    def scores(self, B: sp.csr_matrix, entropies: np.ndarray, proxy: np.ndarray):
+        """Utilities in the shape of the proxy: ``(|Z|,)`` for a binary 1-D
+        proxy (the ``λ_{z,+1}`` column), ``(|Z|, K)`` for a probability
+        matrix."""
+        table = self.score_table(B, entropies, _agreement(proxy))
+        if np.asarray(proxy).ndim == 1:
+            return table[:, 0]
+        return table
+
+    def negative_scores(
+        self, B: sp.csr_matrix, entropies: np.ndarray, proxy: np.ndarray
+    ) -> np.ndarray:
+        """Utility of ``λ_{z,-1}`` per primitive (binary 1-D proxies)."""
+        return self.score_table(B, entropies, _agreement(proxy))[:, 1]
 
     def score_lf(
         self,
         lf,
         B: sp.csr_matrix,
         entropies: np.ndarray,
-        proxy_labels: np.ndarray,
+        proxy: np.ndarray,
     ) -> float:
         """Scalar Ψ(λ) for one LF (reference implementation for tests)."""
-        table = self.scores(B, entropies, proxy_labels) if lf.label == 1 else (
-            self.negative_scores(B, entropies, proxy_labels)
-        )
-        return float(table[lf.primitive_id])
+        table = self.score_table(B, entropies, _agreement(proxy))
+        if np.asarray(proxy).ndim == 1:
+            column = 0 if lf.label == 1 else 1
+        else:
+            column = int(lf.label)
+        return float(table[lf.primitive_id, column])
 
 
 class FullUtility(LFUtility):
-    """Eq. 3: informativeness (entropy) × correctness (ŷ agreement)."""
+    """Eq. 3: informativeness (entropy) × correctness (proxy agreement)."""
 
     name = "full"
 
-    def scores(self, B, entropies, proxy_labels):
-        signal = np.asarray(entropies, dtype=float) * signed_proxy(proxy_labels)
-        return np.asarray(B.T @ signal).ravel()
-
-    def negative_scores(self, B, entropies, proxy_labels):
-        return -self.scores(B, entropies, proxy_labels)
+    def score_table(self, B, entropies, agreement):
+        signal = np.asarray(entropies, dtype=float)[:, None] * agreement
+        return np.asarray(B.T @ signal)
 
 
 class NoInformativenessUtility(LFUtility):
-    """Table-7 ablation: Ψ(λ) = Σ_C λ(x_i)·ŷ_i (correctness only)."""
+    """Table-7 ablation: Ψ(λ) = Σ_C s_λ(x_i) (correctness only)."""
 
     name = "no-informativeness"
 
-    def scores(self, B, entropies, proxy_labels):
-        return np.asarray(B.T @ signed_proxy(proxy_labels)).ravel()
-
-    def negative_scores(self, B, entropies, proxy_labels):
-        return -self.scores(B, entropies, proxy_labels)
+    def score_table(self, B, entropies, agreement):
+        return np.asarray(B.T @ agreement)
 
 
 class NoCorrectnessUtility(LFUtility):
     """Table-7 ablation: Ψ(λ) = Σ_C ψ_uncertainty(x_i) (coverage of uncertainty).
 
-    Label-symmetric: both polarities of a primitive score identically.
+    Label-symmetric: every label column of a primitive scores identically.
     """
 
     name = "no-correctness"
 
-    def scores(self, B, entropies, proxy_labels):
-        return np.asarray(B.T @ np.asarray(entropies, dtype=float)).ravel()
-
-    def negative_scores(self, B, entropies, proxy_labels):
-        return self.scores(B, entropies, proxy_labels)
+    def score_table(self, B, entropies, agreement):
+        K = agreement.shape[1]
+        per_primitive = np.asarray(B.T @ np.asarray(entropies, dtype=float)).ravel()
+        return np.tile(per_primitive[:, None], (1, K))
 
 
 UTILITIES = {

@@ -11,6 +11,7 @@ from repro.interactive.basic_selectors import (
     AbstainSelector,
     DisagreeSelector,
     RandomSelector,
+    UncertaintySelector,
     make_basic_selector,
 )
 from repro.interactive.implyloss_session import ImplyLossSession
@@ -25,6 +26,7 @@ __all__ = [
     "RandomSelector",
     "AbstainSelector",
     "DisagreeSelector",
+    "UncertaintySelector",
     "BASIC_SELECTORS",
     "make_basic_selector",
     "UncertaintySampling",

@@ -1,76 +1,33 @@
-"""Baseline development-data selectors: Random, Abstain, Disagree.
+"""Baseline development-data selectors: Random, Abstain, Disagree, Uncertainty.
 
 * ``Random`` is the prevailing practice (Snorkel's implicit selector).
 * ``Abstain`` and ``Disagree`` are the adaptive heuristics of
   Cohen-Wang et al. [9]: pick the example on which the current LFs abstain
   the most / disagree the most.
+* ``Uncertainty`` reads the label model's posterior entropy.
+
+The implementations are cardinality-generic and live in
+:mod:`repro.core.selection` (they read all label-space specifics from the
+state's :class:`~repro.core.convention.VoteConvention`); this module
+re-exports them under their historical import path.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.core.selection import (
+    BASIC_SELECTORS,
+    AbstainSelector,
+    DisagreeSelector,
+    RandomSelector,
+    UncertaintySelector,
+    make_basic_selector,
+)
 
-from repro.core.selection import DevDataSelector, SessionState
-from repro.labelmodel.matrix import abstain_counts, conflict_counts
-
-
-class RandomSelector(DevDataSelector):
-    """Uniform sampling from the eligible unlabeled pool."""
-
-    name = "random"
-
-    def select(self, state: SessionState) -> int | None:
-        mask = state.candidate_mask()
-        if not mask.any():
-            return None
-        eligible = np.flatnonzero(mask)
-        return int(state.rng.choice(eligible))
-
-
-class AbstainSelector(DevDataSelector):
-    """Selects the example with the most abstaining LFs ([9])."""
-
-    name = "abstain"
-
-    def select(self, state: SessionState) -> int | None:
-        mask = state.candidate_mask()
-        if state.L_train.shape[1] == 0:
-            # No LFs yet: every example ties at zero votes; fall back to random.
-            return RandomSelector().select(state)
-        scores = abstain_counts(state.L_train).astype(float)
-        return self._argmax_with_ties(scores, mask, state.rng)
-
-
-class DisagreeSelector(DevDataSelector):
-    """Selects the example where the current LFs conflict the most ([9])."""
-
-    name = "disagree"
-
-    def select(self, state: SessionState) -> int | None:
-        mask = state.candidate_mask()
-        if state.L_train.shape[1] == 0:
-            return RandomSelector().select(state)
-        scores = conflict_counts(state.L_train).astype(float)
-        if scores.max() <= 0:
-            # No conflicts anywhere yet: disagreement is uninformative;
-            # degrade gracefully to random (matching [9]'s behaviour).
-            return RandomSelector().select(state)
-        return self._argmax_with_ties(scores, mask, state.rng)
-
-
-BASIC_SELECTORS = {
-    "random": RandomSelector,
-    "abstain": AbstainSelector,
-    "disagree": DisagreeSelector,
-}
-
-
-def make_basic_selector(name: str) -> DevDataSelector:
-    """Instantiate a baseline selector by registry name."""
-    try:
-        cls = BASIC_SELECTORS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown selector {name!r}; choose from {sorted(BASIC_SELECTORS)} or 'seu'"
-        ) from None
-    return cls()
+__all__ = [
+    "BASIC_SELECTORS",
+    "AbstainSelector",
+    "DisagreeSelector",
+    "RandomSelector",
+    "UncertaintySelector",
+    "make_basic_selector",
+]

@@ -10,16 +10,23 @@ sample is biased toward lexicon-consistent primitives (footnote 1).
 :class:`NoisyUser` adds per-participant imperfections for the user-study
 reproduction: occasional mislabeling of the development example, imperfect
 accuracy judgment, and variable lexicon adherence.
+
+The protocol is label-space agnostic, so both classes are written once
+against the :class:`~repro.core.convention.VoteConvention` contract and
+serve the binary *and* the K-class pipelines: the convention (inferred
+from the dataset) supplies the per-(primitive, label) ground-truth
+accuracy table and the mislabeling rule (sign flip for ±1 labels, uniform
+over the other classes for class ids).
+:mod:`repro.multiclass.simulated_user` re-exports them under their
+historical MC names.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.lf import PrimitiveLF
-from repro.core.selection import SessionState
+from repro.core.convention import convention_for
 from repro.core.session import LFDeveloper
-from repro.data.dataset import FeaturizedDataset
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_in_range
 
@@ -30,14 +37,17 @@ class SimulatedUser(LFDeveloper):
     Parameters
     ----------
     dataset:
-        The featurized dataset; the user reads ground-truth *train* labels
-        (that is the point of the oracle simulation).
+        The featurized dataset (binary or multiclass); the user reads
+        ground-truth *train* labels (that is the point of the oracle
+        simulation).
     accuracy_threshold:
         Candidate LFs with true accuracy below ``t`` are filtered out
         (``t = 0.5`` in the paper unless stated otherwise; Figure 8 sweeps
-        it).
+        it).  For K classes random guessing sits at ``1/K``, so pass e.g.
+        ``2.0 / n_classes`` to keep the same better-than-random spirit, or
+        leave the stricter 0.5.
     use_lexicon:
-        Prefer primitives whose lexicon polarity matches the example label,
+        Prefer primitives whose lexicon label matches the example label,
         when any such candidate survives the filter.
     min_coverage:
         Candidates covering fewer than this many train examples are
@@ -48,7 +58,7 @@ class SimulatedUser(LFDeveloper):
 
     def __init__(
         self,
-        dataset: FeaturizedDataset,
+        dataset,
         accuracy_threshold: float = 0.5,
         use_lexicon: bool = True,
         min_coverage: int = 2,
@@ -58,33 +68,30 @@ class SimulatedUser(LFDeveloper):
         if min_coverage < 1:
             raise ValueError(f"min_coverage must be >= 1, got {min_coverage}")
         self.dataset = dataset
+        self.convention = convention_for(dataset)
         self.accuracy_threshold = accuracy_threshold
         self.use_lexicon = use_lexicon
         self.min_coverage = min_coverage
         self.rng = ensure_rng(seed)
-        # Ground-truth per-primitive accuracy of λ_{z,+1}, computed once.
+        # Ground-truth per-(primitive, label) accuracy table, computed once.
         B = dataset.train.B
-        y = dataset.train.y
         self._coverage = np.asarray(B.sum(axis=0)).ravel()
-        pos = np.asarray(B.T @ (y == 1).astype(float)).ravel()
-        self._acc_pos = np.divide(
-            pos, self._coverage, out=np.full(len(pos), 0.5), where=self._coverage > 0
-        )
-        self._lexicon_polarity = self._build_lexicon_polarity()
+        self._acc = self.convention.true_accuracy_table(B, dataset.train.y)
+        self._lexicon_labels = self._build_lexicon_labels()
 
-    def _build_lexicon_polarity(self) -> dict[int, int]:
-        polarity: dict[int, int] = {}
+    def _build_lexicon_labels(self) -> dict[int, int]:
+        labels: dict[int, int] = {}
         for token, label in self.dataset.lexicon.items():
             try:
-                polarity[self.dataset.primitive_id(token)] = int(label)
+                labels[self.dataset.primitive_id(token)] = int(label)
             except KeyError:
                 continue  # lexicon word absent from the primitive domain
-        return polarity
+        return labels
 
     # ------------------------------------------------------------------ #
     # LFDeveloper interface
     # ------------------------------------------------------------------ #
-    def create_lf(self, dev_index: int, state: SessionState) -> PrimitiveLF | None:
+    def create_lf(self, dev_index: int, state):
         label = self._determine_label(dev_index)
         candidates = self._candidate_primitives(dev_index, label, state)
         if candidates.size == 0:
@@ -99,9 +106,7 @@ class SimulatedUser(LFDeveloper):
         """Step 1: the oracle reads the true label."""
         return int(self.dataset.train.y[dev_index])
 
-    def _candidate_primitives(
-        self, dev_index: int, label: int, state: SessionState
-    ) -> np.ndarray:
+    def _candidate_primitives(self, dev_index: int, label: int, state) -> np.ndarray:
         """Step 2: label-indicative, sufficiently-accurate, novel primitives."""
         primitives = state.family.primitives_in(dev_index)
         if primitives.size == 0:
@@ -121,9 +126,9 @@ class SimulatedUser(LFDeveloper):
 
     def _sample_primitive(self, candidates: np.ndarray, label: int) -> int:
         """Step 3: sample, preferring lexicon-consistent primitives."""
-        if self.use_lexicon and self._lexicon_polarity:
+        if self.use_lexicon and self._lexicon_labels:
             preferred = np.array(
-                [self._lexicon_polarity.get(int(pid)) == label for pid in candidates],
+                [self._lexicon_labels.get(int(pid)) == label for pid in candidates],
                 dtype=bool,
             )
             if preferred.any():
@@ -131,8 +136,7 @@ class SimulatedUser(LFDeveloper):
         return int(self.rng.choice(candidates))
 
     def _true_accuracy(self, primitive_ids: np.ndarray, label: int) -> np.ndarray:
-        acc_pos = self._acc_pos[primitive_ids]
-        return acc_pos if label == 1 else 1.0 - acc_pos
+        return self._acc[primitive_ids, self.convention.label_index(label)]
 
 
 class NoisyUser(SimulatedUser):
@@ -142,6 +146,8 @@ class NoisyUser(SimulatedUser):
     ----------
     mislabel_rate:
         Probability of misreading the development example's label (step 1).
+        A wrong binary reading flips the sign; a wrong K-class reading is
+        uniform over the other classes.
     judgment_noise:
         Standard deviation of Gaussian noise added to the user's *perceived*
         accuracy of each candidate LF before thresholding — imperfect
@@ -152,7 +158,7 @@ class NoisyUser(SimulatedUser):
 
     def __init__(
         self,
-        dataset: FeaturizedDataset,
+        dataset,
         accuracy_threshold: float = 0.5,
         mislabel_rate: float = 0.05,
         judgment_noise: float = 0.1,
@@ -178,7 +184,7 @@ class NoisyUser(SimulatedUser):
     def _determine_label(self, dev_index: int) -> int:
         true_label = super()._determine_label(dev_index)
         if self.rng.random() < self.mislabel_rate:
-            return -true_label
+            return self.convention.corrupt_label(true_label, self.rng)
         return true_label
 
     def _true_accuracy(self, primitive_ids: np.ndarray, label: int) -> np.ndarray:
@@ -197,7 +203,7 @@ class NoisyUser(SimulatedUser):
 
 
 def sample_user_cohort(
-    dataset: FeaturizedDataset,
+    dataset,
     n_users: int,
     seed=None,
     threshold_range: tuple[float, float] = (0.45, 0.7),

@@ -1,24 +1,19 @@
-"""Multiclass LF contextualizer (Eq. 4 with the multiclass abstain code).
+"""Multiclass LF contextualizer: thin adapters over the generic Eq. 4.
 
 Eq. 4 is label-space agnostic — refinement only moves votes to *abstain*
-outside each LF's radius — so this module is a thin re-targeting of
-:class:`repro.core.contextualizer.LFContextualizer` onto the multiclass
-vote encoding (``-1`` abstains instead of ``0``).  Radii and the
-percentile-tuning semantics are identical; the tuner scores the posterior
-argmax against validation labels.
+outside each LF's radius — so both classes simply bind the K-class
+:class:`~repro.core.convention.MulticlassVoteConvention` (``-1`` abstains,
+argmax hard labels, accuracy scoring) onto the generic implementations in
+:mod:`repro.core.contextualizer`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.lineage import LineageStore
-from repro.multiclass.matrix import MC_ABSTAIN, validate_mc_label_matrix
-from repro.text.distance import DISTANCE_NAMES
-from repro.utils.validation import check_in_range
+from repro.core.contextualizer import LFContextualizer, PercentileTuner
+from repro.core.convention import multiclass_convention
 
 
-class MCContextualizer:
+class MCContextualizer(LFContextualizer):
     """Radius-based refinement of multiclass LFs.
 
     Parameters
@@ -34,87 +29,20 @@ class MCContextualizer:
     def __init__(
         self, n_classes: int, metric: str = "cosine", percentile: float = 75.0
     ) -> None:
-        if n_classes < 2:
-            raise ValueError(f"n_classes must be >= 2, got {n_classes}")
-        if metric not in DISTANCE_NAMES:
-            raise ValueError(f"metric must be one of {DISTANCE_NAMES}, got {metric!r}")
-        check_in_range("percentile", percentile, 0.0, 100.0)
-        self.n_classes = n_classes
-        self.metric = metric
-        self.percentile = percentile
-
-    def radii(self, lineage: LineageStore, percentile: float | None = None) -> np.ndarray:
-        """Per-LF refinement radii ``r_j`` from train-split distances."""
-        p = self.percentile if percentile is None else percentile
-        check_in_range("percentile", p, 0.0, 100.0)
-        train_dists = lineage.distances("train", self.metric)
-        if train_dists.shape[1] == 0:
-            return np.zeros(0)
-        return np.percentile(train_dists, p, axis=0)
-
-    def refine(
-        self,
-        L: np.ndarray,
-        lineage: LineageStore,
-        split: str = "train",
-        percentile: float | None = None,
-    ) -> np.ndarray:
-        """Apply Eq. 4: abstain votes outside each LF's radius."""
-        L = validate_mc_label_matrix(L, self.n_classes)
-        if L.shape[1] != len(lineage):
-            raise ValueError(
-                f"label matrix has {L.shape[1]} columns but lineage has "
-                f"{len(lineage)} records"
-            )
-        if L.shape[1] == 0:
-            return L.copy()
-        radii = self.radii(lineage, percentile)
-        dists = lineage.distances(split, self.metric)
-        if dists.shape[0] != L.shape[0]:
-            raise ValueError(
-                f"distance rows ({dists.shape[0]}) do not match label matrix "
-                f"rows ({L.shape[0]})"
-            )
-        keep = dists <= radii[None, :]
-        return np.where(keep, L, MC_ABSTAIN).astype(np.int8)
+        convention = multiclass_convention(n_classes)
+        super().__init__(metric=metric, percentile=percentile, convention=convention)
+        self.n_classes = convention.n_classes
 
 
-class MCPercentileTuner:
+class MCPercentileTuner(PercentileTuner):
     """Validation tuning of the refinement percentile (multiclass).
 
-    For each candidate ``p``: refine the train votes, fit the label model,
-    refine the validation votes with the same radii, and score the
-    posterior argmax against validation ground truth.  Ties resolve toward
-    the largest percentile (least refinement), mirroring the binary tuner.
+    Scores the posterior argmax against validation accuracy; ties resolve
+    toward the largest percentile (least refinement), like the binary tuner.
     """
 
     def __init__(self, grid: tuple[float, ...] = (50.0, 75.0, 90.0)) -> None:
-        if not grid:
-            raise ValueError("grid must be non-empty")
-        for p in grid:
-            check_in_range("percentile", p, 0.0, 100.0)
-        self.grid = tuple(grid)
+        super().__init__(grid=grid, metric="accuracy")
 
-    def best_percentile(
-        self,
-        contextualizer: MCContextualizer,
-        L_train: np.ndarray,
-        L_valid: np.ndarray,
-        lineage: LineageStore,
-        label_model_factory,
-        y_valid: np.ndarray,
-    ) -> float:
-        """Return the grid percentile with the best validation accuracy."""
-        best_p = max(self.grid)
-        best_score = -np.inf
-        for p in sorted(self.grid, reverse=True):
-            refined_train = contextualizer.refine(L_train, lineage, "train", percentile=p)
-            model = label_model_factory()
-            model.fit(refined_train)
-            refined_valid = contextualizer.refine(L_valid, lineage, "valid", percentile=p)
-            preds = np.argmax(model.predict_proba(refined_valid), axis=1)
-            score = float((preds == np.asarray(y_valid)).mean())
-            if score > best_score:
-                best_score = score
-                best_p = p
-        return best_p
+
+__all__ = ["MCContextualizer", "MCPercentileTuner"]

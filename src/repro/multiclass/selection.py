@@ -1,173 +1,28 @@
-"""Multiclass development-data selection interface and session state.
+"""Multiclass selection: adapter re-exports of the cardinality-generic layer.
 
-Mirrors :mod:`repro.core.selection` with K-class posteriors: selectors see
-``(n, K)`` soft labels and proxy probabilities instead of the binary
-``P(y = +1)`` vectors.
+The session state and every baseline selector live in
+:mod:`repro.core.selection`, written once against the
+:class:`~repro.core.convention.VoteConvention` contract; this module binds
+their historical multiclass names.  ``MCSessionState`` reads the K-class
+convention (votes ``0..K-1``, ``-1`` abstains) from its LF family.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from repro.core.selection import (
+    AbstainSelector as MCAbstainSelector,
+    DevDataSelector as MCDevDataSelector,
+    DisagreeSelector as MCDisagreeSelector,
+    MulticlassSessionState as MCSessionState,
+    RandomSelector as MCRandomSelector,
+    UncertaintySelector as MCUncertaintySelector,
+)
 
-import numpy as np
-import scipy.sparse as sp
-
-from repro.multiclass.lf import MultiClassLF, MultiClassLFFamily
-from repro.multiclass.matrix import MC_ABSTAIN, mc_abstain_counts, mc_conflict_counts
-
-
-@dataclass
-class MCSessionState:
-    """Snapshot of a multiclass IDP session at selection time.
-
-    Attributes
-    ----------
-    dataset:
-        The multiclass featurized dataset
-        (:class:`repro.multiclass.data.MCFeaturizedDataset`).
-    family:
-        The multiclass primitive-LF family over the train split.
-    iteration:
-        Zero-based index of the upcoming interaction.
-    lfs:
-        LFs collected so far.
-    L_train:
-        ``(n_train, m)`` *unrefined* vote matrix of those LFs
-        (``-1`` = abstain).
-    soft_labels:
-        ``(n_train, K)`` current label-model posterior.
-    entropies:
-        ``(n_train,)`` posterior Shannon entropies (ψ of Eq. 3).
-    proxy_proba:
-        ``(n_train, K)`` end-model class probabilities — the graded
-        ground-truth proxy SEU consumes.
-    selected:
-        Train indices already shown to the user.
-    rng:
-        Shared random generator (tie-breaking, sampling).
-    cache:
-        Optional refit-scoped memo dict for selector aggregates (see the
-        binary :class:`~repro.core.selection.SessionState`); ``None``
-        disables caching.
-    """
-
-    dataset: "MCFeaturizedDataset"  # noqa: F821 — forward ref, avoids import cycle
-    family: MultiClassLFFamily
-    iteration: int
-    lfs: list[MultiClassLF]
-    L_train: np.ndarray
-    soft_labels: np.ndarray
-    entropies: np.ndarray
-    proxy_proba: np.ndarray
-    selected: set[int] = field(default_factory=set)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
-    cache: dict | None = None
-
-    @property
-    def B(self) -> sp.csr_matrix:
-        """Train-split primitive incidence matrix."""
-        return self.dataset.train.B
-
-    @property
-    def n_train(self) -> int:
-        return self.dataset.train.n
-
-    @property
-    def n_classes(self) -> int:
-        return self.family.n_classes
-
-    @property
-    def proxy_labels(self) -> np.ndarray:
-        """Hard class predictions derived from the graded proxy."""
-        return np.argmax(self.proxy_proba, axis=1).astype(int)
-
-    def candidate_mask(self) -> np.ndarray:
-        """Examples still eligible for selection (unseen, with primitives)."""
-        has_primitive = self.family.examples_with_primitives()
-        if has_primitive.shape[0] != self.n_train:  # family built on another split
-            has_primitive = np.asarray(self.B.sum(axis=1)).ravel() > 0
-        mask = has_primitive.copy()
-        if self.selected:
-            mask[list(self.selected)] = False
-        return mask
-
-
-class MCDevDataSelector(ABC):
-    """Strategy choosing the next development example (K-class)."""
-
-    name: str = "abstract"
-
-    @abstractmethod
-    def select(self, state: MCSessionState) -> int | None:
-        """Return the chosen train index, or ``None`` if nothing is eligible."""
-
-    @staticmethod
-    def _argmax_with_ties(
-        scores: np.ndarray, mask: np.ndarray, rng: np.random.Generator
-    ) -> int | None:
-        """Argmax over masked scores with uniform random tie-breaking."""
-        if not mask.any():
-            return None
-        masked = np.where(mask, scores, -np.inf)
-        best = masked.max()
-        if not np.isfinite(best):
-            eligible = np.flatnonzero(mask)
-            return int(rng.choice(eligible))
-        ties = np.flatnonzero(masked >= best - 1e-12)
-        return int(rng.choice(ties))
-
-
-class MCRandomSelector(MCDevDataSelector):
-    """Uniform random selection — the Snorkel-style baseline."""
-
-    name = "random"
-
-    def select(self, state: MCSessionState) -> int | None:
-        mask = state.candidate_mask()
-        if not mask.any():
-            return None
-        return int(state.rng.choice(np.flatnonzero(mask)))
-
-
-class MCAbstainSelector(MCDevDataSelector):
-    """Pick the example on which the current LFs abstain the most [9]."""
-
-    name = "abstain"
-
-    def select(self, state: MCSessionState) -> int | None:
-        mask = state.candidate_mask()
-        if state.L_train.shape[1] == 0:
-            return MCRandomSelector().select(state)
-        scores = mc_abstain_counts(state.L_train).astype(float)
-        return self._argmax_with_ties(scores, mask, state.rng)
-
-
-class MCDisagreeSelector(MCDevDataSelector):
-    """Pick the example on which the current LFs disagree the most [9]."""
-
-    name = "disagree"
-
-    def select(self, state: MCSessionState) -> int | None:
-        mask = state.candidate_mask()
-        if state.L_train.shape[1] == 0:
-            return MCRandomSelector().select(state)
-        scores = mc_conflict_counts(state.L_train, state.n_classes).astype(float)
-        return self._argmax_with_ties(scores, mask, state.rng)
-
-
-class MCUncertaintySelector(MCDevDataSelector):
-    """Pick the example with the highest label-model posterior entropy.
-
-    The multiclass analogue of classic uncertainty sampling, reading the
-    label model (not the end model) — useful as an intermediate baseline
-    between Abstain/Disagree and SEU.
-    """
-
-    name = "uncertainty"
-
-    def select(self, state: MCSessionState) -> int | None:
-        mask = state.candidate_mask()
-        if state.L_train.shape[1] == 0:
-            return MCRandomSelector().select(state)
-        return self._argmax_with_ties(np.asarray(state.entropies, float), mask, state.rng)
+__all__ = [
+    "MCAbstainSelector",
+    "MCDevDataSelector",
+    "MCDisagreeSelector",
+    "MCRandomSelector",
+    "MCSessionState",
+    "MCUncertaintySelector",
+]

@@ -4,41 +4,37 @@ A thin K-class adapter over the shared
 :class:`~repro.core.engine.IncrementalSessionEngine`: the select → develop
 → contextualize → learn loop, the append-only vote storage, the
 warm-started refits, and the selector-cache plumbing are all inherited;
-this module only supplies the multiclass vote convention, the Dawid–Skene
-default aggregator, the softmax end model, and the ``(n, K)`` proxy.
+this module only binds the K-class
+:class:`~repro.core.convention.VoteConvention` — which carries the
+``-1``-abstain vote alphabet, the Dawid–Skene default aggregator, and the
+softmax end model — and supplies the ``(n, K)`` proxy plumbing.
 Reuses the binary package's :class:`~repro.core.lineage.LineageStore`
 unchanged — lineage is about *where* an LF came from, not what it votes.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
 from collections.abc import Callable
 
 import numpy as np
 
+from repro.core.convention import multiclass_convention
 from repro.core.engine import IncrementalSessionEngine
+from repro.core.session import LFDeveloper
 from repro.endmodel.softmax import SoftLabelSoftmaxRegression
 from repro.multiclass.base import MultiClassLabelModel, posterior_entropy_mc
 from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
 from repro.multiclass.data import MCFeaturizedDataset
-from repro.multiclass.dawid_skene import MCDawidSkeneModel
-from repro.multiclass.lf import MultiClassLF, MultiClassLFFamily
-from repro.multiclass.matrix import MC_ABSTAIN, mc_coverage_mask
+from repro.multiclass.lf import MultiClassLFFamily
+from repro.multiclass.matrix import MC_ABSTAIN
 from repro.multiclass.selection import MCDevDataSelector, MCSessionState
 from repro.utils.rng import ensure_rng
 
-
-class MCLFDeveloper(ABC):
-    """The user in the loop: turns a development example into a K-class LF."""
-
-    @abstractmethod
-    def create_lf(self, dev_index: int, state: MCSessionState) -> MultiClassLF | None:
-        """Return a new LF developed from ``dev_index``, or ``None``.
-
-        ``None`` models a user unable to extract a (sufficiently accurate,
-        non-duplicate) heuristic; the iteration is still consumed.
-        """
+#: The user in the loop, turning a development example into a K-class LF.
+#: The contract is identical to the binary one (``create_lf(dev_index,
+#: state) -> LF | None``), so this is the same ABC — kept under its
+#: historical name for import and ``isinstance`` compatibility.
+MCLFDeveloper = LFDeveloper
 
 
 class MultiClassSession(IncrementalSessionEngine):
@@ -112,12 +108,11 @@ class MultiClassSession(IncrementalSessionEngine):
         self.dataset = dataset
         self.rng = ensure_rng(seed)
         K = dataset.n_classes
+        self.convention = multiclass_convention(K)
         if label_model_factory is None:
-            priors = dataset.class_priors
-
-            def label_model_factory() -> MultiClassLabelModel:
-                return MCDawidSkeneModel(n_classes=K, class_priors=priors)
-
+            label_model_factory = self.convention.default_label_model_factory(dataset)
+        if end_model is None:
+            end_model = self.convention.default_end_model(dataset)
         self.family = MultiClassLFFamily(dataset.primitive_names, dataset.train.B, K)
         n_train = dataset.train.n
         self.soft_labels = np.tile(dataset.class_priors, (n_train, 1))
@@ -127,9 +122,7 @@ class MultiClassSession(IncrementalSessionEngine):
             selector=selector,
             user=user,
             label_model_factory=label_model_factory,
-            end_model=(
-                end_model if end_model is not None else SoftLabelSoftmaxRegression(n_classes=K)
-            ),
+            end_model=end_model,
             contextualizer=contextualizer,
             percentile_tuner=percentile_tuner,
             tune_every=tune_every,
@@ -167,12 +160,6 @@ class MultiClassSession(IncrementalSessionEngine):
             rng=self.rng,
             cache=self._selector_cache,
         )
-
-    def _entropy(self, soft_labels: np.ndarray) -> np.ndarray:
-        return posterior_entropy_mc(soft_labels)
-
-    def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
-        return mc_coverage_mask(L)
 
     def _update_proxy(self) -> None:
         self.proxy_proba = self.end_model.predict_proba(self.dataset.train.X)

@@ -1,128 +1,16 @@
-"""Multiclass Select-by-Expected-Utility (Eq. 1 generalized to K classes).
+"""Multiclass SEU: adapter re-export of the cardinality-generic selector.
 
-The expectation decomposes per class exactly as in the binary package:
-
-    E[Ψ | x] = Σ_k P(k) · Σ_{z ∈ x} w_k(z)·Ψ(λ_{z,k}) / Σ_{z ∈ x} w_k(z)
-
-with pick weights ``w_k`` from the multiclass user model and utilities from
-the multiclass Ψ — one pair of sparse mat-vecs per class.
+Eq. 1's expectation decomposes per class exactly as in the binary package
+— one pair of sparse mat-vecs per label column — so
+:class:`~repro.core.seu.SEUSelector` runs both cardinalities unchanged;
+it reads the label alphabet, accuracy table, and prior vector from the
+session state's :class:`~repro.core.convention.VoteConvention`.  The
+``min_classes`` cold-start knob (how many distinct LF classes must exist
+before SEU trusts the end-model proxy) is part of the generic selector.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.core.seu import SEUSelector as MCSEUSelector
 
-from repro.multiclass.selection import MCDevDataSelector, MCSessionState
-from repro.multiclass.user_model import MCUserModel, make_mc_user_model
-from repro.multiclass.utility import MCLFUtility, make_mc_utility
-
-
-class MCSEUSelector(MCDevDataSelector):
-    """The Nemo selector, K-class edition.
-
-    Parameters
-    ----------
-    user_model:
-        An :class:`~repro.multiclass.user_model.MCUserModel` instance or
-        registry name (``"accuracy"``, ``"uniform"``, ``"thresholded"``).
-    utility:
-        An :class:`~repro.multiclass.utility.MCLFUtility` instance or
-        registry name (``"full"`` plus the two ablations).
-    warmup:
-        Select uniformly at random until at least this many LFs exist *and*
-        at least two distinct classes are represented — the same cold-start
-        treatment as the binary selector (expected utilities are meaningless
-        before the end model carries signal).
-    min_classes:
-        How many distinct LF classes must be present before leaving the
-        cold-start phase.  Two suffices to break the one-sided degeneracy;
-        raising it toward ``K`` delays SEU until broader class coverage.
-    """
-
-    name = "seu"
-
-    def __init__(
-        self,
-        user_model: MCUserModel | str = "accuracy",
-        utility: MCLFUtility | str = "full",
-        warmup: int = 3,
-        min_classes: int = 2,
-    ) -> None:
-        self.user_model = (
-            make_mc_user_model(user_model) if isinstance(user_model, str) else user_model
-        )
-        self.utility = make_mc_utility(utility) if isinstance(utility, str) else utility
-        if warmup < 0:
-            raise ValueError(f"warmup must be >= 0, got {warmup}")
-        if min_classes < 1:
-            raise ValueError(f"min_classes must be >= 1, got {min_classes}")
-        self.warmup = warmup
-        self.min_classes = min_classes
-
-    def select(self, state: MCSessionState) -> int | None:
-        mask = state.candidate_mask()
-        if not mask.any():
-            return None
-        if self._in_cold_start(state):
-            return int(state.rng.choice(np.flatnonzero(mask)))
-        scores = self.expected_utilities(state)
-        return self._argmax_with_ties(scores, mask, state.rng)
-
-    def _in_cold_start(self, state: MCSessionState) -> bool:
-        if len(state.lfs) < self.warmup:
-            return True
-        classes = {lf.label for lf in state.lfs}
-        return len(classes) < min(self.min_classes, state.n_classes)
-
-    # ------------------------------------------------------------------ #
-    # scoring
-    # ------------------------------------------------------------------ #
-    def expected_utilities(self, state: MCSessionState) -> np.ndarray:
-        """``E_{P(λ|x)}[Ψ_t(λ)]`` for every train example, shape ``(n,)``.
-
-        Memoized in the refit-scoped ``state.cache`` when one is provided —
-        see the binary selector: every input changes only on refit.
-        """
-        cache = getattr(state, "cache", None)
-        cache_key = ("seu_expected", self.user_model.name, self.utility.name)
-        if cache is not None and cache_key in cache:
-            return cache[cache_key]
-        B = state.B
-        acc = state.family.empirical_class_mass(state.proxy_proba)  # (|Z|, K)
-        weights = self.user_model.pick_weights(acc)  # (|Z|, K)
-        utils = self.utility.scores(B, state.entropies, state.proxy_proba)  # (|Z|, K)
-        priors = state.dataset.class_priors
-        expected = np.zeros(state.n_train)
-        for k in range(state.n_classes):
-            numerator = np.asarray(B @ (weights[:, k] * utils[:, k])).ravel()
-            denominator = np.asarray(B @ weights[:, k]).ravel()
-            contribution = np.divide(
-                numerator,
-                denominator,
-                out=np.zeros_like(numerator),
-                where=denominator > 1e-12,
-            )
-            expected += priors[k] * contribution
-        if cache is not None:
-            cache[cache_key] = expected
-        return expected
-
-    def expected_utility_of(self, example_index: int, state: MCSessionState) -> float:
-        """Scalar expected utility of one example (reference path for tests)."""
-        family = state.family
-        primitives = family.primitives_in(example_index)
-        if primitives.size == 0:
-            return 0.0
-        acc = family.empirical_class_mass(state.proxy_proba)
-        total = 0.0
-        for label in range(state.n_classes):
-            for pid in primitives:
-                lf = family.make(int(pid), label)
-                prob = self.user_model.probability(
-                    lf, example_index, family, acc, state.dataset.class_priors
-                )
-                if prob > 0:
-                    total += prob * self.utility.score_lf(
-                        lf, state.B, state.entropies, state.proxy_proba
-                    )
-        return total
+__all__ = ["MCSEUSelector"]

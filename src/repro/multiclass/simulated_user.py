@@ -1,194 +1,17 @@
-"""Simulated users for multiclass LF development.
+"""Multiclass simulated users: adapter re-exports of the generic oracle.
 
-The oracle protocol of Sec. 5.1 carries over unchanged: given a selected
-example, enumerate the candidate LFs ``{λ_{z,y_i} | z ∈ x_i}`` using the
-ground-truth class ``y_i``, filter out LFs whose (ground-truth) accuracy is
-below a threshold ``t``, and sample one of the survivors — preferring
-lexicon-consistent primitives when an external lexicon exists.
+The Sec. 5.1 protocol carries over unchanged to K classes; the generic
+:class:`~repro.interactive.simulated_user.SimulatedUser` infers the
+K-class convention from the dataset (``convention_for``), which supplies
+the ``(|Z|, K)`` ground-truth accuracy table and the uniform-over-other-
+classes mislabeling rule.  This module binds the historical MC names.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.interactive.simulated_user import (
+    NoisyUser as MCNoisyUser,
+    SimulatedUser as MCSimulatedUser,
+)
 
-from repro.multiclass.data import MCFeaturizedDataset
-from repro.multiclass.lf import MultiClassLF
-from repro.multiclass.selection import MCSessionState
-from repro.multiclass.session import MCLFDeveloper
-from repro.utils.rng import ensure_rng
-from repro.utils.validation import check_in_range
-
-
-class MCSimulatedUser(MCLFDeveloper):
-    """Oracle K-class user with an accuracy threshold.
-
-    Parameters
-    ----------
-    dataset:
-        The multiclass featurized dataset; the oracle reads ground-truth
-        *train* labels.
-    accuracy_threshold:
-        Candidate LFs with true accuracy below ``t`` are filtered out.  The
-        paper's binary default is 0.5 ("better than random"); for K classes
-        random is ``1/K``, so pass e.g. ``2.0 / n_classes`` to keep the
-        same better-than-random spirit, or leave the stricter 0.5.
-    use_lexicon:
-        Prefer primitives whose lexicon class matches the example label,
-        when any such candidate survives the filter.
-    min_coverage:
-        Candidates covering fewer than this many train examples are dropped.
-    seed:
-        Private randomness for the sampling step.
-    """
-
-    def __init__(
-        self,
-        dataset: MCFeaturizedDataset,
-        accuracy_threshold: float = 0.5,
-        use_lexicon: bool = True,
-        min_coverage: int = 2,
-        seed=None,
-    ) -> None:
-        check_in_range("accuracy_threshold", accuracy_threshold, 0.0, 1.0)
-        if min_coverage < 1:
-            raise ValueError(f"min_coverage must be >= 1, got {min_coverage}")
-        self.dataset = dataset
-        self.accuracy_threshold = accuracy_threshold
-        self.use_lexicon = use_lexicon
-        self.min_coverage = min_coverage
-        self.rng = ensure_rng(seed)
-        # Ground-truth per-(primitive, class) accuracy table, computed once.
-        B = dataset.train.B
-        y = dataset.train.y
-        K = dataset.n_classes
-        self._coverage = np.asarray(B.sum(axis=0)).ravel()
-        onehot = np.zeros((len(y), K))
-        onehot[np.arange(len(y)), y] = 1.0
-        mass = np.asarray(B.T @ onehot)  # (|Z|, K)
-        uniform = np.full_like(mass, 1.0 / K)
-        self._acc = np.divide(
-            mass, self._coverage[:, None], out=uniform, where=self._coverage[:, None] > 0
-        )
-        self._lexicon_class = self._build_lexicon_classes()
-
-    def _build_lexicon_classes(self) -> dict[int, int]:
-        classes: dict[int, int] = {}
-        for token, label in self.dataset.lexicon.items():
-            try:
-                classes[self.dataset.primitive_id(token)] = int(label)
-            except KeyError:
-                continue  # lexicon word absent from the primitive domain
-        return classes
-
-    # ------------------------------------------------------------------ #
-    # MCLFDeveloper interface
-    # ------------------------------------------------------------------ #
-    def create_lf(self, dev_index: int, state: MCSessionState) -> MultiClassLF | None:
-        label = self._determine_label(dev_index)
-        candidates = self._candidate_primitives(dev_index, label, state)
-        if candidates.size == 0:
-            return None
-        chosen = self._sample_primitive(candidates, label)
-        return state.family.make(int(chosen), int(label))
-
-    # ------------------------------------------------------------------ #
-    # the three user steps (Sec. 4.1)
-    # ------------------------------------------------------------------ #
-    def _determine_label(self, dev_index: int) -> int:
-        """Step 1: the oracle reads the true class."""
-        return int(self.dataset.train.y[dev_index])
-
-    def _candidate_primitives(
-        self, dev_index: int, label: int, state: MCSessionState
-    ) -> np.ndarray:
-        """Step 2: class-indicative, sufficiently-accurate, novel primitives."""
-        primitives = state.family.primitives_in(dev_index)
-        if primitives.size == 0:
-            return primitives
-        acc = self._true_accuracy(primitives, label)
-        keep = (acc >= self.accuracy_threshold) & (
-            self._coverage[primitives] >= self.min_coverage
-        )
-        candidates = primitives[keep]
-        existing = {(lf.primitive_id, lf.label) for lf in state.lfs}
-        if existing:
-            novel = np.array(
-                [(pid, label) not in existing for pid in candidates], dtype=bool
-            )
-            candidates = candidates[novel]
-        return candidates
-
-    def _sample_primitive(self, candidates: np.ndarray, label: int) -> int:
-        """Step 3: sample, preferring lexicon-consistent primitives."""
-        if self.use_lexicon and self._lexicon_class:
-            preferred = np.array(
-                [self._lexicon_class.get(int(pid)) == label for pid in candidates],
-                dtype=bool,
-            )
-            if preferred.any():
-                candidates = candidates[preferred]
-        return int(self.rng.choice(candidates))
-
-    def _true_accuracy(self, primitive_ids: np.ndarray, label: int) -> np.ndarray:
-        return self._acc[primitive_ids, label]
-
-
-class MCNoisyUser(MCSimulatedUser):
-    """A noisy K-class participant (user-study-style imperfections).
-
-    Parameters
-    ----------
-    mislabel_rate:
-        Probability of misreading the development example's class; a wrong
-        reading is uniform over the other classes.
-    judgment_noise:
-        Std of Gaussian noise on the perceived candidate accuracies.
-    lexicon_adherence:
-        Probability the participant consults the lexicon at all.
-    """
-
-    def __init__(
-        self,
-        dataset: MCFeaturizedDataset,
-        accuracy_threshold: float = 0.5,
-        mislabel_rate: float = 0.05,
-        judgment_noise: float = 0.1,
-        lexicon_adherence: float = 0.8,
-        min_coverage: int = 2,
-        seed=None,
-    ) -> None:
-        super().__init__(
-            dataset,
-            accuracy_threshold=accuracy_threshold,
-            use_lexicon=True,
-            min_coverage=min_coverage,
-            seed=seed,
-        )
-        check_in_range("mislabel_rate", mislabel_rate, 0.0, 1.0)
-        check_in_range("lexicon_adherence", lexicon_adherence, 0.0, 1.0)
-        if judgment_noise < 0:
-            raise ValueError(f"judgment_noise must be >= 0, got {judgment_noise}")
-        self.mislabel_rate = mislabel_rate
-        self.judgment_noise = judgment_noise
-        self.lexicon_adherence = lexicon_adherence
-
-    def _determine_label(self, dev_index: int) -> int:
-        true_label = super()._determine_label(dev_index)
-        if self.rng.random() < self.mislabel_rate:
-            others = [k for k in range(self.dataset.n_classes) if k != true_label]
-            return int(self.rng.choice(others))
-        return true_label
-
-    def _true_accuracy(self, primitive_ids: np.ndarray, label: int) -> np.ndarray:
-        exact = super()._true_accuracy(primitive_ids, label)
-        noise = self.judgment_noise * self.rng.standard_normal(len(primitive_ids))
-        return np.clip(exact + noise, 0.0, 1.0)
-
-    def _sample_primitive(self, candidates: np.ndarray, label: int) -> int:
-        consult = self.rng.random() < self.lexicon_adherence
-        original = self.use_lexicon
-        self.use_lexicon = consult
-        try:
-            return super()._sample_primitive(candidates, label)
-        finally:
-            self.use_lexicon = original
+__all__ = ["MCNoisyUser", "MCSimulatedUser"]

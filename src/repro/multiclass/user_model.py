@@ -1,95 +1,20 @@
-"""Multiclass user models: P(λ_{z,k} | x) for K-class LF development.
+"""Multiclass user models: adapter re-exports of the generic implementations.
 
-The chain-rule decomposition of Eq. 2 carries over directly: the user first
-determines the class ``k`` of the development example (modeled by the class
-prior ``P(y = k)``), then picks a ``k``-indicative primitive contained in it
-with probability proportional to the estimated accuracy of ``λ_{z,k}``:
-
-    P(λ_{z,k} | x) = P(k) · acc(λ_{z,k}) / Σ_{z' in x} acc(λ_{z',k})
-
-The accuracy table is the ``(|Z|, K)`` class-mass matrix from
-:meth:`repro.multiclass.lf.MultiClassLFFamily.empirical_class_mass`.
+The chain-rule decomposition of Eq. 2 carries over directly to K classes —
+``P(λ_{z,k} | x) = P(k) · acc(λ_{z,k}) / Σ_{z' in x} acc(λ_{z',k})`` — so
+the models in :mod:`repro.core.user_model` operate on ``(|Z|, K)`` accuracy
+tables natively (the binary pipeline feeds them the same tables with
+columns ``(+1, −1)``).  This module binds their historical MC names.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-
-import numpy as np
-
-from repro.multiclass.lf import MultiClassLF, MultiClassLFFamily
-
-
-class MCUserModel(ABC):
-    """Assigns pick weights to candidate LFs; SEU normalizes per example.
-
-    The vectorized interface maps the ``(|Z|, K)`` accuracy table to a
-    ``(|Z|, K)`` weight table; only per-example ratios within a class
-    column matter (Eq. 2's denominator).
-    """
-
-    name: str = "abstract"
-
-    @abstractmethod
-    def pick_weights(self, acc: np.ndarray) -> np.ndarray:
-        """Return ``(|Z|, K)`` pick weights from the accuracy table."""
-
-    def probability(
-        self,
-        lf: MultiClassLF,
-        example_index: int,
-        family: MultiClassLFFamily,
-        acc: np.ndarray,
-        class_priors: np.ndarray,
-    ) -> float:
-        """Exact ``P(λ | x)`` for one LF and example (reference for tests)."""
-        primitives = family.primitives_in(example_index)
-        if lf.primitive_id not in primitives:
-            return 0.0
-        weights = self.pick_weights(acc)[:, lf.label]
-        denom = float(weights[primitives].sum())
-        if denom <= 0:
-            return 0.0
-        return float(class_priors[lf.label]) * float(weights[lf.primitive_id]) / denom
-
-
-class MCAccuracyWeightedUserModel(MCUserModel):
-    """Eq. 2 generalized: pick probability ∝ estimated LF accuracy."""
-
-    name = "accuracy"
-
-    def pick_weights(self, acc: np.ndarray) -> np.ndarray:
-        return np.asarray(acc, dtype=float).copy()
-
-
-class MCUniformUserModel(MCUserModel):
-    """Table-6-style ablation: all candidate primitives equally likely."""
-
-    name = "uniform"
-
-    def pick_weights(self, acc: np.ndarray) -> np.ndarray:
-        return np.ones_like(np.asarray(acc, dtype=float))
-
-
-class MCThresholdedUserModel(MCUserModel):
-    """Eq. 6 generalized: zero out worse-than-chance LFs.
-
-    Binary "worse than random" (acc ≤ 0.5) becomes ``acc ≤ 1/K`` — an LF
-    whose vote is no better than a uniform guess carries no pick weight.
-    """
-
-    name = "thresholded"
-
-    def __init__(self, threshold: float | None = None) -> None:
-        if threshold is not None and not 0.0 <= threshold < 1.0:
-            raise ValueError(f"threshold must be in [0, 1), got {threshold}")
-        self.threshold = threshold
-
-    def pick_weights(self, acc: np.ndarray) -> np.ndarray:
-        acc = np.asarray(acc, dtype=float)
-        threshold = self.threshold if self.threshold is not None else 1.0 / acc.shape[1]
-        return np.where(acc > threshold, acc, 0.0)
-
+from repro.core.user_model import (
+    AccuracyWeightedUserModel as MCAccuracyWeightedUserModel,
+    ThresholdedUserModel as MCThresholdedUserModel,
+    UniformUserModel as MCUniformUserModel,
+    UserModel as MCUserModel,
+)
 
 MC_USER_MODELS = {
     "accuracy": MCAccuracyWeightedUserModel,
@@ -107,3 +32,13 @@ def make_mc_user_model(name: str, **kwargs) -> MCUserModel:
             f"unknown user model {name!r}; choose from {sorted(MC_USER_MODELS)}"
         ) from None
     return cls(**kwargs)
+
+
+__all__ = [
+    "MCAccuracyWeightedUserModel",
+    "MCThresholdedUserModel",
+    "MCUniformUserModel",
+    "MCUserModel",
+    "MC_USER_MODELS",
+    "make_mc_user_model",
+]

@@ -1,113 +1,20 @@
-"""Multiclass LF utility functions Ψ_t (Eq. 3 generalized to K classes).
+"""Multiclass LF utilities: adapter re-exports of the generic implementations.
 
-The binary correctness factor ``λ(x_i)·ŷ_i ∈ {−1, +1}`` has expected value
-``2p − 1`` under a soft proxy — crucially, *zero at chance* (p = 0.5), so
-an uninformative end model contributes no selection pressure.  The naive
-K-class analogue ``2·P(y = k) − 1`` loses that property: at the uniform
-proxy it equals ``2/K − 1 < 0``, every candidate LF looks "probably
-wrong", and SEU's ranking inverts — it *avoids* the high-entropy regions
-it should seek (observed empirically: SEU scored below random selection on
-the 4-topic benchmark with this variant).  We therefore use the
-chance-centered agreement
-
-    s_k(x_i) = (K·P(y_i = k) − 1) / (K − 1)
-
-which is +1 at certainty-correct, 0 at chance, and recovers ``2p − 1``
-exactly for K = 2.  The utility of every ``λ_{z,k}`` then reduces to one
-sparse mat-vec per class:
-
-    Ψ(λ_{z,k}) = (Bᵀ (ψ ⊙ s_k))_z
-
-with ψ the label model's posterior entropy.  The two Table-7-style
-ablations drop one factor each, exactly as in the binary package.
+Eq. 3's chance-centered K-class generalization lives in
+:mod:`repro.core.utility` (see :func:`repro.core.utility.signed_agreement`
+for the correctness rescaling and why it must vanish at a uniform proxy);
+this module binds the historical MC names.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-
-import numpy as np
-import scipy.sparse as sp
-
-
-def signed_agreement(proxy_proba: np.ndarray) -> np.ndarray:
-    """Map ``(n, K)`` class probabilities to chance-centered agreement values.
-
-    ``out[i, k] = (K·P(y_i = k) − 1) / (K − 1)`` — the Eq. 3 correctness
-    term rescaled so that a chance-level proxy contributes zero (see the
-    module docstring); identical to ``2p − 1`` when K = 2.
-    """
-    P = np.asarray(proxy_proba, dtype=float)
-    if P.ndim != 2:
-        raise ValueError(f"proxy_proba must be 2-D (n, K), got shape {P.shape}")
-    if np.any(P < -1e-9) or np.any(P > 1 + 1e-9):
-        raise ValueError("proxy_proba entries must lie in [0, 1]")
-    K = P.shape[1]
-    if K < 2:
-        raise ValueError(f"proxy_proba must have at least 2 class columns, got {K}")
-    return (K * P - 1.0) / (K - 1.0)
-
-
-class MCLFUtility(ABC):
-    """Vectorized Ψ over the multiclass primitive-LF family.
-
-    :meth:`scores` returns the ``(|Z|, K)`` utility table: column ``k``
-    holds ``Ψ(λ_{z,k})`` for every primitive ``z``.
-    """
-
-    name: str = "abstract"
-
-    @abstractmethod
-    def scores(
-        self, B: sp.csr_matrix, entropies: np.ndarray, proxy_proba: np.ndarray
-    ) -> np.ndarray:
-        """Utility of ``λ_{z,k}`` per (primitive, class), shape ``(|Z|, K)``."""
-
-    def score_lf(
-        self,
-        lf,
-        B: sp.csr_matrix,
-        entropies: np.ndarray,
-        proxy_proba: np.ndarray,
-    ) -> float:
-        """Scalar Ψ(λ) for one LF (reference implementation for tests)."""
-        table = self.scores(B, entropies, proxy_proba)
-        return float(table[lf.primitive_id, lf.label])
-
-
-class MCFullUtility(MCLFUtility):
-    """Eq. 3 generalized: informativeness (entropy) × correctness."""
-
-    name = "full"
-
-    def scores(self, B, entropies, proxy_proba):
-        agreement = signed_agreement(proxy_proba)  # (n, K)
-        signal = np.asarray(entropies, dtype=float)[:, None] * agreement
-        return np.asarray(B.T @ signal)
-
-
-class MCNoInformativenessUtility(MCLFUtility):
-    """Ablation: Ψ(λ_{z,k}) = Σ_C (2·P(y_i = k) − 1) (correctness only)."""
-
-    name = "no-informativeness"
-
-    def scores(self, B, entropies, proxy_proba):
-        return np.asarray(B.T @ signed_agreement(proxy_proba))
-
-
-class MCNoCorrectnessUtility(MCLFUtility):
-    """Ablation: Ψ(λ_{z,k}) = Σ_C ψ(x_i) (coverage of uncertainty).
-
-    Class-symmetric: every class column of a primitive scores identically.
-    """
-
-    name = "no-correctness"
-
-    def scores(self, B, entropies, proxy_proba):
-        K = np.asarray(proxy_proba).shape[1]
-        per_primitive = np.asarray(B.T @ np.asarray(entropies, dtype=float)).ravel()
-        return np.tile(per_primitive[:, None], (1, K))
-
+from repro.core.utility import (
+    FullUtility as MCFullUtility,
+    LFUtility as MCLFUtility,
+    NoCorrectnessUtility as MCNoCorrectnessUtility,
+    NoInformativenessUtility as MCNoInformativenessUtility,
+    signed_agreement,
+)
 
 MC_UTILITIES = {
     "full": MCFullUtility,
@@ -125,3 +32,14 @@ def make_mc_utility(name: str) -> MCLFUtility:
             f"unknown utility {name!r}; choose from {sorted(MC_UTILITIES)}"
         ) from None
     return cls()
+
+
+__all__ = [
+    "MCFullUtility",
+    "MCLFUtility",
+    "MCNoCorrectnessUtility",
+    "MCNoInformativenessUtility",
+    "MC_UTILITIES",
+    "make_mc_utility",
+    "signed_agreement",
+]

@@ -1,0 +1,183 @@
+"""Seeded-transcript golden tests: unified code vs the pre-refactor mirrors.
+
+The fixtures in ``tests/golden/*.json`` were captured from the
+pre-unification binary and multiclass implementations (see
+``tools/gen_golden_parity.py``).  These tests replay the exact same seeded
+configurations through the cardinality-generic contextualizer / simulated
+users / selectors / SEU and assert the transcripts match bit-for-bit on
+the discrete record (selected dev indices, developed LFs, the tuned
+percentile) and to float tolerance on the posteriors.
+
+A mismatch here means the refactor changed behaviour — either fix the
+regression or, for an *intentional* change, regenerate the fixtures with
+the generator script and document the reconciliation in CHANGES.md.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def load_golden(name):
+    return json.loads((GOLDEN_DIR / name).read_text())
+
+
+class RecordingSelector:
+    def __init__(self, inner):
+        self.inner = inner
+        self.choices = []
+        self.name = getattr(inner, "name", "recording")
+
+    def select(self, state):
+        idx = self.inner.select(state)
+        self.choices.append(-1 if idx is None else int(idx))
+        return idx
+
+
+def assert_matches(session, rec, expected):
+    assert rec.choices == expected["selected"]
+    assert [[int(lf.primitive_id), int(lf.label)] for lf in session.lfs] == expected["lfs"]
+    assert session.active_percentile_ == expected["active_percentile"]
+    assert session.test_score() == pytest.approx(expected["test_score"], abs=1e-9)
+    np.testing.assert_allclose(
+        session.soft_labels.ravel(),
+        np.asarray(expected["soft_labels"]),
+        atol=1e-6,
+    )
+
+
+@pytest.fixture(scope="module")
+def binary_dataset():
+    from repro.data import load_dataset
+
+    return load_dataset("amazon", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="module")
+def mc_dataset():
+    from repro.multiclass import make_topics_dataset
+
+    return make_topics_dataset(n_docs=500, seed=0, vocab_scale=6)
+
+
+class TestBinaryGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("binary_session.json")
+
+    def test_nemo_transcript(self, binary_dataset, golden):
+        from repro.core.contextualizer import LFContextualizer, PercentileTuner
+        from repro.core.session import DataProgrammingSession
+        from repro.core.seu import SEUSelector
+        from repro.interactive.simulated_user import SimulatedUser
+
+        rec = RecordingSelector(SEUSelector())
+        session = DataProgrammingSession(
+            binary_dataset,
+            rec,
+            SimulatedUser(binary_dataset, seed=1),
+            contextualizer=LFContextualizer(),
+            percentile_tuner=PercentileTuner(metric=binary_dataset.metric),
+            seed=0,
+        )
+        session.run(12)
+        assert_matches(session, rec, golden["nemo"])
+
+    @pytest.mark.parametrize("name", ["random", "abstain", "disagree"])
+    def test_basic_selector_transcripts(self, binary_dataset, golden, name):
+        from repro.core.session import DataProgrammingSession
+        from repro.interactive.basic_selectors import make_basic_selector
+        from repro.interactive.simulated_user import SimulatedUser
+
+        rec = RecordingSelector(make_basic_selector(name))
+        session = DataProgrammingSession(
+            binary_dataset, rec, SimulatedUser(binary_dataset, seed=2), seed=3
+        )
+        session.run(8)
+        assert_matches(session, rec, golden[name])
+
+    def test_noisy_user_transcript(self, binary_dataset, golden):
+        from repro.core.session import DataProgrammingSession
+        from repro.core.seu import SEUSelector
+        from repro.interactive.simulated_user import NoisyUser
+
+        rec = RecordingSelector(
+            SEUSelector(user_model="thresholded", utility="no-correctness")
+        )
+        session = DataProgrammingSession(
+            binary_dataset,
+            rec,
+            NoisyUser(binary_dataset, mislabel_rate=0.3, judgment_noise=0.2, seed=4),
+            seed=5,
+        )
+        session.run(10)
+        assert_matches(session, rec, golden["noisy"])
+
+
+class TestMulticlassGolden:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load_golden("multiclass_session.json")
+
+    def test_nemo_transcript(self, mc_dataset, golden):
+        from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+        from repro.multiclass.session import MultiClassSession
+        from repro.multiclass.seu import MCSEUSelector
+        from repro.multiclass.simulated_user import MCSimulatedUser
+
+        rec = RecordingSelector(MCSEUSelector())
+        session = MultiClassSession(
+            mc_dataset,
+            rec,
+            MCSimulatedUser(mc_dataset, seed=1),
+            contextualizer=MCContextualizer(n_classes=mc_dataset.n_classes),
+            percentile_tuner=MCPercentileTuner(),
+            seed=0,
+        )
+        session.run(12)
+        assert_matches(session, rec, golden["nemo"])
+
+    @pytest.mark.parametrize("name", ["random", "abstain", "disagree", "uncertainty"])
+    def test_basic_selector_transcripts(self, mc_dataset, golden, name):
+        from repro.multiclass.selection import (
+            MCAbstainSelector,
+            MCDisagreeSelector,
+            MCRandomSelector,
+            MCUncertaintySelector,
+        )
+        from repro.multiclass.session import MultiClassSession
+        from repro.multiclass.simulated_user import MCSimulatedUser
+
+        cls = {
+            "random": MCRandomSelector,
+            "abstain": MCAbstainSelector,
+            "disagree": MCDisagreeSelector,
+            "uncertainty": MCUncertaintySelector,
+        }[name]
+        rec = RecordingSelector(cls())
+        session = MultiClassSession(
+            mc_dataset, rec, MCSimulatedUser(mc_dataset, seed=2), seed=3
+        )
+        session.run(8)
+        assert_matches(session, rec, golden[name])
+
+    def test_noisy_user_transcript(self, mc_dataset, golden):
+        from repro.multiclass.session import MultiClassSession
+        from repro.multiclass.seu import MCSEUSelector
+        from repro.multiclass.simulated_user import MCNoisyUser
+
+        rec = RecordingSelector(
+            MCSEUSelector(user_model="thresholded", utility="no-correctness")
+        )
+        session = MultiClassSession(
+            mc_dataset,
+            rec,
+            MCNoisyUser(mc_dataset, mislabel_rate=0.3, judgment_noise=0.2, seed=4),
+            seed=5,
+        )
+        session.run(10)
+        assert_matches(session, rec, golden["noisy"])

@@ -87,7 +87,7 @@ class TestSimulatedUser:
     def test_lexicon_preference(self, tiny_dataset):
         user = SimulatedUser(tiny_dataset, use_lexicon=True, seed=4)
         state = make_state(tiny_dataset)
-        lexicon_ids = set(user._lexicon_polarity)
+        lexicon_ids = set(user._lexicon_labels)
         hits = total = 0
         for dev in range(100):
             lf = user.create_lf(dev, state)

@@ -1,0 +1,28 @@
+"""The duplication guard, run as part of the suite (and CI's lint job)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def load_guard():
+    spec = importlib.util.spec_from_file_location(
+        "adapter_budget", REPO_ROOT / "tools" / "adapter_budget.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("adapter_budget", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_adapter_modules_within_budget():
+    guard = load_guard()
+    assert guard.check() == []
+
+
+def test_guard_tracks_real_files():
+    guard = load_guard()
+    for rel in guard.ADAPTER_MODULES:
+        assert (REPO_ROOT / rel).is_file(), f"guarded module vanished: {rel}"

@@ -1,0 +1,146 @@
+"""Import-path compatibility for the multiclass adapter modules.
+
+The mirror removal left ``repro.multiclass.*`` as thin adapters/re-exports
+over the cardinality-generic ``core``/``interactive`` implementations.
+These tests pin the contract: every public class keeps its historical
+import path AND stays instantiable with its historical constructor
+signature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.multiclass import MultiClassLFFamily, posterior_entropy_mc
+
+
+class TestOldPathsImportable:
+    def test_module_level_paths(self):
+        # One canonical symbol per former mirror module.
+        from repro.multiclass.contextualizer import MCContextualizer  # noqa: F401
+        from repro.multiclass.selection import MCSessionState  # noqa: F401
+        from repro.multiclass.seu import MCSEUSelector  # noqa: F401
+        from repro.multiclass.simulated_user import MCSimulatedUser  # noqa: F401
+        from repro.multiclass.user_model import MCUserModel  # noqa: F401
+        from repro.multiclass.utility import MCLFUtility, signed_agreement  # noqa: F401
+
+    def test_package_reexports(self):
+        import repro.multiclass as mc
+
+        for name in mc.__all__:
+            assert getattr(mc, name, None) is not None, f"missing export {name}"
+
+
+class TestOldConstructorsWork:
+    def test_contextualizer(self):
+        from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+
+        ctx = MCContextualizer(n_classes=4, metric="euclidean", percentile=60.0)
+        assert ctx.n_classes == 4
+        assert ctx.percentile == 60.0
+        tuner = MCPercentileTuner(grid=(40.0, 80.0))
+        assert tuner.grid == (40.0, 80.0)
+        with pytest.raises(ValueError, match="n_classes"):
+            MCContextualizer(n_classes=1)
+
+    def test_user_models(self):
+        from repro.multiclass.user_model import (
+            MCAccuracyWeightedUserModel,
+            MCThresholdedUserModel,
+            MCUniformUserModel,
+            make_mc_user_model,
+        )
+
+        acc = np.array([[0.7, 0.2, 0.1], [0.3, 0.3, 0.4]])
+        for cls in (MCAccuracyWeightedUserModel, MCUniformUserModel):
+            assert cls().pick_weights(acc).shape == acc.shape
+        thresholded = MCThresholdedUserModel(threshold=0.25)
+        assert thresholded.threshold == 0.25
+        assert isinstance(make_mc_user_model("accuracy"), MCAccuracyWeightedUserModel)
+
+    def test_utilities(self):
+        from repro.multiclass.utility import (
+            MCFullUtility,
+            MCNoCorrectnessUtility,
+            MCNoInformativenessUtility,
+            make_mc_utility,
+        )
+
+        for cls in (MCFullUtility, MCNoCorrectnessUtility, MCNoInformativenessUtility):
+            assert cls().name
+        assert isinstance(make_mc_utility("full"), MCFullUtility)
+        with pytest.raises(ValueError, match="unknown utility"):
+            make_mc_utility("nope")
+
+    def test_selectors_and_state(self, topics_dataset):
+        from repro.multiclass.selection import (
+            MCAbstainSelector,
+            MCDevDataSelector,
+            MCDisagreeSelector,
+            MCRandomSelector,
+            MCSessionState,
+            MCUncertaintySelector,
+        )
+
+        ds = topics_dataset
+        soft = np.tile(ds.class_priors, (ds.train.n, 1))
+        state = MCSessionState(
+            dataset=ds,
+            family=MultiClassLFFamily(ds.primitive_names, ds.train.B, ds.n_classes),
+            iteration=0,
+            lfs=[],
+            L_train=np.full((ds.train.n, 0), -1, dtype=np.int8),
+            soft_labels=soft,
+            entropies=posterior_entropy_mc(soft),
+            proxy_proba=soft.copy(),
+            selected=set(),
+            rng=np.random.default_rng(0),
+        )
+        assert state.n_classes == ds.n_classes
+        assert state.convention.abstain == -1
+        for cls in (MCRandomSelector, MCAbstainSelector, MCDisagreeSelector, MCUncertaintySelector):
+            selector = cls()
+            assert isinstance(selector, MCDevDataSelector)
+            idx = selector.select(state)
+            assert idx is not None and state.candidate_mask()[idx]
+
+    def test_seu_selector(self):
+        from repro.multiclass.seu import MCSEUSelector
+
+        selector = MCSEUSelector(
+            user_model="uniform", utility="no-correctness", warmup=2, min_classes=3
+        )
+        assert selector.warmup == 2
+        assert selector.min_classes == 3
+
+    def test_simulated_users(self, topics_dataset):
+        from repro.multiclass.session import MCLFDeveloper
+        from repro.multiclass.simulated_user import MCNoisyUser, MCSimulatedUser
+
+        user = MCSimulatedUser(
+            topics_dataset, accuracy_threshold=0.4, use_lexicon=False, min_coverage=3, seed=0
+        )
+        assert isinstance(user, MCLFDeveloper)
+        assert user.convention.n_classes == topics_dataset.n_classes
+        noisy = MCNoisyUser(
+            topics_dataset,
+            accuracy_threshold=0.4,
+            mislabel_rate=0.1,
+            judgment_noise=0.05,
+            lexicon_adherence=0.9,
+            min_coverage=2,
+            seed=1,
+        )
+        assert isinstance(noisy, MCSimulatedUser)
+
+    def test_session_builds_with_defaults(self, topics_dataset):
+        from repro.multiclass.dawid_skene import MCDawidSkeneModel
+        from repro.multiclass.selection import MCRandomSelector
+        from repro.multiclass.session import MultiClassSession
+        from repro.multiclass.simulated_user import MCSimulatedUser
+
+        session = MultiClassSession(
+            topics_dataset, MCRandomSelector(), MCSimulatedUser(topics_dataset, seed=0), seed=0
+        )
+        assert session.abstain_value == -1
+        assert session.convention.n_classes == topics_dataset.n_classes
+        assert isinstance(session.label_model_factory(), MCDawidSkeneModel)

@@ -1,0 +1,57 @@
+"""Duplication guard: the multiclass adapter modules must stay thin.
+
+The mirror-removal refactor rewrote the formerly duplicated
+``repro.multiclass`` subsystems as adapters/re-exports over the
+cardinality-generic ``core``/``interactive`` implementations (see
+ARCHITECTURE.md).  This guard fails — in CI's lint job and in the test
+suite via ``tests/multiclass/test_adapter_budget.py`` — as soon as one of
+them grows past a small line budget, which is the tell-tale of logic being
+re-duplicated into the adapter layer instead of generalized in ``core``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Per-module total line budget (blank lines and docstrings included: the
+#: point is that these files stay *small*, not merely logic-free).
+LINE_BUDGET = 55
+
+ADAPTER_MODULES = (
+    "src/repro/multiclass/contextualizer.py",
+    "src/repro/multiclass/selection.py",
+    "src/repro/multiclass/seu.py",
+    "src/repro/multiclass/simulated_user.py",
+    "src/repro/multiclass/user_model.py",
+    "src/repro/multiclass/utility.py",
+)
+
+
+def check() -> list[str]:
+    """Return one violation message per adapter module over budget."""
+    violations = []
+    for rel in ADAPTER_MODULES:
+        path = REPO_ROOT / rel
+        n_lines = len(path.read_text().splitlines())
+        if n_lines > LINE_BUDGET:
+            violations.append(
+                f"{rel}: {n_lines} lines exceeds the {LINE_BUDGET}-line adapter "
+                "budget — move the logic into the cardinality-generic core instead"
+            )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for message in violations:
+        print(f"ADAPTER BUDGET VIOLATION: {message}", file=sys.stderr)
+    if not violations:
+        print(f"adapter budget OK ({len(ADAPTER_MODULES)} modules <= {LINE_BUDGET} lines)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

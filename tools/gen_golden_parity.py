@@ -1,0 +1,160 @@
+"""Generate the seeded-transcript golden fixtures for the parity tests.
+
+Runs small binary and multiclass IDP sessions through the public APIs and
+records their full transcripts (selected dev indices, developed LFs, the
+active refinement percentile, final posteriors and test score) to
+``tests/golden/*.json``.  The fixtures were captured from the pre-refactor
+mirrored implementations; ``tests/integration/test_golden_parity.py``
+replays the same configurations against the unified cardinality-generic
+code and asserts the transcripts match.
+
+Re-run after any *intentional* behavioral change::
+
+    PYTHONPATH=src python tools/gen_golden_parity.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+
+class RecordingSelector:
+    """Wraps a selector, recording every index it returns (None -> -1)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.choices = []
+        self.name = getattr(inner, "name", "recording")
+
+    def select(self, state):
+        idx = self.inner.select(state)
+        self.choices.append(-1 if idx is None else int(idx))
+        return idx
+
+
+def transcript(session, selector_rec, round_to=8):
+    return {
+        "selected": selector_rec.choices,
+        "lfs": [[int(lf.primitive_id), int(lf.label)] for lf in session.lfs],
+        "active_percentile": session.active_percentile_,
+        "test_score": round(float(session.test_score()), 10),
+        "soft_labels": [round(float(v), round_to) for v in session.soft_labels.ravel()],
+    }
+
+
+def binary_cases():
+    from repro.core.contextualizer import LFContextualizer, PercentileTuner
+    from repro.core.session import DataProgrammingSession
+    from repro.core.seu import SEUSelector
+    from repro.data import load_dataset
+    from repro.interactive.basic_selectors import make_basic_selector
+    from repro.interactive.simulated_user import NoisyUser, SimulatedUser
+
+    ds = load_dataset("amazon", scale="tiny", seed=0)
+    cases = {}
+
+    rec = RecordingSelector(SEUSelector())
+    session = DataProgrammingSession(
+        ds,
+        rec,
+        SimulatedUser(ds, seed=1),
+        contextualizer=LFContextualizer(),
+        percentile_tuner=PercentileTuner(metric=ds.metric),
+        seed=0,
+    )
+    session.run(12)
+    cases["nemo"] = transcript(session, rec)
+
+    for name in ("random", "abstain", "disagree"):
+        rec = RecordingSelector(make_basic_selector(name))
+        session = DataProgrammingSession(ds, rec, SimulatedUser(ds, seed=2), seed=3)
+        session.run(8)
+        cases[name] = transcript(session, rec)
+
+    rec = RecordingSelector(SEUSelector(user_model="thresholded", utility="no-correctness"))
+    session = DataProgrammingSession(
+        ds,
+        rec,
+        NoisyUser(ds, mislabel_rate=0.3, judgment_noise=0.2, seed=4),
+        seed=5,
+    )
+    session.run(10)
+    cases["noisy"] = transcript(session, rec)
+    return cases
+
+
+def multiclass_cases():
+    from repro.multiclass import make_topics_dataset
+    from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
+    from repro.multiclass.selection import (
+        MCAbstainSelector,
+        MCDisagreeSelector,
+        MCRandomSelector,
+        MCUncertaintySelector,
+    )
+    from repro.multiclass.session import MultiClassSession
+    from repro.multiclass.seu import MCSEUSelector
+    from repro.multiclass.simulated_user import MCNoisyUser, MCSimulatedUser
+
+    ds = make_topics_dataset(n_docs=500, seed=0, vocab_scale=6)
+    cases = {}
+
+    rec = RecordingSelector(MCSEUSelector())
+    session = MultiClassSession(
+        ds,
+        rec,
+        MCSimulatedUser(ds, seed=1),
+        contextualizer=MCContextualizer(n_classes=ds.n_classes),
+        percentile_tuner=MCPercentileTuner(),
+        seed=0,
+    )
+    session.run(12)
+    cases["nemo"] = transcript(session, rec)
+
+    basics = {
+        "random": MCRandomSelector,
+        "abstain": MCAbstainSelector,
+        "disagree": MCDisagreeSelector,
+        "uncertainty": MCUncertaintySelector,
+    }
+    for name, cls in basics.items():
+        rec = RecordingSelector(cls())
+        session = MultiClassSession(ds, rec, MCSimulatedUser(ds, seed=2), seed=3)
+        session.run(8)
+        cases[name] = transcript(session, rec)
+
+    rec = RecordingSelector(MCSEUSelector(user_model="thresholded", utility="no-correctness"))
+    session = MultiClassSession(
+        ds,
+        rec,
+        MCNoisyUser(ds, mislabel_rate=0.3, judgment_noise=0.2, seed=4),
+        seed=5,
+    )
+    session.run(10)
+    cases["noisy"] = transcript(session, rec)
+    return cases
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, cases in (
+        ("binary_session.json", binary_cases()),
+        ("multiclass_session.json", multiclass_cases()),
+    ):
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(cases, indent=1) + "\n")
+        print(f"wrote {path} ({len(cases)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
