@@ -59,7 +59,48 @@ from repro.interactive.simulated_user import SimulatedUser  # noqa: E402
 TARGET_N_TRAIN = 10_000
 TARGET_SPEEDUP = 3.0
 
+#: The large-n acceptance row: the committed record must carry a binary
+#: n_train=50k entry at ≥ this speedup (the 50k-scale ceiling item).
+LARGE_N_TRAIN = 50_000
+LARGE_N_SPEEDUP = 2.5
+
 TRAIN_FRACTION = 0.8  # the 80/10/10 split of featurize_corpus
+
+#: Phase keys every timing entry must report (engine attribution).
+PHASE_KEYS = ("select", "develop", "label_model", "end_model", "contextualize")
+
+
+def check_record(record: dict) -> list[str]:
+    """Validate a throughput record's shape: per-phase timing keys on every
+    timing and the presence of the binary n_train=50k row.  Returns the
+    list of problems (empty = OK); the CI smoke and the tier-1 test both
+    run this against the committed record."""
+    problems = []
+    results = record.get("results", [])
+    if not results:
+        problems.append("record has no results")
+    for entry in results:
+        for mode in ("scratch", "incremental"):
+            phases = entry.get(mode, {}).get("phase_seconds", {})
+            missing = [k for k in PHASE_KEYS if k not in phases]
+            if missing:
+                problems.append(
+                    f"{entry.get('task')}/n={entry.get('n_train')}/{mode} "
+                    f"missing phase keys {missing}"
+                )
+    large = [
+        r
+        for r in results
+        if r.get("task") == "binary" and r.get("n_train") == LARGE_N_TRAIN
+    ]
+    if not large:
+        problems.append(f"no binary n_train={LARGE_N_TRAIN} entry")
+    elif large[0].get("speedup", 0.0) < LARGE_N_SPEEDUP:
+        problems.append(
+            f"binary n_train={LARGE_N_TRAIN} speedup {large[0].get('speedup')} "
+            f"< {LARGE_N_SPEEDUP}"
+        )
+    return problems
 
 
 def build_binary_dataset(dataset: str, n_train: int, seed: int):
@@ -206,18 +247,40 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="CI smoke: n_train=1000 only (both tasks), 10 iterations",
+        help=(
+            "CI smoke: n_train=1000 only (both tasks), 10 iterations; writes "
+            "next to the committed record (never over it) and asserts the "
+            "committed record still carries the phase keys and the n=50k row"
+        ),
     )
     args = parser.parse_args(argv)
+    default_output = str(REPO_ROOT / "BENCH_session_throughput.json")
     if args.quick:
         args.sizes = [1_000]
         args.mc_sizes = [1_000]
         args.iterations = 10
+        if args.output == default_output:
+            # A smoke run must not overwrite the committed full-sweep record.
+            args.output = str(REPO_ROOT / "BENCH_session_throughput.quick.json")
 
     record = run_benchmark(args)
     out = Path(args.output)
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"[bench] wrote {out}")
+
+    if args.quick:
+        committed = Path(default_output)
+        problems = (
+            check_record(json.loads(committed.read_text()))
+            if committed.exists()
+            else [f"committed record {committed} missing"]
+        )
+        if problems:
+            for problem in problems:
+                print(f"[bench] committed record FAILED check: {problem}")
+            return 1
+        print(f"[bench] committed record {committed.name} OK (phase keys + 50k row)")
+        return 0
 
     at_target = [
         r

@@ -25,6 +25,19 @@ The engine is *incremental* along three axes, each individually defeatable
    SEU's sparse aggregates (``B.T @ proxy``, utility tables, the expected
    utility vector itself) are computed at most once per refit.
 
+4. **Incremental sufficient statistics & on-demand proxy** — warm
+   label-model refits receive the vote matrix's
+   :class:`~repro.labelmodel.matrix.ColumnStats` handle so every EM
+   iteration runs on the per-column fire structure (O(nnz)) instead of
+   re-scanning ``(L != 0)`` over the dense matrix; cold backstops keep
+   the exact dense arithmetic and use the handle only to skip the
+   redundant re-validation of votes the matrix already validated on
+   append.  On warm refits the end model no longer predicts the train
+   split eagerly: the refresh is deferred to the first time a selector
+   actually reads the proxy (bit-identical values when it does, no
+   prediction at all for selectors that never read it), with every cold
+   refit refreshing eagerly (``lazy_proxy=False`` defeats this axis).
+
 Setting ``warm_start=False`` and ``full_refit_every=1`` reproduces the
 from-scratch semantics of the original sessions exactly — that
 configuration is both the regression baseline for the equivalence tests and
@@ -97,6 +110,7 @@ class IncrementalSessionEngine:
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
         warm_min_train: int = 1000,
+        lazy_proxy: bool = True,
     ) -> None:
         if tune_every < 1:
             raise ValueError(f"tune_every must be >= 1, got {tune_every}")
@@ -128,9 +142,11 @@ class IncrementalSessionEngine:
         self.warm_label_iter = warm_label_iter
         self.warm_end_iter = warm_end_iter
         self.warm_min_train = warm_min_train
+        self.lazy_proxy = lazy_proxy
         self._end_model_accepts_max_iter = (
             "max_iter" in inspect.signature(end_model.fit).parameters
         )
+        self._lm_accepts_stats: bool | None = None  # resolved on first refit
 
         self.lineage = LineageStore(self.dataset)
         self.iteration = 0
@@ -147,7 +163,11 @@ class IncrementalSessionEngine:
         self._end_model_fitted = False
         self._refit_count = 0
         self._cold_warranted_ = True
+        self._end_uncapped_ = True
         self._selector_cache: dict = {}
+        # Whether a warm refit deferred its proxy refresh to the first
+        # selector read (see _resolve_proxy).
+        self._proxy_stale = False
         self.active_percentile_: float | None = (
             contextualizer.percentile if contextualizer is not None else None
         )
@@ -215,9 +235,17 @@ class IncrementalSessionEngine:
         self._refit()
 
     def run(self, n_iterations: int):
-        """Run ``n_iterations`` steps; returns self for chaining."""
+        """Run ``n_iterations`` steps; returns self for chaining.
+
+        Any proxy refresh deferred by the final refit is materialized
+        before returning, so the public ``proxy_proba``/``proxy_labels``
+        attributes reflect the current end model at the API boundary
+        (callers driving :meth:`step` directly can read
+        ``build_state().resolve_proxy()`` for the same guarantee).
+        """
         for _ in range(n_iterations):
             self.step()
+        self._resolve_proxy()
         return self
 
     # ------------------------------------------------------------------ #
@@ -239,32 +267,84 @@ class IncrementalSessionEngine:
         ``warm_min_train`` the exact path is already fast and the engine
         keeps its from-scratch semantics outright.
         """
+        if self._backstop_due():
+            return True
+        return len(self.lineage) <= self.warm_after
+
+    def _backstop_due(self) -> bool:
+        """The exact-semantics opt-outs plus the periodic backstop cadence.
+
+        Shared by both uncapped-fit conditions so the end-model cap can
+        never silently desynchronize from the label-model backstop.
+        """
         if not self.warm_start or self.full_refit_every == 1:
             return True
         if self.dataset.train.n < self.warm_min_train:
             return True
-        if len(self.lineage) <= self.warm_after:
-            return True
         return self._refit_count % self.full_refit_every == 0
 
-    def _fit_label_model(self, L: np.ndarray, previous):
-        """Fresh label model fitted on ``L``, warm-seeded when allowed."""
+    def _end_refit_uncapped_due(self) -> bool:
+        """Whether this refit's *end-model* fit must be uncapped.
+
+        Same opt-outs and backstop cadence as :meth:`_cold_refit_due`, but
+        **without** the low-LF (``warm_after``) clause: that guard exists
+        for the label model's multimodal likelihood, while the end models'
+        losses are strictly convex — a capped warm L-BFGS continuation is
+        always on the path to the unique optimum, and the periodic
+        uncapped fit at the backstop cadence bounds the truncation drift.
+        Uncapping the convex fit through the early-LF regime was pure
+        waste (100+ L-BFGS iterations per refit at large n).
+        """
+        return self._backstop_due()
+
+    def _label_model_accepts_stats(self, model) -> bool:
+        if self._lm_accepts_stats is None:
+            params_ok = all(
+                "stats" in inspect.signature(fn).parameters
+                for fn in (model.fit, model.fit_warm, model.predict_proba)
+            )
+            self._lm_accepts_stats = params_ok
+        return self._lm_accepts_stats
+
+    def _fit_label_model(self, L: np.ndarray, previous, stats=None):
+        """Fresh label model fitted on ``L``, warm-seeded when allowed.
+
+        ``stats`` is the vote matrix's sufficient-statistics handle; it is
+        forwarded to models that accept it (warm fits then run O(nnz) EM
+        iterations; cold fits merely skip the redundant re-validation
+        scan — their arithmetic is untouched).
+        """
         model = self.label_model_factory()
+        kwargs = (
+            {"stats": stats}
+            if stats is not None and self._label_model_accepts_stats(model)
+            else {}
+        )
         if self._cold_warranted_ or previous is None or type(previous) is not type(model):
-            model.fit(L)
+            model.fit(L, **kwargs)
         else:
-            model.fit_warm(L, previous, max_iter=self.warm_label_iter)
+            model.fit_warm(L, previous, max_iter=self.warm_label_iter, **kwargs)
         return model
+
+    def _predict_label_model(self, model, L: np.ndarray, stats=None) -> np.ndarray:
+        if stats is not None and self._label_model_accepts_stats(model):
+            return model.predict_proba(L, stats=stats)
+        return model.predict_proba(L)
 
     def _refit(self) -> None:
         t0 = time.perf_counter()
         self._cold_warranted_ = self._cold_refit_due()
+        self._end_uncapped_ = self._end_refit_uncapped_due()
         self._refit_count += 1
         L_effective = self._effective_label_matrix()
         refined = self.contextualizer is not None
-        model = self._fit_label_model(L_effective, self.label_model_)
+        # The handle is only valid for the raw vote matrix; refinement
+        # produces a detached dense matrix (warm fits on it build their own
+        # stats by a single scan).
+        stats = None if refined else self._L_train.stats
+        model = self._fit_label_model(L_effective, self.label_model_, stats)
         self.label_model_ = model
-        self.soft_labels = model.predict_proba(L_effective)
+        self.soft_labels = self._predict_label_model(model, L_effective, stats)
         self.entropies = self._entropy(self.soft_labels)
         self._refit_selection_view(refined)
         t1 = time.perf_counter()
@@ -277,7 +357,7 @@ class IncrementalSessionEngine:
             X = self.dataset.train.X
             X_covered = X[np.flatnonzero(covered)]
             targets = self.soft_labels[covered]
-            if self._cold_warranted_ or not self._end_model_accepts_max_iter:
+            if self._end_uncapped_ or not self._end_model_accepts_max_iter:
                 self.end_model.fit(X_covered, targets)
             else:
                 self.end_model.fit(X_covered, targets, max_iter=self.warm_end_iter)
@@ -321,9 +401,12 @@ class IncrementalSessionEngine:
             self.selection_entropies = None
             self._selection_model_ = None
             return
-        raw_model = self._fit_label_model(self.L_train, self._selection_model_)
+        stats = self._L_train.stats  # the selection view always fits raw votes
+        raw_model = self._fit_label_model(self.L_train, self._selection_model_, stats)
         self._selection_model_ = raw_model
-        self.selection_soft_labels = raw_model.predict_proba(self.L_train)
+        self.selection_soft_labels = self._predict_label_model(
+            raw_model, self.L_train, stats
+        )
         self.selection_entropies = self._entropy(self.selection_soft_labels)
 
     def _should_tune(self) -> bool:
@@ -341,6 +424,46 @@ class IncrementalSessionEngine:
 
     def _coverage_mask(self, L: np.ndarray) -> np.ndarray:
         return self.convention.coverage_mask(L)
+
+    # ------------------------------------------------------------------ #
+    # on-demand proxy plumbing
+    # ------------------------------------------------------------------ #
+    def _lazy_proxy_allowed(self) -> bool:
+        """Whether this refit may defer the proxy refresh to first read.
+
+        Only warm refits defer — cold refits always refresh eagerly, so
+        the exact-at-backstop contract covers the proxy too.
+        """
+        return self.lazy_proxy and not self._cold_warranted_
+
+    def _mark_proxy_stale(self) -> None:
+        """Defer this refit's proxy refresh to the first selector read."""
+        self._proxy_stale = True
+
+    def _resolve_proxy(self) -> np.ndarray:
+        """Materialize a deferred proxy refresh; return the proxy array.
+
+        Called (through ``SessionState.resolve_proxy``) the first time a
+        selector actually reads the ground-truth proxy after a refit: a
+        session whose selector never reads it (Random/Abstain/Disagree/
+        Uncertainty) never pays for end-model prediction between cold
+        refits.  The refresh covers the full split with the *current* end
+        model — exactly the values the eager path would have produced at
+        refit time (the model has not changed in between), so reading
+        selectors like SEU see bit-identical proxies with or without
+        deferral.  A sliced refresh of only the changed rows was measured
+        to be a false economy: the untouched rows' staleness compounds
+        across warm refits and costs SEU real selection quality, while a
+        full 50k-row prediction costs ~2 ms.
+        """
+        if self._proxy_stale:
+            self._proxy_stale = False
+            self._refresh_proxy()
+        return self.proxy_proba
+
+    def _refresh_proxy(self) -> None:
+        """Recompute the proxy from the current end model (session hook)."""
+        raise NotImplementedError
 
     def _update_proxy(self) -> None:
         raise NotImplementedError

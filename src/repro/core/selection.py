@@ -103,6 +103,29 @@ class BaseSessionState:
             mask[list(self.selected)] = False
         return mask
 
+    def resolve_proxy(self) -> np.ndarray:
+        """The graded ground-truth proxy, materialized on demand.
+
+        Sessions running with on-demand proxy prediction (ENGINE.md §4)
+        attach a ``proxy_provider`` that performs any deferred end-model
+        refresh before handing the array out; the result is memoized in
+        the refit-scoped ``cache`` so repeat reads between refits are
+        dict lookups.  Hand-built states (no provider) fall back to the
+        plain ``proxy_proba`` array — the full-split proxy they were
+        constructed with.
+        """
+        provider = getattr(self, "proxy_provider", None)
+        if provider is None:
+            return self.proxy_proba
+        cache = getattr(self, "cache", None)
+        if cache is not None and "proxy_resolved" in cache:
+            return cache["proxy_resolved"]
+        proxy = provider()
+        self.proxy_proba = proxy  # keep direct field reads consistent
+        if cache is not None:
+            cache["proxy_resolved"] = proxy
+        return proxy
+
 
 @dataclass
 class SessionState(BaseSessionState):
@@ -126,6 +149,9 @@ class SessionState(BaseSessionState):
     selected: set[int] = field(default_factory=set)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     cache: dict | None = None
+    #: Optional callable materializing deferred proxy predictions (set by
+    #: sessions running with on-demand proxy; see resolve_proxy).
+    proxy_provider: object = None
 
     def __post_init__(self) -> None:
         if self.proxy_proba is None:
@@ -134,6 +160,14 @@ class SessionState(BaseSessionState):
                     "SessionState requires proxy_labels and/or proxy_proba"
                 )
             self.proxy_proba = (np.asarray(self.proxy_labels, dtype=float) + 1.0) / 2.0
+
+    def resolve_proxy(self) -> np.ndarray:
+        proxy = super().resolve_proxy()
+        if self.proxy_provider is not None:
+            # Keep the hard-label field consistent with the materialized
+            # proxy (the multiclass state derives its labels by property).
+            self.proxy_labels = np.where(np.asarray(proxy) >= 0.5, 1, -1)
+        return proxy
 
     @property
     def convention(self) -> VoteConvention:
@@ -152,6 +186,8 @@ class MulticlassSessionState(BaseSessionState):
     selected: set[int] = field(default_factory=set)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     cache: dict | None = None
+    #: See SessionState.proxy_provider / BaseSessionState.resolve_proxy.
+    proxy_provider: object = None
 
     def __post_init__(self) -> None:
         if self.proxy_proba is None:

@@ -138,6 +138,16 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
         Keep the exact from-scratch semantics whenever the training split
         is smaller than this — refit cost scales with ``n_train``, so
         small sessions gain nothing from incrementality.
+    lazy_proxy:
+        On warm refits, defer the end-model prediction of the
+        ground-truth proxy to the first selector read.  Selectors that
+        read it (SEU) see bit-identical values — the end model does not
+        change between the refit and the read — while selectors that
+        never read it (Random/Abstain/Disagree/Uncertainty) skip
+        end-model prediction entirely between cold refits.  ``False``
+        restores the eager refresh every refit (the original behaviour).
+        Ignored when ``calibrate_proxy=True`` (calibration is inherently
+        eager).
     seed:
         Seed for all session randomness.
     """
@@ -162,6 +172,7 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
         warm_min_train: int = 1000,
+        lazy_proxy: bool = True,
         seed=None,
     ) -> None:
         InteractiveMethod.__init__(self, dataset, seed)
@@ -193,6 +204,7 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
             warm_label_iter=warm_label_iter,
             warm_end_iter=warm_end_iter,
             warm_min_train=warm_min_train,
+            lazy_proxy=lazy_proxy,
         )
 
     # ------------------------------------------------------------------ #
@@ -221,20 +233,34 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
             selected=self.selected,
             rng=self.rng,
             cache=self._selector_cache,
+            proxy_provider=self._resolve_proxy,
         )
 
     def _update_proxy(self) -> None:
-        X = self.dataset.train.X
         if self.calibrate_proxy:
             from repro.endmodel.calibration import PlattCalibrator
 
             calibrator = PlattCalibrator()
             self.proxy_proba = calibrator.fit_transform_from(
-                self.end_model, self.dataset.valid.X, self.dataset.valid.y, X
+                self.end_model,
+                self.dataset.valid.X,
+                self.dataset.valid.y,
+                self.dataset.train.X,
             )
+            self.proxy_labels = np.where(self.proxy_proba >= 0.5, 1, -1)
+            self._proxy_stale = False
+        elif self._lazy_proxy_allowed():
+            # Warm refit: defer the refresh to the first selector read
+            # (ENGINE.md §4) — selectors that never read the proxy never
+            # pay for end-model prediction between cold refits.
+            self._mark_proxy_stale()
         else:
-            self.proxy_proba = self.end_model.predict_proba(X)
+            self._refresh_proxy()
+
+    def _refresh_proxy(self) -> None:
+        self.proxy_proba = self.end_model.predict_proba(self.dataset.train.X)
         self.proxy_labels = np.where(self.proxy_proba >= 0.5, 1, -1)
+        self._proxy_stale = False
 
     # ------------------------------------------------------------------ #
     # prediction

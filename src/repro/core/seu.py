@@ -118,10 +118,14 @@ class SEUSelector(DevDataSelector):
             return cache[cache_key]
         convention = state.convention
         B = state.B
-        acc = convention.accuracy_table(state.family, state.proxy_proba)  # (|Z|, K)
+        # This is the read that materializes any deferred (on-demand) proxy
+        # predictions — sessions whose selector never gets here never pay
+        # for end-model prediction between cold refits.
+        proxy = state.resolve_proxy()
+        acc = convention.accuracy_table(state.family, proxy)  # (|Z|, K)
         weights = self.user_model.pick_weight_table(acc)  # (|Z|, K)
         utils = self.utility.score_table(
-            B, state.entropies, convention.signed_agreement(state.proxy_proba)
+            B, state.entropies, convention.signed_agreement(proxy)
         )  # (|Z|, K)
         priors = convention.class_prior_vector(state.dataset)
         expected = np.zeros(state.n_train)
@@ -151,9 +155,10 @@ class SEUSelector(DevDataSelector):
         primitives = family.primitives_in(example_index)
         if primitives.size == 0:
             return 0.0
-        acc = convention.accuracy_table(family, state.proxy_proba)
+        proxy = state.resolve_proxy()
+        acc = convention.accuracy_table(family, proxy)
         utils = self.utility.score_table(
-            state.B, state.entropies, convention.signed_agreement(state.proxy_proba)
+            state.B, state.entropies, convention.signed_agreement(proxy)
         )
         priors = convention.class_prior_vector(state.dataset)
         total = 0.0

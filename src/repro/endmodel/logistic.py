@@ -148,6 +148,19 @@ class SoftLabelLogisticRegression:
         """``P(y = +1 | x)``."""
         return _sigmoid(self.decision_function(X))
 
+    def predict_proba_rows(self, X, rows) -> np.ndarray:
+        """``P(y = +1 | x)`` for the given ``rows`` of ``X`` only.
+
+        Sliced prediction for partial-split consumers: cost scales with
+        the slice, and each row's probability is the same per-row dot
+        product the full :meth:`predict_proba` computes, so the outputs
+        match row-for-row.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size == 0:
+            return np.zeros(0)
+        return _sigmoid(self.decision_function(X[rows]))
+
     def predict(self, X) -> np.ndarray:
         """Hard ±1 predictions."""
         return np.where(self.decision_function(X) >= 0.0, 1, -1).astype(int)

@@ -44,21 +44,47 @@ class RunResult:
     dataset: str
     curves: list[LearningCurve] = field(default_factory=list)
 
+    def _common_grid(self) -> list[int]:
+        """The shared evaluation grid, validated across all curves.
+
+        Aggregating curves evaluated on different grids (mixed
+        ``eval_every`` cadences or iteration counts) silently compares
+        scores at different amounts of supervision — or dies inside numpy
+        on ragged input.  Fail with a clear message instead.
+        """
+        if not self.curves:
+            raise ValueError(
+                f"RunResult({self.method!r}, {self.dataset!r}) has no curves to aggregate"
+            )
+        grid = self.curves[0].iterations
+        for i, curve in enumerate(self.curves[1:], start=1):
+            if list(curve.iterations) != list(grid):
+                raise ValueError(
+                    "cannot aggregate curves with different evaluation grids: "
+                    f"curve 0 evaluated at {list(grid)}, curve {i} at "
+                    f"{list(curve.iterations)} — rerun with a common "
+                    "n_iterations/eval_every"
+                )
+        return list(grid)
+
     @property
     def summary_mean(self) -> float:
+        self._common_grid()
         return float(np.mean([c.summary for c in self.curves]))
 
     @property
     def summary_std(self) -> float:
+        self._common_grid()
         return float(np.std([c.summary for c in self.curves]))
 
     @property
     def final_mean(self) -> float:
+        self._common_grid()
         return float(np.mean([c.final for c in self.curves]))
 
     def mean_curve(self) -> LearningCurve:
         """Pointwise mean across seeds (for plotting-style output)."""
-        iterations = self.curves[0].iterations
+        iterations = self._common_grid()
         scores = np.mean([c.scores for c in self.curves], axis=0)
         return LearningCurve(iterations=list(iterations), scores=[float(s) for s in scores])
 
@@ -68,7 +94,14 @@ def run_learning_curve(
     n_iterations: int = 50,
     eval_every: int = 5,
 ) -> LearningCurve:
-    """Drive one method through the interactive protocol."""
+    """Drive one method through the interactive protocol.
+
+    The curve always ends with an evaluation at iteration ``n_iterations``:
+    when the cadence does not divide the iteration count (e.g. 50
+    iterations, ``eval_every=7``), the final model — the one every summary
+    statistic is supposed to reflect — would otherwise never be scored and
+    the curve tail silently dropped.
+    """
     if n_iterations < 1:
         raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
     if eval_every < 1:
@@ -80,7 +113,7 @@ def run_learning_curve(
         if it % eval_every == 0:
             iterations.append(it)
             scores.append(method.test_score())
-    if not scores:  # n_iterations < eval_every: evaluate once at the end
+    if not iterations or iterations[-1] != n_iterations:
         iterations.append(n_iterations)
         scores.append(method.test_score())
     return LearningCurve(iterations=iterations, scores=scores)

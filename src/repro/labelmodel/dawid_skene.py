@@ -13,6 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.labelmodel.base import LabelModel
+from repro.labelmodel.matrix import (
+    ColumnStats,
+    column_stats_from_dense,
+    validated_or_stats,
+)
 
 _OUTCOMES = (-1, 0, 1)
 _SMOOTH = 0.1
@@ -57,8 +62,14 @@ class DawidSkene(LabelModel):
         self.prior_: float = class_prior
         self.converged_: bool = False
 
-    def fit(self, L: np.ndarray) -> "DawidSkene":
-        L = self._validated(L)
+    def fit(self, L: np.ndarray, stats: ColumnStats | None = None) -> "DawidSkene":
+        """Cold EM fit from the smoothed majority-vote posterior.
+
+        ``stats`` (a matching :class:`~repro.labelmodel.matrix.ColumnStats`
+        handle) only skips the dense re-validation scan; the cold
+        arithmetic is unchanged.
+        """
+        L = self._validated_or_stats(L, stats)
         n, m = L.shape
         if m == 0:
             self.confusion_ = np.zeros((0, 2, 3))
@@ -70,13 +81,86 @@ class DawidSkene(LabelModel):
         pos = (L == 1).sum(axis=1)
         neg = (L == -1).sum(axis=1)
         q = np.where(pos + neg > 0, (pos + 0.5) / (pos + neg + 1.0), self.class_prior)
+        self._em_loop(
+            q,
+            self.n_iter,
+            m_step=lambda q: self._m_step(outcome_onehot, q),
+            e_step=lambda conf, prior: self._e_step(L, conf, prior),
+        )
+        return self
+
+    def fit_warm(
+        self,
+        L: np.ndarray,
+        previous: "DawidSkene | None" = None,
+        max_iter: int | None = None,
+        stats: ColumnStats | None = None,
+    ) -> "DawidSkene":
+        """Fit seeded from a previous fit's posterior (incremental refits).
+
+        Same contract as :meth:`repro.labelmodel.metal.MetalLabelModel.fit_warm`:
+        EM continues from the posterior of the previous parameters over the
+        columns they were fitted on, ``max_iter`` caps this call's EM
+        iterations, and the loop runs on the O(nnz) sufficient-statistics
+        path (the ``stats`` handle threaded from the engine, or one built
+        here by a single dense scan — bit-identical either way).  Falls
+        back to a cold :meth:`fit` whenever the previous model is unusable.
+        """
+        usable = (
+            type(previous) is type(self)
+            and getattr(previous, "confusion_", None) is not None
+            and previous.confusion_.shape[0] > 0
+        )
+        if not usable:
+            return self.fit(L, stats=stats)
+        L = self._validated_or_stats(L, stats)
+        m_prev = previous.confusion_.shape[0]
+        if L.shape[0] == 0 or L.shape[1] == 0 or L.shape[1] < m_prev:
+            return self.fit(L, stats=stats)
+        if stats is None:
+            stats = column_stats_from_dense(L, abstain=0)
+        q = self._e_step_stats(stats, previous.confusion_, previous.prior_)
+        n_iter = self.n_iter if max_iter is None else max(1, min(self.n_iter, int(max_iter)))
+        masses = self._outcome_masses(stats)
+        # As in the other models' warm fits, the *initial* class-balance
+        # estimate must mirror the cold seeding (smoothed majority
+        # posterior) — estimating it from the previous converged posterior
+        # lets a one-sided LF set drag the prior further every refit.
+        pos = stats.row_value_counts(1)
+        neg = stats.row_value_counts(-1)
+        q_majority = np.where(
+            pos + neg > 0, (pos + 0.5) / (pos + neg + 1.0), self.class_prior
+        )
+        self._em_loop(
+            q,
+            n_iter,
+            m_step=lambda q: self._m_step_stats(masses, q),
+            e_step=lambda conf, prior: self._e_step_stats(stats, conf, prior),
+            q_prior=q_majority,
+        )
+        return self
+
+    def _em_loop(
+        self, q: np.ndarray, n_iter: int, m_step, e_step, q_prior: np.ndarray | None = None
+    ) -> None:
+        """The shared EM alternation (cold and warm paths differ only in
+        how the sufficient statistics and posteriors are computed).
+
+        ``q_prior`` optionally supplies a different posterior for the
+        *first* class-balance update (warm fits pass the majority
+        posterior to mirror the cold seeding); subsequent updates use the
+        evolving E-step posterior in both paths.
+        """
         prior = self.class_prior
         confusion = None
         self.converged_ = False
-        for _ in range(self.n_iter):
-            confusion_new = self._m_step(outcome_onehot, q)
-            prior_new = float(np.clip(q.mean(), 0.01, 0.99)) if self.learn_prior else prior
-            q_new = self._e_step(L, confusion_new, prior_new)
+        for it in range(n_iter):
+            confusion_new = m_step(q)
+            balance_q = q_prior if (it == 0 and q_prior is not None) else q
+            prior_new = (
+                float(np.clip(balance_q.mean(), 0.01, 0.99)) if self.learn_prior else prior
+            )
+            q_new = e_step(confusion_new, prior_new)
             if confusion is not None:
                 delta = max(
                     float(np.max(np.abs(confusion_new - confusion))),
@@ -89,12 +173,16 @@ class DawidSkene(LabelModel):
             confusion, prior, q = confusion_new, prior_new, q_new
         self.confusion_ = confusion
         self.prior_ = prior
-        return self
 
-    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+    def _validated_or_stats(self, L: np.ndarray, stats: ColumnStats | None) -> np.ndarray:
+        return validated_or_stats(L, stats, self._validated)
+
+    def predict_proba(
+        self, L: np.ndarray, stats: ColumnStats | None = None
+    ) -> np.ndarray:
         if self.confusion_ is None:
             raise RuntimeError("DawidSkene.predict_proba called before fit")
-        L = self._validated(L)
+        L = self._validated_or_stats(L, stats)
         if L.shape[1] != self.confusion_.shape[0]:
             raise ValueError(
                 f"label matrix has {L.shape[1]} LFs but model was fitted with "
@@ -122,6 +210,50 @@ class DawidSkene(LabelModel):
         counts = np.einsum("ic,ijo->jco", weights, outcome_onehot)
         counts += _SMOOTH
         return counts / counts.sum(axis=2, keepdims=True)
+
+    # -- O(nnz) twins used by the warm path ---------------------------- #
+    @staticmethod
+    def _outcome_masses(stats: ColumnStats) -> dict[str, object]:
+        """Per-outcome sparse indicator structure, shared by all EM steps."""
+        return {"Fn": stats.value_csc(-1), "Fp": stats.value_csc(1)}
+
+    @staticmethod
+    def _m_step_stats(masses: dict, q: np.ndarray) -> np.ndarray:
+        """O(nnz) confusion update: the fired-outcome masses come from two
+        sparse mat-vecs; the abstain column is the remaining class mass."""
+        weights = np.stack([1 - q, q], axis=1)  # (n, 2)
+        cn = np.asarray(masses["Fn"].T @ weights)  # (m, 2) mass voting -1
+        cp = np.asarray(masses["Fp"].T @ weights)  # (m, 2) mass voting +1
+        total = weights.sum(axis=0)  # (2,)
+        counts = np.empty((cn.shape[0], 2, 3))
+        counts[:, :, 0] = cn
+        counts[:, :, 1] = total[None, :] - cn - cp
+        counts[:, :, 2] = cp
+        counts += _SMOOTH
+        return counts / counts.sum(axis=2, keepdims=True)
+
+    @staticmethod
+    def _e_step_stats(
+        stats: ColumnStats, confusion: np.ndarray, prior: float
+    ) -> np.ndarray:
+        """O(nnz) posterior: start every row from the all-abstain log-lik
+        and correct only the fired entries (column-sliced to the confusion
+        prefix when warm-seeding from a smaller previous fit)."""
+        m = confusion.shape[0]
+        log_conf = np.log(np.clip(confusion, 1e-12, None))  # (m, 2, 3)
+        Fn, Fp = stats.value_csc(-1), stats.value_csc(1)
+        if m != stats.m:
+            Fn, Fp = Fn[:, :m], Fp[:, :m]
+        ll = (
+            log_conf[:, :, 1].sum(axis=0)[None, :]
+            + np.asarray(Fn @ (log_conf[:, :, 0] - log_conf[:, :, 1]))
+            + np.asarray(Fp @ (log_conf[:, :, 2] - log_conf[:, :, 1]))
+        )
+        ll[:, 0] += np.log(1 - prior)
+        ll[:, 1] += np.log(prior)
+        ll -= ll.max(axis=1, keepdims=True)
+        probs = np.exp(ll)
+        return probs[:, 1] / probs.sum(axis=1)
 
     @staticmethod
     def _e_step(L: np.ndarray, confusion: np.ndarray, prior: float) -> np.ndarray:

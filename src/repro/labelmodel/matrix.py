@@ -64,6 +64,12 @@ class VoteMatrix:
         self._nonabstain = np.zeros(self.n_rows, dtype=np.int64)
         # Running per-vote-value tallies; values appear lazily as LFs vote.
         self._value_counts: dict[int, np.ndarray] = {}
+        # Per-column sparse structure (row indices + vote values of the
+        # non-abstain entries), appended in O(nnz_col) alongside the dense
+        # buffer — the backing store of the :class:`ColumnStats` handle.
+        self._col_rows: list[np.ndarray] = []
+        self._col_values: list[np.ndarray] = []
+        self._stats: ColumnStats | None = None
 
     # -- construction -------------------------------------------------- #
     @classmethod
@@ -105,12 +111,37 @@ class VoteMatrix:
 
         This is the sparse-native append: a primitive LF is one vote value
         on its covered rows, so only O(nnz_col) work is done (plus the
-        running-stat updates).
+        running-stat updates).  ``rows`` must be in-range indices — negative
+        or out-of-range values would silently wrap (corrupting votes and
+        every running tally) or crash deep inside numpy, so they are
+        rejected up front.
         """
         value = int(value)
         if value == self.abstain:
             raise ValueError(f"vote value {value} equals the abstain sentinel")
-        rows = np.asarray(rows, dtype=np.intp)
+        rows = np.asarray(rows)
+        if rows.ndim != 1:
+            raise ValueError(f"rows must be 1-D, got shape {rows.shape}")
+        if rows.size and not np.issubdtype(rows.dtype, np.integer):
+            raise ValueError(f"rows must be integer indices, got dtype {rows.dtype}")
+        rows = rows.astype(np.intp, copy=True)
+        if rows.size:
+            lo, hi = int(rows.min()), int(rows.max())
+            if lo < 0 or hi >= self.n_rows:
+                raise ValueError(
+                    f"row indices must lie in [0, {self.n_rows}), got range [{lo}, {hi}]"
+                )
+            unique_rows = np.unique(rows)  # sorted as a side effect
+            if unique_rows.size != rows.size:
+                # Duplicates would write the dense vote once but count it
+                # twice in every running tally and in the ColumnStats fire
+                # structure — a silent dense/sparse divergence.
+                raise ValueError("row indices must be unique")
+            # Store ascending so the ColumnStats CSC assemblies are
+            # canonical and structure-identical to a from-dense scan
+            # regardless of caller ordering (dense writes and tallies are
+            # order-independent).
+            rows = unique_rows
         self._ensure_capacity()
         column = self._buf[:, self.m]
         column[rows] = value
@@ -120,6 +151,8 @@ class VoteMatrix:
         if counts is None:
             counts = self._value_counts.setdefault(value, np.zeros(self.n_rows, dtype=np.int64))
         counts[rows] += 1
+        self._col_rows.append(rows)
+        self._col_values.append(np.full(rows.size, value, dtype=np.int8))
 
     def append_column(self, votes: np.ndarray) -> None:
         """Append one dense ``(n,)`` vote column (may contain several values)."""
@@ -139,6 +172,25 @@ class VoteMatrix:
                     value, np.zeros(self.n_rows, dtype=np.int64)
                 )
             counts[votes == value] += 1
+        fired_rows = np.flatnonzero(fired).astype(np.intp)
+        self._col_rows.append(fired_rows)
+        self._col_values.append(votes[fired_rows].astype(np.int8))
+
+    # -- sufficient statistics ----------------------------------------- #
+    @property
+    def stats(self) -> "ColumnStats":
+        """The matrix's incremental sufficient-statistics handle.
+
+        One handle per matrix, created lazily and kept keyed to the buffer:
+        it reads the per-column sparse structure and the running tallies
+        live, so it is always current after appends.  Label models accept it
+        (``fit``/``fit_warm``/``predict_proba`` ``stats=`` kwarg) to skip
+        re-validating/re-scanning the dense matrix and to run their EM
+        sufficient statistics in O(nnz) instead of O(n·m).
+        """
+        if self._stats is None:
+            self._stats = ColumnStats(self)
+        return self._stats
 
     # -- running diagnostics ------------------------------------------- #
     def coverage_mask(self) -> np.ndarray:
@@ -175,6 +227,186 @@ class VoteMatrix:
         for counts in self._value_counts.values():
             same += counts * counts
         return (total * total - same) // 2
+
+
+class ColumnStats:
+    """Sparse per-column sufficient statistics keyed to a :class:`VoteMatrix`.
+
+    The EM label models repeatedly need, per iteration, quantities of the
+    form "sum of a posterior over the rows where column ``j`` voted value
+    ``v``" — computing them from the dense matrix re-scans ``(L != 0)``
+    every time, O(n·m) per EM step.  This handle exposes the vote matrix's
+    per-column fire structure (appended in O(nnz_col) as columns arrive)
+    as cached CSC matrices, so those sums become O(nnz) sparse mat-vecs
+    reused across all EM/SGD iterations of a fit *and* across the label
+    fit, the posterior prediction, and the selection-view fit of one
+    engine refit.
+
+    The handle reads the owning matrix live: after a column append it is
+    automatically current (cached CSC assemblies are invalidated by the
+    column-count key).  ``matches(L)`` ties it to a concrete dense view so
+    a model can fail loudly rather than fit against a stale handle.
+    """
+
+    def __init__(self, matrix: VoteMatrix) -> None:
+        self._vm = matrix
+        self._csc_cache: dict[object, tuple[int, sp.csc_matrix]] = {}
+        self._nnz_cache: tuple[int, np.ndarray] | None = None
+        self._count_cache: dict[int, tuple[int, np.ndarray]] = {}
+
+    # -- identity ------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        return self._vm.n_rows
+
+    @property
+    def m(self) -> int:
+        return self._vm.m
+
+    @property
+    def abstain(self) -> int:
+        return self._vm.abstain
+
+    def matches(self, L: np.ndarray) -> bool:
+        """Whether ``L`` is the live dense view of this handle's matrix."""
+        return (
+            isinstance(L, np.ndarray)
+            and L.shape == (self._vm.n_rows, self._vm.m)
+            and np.shares_memory(L, self._vm._buf)
+        )
+
+    # -- per-column structure ------------------------------------------ #
+    def rows(self, j: int) -> np.ndarray:
+        """Row indices of column ``j``'s non-abstain votes (ascending)."""
+        return self._vm._col_rows[j]
+
+    def values(self, j: int) -> np.ndarray:
+        """Vote values at :meth:`rows`, int8, same length."""
+        return self._vm._col_values[j]
+
+    def col_nnz(self) -> np.ndarray:
+        """Per-column non-abstain vote counts, shape ``(m,)``, int64."""
+        if self._nnz_cache is None or self._nnz_cache[0] != self.m:
+            nnz = np.fromiter(
+                (r.size for r in self._vm._col_rows), dtype=np.int64, count=self.m
+            )
+            self._nnz_cache = (self.m, nnz)
+        return self._nnz_cache[1]
+
+    def value_col_counts(self, value: int) -> np.ndarray:
+        """Per-column count of votes equal to ``value``, shape ``(m,)``."""
+        value = int(value)
+        cached = self._count_cache.get(value)
+        if cached is None or cached[0] != self.m:
+            counts = np.fromiter(
+                ((v == value).sum() for v in self._vm._col_values),
+                dtype=np.int64,
+                count=self.m,
+            )
+            self._count_cache[value] = (self.m, counts)
+            return counts
+        return cached[1]
+
+    # -- row-wise running tallies (exact integer reads) ---------------- #
+    def coverage_mask(self) -> np.ndarray:
+        return self._vm.coverage_mask()
+
+    def row_value_counts(self, value: int) -> np.ndarray:
+        """Per-row count of votes equal to ``value`` (the running tally)."""
+        return self._vm.vote_counts(value)
+
+    # -- CSC assemblies (cached per column count) ---------------------- #
+    def _assemble(self, key: object, data_fn) -> sp.csc_matrix:
+        cached = self._csc_cache.get(key)
+        if cached is not None and cached[0] == self.m:
+            return cached[1]
+        vm = self._vm
+        nnz = self.col_nnz()
+        indptr = np.zeros(self.m + 1, dtype=np.int64)
+        np.cumsum(nnz, out=indptr[1:])
+        indices = (
+            np.concatenate(vm._col_rows) if self.m else np.zeros(0, dtype=np.intp)
+        ).astype(np.int32, copy=False)
+        data = data_fn(vm)
+        mat = sp.csc_matrix(
+            (data, indices, indptr), shape=(self.n_rows, self.m), copy=False
+        )
+        self._csc_cache[key] = (self.m, mat)
+        return mat
+
+    def fires_csc(self) -> sp.csc_matrix:
+        """``(n, m)`` CSC fire-indicator matrix (data all 1.0)."""
+        return self._assemble(
+            "fires", lambda vm: np.ones(int(self.col_nnz().sum()), dtype=float)
+        )
+
+    def signed_csc(self) -> sp.csc_matrix:
+        """``(n, m)`` CSC of the vote values as floats (binary: ±1)."""
+        return self._assemble(
+            "signed",
+            lambda vm: (
+                np.concatenate(vm._col_values).astype(float)
+                if self.m
+                else np.zeros(0)
+            ),
+        )
+
+    def value_csc(self, value: int) -> sp.csc_matrix:
+        """``(n, m)`` CSC indicator of votes equal to ``value``."""
+        value = int(value)
+        cached = self._csc_cache.get(("value", value))
+        if cached is not None and cached[0] == self.m:
+            return cached[1]
+        vm = self._vm
+        rows, nnz = [], np.zeros(self.m, dtype=np.int64)
+        for j in range(self.m):
+            hit = vm._col_rows[j][vm._col_values[j] == value]
+            rows.append(hit)
+            nnz[j] = hit.size
+        indptr = np.zeros(self.m + 1, dtype=np.int64)
+        np.cumsum(nnz, out=indptr[1:])
+        indices = (
+            np.concatenate(rows) if self.m else np.zeros(0, dtype=np.intp)
+        ).astype(np.int32, copy=False)
+        mat = sp.csc_matrix(
+            (np.ones(int(nnz.sum()), dtype=float), indices, indptr),
+            shape=(self.n_rows, self.m),
+            copy=False,
+        )
+        self._csc_cache[("value", value)] = (self.m, mat)
+        return mat
+
+
+def validated_or_stats(L: np.ndarray, stats: "ColumnStats | None", validator):
+    """Validate ``L`` with ``validator``, or accept it under a matching handle.
+
+    The shared guard of every stats-aware label model: a
+    :class:`VoteMatrix` validates each vote on append, so its live view
+    needs no re-scan; a handle that does not describe the matrix it is
+    paired with is a caller bug and fails loudly rather than silently
+    fitting stale statistics.
+    """
+    if stats is None:
+        return validator(L)
+    if not stats.matches(L):
+        raise ValueError(
+            "stats handle does not describe the given label matrix "
+            f"(handle shape {(stats.n_rows, stats.m)}, L shape "
+            f"{np.asarray(L).shape})"
+        )
+    return L
+
+
+def column_stats_from_dense(L: np.ndarray, abstain: int = ABSTAIN) -> ColumnStats:
+    """A detached :class:`ColumnStats` built by scanning a dense matrix once.
+
+    The fallback for warm fits reached without an engine-threaded handle
+    (hand-built matrices, contextualizer-refined votes): one O(n·m) scan,
+    after which all EM iterations run on the O(nnz) path.  The structure
+    (ascending row order per column) is identical to what the live
+    :class:`VoteMatrix` maintains, so fits are bit-identical either way.
+    """
+    return VoteMatrix.from_dense(L, abstain=abstain).stats
 
 
 def apply_lfs(lfs, B: sp.csr_matrix) -> np.ndarray:

@@ -29,6 +29,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.labelmodel.base import LabelModel
+from repro.labelmodel.matrix import (
+    ColumnStats,
+    column_stats_from_dense,
+    validated_or_stats,
+)
 
 _ACC_FLOOR = 0.05
 _ACC_CEIL = 0.95
@@ -139,8 +144,17 @@ class MetalLabelModel(LabelModel):
     # ------------------------------------------------------------------ #
     # fitting
     # ------------------------------------------------------------------ #
-    def fit(self, L: np.ndarray) -> "MetalLabelModel":
-        L = self._validated(L)
+    def fit(self, L: np.ndarray, stats: ColumnStats | None = None) -> "MetalLabelModel":
+        """Cold fit seeded from the majority-vote posterior.
+
+        ``stats`` (an engine-threaded :class:`ColumnStats` handle matching
+        ``L``) lets the fit skip the O(n·m) re-validation/densification
+        scan — the vote matrix validated every entry on append.  The cold
+        arithmetic itself is unchanged (dense, bit-for-bit the historical
+        from-scratch semantics); only :meth:`fit_warm` runs on the O(nnz)
+        sufficient-statistics path.
+        """
+        L = self._validated_or_stats(L, stats)
         self.prior_ = self.class_prior
         if L.shape[1] == 0 or L.shape[0] == 0:
             self.accuracies_ = np.zeros(0)
@@ -155,6 +169,7 @@ class MetalLabelModel(LabelModel):
         L: np.ndarray,
         previous: "MetalLabelModel | None" = None,
         max_iter: int | None = None,
+        stats: ColumnStats | None = None,
     ) -> "MetalLabelModel":
         """Fit seeded from a previous fit's posterior (incremental refits).
 
@@ -170,6 +185,13 @@ class MetalLabelModel(LabelModel):
         cold refit bounds accumulated drift.  Falls back to :meth:`fit`
         whenever the previous model is unusable (unfitted, different
         class, or the vote matrix shrank).
+
+        Warm fits always run on the incremental sufficient-statistics path:
+        every EM/SGD iteration reads the per-column fire structure (the
+        ``stats`` handle threaded from the engine, or one built here by a
+        single scan of ``L``) instead of re-deriving ``(L != 0)`` masks
+        from the dense matrix — O(nnz) per iteration instead of O(n·m),
+        and bit-identical whichever way the handle was obtained.
         """
         usable = (
             type(previous) is type(self)
@@ -177,11 +199,13 @@ class MetalLabelModel(LabelModel):
             and previous.accuracies_.size > 0
         )
         if not usable:
-            return self.fit(L)
-        L = self._validated(L)
+            return self.fit(L, stats=stats)
+        L = self._validated_or_stats(L, stats)
         m_prev = previous.accuracies_.shape[0]
         if L.shape[0] == 0 or L.shape[1] == 0 or L.shape[1] < m_prev:
-            return self.fit(L)
+            return self.fit(L, stats=stats)
+        if stats is None:
+            stats = column_stats_from_dense(L, abstain=0)
         self.prior_ = self.class_prior
         # The class balance must be estimated exactly as a cold fit does —
         # from the *smoothed majority* posterior, not the previous E-step
@@ -190,45 +214,66 @@ class MetalLabelModel(LabelModel):
         # loop across refits: a one-sided LF set drags the prior toward
         # its side, which sharpens the next posterior, which drags it
         # further, until every label collapses to one class.
-        q_seed = self._posterior_params(
-            L[:, :m_prev], previous.accuracies_, previous.propensities_
+        q_seed = self._posterior_stats(
+            stats, previous.accuracies_, previous.propensities_, with_abstain=True
         )
         full_n_iter = self.n_iter
         if max_iter is not None:
             self.n_iter = max(1, min(self.n_iter, int(max_iter)))
         try:
-            self._fit_from_posterior(L, q_seed, q_prior=self._majority_posterior(L))
+            self._fit_from_posterior(
+                L, q_seed, q_prior=self._majority_posterior(L, stats), stats=stats
+            )
         finally:
             self.n_iter = full_n_iter  # the cap is scoped to this call only
         return self
 
+    def _validated_or_stats(
+        self, L: np.ndarray, stats: ColumnStats | None
+    ) -> np.ndarray:
+        return validated_or_stats(L, stats, self._validated)
+
     def _fit_from_posterior(
-        self, L: np.ndarray, q: np.ndarray, q_prior: np.ndarray | None = None
+        self,
+        L: np.ndarray,
+        q: np.ndarray,
+        q_prior: np.ndarray | None = None,
+        stats: ColumnStats | None = None,
     ) -> None:
         """Run the configured optimizer from an initial posterior ``q``.
 
         ``q_prior`` optionally supplies a different posterior for the class
         balance estimate (warm fits pass the majority posterior to mirror
-        the cold seeding; see :meth:`fit_warm`).
+        the cold seeding; see :meth:`fit_warm`).  With ``stats`` the EM/SGD
+        iterations run on the O(nnz) sufficient-statistics path.
         """
         if self.learn_prior:
-            covered = (L != 0).any(axis=1)
+            covered = stats.coverage_mask() if stats is not None else (L != 0).any(axis=1)
             if covered.any():
                 balance_q = q if q_prior is None else q_prior
                 self.prior_ = float(
                     np.clip(balance_q[covered].mean(), _PRIOR_FLOOR, 1 - _PRIOR_FLOOR)
                 )
-        acc, rho = self._m_step(L, q)
+        acc, rho = self._m_step(L, q, stats)
         if self.method == "em":
-            self._fit_em(L, acc, rho)
+            self._fit_em(L, acc, rho, stats)
         else:
-            self._fit_sgd(L, acc, rho)
+            self._fit_sgd(L, acc, rho, stats)
 
-    def _fit_em(self, L: np.ndarray, acc: np.ndarray, rho: np.ndarray) -> None:
+    def _fit_em(
+        self,
+        L: np.ndarray,
+        acc: np.ndarray,
+        rho: np.ndarray,
+        stats: ColumnStats | None = None,
+    ) -> None:
         self.converged_ = False
         for _ in range(self.n_iter):
-            q = self._posterior_params(L, acc, rho)
-            new_acc, new_rho = self._m_step(L, q)
+            if stats is not None:
+                q = self._posterior_stats(stats, acc, rho, with_abstain=True)
+            else:
+                q = self._posterior_params(L, acc, rho)
+            new_acc, new_rho = self._m_step(L, q, stats)
             delta = max(
                 float(np.max(np.abs(new_acc - acc))),
                 float(np.max(np.abs(new_rho - rho))),
@@ -239,7 +284,13 @@ class MetalLabelModel(LabelModel):
                 break
         self._finalize(acc, rho)
 
-    def _fit_sgd(self, L: np.ndarray, acc: np.ndarray, rho: np.ndarray) -> None:
+    def _fit_sgd(
+        self,
+        L: np.ndarray,
+        acc: np.ndarray,
+        rho: np.ndarray,
+        stats: ColumnStats | None = None,
+    ) -> None:
         """Adam on the marginal log-likelihood (gradients via Fisher's identity).
 
         The expected-complete-data gradient at the current posterior equals
@@ -256,13 +307,16 @@ class MetalLabelModel(LabelModel):
         for t in range(1, self.n_iter + 1):
             acc = _sigmoid(theta[:m])
             rho = np.stack([_sigmoid(theta[m : 2 * m]), _sigmoid(theta[2 * m :])], axis=1)
-            q = self._posterior_params(L, acc, rho)
-            stats = self._sufficient_stats(L, q)
+            if stats is not None:
+                q = self._posterior_stats(stats, acc, rho, with_abstain=True)
+            else:
+                q = self._posterior_params(L, acc, rho)
+            suff = self._sufficient_stats(L, q, stats)
             # d ll / d logit(a) = (expected_correct - a * expected_fires) etc.
-            grad_acc = stats["correct"] - acc * stats["fires"]
+            grad_acc = suff["correct"] - acc * suff["fires"]
             grad_acc += self.anchor * (self.init_accuracy - acc)  # Beta anchor
-            grad_rho_neg = stats["fires_neg"] - rho[:, 0] * stats["mass_neg"]
-            grad_rho_pos = stats["fires_pos"] - rho[:, 1] * stats["mass_pos"]
+            grad_rho_neg = suff["fires_neg"] - rho[:, 0] * suff["mass_neg"]
+            grad_rho_pos = suff["fires_pos"] - rho[:, 1] * suff["mass_pos"]
             grad = np.concatenate([grad_acc, grad_rho_neg, grad_rho_pos])
             adam_m = beta1 * adam_m + (1 - beta1) * grad
             adam_v = beta2 * adam_v + (1 - beta2) * grad**2
@@ -295,7 +349,31 @@ class MetalLabelModel(LabelModel):
     # ------------------------------------------------------------------ #
     # EM pieces
     # ------------------------------------------------------------------ #
-    def _sufficient_stats(self, L: np.ndarray, q: np.ndarray) -> dict[str, np.ndarray]:
+    def _sufficient_stats(
+        self, L: np.ndarray, q: np.ndarray, stats: ColumnStats | None = None
+    ) -> dict[str, np.ndarray]:
+        if stats is not None:
+            # O(nnz) path: two sparse mat-vecs against the per-column fire
+            # structure replace every dense (L != 0) / (L == ±1) scan.
+            # With t = Σ_fired q and s = Σ_fired v·q (v = ±1), the positive
+            # and negative vote masses are (t ± s) / 2, and
+            # correct = pos_mass + (n_neg − neg_mass).
+            F = stats.fires_csc()
+            S = stats.signed_csc()
+            t = np.asarray(F.T @ q).ravel()
+            s = np.asarray(S.T @ q).ravel()
+            pos_mass = 0.5 * (t + s)
+            neg_mass = 0.5 * (t - s)
+            neg_counts = stats.value_col_counts(-1).astype(float)
+            fires = stats.col_nnz().astype(float)
+            return {
+                "correct": pos_mass + (neg_counts - neg_mass),
+                "fires": fires,
+                "fires_pos": t,
+                "fires_neg": fires - t,
+                "mass_pos": np.full(stats.m, q.sum()),
+                "mass_neg": np.full(stats.m, (1 - q).sum()),
+            }
         fires = (L != 0).astype(float)
         correct = ((L == 1) * q[:, None] + (L == -1) * (1 - q)[:, None]).sum(axis=0)
         return {
@@ -307,27 +385,42 @@ class MetalLabelModel(LabelModel):
             "mass_neg": np.full(L.shape[1], (1 - q).sum()),
         }
 
-    def _m_step(self, L: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        stats = self._sufficient_stats(L, q)
+    def _m_step(
+        self, L: np.ndarray, q: np.ndarray, stats: ColumnStats | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        suff = self._sufficient_stats(L, q, stats)
         anchor = self.anchor
-        acc = (stats["correct"] + anchor * self.init_accuracy) / (stats["fires"] + anchor)
+        acc = (suff["correct"] + anchor * self.init_accuracy) / (suff["fires"] + anchor)
         acc = np.clip(acc, _ACC_FLOOR, _ACC_CEIL)
         with np.errstate(invalid="ignore", divide="ignore"):
             rho_pos = np.where(
-                stats["mass_pos"] > 0, stats["fires_pos"] / stats["mass_pos"], 0.5
+                suff["mass_pos"] > 0, suff["fires_pos"] / suff["mass_pos"], 0.5
             )
             rho_neg = np.where(
-                stats["mass_neg"] > 0, stats["fires_neg"] / stats["mass_neg"], 0.5
+                suff["mass_neg"] > 0, suff["fires_neg"] / suff["mass_neg"], 0.5
             )
         rho = np.clip(np.stack([rho_neg, rho_pos], axis=1), _RHO_FLOOR, _RHO_CEIL)
         return acc, rho
 
-    def _majority_posterior(self, L: np.ndarray) -> np.ndarray:
-        """Symmetrically-smoothed majority-vote posterior seeding EM."""
-        pos = (L == 1).sum(axis=1).astype(float)
-        neg = (L == -1).sum(axis=1).astype(float)
+    def _majority_posterior(
+        self, L: np.ndarray, stats: ColumnStats | None = None
+    ) -> np.ndarray:
+        """Symmetrically-smoothed majority-vote posterior seeding EM.
+
+        The per-row vote tallies are exact integers, so reading them from
+        the stats handle's running counters (O(n)) is bit-identical to the
+        dense O(n·m) scan.
+        """
+        if stats is not None:
+            pos = stats.row_value_counts(1).astype(float)
+            neg = stats.row_value_counts(-1).astype(float)
+            n = stats.n_rows
+        else:
+            pos = (L == 1).sum(axis=1).astype(float)
+            neg = (L == -1).sum(axis=1).astype(float)
+            n = L.shape[0]
         total = pos + neg
-        q = np.full(L.shape[0], 0.5)
+        q = np.full(n, 0.5)
         covered = total > 0
         q[covered] = (pos[covered] + 0.5) / (total[covered] + 1.0)
         return q
@@ -335,10 +428,18 @@ class MetalLabelModel(LabelModel):
     # ------------------------------------------------------------------ #
     # inference
     # ------------------------------------------------------------------ #
-    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+    def predict_proba(
+        self, L: np.ndarray, stats: ColumnStats | None = None
+    ) -> np.ndarray:
+        """``P(y=+1 | L_i)`` per example.
+
+        ``stats`` (a matching handle) skips the dense re-validation scan —
+        the arithmetic is unchanged, so posteriors are bit-identical with
+        or without it.
+        """
         if self.accuracies_ is None or self.propensities_ is None:
             raise RuntimeError("MetalLabelModel.predict_proba called before fit")
-        L = self._validated(L)
+        L = self._validated_or_stats(L, stats)
         if L.shape[1] != len(self.accuracies_):
             raise ValueError(
                 f"label matrix has {L.shape[1]} LFs but model was fitted with "
@@ -378,6 +479,38 @@ class MetalLabelModel(LabelModel):
         if with_abstain:
             abstain_evidence = np.log((1 - rho_pos) / (1 - rho_neg))
             scores = scores + (1 - fires) @ abstain_evidence
+        return _sigmoid(scores)
+
+    def _posterior_stats(
+        self,
+        stats: ColumnStats,
+        acc: np.ndarray,
+        rho: np.ndarray,
+        with_abstain: bool = True,
+    ) -> np.ndarray:
+        """The O(nnz) twin of :meth:`_posterior_params` (warm-path E-step).
+
+        Same log-odds decomposition, but the vote and fire evidence come
+        from sparse mat-vecs against the per-column fire structure, and the
+        abstain evidence is rewritten as ``Σ_j ae_j − (fires @ ae)`` so the
+        uncovered majority of rows is never touched.  When ``acc`` has
+        fewer columns than the handle (warm seeding over the previous
+        fit's prefix), the structure is column-sliced to match.
+        """
+        m = acc.shape[0]
+        S = stats.signed_csc()
+        F = stats.fires_csc()
+        if m != stats.m:
+            S = S[:, :m]
+            F = F[:, :m]
+        vote_weight = np.log(acc / (1 - acc))
+        rho_neg = rho[:, 0]
+        rho_pos = rho[:, 1]
+        fire_evidence = np.log(rho_pos / rho_neg)
+        scores = _logit(self.prior_) + S @ vote_weight + F @ fire_evidence
+        if with_abstain:
+            abstain_evidence = np.log((1 - rho_pos) / (1 - rho_neg))
+            scores = scores + (float(abstain_evidence.sum()) - F @ abstain_evidence)
         return _sigmoid(scores)
 
     def _marginal_ll(self, L: np.ndarray) -> float:

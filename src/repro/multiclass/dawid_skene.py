@@ -20,6 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.labelmodel.matrix import (
+    ColumnStats,
+    column_stats_from_dense,
+    validated_or_stats,
+)
 from repro.multiclass.base import MultiClassLabelModel
 from repro.multiclass.matrix import MC_ABSTAIN
 
@@ -103,8 +108,16 @@ class MCDawidSkeneModel(MultiClassLabelModel):
     # ------------------------------------------------------------------ #
     # fitting
     # ------------------------------------------------------------------ #
-    def fit(self, L: np.ndarray) -> "MCDawidSkeneModel":
-        L = self._validated(L)
+    def fit(
+        self, L: np.ndarray, stats: ColumnStats | None = None
+    ) -> "MCDawidSkeneModel":
+        """Cold EM fit from the smoothed vote-share posterior.
+
+        ``stats`` (a matching :class:`~repro.labelmodel.matrix.ColumnStats`
+        handle) only skips the dense re-validation scan; the cold
+        arithmetic is unchanged.
+        """
+        L = self._validated_or_stats(L, stats)
         K = self.n_classes
         self.priors_ = self.class_priors.copy()
         if L.shape[1] == 0 or L.shape[0] == 0:
@@ -120,6 +133,7 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         L: np.ndarray,
         previous: "MCDawidSkeneModel | None" = None,
         max_iter: int | None = None,
+        stats: ColumnStats | None = None,
     ) -> "MCDawidSkeneModel":
         """Fit seeded from a previous fit's posterior (incremental refits).
 
@@ -128,6 +142,12 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         fitted on, with identical anchors and convergence tolerance, and
         ``max_iter`` optionally caps this call's EM iterations.  Falls
         back to a cold :meth:`fit` whenever the previous model is unusable.
+
+        Warm fits always run on the incremental sufficient-statistics path
+        (the ``stats`` handle threaded from the engine, or one built here
+        by a single dense scan — bit-identical either way): per-class
+        sparse mat-vecs replace every dense ``(L == k)`` mask, O(nnz·K)
+        per EM iteration instead of O(n·m·K).
         """
         usable = (
             type(previous) is type(self)
@@ -136,15 +156,17 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             and previous.n_classes == self.n_classes
         )
         if not usable:
-            return self.fit(L)
-        L = self._validated(L)
+            return self.fit(L, stats=stats)
+        L = self._validated_or_stats(L, stats)
         m_prev = previous.confusions_.shape[0]
         if L.shape[0] == 0 or L.shape[1] == 0 or L.shape[1] < m_prev:
-            return self.fit(L)
+            return self.fit(L, stats=stats)
+        if stats is None:
+            stats = column_stats_from_dense(L, abstain=MC_ABSTAIN)
         priors = np.clip(previous.priors_, _PRIOR_FLOOR, None)
         self.priors_ = priors / priors.sum()
-        Q_seed = self._posterior_params(
-            L[:, :m_prev], previous.confusions_, previous.propensities_, with_abstain=True
+        Q_seed = self._posterior_stats(
+            stats, previous.confusions_, previous.propensities_, with_abstain=True
         )
         # As in the binary model, the *initial* class-balance estimate must
         # mirror the cold seeding (smoothed majority posterior) — seeding
@@ -154,30 +176,45 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         if max_iter is not None:
             self.n_iter = max(1, min(self.n_iter, int(max_iter)))
         try:
-            self._fit_from_posterior(L, Q_seed, Q_prior=self._majority_posterior(L))
+            self._fit_from_posterior(
+                L, Q_seed, Q_prior=self._majority_posterior(L, stats), stats=stats
+            )
         finally:
             self.n_iter = full_n_iter  # the cap is scoped to this call only
         return self
 
+    def _validated_or_stats(
+        self, L: np.ndarray, stats: ColumnStats | None
+    ) -> np.ndarray:
+        return validated_or_stats(L, stats, self._validated)
+
     def _fit_from_posterior(
-        self, L: np.ndarray, Q: np.ndarray, Q_prior: np.ndarray | None = None
+        self,
+        L: np.ndarray,
+        Q: np.ndarray,
+        Q_prior: np.ndarray | None = None,
+        stats: ColumnStats | None = None,
     ) -> None:
         """Run EM from an initial posterior ``Q``.
 
         ``Q_prior`` optionally supplies a different posterior for the
         initial class-balance update (warm fits pass the majority
         posterior; subsequent updates inside the loop use the E-step
-        posterior in both the cold and warm paths).
+        posterior in both the cold and warm paths).  With ``stats`` every
+        E/M step runs on the O(nnz·K) sparse path.
         """
         if self.learn_priors:
-            self._update_priors(L, Q if Q_prior is None else Q_prior)
-        theta, rho = self._m_step(L, Q)
+            self._update_priors(L, Q if Q_prior is None else Q_prior, stats)
+        theta, rho = self._m_step(L, Q, stats)
         self.converged_ = False
         for _ in range(self.n_iter):
-            Q = self._posterior_params(L, theta, rho, with_abstain=True)
+            if stats is not None:
+                Q = self._posterior_stats(stats, theta, rho, with_abstain=True)
+            else:
+                Q = self._posterior_params(L, theta, rho, with_abstain=True)
             if self.learn_priors:
-                self._update_priors(L, Q)
-            new_theta, new_rho = self._m_step(L, Q)
+                self._update_priors(L, Q, stats)
+            new_theta, new_rho = self._m_step(L, Q, stats)
             delta = max(
                 float(np.max(np.abs(new_theta - theta))),
                 float(np.max(np.abs(new_rho - rho))),
@@ -189,23 +226,41 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         self.confusions_ = theta
         self.propensities_ = rho
 
-    def _update_priors(self, L: np.ndarray, Q: np.ndarray) -> None:
-        covered = (L != MC_ABSTAIN).any(axis=1)
+    def _update_priors(
+        self, L: np.ndarray, Q: np.ndarray, stats: ColumnStats | None = None
+    ) -> None:
+        covered = (
+            stats.coverage_mask() if stats is not None else (L != MC_ABSTAIN).any(axis=1)
+        )
         if covered.any():
             priors = Q[covered].mean(axis=0)
             priors = np.clip(priors, _PRIOR_FLOOR, None)
             self.priors_ = priors / priors.sum()
 
-    def _majority_posterior(self, L: np.ndarray) -> np.ndarray:
-        """Smoothed vote-share posterior that seeds EM."""
+    def _majority_posterior(
+        self, L: np.ndarray, stats: ColumnStats | None = None
+    ) -> np.ndarray:
+        """Smoothed vote-share posterior that seeds EM.
+
+        The per-row vote tallies are exact integers, so reading them from
+        the stats handle's running counters is bit-identical to the dense
+        scan.
+        """
         K = self.n_classes
-        counts = np.zeros((L.shape[0], K))
-        for k in range(K):
-            counts[:, k] = (L == k).sum(axis=1)
+        if stats is not None:
+            counts = np.stack(
+                [stats.row_value_counts(k).astype(float) for k in range(K)], axis=1
+            )
+        else:
+            counts = np.zeros((L.shape[0], K))
+            for k in range(K):
+                counts[:, k] = (L == k).sum(axis=1)
         smoothed = counts + self.class_priors[None, :]
         return smoothed / smoothed.sum(axis=1, keepdims=True)
 
-    def _m_step(self, L: np.ndarray, Q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _m_step(
+        self, L: np.ndarray, Q: np.ndarray, stats: ColumnStats | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Closed-form confusion/propensity updates with Dirichlet anchors."""
         n, m = L.shape
         K = self.n_classes
@@ -213,6 +268,26 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         off_diag = (1.0 - self.init_accuracy) / (K - 1)
         anchor_row = np.full((K, K), off_diag)
         np.fill_diagonal(anchor_row, self.init_accuracy)
+
+        if stats is not None:
+            # O(nnz·K) path: one sparse mat-mat per emitted class replaces
+            # the per-column dense masks.
+            class_mass = Q.sum(axis=0)  # (K,)
+            counts = np.empty((m, K, K))  # counts[j, k, l]
+            for l in range(K):
+                counts[:, :, l] = np.asarray(stats.value_csc(l).T @ Q)
+            fire_mass = counts.sum(axis=2)  # (m, K) — before the anchor
+            counts += self.anchor * anchor_row[None, :, :]
+            theta = np.clip(
+                counts / counts.sum(axis=2, keepdims=True), _THETA_FLOOR, 1.0
+            )
+            theta /= theta.sum(axis=2, keepdims=True)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                rho = np.where(
+                    class_mass[None, :] > 0, fire_mass / class_mass[None, :], 0.5
+                )
+            rho = np.clip(rho, _RHO_FLOOR, _RHO_CEIL)
+            return theta, rho
 
         theta = np.empty((m, K, K))
         rho = np.empty((m, K))
@@ -240,10 +315,14 @@ class MCDawidSkeneModel(MultiClassLabelModel):
     # ------------------------------------------------------------------ #
     # inference
     # ------------------------------------------------------------------ #
-    def predict_proba(self, L: np.ndarray) -> np.ndarray:
+    def predict_proba(
+        self, L: np.ndarray, stats: ColumnStats | None = None
+    ) -> np.ndarray:
+        """``(n, K)`` posterior; ``stats`` skips the dense re-validation
+        scan without changing the arithmetic."""
         if self.confusions_ is None or self.propensities_ is None:
             raise RuntimeError("MCDawidSkeneModel.predict_proba called before fit")
-        L = self._validated(L)
+        L = self._validated_or_stats(L, stats)
         if L.shape[1] != self.confusions_.shape[0]:
             raise ValueError(
                 f"label matrix has {L.shape[1]} LFs but model was fitted with "
@@ -254,6 +333,43 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         return self._posterior_params(
             L, self.confusions_, self.propensities_, with_abstain=self.abstain_evidence
         )
+
+    def _posterior_stats(
+        self,
+        stats: ColumnStats,
+        theta: np.ndarray,
+        rho: np.ndarray,
+        with_abstain: bool,
+    ) -> np.ndarray:
+        """The O(nnz·K) twin of :meth:`_posterior_params` (warm-path E-step).
+
+        Every row starts from the all-abstain log-posterior (priors plus,
+        with abstain evidence, ``Σ_j log(1 − ρ_j)``); each emitted class
+        then corrects only its fired rows through one sparse mat-mat.
+        Column-sliced to the parameter prefix when warm-seeding from a
+        smaller previous fit.
+        """
+        m = theta.shape[0]
+        K = self.n_classes
+        log_theta = np.log(np.clip(theta, _THETA_FLOOR, 1.0))  # (m, K, K)
+        log_rho = np.log(rho)  # (m, K)
+        log_not_rho = np.log1p(-rho)
+        if with_abstain:
+            base = np.log(self.priors_) + log_not_rho.sum(axis=0)
+        else:
+            base = np.log(self.priors_)
+        log_post = np.tile(base[None, :], (stats.n_rows, 1))
+        for l in range(K):
+            Cl = stats.value_csc(l)
+            if m != stats.m:
+                Cl = Cl[:, :m]
+            evidence = log_rho + log_theta[:, :, l]  # (m, K): class-k evidence
+            if with_abstain:
+                evidence = evidence - log_not_rho
+            log_post += np.asarray(Cl @ evidence)
+        log_post -= log_post.max(axis=1, keepdims=True)
+        post = np.exp(log_post)
+        return post / post.sum(axis=1, keepdims=True)
 
     def _posterior_params(
         self,

@@ -81,6 +81,12 @@ class MultiClassSession(IncrementalSessionEngine):
         Keep the exact from-scratch semantics whenever the training split
         is smaller than this — refit cost scales with ``n_train``, so
         small sessions gain nothing from incrementality.
+    lazy_proxy:
+        On warm refits, defer the end-model prediction of the
+        ground-truth proxy to the first selector read (bit-identical
+        values for selectors that read it; no prediction at all for
+        selectors that never do); cold refits always refresh eagerly.
+        ``False`` restores the eager refresh every refit.
     seed:
         Seed for all session randomness.
     """
@@ -103,6 +109,7 @@ class MultiClassSession(IncrementalSessionEngine):
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
         warm_min_train: int = 1000,
+        lazy_proxy: bool = True,
         seed=None,
     ) -> None:
         self.dataset = dataset
@@ -132,6 +139,7 @@ class MultiClassSession(IncrementalSessionEngine):
             warm_label_iter=warm_label_iter,
             warm_end_iter=warm_end_iter,
             warm_min_train=warm_min_train,
+            lazy_proxy=lazy_proxy,
         )
 
     # ------------------------------------------------------------------ #
@@ -159,10 +167,20 @@ class MultiClassSession(IncrementalSessionEngine):
             selected=self.selected,
             rng=self.rng,
             cache=self._selector_cache,
+            proxy_provider=self._resolve_proxy,
         )
 
     def _update_proxy(self) -> None:
+        if self._lazy_proxy_allowed():
+            # Warm refit: defer the refresh to the first selector read
+            # (see ENGINE.md §4).
+            self._mark_proxy_stale()
+        else:
+            self._refresh_proxy()
+
+    def _refresh_proxy(self) -> None:
         self.proxy_proba = self.end_model.predict_proba(self.dataset.train.X)
+        self._proxy_stale = False
 
     # ------------------------------------------------------------------ #
     # prediction / evaluation

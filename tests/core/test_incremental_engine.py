@@ -56,6 +56,7 @@ def paired_run(tiny_dataset):
                 "lfs_scratch": [lf.name for lf in scratch.lfs],
                 "lfs_incremental": [lf.name for lf in incremental.lfs],
                 "cold_refit": incremental._cold_warranted_,
+                "end_uncapped": incremental._end_uncapped_,
                 "d_soft": np.abs(incremental.soft_labels - scratch.soft_labels),
                 "d_entropy": np.abs(incremental.entropies - scratch.entropies),
                 "score_scratch": scratch.test_score(),
@@ -73,11 +74,19 @@ class TestIncrementalMatchesScratch:
 
     def test_backstop_restores_scratch_state_exactly(self, paired_run):
         _, _, records = paired_run
-        backstops = [r for r in records if r["cold_refit"]]
-        assert len(backstops) >= 2, "expected multiple cold backstop refits in 25 iters"
-        for rec in backstops:
+        # Every cold *label* refit restores the exact label-model state;
+        # test scores coincide (to warm-start history) only at the true
+        # backstops, where the end model's fit is also uncapped — the
+        # early low-LF regime keeps the label model cold (multimodality
+        # guard) but caps the convex end model like any warm refit.
+        cold = [r for r in records if r["cold_refit"]]
+        assert len(cold) >= 2, "expected multiple cold label refits in 25 iters"
+        for rec in cold:
             assert rec["d_soft"].max() < 1e-8
             assert rec["d_entropy"].max() < 1e-8
+        backstops = [r for r in records if r["cold_refit"] and r["end_uncapped"]]
+        assert len(backstops) >= 2, "expected multiple full backstops in 25 iters"
+        for rec in backstops:
             assert abs(rec["score_incremental"] - rec["score_scratch"]) <= 0.02
 
     def test_soft_labels_within_tolerance_between_backstops(self, paired_run):

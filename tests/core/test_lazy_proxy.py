@@ -1,0 +1,180 @@
+"""Tests for on-demand (lazy) proxy prediction (ENGINE.md §4).
+
+On warm refits the session defers the end-model proxy refresh to the
+first selector read (``SessionState.resolve_proxy``).  The end model does
+not change between the refit and the read, so reading selectors see
+bit-identical proxies to the eager path; selectors that never read the
+proxy skip end-model prediction entirely between cold refits.  Cold
+refits always refresh eagerly, so eager (``lazy_proxy=False``) and lazy
+configurations coincide exactly whenever every refit is cold — the
+backstop the golden-parity suite pins.
+"""
+
+import numpy as np
+
+from repro.core.selection import SessionState
+from repro.core.session import DataProgrammingSession
+from repro.core.seu import SEUSelector
+from repro.interactive.basic_selectors import RandomSelector
+from repro.interactive.simulated_user import SimulatedUser
+
+
+def make_session(ds, *, lazy, selector=None, **kwargs):
+    return DataProgrammingSession(
+        ds,
+        selector or RandomSelector(),
+        SimulatedUser(ds, seed=123),
+        lazy_proxy=lazy,
+        seed=42,
+        **kwargs,
+    )
+
+
+class CountingEndModel:
+    """Wraps an end model, counting full predict_proba calls on train X."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.predict_calls = 0
+
+    def fit(self, X, soft_labels, sample_weight=None, max_iter=None):
+        self.inner.fit(X, soft_labels, sample_weight=sample_weight, max_iter=max_iter)
+        return self
+
+    def predict_proba(self, X):
+        self.predict_calls += 1
+        return self.inner.predict_proba(X)
+
+    def predict_proba_rows(self, X, rows):
+        return self.inner.predict_proba_rows(X, rows)
+
+    def predict(self, X):
+        return self.inner.predict(X)
+
+
+class TestLazyProxy:
+    def test_cold_sessions_identical_to_eager(self, tiny_dataset):
+        # Default warm_min_train keeps the tiny dataset fully cold: the
+        # lazy switch must then be a no-op, bit for bit.
+        a = make_session(tiny_dataset, lazy=True).run(10)
+        b = make_session(tiny_dataset, lazy=False).run(10)
+        np.testing.assert_array_equal(a.proxy_proba, b.proxy_proba)
+        np.testing.assert_array_equal(a.proxy_labels, b.proxy_labels)
+        assert not a._proxy_stale
+
+    def test_seu_trajectories_identical_lazy_vs_eager(self, tiny_dataset):
+        # The deferred refresh happens before SEU consumes the proxy and
+        # the end model is unchanged in between, so the full interactive
+        # trajectory must match the eager path exactly — including on the
+        # warm cadence.
+        def run(lazy):
+            return make_session(
+                tiny_dataset,
+                lazy=lazy,
+                selector=SEUSelector(warmup=0),
+                warm_min_train=0,
+                warm_after=2,
+            ).run(12)
+
+        a, b = run(True), run(False)
+        assert [lf.name for lf in a.lfs] == [lf.name for lf in b.lfs]
+        np.testing.assert_array_equal(a.soft_labels, b.soft_labels)
+        assert a.test_score() == b.test_score()
+
+    def test_warm_refits_defer_and_resolve_on_read(self, tiny_dataset):
+        session = make_session(
+            tiny_dataset, lazy=True, warm_min_train=0, warm_after=2
+        )
+        # Drive step() directly (run() resolves any deferred refresh on
+        # exit) so the mid-session deferral is observable.
+        for _ in range(12):
+            session.step()
+        assert len(session.lfs) > 2
+        # step() ends with a refit; on the warm cadence the refresh of the
+        # final refit is still deferred.
+        assert session._proxy_stale != session._cold_warranted_
+        state = session.build_state()
+        resolved = state.resolve_proxy()
+        assert not session._proxy_stale
+        assert resolved is session.proxy_proba
+        assert state.proxy_proba is resolved
+        # Bit-identical to what the eager path would have produced.
+        np.testing.assert_array_equal(
+            resolved, session.end_model.predict_proba(session.dataset.train.X)
+        )
+        np.testing.assert_array_equal(
+            session.proxy_labels, np.where(resolved >= 0.5, 1, -1)
+        )
+        # Memoized in the refit-scoped cache.
+        assert state.cache.get("proxy_resolved") is resolved
+
+    def test_non_reading_selector_skips_prediction_between_backstops(
+        self, tiny_dataset
+    ):
+        from repro.endmodel.logistic import SoftLabelLogisticRegression
+
+        def run(lazy):
+            counting = CountingEndModel(SoftLabelLogisticRegression())
+            session = make_session(
+                tiny_dataset,
+                lazy=lazy,
+                warm_min_train=0,
+                warm_after=2,
+                end_model=counting,
+            )
+            session.run(12)
+            return counting.predict_calls, session
+
+        lazy_calls, lazy_session = run(True)
+        eager_calls, _ = run(False)
+        # RandomSelector never reads the proxy: on the lazy path only the
+        # cold refits (plus the run()-exit resolution) refresh it, while
+        # the eager path refreshes every refit.
+        assert eager_calls > lazy_calls
+        # run() materializes any deferred refresh before returning, so the
+        # public attributes are current at the API boundary.
+        assert not lazy_session._proxy_stale
+        np.testing.assert_array_equal(
+            lazy_session.proxy_proba,
+            lazy_session.end_model.predict_proba(lazy_session.dataset.train.X),
+        )
+
+    def test_seu_selector_resolves_on_select(self, tiny_dataset):
+        session = make_session(
+            tiny_dataset,
+            lazy=True,
+            selector=SEUSelector(warmup=0),
+            warm_min_train=0,
+            warm_after=2,
+        )
+        session.run(10)
+        state = session.build_state()
+        session.selector.select(state)
+        assert not session._proxy_stale
+
+    def test_hand_built_state_falls_back_to_full_proxy(self, tiny_dataset):
+        n = tiny_dataset.train.n
+        state = SessionState(
+            dataset=tiny_dataset,
+            family=make_session(tiny_dataset, lazy=True).family,
+            iteration=0,
+            lfs=[],
+            L_train=np.zeros((n, 0), dtype=np.int8),
+            soft_labels=np.full(n, 0.5),
+            entropies=np.full(n, np.log(2)),
+            proxy_labels=np.ones(n, dtype=int),
+            proxy_proba=np.full(n, 0.5),
+        )
+        assert state.proxy_provider is None
+        np.testing.assert_array_equal(state.resolve_proxy(), np.full(n, 0.5))
+
+    def test_eager_mode_refreshes_every_refit(self, tiny_dataset):
+        session = make_session(
+            tiny_dataset, lazy=False, warm_min_train=0, warm_after=2
+        )
+        session.run(8)
+        assert not session._proxy_stale
+        np.testing.assert_array_equal(
+            session.proxy_proba,
+            session.end_model.predict_proba(session.dataset.train.X),
+        )

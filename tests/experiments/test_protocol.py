@@ -42,6 +42,18 @@ class TestRunLearningCurve:
         assert curve.iterations == [5, 10, 15, 20]
         np.testing.assert_allclose(curve.scores, [0.05, 0.10, 0.15, 0.20])
 
+    def test_final_iteration_always_evaluated(self, dataset):
+        # Regression: with 50 iterations and eval_every=7 the last cadence
+        # point is 49 — the model trained by iteration 50 must still be
+        # scored, not silently dropped.
+        curve = run_learning_curve(CountingMethod(dataset), n_iterations=50, eval_every=7)
+        assert curve.iterations == [7, 14, 21, 28, 35, 42, 49, 50]
+        assert curve.final == pytest.approx(0.50)
+
+    def test_no_duplicate_final_point_when_cadence_divides(self, dataset):
+        curve = run_learning_curve(CountingMethod(dataset), n_iterations=15, eval_every=5)
+        assert curve.iterations == [5, 10, 15]
+
     def test_summary_is_mean(self, dataset):
         curve = run_learning_curve(CountingMethod(dataset), n_iterations=20, eval_every=5)
         assert curve.summary == pytest.approx(0.125)
@@ -86,6 +98,35 @@ class TestEvaluateMethod:
     def test_invalid_seeds(self, dataset):
         with pytest.raises(ValueError):
             evaluate_method(lambda ds, s: CountingMethod(ds), "m", dataset, n_seeds=0)
+
+    def test_mixed_grids_raise_clear_error(self):
+        # Regression: curves from different eval cadences must not be
+        # averaged point-wise (mis-aligned supervision budgets) nor die on
+        # ragged numpy input.
+        result = RunResult(
+            "m", "d",
+            curves=[
+                LearningCurve([5, 10], [0.2, 0.4]),
+                LearningCurve([7, 10], [0.3, 0.5]),
+            ],
+        )
+        with pytest.raises(ValueError, match="evaluation grids"):
+            result.mean_curve()
+        with pytest.raises(ValueError, match="evaluation grids"):
+            result.summary_mean
+        ragged = RunResult(
+            "m", "d",
+            curves=[
+                LearningCurve([5, 10], [0.2, 0.4]),
+                LearningCurve([5, 10, 15], [0.2, 0.4, 0.6]),
+            ],
+        )
+        with pytest.raises(ValueError, match="evaluation grids"):
+            ragged.mean_curve()
+
+    def test_empty_result_raises_clear_error(self):
+        with pytest.raises(ValueError, match="no curves"):
+            RunResult("m", "d").mean_curve()
 
 
 class TestReporting:

@@ -125,6 +125,51 @@ class TestJsonRoundTrip:
         with pytest.raises(ValueError, match="format version"):
             load_transcript(path)
 
+    def test_save_leaves_no_temp_files(self, recorded, tmp_path):
+        _, transcript = recorded
+        save_transcript(transcript, tmp_path / "session.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["session.json"]
+
+    def test_crash_mid_write_preserves_previous_transcript(
+        self, recorded, tmp_path, monkeypatch
+    ):
+        # Regression: an in-place write that dies midway left a truncated
+        # file load_transcript could not parse.  The atomic rename must
+        # keep the previous complete transcript readable and clean up its
+        # temp file.
+        import repro.io.session_store as store
+
+        _, transcript = recorded
+        path = tmp_path / "session.json"
+        save_transcript(transcript, path)
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store.os, "replace", exploding_replace)
+        broken = SessionTranscript(dataset_name="other", entries=[], metadata={})
+        with pytest.raises(OSError, match="disk full"):
+            save_transcript(broken, path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert load_transcript(path).dataset_name == transcript.dataset_name
+        assert [p.name for p in tmp_path.iterdir()] == ["session.json"]
+
+    def test_save_overwrites_atomically(self, recorded, tmp_path):
+        _, transcript = recorded
+        path = tmp_path / "session.json"
+        save_transcript(transcript, path)
+        updated = SessionTranscript(
+            dataset_name=transcript.dataset_name,
+            entries=list(transcript.entries[:1]),
+            metadata={"method": "updated"},
+        )
+        save_transcript(updated, path)
+        loaded = load_transcript(path)
+        assert loaded.metadata == {"method": "updated"}
+        assert len(loaded) == 1
+
 
 class TestReplay:
     def test_replay_reproduces_lfs_and_score(self, dataset, recorded):

@@ -109,6 +109,43 @@ class TestBinaryVoteMatrix:
         with pytest.raises(ValueError, match="abstain"):
             vm.append_rows(np.array([1]), 0)
 
+    def test_rejects_negative_row_indices(self):
+        # Negative indices would silently wrap to the end of the buffer,
+        # corrupting both the votes and every running tally.
+        vm = VoteMatrix(10, abstain=0)
+        with pytest.raises(ValueError, match=r"row indices"):
+            vm.append_rows(np.array([2, -1]), 1)
+        assert vm.m == 0 and not vm.coverage_mask().any()
+
+    def test_rejects_out_of_range_row_indices(self):
+        vm = VoteMatrix(10, abstain=0)
+        with pytest.raises(ValueError, match=r"row indices"):
+            vm.append_rows(np.array([0, 10]), 1)
+        assert vm.m == 0
+
+    def test_boundary_rows_accepted(self):
+        vm = VoteMatrix(10, abstain=0)
+        vm.append_rows(np.array([0, 9]), 1)
+        np.testing.assert_array_equal(np.flatnonzero(vm.values[:, 0]), [0, 9])
+
+    def test_rejects_non_integer_rows(self):
+        vm = VoteMatrix(10, abstain=0)
+        with pytest.raises(ValueError, match="integer"):
+            vm.append_rows(np.array([0.5, 2.0]), 1)
+
+    def test_rejects_duplicate_rows(self):
+        # Duplicates would write the dense vote once but double-count it in
+        # the running tallies and the ColumnStats fire structure.
+        vm = VoteMatrix(10, abstain=0)
+        with pytest.raises(ValueError, match="unique"):
+            vm.append_rows(np.array([3, 3]), 1)
+        assert vm.m == 0
+
+    def test_empty_rows_accepted(self):
+        vm = VoteMatrix(10, abstain=0)
+        vm.append_rows(np.array([], dtype=int), 1)
+        assert vm.m == 1 and not vm.coverage_mask().any()
+
     def test_rejects_bad_column_shape(self):
         vm = VoteMatrix(4, abstain=0)
         with pytest.raises(ValueError, match="shape"):

@@ -44,6 +44,7 @@ def paired_mc_run(topics_dataset):
                 "lfs_scratch": [lf.name for lf in scratch.lfs],
                 "lfs_incremental": [lf.name for lf in incremental.lfs],
                 "cold_refit": incremental._cold_warranted_,
+                "end_uncapped": incremental._end_uncapped_,
                 "d_soft": np.abs(incremental.soft_labels - scratch.soft_labels),
                 "d_entropy": np.abs(incremental.entropies - scratch.entropies),
                 "score_scratch": scratch.test_score(),
@@ -61,11 +62,18 @@ class TestIncrementalMatchesScratch:
 
     def test_backstop_restores_scratch_state_exactly(self, paired_mc_run):
         _, _, records = paired_mc_run
-        backstops = [r for r in records if r["cold_refit"]]
-        assert len(backstops) >= 2, "expected multiple cold backstop refits in 25 iters"
-        for rec in backstops:
+        # Label-model exactness at every cold label refit; score agreement
+        # at the true backstops where the convex end model is also fitted
+        # uncapped (the early low-LF regime caps it like a warm refit —
+        # see tests/core/test_incremental_engine.py).
+        cold = [r for r in records if r["cold_refit"]]
+        assert len(cold) >= 2, "expected multiple cold label refits in 25 iters"
+        for rec in cold:
             assert rec["d_soft"].max() < 1e-8
             assert rec["d_entropy"].max() < 1e-8
+        backstops = [r for r in records if r["cold_refit"] and r["end_uncapped"]]
+        assert len(backstops) >= 2, "expected multiple full backstops in 25 iters"
+        for rec in backstops:
             assert abs(rec["score_incremental"] - rec["score_scratch"]) <= 0.02
 
     def test_soft_labels_within_tolerance_between_backstops(self, paired_mc_run):

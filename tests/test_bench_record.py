@@ -1,0 +1,63 @@
+"""Guards on the committed session-throughput benchmark record.
+
+`BENCH_session_throughput.json` is the repo's performance ledger: the
+50k-scale acceptance row and the per-phase attribution must not silently
+disappear when the benchmark is regenerated.  The same check runs in the
+CI bench smoke (`bench_perf_session.py --quick`).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_perf_session import (
+        LARGE_N_SPEEDUP,
+        LARGE_N_TRAIN,
+        PHASE_KEYS,
+        check_record,
+    )
+
+    return check_record, PHASE_KEYS, LARGE_N_TRAIN, LARGE_N_SPEEDUP
+
+
+def load_record():
+    return json.loads((REPO_ROOT / "BENCH_session_throughput.json").read_text())
+
+
+class TestCommittedBenchRecord:
+    def test_record_passes_shape_check(self):
+        check_record, *_ = load_checker()
+        assert check_record(load_record()) == []
+
+    def test_phase_timing_keys_present_everywhere(self):
+        _, phase_keys, *_ = load_checker()
+        for entry in load_record()["results"]:
+            for mode in ("scratch", "incremental"):
+                phases = entry[mode]["phase_seconds"]
+                for key in phase_keys:
+                    assert key in phases, (entry["task"], entry["n_train"], mode, key)
+
+    def test_large_n_row_present_and_fast_enough(self):
+        _, _, large_n, min_speedup = load_checker()
+        rows = [
+            r
+            for r in load_record()["results"]
+            if r["task"] == "binary" and r["n_train"] == large_n
+        ]
+        assert rows, f"binary n_train={large_n} row missing from committed record"
+        assert rows[0]["speedup"] >= min_speedup
+
+    def test_target_row_not_regressed(self):
+        record = load_record()
+        target = record["target"]
+        rows = [
+            r
+            for r in record["results"]
+            if r["task"] == "binary" and r["n_train"] == target["n_train"]
+        ]
+        assert rows and rows[0]["speedup"] >= target["min_speedup"]
