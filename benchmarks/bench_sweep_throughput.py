@@ -1,0 +1,288 @@
+"""Sweep-throughput benchmark: serial vs parallel experiment grids.
+
+The ``repro.sweep`` subsystem exists to turn the embarrassing parallelism
+of seeds × methods × datasets grids into wall-clock: this benchmark runs
+the *same* sweep spec twice — once serially (``jobs=1``) and once on a
+worker pool — into two fresh result stores, records both wall clocks, and
+verifies the parallel store's per-job scores are **bit-identical** to the
+serial ones (scheduling must never leak into results).
+
+The committed ``BENCH_sweep_throughput.json`` is the performance ledger
+for the sweep path; ``tests/test_bench_sweep_record.py`` asserts its
+schema.  The ≥2.5× speedup target is only meaningful on a machine with
+enough cores to parallelize on — the record therefore carries
+``machine.cpu_count``, and :func:`check_record` enforces the target only
+when at least :data:`MIN_CPUS_FOR_TARGET` CPUs were available (a 1-CPU CI
+container records an honest ~1× and still passes the schema check).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py           # full grid
+    PYTHONPATH=src python benchmarks/bench_sweep_throughput.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.sweep import ResultStore, SweepSpec, run_sweep  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: The acceptance target: parallel wall clock ≥ this multiple better than
+#: serial for the default 4-method × 5-seed grid ...
+SPEEDUP_TARGET = 2.5
+#: ... enforced only on machines with at least this many CPUs (a pool
+#: cannot beat the serial path on a single core).
+MIN_CPUS_FOR_TARGET = 4
+
+#: The default grid: the paper's Table-5 selection strategies — 4 methods
+#: × 5 seeds = 20 independent jobs on one dataset.
+DEFAULT_METHODS = ("seu", "random", "abstain", "disagree")
+DEFAULT_SEEDS = 5
+
+
+def check_record(record: dict) -> list[str]:
+    """Validate the record's shape; returns problems (empty = OK).
+
+    Run by the tier-1 test against the committed record and by the CI
+    smoke after a ``--quick`` regeneration.
+    """
+    problems = []
+    for key in (
+        "benchmark",
+        "schema_version",
+        "machine",
+        "spec",
+        "target",
+        "serial",
+        "parallel",
+        "speedup",
+        "bit_identical",
+        "cells",
+    ):
+        if key not in record:
+            problems.append(f"record missing key {key!r}")
+    if problems:
+        return problems
+    if record["benchmark"] != "sweep_throughput":
+        problems.append(f"unexpected benchmark tag {record['benchmark']!r}")
+    if record["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {record['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    machine = record["machine"]
+    for key in ("platform", "python", "cpu_count"):
+        if key not in machine:
+            problems.append(f"machine missing key {key!r}")
+    for mode in ("serial", "parallel"):
+        entry = record[mode]
+        if not isinstance(entry.get("wall_seconds"), (int, float)) or entry[
+            "wall_seconds"
+        ] <= 0:
+            problems.append(f"{mode}.wall_seconds must be a positive number")
+        if not isinstance(entry.get("jobs"), int) or entry["jobs"] < 1:
+            problems.append(f"{mode}.jobs must be a positive int")
+    spec = record["spec"]
+    for key in ("methods", "datasets", "n_seeds", "n_iterations"):
+        if key not in spec:
+            problems.append(f"spec missing key {key!r}")
+    if record["bit_identical"] is not True:
+        problems.append("parallel results are not bit-identical to serial")
+    if not record["cells"]:
+        problems.append("record has no per-cell summaries")
+    cpu_count = machine.get("cpu_count", 0)
+    if (
+        isinstance(cpu_count, int)
+        and cpu_count >= MIN_CPUS_FOR_TARGET
+        and record["speedup"] < SPEEDUP_TARGET
+    ):
+        problems.append(
+            f"speedup {record['speedup']} < target {SPEEDUP_TARGET} on a "
+            f"{cpu_count}-CPU machine"
+        )
+    return problems
+
+
+def _compare_stores(spec: SweepSpec, serial_dir: Path, parallel_dir: Path) -> bool:
+    """Whether every job's scores/iterations match exactly across stores."""
+    serial_store = ResultStore(serial_dir)
+    parallel_store = ResultStore(parallel_dir)
+    for job in spec.jobs():
+        a = serial_store.read_result(job.key)
+        b = parallel_store.read_result(job.key)
+        if a is None or b is None:
+            return False
+        if a["iterations"] != b["iterations"] or a["scores"] != b["scores"]:
+            return False
+    return True
+
+
+def run_benchmark(args) -> dict:
+    spec = SweepSpec(
+        methods=tuple(args.methods),
+        datasets=tuple(args.datasets),
+        n_seeds=args.seeds,
+        base_seed=args.seed,
+        n_iterations=args.iterations,
+        eval_every=args.eval_every,
+        scale=args.scale,
+    )
+    n_jobs_grid = len(spec.jobs())
+    work_root = Path(tempfile.mkdtemp(prefix="bench_sweep_"))
+    try:
+        print(
+            f"[bench] grid: {len(spec.methods)} methods x {len(spec.datasets)} "
+            f"datasets x {args.seeds} seeds = {n_jobs_grid} jobs "
+            f"({args.iterations} iterations each)",
+            flush=True,
+        )
+        serial_dir = work_root / "serial"
+        parallel_dir = work_root / "parallel"
+
+        print("[bench] serial pass (jobs=1) ...", flush=True)
+        t0 = time.perf_counter()
+        serial_report = run_sweep(spec, serial_dir, jobs=1)
+        serial_seconds = time.perf_counter() - t0
+        print(f"[bench]   serial: {serial_seconds:.2f}s", flush=True)
+
+        print(f"[bench] parallel pass (jobs={args.jobs}) ...", flush=True)
+        t0 = time.perf_counter()
+        parallel_report = run_sweep(spec, parallel_dir, jobs=args.jobs)
+        parallel_seconds = time.perf_counter() - t0
+        print(f"[bench]   parallel: {parallel_seconds:.2f}s", flush=True)
+
+        if not (serial_report.complete and parallel_report.complete):
+            raise RuntimeError("benchmark sweeps did not complete")
+
+        bit_identical = _compare_stores(spec, serial_dir, parallel_dir)
+        speedup = round(serial_seconds / parallel_seconds, 3)
+        print(
+            f"[bench] speedup {speedup}x, bit-identical={bit_identical}", flush=True
+        )
+
+        cells = {}
+        for (dataset, method), result in sorted(serial_report.results.items()):
+            cells[f"{dataset}/{method}"] = {
+                "summary_mean": round(result.summary_mean, 4),
+                "summary_std": round(result.summary_std, 4),
+                "final_mean": round(result.final_mean, 4),
+                "final_std": round(result.final_std, 4),
+            }
+    finally:
+        shutil.rmtree(work_root, ignore_errors=True)
+
+    return {
+        "benchmark": "sweep_throughput",
+        "schema_version": SCHEMA_VERSION,
+        "quick": bool(args.quick),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "target": {"speedup": SPEEDUP_TARGET, "min_cpus": MIN_CPUS_FOR_TARGET},
+        "spec": spec.to_dict(),
+        "n_jobs_grid": n_jobs_grid,
+        "serial": {"wall_seconds": round(serial_seconds, 3), "jobs": 1},
+        "parallel": {"wall_seconds": round(parallel_seconds, 3), "jobs": args.jobs},
+        "speedup": speedup,
+        "bit_identical": bit_identical,
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--methods",
+        nargs="+",
+        default=list(DEFAULT_METHODS),
+        help="registry names of the grid (default: the Table-5 selectors)",
+    )
+    parser.add_argument("--datasets", nargs="+", default=["youtube"])
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS)
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument("--eval-every", type=int, default=5)
+    parser.add_argument("--scale", default="tiny", help="dataset scale preset")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="worker processes for the parallel pass (default 4, the target's grid)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_sweep_throughput.json"),
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke: a 2-method x 2-seed grid of 8 iterations; writes next to "
+            "the committed record (never over it) and asserts the committed "
+            "record's schema"
+        ),
+    )
+    args = parser.parse_args(argv)
+    default_output = str(REPO_ROOT / "BENCH_sweep_throughput.json")
+    if args.quick:
+        args.methods = ["random", "abstain"]
+        args.seeds = 2
+        args.iterations = 8
+        args.jobs = 2
+        if args.output == default_output:
+            # A smoke run must not overwrite the committed full-grid record.
+            args.output = str(REPO_ROOT / "BENCH_sweep_throughput.quick.json")
+
+    record = run_benchmark(args)
+    out = Path(args.output)
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[bench] wrote {out}")
+
+    if args.quick:
+        committed = Path(default_output)
+        problems = (
+            check_record(json.loads(committed.read_text()))
+            if committed.exists()
+            else [f"committed record {committed} missing"]
+        )
+        if problems:
+            for problem in problems:
+                print(f"[bench] committed record FAILED check: {problem}")
+            return 1
+        print(f"[bench] committed record {committed.name} OK (schema + targets)")
+        return 0
+
+    problems = check_record(record)
+    for problem in problems:
+        print(f"[bench] record FAILED check: {problem}")
+    if record["machine"]["cpu_count"] < MIN_CPUS_FOR_TARGET:
+        print(
+            f"[bench] note: only {record['machine']['cpu_count']} CPU(s) available — "
+            f"the {SPEEDUP_TARGET}x target needs >= {MIN_CPUS_FOR_TARGET} cores and "
+            "is not enforced on this machine"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

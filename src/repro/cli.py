@@ -1,12 +1,14 @@
 """Command-line interface to the reproduction.
 
-Four subcommands cover the workflows a downstream user needs without
+Five subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``datasets`` — Table-1-style statistics for the bundled benchmarks.
 * ``run``      — evaluate one method on one dataset (learning curve +
   curve-average summary, optional transcript recording).
 * ``compare``  — a results table of several methods on one dataset.
+* ``sweep``    — a parallel, crash-resumable methods × datasets × seeds
+  grid streamed to an on-disk result store (see :mod:`repro.sweep`).
 * ``replay``   — re-score a recorded transcript under a different
   learning pipeline (the paper's user-study workflow, Sec. 5.2).
 
@@ -21,13 +23,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-DATASET_NAMES = ("amazon", "yelp", "imdb", "youtube", "sms", "vg")
-#: The multiclass extension dataset; selects the K-class method registry.
-MC_DATASET_NAMES = ("topics",)
-SCALES = ("tiny", "bench", "paper")
-
-_TOPICS_DOCS = {"tiny": 600, "bench": 1500, "paper": 4000}
-_TOPICS_VOCAB = {"tiny": 8, "bench": 15, "paper": 40}
+from repro.data.named import DATASET_NAMES, MC_DATASET_NAMES, SCALES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +54,61 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["nemo", "snorkel"],
         help="registry names to compare",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel, crash-resumable methods x datasets x seeds grid",
+        description=(
+            "Expand a methods x datasets x seeds grid into independent jobs, "
+            "run them on a worker pool, and stream per-job results into OUT. "
+            "Re-running with the same OUT resumes: completed jobs are skipped "
+            "and in-flight sessions restart from their checkpoints."
+        ),
+    )
+    p_sweep.add_argument(
+        "--datasets",
+        nargs="+",
+        choices=DATASET_NAMES + MC_DATASET_NAMES,
+        default=["amazon"],
+        help="datasets of the grid ('topics' rows use the *-mc registry)",
+    )
+    p_sweep.add_argument(
+        "--methods",
+        nargs="+",
+        default=["nemo", "snorkel"],
+        help="registry names of the grid",
+    )
+    p_sweep.add_argument("--scale", choices=SCALES, default="bench")
+    p_sweep.add_argument("--iterations", type=int, default=50)
+    p_sweep.add_argument("--eval-every", type=int, default=5)
+    p_sweep.add_argument("--seeds", type=int, default=5)
+    p_sweep.add_argument("--seed", type=int, default=0, help="base seed")
+    p_sweep.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="simulated-user LF accuracy threshold t (paper Sec. 5.1)",
+    )
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_sweep.add_argument(
+        "--out",
+        default="sweep_out",
+        help="result-store directory (reuse to resume a killed sweep)",
+    )
+    p_sweep.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="mid-job session snapshot cadence, in protocol iterations",
+    )
+    p_sweep.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="stop after this many jobs this invocation (budgeting/smoke aid)",
     )
 
     p_replay = sub.add_parser(
@@ -107,6 +158,12 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
         default=0.5,
         help="simulated-user LF accuracy threshold t (paper Sec. 5.1)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-seed sessions (1 = serial)",
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -122,14 +179,6 @@ def cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_mc_dataset(scale: str):
-    from repro.multiclass import make_topics_dataset
-
-    return make_topics_dataset(
-        n_docs=_TOPICS_DOCS[scale], seed=0, vocab_scale=_TOPICS_VOCAB[scale]
-    )
-
-
 def _evaluate_named(args: argparse.Namespace, method_name: str, dataset):
     """Dispatch to the binary or multiclass registry by dataset kind."""
     if args.dataset in MC_DATASET_NAMES:
@@ -143,6 +192,7 @@ def _evaluate_named(args: argparse.Namespace, method_name: str, dataset):
             n_seeds=args.seeds,
             base_seed=args.seed,
             user_threshold=args.threshold,
+            jobs=args.jobs,
         )
     from repro.experiments import evaluate_method, make_method
 
@@ -154,15 +204,14 @@ def _evaluate_named(args: argparse.Namespace, method_name: str, dataset):
         eval_every=args.eval_every,
         n_seeds=args.seeds,
         base_seed=args.seed,
+        jobs=args.jobs,
     )
 
 
 def _load_any_dataset(args: argparse.Namespace):
-    if args.dataset in MC_DATASET_NAMES:
-        return _load_mc_dataset(args.scale)
-    from repro.data import load_dataset
+    from repro.data.named import load_named_dataset
 
-    return load_dataset(args.dataset, scale=args.scale, seed=0)
+    return load_named_dataset(args.dataset, scale=args.scale, seed=0)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -235,6 +284,66 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        methods=tuple(args.methods),
+        datasets=tuple(args.datasets),
+        n_seeds=args.seeds,
+        base_seed=args.seed,
+        n_iterations=args.iterations,
+        eval_every=args.eval_every,
+        scale=args.scale,
+        user_threshold=args.threshold,
+    )
+    n_total = len(spec.jobs())
+    print(
+        f"sweep: {len(spec.methods)} methods x {len(spec.datasets)} datasets x "
+        f"{args.seeds} seeds = {n_total} jobs -> {args.out} (jobs={args.jobs})"
+    )
+
+    def progress(done: int, total: int, key: str, payload: dict) -> None:
+        resumed = payload.get("resumed_from_iteration", 0)
+        note = f" (resumed from iteration {resumed})" if resumed else ""
+        print(f"  [{done}/{total}] {key}: {payload['wall_seconds']:.1f}s{note}")
+
+    report = run_sweep(
+        spec,
+        args.out,
+        jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
+        max_jobs=args.max_jobs,
+        progress=progress,
+    )
+    print(
+        f"ran {len(report.ran)} jobs, skipped {len(report.skipped)} already-completed "
+        f"in {report.wall_seconds:.1f}s"
+    )
+    if not report.complete:
+        print(f"{len(report.pending)} jobs still pending; rerun to resume")
+    # Table of curve averages for every complete cell, one block per dataset.
+    for dataset in spec.datasets:
+        cells, names = [], []
+        for method in spec.methods:
+            result = report.results.get((dataset, method))
+            if result is not None and len(result.curves) == args.seeds:
+                names.append(method)
+                cells.append(result.summary_mean)
+        if names:
+            print()
+            print(
+                format_table(
+                    f"{dataset} (scale={args.scale}, {args.seeds} seeds, "
+                    f"{args.iterations} iterations)",
+                    names,
+                    {dataset: cells},
+                )
+            )
+    return 0 if report.complete else 1
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.context_sequence import ContextSequenceContextualizer
     from repro.core.contextualizer import LFContextualizer
@@ -275,6 +384,7 @@ COMMANDS = {
     "datasets": cmd_datasets,
     "run": cmd_run,
     "compare": cmd_compare,
+    "sweep": cmd_sweep,
     "replay": cmd_replay,
 }
 

@@ -470,3 +470,205 @@ class IncrementalSessionEngine:
 
     def build_state(self):
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # durable snapshot / restore (ENGINE.md §5)
+    # ------------------------------------------------------------------ #
+    #: Array-valued session fields captured by state_dict (``None`` values
+    #: are recorded as absent).  Subclasses extend this with their
+    #: cardinality-specific proxy fields.
+    _CHECKPOINT_ARRAY_FIELDS: tuple[str, ...] = (
+        "soft_labels",
+        "entropies",
+        "selection_soft_labels",
+        "selection_entropies",
+        "proxy_proba",
+    )
+
+    def _capture_rng_state(self, rng) -> dict | None:
+        if isinstance(rng, np.random.Generator):
+            return rng.bit_generator.state
+        return None
+
+    def state_dict(self) -> dict:
+        """Everything needed to continue this session bit-identically.
+
+        The snapshot covers the vote matrices (sparse column structure —
+        the :class:`~repro.labelmodel.matrix.ColumnStats` handle is rebuilt
+        identically from it), the lineage (LFs stored by token, verified
+        against the restored dataset's primitive domain), the fitted label
+        / selection-view / end models, the session and user RNG streams,
+        and every loop counter the refit cadence depends on.  Deliberately
+        *not* covered: the refit-scoped selector cache and the lineage's
+        distance cache (memoized pure functions of the captured state —
+        recomputed bit-identically on demand) and all component
+        hyperparameters (the restoring session is constructed with the
+        same configuration; see :meth:`load_state_dict`).
+
+        Any proxy refresh deferred by ``lazy_proxy`` is materialized first
+        — the end model has not changed since it was deferred, so the
+        values are exactly what the first selector read would have
+        produced, and the snapshot stays self-contained.
+        """
+        self._resolve_proxy()
+        arrays = {}
+        for name in self._CHECKPOINT_ARRAY_FIELDS:
+            value = getattr(self, name)
+            if value is not None:
+                arrays[name] = np.asarray(value).copy()
+        return {
+            "kind": "session-engine",
+            "engine_class": type(self).__name__,
+            "dataset_name": self.dataset.name,
+            "n_train": int(self.dataset.train.n),
+            "n_valid": int(self.dataset.valid.n),
+            "abstain": int(self.abstain_value),
+            "iteration": int(self.iteration),
+            "refit_count": int(self._refit_count),
+            "cold_warranted": bool(self._cold_warranted_),
+            "end_uncapped": bool(self._end_uncapped_),
+            "end_model_fitted": bool(self._end_model_fitted),
+            "selected": sorted(int(i) for i in self.selected),
+            "active_percentile": (
+                None if self.active_percentile_ is None else float(self.active_percentile_)
+            ),
+            "phase_timings": {k: float(v) for k, v in self.phase_timings.items()},
+            "rng_state": self._capture_rng_state(self.rng),
+            "user_rng_state": self._capture_rng_state(getattr(self.user, "rng", None)),
+            "lineage": [
+                {
+                    "iteration": int(r.iteration),
+                    "dev_index": int(r.dev_index),
+                    "primitive": str(r.lf.primitive),
+                    "primitive_id": int(r.lf.primitive_id),
+                    "label": int(r.lf.label),
+                }
+                for r in self.lineage.records
+            ],
+            "votes_train": self._L_train.state_arrays(),
+            "votes_valid": self._L_valid.state_arrays(),
+            "arrays": arrays,
+            "label_model": (
+                None if self.label_model_ is None else self.label_model_.state_dict()
+            ),
+            "selection_model": (
+                None
+                if self._selection_model_ is None
+                else self._selection_model_.state_dict()
+            ),
+            "end_model": self.end_model.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> "IncrementalSessionEngine":
+        """Restore a :meth:`state_dict` snapshot onto this fresh session.
+
+        The session must have been constructed with the same dataset
+        (name, split sizes, featurization) and an equivalent component
+        configuration as the one that was snapshotted — the checkpoint
+        carries fitted state only, never configuration.  Identity checks
+        are fail-closed: engine class, dataset name, split sizes, abstain
+        sentinel, and every LF's primitive token → column mapping must
+        match, otherwise the restore raises instead of continuing a
+        session that would silently diverge.  After a successful restore,
+        :meth:`step` continues exactly as the snapshotted session would
+        have (see the checkpoint round-trip tests).
+        """
+        if not isinstance(state, dict) or state.get("kind") != "session-engine":
+            raise ValueError("not a session-engine state dict")
+        if state.get("engine_class") != type(self).__name__:
+            raise ValueError(
+                f"checkpoint was captured from {state.get('engine_class')!r} but is "
+                f"being loaded into {type(self).__name__!r}"
+            )
+        if state.get("dataset_name") != self.dataset.name:
+            raise ValueError(
+                f"checkpoint was captured on dataset {state.get('dataset_name')!r} "
+                f"but this session runs on {self.dataset.name!r}"
+            )
+        if (
+            int(state.get("n_train", -1)) != self.dataset.train.n
+            or int(state.get("n_valid", -1)) != self.dataset.valid.n
+        ):
+            raise ValueError(
+                "checkpoint split sizes do not match the session's dataset "
+                f"(got train={state.get('n_train')}, valid={state.get('n_valid')}, "
+                f"expected train={self.dataset.train.n}, valid={self.dataset.valid.n})"
+            )
+        if int(state.get("abstain", self.abstain_value)) != self.abstain_value:
+            raise ValueError(
+                f"checkpoint abstain sentinel {state.get('abstain')} does not match "
+                f"the session's {self.abstain_value}"
+            )
+
+        # Lineage first: LFs are rebuilt by token against the *current*
+        # featurization and verified against the recorded column, so a
+        # vocabulary drift fails loudly here before any state is touched.
+        lineage = LineageStore(self.dataset)
+        for entry in state.get("lineage", ()):
+            rebuilt = self.family.make_by_token(entry["primitive"], int(entry["label"]))
+            if rebuilt.primitive_id != int(entry["primitive_id"]):
+                raise ValueError(
+                    f"primitive {entry['primitive']!r} moved from column "
+                    f"{entry['primitive_id']} to {rebuilt.primitive_id}; the dataset "
+                    "was featurized differently from the checkpointed session"
+                )
+            lineage.add(rebuilt, int(entry["dev_index"]), int(entry["iteration"]))
+        self.lineage = lineage
+
+        self._L_train = VoteMatrix.from_state_arrays(
+            self.dataset.train.n, self.abstain_value, state["votes_train"]
+        )
+        self._L_valid = VoteMatrix.from_state_arrays(
+            self.dataset.valid.n, self.abstain_value, state["votes_valid"]
+        )
+
+        self.iteration = int(state["iteration"])
+        self._refit_count = int(state["refit_count"])
+        self._cold_warranted_ = bool(state["cold_warranted"])
+        self._end_uncapped_ = bool(state["end_uncapped"])
+        self._end_model_fitted = bool(state["end_model_fitted"])
+        self.selected = {int(i) for i in state["selected"]}
+        ap = state.get("active_percentile")
+        self.active_percentile_ = None if ap is None else float(ap)
+        timings = {p: 0.0 for p in PHASES}
+        timings["contextualize"] = 0.0
+        timings.update({k: float(v) for k, v in state.get("phase_timings", {}).items()})
+        self.phase_timings = timings
+
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            self.rng.bit_generator.state = rng_state
+        user_rng_state = state.get("user_rng_state")
+        user_rng = getattr(self.user, "rng", None)
+        if user_rng_state is not None:
+            if not isinstance(user_rng, np.random.Generator):
+                raise ValueError(
+                    "checkpoint carries a user RNG stream but this session's user "
+                    "has none — the user configuration does not match"
+                )
+            user_rng.bit_generator.state = user_rng_state
+
+        arrays = state.get("arrays", {})
+        for name in self._CHECKPOINT_ARRAY_FIELDS:
+            setattr(self, name, arrays[name].copy() if name in arrays else None)
+
+        def _restore_model(payload, factory):
+            if payload is None:
+                return None
+            model = factory()
+            model.load_state_dict(payload)
+            return model
+
+        self.label_model_ = _restore_model(state.get("label_model"), self.label_model_factory)
+        self._selection_model_ = _restore_model(
+            state.get("selection_model"), self.label_model_factory
+        )
+        self.end_model.load_state_dict(state["end_model"])
+
+        # The refit-scoped cache holds memoized pure functions of the
+        # restored state; dropping it is bit-identical (entries are
+        # recomputed on first read).  The snapshot materialized any
+        # deferred proxy refresh, so the restored proxy is current.
+        self._selector_cache = {}
+        self._proxy_stale = False
+        return self

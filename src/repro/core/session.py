@@ -155,6 +155,11 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
     convention = BINARY
     abstain_value = BINARY.abstain
 
+    #: The binary session adds the hard ±1 proxy to the checkpointed arrays.
+    _CHECKPOINT_ARRAY_FIELDS = IncrementalSessionEngine._CHECKPOINT_ARRAY_FIELDS + (
+        "proxy_labels",
+    )
+
     def __init__(
         self,
         dataset: FeaturizedDataset,

@@ -1,0 +1,48 @@
+"""Name-based dataset resolution across both cardinalities.
+
+The CLI and the sweep subsystem both address datasets by name — the six
+binary benchmarks (Table 1) plus the multiclass ``topics`` extension —
+with a size preset.  This module is the single source of that mapping, so
+a worker process, the CLI, and a sweep spec all resolve a ``(name,
+scale, seed)`` triple to the identical featurized dataset.
+
+Kept in the data layer deliberately: the sweep package and the CLI both
+import *down* into it, never each other.
+"""
+
+from __future__ import annotations
+
+from repro.data.recipes import DATASET_NAMES
+
+#: The multiclass extension dataset; selects the K-class method registry.
+MC_DATASET_NAMES = ("topics",)
+
+#: Dataset size presets shared by the CLI and sweep specs.
+SCALES = ("tiny", "bench", "paper")
+
+_TOPICS_DOCS = {"tiny": 600, "bench": 1500, "paper": 4000}
+_TOPICS_VOCAB = {"tiny": 8, "bench": 15, "paper": 40}
+
+
+def is_mc_dataset(name: str) -> bool:
+    """Whether ``name`` selects the multiclass registry."""
+    return name in MC_DATASET_NAMES
+
+
+def load_named_dataset(name: str, scale: str = "bench", seed: int = 0):
+    """Build any bundled dataset (binary benchmarks or the MC extension)."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+    if is_mc_dataset(name):
+        from repro.multiclass import make_topics_dataset
+
+        return make_topics_dataset(
+            n_docs=_TOPICS_DOCS[scale], seed=seed, vocab_scale=_TOPICS_VOCAB[scale]
+        )
+    if name not in DATASET_NAMES:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {DATASET_NAMES + MC_DATASET_NAMES}"
+        )
+    from repro.data.recipes import load_dataset
+
+    return load_dataset(name, scale=scale, seed=seed)

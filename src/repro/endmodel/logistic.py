@@ -12,12 +12,14 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import minimize
 
+from repro.utils.state import FittedStateMixin
+
 
 def _sigmoid(x):
     return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
 
 
-class SoftLabelLogisticRegression:
+class SoftLabelLogisticRegression(FittedStateMixin):
     """L2-regularized logistic regression with probabilistic targets.
 
     Parameters
@@ -48,6 +50,8 @@ class SoftLabelLogisticRegression:
     >>> bool(clf.predict(np.array([[3.0]]))[0] == 1)
     True
     """
+
+    _FITTED_ATTRS = ("coef_", "intercept_", "n_features_")
 
     def __init__(
         self,

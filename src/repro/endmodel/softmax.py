@@ -13,6 +13,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import minimize
 
+from repro.utils.state import FittedStateMixin
+
 
 def _softmax(scores: np.ndarray) -> np.ndarray:
     shifted = scores - scores.max(axis=1, keepdims=True)
@@ -20,7 +22,7 @@ def _softmax(scores: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=1, keepdims=True)
 
 
-class SoftLabelSoftmaxRegression:
+class SoftLabelSoftmaxRegression(FittedStateMixin):
     """L2-regularized multinomial logistic regression with soft targets.
 
     Parameters
@@ -46,6 +48,8 @@ class SoftLabelSoftmaxRegression:
     >>> int(clf.predict(np.array([[5.0]]))[0])
     1
     """
+
+    _FITTED_ATTRS = ("coef_", "intercept_", "n_features_")
 
     def __init__(
         self,

@@ -74,13 +74,31 @@ class RunResult:
 
     @property
     def summary_std(self) -> float:
+        """Sample standard deviation (``ddof=1``) of the curve averages.
+
+        The seeds are a *sample* of the method's run distribution, and the
+        ± column of a results table is an estimate of that distribution's
+        spread — the population formula (``ddof=0``) systematically
+        understates it at the 3–5 seeds the protocol actually runs.  A
+        single curve has no spread estimate; report 0.0 rather than NaN.
+        """
         self._common_grid()
-        return float(np.std([c.summary for c in self.curves]))
+        if len(self.curves) < 2:
+            return 0.0
+        return float(np.std([c.summary for c in self.curves], ddof=1))
 
     @property
     def final_mean(self) -> float:
         self._common_grid()
         return float(np.mean([c.final for c in self.curves]))
+
+    @property
+    def final_std(self) -> float:
+        """Sample std of the final-iteration scores (``ddof=1``; 0.0 for one curve)."""
+        self._common_grid()
+        if len(self.curves) < 2:
+            return 0.0
+        return float(np.std([c.final for c in self.curves], ddof=1))
 
     def mean_curve(self) -> LearningCurve:
         """Pointwise mean across seeds (for plotting-style output)."""
@@ -93,6 +111,10 @@ def run_learning_curve(
     method: InteractiveMethod,
     n_iterations: int = 50,
     eval_every: int = 5,
+    *,
+    start_iteration: int = 0,
+    curve: LearningCurve | None = None,
+    after_iteration=None,
 ) -> LearningCurve:
     """Drive one method through the interactive protocol.
 
@@ -101,22 +123,41 @@ def run_learning_curve(
     iterations, ``eval_every=7``), the final model — the one every summary
     statistic is supposed to reflect — would otherwise never be scored and
     the curve tail silently dropped.
+
+    Resume support (used by the sweep runner's crash-resume,
+    :mod:`repro.sweep`): ``start_iteration`` says how many protocol
+    iterations ``method`` has *already* run — e.g. after a
+    checkpoint restore — and ``curve`` carries the evaluations recorded up
+    to that point (it is extended in place and returned).  ``after_iteration``
+    is an optional ``(iteration, curve) -> None`` hook called after every
+    step-and-evaluate — the checkpoint-writing seam.  The default arguments
+    reproduce the historical fresh-run behaviour exactly.
     """
     if n_iterations < 1:
         raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
     if eval_every < 1:
         raise ValueError(f"eval_every must be >= 1, got {eval_every}")
-    iterations: list[int] = []
-    scores: list[float] = []
-    for it in range(1, n_iterations + 1):
+    if not 0 <= start_iteration <= n_iterations:
+        raise ValueError(
+            f"start_iteration must be in [0, {n_iterations}], got {start_iteration}"
+        )
+    if curve is None:
+        if start_iteration > 0:
+            raise ValueError(
+                "resuming (start_iteration > 0) requires the curve recorded so far"
+            )
+        curve = LearningCurve(iterations=[], scores=[])
+    for it in range(start_iteration + 1, n_iterations + 1):
         method.step()
         if it % eval_every == 0:
-            iterations.append(it)
-            scores.append(method.test_score())
-    if not iterations or iterations[-1] != n_iterations:
-        iterations.append(n_iterations)
-        scores.append(method.test_score())
-    return LearningCurve(iterations=iterations, scores=scores)
+            curve.iterations.append(it)
+            curve.scores.append(method.test_score())
+        if after_iteration is not None:
+            after_iteration(it, curve)
+    if not curve.iterations or curve.iterations[-1] != n_iterations:
+        curve.iterations.append(n_iterations)
+        curve.scores.append(method.test_score())
+    return curve
 
 
 def evaluate_method(
@@ -127,17 +168,44 @@ def evaluate_method(
     eval_every: int = 5,
     n_seeds: int = 5,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> RunResult:
     """Run ``method_factory(dataset, seed)`` across seeds and aggregate.
 
     Seeds are derived stably from ``(method, dataset, run index, base)`` so
     any cell of any table can be reproduced in isolation.
+
+    ``jobs > 1`` runs the per-seed sessions in a worker-process pool
+    (:mod:`repro.sweep`): every run is seeded independently and shares no
+    state, so the aggregated result is bit-identical to the serial path —
+    only the wall clock changes.  The factory and dataset must be picklable
+    (every registry factory is); a non-picklable custom factory fails with
+    a clear error rather than silently running serially.
     """
     if n_seeds < 1:
         raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     result = RunResult(method=method_name, dataset=dataset.name)
-    for run_idx in range(n_seeds):
-        seed = stable_hash_seed(method_name, dataset.name, run_idx, base_seed)
+    seeds = [
+        stable_hash_seed(method_name, dataset.name, run_idx, base_seed)
+        for run_idx in range(n_seeds)
+    ]
+    if jobs > 1 and n_seeds > 1:
+        from repro.sweep.worker import parallel_learning_curves
+
+        result.curves.extend(
+            parallel_learning_curves(
+                method_factory,
+                dataset,
+                seeds,
+                n_iterations=n_iterations,
+                eval_every=eval_every,
+                jobs=jobs,
+            )
+        )
+        return result
+    for seed in seeds:
         method = method_factory(dataset, seed)
         result.curves.append(
             run_learning_curve(method, n_iterations=n_iterations, eval_every=eval_every)

@@ -10,6 +10,8 @@ datasets".
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
+from functools import partial
 
 from repro.core.config import NemoConfig
 from repro.core.session import InteractiveMethod
@@ -32,12 +34,46 @@ def _make_user(dataset: FeaturizedDataset, seed, threshold: float) -> SimulatedU
     return SimulatedUser(dataset, accuracy_threshold=threshold, seed=user_seed)
 
 
-def _session_factory(config: NemoConfig, threshold: float) -> MethodFactory:
-    def factory(dataset: FeaturizedDataset, seed) -> InteractiveMethod:
-        user = _make_user(dataset, seed, threshold)
-        return config.create_session(dataset, user, seed=seed)
+# Every factory below is a module-level callable (a dataclass instance or a
+# ``functools.partial`` of a module-level function) rather than a closure:
+# the parallel experiment runner ships factories to worker processes, and
+# closures do not pickle.
+@dataclass
+class _ConfigSessionFactory:
+    """Picklable ``(dataset, seed) -> session`` factory for a NemoConfig."""
 
-    return factory
+    config: NemoConfig
+    threshold: float
+
+    def __call__(self, dataset: FeaturizedDataset, seed) -> InteractiveMethod:
+        user = _make_user(dataset, seed, self.threshold)
+        return self.config.create_session(dataset, user, seed=seed)
+
+
+def _session_factory(config: NemoConfig, threshold: float) -> MethodFactory:
+    return _ConfigSessionFactory(config, threshold)
+
+
+def _construct_plain(cls, dataset: FeaturizedDataset, seed) -> InteractiveMethod:
+    return cls(dataset, seed=seed)
+
+
+def _construct_iws(threshold: float, dataset: FeaturizedDataset, seed) -> InteractiveMethod:
+    return IWSLSEMethod(dataset, usefulness_threshold=threshold, seed=seed)
+
+
+def _construct_implyloss(
+    threshold: float, dataset: FeaturizedDataset, seed
+) -> InteractiveMethod:
+    user = _make_user(dataset, seed, threshold)
+    return ImplyLossSession(dataset, user, seed=seed)
+
+
+def _construct_active_weasul(
+    threshold: float, dataset: FeaturizedDataset, seed
+) -> InteractiveMethod:
+    user = _make_user(dataset, seed, threshold)
+    return ActiveWeaSuLMethod(dataset, user, seed=seed)
 
 
 def make_method(name: str, user_threshold: float = DEFAULT_USER_THRESHOLD) -> MethodFactory:
@@ -100,27 +136,15 @@ def make_method(name: str, user_threshold: float = DEFAULT_USER_THRESHOLD) -> Me
         return _session_factory(configs[name], user_threshold)
 
     if name == "implyloss-l":
-
-        def implyloss_factory(dataset: FeaturizedDataset, seed) -> InteractiveMethod:
-            user = _make_user(dataset, seed, user_threshold)
-            return ImplyLossSession(dataset, user, seed=seed)
-
-        return implyloss_factory
+        return partial(_construct_implyloss, user_threshold)
     if name == "us":
-        return lambda dataset, seed: UncertaintySampling(dataset, seed=seed)
+        return partial(_construct_plain, UncertaintySampling)
     if name == "bald":
-        return lambda dataset, seed: BALD(dataset, seed=seed)
+        return partial(_construct_plain, BALD)
     if name == "iws-lse":
-        return lambda dataset, seed: IWSLSEMethod(
-            dataset, usefulness_threshold=user_threshold, seed=seed
-        )
+        return partial(_construct_iws, user_threshold)
     if name == "active-weasul":
-
-        def aw_factory(dataset: FeaturizedDataset, seed) -> InteractiveMethod:
-            user = _make_user(dataset, seed, user_threshold)
-            return ActiveWeaSuLMethod(dataset, user, seed=seed)
-
-        return aw_factory
+        return partial(_construct_active_weasul, user_threshold)
     raise ValueError(f"unknown method {name!r}")
 
 

@@ -13,6 +13,14 @@ function, refinement percentile, contextualizer variant — can be re-scored
 on the exact same recorded LF sequence without re-running the user.
 """
 
+from repro.io.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    load_session_checkpoint,
+    save_checkpoint,
+    save_session_checkpoint,
+)
 from repro.io.session_store import (
     ReplayUser,
     ScriptedSelector,
@@ -33,4 +41,10 @@ __all__ = [
     "ReplayUser",
     "ScriptedSelector",
     "replay_session",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_session_checkpoint",
+    "load_session_checkpoint",
 ]

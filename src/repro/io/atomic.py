@@ -1,0 +1,60 @@
+"""Crash-safe file replacement, shared by every on-disk writer.
+
+Transcripts, checkpoints, and sweep results all persist state that resume
+code trusts blindly, so none of them may ever be observable half-written:
+the payload goes to a temporary file in the destination directory and is
+moved into place with :func:`os.replace` — readers see either the old
+complete file or the new one, never a torn write.  The umask dance exists
+because ``mkstemp`` creates 0600 files; restoring the umask-derived mode a
+plain ``open()`` would have used keeps the artifacts shareable.  (chmod by
+name, not ``fchmod`` — the latter is missing on Windows.)
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_replace(path: str | Path, write_fn, binary: bool = False) -> Path:
+    """Atomically (re)write ``path`` with the output of ``write_fn(handle)``.
+
+    ``write_fn`` receives an open file handle (text or binary per
+    ``binary``) positioned at the start of a temporary file; on success the
+    temp file replaces ``path`` in one rename.  Any failure — inside
+    ``write_fn`` or the surrounding plumbing — removes the temp file and
+    leaves a pre-existing ``path`` untouched.  Missing parent directories
+    are created (every caller would otherwise have to wrap this with its
+    own mkdir).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    fd_owned = True  # until fdopen takes ownership
+    try:
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        handle = os.fdopen(fd, "wb" if binary else "w")
+        fd_owned = False
+        with handle:
+            write_fn(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if fd_owned:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically write a string to ``path``."""
+    return atomic_replace(path, lambda handle: handle.write(text))

@@ -1,0 +1,171 @@
+"""Durable checkpoint serialization (npz + JSON, atomic writes).
+
+A checkpoint is a nested state tree mixing numpy arrays with plain JSON
+values (scalars, strings, lists, dicts, ``None``) — the shape produced by
+:meth:`repro.core.engine.IncrementalSessionEngine.state_dict` and the
+sweep runner's job payloads.  This module serializes such a tree into a
+single ``.ckpt.npz`` file:
+
+* every array leaf is stored natively in the npz archive under a key
+  derived from its path in the tree (exact dtype round-trip, no pickle);
+* the remaining JSON tree — with each array leaf replaced by a reference
+  marker — is stored under the reserved ``__checkpoint__`` entry,
+  together with the format version.
+
+Writes go through :func:`repro.io.atomic.atomic_replace` (temp file +
+rename, exactly like ``save_transcript``): a crash mid-write leaves either
+the previous complete checkpoint or none, never a torn one (resume code
+trusts checkpoints blindly, so a torn file would corrupt the very state it
+exists to preserve).  Loads are fail-closed: anything that
+is not a well-formed checkpoint of a version this build knows — truncated
+archive, missing entries, future format — raises :class:`CheckpointError`
+rather than handing back a partially-reconstructed state.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.io.atomic import atomic_replace
+
+#: Bumped whenever the on-disk layout changes incompatibly.  Loaders
+#: accept exactly this version — state restoration is bit-level, so
+#: best-effort reading of other layouts has no safe meaning.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Reserved npz entry holding the JSON tree + format version.
+_JSON_ENTRY = "__checkpoint__"
+
+#: Marker wrapping an array reference in the JSON tree.
+_ARRAY_MARKER = "__ckpt_array__"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable, corrupted, or of an unknown version."""
+
+
+def _flatten(value, path: str, arrays: dict[str, np.ndarray]):
+    """Replace array leaves with reference markers, collecting them."""
+    if isinstance(value, np.ndarray):
+        arrays[path] = value
+        return {_ARRAY_MARKER: path}
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        if _ARRAY_MARKER in value:
+            raise ValueError(f"state dicts may not use the reserved key {_ARRAY_MARKER!r}")
+        return {str(k): _flatten(v, f"{path}/{k}", arrays) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_flatten(v, f"{path}/{i}", arrays) for i, v in enumerate(value)]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"checkpoint state at {path!r} has unsupported type {type(value).__name__}"
+    )
+
+
+def _unflatten(value, arrays):
+    if isinstance(value, dict):
+        if set(value.keys()) == {_ARRAY_MARKER}:
+            key = value[_ARRAY_MARKER]
+            if key not in arrays:
+                raise CheckpointError(f"checkpoint references missing array {key!r}")
+            return arrays[key]
+        return {k: _unflatten(v, arrays) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unflatten(v, arrays) for v in value]
+    return value
+
+
+def save_checkpoint(path: str | Path, state: dict) -> Path:
+    """Atomically write a state tree as a ``.ckpt.npz`` checkpoint."""
+    path = Path(path)
+    if not isinstance(state, dict):
+        raise TypeError(f"checkpoint state must be a dict, got {type(state).__name__}")
+    arrays: dict[str, np.ndarray] = {}
+    tree = _flatten(state, "", arrays)
+    payload = json.dumps({"format_version": CHECKPOINT_FORMAT_VERSION, "state": tree})
+    entries = {_JSON_ENTRY: np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)}
+    for key, arr in arrays.items():
+        entries[key] = arr
+    return atomic_replace(path, lambda handle: np.savez(handle, **entries), binary=True)
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read a checkpoint written by :func:`save_checkpoint` (fail-closed).
+
+    Raises
+    ------
+    CheckpointError
+        If the file is missing, truncated, not an npz archive, lacks the
+        reserved JSON entry, or declares a format version this build does
+        not read.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _JSON_ENTRY not in archive.files:
+                raise CheckpointError(
+                    f"{path} is not a checkpoint (missing {_JSON_ENTRY!r} entry)"
+                )
+            try:
+                payload = json.loads(bytes(archive[_JSON_ENTRY].tobytes()).decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise CheckpointError(f"{path} has a corrupted metadata entry: {exc}") from exc
+            arrays = {key: archive[key] for key in archive.files if key != _JSON_ENTRY}
+    except CheckpointError:
+        raise
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint {path} does not exist") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"{path} is not a readable checkpoint archive: {exc}") from exc
+    version = payload.get("format_version") if isinstance(payload, dict) else None
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format version {version!r}; this build reads "
+            f"version {CHECKPOINT_FORMAT_VERSION}"
+        )
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError(f"{path} has no state tree")
+    return _unflatten(state, arrays)
+
+
+# --------------------------------------------------------------------- #
+# session-level conveniences
+# --------------------------------------------------------------------- #
+def save_session_checkpoint(session, path: str | Path, extra: dict | None = None) -> Path:
+    """Snapshot a live session (plus optional caller payload) to ``path``.
+
+    ``session`` is any object exposing the engine snapshot protocol
+    (``state_dict``/``load_state_dict`` — both IDP sessions qualify).
+    ``extra`` rides along for the caller — the sweep runner stores its
+    protocol progress (curve so far, iteration cursor) there.
+    """
+    state = {"session": session.state_dict(), "extra": dict(extra or {})}
+    return save_checkpoint(path, state)
+
+
+def load_session_checkpoint(session, path: str | Path) -> dict:
+    """Restore ``session`` in place from ``path``; returns the extra payload.
+
+    Fail-closed like :func:`load_checkpoint`; additionally rejects
+    checkpoints that do not carry a session snapshot (e.g. a foreign npz
+    file that happens to parse).
+    """
+    state = load_checkpoint(path)
+    payload = state.get("session")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path} does not contain a session snapshot")
+    try:
+        session.load_state_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, CheckpointError):
+            raise
+        raise CheckpointError(f"{path} could not be restored: {exc}") from exc
+    extra = state.get("extra")
+    return extra if isinstance(extra, dict) else {}

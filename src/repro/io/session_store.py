@@ -17,12 +17,11 @@ the vocabulary is stable.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.lf import PrimitiveLF
+from repro.io.atomic import atomic_write_text
 from repro.core.selection import DevDataSelector, SessionState
 from repro.core.session import DataProgrammingSession, LFDeveloper
 
@@ -166,35 +165,15 @@ def transcript_from_session(session, metadata: dict | None = None) -> SessionTra
 def save_transcript(transcript: SessionTranscript, path: str | Path) -> Path:
     """Write a transcript as JSON atomically; returns the path written.
 
-    The payload goes to a temporary file in the destination directory and
-    is moved into place with :func:`os.replace` — an in-place write that
-    crashes midway leaves a truncated file :func:`load_transcript` cannot
-    parse, destroying the very history the transcript exists to preserve.
-    With the rename, readers see either the old complete transcript or the
-    new one, never a torn write.
+    An in-place write that crashes midway leaves a truncated file
+    :func:`load_transcript` cannot parse, destroying the very history the
+    transcript exists to preserve — so the write goes through
+    :func:`repro.io.atomic.atomic_write_text` (temp file + rename):
+    readers see either the old complete transcript or the new one, never a
+    torn write.
     """
-    path = Path(path)
     payload = json.dumps(transcript.to_dict(), indent=2) + "\n"
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        # mkstemp creates 0600 files; restore the umask-derived mode a
-        # plain open() would have used so transcripts stay shareable.
-        # (chmod by name, not fchmod — the latter is missing on Windows.)
-        umask = os.umask(0)
-        os.umask(umask)
-        os.chmod(tmp_name, 0o666 & ~umask)
-        with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
+    return atomic_write_text(path, payload)
 
 
 def load_transcript(path: str | Path) -> SessionTranscript:

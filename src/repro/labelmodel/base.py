@@ -12,15 +12,21 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.labelmodel.matrix import validate_label_matrix
+from repro.utils.state import FittedStateMixin
 
 
-class LabelModel(ABC):
+class LabelModel(FittedStateMixin, ABC):
     """Abstract denoiser/aggregator of weak-supervision votes.
 
     Subclasses implement :meth:`fit` (estimate source parameters from ``L``)
     and :meth:`predict_proba` (posterior ``P(y=+1|L_i)`` per example).  The
     contextualized pipeline (paper Sec. 4.3) is deliberately *model-agnostic*:
     any subclass can be dropped into Nemo.
+
+    All subclasses inherit declarative fitted-state capture
+    (:class:`~repro.utils.state.FittedStateMixin`): the attributes listed
+    in ``_FITTED_ATTRS`` are what a session checkpoint persists for the
+    model (hyperparameters are reconstructed by the session's factory).
 
     Parameters
     ----------

@@ -45,6 +45,8 @@ class DawidSkene(LabelModel):
         Final ``P(y = +1)``.
     """
 
+    _FITTED_ATTRS = ("confusion_", "prior_", "converged_")
+
     def __init__(
         self,
         class_prior: float = 0.5,

@@ -154,6 +154,63 @@ class VoteMatrix:
         self._col_rows.append(rows)
         self._col_values.append(np.full(rows.size, value, dtype=np.int8))
 
+    def append_sparse(self, rows: np.ndarray, values: np.ndarray) -> None:
+        """Append one column from its sparse ``(rows, values)`` structure.
+
+        The general-alphabet sibling of :meth:`append_rows` (which votes a
+        single value): ``values[k]`` is the vote at ``rows[k]``, everything
+        else abstains.  O(nnz_col), and the stored per-column structure is
+        identical to what :meth:`append_column` would have derived from the
+        equivalent dense column — this is the restore path of
+        checkpointed vote matrices (see :meth:`state_arrays`).
+        """
+        rows = np.asarray(rows)
+        values = np.asarray(values)
+        if rows.ndim != 1 or values.ndim != 1:
+            raise ValueError(
+                f"rows and values must be 1-D, got shapes {rows.shape}, {values.shape}"
+            )
+        if rows.shape != values.shape:
+            raise ValueError(
+                f"rows and values must have the same length, got {rows.size} rows "
+                f"for {values.size} values"
+            )
+        if rows.size and not np.issubdtype(rows.dtype, np.integer):
+            raise ValueError(f"rows must be integer indices, got dtype {rows.dtype}")
+        if np.any(values == self.abstain):
+            raise ValueError(
+                f"sparse column values must not contain the abstain sentinel "
+                f"({self.abstain})"
+            )
+        rows = rows.astype(np.intp, copy=True)
+        values = values.astype(np.int8, copy=True)
+        if rows.size:
+            lo, hi = int(rows.min()), int(rows.max())
+            if lo < 0 or hi >= self.n_rows:
+                raise ValueError(
+                    f"row indices must lie in [0, {self.n_rows}), got range [{lo}, {hi}]"
+                )
+            order = np.argsort(rows, kind="stable")
+            rows = rows[order]
+            values = values[order]
+            if np.any(np.diff(rows) == 0):
+                raise ValueError("row indices must be unique")
+        self._ensure_capacity()
+        column = self._buf[:, self.m]
+        column[rows] = values
+        self.m += 1
+        self._nonabstain[rows] += 1
+        for value in np.unique(values):
+            value = int(value)
+            counts = self._value_counts.get(value)
+            if counts is None:
+                counts = self._value_counts.setdefault(
+                    value, np.zeros(self.n_rows, dtype=np.int64)
+                )
+            counts[rows[values == value]] += 1
+        self._col_rows.append(rows)
+        self._col_values.append(values)
+
     def append_column(self, votes: np.ndarray) -> None:
         """Append one dense ``(n,)`` vote column (may contain several values)."""
         votes = np.asarray(votes)
@@ -175,6 +232,55 @@ class VoteMatrix:
         fired_rows = np.flatnonzero(fired).astype(np.intp)
         self._col_rows.append(fired_rows)
         self._col_values.append(votes[fired_rows].astype(np.int8))
+
+    # -- durable state -------------------------------------------------- #
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The matrix's sparse column structure as three flat arrays.
+
+        ``indptr`` (``(m+1,)`` int64 column offsets), ``rows`` (concatenated
+        non-abstain row indices) and ``values`` (the votes at those rows) —
+        the CSC-style serialization a checkpoint stores.  Round-tripping
+        through :meth:`from_state_arrays` reproduces the dense buffer, the
+        running tallies, *and* the per-column :class:`ColumnStats` structure
+        bit-for-bit.
+        """
+        nnz = np.fromiter((r.size for r in self._col_rows), dtype=np.int64, count=self.m)
+        indptr = np.zeros(self.m + 1, dtype=np.int64)
+        np.cumsum(nnz, out=indptr[1:])
+        rows = (
+            np.concatenate(self._col_rows) if self.m else np.zeros(0, dtype=np.intp)
+        ).astype(np.int64, copy=False)
+        values = (
+            np.concatenate(self._col_values) if self.m else np.zeros(0, dtype=np.int8)
+        )
+        return {"indptr": indptr, "rows": rows, "values": values}
+
+    @classmethod
+    def from_state_arrays(
+        cls, n_rows: int, abstain: int, state: dict[str, np.ndarray]
+    ) -> "VoteMatrix":
+        """Rebuild a matrix from :meth:`state_arrays` output (fail-closed)."""
+        try:
+            indptr = np.asarray(state["indptr"], dtype=np.int64)
+            rows = np.asarray(state["rows"])
+            values = np.asarray(state["values"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed vote-matrix state: {exc}") from exc
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ValueError(f"indptr must be a non-empty 1-D array, got {indptr.shape}")
+        if int(indptr[0]) != 0 or np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        if int(indptr[-1]) != rows.size or rows.size != values.size:
+            raise ValueError(
+                f"indptr describes {int(indptr[-1])} entries but got "
+                f"{rows.size} rows / {values.size} values"
+            )
+        m = indptr.size - 1
+        vm = cls(n_rows, abstain=abstain, capacity=max(1, m))
+        for j in range(m):
+            sl = slice(int(indptr[j]), int(indptr[j + 1]))
+            vm.append_sparse(rows[sl], values[sl])
+        return vm
 
     # -- sufficient statistics ----------------------------------------- #
     @property

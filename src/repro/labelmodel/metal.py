@@ -105,6 +105,8 @@ class MetalLabelModel(LabelModel):
         Whether fitting reached ``tol`` before the iteration cap.
     """
 
+    _FITTED_ATTRS = ("accuracies_", "propensities_", "prior_", "converged_")
+
     def __init__(
         self,
         class_prior: float = 0.5,

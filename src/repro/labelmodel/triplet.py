@@ -61,6 +61,8 @@ class TripletLabelModel(LabelModel):
         self.fallback_accuracy = fallback_accuracy
         self.accuracies_: np.ndarray | None = None
 
+    _FITTED_ATTRS = ("accuracies_",)
+
     def fit(self, L: np.ndarray) -> "TripletLabelModel":
         L = self._validated(L).astype(float)
         n, m = L.shape

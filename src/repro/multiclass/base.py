@@ -13,9 +13,10 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.multiclass.matrix import validate_mc_label_matrix
+from repro.utils.state import FittedStateMixin
 
 
-class MultiClassLabelModel(ABC):
+class MultiClassLabelModel(FittedStateMixin, ABC):
     """Abstract multiclass denoiser/aggregator of weak-supervision votes.
 
     Parameters

@@ -73,6 +73,8 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         Whether EM reached ``tol`` before the iteration cap.
     """
 
+    _FITTED_ATTRS = ("confusions_", "propensities_", "priors_", "converged_")
+
     def __init__(
         self,
         n_classes: int,

@@ -12,8 +12,9 @@ protocol's :class:`~repro.experiments.protocol.LearningCurve` /
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
-from repro.experiments.protocol import RunResult, run_learning_curve
+from repro.experiments.protocol import RunResult, evaluate_method
 from repro.multiclass.contextualizer import MCContextualizer, MCPercentileTuner
 from repro.multiclass.data import MCFeaturizedDataset
 from repro.multiclass.dawid_skene import MCDawidSkeneModel
@@ -83,25 +84,40 @@ def make_mc_method(
         raise ValueError(
             f"unknown multiclass method {name!r}; choose from {sorted(_MC_METHODS)}"
         ) from None
+    return _MCSessionFactory(selector_name, contextualize, label_model, user_threshold)
 
-    def factory(dataset: MCFeaturizedDataset, seed) -> MultiClassSession:
+
+@dataclass
+class _MCSessionFactory:
+    """Picklable ``(dataset, seed) -> session`` factory for the MC registry.
+
+    A module-level class rather than a closure so the parallel experiment
+    runner can ship resolved factories to worker processes.
+    """
+
+    selector_name: str
+    contextualize: bool
+    label_model: str
+    user_threshold: float
+
+    def __call__(self, dataset: MCFeaturizedDataset, seed) -> MultiClassSession:
         user_seed = stable_hash_seed("mc-user", dataset.name, seed)
         user = MCSimulatedUser(
-            dataset, accuracy_threshold=user_threshold, seed=user_seed
+            dataset, accuracy_threshold=self.user_threshold, seed=user_seed
         )
         return MultiClassSession(
             dataset,
-            _SELECTORS[selector_name](),
+            _SELECTORS[self.selector_name](),
             user,
-            label_model_factory=make_mc_label_model_factory(label_model, dataset),
+            label_model_factory=make_mc_label_model_factory(self.label_model, dataset),
             contextualizer=(
-                MCContextualizer(n_classes=dataset.n_classes) if contextualize else None
+                MCContextualizer(n_classes=dataset.n_classes)
+                if self.contextualize
+                else None
             ),
-            percentile_tuner=MCPercentileTuner() if contextualize else None,
+            percentile_tuner=MCPercentileTuner() if self.contextualize else None,
             seed=seed,
         )
-
-    return factory
 
 
 def evaluate_mc_method(
@@ -112,18 +128,23 @@ def evaluate_mc_method(
     n_seeds: int = 3,
     base_seed: int = 0,
     user_threshold: float = DEFAULT_MC_USER_THRESHOLD,
+    jobs: int = 1,
 ) -> RunResult:
-    """Run a registry method across seeds; returns the aggregate result."""
-    if n_seeds < 1:
-        raise ValueError(f"n_seeds must be >= 1, got {n_seeds}")
+    """Run a registry method across seeds; returns the aggregate result.
+
+    Delegates to the generic
+    :func:`~repro.experiments.protocol.evaluate_method` — same seed
+    derivation, same serial/parallel (``jobs > 1``) execution — after
+    resolving the name through the multiclass registry.
+    """
     factory = make_mc_method(method_name, user_threshold=user_threshold)
-    result = RunResult(method=method_name, dataset=dataset.name)
-    for run_idx in range(n_seeds):
-        seed = stable_hash_seed(method_name, dataset.name, run_idx, base_seed)
-        session = factory(dataset, seed)
-        result.curves.append(
-            run_learning_curve(
-                session, n_iterations=n_iterations, eval_every=eval_every
-            )
-        )
-    return result
+    return evaluate_method(
+        factory,
+        method_name,
+        dataset,
+        n_iterations=n_iterations,
+        eval_every=eval_every,
+        n_seeds=n_seeds,
+        base_seed=base_seed,
+        jobs=jobs,
+    )

@@ -1,0 +1,35 @@
+"""Parallel sharded experiment sweeps on durable engine checkpoints.
+
+The paper's evidence is all sweeps — seeds × methods × datasets cells for
+Tables 2 and 4–9 — and every cell is an independent seeded session.  This
+package turns that independence into throughput and durability:
+
+* :class:`~repro.sweep.spec.SweepSpec` expands a declarative
+  seeds × methods × datasets grid into deterministic
+  :class:`~repro.sweep.spec.SweepJob` units, each seeded by
+  ``stable_hash_seed`` exactly as the serial protocol seeds it — so a
+  sweep's cells are bit-identical to ``evaluate_method``'s, however they
+  are scheduled.
+* :class:`~repro.sweep.store.ResultStore` streams one JSON result per
+  finished job into a sharded on-disk layout (atomic writes), so a killed
+  process loses at most the jobs that were mid-flight.
+* :func:`~repro.sweep.runner.run_sweep` drives the grid through a
+  multiprocessing pool with crash-resume: completed jobs are skipped
+  outright, and in-flight engine sessions restart from their periodic
+  checkpoints (ENGINE.md §5) instead of from scratch.
+
+See ``examples/parallel_sweep.py`` for a walkthrough and the
+``repro sweep`` CLI subcommand for the no-Python entry point.
+"""
+
+from repro.sweep.runner import SweepReport, run_sweep
+from repro.sweep.spec import SweepJob, SweepSpec
+from repro.sweep.store import ResultStore
+
+__all__ = [
+    "SweepSpec",
+    "SweepJob",
+    "ResultStore",
+    "run_sweep",
+    "SweepReport",
+]

@@ -1,0 +1,177 @@
+"""Sweep orchestration: expand, skip the done, pool the rest, gather.
+
+:func:`run_sweep` is idempotent over its output directory: every
+invocation expands the spec, skips jobs whose results are already streamed
+to the store, restores any mid-flight checkpoints, and runs whatever
+remains — so "resume after a crash" and "run" are the same call.  The
+pool is plain ``multiprocessing`` over module-level worker functions;
+scheduling carries no randomness and every job is independently seeded, so
+results are bit-identical however many workers run them (the sweep
+throughput benchmark asserts serial vs parallel equality on every score).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.data.named import DATASET_NAMES, MC_DATASET_NAMES
+from repro.experiments.protocol import LearningCurve, RunResult
+from repro.sweep.spec import SweepJob, SweepSpec
+from repro.sweep.store import ResultStore
+from repro.sweep.worker import (
+    _pool_run_job,
+    mp_context,
+    resolve_factory,
+    run_sweep_job,
+)
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` invocation did and what the store holds.
+
+    ``results`` maps ``(dataset, method)`` to a
+    :class:`~repro.experiments.protocol.RunResult` whose curves are every
+    completed seed of that cell, in run-index order — identical to the
+    serial protocol's aggregation once the cell is complete.
+    """
+
+    spec: SweepSpec
+    results: dict[tuple[str, str], RunResult] = field(default_factory=dict)
+    ran: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    pending: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """Whether every job of the spec has a stored result."""
+        return not self.pending
+
+
+def _validate_spec_resolvable(spec: SweepSpec) -> None:
+    """Fail on unknown datasets/methods before any worker starts."""
+    known = DATASET_NAMES + MC_DATASET_NAMES
+    for dataset in spec.datasets:
+        if dataset not in known:
+            raise ValueError(f"unknown dataset {dataset!r}; choose from {known}")
+        for method in spec.methods:
+            try:
+                resolve_factory(method, dataset, spec.user_threshold)
+            except ValueError as exc:
+                # Methods dispatch per dataset (binary registry vs the
+                # *-mc one), so a grid mixing the two kinds needs methods
+                # valid on every dataset — say which cell broke and why.
+                raise ValueError(
+                    f"method {method!r} is not available for dataset "
+                    f"{dataset!r}: {exc}  (binary datasets use the binary "
+                    "registry, 'topics' the *-mc registry — run mixed-"
+                    "cardinality grids as two sweeps)"
+                ) from exc
+
+
+def _gather(spec: SweepSpec, store: ResultStore) -> dict[tuple[str, str], RunResult]:
+    by_cell: dict[tuple[str, str], list[tuple[int, LearningCurve]]] = {}
+    for job in spec.jobs():
+        record = store.read_result(job.key)
+        if record is None:
+            continue
+        curve = LearningCurve(
+            iterations=[int(i) for i in record["iterations"]],
+            scores=[float(s) for s in record["scores"]],
+        )
+        by_cell.setdefault((job.dataset, job.method), []).append((job.run_idx, curve))
+    results: dict[tuple[str, str], RunResult] = {}
+    for (dataset, method), indexed in by_cell.items():
+        indexed.sort(key=lambda pair: pair[0])
+        results[(dataset, method)] = RunResult(
+            method=method, dataset=dataset, curves=[c for _, c in indexed]
+        )
+    return results
+
+
+def run_sweep(
+    spec: SweepSpec,
+    out_dir,
+    jobs: int = 1,
+    checkpoint_every: int = 10,
+    max_jobs: int | None = None,
+    progress=None,
+) -> SweepReport:
+    """Run (or resume) a sweep; returns the report over the whole store.
+
+    Parameters
+    ----------
+    spec:
+        The seeds × methods × datasets grid.
+    out_dir:
+        Result-store root.  Reusing a directory resumes: completed jobs
+        are skipped, in-flight engine sessions restart from their
+        checkpoints.  The directory is pinned to the spec (fail-closed on
+        mismatch).
+    jobs:
+        Worker processes; 1 runs in-process (no pool).
+    checkpoint_every:
+        Mid-job snapshot cadence in protocol iterations.
+    max_jobs:
+        Stop after this many jobs *this invocation* (``None`` = run all).
+        Primarily a crash-injection / budgeting aid: the sweep smoke test
+        kills a run this way and asserts the resume completes without
+        recomputing finished jobs.
+    progress:
+        Optional ``(done_count, total_count, key, payload) -> None``
+        callback invoked as each job finishes.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if max_jobs is not None and max_jobs < 0:
+        raise ValueError(f"max_jobs must be >= 0, got {max_jobs}")
+    _validate_spec_resolvable(spec)
+    store = ResultStore(out_dir)
+    store.bind_spec(spec)
+
+    all_jobs: list[SweepJob] = spec.jobs()
+    completed = store.completed_keys()
+    skipped = [job.key for job in all_jobs if job.key in completed]
+    # A crash between a worker's write_result and clear_checkpoint leaves
+    # an orphaned checkpoint behind a completed job; sweep over the
+    # skipped set so long-lived stores don't accumulate them.
+    for key in skipped:
+        store.clear_checkpoint(key)
+    pending = [job for job in all_jobs if job.key not in completed]
+    to_run = pending if max_jobs is None else pending[:max_jobs]
+
+    t0 = time.perf_counter()
+    ran: list[str] = []
+    total = len(to_run)
+    if to_run:
+        if jobs == 1:
+            for job in to_run:
+                key, payload = run_sweep_job(
+                    job.to_dict(), str(out_dir), checkpoint_every=checkpoint_every
+                )
+                ran.append(key)
+                if progress is not None:
+                    progress(len(ran), total, key, payload)
+        else:
+            ctx = mp_context()
+            tasks = [
+                (job.to_dict(), str(out_dir), checkpoint_every) for job in to_run
+            ]
+            with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+                for key, payload in pool.imap_unordered(_pool_run_job, tasks):
+                    ran.append(key)
+                    if progress is not None:
+                        progress(len(ran), total, key, payload)
+    wall = time.perf_counter() - t0
+
+    done_now = store.completed_keys()
+    return SweepReport(
+        spec=spec,
+        results=_gather(spec, store),
+        ran=ran,
+        skipped=skipped,
+        pending=[job.key for job in all_jobs if job.key not in done_now],
+        wall_seconds=wall,
+    )

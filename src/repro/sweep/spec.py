@@ -1,0 +1,160 @@
+"""The sweep job model: a declarative grid and its deterministic expansion.
+
+A :class:`SweepSpec` names *what* to run (methods × datasets × seeds plus
+the shared protocol settings); :meth:`SweepSpec.jobs` expands it into
+:class:`SweepJob` units in a fixed order.  Each job derives its session
+seed with :func:`~repro.utils.rng.stable_hash_seed` over exactly the same
+``(method, dataset, run_idx, base_seed)`` tuple the serial protocol uses —
+the property that makes a sweep's results bit-identical to
+``evaluate_method``'s regardless of scheduling, sharding, or resume
+(pinned by ``tests/utils`` process-stability tests).
+
+Job keys are filesystem-safe, collision-resistant identifiers: the grid
+coordinates in clear text plus a short stable hash of the protocol
+settings, so one result store can host several sweeps without a completed
+job from an *older differently-configured* sweep masquerading as done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.utils.rng import stable_hash_seed
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One independent (method, dataset, seed) cell of a sweep."""
+
+    method: str
+    dataset: str
+    run_idx: int
+    base_seed: int = 0
+    n_iterations: int = 50
+    eval_every: int = 5
+    scale: str = "bench"
+    dataset_seed: int = 0
+    user_threshold: float = 0.5
+
+    @property
+    def seed(self) -> int:
+        """The session seed — identical to the serial protocol's derivation."""
+        return stable_hash_seed(self.method, self.dataset, self.run_idx, self.base_seed)
+
+    @property
+    def config_tag(self) -> str:
+        """Short stable hash of the protocol settings shared by the grid."""
+        return format(
+            stable_hash_seed(
+                self.base_seed,
+                self.n_iterations,
+                self.eval_every,
+                self.scale,
+                self.dataset_seed,
+                self.user_threshold,
+            ),
+            "08x",
+        )
+
+    @property
+    def key(self) -> str:
+        """Filesystem-safe unique id (clear-text coordinates + config tag)."""
+        return f"{self.dataset}--{self.method}--r{self.run_idx:03d}--{self.config_tag}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepJob":
+        return cls(
+            method=str(data["method"]),
+            dataset=str(data["dataset"]),
+            run_idx=int(data["run_idx"]),
+            base_seed=int(data["base_seed"]),
+            n_iterations=int(data["n_iterations"]),
+            eval_every=int(data["eval_every"]),
+            scale=str(data["scale"]),
+            dataset_seed=int(data["dataset_seed"]),
+            user_threshold=float(data["user_threshold"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A seeds × methods × datasets grid with shared protocol settings.
+
+    Parameters mirror the CLI and ``evaluate_method``: every method runs on
+    every dataset for ``n_seeds`` independently-seeded sessions of
+    ``n_iterations`` interactions, evaluated every ``eval_every``.
+    ``scale`` / ``dataset_seed`` fix how the named datasets are built in
+    the workers, so any job can be reproduced in isolation from the spec
+    alone.
+    """
+
+    methods: tuple[str, ...]
+    datasets: tuple[str, ...]
+    n_seeds: int = 5
+    base_seed: int = 0
+    n_iterations: int = 50
+    eval_every: int = 5
+    scale: str = "bench"
+    dataset_seed: int = 0
+    user_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "methods", tuple(str(m) for m in self.methods))
+        object.__setattr__(self, "datasets", tuple(str(d) for d in self.datasets))
+        if not self.methods:
+            raise ValueError("SweepSpec needs at least one method")
+        if not self.datasets:
+            raise ValueError("SweepSpec needs at least one dataset")
+        if len(set(self.methods)) != len(self.methods):
+            raise ValueError(f"duplicate methods in spec: {self.methods}")
+        if len(set(self.datasets)) != len(self.datasets):
+            raise ValueError(f"duplicate datasets in spec: {self.datasets}")
+        if self.n_seeds < 1:
+            raise ValueError(f"n_seeds must be >= 1, got {self.n_seeds}")
+        if self.n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {self.n_iterations}")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+
+    def jobs(self) -> list[SweepJob]:
+        """The grid expanded in deterministic (dataset, method, seed) order."""
+        return [
+            SweepJob(
+                method=method,
+                dataset=dataset,
+                run_idx=run_idx,
+                base_seed=self.base_seed,
+                n_iterations=self.n_iterations,
+                eval_every=self.eval_every,
+                scale=self.scale,
+                dataset_seed=self.dataset_seed,
+                user_threshold=self.user_threshold,
+            )
+            for dataset in self.datasets
+            for method in self.methods
+            for run_idx in range(self.n_seeds)
+        ]
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["methods"] = list(self.methods)
+        data["datasets"] = list(self.datasets)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        return cls(
+            methods=tuple(data["methods"]),
+            datasets=tuple(data["datasets"]),
+            n_seeds=int(data["n_seeds"]),
+            base_seed=int(data["base_seed"]),
+            n_iterations=int(data["n_iterations"]),
+            eval_every=int(data["eval_every"]),
+            scale=str(data["scale"]),
+            dataset_seed=int(data["dataset_seed"]),
+            user_threshold=float(data["user_threshold"]),
+        )
+

@@ -1,0 +1,156 @@
+"""Sharded on-disk result sink for sweep jobs.
+
+Layout under the store root::
+
+    spec.json                      # the grid this store belongs to
+    results/shard-NN/<job key>.json   # one streamed record per finished job
+    checkpoints/<job key>.ckpt.npz    # periodic snapshot of an in-flight job
+
+Results are *streamed*: each worker writes its record the moment its job
+finishes (temp file + ``os.replace``, the same atomicity discipline as
+``save_transcript``), so a killed sweep keeps everything already done.
+Sharding by stable key hash keeps directory fan-out bounded for
+thousand-job sweeps — shard membership is derived from the key alone, so
+readers and writers agree without coordination.
+
+The spec pin is the resume safety: :meth:`ResultStore.bind_spec` writes
+``spec.json`` on first use and on every later use verifies the store was
+built by the *same* grid, refusing to mix results from a different sweep
+configuration into one directory (job keys already carry a config tag;
+the pin catches the coarser operator mistake early, with a readable
+error).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.io.atomic import atomic_write_text
+from repro.sweep.spec import SweepSpec
+from repro.utils.rng import stable_hash_seed
+
+
+class ResultStore:
+    """Per-job JSON results + in-flight checkpoints under one root dir.
+
+    The shard count is part of the store's on-disk identity: result
+    lookups compute ``shard_of(key)`` from ``n_shards``, so every handle
+    on the same directory must agree on it.  The first writer pins its
+    count to ``layout.json``; later handles **adopt** the pinned value,
+    whatever their constructor argument said — a handle opened with a
+    different default would otherwise report jobs complete (the
+    completed-key scan is shard-agnostic) while reading their records
+    back as missing.
+    """
+
+    def __init__(self, root: str | Path, n_shards: int = 16) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.root = Path(root)
+        self.n_shards = int(n_shards)
+        pinned = self._read_layout()
+        if pinned is not None:
+            self.n_shards = pinned
+
+    # -- paths ---------------------------------------------------------- #
+    @property
+    def spec_path(self) -> Path:
+        return self.root / "spec.json"
+
+    @property
+    def layout_path(self) -> Path:
+        return self.root / "layout.json"
+
+    def _read_layout(self) -> int | None:
+        if not self.layout_path.exists():
+            return None
+        try:
+            layout = json.loads(self.layout_path.read_text())
+            n_shards = int(layout["n_shards"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(
+                f"{self.layout_path} is corrupted; refusing to guess the store's "
+                f"shard layout: {exc}"
+            ) from exc
+        if n_shards < 1:
+            raise ValueError(f"{self.layout_path} pins invalid n_shards={n_shards}")
+        return n_shards
+
+    def _pin_layout(self) -> None:
+        if not self.layout_path.exists():
+            atomic_write_text(
+                self.layout_path, json.dumps({"n_shards": self.n_shards}) + "\n"
+            )
+
+    def shard_of(self, key: str) -> int:
+        """Stable shard index of a job key (process-independent)."""
+        return stable_hash_seed("shard", key) % self.n_shards
+
+    def result_path(self, key: str) -> Path:
+        return self.root / "results" / f"shard-{self.shard_of(key):02d}" / f"{key}.json"
+
+    def checkpoint_path(self, key: str) -> Path:
+        return self.root / "checkpoints" / f"{key}.ckpt.npz"
+
+    # -- spec pinning ---------------------------------------------------- #
+    def bind_spec(self, spec: SweepSpec) -> None:
+        """Pin this store to ``spec`` (write on first use, verify after).
+
+        Raises ``ValueError`` when the store already belongs to a
+        different grid — resuming a sweep into a foreign result directory
+        would silently mix incomparable records.
+        """
+        self._pin_layout()
+        wanted = spec.to_dict()
+        if self.spec_path.exists():
+            try:
+                existing = json.loads(self.spec_path.read_text())
+            except ValueError as exc:
+                raise ValueError(
+                    f"{self.spec_path} is corrupted; refusing to reuse the store"
+                ) from exc
+            if existing != wanted:
+                raise ValueError(
+                    f"store {self.root} was created for a different sweep spec; "
+                    "use a fresh output directory (or the original spec) — "
+                    f"stored: {existing}, requested: {wanted}"
+                )
+            return
+        atomic_write_text(self.spec_path, json.dumps(wanted, indent=2) + "\n")
+
+    def load_spec(self) -> SweepSpec | None:
+        """The pinned spec, or ``None`` for a fresh store."""
+        if not self.spec_path.exists():
+            return None
+        return SweepSpec.from_dict(json.loads(self.spec_path.read_text()))
+
+    # -- results --------------------------------------------------------- #
+    def write_result(self, key: str, payload: dict) -> Path:
+        """Atomically persist one finished job's record."""
+        self._pin_layout()
+        path = self.result_path(key)
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+        return path
+
+    def read_result(self, key: str) -> dict | None:
+        """The stored record for ``key``, or ``None`` if not completed."""
+        path = self.result_path(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every job with a streamed result on disk."""
+        results_dir = self.root / "results"
+        if not results_dir.exists():
+            return set()
+        return {p.stem for p in results_dir.glob("shard-*/*.json")}
+
+    # -- checkpoints ------------------------------------------------------ #
+    def clear_checkpoint(self, key: str) -> None:
+        """Drop the in-flight checkpoint once a job's result is durable."""
+        try:
+            self.checkpoint_path(key).unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,59 @@
+"""Declarative fitted-state capture for models.
+
+Checkpointing a live session (ENGINE.md §5) needs the *fitted parameters*
+of its label and end models — nothing else: hyperparameters are
+reconstructed by the session's own factories, so a snapshot that carried
+them would just invite silent config drift between the saver and the
+restorer.  Models declare their fitted attributes once in
+``_FITTED_ATTRS`` and inherit :meth:`state_dict` /
+:meth:`load_state_dict` from :class:`FittedStateMixin`; the checkpoint
+layer treats the result as an opaque ``{class, attrs}`` payload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FittedStateMixin:
+    """Generic ``state_dict``/``load_state_dict`` over declared attributes.
+
+    Subclasses list the attributes that :meth:`fit` produces in
+    ``_FITTED_ATTRS`` (arrays, floats, bools, or ``None`` before any fit).
+    Loading is fail-closed: the payload must name the same concrete class
+    and carry every declared attribute — a checkpoint written by a
+    different model family must never be silently grafted on.
+    """
+
+    _FITTED_ATTRS: tuple[str, ...] = ()
+
+    def state_dict(self) -> dict:
+        """The fitted parameters as ``{"class": name, "attrs": {...}}``.
+
+        Array values are copied so a checkpoint captured mid-session is
+        immune to later in-place mutation of the live model.
+        """
+        attrs = {}
+        for name in self._FITTED_ATTRS:
+            value = getattr(self, name)
+            attrs[name] = value.copy() if isinstance(value, np.ndarray) else value
+        return {"class": type(self).__name__, "attrs": attrs}
+
+    def load_state_dict(self, state: dict) -> "FittedStateMixin":
+        """Restore fitted parameters captured by :meth:`state_dict`."""
+        expected = type(self).__name__
+        got = state.get("class")
+        if got != expected:
+            raise ValueError(
+                f"state was captured from {got!r} but is being loaded into {expected!r}"
+            )
+        attrs = state.get("attrs")
+        if not isinstance(attrs, dict):
+            raise ValueError("model state has no 'attrs' mapping")
+        missing = [name for name in self._FITTED_ATTRS if name not in attrs]
+        if missing:
+            raise ValueError(f"model state is missing fitted attributes {missing}")
+        for name in self._FITTED_ATTRS:
+            value = attrs[name]
+            setattr(self, name, value.copy() if isinstance(value, np.ndarray) else value)
+        return self

@@ -129,6 +129,87 @@ class TestEvaluateMethod:
             RunResult("m", "d").mean_curve()
 
 
+class TestSpreadStatistics:
+    """summary_std / final_std report the *sample* std (ddof=1).
+
+    The seeds are a sample of the method's run distribution; the
+    population formula systematically understates the spread at the 3–5
+    seeds the protocol runs.  A single curve reports 0.0, not NaN.
+    """
+
+    def _result(self, finals):
+        return RunResult(
+            "m", "d",
+            curves=[LearningCurve([5, 10], [f - 0.1, f]) for f in finals],
+        )
+
+    def test_summary_std_is_sample_std(self):
+        result = self._result([0.2, 0.4, 0.6])
+        summaries = [c.summary for c in result.curves]
+        assert result.summary_std == pytest.approx(np.std(summaries, ddof=1))
+        assert result.summary_std > np.std(summaries)  # ddof=0 understates
+
+    def test_final_std_is_sample_std(self):
+        finals = [0.2, 0.4, 0.9]
+        result = self._result(finals)
+        assert result.final_std == pytest.approx(np.std(finals, ddof=1))
+        assert result.final_mean == pytest.approx(np.mean(finals))
+
+    def test_single_curve_reports_zero_spread(self):
+        result = self._result([0.5])
+        assert result.summary_std == 0.0
+        assert result.final_std == 0.0
+
+
+class TestResumableCurve:
+    def test_resume_matches_fresh_run(self, dataset):
+        fresh = run_learning_curve(CountingMethod(dataset), n_iterations=10, eval_every=3)
+
+        method = CountingMethod(dataset)
+        partial = run_learning_curve(method, n_iterations=4, eval_every=3)
+        # The protocol's tail evaluation at 4 is an artifact of stopping
+        # there; a mid-run checkpoint records only the cadence points.
+        if partial.iterations[-1] % 3 != 0:
+            partial.iterations.pop()
+            partial.scores.pop()
+        resumed = run_learning_curve(
+            method, n_iterations=10, eval_every=3, start_iteration=4, curve=partial
+        )
+        assert resumed.iterations == fresh.iterations
+        assert resumed.scores == fresh.scores
+
+    def test_resume_at_end_only_appends_missing_final_eval(self, dataset):
+        method = CountingMethod(dataset)
+        for _ in range(10):
+            method.step()
+        curve = LearningCurve([3, 6, 9], [0.03, 0.06, 0.09])
+        resumed = run_learning_curve(
+            method, n_iterations=10, eval_every=3, start_iteration=10, curve=curve
+        )
+        assert resumed.iterations == [3, 6, 9, 10]
+        assert resumed.scores[-1] == pytest.approx(0.10)
+
+    def test_after_iteration_hook_sees_every_iteration(self, dataset):
+        seen = []
+        run_learning_curve(
+            CountingMethod(dataset),
+            n_iterations=6,
+            eval_every=2,
+            after_iteration=lambda it, curve: seen.append((it, len(curve.iterations))),
+        )
+        assert [it for it, _ in seen] == [1, 2, 3, 4, 5, 6]
+        # The hook runs after the cadence evaluation of its iteration.
+        assert seen[1] == (2, 1) and seen[5] == (6, 3)
+
+    def test_invalid_resume_arguments(self, dataset):
+        with pytest.raises(ValueError, match="start_iteration"):
+            run_learning_curve(CountingMethod(dataset), n_iterations=5, start_iteration=6)
+        with pytest.raises(ValueError, match="start_iteration"):
+            run_learning_curve(CountingMethod(dataset), n_iterations=5, start_iteration=-1)
+        with pytest.raises(ValueError, match="curve recorded so far"):
+            run_learning_curve(CountingMethod(dataset), n_iterations=5, start_iteration=2)
+
+
 class TestReporting:
     def test_format_table_marks_winner(self):
         text = format_table(

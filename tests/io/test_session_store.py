@@ -137,7 +137,7 @@ class TestJsonRoundTrip:
         # file load_transcript could not parse.  The atomic rename must
         # keep the previous complete transcript readable and clean up its
         # temp file.
-        import repro.io.session_store as store
+        import repro.io.atomic as atomic
 
         _, transcript = recorded
         path = tmp_path / "session.json"
@@ -147,7 +147,7 @@ class TestJsonRoundTrip:
         def exploding_replace(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr(store.os, "replace", exploding_replace)
+        monkeypatch.setattr(atomic.os, "replace", exploding_replace)
         broken = SessionTranscript(dataset_name="other", entries=[], metadata={})
         with pytest.raises(OSError, match="disk full"):
             save_transcript(broken, path)

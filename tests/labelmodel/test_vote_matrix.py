@@ -178,3 +178,79 @@ class TestMulticlassVoteMatrix:
         vm.append_rows(np.array([0, 3]), 0)
         np.testing.assert_array_equal(vm.vote_counts(0), [1, 0, 0, 1, 0])
         np.testing.assert_array_equal(vm.coverage_mask(), [True, False, False, True, False])
+
+
+class TestAppendSparse:
+    def test_matches_append_column_exactly(self):
+        rng = np.random.default_rng(3)
+        n = 40
+        dense_vm = VoteMatrix(n, abstain=-1)
+        sparse_vm = VoteMatrix(n, abstain=-1)
+        for _ in range(8):
+            votes = random_votes(rng, n, values=[0, 1, 2], abstain=-1)
+            dense_vm.append_column(votes)
+            fired = np.flatnonzero(votes != -1)
+            # Shuffled caller order must not matter: storage is canonical.
+            order = rng.permutation(fired.size)
+            sparse_vm.append_sparse(fired[order], votes[fired][order])
+        np.testing.assert_array_equal(dense_vm.values, sparse_vm.values)
+        np.testing.assert_array_equal(dense_vm.coverage_mask(), sparse_vm.coverage_mask())
+        for k in range(3):
+            np.testing.assert_array_equal(dense_vm.vote_counts(k), sparse_vm.vote_counts(k))
+        for j in range(8):
+            np.testing.assert_array_equal(dense_vm.stats.rows(j), sparse_vm.stats.rows(j))
+            np.testing.assert_array_equal(dense_vm.stats.values(j), sparse_vm.stats.values(j))
+
+    def test_validation(self):
+        vm = VoteMatrix(5, abstain=0)
+        with pytest.raises(ValueError, match="abstain"):
+            vm.append_sparse(np.array([1]), np.array([0]))
+        with pytest.raises(ValueError, match="same length"):
+            vm.append_sparse(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError, match="unique"):
+            vm.append_sparse(np.array([1, 1]), np.array([1, -1]))
+        with pytest.raises(ValueError, match=r"\[0, 5\)"):
+            vm.append_sparse(np.array([5]), np.array([1]))
+        with pytest.raises(ValueError, match="integer"):
+            vm.append_sparse(np.array([1.5]), np.array([1]))
+        assert vm.m == 0  # nothing was appended by the failed calls
+
+
+class TestStateArrays:
+    @pytest.mark.parametrize("abstain,values", [(0, [-1, 1]), (-1, [0, 1, 2])])
+    def test_round_trip_is_bit_identical(self, abstain, values):
+        rng = np.random.default_rng(9)
+        n = 30
+        vm = VoteMatrix(n, abstain=abstain)
+        for _ in range(6):
+            vm.append_column(random_votes(rng, n, values=values, abstain=abstain))
+        state = vm.state_arrays()
+        rebuilt = VoteMatrix.from_state_arrays(n, abstain, state)
+        np.testing.assert_array_equal(vm.values, rebuilt.values)
+        np.testing.assert_array_equal(vm.coverage_mask(), rebuilt.coverage_mask())
+        np.testing.assert_array_equal(vm.conflict_counts(), rebuilt.conflict_counts())
+        for j in range(vm.m):
+            np.testing.assert_array_equal(vm.stats.rows(j), rebuilt.stats.rows(j))
+            np.testing.assert_array_equal(vm.stats.values(j), rebuilt.stats.values(j))
+        # The CSC assemblies (what the EM label models consume) agree too.
+        a, b = vm.stats.fires_csc(), rebuilt.stats.fires_csc()
+        np.testing.assert_array_equal(a.toarray(), b.toarray())
+
+    def test_empty_matrix_round_trips(self):
+        vm = VoteMatrix(7, abstain=0)
+        rebuilt = VoteMatrix.from_state_arrays(7, 0, vm.state_arrays())
+        assert rebuilt.shape == (7, 0)
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            VoteMatrix.from_state_arrays(
+                5, 0, {"indptr": np.array([0, 3]), "rows": np.array([1]),
+                       "values": np.array([1], dtype=np.int8)}
+            )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            VoteMatrix.from_state_arrays(
+                5, 0, {"indptr": np.array([0, 2, 1]), "rows": np.array([1, 2]),
+                       "values": np.array([1, 1], dtype=np.int8)}
+            )
+        with pytest.raises(ValueError, match="malformed"):
+            VoteMatrix.from_state_arrays(5, 0, {"rows": np.array([1])})

@@ -1,0 +1,237 @@
+"""Sweep execution: parallel parity, crash-resume, and job skipping."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.experiments import evaluate_method, make_method
+from repro.sweep import ResultStore, SweepSpec, run_sweep
+from repro.sweep.runner import _validate_spec_resolvable
+from repro.sweep.spec import SweepJob
+from repro.sweep.worker import (
+    SweepJobCrash,
+    load_named_dataset,
+    parallel_learning_curves,
+    run_sweep_job,
+)
+
+SPEC_KW = dict(
+    datasets=("youtube",), n_seeds=2, n_iterations=8, eval_every=3, scale="tiny"
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("youtube", scale="tiny", seed=0)
+
+
+class TestRunSweep:
+    def test_results_match_serial_evaluate_method(self, tmp_path, dataset):
+        spec = SweepSpec(methods=("random", "abstain"), **SPEC_KW)
+        report = run_sweep(spec, tmp_path / "out", jobs=1)
+        assert report.complete
+        for method in spec.methods:
+            expected = evaluate_method(
+                make_method(method),
+                method,
+                dataset,
+                n_iterations=spec.n_iterations,
+                eval_every=spec.eval_every,
+                n_seeds=spec.n_seeds,
+                base_seed=spec.base_seed,
+            )
+            got = report.results[("youtube", method)]
+            assert len(got.curves) == spec.n_seeds
+            for a, b in zip(expected.curves, got.curves):
+                assert a.iterations == b.iterations
+                assert a.scores == b.scores
+
+    def test_parallel_pool_is_bit_identical_to_serial(self, tmp_path):
+        spec = SweepSpec(methods=("random", "disagree"), **SPEC_KW)
+        serial = run_sweep(spec, tmp_path / "serial", jobs=1)
+        pooled = run_sweep(spec, tmp_path / "pooled", jobs=2)
+        assert serial.complete and pooled.complete
+        for cell, result in serial.results.items():
+            other = pooled.results[cell]
+            for a, b in zip(result.curves, other.curves):
+                assert a.iterations == b.iterations
+                assert a.scores == b.scores
+
+    def test_kill_and_resume_skips_completed_jobs(self, tmp_path):
+        spec = SweepSpec(methods=("random", "abstain"), **SPEC_KW)
+        out = tmp_path / "out"
+        # "Kill" after one job via the budget knob.
+        first = run_sweep(spec, out, jobs=1, max_jobs=1)
+        assert len(first.ran) == 1 and not first.complete
+        store = ResultStore(out)
+        done_key = first.ran[0]
+        mtime = store.result_path(done_key).stat().st_mtime_ns
+
+        resumed = run_sweep(spec, out, jobs=1)
+        assert resumed.complete
+        assert done_key in resumed.skipped
+        assert done_key not in resumed.ran
+        # The finished job's record was not rewritten (no recomputation).
+        assert store.result_path(done_key).stat().st_mtime_ns == mtime
+
+        # And the resumed sweep's final results equal a fresh one's.
+        fresh = run_sweep(spec, tmp_path / "fresh", jobs=1)
+        for cell, result in fresh.results.items():
+            other = resumed.results[cell]
+            for a, b in zip(result.curves, other.curves):
+                assert a.scores == b.scores
+
+    def test_orphaned_checkpoint_of_completed_job_is_collected(self, tmp_path):
+        # A crash between write_result and clear_checkpoint leaves a stale
+        # checkpoint behind a completed job; resume must sweep it away.
+        spec = SweepSpec(methods=("random",), **SPEC_KW)
+        out = tmp_path / "out"
+        run_sweep(spec, out, jobs=1)
+        store = ResultStore(out)
+        key = spec.jobs()[0].key
+        orphan = store.checkpoint_path(key)
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"stale")
+        report = run_sweep(spec, out, jobs=1)
+        assert key in report.skipped
+        assert not orphan.exists()
+
+    def test_unknown_names_fail_before_running(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            run_sweep(
+                SweepSpec(methods=("random",), datasets=("nope",)), tmp_path / "a"
+            )
+        with pytest.raises(ValueError, match="unknown method"):
+            run_sweep(
+                SweepSpec(methods=("nope",), datasets=("youtube",)), tmp_path / "b"
+            )
+        # Nothing was written for either.
+        assert not (tmp_path / "a").exists() and not (tmp_path / "b").exists()
+
+    def test_mc_dataset_resolves_mc_registry(self):
+        _validate_spec_resolvable(
+            SweepSpec(methods=("snorkel-mc",), datasets=("topics",))
+        )
+        with pytest.raises(ValueError, match="unknown multiclass method"):
+            _validate_spec_resolvable(
+                SweepSpec(methods=("nemo",), datasets=("topics",))
+            )
+
+
+class TestMidJobCrashResume:
+    def test_checkpoint_resume_is_bit_identical(self, tmp_path, dataset):
+        spec = SweepSpec(
+            methods=("seu",), datasets=("youtube",), n_seeds=1,
+            n_iterations=12, eval_every=4, scale="tiny",
+        )
+        out = tmp_path / "out"
+        store = ResultStore(out)
+        store.bind_spec(spec)
+        job = spec.jobs()[0]
+
+        with pytest.raises(SweepJobCrash):
+            run_sweep_job(
+                job.to_dict(), str(out), checkpoint_every=5, fail_after_iteration=7
+            )
+        assert store.checkpoint_path(job.key).exists()
+        assert store.read_result(job.key) is None
+
+        report = run_sweep(spec, out, jobs=1, checkpoint_every=5)
+        assert report.complete
+        record = store.read_result(job.key)
+        assert record["resumed_from_iteration"] == 5
+        assert not store.checkpoint_path(job.key).exists()  # cleared when done
+
+        expected = evaluate_method(
+            make_method("seu"), "seu", dataset,
+            n_iterations=12, eval_every=4, n_seeds=1, base_seed=0,
+        )
+        assert record["iterations"] == expected.curves[0].iterations
+        assert record["scores"] == expected.curves[0].scores
+
+    def test_torn_checkpoint_restarts_from_scratch(self, tmp_path, dataset):
+        spec = SweepSpec(
+            methods=("random",), datasets=("youtube",), n_seeds=1,
+            n_iterations=6, eval_every=3, scale="tiny",
+        )
+        out = tmp_path / "out"
+        store = ResultStore(out)
+        store.bind_spec(spec)
+        job = spec.jobs()[0]
+        ckpt = store.checkpoint_path(job.key)
+        ckpt.parent.mkdir(parents=True, exist_ok=True)
+        ckpt.write_bytes(b"torn checkpoint bytes")
+
+        key, payload = run_sweep_job(job.to_dict(), str(out), checkpoint_every=3)
+        assert payload["resumed_from_iteration"] == 0
+        expected = evaluate_method(
+            make_method("random"), "random", dataset,
+            n_iterations=6, eval_every=3, n_seeds=1, base_seed=0,
+        )
+        assert payload["scores"] == expected.curves[0].scores
+
+
+class TestParallelEvaluateMethod:
+    def test_jobs_parity_with_serial(self, dataset):
+        serial = evaluate_method(
+            make_method("random"), "random", dataset,
+            n_iterations=6, eval_every=2, n_seeds=3,
+        )
+        parallel = evaluate_method(
+            make_method("random"), "random", dataset,
+            n_iterations=6, eval_every=2, n_seeds=3, jobs=2,
+        )
+        assert len(serial.curves) == len(parallel.curves)
+        for a, b in zip(serial.curves, parallel.curves):
+            assert a.iterations == b.iterations
+            assert a.scores == b.scores
+        assert serial.summary_mean == parallel.summary_mean
+        assert serial.summary_std == parallel.summary_std
+
+    def test_mc_jobs_parity_with_serial(self):
+        from repro.multiclass.experiments import evaluate_mc_method
+
+        mc = load_named_dataset("topics", scale="tiny", seed=0)
+        serial = evaluate_mc_method(
+            "snorkel-mc", mc, n_iterations=5, eval_every=2, n_seeds=2
+        )
+        parallel = evaluate_mc_method(
+            "snorkel-mc", mc, n_iterations=5, eval_every=2, n_seeds=2, jobs=2
+        )
+        for a, b in zip(serial.curves, parallel.curves):
+            assert a.scores == b.scores
+
+    def test_unpicklable_factory_fails_with_clear_error(self, dataset):
+        closure_threshold = 0.5
+
+        def closure_factory(ds, seed):  # pragma: no cover - never called
+            return make_method("random", user_threshold=closure_threshold)(ds, seed)
+
+        with pytest.raises(ValueError, match="picklable"):
+            parallel_learning_curves(
+                closure_factory, dataset, seeds=[1, 2], n_iterations=3,
+                eval_every=1, jobs=2,
+            )
+
+    def test_invalid_jobs_rejected(self, dataset):
+        with pytest.raises(ValueError, match="jobs"):
+            evaluate_method(make_method("random"), "random", dataset, jobs=0)
+
+
+class TestJobSeedStability:
+    def test_job_seed_equals_recorded_seed(self, tmp_path):
+        spec = SweepSpec(methods=("random",), **SPEC_KW)
+        report = run_sweep(spec, tmp_path / "out", jobs=1)
+        store = ResultStore(tmp_path / "out")
+        for job in spec.jobs():
+            record = store.read_result(job.key)
+            assert record["seed"] == job.seed
+        assert report.complete
+
+    def test_scores_are_plain_floats(self, tmp_path):
+        spec = SweepSpec(methods=("random",), **SPEC_KW)
+        run_sweep(spec, tmp_path / "out", jobs=1)
+        record = ResultStore(tmp_path / "out").read_result(spec.jobs()[0].key)
+        assert all(isinstance(s, float) for s in record["scores"])
+        assert all(isinstance(i, int) for i in record["iterations"])
+        assert np.isfinite(record["scores"]).all()

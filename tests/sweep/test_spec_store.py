@@ -1,0 +1,154 @@
+"""The sweep job model and the sharded result store."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import SweepJob, SweepSpec
+from repro.sweep.store import ResultStore
+
+
+class TestSweepJob:
+    def test_seed_matches_serial_protocol_derivation(self):
+        from repro.utils.rng import stable_hash_seed
+
+        job = SweepJob(method="nemo", dataset="amazon", run_idx=2, base_seed=7)
+        assert job.seed == stable_hash_seed("nemo", "amazon", 2, 7)
+
+    def test_key_is_unique_per_coordinate(self):
+        spec = SweepSpec(
+            methods=("a-m", "b-m"), datasets=("amazon", "yelp"), n_seeds=3
+        )
+        keys = [job.key for job in spec.jobs()]
+        assert len(keys) == len(set(keys)) == 12
+
+    def test_key_changes_with_protocol_settings(self):
+        base = SweepJob(method="m", dataset="d", run_idx=0)
+        changed = SweepJob(method="m", dataset="d", run_idx=0, n_iterations=99)
+        assert base.key != changed.key
+        # ... but the coordinates stay readable in clear text.
+        assert base.key.startswith("d--m--r000--")
+
+    def test_dict_round_trip(self):
+        job = SweepJob(
+            method="m", dataset="d", run_idx=1, base_seed=3, n_iterations=20,
+            eval_every=4, scale="tiny", dataset_seed=5, user_threshold=0.6,
+        )
+        assert SweepJob.from_dict(job.to_dict()) == job
+
+
+class TestSweepSpec:
+    def test_expansion_is_deterministic_dataset_major(self):
+        spec = SweepSpec(methods=("m1", "m2"), datasets=("d1", "d2"), n_seeds=2)
+        triples = [(j.dataset, j.method, j.run_idx) for j in spec.jobs()]
+        assert triples == [
+            ("d1", "m1", 0), ("d1", "m1", 1), ("d1", "m2", 0), ("d1", "m2", 1),
+            ("d2", "m1", 0), ("d2", "m1", 1), ("d2", "m2", 0), ("d2", "m2", 1),
+        ]
+
+    def test_dict_round_trip(self):
+        spec = SweepSpec(
+            methods=("m1",), datasets=("d1", "d2"), n_seeds=4, base_seed=9,
+            n_iterations=25, eval_every=5, scale="tiny", user_threshold=0.4,
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"methods": (), "datasets": ("d",)},
+            {"methods": ("m",), "datasets": ()},
+            {"methods": ("m", "m"), "datasets": ("d",)},
+            {"methods": ("m",), "datasets": ("d", "d")},
+            {"methods": ("m",), "datasets": ("d",), "n_seeds": 0},
+            {"methods": ("m",), "datasets": ("d",), "n_iterations": 0},
+            {"methods": ("m",), "datasets": ("d",), "eval_every": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SweepSpec(**kwargs)
+
+
+class TestResultStore:
+    def test_write_read_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = {"key": "k1", "scores": [0.5, 0.6]}
+        path = store.write_result("k1", payload)
+        assert path.exists()
+        assert store.read_result("k1") == payload
+        assert store.read_result("missing") is None
+
+    def test_completed_keys_scans_all_shards(self, tmp_path):
+        store = ResultStore(tmp_path, n_shards=4)
+        keys = {f"job-{i}" for i in range(20)}
+        for key in keys:
+            store.write_result(key, {"key": key})
+        assert store.completed_keys() == keys
+        # More than one shard directory actually used.
+        shards = {p.name for p in (tmp_path / "results").iterdir()}
+        assert len(shards) > 1
+
+    def test_shard_assignment_is_stable(self, tmp_path):
+        a = ResultStore(tmp_path, n_shards=8)
+        b = ResultStore(tmp_path, n_shards=8)
+        for key in ("x", "y", "a-long--job--key--r001--deadbeef"):
+            assert a.shard_of(key) == b.shard_of(key)
+            assert 0 <= a.shard_of(key) < 8
+
+    def test_spec_pin_accepts_same_rejects_different(self, tmp_path):
+        spec = SweepSpec(methods=("m",), datasets=("d",), n_seeds=2)
+        store = ResultStore(tmp_path)
+        store.bind_spec(spec)
+        store.bind_spec(spec)  # idempotent
+        other = SweepSpec(methods=("m",), datasets=("d",), n_seeds=3)
+        with pytest.raises(ValueError, match="different sweep spec"):
+            store.bind_spec(other)
+        assert store.load_spec() == spec
+
+    def test_corrupted_spec_pin_fails_closed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.spec_path.parent.mkdir(parents=True, exist_ok=True)
+        store.spec_path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupted"):
+            store.bind_spec(SweepSpec(methods=("m",), datasets=("d",)))
+
+    def test_atomic_result_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_result("k", {"ok": True})
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+        # Valid JSON on disk.
+        assert json.loads(store.result_path("k").read_text()) == {"ok": True}
+
+    def test_shard_count_is_pinned_to_the_directory(self, tmp_path):
+        # Regression: the completed-key scan is shard-agnostic but result
+        # lookups compute the shard from n_shards — a handle reopened with
+        # a different count would report jobs complete while reading their
+        # records back as missing.  The first writer pins the layout; later
+        # handles adopt it regardless of their constructor argument.
+        writer = ResultStore(tmp_path, n_shards=16)
+        keys = [f"job-{i}" for i in range(12)]
+        for key in keys:
+            writer.write_result(key, {"key": key})
+        reader = ResultStore(tmp_path, n_shards=4)  # "wrong" argument
+        assert reader.n_shards == 16  # adopted the pinned layout
+        assert reader.completed_keys() == set(keys)
+        for key in keys:
+            assert reader.read_result(key) == {"key": key}
+
+    def test_corrupted_layout_fails_closed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write_result("k", {"key": "k"})
+        store.layout_path.write_text("{broken")
+        with pytest.raises(ValueError, match="layout"):
+            ResultStore(tmp_path)
+
+    def test_clear_checkpoint_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.clear_checkpoint("never-existed")
+        path = store.checkpoint_path("k")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"x")
+        store.clear_checkpoint("k")
+        assert not path.exists()

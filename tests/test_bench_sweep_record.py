@@ -1,0 +1,70 @@
+"""Guards on the committed sweep-throughput benchmark record.
+
+`BENCH_sweep_throughput.json` is the performance ledger of the parallel
+sweep path: the serial/parallel wall clocks, the bit-identical flag, and
+the machine context must not silently disappear when the benchmark is
+regenerated.  The same check runs in the CI sweep smoke
+(`bench_sweep_throughput.py --quick`).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    sys.path.insert(0, str(REPO_ROOT))
+    from benchmarks.bench_sweep_throughput import (
+        MIN_CPUS_FOR_TARGET,
+        SPEEDUP_TARGET,
+        check_record,
+    )
+
+    return check_record, SPEEDUP_TARGET, MIN_CPUS_FOR_TARGET
+
+
+def load_record():
+    return json.loads((REPO_ROOT / "BENCH_sweep_throughput.json").read_text())
+
+
+class TestCommittedSweepBenchRecord:
+    def test_record_passes_schema_check(self):
+        check_record, *_ = load_checker()
+        assert check_record(load_record()) == []
+
+    def test_parallel_results_were_bit_identical(self):
+        assert load_record()["bit_identical"] is True
+
+    def test_grid_is_at_least_four_methods_by_five_seeds(self):
+        record = load_record()
+        spec = record["spec"]
+        assert len(spec["methods"]) >= 4
+        assert spec["n_seeds"] >= 5
+        assert record["n_jobs_grid"] == (
+            len(spec["methods"]) * len(spec["datasets"]) * spec["n_seeds"]
+        )
+
+    def test_speedup_target_enforced_when_cores_available(self):
+        # The ≥2.5× target only has meaning with enough CPUs to
+        # parallelize on; the record must carry the machine context that
+        # decides it, and check_record must enforce the target there.
+        check_record, target, min_cpus = load_checker()
+        record = load_record()
+        assert isinstance(record["machine"]["cpu_count"], int)
+        if record["machine"]["cpu_count"] >= min_cpus:
+            assert record["speedup"] >= target
+
+        # And the enforcement path itself works: a many-core record with a
+        # sub-target speedup must fail the check.
+        bad = json.loads(json.dumps(record))
+        bad["machine"]["cpu_count"] = 64
+        bad["speedup"] = 1.0
+        assert any("speedup" in p for p in check_record(bad))
+
+    def test_wall_clocks_positive(self):
+        record = load_record()
+        assert record["serial"]["wall_seconds"] > 0
+        assert record["parallel"]["wall_seconds"] > 0
+        assert record["parallel"]["jobs"] >= 2

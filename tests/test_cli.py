@@ -152,3 +152,65 @@ class TestSubcommands:
         )
         assert code == 0
         assert "label_model=majority" in capsys.readouterr().out
+
+
+class TestSweepSubcommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.methods == ["nemo", "snorkel"]
+        assert args.datasets == ["amazon"]
+        assert args.jobs == 1
+        assert args.out == "sweep_out"
+
+    def test_sweep_runs_and_resumes(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--datasets", "youtube",
+            "--methods", "random", "abstain",
+            "--scale", "tiny",
+            "--iterations", "6",
+            "--eval-every", "3",
+            "--seeds", "2",
+            "--out", str(tmp_path / "out"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "ran 4 jobs, skipped 0" in out
+        assert "youtube" in out
+
+        # Re-running the identical sweep skips everything.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "ran 0 jobs, skipped 4" in out
+
+    def test_sweep_partial_run_exits_nonzero(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--datasets", "youtube",
+            "--methods", "random",
+            "--scale", "tiny",
+            "--iterations", "4",
+            "--eval-every", "2",
+            "--seeds", "2",
+            "--max-jobs", "1",
+            "--out", str(tmp_path / "out"),
+        ]
+        assert main(argv) == 1
+        assert "still pending" in capsys.readouterr().out
+
+    def test_run_accepts_jobs_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset", "youtube",
+                "--scale", "tiny",
+                "--method", "random",
+                "--iterations", "4",
+                "--eval-every", "2",
+                "--seeds", "2",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "curve average" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""CI smoke for the sweep subsystem: kill a sweep mid-job, resume, verify.
+
+Exercises the full durability story end-to-end on a tiny grid:
+
+1. run one job of the grid to completion, then *crash* a second job
+   mid-session (deterministic injection after a checkpoint was written);
+2. resume the sweep with ``run_sweep(..., jobs=2)`` on the same store;
+3. assert (a) the finished job was **not** recomputed (its record's mtime
+   is unchanged), (b) the crashed job **resumed from its checkpoint**
+   rather than restarting, and (c) the final results are bit-identical to
+   an uninterrupted serial reference run.
+
+Exit code 0 on success; prints the failed assertion otherwise.
+
+Run:  PYTHONPATH=src python tools/sweep_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.sweep import ResultStore, SweepSpec, run_sweep  # noqa: E402
+from repro.sweep.worker import SweepJobCrash, run_sweep_job  # noqa: E402
+
+SPEC = SweepSpec(
+    methods=("random", "seu"),
+    datasets=("youtube",),
+    n_seeds=2,
+    n_iterations=12,
+    eval_every=4,
+    scale="tiny",
+)
+CHECKPOINT_EVERY = 5
+CRASH_AFTER = 7  # past the first checkpoint at iteration 5
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"[sweep-smoke] FAILED: {message}")
+        raise SystemExit(1)
+
+
+def main() -> int:
+    jobs = SPEC.jobs()
+    with tempfile.TemporaryDirectory(prefix="sweep_smoke_") as tmp:
+        out = Path(tmp) / "store"
+        store = ResultStore(out)
+        store.bind_spec(SPEC)
+
+        # Phase 1: one job completes normally, a second is killed mid-run.
+        done_job, crash_job = jobs[0], jobs[1]
+        run_sweep_job(done_job.to_dict(), str(out), checkpoint_every=CHECKPOINT_EVERY)
+        try:
+            run_sweep_job(
+                crash_job.to_dict(),
+                str(out),
+                checkpoint_every=CHECKPOINT_EVERY,
+                fail_after_iteration=CRASH_AFTER,
+            )
+        except SweepJobCrash:
+            pass
+        else:
+            check(False, "injected crash did not raise")
+        check(
+            store.checkpoint_path(crash_job.key).exists(),
+            "crashed job left no checkpoint",
+        )
+        check(
+            store.read_result(crash_job.key) is None,
+            "crashed job must not have a streamed result",
+        )
+        done_mtime = store.result_path(done_job.key).stat().st_mtime_ns
+        print(
+            f"[sweep-smoke] killed {crash_job.key} after iteration {CRASH_AFTER} "
+            f"(checkpoint at {CHECKPOINT_EVERY})"
+        )
+
+        # Phase 2: resume on a 2-worker pool.
+        report = run_sweep(SPEC, out, jobs=2, checkpoint_every=CHECKPOINT_EVERY)
+        check(report.complete, f"resume left pending jobs: {report.pending}")
+        check(
+            done_job.key in report.skipped and done_job.key not in report.ran,
+            "completed job was not skipped on resume",
+        )
+        check(
+            store.result_path(done_job.key).stat().st_mtime_ns == done_mtime,
+            "completed job's record was rewritten (recomputed)",
+        )
+        crashed_record = store.read_result(crash_job.key)
+        check(
+            crashed_record["resumed_from_iteration"] == CHECKPOINT_EVERY,
+            f"crashed job resumed from {crashed_record['resumed_from_iteration']}, "
+            f"expected {CHECKPOINT_EVERY}",
+        )
+        check(
+            not store.checkpoint_path(crash_job.key).exists(),
+            "finished job's checkpoint was not cleared",
+        )
+        print(
+            f"[sweep-smoke] resumed: ran {len(report.ran)}, "
+            f"skipped {len(report.skipped)}"
+        )
+
+        # Phase 3: bit-identical to an uninterrupted serial reference.
+        ref_out = Path(tmp) / "reference"
+        reference = run_sweep(SPEC, ref_out, jobs=1)
+        ref_store = ResultStore(ref_out)
+        for job in jobs:
+            a = ref_store.read_result(job.key)
+            b = store.read_result(job.key)
+            check(
+                a["iterations"] == b["iterations"] and a["scores"] == b["scores"],
+                f"{job.key}: resumed results differ from uninterrupted serial run",
+            )
+        check(reference.complete, "reference sweep incomplete")
+    print("[sweep-smoke] OK: kill-and-resume completed with no recomputation "
+          "and bit-identical results")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
