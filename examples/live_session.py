@@ -1,0 +1,109 @@
+"""Drive a live IDP session over HTTP — the serve-layer walkthrough.
+
+A real Nemo deployment has a human on the other side of a network
+boundary answering each "develop an LF from this example" prompt.  The
+serve layer makes that concrete: ``repro serve`` hosts many named live
+sessions behind a stdlib JSON/HTTP API, snapshotting each one
+periodically so a killed server resumes mid-session.  This walkthrough
+plays both sides in one process:
+
+1. start the session service in a background thread (in production:
+   ``python -m repro serve --root my_sessions``);
+2. create a named session from the method registry over HTTP;
+3. act as the user: ``propose`` shows the selected example's candidate
+   primitives, ``submit``/``decline`` answer with an LF (or without one);
+4. hand some iterations to the session's built-in simulated user
+   (``step``) and watch the score move;
+5. restart the manager over the same root to show the session resuming
+   from its latest rotated snapshot.
+
+Run:  python examples/live_session.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.serve import SessionClient, SessionManager, make_server
+
+N_HUMAN_TURNS = 4
+N_SIMULATED_TURNS = 6
+
+
+def serve_in_thread(root: Path):
+    """The server side: a manager plus its threaded HTTP front end."""
+    manager = SessionManager(root, snapshot_every=2, keep_last=3)
+    server = make_server(manager)  # port=0: the OS picks a free port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    return server, f"http://{host}:{port}"
+
+
+def act_as_user(client: SessionClient, name: str) -> None:
+    """A (scripted) human: read each proposal, answer with a keyword LF."""
+    for _ in range(N_HUMAN_TURNS):
+        proposal = client.propose(name)
+        if proposal["dev_index"] is None or not proposal["primitives"]:
+            result = client.decline(name)
+            print(f"  it {result['iteration']:>2}: nothing usable -> declined")
+            continue
+        shown = ", ".join(sorted(proposal["primitives"])[:5])
+        # A human would read the example; we key on its first primitive.
+        token = sorted(proposal["primitives"])[0]
+        label = 1 if len(token) % 2 == 0 else -1
+        result = client.submit(name, token, label)
+        print(
+            f"  it {result['iteration']:>2}: example {proposal['dev_index']} "
+            f"[{shown}, ...] -> LF {token!r}->{label:+d} "
+            f"({result['n_lfs']} LFs total)"
+        )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="live_session_") as tmp:
+        root = Path(tmp)
+        server, url = serve_in_thread(root)
+        client = SessionClient(url)
+        print(f"session service at {url}, root {root}")
+
+        # 2. Create a named session: full Nemo on the tiny Amazon bench.
+        info = client.create(
+            "demo", method="nemo", dataset="amazon", scale="tiny", seed=7
+        )
+        print(f"created {info['name']!r}: {info['method']} on {info['dataset']}")
+
+        # 3. The human-in-the-loop turns.
+        print(f"\nacting as the user for {N_HUMAN_TURNS} interactions:")
+        act_as_user(client, "demo")
+        print(f"score after human turns: {client.score('demo')['test_score']:.3f}")
+
+        # 4. Hand the loop to the built-in simulated user.
+        print(f"\nletting the simulated user answer {N_SIMULATED_TURNS} proposals:")
+        for _ in range(N_SIMULATED_TURNS):
+            result = client.step("demo")
+            lf = result["lf"]
+            lf_str = "-" if lf is None else f"{lf['primitive']!r}->{lf['label']:+d}"
+            print(f"  it {result['iteration']:>2}: {result['outcome']:<9} {lf_str}")
+        print(f"score after simulated turns: {client.score('demo')['test_score']:.3f}")
+        before = client.info("demo")
+        server.shutdown()
+        server.server_close()
+
+        # 5. "Restart": a fresh service over the same root resumes the
+        # session from its latest rotated snapshot.
+        server, url = serve_in_thread(root)
+        client = SessionClient(url)
+        after = client.info("demo")
+        print(
+            f"\nrestarted service: iteration {after['iteration']} restored "
+            f"(was {before['iteration']}; snapshots every 2 commits), "
+            f"{after['n_checkpoints']} rotated snapshot(s) on disk"
+        )
+        for line in ("  " + str(s) for s in client.sessions()):
+            print(line)
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    main()

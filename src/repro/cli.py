@@ -1,6 +1,6 @@
 """Command-line interface to the reproduction.
 
-Five subcommands cover the workflows a downstream user needs without
+Seven subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``datasets`` — Table-1-style statistics for the bundled benchmarks.
@@ -11,6 +11,10 @@ writing Python:
   grid streamed to an on-disk result store (see :mod:`repro.sweep`).
 * ``replay``   — re-score a recorded transcript under a different
   learning pipeline (the paper's user-study workflow, Sec. 5.2).
+* ``serve``    — a long-lived HTTP session service: named live sessions
+  driven over the propose/submit protocol, periodically snapshotted and
+  restored across restarts (see :mod:`repro.serve`).
+* ``sessions`` — list the sessions stored under a serve root.
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -109,6 +113,56 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="stop after this many jobs this invocation (budgeting/smoke aid)",
+    )
+    p_sweep.add_argument(
+        "--checkpoint-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="treat pending-job checkpoints older than this as abandoned "
+        "(the job restarts from scratch); default: no age cap",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP session service (propose/submit protocol)",
+        description=(
+            "Serve named live IDP sessions over a stdlib JSON/HTTP API. "
+            "Sessions are snapshotted every --snapshot-every commits and the "
+            "snapshots rotated (--keep-last / --max-age); restarting the "
+            "server over the same --root resumes every session from its "
+            "latest snapshot, bit-identically."
+        ),
+    )
+    p_serve.add_argument(
+        "--root", default="serve_sessions", help="session store directory"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 = pick a free one)"
+    )
+    p_serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=5,
+        help="snapshot cadence, in closed interactions per session",
+    )
+    p_serve.add_argument(
+        "--keep-last", type=int, default=3, help="rotated snapshots kept per session"
+    )
+    p_serve.add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also drop retained snapshots older than this (newest always kept)",
+    )
+
+    p_sessions = sub.add_parser(
+        "sessions", help="list the sessions stored under a serve root"
+    )
+    p_sessions.add_argument(
+        "--root", default="serve_sessions", help="session store directory"
     )
 
     p_replay = sub.add_parser(
@@ -316,6 +370,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         max_jobs=args.max_jobs,
         progress=progress,
+        checkpoint_max_age=args.checkpoint_max_age,
     )
     print(
         f"ran {len(report.ran)} jobs, skipped {len(report.skipped)} already-completed "
@@ -380,12 +435,60 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SessionManager, make_server
+
+    manager = SessionManager(
+        args.root,
+        snapshot_every=args.snapshot_every,
+        keep_last=args.keep_last,
+        max_age_seconds=args.max_age,
+    )
+    server = make_server(manager, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # This exact line is the machine-readable handshake the serve smoke
+    # test (and any wrapper script) parses to learn the bound port.
+    print(f"serving sessions on http://{host}:{port} (root={manager.root})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_sessions(args: argparse.Namespace) -> int:
+    from repro.serve import SessionManager
+
+    manager = SessionManager(args.root)
+    infos = manager.sessions()
+    if not infos:
+        print(f"no sessions under {manager.root}")
+        return 0
+    header = f"{'name':<20} {'dataset':<10} {'method':<16} {'iter':>5} {'ckpts':>5} {'snapshot age':>12}"
+    print(header)
+    print("-" * len(header))
+    for info in infos:
+        age = info["last_snapshot_age_seconds"]
+        age_s = "-" if age is None else f"{age:10.1f}s"
+        iteration = info["iteration"]
+        it_s = "?" if iteration is None else str(iteration)
+        print(
+            f"{info['name']:<20} {info['dataset']:<10} {info['method']:<16} "
+            f"{it_s:>5} {info['n_checkpoints']:>5} {age_s:>12}"
+        )
+    return 0
+
+
 COMMANDS = {
     "datasets": cmd_datasets,
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "replay": cmd_replay,
+    "serve": cmd_serve,
+    "sessions": cmd_sessions,
 }
 
 

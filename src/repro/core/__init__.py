@@ -22,6 +22,12 @@ from repro.core.convention import (
 )
 from repro.core.lf import LFFamily, PrimitiveLF
 from repro.core.lineage import LineageRecord, LineageStore
+from repro.core.protocol import (
+    PendingInteraction,
+    ProtocolError,
+    SimulatedDriver,
+    StepOutcome,
+)
 from repro.core.selection import (
     BASIC_SELECTORS,
     AbstainSelector,
@@ -93,6 +99,10 @@ __all__ = [
     "InteractiveMethod",
     "LFDeveloper",
     "DataProgrammingSession",
+    "PendingInteraction",
+    "ProtocolError",
+    "SimulatedDriver",
+    "StepOutcome",
     "BatchDataProgrammingSession",
     "BatchSEUSelector",
     "BatchRandomSelector",

@@ -104,9 +104,10 @@ class BatchDataProgrammingSession(DataProgrammingSession):
             lf = self.user.create_lf(dev_index, state)
             if lf is None:
                 continue
-            self.lineage.add(lf, dev_index, self.iteration - 1)
+            # The engine's all-or-nothing develop commit (votes + lineage
+            # staged before any mutation) — same guarantee as submit().
+            self._commit_develop(lf, dev_index, self.iteration - 1)
             state.lfs.append(lf)  # visible to later picks in the same batch
-            self._append_votes(lf)
             appended += 1
         if appended:
             self._refit()

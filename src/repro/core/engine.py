@@ -42,6 +42,18 @@ Setting ``warm_start=False`` and ``full_refit_every=1`` reproduces the
 from-scratch semantics of the original sessions exactly — that
 configuration is both the regression baseline for the equivalence tests and
 the recorded baseline of ``benchmarks/bench_perf_session.py``.
+
+The atomic step itself is expressed as a two-phase **command protocol**
+(ENGINE.md §6): :meth:`IncrementalSessionEngine.propose` runs the
+selector without consuming the iteration, and
+:meth:`~IncrementalSessionEngine.submit` /
+:meth:`~IncrementalSessionEngine.decline` close the interaction with a
+transactional develop commit.  :meth:`~IncrementalSessionEngine.step` and
+:meth:`~IncrementalSessionEngine.run` are a thin
+:class:`~repro.core.protocol.SimulatedDriver` over those commands with
+the in-process user — bit-identical to the historical hard-wired loop —
+while the serve layer (:mod:`repro.serve`) drives the same commands from
+remote clients.
 """
 
 from __future__ import annotations
@@ -53,6 +65,7 @@ import numpy as np
 
 from repro.core.convention import VoteConvention
 from repro.core.lineage import LineageStore
+from repro.core.protocol import PendingInteraction, ProtocolError, SimulatedDriver
 from repro.labelmodel.matrix import VoteMatrix, column_nonzero_rows
 
 #: The IDP phases attributed by the engine's built-in timing bookkeeping.
@@ -168,6 +181,10 @@ class IncrementalSessionEngine:
         # Whether a warm refit deferred its proxy refresh to the first
         # selector read (see _resolve_proxy).
         self._proxy_stale = False
+        # The open interaction of the two-phase command protocol (see
+        # repro.core.protocol) and its transient proposal counter.
+        self._pending: PendingInteraction | None = None
+        self._proposal_token = 0
         self.active_percentile_: float | None = (
             contextualizer.percentile if contextualizer is not None else None
         )
@@ -197,51 +214,168 @@ class IncrementalSessionEngine:
     def L_valid(self, L: np.ndarray) -> None:
         self._L_valid = VoteMatrix.from_dense(L, abstain=self.abstain_value)
 
-    def _append_votes(self, lf) -> None:
-        """Append one LF's train/valid vote columns, sparse-natively.
+    def _stage_votes(self, lf) -> tuple[np.ndarray, np.ndarray]:
+        """Validate one LF's train/valid vote columns; mutate nothing.
 
-        The train lookup reuses the family's cached CSC (the family is
-        built over the train incidence matrix, so materializing
+        Returns the canonical staged row arrays for both splits.  The
+        train lookup reuses the family's cached CSC (the family is built
+        over the train incidence matrix, so materializing
         ``dataset.train.B_csc`` as well would hold a second copy).
         """
-        self._L_train.append_rows(
+        if not 0 <= int(lf.primitive_id) < self.family.n_primitives:
+            raise ValueError(
+                f"LF primitive_id {lf.primitive_id} is out of range "
+                f"[0, {self.family.n_primitives})"
+            )
+        rows_train = self._L_train.stage_rows(
             column_nonzero_rows(self.family.B_csc, lf.primitive_id), lf.label
         )
-        self._L_valid.append_rows(
+        rows_valid = self._L_valid.stage_rows(
             column_nonzero_rows(self.dataset.valid.B_csc, lf.primitive_id), lf.label
         )
+        return rows_train, rows_valid
+
+    def _commit_develop(self, lf, dev_index: int, iteration_index: int) -> None:
+        """All-or-nothing develop commit: both vote columns + the lineage.
+
+        Everything fallible — primitive bounds, vote staging against both
+        splits, the dev-index range — is validated before the first
+        mutation, and the staged appends cannot fail, so an exception
+        leaves no phantom lineage entry or half-appended votes.  Shared
+        by :meth:`submit` and the batched session's step.  Counters and
+        the refit stay with the caller.
+        """
+        if not 0 <= int(dev_index) < self.dataset.train.n:
+            raise ValueError(
+                f"dev_index {dev_index} out of range [0, {self.dataset.train.n})"
+            )
+        rows_train, rows_valid = self._stage_votes(lf)
+        # -- commit point: nothing below can fail ------------------------ #
+        self._L_train.append_staged(rows_train, lf.label)
+        self._L_valid.append_staged(rows_valid, lf.label)
+        self.lineage.add(lf, dev_index, iteration_index)
 
     # ------------------------------------------------------------------ #
-    # IDP loop
+    # the two-phase command protocol (ENGINE.md §6)
     # ------------------------------------------------------------------ #
-    def step(self) -> None:
-        """One IDP iteration: select → develop → contextualize → learn."""
+    @property
+    def pending(self) -> PendingInteraction | None:
+        """The open interaction, or ``None`` between interactions."""
+        return self._pending
+
+    def propose(self) -> PendingInteraction:
+        """Phase 1: run the selector; return the candidate interaction.
+
+        Nothing is consumed yet — no counter, vote, or lineage mutation
+        happens until the interaction is closed with :meth:`submit` or
+        :meth:`decline`.  Idempotent while an interaction is open: the
+        same :class:`~repro.core.protocol.PendingInteraction` is returned
+        rather than re-running the selector (whose RNG draw must happen
+        exactly once per interaction).
+        """
+        if self._pending is not None:
+            return self._pending
         t0 = time.perf_counter()
         state = self.build_state()
         dev_index = self.selector.select(state)
         t1 = time.perf_counter()
         self.phase_timings["select"] += t1 - t0
-        self.iteration += 1
-        if dev_index is None:
-            return
-        self.selected.add(dev_index)
-        lf = self.user.create_lf(dev_index, state)
+        self._proposal_token += 1
+        self._pending = PendingInteraction(
+            token=self._proposal_token,
+            iteration=self.iteration,
+            dev_index=None if dev_index is None else int(dev_index),
+            state=state,
+            ready_at=t1,
+        )
+        return self._pending
+
+    def _require_pending(self) -> PendingInteraction:
+        if self._pending is None:
+            raise ProtocolError("no open interaction: call propose() first")
+        return self._pending
+
+    def submit(self, lf) -> PendingInteraction:
+        """Phase 2a: commit the user's LF for the open interaction.
+
+        The develop commit — both vote-column appends, the lineage
+        record, the selected-set entry, and the iteration counter — is
+        applied all-or-nothing: everything fallible (primitive bounds,
+        vote staging against both splits) is validated *before* the first
+        mutation, so a rejected LF leaves the session exactly as proposed
+        (the interaction stays open for a corrected retry).  After the
+        commit the learning pipeline refits; a refit failure propagates
+        with the commit already durable and self-consistent (votes and
+        lineage agree — the next successful refit incorporates them).
+        """
+        pending = self._require_pending()
+        if pending.dev_index is None:
+            raise ProtocolError(
+                "the selector found no eligible example; decline() is the only "
+                "legal close for this interaction"
+            )
         if lf is None:
-            self.phase_timings["develop"] += time.perf_counter() - t1
-            return
-        self.lineage.add(lf, dev_index, self.iteration - 1)
-        self._append_votes(lf)
-        self.phase_timings["develop"] += time.perf_counter() - t1
+            raise ProtocolError("submit() requires an LF; use decline() instead")
+        self._commit_develop(lf, pending.dev_index, pending.iteration)
+        self.selected.add(pending.dev_index)
+        self.iteration = pending.iteration + 1
+        self._pending = None
+        self.phase_timings["develop"] += time.perf_counter() - pending.ready_at
         self._refit()
+        return pending
+
+    def decline(self) -> PendingInteraction:
+        """Phase 2b: close the open interaction without an LF.
+
+        Models a user unable to extract a (sufficiently accurate, novel)
+        heuristic from the shown example: the iteration is consumed and
+        the example is marked as shown, but the learning state is
+        untouched.  Also the only legal close when the selector found no
+        eligible example.
+        """
+        pending = self._require_pending()
+        if pending.dev_index is not None:
+            self.selected.add(pending.dev_index)
+            self.phase_timings["develop"] += time.perf_counter() - pending.ready_at
+        self.iteration = pending.iteration + 1
+        self._pending = None
+        return pending
+
+    def cancel(self) -> PendingInteraction | None:
+        """Discard the open interaction without consuming the iteration.
+
+        The selector's side effects (its RNG draw, cache fills) are *not*
+        rewound — a cancelled-then-reproposed session diverges from one
+        that never proposed.  Bit-identical restart semantics come from
+        restoring a pre-propose snapshot instead (see :meth:`state_dict`).
+        """
+        pending, self._pending = self._pending, None
+        return pending
+
+    # ------------------------------------------------------------------ #
+    # IDP loop (the simulated-user driver over the protocol)
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """One IDP iteration: select → develop → contextualize → learn.
+
+        A thin :class:`~repro.core.protocol.SimulatedDriver` pass over
+        :meth:`propose`/:meth:`submit`/:meth:`decline` with the session's
+        in-process user — bit-identical to the historical hard-wired loop
+        (pinned by the golden parity tests).
+        """
+        SimulatedDriver(self, self.user).step()
 
     def run(self, n_iterations: int):
         """Run ``n_iterations`` steps; returns self for chaining.
 
-        Any proxy refresh deferred by the final refit is materialized
-        before returning, so the public ``proxy_proba``/``proxy_labels``
-        attributes reflect the current end model at the API boundary
-        (callers driving :meth:`step` directly can read
-        ``build_state().resolve_proxy()`` for the same guarantee).
+        Dispatches through :meth:`step` (not the driver directly) so
+        subclasses overriding the step shape — e.g. the batched Sec.-7
+        session — keep their semantics.  Any proxy refresh deferred by
+        the final refit is materialized before returning, so the public
+        ``proxy_proba``/``proxy_labels`` attributes reflect the current
+        end model at the API boundary (callers driving :meth:`step`
+        directly can read ``build_state().resolve_proxy()`` for the same
+        guarantee).
         """
         for _ in range(n_iterations):
             self.step()
@@ -509,7 +643,19 @@ class IncrementalSessionEngine:
         — the end model has not changed since it was deferred, so the
         values are exactly what the first selector read would have
         produced, and the snapshot stays self-contained.
+
+        Snapshotting is only legal *between* interactions: an open
+        :meth:`propose` has already advanced the session RNG, so a
+        restore followed by a fresh ``propose()`` would run the selector
+        a second time and diverge from the uninterrupted session.  The
+        serve layer therefore snapshots at commit boundaries only.
         """
+        if self._pending is not None:
+            raise ProtocolError(
+                "cannot snapshot with an open interaction: the selector has "
+                "already advanced the session RNG, so a restored session would "
+                "re-run it and diverge; submit(), decline(), or cancel() first"
+            )
         self._resolve_proxy()
         arrays = {}
         for name in self._CHECKPOINT_ARRAY_FIELDS:
@@ -669,6 +815,9 @@ class IncrementalSessionEngine:
         # restored state; dropping it is bit-identical (entries are
         # recomputed on first read).  The snapshot materialized any
         # deferred proxy refresh, so the restored proxy is current.
+        # Snapshots are taken at commit boundaries only, so a restored
+        # session never has an open interaction.
         self._selector_cache = {}
         self._proxy_stale = False
+        self._pending = None
         return self

@@ -1,0 +1,137 @@
+"""The command-driven IDP interaction protocol.
+
+A real Nemo deployment has a *human* answering each "develop an LF from
+this example" prompt — the user is on the other side of a UI or network
+boundary, not an in-process :class:`~repro.core.session.LFDeveloper`.  The
+atomic IDP step is therefore split into a two-phase command protocol on
+the engine (:class:`~repro.core.engine.IncrementalSessionEngine`):
+
+``propose()``
+    Runs the development-data selector and returns a
+    :class:`PendingInteraction` — the candidate example plus the session
+    state snapshot the selector saw.  The iteration is **not** yet
+    consumed: no counter, vote, or lineage mutation happens.  Calling
+    ``propose()`` again while an interaction is open returns the *same*
+    pending object (idempotent), so a retried request never re-runs the
+    selector (which would advance the session RNG a second time).
+
+``submit(lf)`` / ``decline()``
+    Close the open interaction.  ``submit`` applies the develop commit —
+    vote-column appends, the lineage record, the selected-set and
+    iteration counters — all-or-nothing (everything fallible is staged
+    and validated before the first mutation), then refits the learning
+    pipeline.  ``decline`` models a user unable to extract an LF from the
+    shown example: the iteration is consumed, nothing else changes.
+
+``cancel()``
+    Discards the open interaction without consuming the iteration.  The
+    selector's side effects (the RNG draw, cache fills) are *not* rewound,
+    so a cancelled-then-reproposed session diverges from one that never
+    proposed — restart-style bit-identical replay is achieved by restoring
+    a pre-propose snapshot instead (see ENGINE.md §6).
+
+:class:`SimulatedDriver` closes the loop for in-process users: it drives
+``propose → create_lf → submit/decline`` with an
+:class:`~repro.core.session.LFDeveloper`, which is exactly what the
+engine's historical ``step()``/``run()`` now delegate to — the golden
+parity tests pin that the re-expression is bit-identical to the old
+hard-wired loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ProtocolError(RuntimeError):
+    """An interaction command was issued in an illegal protocol state."""
+
+
+@dataclass
+class PendingInteraction:
+    """One proposed interaction, awaiting ``submit``/``decline``.
+
+    Attributes
+    ----------
+    token:
+        Monotonically increasing proposal id within the session (transient
+        — not part of durable snapshots).
+    iteration:
+        The zero-based iteration index this interaction will consume; the
+        engine's ``iteration`` becomes ``iteration + 1`` on close.
+    dev_index:
+        Train index the selector chose, or ``None`` when nothing is
+        eligible (then ``decline()`` is the only legal close).
+    state:
+        The session-state snapshot the selector saw — the same object an
+        in-process user's ``create_lf`` receives, preserving the
+        historical single-snapshot-per-step semantics.
+    ready_at:
+        ``time.perf_counter()`` at the end of selection; the close
+        commands attribute the elapsed time to the ``develop`` phase.
+    """
+
+    token: int
+    iteration: int
+    dev_index: int | None
+    state: object
+    ready_at: float
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one driver-mediated interaction did.
+
+    ``kind`` is ``"submitted"`` (an LF was developed and committed),
+    ``"declined"`` (the user produced no LF) or ``"exhausted"`` (the
+    selector found no eligible example).  ``lf`` is the committed LF for
+    ``"submitted"``, else ``None``.
+    """
+
+    kind: str
+    dev_index: int | None = None
+    lf: object = None
+
+
+class SimulatedDriver:
+    """Drives a session's command protocol with an in-process user.
+
+    The thin adapter that re-expresses the historical pull-model
+    ``step()`` over ``propose``/``submit``/``decline``: select, hand the
+    snapshot to the :class:`~repro.core.session.LFDeveloper`, and close
+    the interaction with whatever it produced.  Both IDP sessions'
+    ``step()``/``run()`` delegate here, and the experiment protocol /
+    sweep runner drive sessions exclusively through that contract — so
+    every simulated transcript exercises the same command path a live
+    served session uses.
+    """
+
+    def __init__(self, session, user=None) -> None:
+        self.session = session
+        self.user = user if user is not None else session.user
+
+    def step(self) -> StepOutcome:
+        """Run one interaction: propose, develop, close."""
+        session = self.session
+        pending = session.propose()
+        if pending.dev_index is None:
+            session.decline()
+            return StepOutcome(kind="exhausted")
+        lf = self.user.create_lf(pending.dev_index, pending.state)
+        if lf is None:
+            session.decline()
+            return StepOutcome(kind="declined", dev_index=pending.dev_index)
+        session.submit(lf)
+        return StepOutcome(kind="submitted", dev_index=pending.dev_index, lf=lf)
+
+    def run(self, n_iterations: int):
+        """Drive ``n_iterations`` interactions; returns the session.
+
+        Like the historical ``run()``, any proxy refresh deferred by the
+        final refit is materialized before returning, so the session's
+        public proxy attributes are current at the API boundary.
+        """
+        for _ in range(n_iterations):
+            self.step()
+        self.session._resolve_proxy()
+        return self.session

@@ -8,6 +8,13 @@ contextualized-only, and full Nemo — is an instantiation of this class with
 different components plugged in; the active-learning and IWS baselines
 implement the same :class:`InteractiveMethod` interface in
 :mod:`repro.interactive`.
+
+The user need not be in-process: the loop is expressed as the two-phase
+command protocol of :mod:`repro.core.protocol`
+(``propose``/``submit``/``decline``, ENGINE.md §6), with ``step()`` a
+:class:`~repro.core.protocol.SimulatedDriver` binding an
+:class:`LFDeveloper` to it.  A remote client — e.g. a human behind the
+:mod:`repro.serve` HTTP service — issues exactly the same commands.
 """
 
 from __future__ import annotations

@@ -5,6 +5,15 @@ performance is recorded every ``eval_every`` iterations; a learning curve
 is summarized by the mean of its evaluated points ("average performance on
 the learning curve ... essentially its area under curve"); results are
 averaged over several seeded runs.
+
+The protocol drives methods exclusively through the
+:class:`~repro.core.session.InteractiveMethod` contract
+(``step()``/``test_score()``).  For the engine-backed IDP sessions,
+``step()`` is itself a :class:`~repro.core.protocol.SimulatedDriver` over
+the propose/submit command protocol (ENGINE.md §6) — so every evaluated
+transcript, including the sweep runner's checkpoint-resumed ones (the
+``start_iteration``/``curve``/``after_iteration`` seams below), exercises
+the same command path a live served session uses.
 """
 
 from __future__ import annotations

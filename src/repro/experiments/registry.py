@@ -1,0 +1,34 @@
+"""Cardinality-dispatching method-factory resolution.
+
+Both registries address methods by name — the binary one
+(:func:`repro.experiments.runners.make_method`) and the multiclass one
+(:func:`repro.multiclass.experiments.make_mc_method`) — and which registry
+applies is decided by the *dataset*.  This module is the single home of
+that dispatch rule, shared by the sweep workers, the serve-layer session
+manager, and the CLI, so a ``(method, dataset)`` pair resolves to the
+identical factory everywhere.
+
+Kept import-light deliberately: the registries themselves (and the
+interactive baselines they pull in) are imported lazily inside the
+resolver, so neutral consumers pay nothing until they actually resolve.
+"""
+
+from __future__ import annotations
+
+from repro.data.named import is_mc_dataset
+
+
+def resolve_factory(method: str, dataset_name: str, user_threshold: float):
+    """The ``(dataset, seed) -> method`` factory for a registry cell.
+
+    Multiclass datasets dispatch to the MC registry, everything else to the
+    binary one — the same rule as the CLI.  Raises ``ValueError`` for
+    unknown names, which callers surface *before* any work starts.
+    """
+    if is_mc_dataset(dataset_name):
+        from repro.multiclass.experiments import make_mc_method
+
+        return make_mc_method(method, user_threshold=user_threshold)
+    from repro.experiments import make_method
+
+    return make_method(method, user_threshold=user_threshold)

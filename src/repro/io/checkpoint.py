@@ -25,7 +25,10 @@ rather than handing back a partially-reconstructed state.
 from __future__ import annotations
 
 import json
+import time
 import zipfile
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -133,6 +136,98 @@ def load_checkpoint(path: str | Path) -> dict:
     if not isinstance(state, dict):
         raise CheckpointError(f"{path} has no state tree")
     return _unflatten(state, arrays)
+
+
+# --------------------------------------------------------------------- #
+# retention: GC / rotation policy
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RotationPolicy:
+    """Retention policy for a directory of periodic checkpoints.
+
+    Shared by the serve layer's per-session snapshots and the sweep
+    store's per-job checkpoints: long-lived stores otherwise accumulate
+    ``.ckpt.npz`` files without bound.
+
+    ``keep_last``
+        Keep at most this many files, newest first (``None`` = no count
+        bound — the sweep store uses this, since its checkpoint directory
+        holds one file per *different* job and a count bound across jobs
+        would delete live state).
+    ``max_age_seconds``
+        Additionally drop any retained file older than this (``None`` =
+        no age bound).
+
+    The newest file is always kept, whatever the policy says — deleting
+    the only restore point would turn retention into data loss.
+    """
+
+    keep_last: int | None = 3
+    max_age_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.keep_last is not None and self.keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1 or None, got {self.keep_last}")
+        if self.max_age_seconds is not None and self.max_age_seconds <= 0:
+            raise ValueError(
+                f"max_age_seconds must be > 0 or None, got {self.max_age_seconds}"
+            )
+
+    def stale(self, paths: Iterable[Path], now: float | None = None) -> list[Path]:
+        """The files the policy says to delete (never includes the newest).
+
+        Recency is modification time (name as a tie-break, so rotations
+        over same-second writes stay deterministic); files that vanish
+        concurrently are simply skipped.
+        """
+        if now is None:
+            now = time.time()
+        stamped: list[tuple[float, str, Path]] = []
+        for path in paths:
+            try:
+                mtime = path.stat().st_mtime
+            except FileNotFoundError:
+                continue
+            stamped.append((mtime, path.name, path))
+        stamped.sort(reverse=True)
+        stale: list[Path] = []
+        for rank, (mtime, _, path) in enumerate(stamped):
+            if rank == 0:
+                continue  # the newest restore point is sacrosanct
+            if self.keep_last is not None and rank >= self.keep_last:
+                stale.append(path)
+            elif (
+                self.max_age_seconds is not None
+                and now - mtime > self.max_age_seconds
+            ):
+                stale.append(path)
+        return stale
+
+
+def rotate_checkpoints(
+    directory: str | Path,
+    policy: RotationPolicy,
+    pattern: str = "*.ckpt.npz",
+    now: float | None = None,
+) -> list[Path]:
+    """Apply ``policy`` to the checkpoints in ``directory``; return deletions.
+
+    A missing directory is an empty rotation, and concurrent deletion of
+    an already-stale file is tolerated — rotation is maintenance, not a
+    correctness gate.
+    """
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    paths: Sequence[Path] = [p for p in directory.glob(pattern) if p.is_file()]
+    deleted: list[Path] = []
+    for path in policy.stale(paths, now=now):
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            continue
+        deleted.append(path)
+    return deleted
 
 
 # --------------------------------------------------------------------- #

@@ -106,15 +106,14 @@ class VoteMatrix:
         grown[:, : self.m] = self._buf[:, : self.m]
         self._buf = grown
 
-    def append_rows(self, rows: np.ndarray, value: int) -> None:
-        """Append a column voting ``value`` on ``rows``, abstain elsewhere.
+    def stage_rows(self, rows: np.ndarray, value: int) -> np.ndarray:
+        """Validate a prospective :meth:`append_rows`; mutate nothing.
 
-        This is the sparse-native append: a primitive LF is one vote value
-        on its covered rows, so only O(nnz_col) work is done (plus the
-        running-stat updates).  ``rows`` must be in-range indices — negative
-        or out-of-range values would silently wrap (corrupting votes and
-        every running tally) or crash deep inside numpy, so they are
-        rejected up front.
+        Returns the canonical (ascending, ``intp``) row array the append
+        would store.  Callers that must apply several appends atomically —
+        the engine's develop commit stages the train *and* valid columns
+        before touching either matrix — stage everything fallible first,
+        after which the actual appends cannot fail.
         """
         value = int(value)
         if value == self.abstain:
@@ -142,6 +141,34 @@ class VoteMatrix:
             # regardless of caller ordering (dense writes and tallies are
             # order-independent).
             rows = unique_rows
+        return rows
+
+    def append_rows(self, rows: np.ndarray, value: int) -> None:
+        """Append a column voting ``value`` on ``rows``, abstain elsewhere.
+
+        This is the sparse-native append: a primitive LF is one vote value
+        on its covered rows, so only O(nnz_col) work is done (plus the
+        running-stat updates).  ``rows`` must be in-range indices — negative
+        or out-of-range values would silently wrap (corrupting votes and
+        every running tally) or crash deep inside numpy, so they are
+        rejected up front (see :meth:`stage_rows`); the validation happens
+        entirely before the first mutation, so a rejected append leaves
+        the matrix untouched.
+        """
+        self.append_staged(self.stage_rows(rows, value), value)
+
+    def append_staged(self, rows: np.ndarray, value: int) -> None:
+        """Apply a column append whose ``rows`` came from :meth:`stage_rows`.
+
+        The mutation half of :meth:`append_rows`, with no re-validation:
+        ``rows`` MUST be the canonical array a prior ``stage_rows(rows,
+        value)`` call on this matrix returned (ascending, unique,
+        in-range, ``intp``) — anything else corrupts the buffer and every
+        running tally.  This is what lets the engine's develop commit
+        stage both split columns first and then apply them infallibly
+        (and only once): validate twice, pay once.
+        """
+        value = int(value)
         self._ensure_capacity()
         column = self._buf[:, self.m]
         column[rows] = value

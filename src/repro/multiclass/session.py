@@ -10,6 +10,9 @@ this module only binds the K-class
 softmax end model — and supplies the ``(n, K)`` proxy plumbing.
 Reuses the binary package's :class:`~repro.core.lineage.LineageStore`
 unchanged — lineage is about *where* an LF came from, not what it votes.
+The two-phase command protocol (``propose``/``submit``/``decline``,
+ENGINE.md §6) is inherited from the engine as well, so multiclass
+sessions are served over :mod:`repro.serve` exactly like binary ones.
 """
 
 from __future__ import annotations

@@ -1,0 +1,31 @@
+"""The serve layer: many live IDP sessions behind a durable HTTP service.
+
+See ARCHITECTURE.md ("The serve subsystem") — :class:`SessionManager`
+holds named protocol-driven sessions with periodic rotated snapshots;
+:func:`make_server` wraps it in a stdlib threaded HTTP front end
+(``repro serve``); :class:`SessionClient` is the matching stdlib client.
+"""
+
+from repro.serve.client import ServeClientError, SessionClient
+from repro.serve.http import SessionServiceHandler, make_server
+from repro.serve.manager import (
+    BadSessionRequest,
+    ServeError,
+    SessionConflictError,
+    SessionExistsError,
+    SessionManager,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "SessionManager",
+    "ServeError",
+    "UnknownSessionError",
+    "SessionExistsError",
+    "SessionConflictError",
+    "BadSessionRequest",
+    "make_server",
+    "SessionServiceHandler",
+    "SessionClient",
+    "ServeClientError",
+]

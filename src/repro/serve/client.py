@@ -1,0 +1,97 @@
+"""Stdlib HTTP client for the session service.
+
+A thin :mod:`urllib.request` wrapper mirroring the endpoints of
+:mod:`repro.serve.http` one method per route — used by the live-session
+example, the serve smoke test, and anything else that drives a remote
+session without pulling in an HTTP library.  Every call returns the
+decoded JSON payload; non-2xx responses raise :class:`ServeClientError`
+carrying the status and the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+
+class ServeClientError(RuntimeError):
+    """The server answered with an error status (or unparseable JSON)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class SessionClient:
+    """Client for one ``repro serve`` endpoint.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8123"`` (trailing slash tolerated).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------ #
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                message = raw.decode("utf-8", errors="replace")
+            raise ServeClientError(exc.code, message) from None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServeClientError(200, f"unparseable response body: {exc}") from exc
+
+    # -- endpoints ------------------------------------------------------ #
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def sessions(self) -> list[dict]:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def create(self, name: str, **config) -> dict:
+        return self._request("POST", "/sessions", {"name": name, **config})
+
+    def info(self, name: str) -> dict:
+        return self._request("GET", f"/sessions/{name}")
+
+    def propose(self, name: str) -> dict:
+        return self._request("POST", f"/sessions/{name}/propose")
+
+    def submit(self, name: str, primitive: str, label: int) -> dict:
+        return self._request(
+            "POST", f"/sessions/{name}/submit", {"primitive": primitive, "label": label}
+        )
+
+    def decline(self, name: str) -> dict:
+        return self._request("POST", f"/sessions/{name}/decline")
+
+    def step(self, name: str) -> dict:
+        return self._request("POST", f"/sessions/{name}/step")
+
+    def score(self, name: str) -> dict:
+        return self._request("GET", f"/sessions/{name}/score")
+
+    def snapshot(self, name: str) -> dict:
+        return self._request("POST", f"/sessions/{name}/snapshot")

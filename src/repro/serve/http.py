@@ -1,0 +1,179 @@
+"""Stdlib-only JSON/HTTP front end over a :class:`SessionManager`.
+
+``repro serve`` exposes the session protocol as a tiny REST-ish API (one
+JSON object in, one out), deliberately on ``http.server`` alone — the
+reproduction adds no web-framework dependency:
+
+=======  ================================  =====================================
+Method   Path                              Action
+=======  ================================  =====================================
+GET      ``/healthz``                      liveness probe
+GET      ``/sessions``                     list stored sessions (no restore)
+POST     ``/sessions``                     create (``{"name", "method", ...}``)
+GET      ``/sessions/<name>``              full session info (restores lazily)
+POST     ``/sessions/<name>/propose``      run the selector (idempotent)
+POST     ``/sessions/<name>/submit``       commit ``{"primitive", "label"}``
+POST     ``/sessions/<name>/decline``      close the interaction without an LF
+POST     ``/sessions/<name>/step``         one simulated-user interaction
+GET      ``/sessions/<name>/score``        current test-split score
+POST     ``/sessions/<name>/snapshot``     force a rotated snapshot now
+=======  ================================  =====================================
+
+Error mapping is uniform: serve-layer exceptions carry their own status
+(404 unknown session, 409 protocol/name conflicts, 400 bad payloads), and
+every error body is ``{"error": <message>}``.  The server is a
+:class:`ThreadingHTTPServer`; per-session locks in the manager serialize
+commands per session while letting different sessions proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.protocol import ProtocolError
+from repro.serve.manager import BadSessionRequest, ServeError, SessionManager
+
+#: Request bodies above this are rejected (no legitimate payload is close).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _HandledError(Exception):
+    """Internal carrier for (status, message) error responses."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SessionServiceHandler(BaseHTTPRequestHandler):
+    """One request: route, run the manager command, write JSON."""
+
+    #: Bound by :func:`make_server` to a concrete manager instance.
+    manager: SessionManager = None
+    server_version = "repro-serve/1"
+
+    # -- plumbing ------------------------------------------------------- #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep stdout clean; the CLI prints the one line that matters
+
+    def _write_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HandledError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HandledError(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HandledError(400, "request body must be a JSON object")
+        return payload
+
+    # -- routing -------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def _route(self, verb: str) -> None:
+        try:
+            payload = self._dispatch(verb)
+        except _HandledError as exc:
+            self._write_json(exc.status, {"error": str(exc)})
+        except ServeError as exc:
+            self._write_json(exc.status, {"error": str(exc)})
+        except ProtocolError as exc:
+            self._write_json(409, {"error": str(exc)})
+        except (KeyError, TypeError, ValueError) as exc:
+            self._write_json(400, {"error": f"bad request: {exc}"})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # pragma: no cover - defensive last resort
+            self._write_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._write_json(200, payload)
+
+    def _dispatch(self, verb: str) -> dict:
+        manager = self.manager
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if verb == "GET" and parts == ["healthz"]:
+            return {"ok": True, "root": str(manager.root)}
+        if parts[:1] != ["sessions"] or len(parts) > 3:
+            raise _HandledError(404, f"unknown path {self.path!r}")
+        if len(parts) == 1:
+            if verb == "GET":
+                return {"sessions": manager.sessions()}
+            body = self._read_body()
+            if "name" not in body:
+                raise BadSessionRequest("create requires a 'name' field")
+            known = {
+                "name",
+                "method",
+                "dataset",
+                "scale",
+                "seed",
+                "user_threshold",
+                "dataset_seed",
+            }
+            unknown = set(body) - known
+            if unknown:
+                raise BadSessionRequest(
+                    f"unknown create field(s) {sorted(unknown)}; allowed: {sorted(known)}"
+                )
+            return manager.create(**body)
+        name = parts[1]
+        if len(parts) == 2:
+            if verb != "GET":
+                raise _HandledError(405, "session root accepts GET only")
+            return manager.info(name)
+        action = parts[2]
+        if verb == "GET":
+            if action == "score":
+                return manager.score(name)
+            raise _HandledError(405, f"{action!r} requires POST")
+        if action == "propose":
+            return manager.propose(name)
+        if action == "submit":
+            body = self._read_body()
+            if "primitive" not in body or "label" not in body:
+                raise BadSessionRequest("submit requires 'primitive' and 'label'")
+            return manager.submit(name, body["primitive"], body["label"])
+        if action == "decline":
+            return manager.decline(name)
+        if action == "step":
+            return manager.step(name)
+        if action == "snapshot":
+            return manager.snapshot(name)
+        if action == "score":
+            return manager.score(name)
+        raise _HandledError(404, f"unknown action {action!r}")
+
+
+def make_server(
+    manager: SessionManager, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve threaded HTTP server bound to ``manager``.
+
+    ``port=0`` asks the OS for a free port; read the bound address from
+    ``server.server_address``.  Call ``serve_forever()`` (typically on a
+    thread) and ``shutdown()``/``server_close()`` to stop.
+    """
+    handler = type(
+        "BoundSessionServiceHandler", (SessionServiceHandler,), {"manager": manager}
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,544 @@
+"""Many named live IDP sessions behind one durable, lock-guarded manager.
+
+The :class:`SessionManager` is the serve layer's core: it owns a root
+directory of named sessions, each a protocol-capable IDP session
+(:mod:`repro.core.protocol`) built from the method registry, and keeps
+them durable through the PR-4 checkpoint layer:
+
+* every session directory holds ``meta.json`` (the *configuration* —
+  method, dataset, scale, seed, threshold; checkpoints deliberately carry
+  fitted state only) plus rotated ``step-NNNNNNNN.ckpt.npz`` snapshots;
+* snapshots are written at commit boundaries every ``snapshot_every``
+  commits (and on demand), then rotated under the
+  :class:`~repro.io.checkpoint.RotationPolicy` (``keep_last`` + age cap);
+* a manager started over an existing root lazily restores each session
+  from its newest checkpoint on first touch — a killed server therefore
+  resumes mid-session and continues bit-identically (proposals replay
+  from the restored RNG streams; see ENGINE.md §6).
+
+Concurrency: every session carries its own lock, so interactions on
+different sessions proceed in parallel under a threaded front end while
+commands on one session serialize; the manager-wide lock only guards the
+registry map and disk loads.  Sessions share nothing — RNG streams, refit
+caches, and phase timings are all per-session state (pinned by the
+multi-session isolation tests).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from pathlib import Path
+
+from repro.core.protocol import ProtocolError, SimulatedDriver
+from repro.data.named import load_named_dataset
+from repro.experiments.registry import resolve_factory
+from repro.io.atomic import atomic_write_text
+from repro.io.checkpoint import (
+    CheckpointError,
+    RotationPolicy,
+    load_session_checkpoint,
+    rotate_checkpoints,
+    save_session_checkpoint,
+)
+
+#: meta.json layout version (bumped on incompatible change; fail-closed).
+SESSION_META_VERSION = 1
+
+_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+_CKPT_PREFIX = "step-"
+_CKPT_SUFFIX = ".ckpt.npz"
+
+
+class ServeError(RuntimeError):
+    """Base class for serve-layer failures; carries an HTTP-ish status."""
+
+    status = 500
+
+
+class UnknownSessionError(ServeError):
+    """No session of that name exists in the manager's root."""
+
+    status = 404
+
+
+class SessionExistsError(ServeError):
+    """A session of that name already exists."""
+
+    status = 409
+
+
+class SessionConflictError(ServeError):
+    """The command is illegal in the session's current protocol state."""
+
+    status = 409
+
+
+class BadSessionRequest(ServeError):
+    """The request itself is malformed (names, payloads, unknown methods)."""
+
+    status = 400
+
+
+def _validate_name(name: str) -> str:
+    """Session names become directory names — keep them path-safe."""
+    if not isinstance(name, str) or not _NAME_RE.fullmatch(name):
+        raise BadSessionRequest(
+            f"invalid session name {name!r}: use 1-64 characters from "
+            "[A-Za-z0-9._-], not starting with a punctuation character"
+        )
+    return name
+
+
+def _checkpoint_name(iteration: int) -> str:
+    return f"{_CKPT_PREFIX}{int(iteration):08d}{_CKPT_SUFFIX}"
+
+
+def _checkpoint_iteration(path: Path) -> int | None:
+    name = path.name
+    if not (name.startswith(_CKPT_PREFIX) and name.endswith(_CKPT_SUFFIX)):
+        return None
+    digits = name[len(_CKPT_PREFIX) : -len(_CKPT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+class _LiveSession:
+    """One in-memory session plus its lock and snapshot bookkeeping."""
+
+    def __init__(self, name: str, meta: dict, session) -> None:
+        self.name = name
+        self.meta = meta
+        self.session = session
+        self.lock = threading.RLock()
+        self.commits_since_snapshot = 0
+
+
+class SessionManager:
+    """Named live sessions with periodic rotated snapshots under one root.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per session (created lazily).
+    snapshot_every:
+        Commit cadence of the periodic snapshots: every this many closed
+        interactions (submit *or* decline) the session is checkpointed
+        and its directory rotated.
+    keep_last / max_age_seconds:
+        The :class:`~repro.io.checkpoint.RotationPolicy` applied to each
+        session's checkpoint directory after every snapshot.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        snapshot_every: int = 5,
+        keep_last: int = 3,
+        max_age_seconds: float | None = None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        self.root = Path(root)
+        self.snapshot_every = snapshot_every
+        self.policy = RotationPolicy(keep_last=keep_last, max_age_seconds=max_age_seconds)
+        self._lock = threading.Lock()
+        self._live: dict[str, _LiveSession] = {}
+        self._datasets: dict[tuple[str, str, int], object] = {}
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    def session_dir(self, name: str) -> Path:
+        return self.root / name
+
+    def _meta_path(self, name: str) -> Path:
+        return self.session_dir(name) / "meta.json"
+
+    def _checkpoint_files(self, name: str) -> list[Path]:
+        """This session's snapshots, oldest → newest (iteration order)."""
+        directory = self.session_dir(name)
+        if not directory.exists():
+            return []
+        found = [
+            p
+            for p in directory.glob(f"{_CKPT_PREFIX}*{_CKPT_SUFFIX}")
+            if _checkpoint_iteration(p) is not None
+        ]
+        return sorted(found, key=lambda p: p.name)
+
+    # ------------------------------------------------------------------ #
+    # construction / restore
+    # ------------------------------------------------------------------ #
+    def _dataset(self, meta: dict):
+        key = (meta["dataset"], meta["scale"], int(meta["dataset_seed"]))
+        if key not in self._datasets:
+            self._datasets[key] = load_named_dataset(key[0], scale=key[1], seed=key[2])
+        return self._datasets[key]
+
+    def _build_session(self, meta: dict):
+        """A fresh (iteration-0) session from a meta record."""
+        try:
+            factory = resolve_factory(
+                meta["method"], meta["dataset"], float(meta["user_threshold"])
+            )
+        except ValueError as exc:
+            raise BadSessionRequest(str(exc)) from exc
+        session = factory(self._dataset(meta), int(meta["seed"]))
+        if not (hasattr(session, "propose") and hasattr(session, "state_dict")):
+            raise BadSessionRequest(
+                f"method {meta['method']!r} does not speak the session protocol "
+                "(active-learning baselines drive their own loop and cannot be "
+                "served interactively)"
+            )
+        return session
+
+    def create(
+        self,
+        name: str,
+        method: str = "nemo",
+        dataset: str = "amazon",
+        scale: str = "tiny",
+        seed: int = 0,
+        user_threshold: float = 0.5,
+        dataset_seed: int = 0,
+    ) -> dict:
+        """Create, persist, and register a new named session.
+
+        The configuration is pinned to ``meta.json`` (checkpoints carry
+        fitted state only — restore always reconstructs the session from
+        this record) and an iteration-0 snapshot is written immediately,
+        so even a server killed before the first commit restarts cleanly.
+        """
+        name = _validate_name(name)
+        meta = {
+            "format_version": SESSION_META_VERSION,
+            "name": name,
+            "method": str(method),
+            "dataset": str(dataset),
+            "scale": str(scale),
+            "seed": int(seed),
+            "user_threshold": float(user_threshold),
+            "dataset_seed": int(dataset_seed),
+            "created_at": time.time(),
+        }
+        with self._lock:
+            if name in self._live or self._meta_path(name).exists():
+                raise SessionExistsError(f"session {name!r} already exists")
+            session = self._build_session(meta)
+            atomic_write_text(self._meta_path(name), json.dumps(meta, indent=2) + "\n")
+            live = _LiveSession(name, meta, session)
+            self._live[name] = live
+        with live.lock:
+            self._snapshot_locked(live)
+            return self._info_locked(live)
+
+    def _read_meta(self, name: str) -> dict:
+        path = self._meta_path(name)
+        try:
+            meta = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise UnknownSessionError(f"no session named {name!r}") from None
+        except ValueError as exc:
+            raise ServeError(f"{path} is corrupted: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("format_version") != SESSION_META_VERSION:
+            raise ServeError(
+                f"{path} has unsupported format_version "
+                f"{meta.get('format_version') if isinstance(meta, dict) else None!r}"
+            )
+        return meta
+
+    def _restore(self, name: str) -> _LiveSession:
+        """Rebuild a session from disk: meta.json + the newest checkpoint.
+
+        Tries checkpoints newest-first; a file that fails the fail-closed
+        load is skipped (each attempt restores onto a *fresh* session, so
+        a partial restore never leaks into the next attempt).  Existing
+        checkpoints that all fail are an error — silently restarting a
+        long-lived session from iteration 0 would be data loss.
+        """
+        meta = self._read_meta(name)
+        checkpoints = self._checkpoint_files(name)
+        session = self._build_session(meta)
+        if checkpoints:
+            restored = False
+            for path in reversed(checkpoints):
+                try:
+                    load_session_checkpoint(session, path)
+                    restored = True
+                    break
+                except CheckpointError:
+                    session = self._build_session(meta)  # discard partial state
+            if not restored:
+                raise ServeError(
+                    f"session {name!r} has {len(checkpoints)} checkpoint(s) but "
+                    "none could be restored; refusing to restart from scratch"
+                )
+        return _LiveSession(name, meta, session)
+
+    def _get(self, name: str) -> _LiveSession:
+        name = _validate_name(name)
+        with self._lock:
+            live = self._live.get(name)
+            if live is None:
+                live = self._restore(name)
+                self._live[name] = live
+            return live
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def _snapshot_locked(self, live: _LiveSession) -> Path:
+        session = live.session
+        path = self.session_dir(live.name) / _checkpoint_name(session.iteration)
+        save_session_checkpoint(
+            session,
+            path,
+            extra={"name": live.name, "iteration": int(session.iteration)},
+        )
+        rotate_checkpoints(self.session_dir(live.name), self.policy)
+        live.commits_since_snapshot = 0
+        return path
+
+    def _after_commit(self, live: _LiveSession) -> bool:
+        live.commits_since_snapshot += 1
+        if live.commits_since_snapshot >= self.snapshot_every:
+            self._snapshot_locked(live)
+            return True
+        return False
+
+    def snapshot(self, name: str) -> dict:
+        """Force a snapshot now (between interactions only)."""
+        live = self._get(name)
+        with live.lock:
+            if live.session.pending is not None:
+                raise SessionConflictError(
+                    "cannot snapshot with an open interaction; submit or "
+                    "decline it first"
+                )
+            path = self._snapshot_locked(live)
+            return {"name": name, "path": str(path), "iteration": int(live.session.iteration)}
+
+    # ------------------------------------------------------------------ #
+    # interaction commands
+    # ------------------------------------------------------------------ #
+    def propose(self, name: str) -> dict:
+        """Run the selector; return the candidate interaction (idempotent)."""
+        live = self._get(name)
+        with live.lock:
+            session = live.session
+            pending = session.propose()
+            if pending.dev_index is None:
+                primitives: list[str] = []
+            else:
+                family = session.family
+                primitives = [
+                    family.primitive_names[int(pid)]
+                    for pid in family.primitives_in(pending.dev_index)
+                ]
+            return {
+                "name": name,
+                "token": int(pending.token),
+                "iteration": int(pending.iteration),
+                "dev_index": pending.dev_index,
+                "primitives": primitives,
+                "n_lfs": len(session.lfs),
+            }
+
+    def submit(self, name: str, primitive: str, label: int) -> dict:
+        """Commit an LF (by primitive token) for the open interaction."""
+        live = self._get(name)
+        with live.lock:
+            session = live.session
+            try:
+                lf = session.family.make_by_token(str(primitive), int(label))
+            except KeyError as exc:
+                raise BadSessionRequest(str(exc)) from exc
+            except (TypeError, ValueError) as exc:
+                raise BadSessionRequest(f"invalid LF payload: {exc}") from exc
+            try:
+                pending = session.submit(lf)
+            except ProtocolError as exc:
+                raise SessionConflictError(str(exc)) from exc
+            except Exception as exc:
+                if session.pending is not None:
+                    # Staging rejected the LF before the commit point: the
+                    # interaction is still open for a corrected retry.
+                    if isinstance(exc, ValueError):
+                        raise BadSessionRequest(str(exc)) from exc
+                    raise
+                # The commit is durable (the engine clears the pending at
+                # its commit point); only the post-commit refit failed.
+                # Count the commit toward the snapshot cadence and say
+                # what actually happened — a 400 here would invite a
+                # retry against an interaction that no longer exists.
+                self._after_commit(live)
+                raise ServeError(
+                    f"LF committed at iteration {session.iteration} but the "
+                    f"refit failed: {exc}"
+                ) from exc
+            snapshotted = self._after_commit(live)
+            return {
+                "name": name,
+                "outcome": "submitted",
+                "iteration": int(session.iteration),
+                "dev_index": int(pending.dev_index),
+                "lf": {"primitive": str(lf.primitive), "label": int(lf.label)},
+                "n_lfs": len(session.lfs),
+                "snapshotted": snapshotted,
+            }
+
+    def decline(self, name: str) -> dict:
+        """Close the open interaction without an LF."""
+        live = self._get(name)
+        with live.lock:
+            session = live.session
+            try:
+                pending = session.decline()
+            except ProtocolError as exc:
+                raise SessionConflictError(str(exc)) from exc
+            snapshotted = self._after_commit(live)
+            return {
+                "name": name,
+                "outcome": "declined",
+                "iteration": int(session.iteration),
+                "dev_index": pending.dev_index,
+                "n_lfs": len(session.lfs),
+                "snapshotted": snapshotted,
+            }
+
+    def step(self, name: str) -> dict:
+        """One interaction answered by the session's own simulated user.
+
+        Drives the same propose → submit/decline commands a remote client
+        would issue, so simulated and live traffic share one code path;
+        the user's RNG stream is part of the session snapshot, making
+        stepped sessions restore bit-identically too.
+        """
+        live = self._get(name)
+        with live.lock:
+            session = live.session
+            if session.pending is not None:
+                raise SessionConflictError(
+                    "cannot auto-step with an open interaction; submit or "
+                    "decline it first"
+                )
+            outcome = SimulatedDriver(session).step()
+            snapshotted = self._after_commit(live)
+            return {
+                "name": name,
+                "outcome": outcome.kind,
+                "iteration": int(session.iteration),
+                "dev_index": outcome.dev_index,
+                "lf": (
+                    None
+                    if outcome.lf is None
+                    else {
+                        "primitive": str(outcome.lf.primitive),
+                        "label": int(outcome.lf.label),
+                    }
+                ),
+                "n_lfs": len(session.lfs),
+                "snapshotted": snapshotted,
+            }
+
+    def score(self, name: str) -> dict:
+        """The session's current test-split score."""
+        live = self._get(name)
+        with live.lock:
+            return {
+                "name": name,
+                "iteration": int(live.session.iteration),
+                "test_score": float(live.session.test_score()),
+            }
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def _info_locked(self, live: _LiveSession) -> dict:
+        session = live.session
+        meta = live.meta
+        checkpoints = self._checkpoint_files(live.name)
+        latest = checkpoints[-1] if checkpoints else None
+        return {
+            "name": live.name,
+            "method": meta["method"],
+            "dataset": meta["dataset"],
+            "scale": meta["scale"],
+            "seed": int(meta["seed"]),
+            "iteration": int(session.iteration),
+            "n_lfs": len(session.lfs),
+            "lfs": [
+                {"primitive": str(lf.primitive), "label": int(lf.label)}
+                for lf in session.lfs
+            ],
+            "pending": session.pending is not None,
+            "live": True,
+            "n_checkpoints": len(checkpoints),
+            "last_snapshot_iteration": (
+                None if latest is None else _checkpoint_iteration(latest)
+            ),
+            "last_snapshot_age_seconds": (
+                None if latest is None else max(0.0, time.time() - latest.stat().st_mtime)
+            ),
+        }
+
+    def info(self, name: str) -> dict:
+        """Full info for one session (loads it if not yet in memory)."""
+        live = self._get(name)
+        with live.lock:
+            return self._info_locked(live)
+
+    def sessions(self) -> list[dict]:
+        """Summaries of every stored session, *without* restoring them.
+
+        Disk-only sessions are summarized from ``meta.json`` plus their
+        newest checkpoint's filename (which encodes the iteration) and
+        mtime — listing a thousand sessions must not deserialize a
+        thousand engines.  Sessions already in memory report their live
+        iteration instead.
+        """
+        names: set[str] = set(self._live)
+        if self.root.exists():
+            for child in self.root.iterdir():
+                if child.is_dir() and (child / "meta.json").exists():
+                    names.add(child.name)
+        infos = []
+        for name in sorted(names):
+            live = self._live.get(name)
+            if live is not None:
+                with live.lock:
+                    infos.append(self._info_locked(live))
+                continue
+            try:
+                meta = self._read_meta(name)
+            except ServeError:
+                continue  # unreadable entry; skip rather than kill the listing
+            checkpoints = self._checkpoint_files(name)
+            latest = checkpoints[-1] if checkpoints else None
+            infos.append(
+                {
+                    "name": name,
+                    "method": meta["method"],
+                    "dataset": meta["dataset"],
+                    "scale": meta["scale"],
+                    "seed": int(meta["seed"]),
+                    "iteration": (
+                        None if latest is None else _checkpoint_iteration(latest)
+                    ),
+                    "pending": False,
+                    "live": False,
+                    "n_checkpoints": len(checkpoints),
+                    "last_snapshot_iteration": (
+                        None if latest is None else _checkpoint_iteration(latest)
+                    ),
+                    "last_snapshot_age_seconds": (
+                        None
+                        if latest is None
+                        else max(0.0, time.time() - latest.stat().st_mtime)
+                    ),
+                }
+            )
+        return infos

@@ -17,12 +17,12 @@ from dataclasses import dataclass, field
 
 from repro.data.named import DATASET_NAMES, MC_DATASET_NAMES
 from repro.experiments.protocol import LearningCurve, RunResult
+from repro.experiments.registry import resolve_factory
 from repro.sweep.spec import SweepJob, SweepSpec
 from repro.sweep.store import ResultStore
 from repro.sweep.worker import (
     _pool_run_job,
     mp_context,
-    resolve_factory,
     run_sweep_job,
 )
 
@@ -98,6 +98,7 @@ def run_sweep(
     checkpoint_every: int = 10,
     max_jobs: int | None = None,
     progress=None,
+    checkpoint_max_age: float | None = None,
 ) -> SweepReport:
     """Run (or resume) a sweep; returns the report over the whole store.
 
@@ -122,6 +123,10 @@ def run_sweep(
     progress:
         Optional ``(done_count, total_count, key, payload) -> None``
         callback invoked as each job finishes.
+    checkpoint_max_age:
+        Optional age cap (seconds) on pending jobs' checkpoints: an older
+        snapshot is treated as abandoned and its job restarts from
+        scratch (see :meth:`~repro.sweep.store.ResultStore.gc_checkpoints`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -134,12 +139,13 @@ def run_sweep(
     all_jobs: list[SweepJob] = spec.jobs()
     completed = store.completed_keys()
     skipped = [job.key for job in all_jobs if job.key in completed]
-    # A crash between a worker's write_result and clear_checkpoint leaves
-    # an orphaned checkpoint behind a completed job; sweep over the
-    # skipped set so long-lived stores don't accumulate them.
-    for key in skipped:
-        store.clear_checkpoint(key)
     pending = [job for job in all_jobs if job.key not in completed]
+    # Collect every checkpoint no pending job will resume from: completed
+    # jobs (the write_result → clear_checkpoint crash window), orphans
+    # from foreign grids, plus the optional age cap on the survivors.
+    store.gc_checkpoints(
+        {job.key for job in pending}, max_age_seconds=checkpoint_max_age
+    )
     to_run = pending if max_jobs is None else pending[:max_jobs]
 
     t0 = time.perf_counter()

@@ -24,6 +24,7 @@ error).
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from repro.io.atomic import atomic_write_text
@@ -154,3 +155,48 @@ class ResultStore:
             self.checkpoint_path(key).unlink()
         except FileNotFoundError:
             pass
+
+    def gc_checkpoints(
+        self, keep_keys, max_age_seconds: float | None = None
+    ) -> list[Path]:
+        """Collect checkpoints no pending job will ever resume from.
+
+        Deletes every ``*.ckpt.npz`` whose job key is not in ``keep_keys``
+        — completed jobs (the crash window between ``write_result`` and
+        ``clear_checkpoint``) and orphans from foreign or edited grids —
+        then age-caps the survivors when ``max_age_seconds`` is given (an
+        operator opt-in: *every* over-age pending checkpoint is treated
+        as abandoned and its job restarts from scratch — unlike a
+        session's snapshot directory there is no newest-file exemption
+        here, because each file is a different job's only checkpoint and
+        the contract must be uniform across jobs).  Returns the deleted
+        paths.
+        """
+        ckpt_dir = self.root / "checkpoints"
+        if not ckpt_dir.exists():
+            return []
+        keep_keys = set(keep_keys)
+        suffix = ".ckpt.npz"
+        deleted: list[Path] = []
+        survivors: list[Path] = []
+        for path in ckpt_dir.glob(f"*{suffix}"):
+            key = path.name[: -len(suffix)]
+            if key in keep_keys:
+                survivors.append(path)
+                continue
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            deleted.append(path)
+        if max_age_seconds is not None:
+            now = time.time()
+            for path in survivors:
+                try:
+                    if now - path.stat().st_mtime <= max_age_seconds:
+                        continue
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                deleted.append(path)
+        return deleted

@@ -4,7 +4,8 @@ Everything a pooled worker needs lives here as plain module functions so it
 pickles by reference: named-dataset loading (delegating to
 :mod:`repro.data.named`, with a per-process cache — each worker builds a
 dataset once however many of its jobs share it), method-factory resolution
-across both registries, and the resumable job runner that periodically
+(delegating to :mod:`repro.experiments.registry`, the dispatch shared with
+the serve layer and the CLI), and the resumable job runner that periodically
 checkpoints the live session (ENGINE.md §5) and streams the finished
 record into the :class:`~repro.sweep.store.ResultStore`.
 """
@@ -14,8 +15,9 @@ from __future__ import annotations
 import pickle
 import time
 
-from repro.data.named import is_mc_dataset, load_named_dataset
+from repro.data.named import load_named_dataset
 from repro.experiments.protocol import LearningCurve, run_learning_curve
+from repro.experiments.registry import resolve_factory
 from repro.io.checkpoint import (
     CheckpointError,
     load_session_checkpoint,
@@ -24,25 +26,17 @@ from repro.io.checkpoint import (
 from repro.sweep.spec import SweepJob
 from repro.sweep.store import ResultStore
 
+__all__ = [
+    "SweepJobCrash",
+    "resolve_factory",  # re-exported from repro.experiments.registry
+    "run_sweep_job",
+    "mp_context",
+    "parallel_learning_curves",
+]
+
 
 class SweepJobCrash(RuntimeError):
     """Injected mid-job failure (crash-resume tests and the CI smoke)."""
-
-
-def resolve_factory(method: str, dataset_name: str, user_threshold: float):
-    """The ``(dataset, seed) -> method`` factory for a job's registry cell.
-
-    Multiclass datasets dispatch to the MC registry, everything else to the
-    binary one — the same rule as the CLI.  Raises ``ValueError`` for
-    unknown names, which the runner surfaces *before* any worker starts.
-    """
-    if is_mc_dataset(dataset_name):
-        from repro.multiclass.experiments import make_mc_method
-
-        return make_mc_method(method, user_threshold=user_threshold)
-    from repro.experiments import make_method
-
-    return make_method(method, user_threshold=user_threshold)
 
 
 # Per-process dataset cache: workers are long-lived, and every job on the

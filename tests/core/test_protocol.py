@@ -1,0 +1,204 @@
+"""The two-phase command protocol: propose / submit / decline / cancel.
+
+Covers the tentpole contract of the protocol refactor: the protocol is
+bit-identical to the historical pull-model ``step()`` (which is itself now
+a :class:`~repro.core.protocol.SimulatedDriver` over the commands — the
+golden parity tests pin the absolute transcripts), plus the protocol-state
+rules and the all-or-nothing develop commit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lf import PrimitiveLF
+from repro.core.protocol import ProtocolError, SimulatedDriver, StepOutcome
+from repro.core.session import DataProgrammingSession
+from repro.core.seu import SEUSelector
+from repro.interactive.basic_selectors import make_basic_selector
+from repro.interactive.simulated_user import SimulatedUser
+
+
+def make_session(dataset, selector="random", seed=7, user_seed=3, **kwargs):
+    sel = SEUSelector() if selector == "seu" else make_basic_selector(selector)
+    return DataProgrammingSession(
+        dataset, sel, SimulatedUser(dataset, seed=user_seed), seed=seed, **kwargs
+    )
+
+
+def transcript(session):
+    return (
+        [(int(r.lf.primitive_id), int(r.lf.label), int(r.dev_index), int(r.iteration))
+         for r in session.lineage.records],
+        session.iteration,
+        sorted(session.selected),
+    )
+
+
+class TestProtocolParity:
+    @pytest.mark.parametrize("selector", ["random", "abstain", "seu"])
+    def test_manual_protocol_matches_step(self, tiny_dataset, selector):
+        """Driving propose/submit by hand equals the historical step loop."""
+        via_step = make_session(tiny_dataset, selector)
+        via_protocol = make_session(tiny_dataset, selector)
+        for _ in range(8):
+            via_step.step()
+            pending = via_protocol.propose()
+            if pending.dev_index is None:
+                via_protocol.decline()
+                continue
+            lf = via_protocol.user.create_lf(pending.dev_index, pending.state)
+            if lf is None:
+                via_protocol.decline()
+            else:
+                via_protocol.submit(lf)
+        assert transcript(via_step) == transcript(via_protocol)
+        np.testing.assert_array_equal(via_step.soft_labels, via_protocol.soft_labels)
+        assert via_step.test_score() == via_protocol.test_score()
+
+    def test_driver_with_external_user(self, tiny_dataset):
+        """A driver can carry a user other than the session's own."""
+        session = make_session(tiny_dataset, "random")
+        other = SimulatedUser(tiny_dataset, seed=3)  # same seed as session's user
+        reference = make_session(tiny_dataset, "random")
+        driver = SimulatedDriver(session, other)
+        for _ in range(6):
+            outcome = driver.step()
+            assert isinstance(outcome, StepOutcome)
+            reference.step()
+        assert transcript(session) == transcript(reference)
+
+    def test_run_resolves_proxy(self, tiny_dataset):
+        session = make_session(tiny_dataset, "seu").run(6)
+        assert session._proxy_stale is False
+
+
+class TestProtocolState:
+    def test_propose_is_idempotent(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        first = session.propose()
+        rng_state = session.rng.bit_generator.state
+        second = session.propose()
+        assert second is first
+        # the selector must not have re-run (no second RNG draw)
+        assert session.rng.bit_generator.state == rng_state
+        assert session.pending is first
+
+    def test_submit_without_propose_raises(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        lf = session.family.make(0, 1)
+        with pytest.raises(ProtocolError, match="propose"):
+            session.submit(lf)
+        with pytest.raises(ProtocolError, match="propose"):
+            session.decline()
+
+    def test_submit_none_is_rejected(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        session.propose()
+        with pytest.raises(ProtocolError, match="decline"):
+            session.submit(None)
+
+    def test_decline_consumes_iteration_only(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        pending = session.propose()
+        session.decline()
+        assert session.iteration == pending.iteration + 1
+        assert session.pending is None
+        assert pending.dev_index in session.selected
+        assert len(session.lineage) == 0
+
+    def test_exhausted_proposal_only_declines(self, tiny_dataset):
+        class NoneSelector:
+            name = "none"
+
+            def select(self, state):
+                return None
+
+        session = DataProgrammingSession(
+            tiny_dataset, NoneSelector(), SimulatedUser(tiny_dataset, seed=1), seed=2
+        )
+        pending = session.propose()
+        assert pending.dev_index is None
+        with pytest.raises(ProtocolError, match="decline"):
+            session.submit(session.family.make(0, 1))
+        session.decline()
+        assert session.iteration == 1
+        assert session.selected == set()
+
+    def test_cancel_discards_without_consuming(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        pending = session.propose()
+        cancelled = session.cancel()
+        assert cancelled is pending
+        assert session.pending is None
+        assert session.iteration == pending.iteration
+        assert session.selected == set()
+        # a fresh proposal opens a new interaction with a new token
+        assert session.propose().token == pending.token + 1
+        assert session.cancel() is not None
+        assert session.cancel() is None  # idempotent on empty
+
+    def test_snapshot_with_open_interaction_raises(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        session.step()
+        session.propose()
+        with pytest.raises(ProtocolError, match="snapshot"):
+            session.state_dict()
+        session.decline()
+        state = session.state_dict()
+        assert state["iteration"] == session.iteration
+
+
+class TestTransactionalCommit:
+    def test_out_of_range_primitive_leaves_no_trace(self, tiny_dataset):
+        session = make_session(tiny_dataset, "random")
+        session.step()  # one committed LF so the empty case is not trivial
+        pending = session.propose()
+        before = transcript(session)
+        m_train, m_valid = session._L_train.m, session._L_valid.m
+        bad = PrimitiveLF(primitive_id=10**9, primitive="zzz", label=1)
+        with pytest.raises(ValueError, match="out of range"):
+            session.submit(bad)
+        # nothing moved: lineage, votes, counters, and the open interaction
+        assert transcript(session) == before
+        assert (session._L_train.m, session._L_valid.m) == (m_train, m_valid)
+        assert session.pending is pending
+        # the interaction is still open — a corrected retry commits fine
+        good = session.user.create_lf(pending.dev_index, pending.state)
+        session.submit(good)
+        assert len(session.lineage) == len(before[0]) + 1
+        assert session.pending is None
+
+    def test_valid_split_failure_rolls_back_train(self, tiny_dataset, monkeypatch):
+        """A failure staging the *valid* column must not commit the train one."""
+        session = make_session(tiny_dataset, "random")
+        pending = session.propose()
+        lf = session.user.create_lf(pending.dev_index, pending.state)
+        assert lf is not None
+        boom = RuntimeError("injected stage failure")
+
+        def failing_stage(rows, value):
+            raise boom
+
+        monkeypatch.setattr(session._L_valid, "stage_rows", failing_stage)
+        m_train = session._L_train.m
+        with pytest.raises(RuntimeError, match="injected"):
+            session.submit(lf)
+        assert session._L_train.m == m_train
+        assert len(session.lineage) == 0
+        assert session.iteration == pending.iteration
+        monkeypatch.undo()
+        session.submit(lf)  # the same interaction commits after the fix
+        assert len(session.lineage) == 1
+
+    def test_stage_rows_mutates_nothing(self, tiny_dataset):
+        from repro.labelmodel.matrix import VoteMatrix
+
+        vm = VoteMatrix(10)
+        staged = vm.stage_rows(np.array([3, 1, 7]), 1)
+        np.testing.assert_array_equal(staged, [1, 3, 7])
+        assert vm.m == 0
+        with pytest.raises(ValueError, match="unique"):
+            vm.stage_rows(np.array([1, 1]), 1)
+        with pytest.raises(ValueError, match="abstain"):
+            vm.stage_rows(np.array([1]), 0)
+        assert vm.m == 0

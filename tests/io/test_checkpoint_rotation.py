@@ -1,0 +1,80 @@
+"""Checkpoint GC/rotation policy (keep_last + age cap)."""
+
+import os
+
+import pytest
+
+from repro.io.checkpoint import RotationPolicy, rotate_checkpoints
+
+
+def touch(path, age_seconds, now):
+    path.write_bytes(b"x")
+    os.utime(path, (now - age_seconds, now - age_seconds))
+    return path
+
+
+NOW = 1_700_000_000.0
+
+
+class TestRotationPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RotationPolicy(keep_last=0)
+        with pytest.raises(ValueError):
+            RotationPolicy(max_age_seconds=0)
+        RotationPolicy(keep_last=None, max_age_seconds=None)  # unbounded is legal
+
+    def test_keep_last(self, tmp_path):
+        paths = [
+            touch(tmp_path / f"step-{i:08d}.ckpt.npz", age_seconds=100 - i, now=NOW)
+            for i in range(5)
+        ]
+        stale = RotationPolicy(keep_last=2).stale(paths, now=NOW)
+        assert sorted(p.name for p in stale) == [p.name for p in paths[:3]]
+
+    def test_age_cap_spares_the_newest(self, tmp_path):
+        old = touch(tmp_path / "a.ckpt.npz", age_seconds=5000, now=NOW)
+        older = touch(tmp_path / "b.ckpt.npz", age_seconds=9000, now=NOW)
+        stale = RotationPolicy(keep_last=5, max_age_seconds=3600).stale(
+            [old, older], now=NOW
+        )
+        # both exceed the cap, but the newest restore point survives
+        assert stale == [older]
+
+    def test_combined_policy(self, tmp_path):
+        fresh = touch(tmp_path / "c.ckpt.npz", age_seconds=10, now=NOW)
+        mid = touch(tmp_path / "b.ckpt.npz", age_seconds=4000, now=NOW)
+        ancient = touch(tmp_path / "a.ckpt.npz", age_seconds=9000, now=NOW)
+        stale = RotationPolicy(keep_last=2, max_age_seconds=3600).stale(
+            [fresh, mid, ancient], now=NOW
+        )
+        # ancient: beyond keep_last; mid: within count but over age
+        assert sorted(p.name for p in stale) == ["a.ckpt.npz", "b.ckpt.npz"]
+        assert fresh not in stale
+
+    def test_unbounded_policy_keeps_everything(self, tmp_path):
+        paths = [
+            touch(tmp_path / f"{c}.ckpt.npz", age_seconds=10**6, now=NOW) for c in "abc"
+        ]
+        assert RotationPolicy(keep_last=None).stale(paths, now=NOW) == []
+
+
+class TestRotateCheckpoints:
+    def test_deletes_and_reports(self, tmp_path):
+        for i in range(4):
+            touch(tmp_path / f"step-{i:08d}.ckpt.npz", age_seconds=100 - i, now=NOW)
+        touch(tmp_path / "not-a-checkpoint.txt", age_seconds=10**6, now=NOW)
+        deleted = rotate_checkpoints(tmp_path, RotationPolicy(keep_last=2), now=NOW)
+        assert sorted(p.name for p in deleted) == [
+            "step-00000000.ckpt.npz",
+            "step-00000001.ckpt.npz",
+        ]
+        survivors = sorted(p.name for p in tmp_path.iterdir())
+        assert survivors == [
+            "not-a-checkpoint.txt",  # pattern-scoped: foreign files untouched
+            "step-00000002.ckpt.npz",
+            "step-00000003.ckpt.npz",
+        ]
+
+    def test_missing_directory_is_empty_rotation(self, tmp_path):
+        assert rotate_checkpoints(tmp_path / "absent", RotationPolicy()) == []

@@ -1,0 +1,105 @@
+"""The JSON/HTTP front end: routing, error mapping, restart behaviour."""
+
+import threading
+
+import pytest
+
+from repro.serve import ServeClientError, SessionClient, SessionManager, make_server
+
+CFG = dict(method="snorkel", dataset="amazon", scale="tiny", seed=5)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    manager = SessionManager(tmp_path, snapshot_every=2, keep_last=2)
+    server = make_server(manager)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = SessionClient(f"http://{host}:{port}")
+    yield manager, client, tmp_path
+    server.shutdown()
+    server.server_close()
+
+
+class TestRoutes:
+    def test_health_and_unknown_paths(self, service):
+        _, client, _ = service
+        assert client.health()["ok"] is True
+        with pytest.raises(ServeClientError) as err:
+            client._request("GET", "/nothing/here")
+        assert err.value.status == 404
+
+    def test_full_interaction_flow(self, service):
+        _, client, _ = service
+        created = client.create("s1", **CFG)
+        assert created["iteration"] == 0 and created["n_checkpoints"] == 1
+
+        proposal = client.propose("s1")
+        assert proposal["dev_index"] is not None
+        assert proposal["primitives"]
+        again = client.propose("s1")  # idempotent across HTTP retries
+        assert again["token"] == proposal["token"]
+
+        result = client.submit("s1", sorted(proposal["primitives"])[0], 1)
+        assert result["outcome"] == "submitted"
+        assert result["iteration"] == 1 and result["n_lfs"] == 1
+
+        proposal = client.propose("s1")
+        declined = client.decline("s1")
+        assert declined["outcome"] == "declined"
+        assert declined["iteration"] == 2
+        assert declined["snapshotted"] is True  # snapshot_every=2
+
+        stepped = client.step("s1")
+        assert stepped["outcome"] in {"submitted", "declined", "exhausted"}
+        score = client.score("s1")
+        assert 0.0 <= score["test_score"] <= 1.0
+        info = client.info("s1")
+        assert info["iteration"] == 3
+        assert [s["name"] for s in client.sessions()] == ["s1"]
+
+    def test_error_statuses(self, service):
+        _, client, _ = service
+        client.create("s1", **CFG)
+        with pytest.raises(ServeClientError) as err:
+            client.create("s1", **CFG)
+        assert err.value.status == 409
+        with pytest.raises(ServeClientError) as err:
+            client.info("ghost")
+        assert err.value.status == 404
+        with pytest.raises(ServeClientError) as err:
+            client.decline("s1")  # no open interaction
+        assert err.value.status == 409
+        client.propose("s1")
+        with pytest.raises(ServeClientError) as err:
+            client.submit("s1", "no-such-primitive-token", 1)
+        assert err.value.status == 400
+        with pytest.raises(ServeClientError) as err:
+            client.snapshot("s1")  # open interaction
+        assert err.value.status == 409
+        with pytest.raises(ServeClientError) as err:
+            client._request("POST", "/sessions", {"name": "x", "bogus": 1})
+        assert err.value.status == 400
+        with pytest.raises(ServeClientError) as err:
+            client._request("POST", "/sessions/s1/unknown-verb")
+        assert err.value.status == 404
+
+    def test_restart_resumes_over_http(self, service, tmp_path):
+        manager, client, root = service
+        client.create("s1", **CFG)
+        for _ in range(4):
+            client.step("s1")
+        # a second service over the same root (the restarted server)
+        manager2 = SessionManager(root, snapshot_every=2, keep_last=2)
+        server2 = make_server(manager2)
+        thread = threading.Thread(target=server2.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server2.server_address[:2]
+            client2 = SessionClient(f"http://{host}:{port}")
+            assert client2.info("s1")["iteration"] == 4
+            assert client2.step("s1")["iteration"] == 5
+        finally:
+            server2.shutdown()
+            server2.server_close()

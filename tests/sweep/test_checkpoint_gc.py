@@ -1,0 +1,82 @@
+"""Sweep-store checkpoint GC: orphans, completed jobs, and the age cap."""
+
+import os
+import time
+
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+
+def fake_checkpoint(store: ResultStore, key: str, age_seconds: float = 0.0):
+    path = store.checkpoint_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"x")
+    if age_seconds:
+        stamp = time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestGcCheckpoints:
+    def test_orphans_and_completed_collected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        pending = fake_checkpoint(store, "job-pending")
+        completed = fake_checkpoint(store, "job-completed")
+        orphan = fake_checkpoint(store, "job-from-another-grid")
+        deleted = store.gc_checkpoints({"job-pending"})
+        assert sorted(p.name for p in deleted) == sorted(
+            [completed.name, orphan.name]
+        )
+        assert pending.exists()
+
+    def test_age_cap_on_survivors(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fresh = fake_checkpoint(store, "job-fresh")
+        stale = fake_checkpoint(store, "job-stale", age_seconds=10_000)
+        deleted = store.gc_checkpoints(
+            {"job-fresh", "job-stale"}, max_age_seconds=3600
+        )
+        assert [p.name for p in deleted] == [stale.name]
+        assert fresh.exists()
+
+    def test_age_cap_is_uniform_across_jobs(self, tmp_path):
+        """Every over-age job checkpoint goes — no newest-file exemption.
+
+        Each file is a *different* job's only checkpoint; exempting the
+        globally newest one (the RotationPolicy rule for one session's
+        snapshot directory) would make the abandoned-checkpoint contract
+        arbitrary across jobs.
+        """
+        store = ResultStore(tmp_path)
+        a = fake_checkpoint(store, "job-a", age_seconds=7200)
+        b = fake_checkpoint(store, "job-b", age_seconds=7190)
+        deleted = store.gc_checkpoints({"job-a", "job-b"}, max_age_seconds=3600)
+        assert sorted(p.name for p in deleted) == sorted([a.name, b.name])
+        assert not a.exists() and not b.exists()
+
+    def test_missing_dir_is_noop(self, tmp_path):
+        assert ResultStore(tmp_path).gc_checkpoints(set()) == []
+
+
+class TestRunSweepGC:
+    def test_run_sweep_collects_orphans(self, tmp_path):
+        from repro.sweep.runner import run_sweep
+
+        spec = SweepSpec(
+            methods=("random",),
+            datasets=("amazon",),
+            n_seeds=1,
+            base_seed=0,
+            n_iterations=2,
+            eval_every=1,
+            scale="tiny",
+            user_threshold=0.5,
+        )
+        store = ResultStore(tmp_path)
+        store.bind_spec(spec)
+        orphan = fake_checkpoint(store, "stale-foreign-job")
+        report = run_sweep(spec, tmp_path, jobs=1, checkpoint_every=1)
+        assert report.complete
+        assert not orphan.exists()
+        # no checkpoints linger behind the completed grid
+        assert list((tmp_path / "checkpoints").glob("*.ckpt.npz")) == []

@@ -1,0 +1,217 @@
+"""CI smoke for the serve layer: SIGKILL a live session server, restart, verify.
+
+Exercises the full serve-path durability story end-to-end over real HTTP:
+
+1. start ``repro serve`` as a subprocess and drive a session through the
+   propose/submit protocol with a *deterministic* client rule (a pure
+   function of each proposal), recording the score curve;
+2. SIGKILL the server mid-session, past the last periodic snapshot, so
+   un-snapshotted commits are genuinely lost;
+3. restart the server over the same root, confirm it resumed from the
+   latest **rotated** snapshot, replay the lost iterations with the same
+   client rule, and finish the curve;
+4. assert the killed-and-restored curve (including the re-recorded
+   points) is bit-identical to an uninterrupted reference run of the
+   same client against a fresh server, and that rotation kept only
+   ``--keep-last`` snapshots.
+
+Exit code 0 on success; prints the failed assertion otherwise.
+
+Run:  PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.serve import ServeClientError, SessionClient  # noqa: E402
+
+SESSION = "smoke"
+CFG = dict(method="snorkel", dataset="amazon", scale="tiny", seed=17)
+N_ITERATIONS = 12
+EVAL_EVERY = 3
+SNAPSHOT_EVERY = 2
+KEEP_LAST = 2
+KILL_AFTER = 7  # snapshots land at 2,4,6 — commit 7 must be lost
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"[serve-smoke] FAILED: {message}")
+        raise SystemExit(1)
+
+
+def start_server(root: Path) -> tuple[subprocess.Popen, SessionClient]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--root",
+            str(root),
+            "--port",
+            "0",
+            "--snapshot-every",
+            str(SNAPSHOT_EVERY),
+            "--keep-last",
+            str(KEEP_LAST),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()  # the CLI's handshake line carries the port
+    check(
+        "serving sessions on http://" in line,
+        f"unexpected server handshake: {line!r}",
+    )
+    url = line.split("serving sessions on ", 1)[1].split(" ", 1)[0]
+    client = SessionClient(url, timeout=60.0)
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            client.health()
+            return proc, client
+        except (ServeClientError, OSError):
+            check(time.monotonic() < deadline, "server never became healthy")
+            time.sleep(0.1)
+
+
+def client_rule(proposal: dict, used: set[tuple[str, int]]):
+    """Deterministic pure function of (proposal, submitted-so-far).
+
+    Submits the lexicographically smallest unused primitive of the shown
+    example — labelled by token-length parity so the vote matrix carries
+    both classes and the score curve actually moves — or declines.  Any
+    replay of the same proposal stream reproduces the same commands
+    bit-for-bit.
+    """
+    if proposal["dev_index"] is None:
+        return None
+    for token in sorted(proposal["primitives"]):
+        label = 1 if len(token) % 2 == 0 else -1
+        if (token, label) not in used:
+            return token, label
+    return None
+
+
+def drive(client: SessionClient, curve: dict, kill_proc=None) -> None:
+    """Drive SESSION to N_ITERATIONS; record (and cross-check) the curve.
+
+    Starts from whatever iteration the server reports — after a restart
+    that is the restored snapshot, and the lost iterations are replayed.
+    Re-recorded evaluation points must equal what the first pass saw.
+    """
+    info = client.info(SESSION)
+    iteration = info["iteration"]
+    used = {(lf["primitive"], lf["label"]) for lf in info["lfs"]}
+    while iteration < N_ITERATIONS:
+        proposal = client.propose(SESSION)
+        check(proposal["iteration"] == iteration, "proposal iteration drifted")
+        choice = client_rule(proposal, used)
+        if choice is None:
+            result = client.decline(SESSION)
+        else:
+            token, label = choice
+            result = client.submit(SESSION, token, label)
+            used.add((token, label))
+        iteration = result["iteration"]
+        if iteration % EVAL_EVERY == 0 or iteration == N_ITERATIONS:
+            score = client.score(SESSION)["test_score"]
+            if iteration in curve:
+                check(
+                    curve[iteration] == score,
+                    f"replayed score at iteration {iteration} diverged: "
+                    f"{curve[iteration]} != {score}",
+                )
+            curve[iteration] = score
+        if kill_proc is not None and iteration == KILL_AFTER:
+            kill_proc.kill()  # SIGKILL: no shutdown hooks, no flushing
+            kill_proc.wait()
+            return
+
+
+def final_lfs(client: SessionClient) -> list[tuple[str, int]]:
+    return [
+        (lf["primitive"], lf["label"]) for lf in client.info(SESSION)["lfs"]
+    ]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="serve_smoke_") as tmp:
+        # ---- reference: one uninterrupted server ---------------------- #
+        ref_root = Path(tmp) / "reference"
+        proc, client = start_server(ref_root)
+        try:
+            client.create(SESSION, **CFG)
+            ref_curve: dict[int, float] = {}
+            drive(client, ref_curve)
+            ref_lfs = final_lfs(client)
+            ref_score = client.score(SESSION)["test_score"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait()
+        print(f"[serve-smoke] reference run: {len(ref_lfs)} LFs, curve {ref_curve}")
+
+        # ---- victim: SIGKILLed mid-session, then restarted ------------ #
+        root = Path(tmp) / "killed"
+        proc, client = start_server(root)
+        client.create(SESSION, **CFG)
+        curve: dict[int, float] = {}
+        drive(client, curve, kill_proc=proc)
+        check(proc.poll() is not None, "server survived SIGKILL?")
+        print(f"[serve-smoke] SIGKILLed server after iteration {KILL_AFTER}")
+
+        snapshots = sorted((root / SESSION).glob("step-*.ckpt.npz"))
+        check(
+            len(snapshots) <= KEEP_LAST,
+            f"rotation kept {len(snapshots)} snapshots, cap is {KEEP_LAST}",
+        )
+        check(
+            snapshots and snapshots[-1].name == "step-00000006.ckpt.npz",
+            f"latest rotated snapshot unexpected: {[p.name for p in snapshots]}",
+        )
+
+        proc, client = start_server(root)
+        try:
+            restored = client.info(SESSION)["iteration"]
+            check(
+                restored == KILL_AFTER - 1,
+                f"restored iteration {restored}, expected {KILL_AFTER - 1} "
+                "(the un-snapshotted commit must be lost)",
+            )
+            print(f"[serve-smoke] restarted server resumed at iteration {restored}")
+            drive(client, curve)  # replays 7, then continues to the end
+            kill_lfs = final_lfs(client)
+            kill_score = client.score(SESSION)["test_score"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait()
+
+        # ---- bit-identical to the uninterrupted run ------------------- #
+        check(curve == ref_curve, f"curves differ: {curve} != {ref_curve}")
+        check(kill_lfs == ref_lfs, f"LF sequences differ: {kill_lfs} != {ref_lfs}")
+        check(kill_score == ref_score, "final scores differ")
+    print(
+        "[serve-smoke] OK: kill/restart resumed from the rotated snapshot and "
+        "the completed curve is bit-identical to the uninterrupted run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
