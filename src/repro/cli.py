@@ -1,6 +1,6 @@
 """Command-line interface to the reproduction.
 
-Seven subcommands cover the workflows a downstream user needs without
+Eight subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``datasets`` — Table-1-style statistics for the bundled benchmarks.
@@ -14,6 +14,9 @@ writing Python:
 * ``serve``    — a long-lived HTTP session service: named live sessions
   driven over the propose/submit protocol, periodically snapshotted and
   restored across restarts (see :mod:`repro.serve`).
+* ``loadtest`` — concurrent clients hammering a session server over real
+  HTTP; p50/p99 per-command latency, sessions/sec, and error counts as a
+  schema-gated JSON record (see :mod:`repro.serve.loadtest`).
 * ``sessions`` — list the sessions stored under a serve root.
 
 Invoke as ``python -m repro <subcommand> --help``.
@@ -156,6 +159,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="also drop retained snapshots older than this (newest always kept)",
+    )
+    p_serve.add_argument(
+        "--max-live",
+        type=int,
+        default=None,
+        metavar="N",
+        help="soft cap on in-memory sessions: least-recently-touched sessions "
+        "beyond it are snapshotted and evicted (lazy-restored on next touch)",
+    )
+    p_serve.add_argument(
+        "--idle-evict",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also evict sessions untouched for this long (a background "
+        "sweeper enforces it even without traffic)",
+    )
+
+    p_loadtest = sub.add_parser(
+        "loadtest",
+        help="hammer a session server with concurrent clients; report latency",
+        description=(
+            "Drive N concurrent client threads through full create -> propose "
+            "-> submit/decline -> score session lifecycles over real HTTP "
+            "(against a spawned server, or --url for an external one), then "
+            "report p50/p99 per-command latency, sessions/sec, and error "
+            "counts as a schema-gated JSON record. Spawned-server runs also "
+            "measure the cold-start storm: restart, then every client's "
+            "first touch at once (concurrent lazy restores)."
+        ),
+    )
+    p_loadtest.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running server instead of spawning one "
+        "(skips the cold-start phase)",
+    )
+    p_loadtest.add_argument("--clients", type=int, default=8)
+    p_loadtest.add_argument("--sessions-per-client", type=int, default=2)
+    p_loadtest.add_argument(
+        "--iterations", type=int, default=8, help="interactions per session"
+    )
+    p_loadtest.add_argument("--method", default="snorkel")
+    p_loadtest.add_argument("--dataset", choices=DATASET_NAMES + MC_DATASET_NAMES, default="amazon")
+    p_loadtest.add_argument("--scale", choices=SCALES, default="tiny")
+    p_loadtest.add_argument("--seed", type=int, default=0)
+    p_loadtest.add_argument(
+        "--snapshot-every", type=int, default=4, help="spawned server's snapshot cadence"
+    )
+    p_loadtest.add_argument(
+        "--max-live", type=int, default=None, help="spawned server's live-session cap"
+    )
+    p_loadtest.add_argument(
+        "--idle-evict", type=float, default=None, help="spawned server's idle eviction"
+    )
+    p_loadtest.add_argument(
+        "--output",
+        default="BENCH_serve_latency.json",
+        help="where to write the JSON record",
+    )
+    p_loadtest.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke: 2 clients x 1 session x 4 iterations; writes next to "
+            "the committed record (never over it) and asserts the committed "
+            "record's schema when one is present"
+        ),
     )
 
     p_sessions = sub.add_parser(
@@ -436,6 +507,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.serve import SessionManager, make_server
 
     manager = SessionManager(
@@ -443,9 +516,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         keep_last=args.keep_last,
         max_age_seconds=args.max_age,
+        max_live=args.max_live,
+        idle_evict_seconds=args.idle_evict,
     )
     server = make_server(manager, host=args.host, port=args.port)
     host, port = server.server_address[:2]
+    stop_sweeper = threading.Event()
+    if args.idle_evict is not None:
+        # Touch-triggered eviction never fires on a quiet server; a
+        # background sweeper keeps idle sessions from pinning memory.
+        def sweep() -> None:
+            while not stop_sweeper.wait(max(0.5, args.idle_evict / 2)):
+                manager.evict()
+
+        threading.Thread(target=sweep, name="idle-evict", daemon=True).start()
     # This exact line is the machine-readable handshake the serve smoke
     # test (and any wrapper script) parses to learn the bound port.
     print(f"serving sessions on http://{host}:{port} (root={manager.root})", flush=True)
@@ -454,7 +538,65 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        stop_sweeper.set()
         server.server_close()
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.serve.loadtest import LoadTestConfig, check_record, run_loadtest
+
+    clients = args.clients
+    sessions_per_client = args.sessions_per_client
+    iterations = args.iterations
+    output = args.output
+    if args.quick:
+        clients, sessions_per_client, iterations = 2, 1, 4
+        if output == "BENCH_serve_latency.json":
+            # A smoke run must not overwrite the committed full record.
+            output = "BENCH_serve_latency.quick.json"
+    config = LoadTestConfig(
+        clients=clients,
+        sessions_per_client=sessions_per_client,
+        iterations=iterations,
+        method=args.method,
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        snapshot_every=args.snapshot_every,
+        max_live=args.max_live,
+        idle_evict_seconds=args.idle_evict,
+        url=args.url,
+        quick=args.quick,
+    )
+    record = run_loadtest(config)
+    problems = check_record(record)
+    out = Path(output)
+    out.write_text(_json.dumps(record, indent=2) + "\n")
+    print(f"[loadtest] wrote {out}")
+    for command, entry in record["latency_ms"].items():
+        print(
+            f"[loadtest]   {command:<8} n={entry['n']:<4} p50={entry['p50']}ms "
+            f"p99={entry['p99']}ms max={entry['max']}ms"
+        )
+    if problems:
+        print("[loadtest] record FAILED its own schema check:")
+        for problem in problems:
+            print(f"[loadtest]   - {problem}")
+        return 1
+    if args.quick:
+        committed = Path("BENCH_serve_latency.json")
+        if committed.exists():
+            committed_problems = check_record(_json.loads(committed.read_text()))
+            if committed_problems:
+                print(f"[loadtest] committed record {committed} FAILED the schema check:")
+                for problem in committed_problems:
+                    print(f"[loadtest]   - {problem}")
+                return 1
+            print(f"[loadtest] committed record {committed} passes the schema check")
     return 0
 
 
@@ -488,6 +630,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "replay": cmd_replay,
     "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "sessions": cmd_sessions,
 }
 

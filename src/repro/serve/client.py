@@ -1,18 +1,31 @@
 """Stdlib HTTP client for the session service.
 
-A thin :mod:`urllib.request` wrapper mirroring the endpoints of
+A thin :mod:`http.client` wrapper mirroring the endpoints of
 :mod:`repro.serve.http` one method per route — used by the live-session
-example, the serve smoke test, and anything else that drives a remote
-session without pulling in an HTTP library.  Every call returns the
-decoded JSON payload; non-2xx responses raise :class:`ServeClientError`
-carrying the status and the server's ``error`` message.
+example, the serve smoke test, the loadtest harness, and anything else
+that drives a remote session without pulling in an HTTP library.  Every
+call returns the decoded JSON payload; non-2xx responses raise
+:class:`ServeClientError` carrying the status and the server's ``error``
+message.
+
+Connections are kept alive (the server speaks HTTP/1.1 with
+Content-Length on every response) and transparently re-established when
+the server closes them — without reuse every command pays a TCP setup,
+which dominates small-payload latency under load.  Connections are held
+per *thread*, so one client instance may be shared across threads.
+
+Session names are interpolated into URL paths as *quoted* segments, and
+a name that quoting would alter (anything outside ``[A-Za-z0-9._-]``,
+e.g. ``"a/propose"``) is rejected client-side: the server could never
+have created it, and unquoted it would silently hit a different route.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
+import urllib.parse
 
 
 class ServeClientError(RuntimeError):
@@ -22,6 +35,17 @@ class ServeClientError(RuntimeError):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+
+
+def _path_segment(name: str) -> str:
+    """``name`` as a URL path segment; reject anything quoting would alter."""
+    quoted = urllib.parse.quote(str(name), safe="")
+    if not quoted or quoted != str(name):
+        raise ValueError(
+            f"session name {name!r} is not a valid URL path segment "
+            f"(would quote to {quoted!r} and cannot name a served session)"
+        )
+    return quoted
 
 
 class SessionClient:
@@ -38,30 +62,68 @@ class SessionClient:
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        split = urllib.parse.urlsplit(self.base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"base_url must be http://host[:port], got {base_url!r}")
+        self._host = split.hostname
+        self._port = split.port or 80
+        self._prefix = split.path.rstrip("/")
+        self._local = threading.local()  # one kept-alive connection per thread
+
+    #: Failures that mean "the kept-alive connection went stale" — the
+    #: server closed it between commands.  Only these, and only on a
+    #: *reused* connection, are retried: the command never reached a
+    #: handler, so re-sending cannot double-execute it.  Timeouts are
+    #: deliberately not here (the server may still be processing).
+    _STALE = (http.client.RemoteDisconnected, ConnectionResetError, BrokenPipeError)
 
     # -- transport ------------------------------------------------------ #
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's connection plus whether it was freshly opened."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, False
+        conn = http.client.HTTPConnection(self._host, self._port, timeout=self.timeout)
+        self._local.conn = conn
+        return conn, True
+
+    def close(self) -> None:
+        """Drop this thread's kept-alive connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            conn.close()
+
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = None if body is None else json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+        headers = {"Content-Type": "application/json"} if data else {}
+        while True:
+            conn, fresh = self._connection()
+            try:
+                conn.request(method, self._prefix + path, body=data, headers=headers)
+                response = conn.getresponse()
+                status = response.status
                 raw = response.read()
-        except urllib.error.HTTPError as exc:
-            raw = exc.read()
+                if getattr(response, "will_close", False):
+                    self.close()
+                break
+            except self._STALE:
+                self.close()
+                if fresh:
+                    raise
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                raise
+        if status >= 400:
             try:
                 message = json.loads(raw.decode("utf-8")).get("error", raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 message = raw.decode("utf-8", errors="replace")
-            raise ServeClientError(exc.code, message) from None
+            raise ServeClientError(status, message)
         try:
             return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
-            raise ServeClientError(200, f"unparseable response body: {exc}") from exc
+            raise ServeClientError(status, f"unparseable response body: {exc}") from exc
 
     # -- endpoints ------------------------------------------------------ #
     def health(self) -> dict:
@@ -74,24 +136,26 @@ class SessionClient:
         return self._request("POST", "/sessions", {"name": name, **config})
 
     def info(self, name: str) -> dict:
-        return self._request("GET", f"/sessions/{name}")
+        return self._request("GET", f"/sessions/{_path_segment(name)}")
 
     def propose(self, name: str) -> dict:
-        return self._request("POST", f"/sessions/{name}/propose")
+        return self._request("POST", f"/sessions/{_path_segment(name)}/propose")
 
     def submit(self, name: str, primitive: str, label: int) -> dict:
         return self._request(
-            "POST", f"/sessions/{name}/submit", {"primitive": primitive, "label": label}
+            "POST",
+            f"/sessions/{_path_segment(name)}/submit",
+            {"primitive": primitive, "label": label},
         )
 
     def decline(self, name: str) -> dict:
-        return self._request("POST", f"/sessions/{name}/decline")
+        return self._request("POST", f"/sessions/{_path_segment(name)}/decline")
 
     def step(self, name: str) -> dict:
-        return self._request("POST", f"/sessions/{name}/step")
+        return self._request("POST", f"/sessions/{_path_segment(name)}/step")
 
     def score(self, name: str) -> dict:
-        return self._request("GET", f"/sessions/{name}/score")
+        return self._request("GET", f"/sessions/{_path_segment(name)}/score")
 
     def snapshot(self, name: str) -> dict:
-        return self._request("POST", f"/sessions/{name}/snapshot")
+        return self._request("POST", f"/sessions/{_path_segment(name)}/snapshot")

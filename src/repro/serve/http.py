@@ -22,8 +22,12 @@ POST     ``/sessions/<name>/snapshot``     force a rotated snapshot now
 Error mapping is uniform: serve-layer exceptions carry their own status
 (404 unknown session, 409 protocol/name conflicts, 400 bad payloads), and
 every error body is ``{"error": <message>}``.  The server is a
-:class:`ThreadingHTTPServer`; per-session locks in the manager serialize
-commands per session while letting different sessions proceed in parallel.
+:class:`ThreadingHTTPServer` speaking HTTP/1.1 (every response carries
+Content-Length, so clients keep connections alive instead of paying TCP
+setup per command); per-session locks in the manager serialize commands
+per session while letting different sessions proceed in parallel, and
+client disconnects mid-request *or* mid-response are absorbed rather
+than dumped as handler-thread tracebacks.
 """
 
 from __future__ import annotations
@@ -52,10 +56,27 @@ class SessionServiceHandler(BaseHTTPRequestHandler):
     #: Bound by :func:`make_server` to a concrete manager instance.
     manager: SessionManager = None
     server_version = "repro-serve/1"
+    #: Every response carries Content-Length, so HTTP/1.1 keep-alive is
+    #: safe — and without it every client request pays a fresh TCP setup.
+    protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------- #
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep stdout clean; the CLI prints the one line that matters
+
+    def handle_one_request(self) -> None:
+        """One keep-alive request, with client disconnects absorbed.
+
+        Under HTTP/1.1 the handler loops reading request lines off a
+        long-lived connection; a client that resets it (RST) raises
+        ``ConnectionResetError`` from the *read* side, outside ``_route``'s
+        protection — without this guard every abrupt disconnect dumps a
+        handler-thread traceback through ``socketserver.handle_error``.
+        """
+        try:
+            super().handle_one_request()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
     def _write_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -66,8 +87,10 @@ class SessionServiceHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_body(self) -> dict:
+        self._body_consumed = True
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
+            self.close_connection = True  # refuse to read it off the socket
             raise _HandledError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
         if length <= 0:
             return {}
@@ -87,23 +110,47 @@ class SessionServiceHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         self._route("POST")
 
+    def _drain_body(self) -> None:
+        """Consume an unread request body so keep-alive stays framed.
+
+        A handler that errors before ``_read_body`` (unknown route, 405,
+        …) would otherwise leave the body on the socket, where HTTP/1.1
+        connection reuse parses it as the next request line.  Oversized
+        bodies are not drained — the connection is closed instead.
+        """
+        if getattr(self, "_body_consumed", False):
+            return
+        self._body_consumed = True
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+        elif length > 0:
+            self.rfile.read(length)
+
     def _route(self, verb: str) -> None:
+        self._body_consumed = False
         try:
-            payload = self._dispatch(verb)
+            status, payload = 200, self._dispatch(verb)
         except _HandledError as exc:
-            self._write_json(exc.status, {"error": str(exc)})
+            status, payload = exc.status, {"error": str(exc)}
         except ServeError as exc:
-            self._write_json(exc.status, {"error": str(exc)})
+            status, payload = exc.status, {"error": str(exc)}
         except ProtocolError as exc:
-            self._write_json(409, {"error": str(exc)})
+            status, payload = 409, {"error": str(exc)}
         except (KeyError, TypeError, ValueError) as exc:
-            self._write_json(400, {"error": f"bad request: {exc}"})
-        except BrokenPipeError:  # client went away mid-response
-            pass
+            status, payload = 400, {"error": f"bad request: {exc}"}
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-request; nothing to answer
         except Exception as exc:  # pragma: no cover - defensive last resort
-            self._write_json(500, {"error": f"internal error: {exc}"})
-        else:
-            self._write_json(200, payload)
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        # The response write gets the same protection as the dispatch: a
+        # client that disconnects mid-response raises from the handler
+        # thread on the success path too, and must not dump a traceback.
+        try:
+            self._drain_body()
+            self._write_json(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
 
     def _dispatch(self, verb: str) -> dict:
         manager = self.manager

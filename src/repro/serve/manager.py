@@ -18,10 +18,21 @@ them durable through the PR-4 checkpoint layer:
 
 Concurrency: every session carries its own lock, so interactions on
 different sessions proceed in parallel under a threaded front end while
-commands on one session serialize; the manager-wide lock only guards the
-registry map and disk loads.  Sessions share nothing — RNG streams, refit
-caches, and phase timings are all per-session state (pinned by the
-multi-session isolation tests).
+commands on one session serialize.  The manager-wide lock guards only the
+registry maps — never a disk load: first touches of *different* sessions
+restore in parallel, and concurrent first touches of the *same* session
+rendezvous on a per-name loading latch (one thread restores, the rest
+wait on the latch; a session is never double-loaded).  Sessions share
+nothing — RNG streams, refit caches, and phase timings are all
+per-session state (pinned by the multi-session isolation tests).
+
+Memory is bounded by the eviction policy (``max_live`` LRU cap +
+``idle_evict_seconds`` age cap): evicted sessions are snapshotted first
+if they have un-snapshotted commits — checkpoints make eviction safe by
+construction — then dropped from memory, and transparently lazy-restore
+(bit-identically) on the next touch.  Sessions with an open interaction
+are never evicted (the proposal already advanced the RNG, so a snapshot
+is illegal there), and neither are sessions a command currently holds.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import json
 import re
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.protocol import ProtocolError, SimulatedDriver
@@ -114,6 +126,24 @@ class _LiveSession:
         self.session = session
         self.lock = threading.RLock()
         self.commits_since_snapshot = 0
+        self.last_touch = 0.0  # monotonic stamp of the latest _get
+
+
+class _LoadLatch:
+    """One in-flight load (restore or create) of a named session.
+
+    The loading thread owns the latch: it resolves it with either the
+    loaded session or the load's exception, then wakes every waiter.
+    Waiters re-raise the recorded exception (failed loads are not
+    sticky — the latch is unregistered first, so the next touch retries).
+    """
+
+    __slots__ = ("done", "live", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.live: _LiveSession | None = None
+        self.error: BaseException | None = None
 
 
 class SessionManager:
@@ -130,6 +160,15 @@ class SessionManager:
     keep_last / max_age_seconds:
         The :class:`~repro.io.checkpoint.RotationPolicy` applied to each
         session's checkpoint directory after every snapshot.
+    max_live:
+        Soft cap on in-memory sessions (``None`` = unbounded).  Going
+        over the cap evicts least-recently-touched sessions (snapshot
+        first if dirty); sessions that are busy or have an open
+        interaction are skipped, so the cap can be transiently exceeded.
+    idle_evict_seconds:
+        Additionally evict sessions untouched for this long (``None`` =
+        never).  Checked on every touch and by :meth:`evict`, which a
+        server can also call from a periodic sweeper.
     """
 
     def __init__(
@@ -138,15 +177,30 @@ class SessionManager:
         snapshot_every: int = 5,
         keep_last: int = 3,
         max_age_seconds: float | None = None,
+        max_live: int | None = None,
+        idle_evict_seconds: float | None = None,
     ) -> None:
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if max_live is not None and max_live < 1:
+            raise ValueError(f"max_live must be >= 1 or None, got {max_live}")
+        if idle_evict_seconds is not None and idle_evict_seconds <= 0:
+            raise ValueError(
+                f"idle_evict_seconds must be > 0 or None, got {idle_evict_seconds}"
+            )
         self.root = Path(root)
         self.snapshot_every = snapshot_every
         self.policy = RotationPolicy(keep_last=keep_last, max_age_seconds=max_age_seconds)
+        self.max_live = max_live
+        self.idle_evict_seconds = idle_evict_seconds
         self._lock = threading.Lock()
         self._live: dict[str, _LiveSession] = {}
+        self._loading: dict[str, _LoadLatch] = {}
         self._datasets: dict[tuple[str, str, int], object] = {}
+        self._datasets_lock = threading.Lock()
+
+    #: Monotonic clock for touch stamps / idle ages (patchable in tests).
+    _now = staticmethod(time.monotonic)
 
     # ------------------------------------------------------------------ #
     # paths
@@ -158,7 +212,13 @@ class SessionManager:
         return self.session_dir(name) / "meta.json"
 
     def _checkpoint_files(self, name: str) -> list[Path]:
-        """This session's snapshots, oldest → newest (iteration order)."""
+        """This session's snapshots, oldest → newest (iteration order).
+
+        Ordered by the *parsed* iteration, not the filename string: the
+        zero padding is 8 digits, so iterations ≥ 10^8 widen the field
+        and a lexicographic sort would rank ``step-100000000`` before
+        ``step-99999999`` — breaking newest-first restore.
+        """
         directory = self.session_dir(name)
         if not directory.exists():
             return []
@@ -167,16 +227,26 @@ class SessionManager:
             for p in directory.glob(f"{_CKPT_PREFIX}*{_CKPT_SUFFIX}")
             if _checkpoint_iteration(p) is not None
         ]
-        return sorted(found, key=lambda p: p.name)
+        return sorted(found, key=_checkpoint_iteration)
 
     # ------------------------------------------------------------------ #
     # construction / restore
     # ------------------------------------------------------------------ #
     def _dataset(self, meta: dict):
+        """The (cached) dataset behind a meta record.
+
+        Thread-safe without holding the manager lock: misses are loaded
+        under a dedicated lock per cache, so a cold-start storm builds
+        each dataset once while session restores proceed in parallel.
+        """
         key = (meta["dataset"], meta["scale"], int(meta["dataset_seed"]))
-        if key not in self._datasets:
-            self._datasets[key] = load_named_dataset(key[0], scale=key[1], seed=key[2])
-        return self._datasets[key]
+        with self._datasets_lock:
+            dataset = self._datasets.get(key)
+            if dataset is None:
+                dataset = self._datasets[key] = load_named_dataset(
+                    key[0], scale=key[1], seed=key[2]
+                )
+        return dataset
 
     def _build_session(self, meta: dict):
         """A fresh (iteration-0) session from a meta record."""
@@ -211,6 +281,11 @@ class SessionManager:
         fitted state only — restore always reconstructs the session from
         this record) and an iteration-0 snapshot is written immediately,
         so even a server killed before the first commit restarts cleanly.
+
+        The name is reserved under the manager lock (a loading latch, so
+        concurrent creates/touches of the same name serialize) but the
+        session is built and snapshotted *outside* it — a create storm
+        does not stall every other session's traffic.
         """
         name = _validate_name(name)
         meta = {
@@ -225,15 +300,29 @@ class SessionManager:
             "created_at": time.time(),
         }
         with self._lock:
-            if name in self._live or self._meta_path(name).exists():
+            if (
+                name in self._live
+                or name in self._loading
+                or self._meta_path(name).exists()
+            ):
                 raise SessionExistsError(f"session {name!r} already exists")
+            latch = self._loading[name] = _LoadLatch()
+        try:
             session = self._build_session(meta)
             atomic_write_text(self._meta_path(name), json.dumps(meta, indent=2) + "\n")
             live = _LiveSession(name, meta, session)
-            self._live[name] = live
-        with live.lock:
-            self._snapshot_locked(live)
-            return self._info_locked(live)
+            with live.lock:  # uncontended — the session is not registered yet
+                self._snapshot_locked(live)
+                info = self._info_locked(live)
+        except BaseException as exc:
+            with self._lock:
+                self._loading.pop(name, None)
+            latch.error = exc
+            latch.done.set()
+            raise
+        self._resolve_latch(name, latch, live)
+        self.evict()
+        return info
 
     def _read_meta(self, name: str) -> dict:
         path = self._meta_path(name)
@@ -278,17 +367,79 @@ class SessionManager:
                 )
         return _LiveSession(name, meta, session)
 
-    def _get(self, name: str) -> _LiveSession:
-        name = _validate_name(name)
+    def _resolve_latch(self, name: str, latch: _LoadLatch, live: _LiveSession) -> None:
+        """Publish a freshly loaded session and wake the latch's waiters."""
         with self._lock:
-            live = self._live.get(name)
-            if live is None:
-                live = self._restore(name)
-                self._live[name] = live
-            return live
+            self._live[name] = live
+            self._loading.pop(name, None)
+            live.last_touch = self._now()
+        latch.live = live
+        latch.done.set()
+
+    def _get(self, name: str) -> _LiveSession:
+        """The live session for ``name``, lazily restoring from disk.
+
+        The restore itself runs *outside* the manager lock: the first
+        toucher registers a per-name latch and loads; concurrent touches
+        of the same name wait on that latch (never double-load), while
+        touches of other names proceed — a cold-start storm over K
+        sessions restores them in parallel, not serially.
+        """
+        name = _validate_name(name)
+        while True:
+            with self._lock:
+                live = self._live.get(name)
+                if live is not None:
+                    live.last_touch = self._now()
+                    return live
+                latch = self._loading.get(name)
+                if latch is None:
+                    latch = self._loading[name] = _LoadLatch()
+                    break  # this thread owns the load
+            latch.done.wait()
+            if latch.error is not None:
+                raise latch.error
+            # Loaded by the latch owner — loop to take the fast path (and
+            # handle the rare immediate-eviction race by restoring again).
+            if latch.live is not None and self._live.get(name) is latch.live:
+                with self._lock:
+                    latch.live.last_touch = self._now()
+                return latch.live
+        try:
+            live = self._restore(name)
+        except BaseException as exc:
+            with self._lock:
+                self._loading.pop(name, None)
+            latch.error = exc
+            latch.done.set()
+            raise
+        self._resolve_latch(name, latch, live)
+        self.evict()
+        return live
+
+    @contextmanager
+    def _command(self, name: str):
+        """Acquire ``name``'s session under its lock, eviction-safe.
+
+        Between ``_get`` returning a live session and the caller entering
+        its lock, the eviction sweep may have snapshotted and dropped that
+        object; commands must not mutate an orphan.  This re-checks
+        registration *after* acquiring the session lock and retries (the
+        retry lazy-restores from the eviction snapshot, bit-identically).
+        Eviction skips sessions whose lock is held, so once inside the
+        session cannot be evicted.
+        """
+        while True:
+            live = self._get(name)
+            with live.lock:
+                with self._lock:
+                    current = self._live.get(name) is live
+                if current:
+                    yield live
+                    return
 
     # ------------------------------------------------------------------ #
-    # snapshots
+    # snapshots / eviction
     # ------------------------------------------------------------------ #
     def _snapshot_locked(self, live: _LiveSession) -> Path:
         session = live.session
@@ -311,8 +462,7 @@ class SessionManager:
 
     def snapshot(self, name: str) -> dict:
         """Force a snapshot now (between interactions only)."""
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             if live.session.pending is not None:
                 raise SessionConflictError(
                     "cannot snapshot with an open interaction; submit or "
@@ -321,13 +471,73 @@ class SessionManager:
             path = self._snapshot_locked(live)
             return {"name": name, "path": str(path), "iteration": int(live.session.iteration)}
 
+    def _pick_victim(self) -> _LiveSession | None:
+        """Select and lock one evictable session, or ``None``.
+
+        Runs under the manager lock; the victim's session lock is
+        acquired *non-blocking* (a busy session is in use, not idle) and
+        stays held by the caller.  Sessions with an open interaction are
+        refused — their RNG already advanced past the last snapshot, so
+        evicting them would lose the proposal.
+        """
+        over = self.max_live is not None and len(self._live) > self.max_live
+        now = self._now()
+        candidates = sorted(self._live.values(), key=lambda l: l.last_touch)
+        newest = candidates[-1] if candidates else None
+        for live in candidates:
+            idle = (
+                self.idle_evict_seconds is not None
+                and now - live.last_touch >= self.idle_evict_seconds
+            )
+            if not over and not idle:
+                break  # candidates are LRU-sorted: the rest are newer still
+            if live is newest and not idle:
+                # Never cap-evict the hottest session (e.g. the one just
+                # created): when everything older is pinned, the cap is
+                # transiently exceeded instead.
+                continue
+            if not live.lock.acquire(blocking=False):
+                continue
+            if live.session.pending is not None:
+                live.lock.release()
+                continue
+            return live
+        return None
+
+    def evict(self) -> list[str]:
+        """Apply the eviction policy now; returns the evicted names.
+
+        Runs automatically after every touch that grew the live map, and
+        is safe to call from a periodic sweeper.  Each victim is
+        snapshotted first if it has un-snapshotted commits (the disk
+        write happens *outside* the manager lock, under the victim's own
+        session lock), then dropped from memory — the next touch
+        lazy-restores it from that snapshot, bit-identically.
+        """
+        if self.max_live is None and self.idle_evict_seconds is None:
+            return []
+        evicted: list[str] = []
+        while True:
+            with self._lock:
+                victim = self._pick_victim()
+            if victim is None:
+                return evicted
+            try:
+                if victim.commits_since_snapshot > 0:
+                    self._snapshot_locked(victim)
+                with self._lock:
+                    if self._live.get(victim.name) is victim:
+                        del self._live[victim.name]
+                        evicted.append(victim.name)
+            finally:
+                victim.lock.release()
+
     # ------------------------------------------------------------------ #
     # interaction commands
     # ------------------------------------------------------------------ #
     def propose(self, name: str) -> dict:
         """Run the selector; return the candidate interaction (idempotent)."""
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             session = live.session
             pending = session.propose()
             if pending.dev_index is None:
@@ -349,8 +559,7 @@ class SessionManager:
 
     def submit(self, name: str, primitive: str, label: int) -> dict:
         """Commit an LF (by primitive token) for the open interaction."""
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             session = live.session
             try:
                 lf = session.family.make_by_token(str(primitive), int(label))
@@ -392,8 +601,7 @@ class SessionManager:
 
     def decline(self, name: str) -> dict:
         """Close the open interaction without an LF."""
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             session = live.session
             try:
                 pending = session.decline()
@@ -417,8 +625,7 @@ class SessionManager:
         the user's RNG stream is part of the session snapshot, making
         stepped sessions restore bit-identically too.
         """
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             session = live.session
             if session.pending is not None:
                 raise SessionConflictError(
@@ -446,8 +653,7 @@ class SessionManager:
 
     def score(self, name: str) -> dict:
         """The session's current test-split score."""
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             return {
                 "name": name,
                 "iteration": int(live.session.iteration),
@@ -487,8 +693,7 @@ class SessionManager:
 
     def info(self, name: str) -> dict:
         """Full info for one session (loads it if not yet in memory)."""
-        live = self._get(name)
-        with live.lock:
+        with self._command(name) as live:
             return self._info_locked(live)
 
     def sessions(self) -> list[dict]:
@@ -498,16 +703,20 @@ class SessionManager:
         newest checkpoint's filename (which encodes the iteration) and
         mtime — listing a thousand sessions must not deserialize a
         thousand engines.  Sessions already in memory report their live
-        iteration instead.
+        iteration instead.  The live map is snapshotted under the manager
+        lock first: iterating it bare would race concurrent
+        creates/restores/evictions into a ``RuntimeError``.
         """
-        names: set[str] = set(self._live)
+        with self._lock:
+            live_map = dict(self._live)
+        names: set[str] = set(live_map)
         if self.root.exists():
             for child in self.root.iterdir():
                 if child.is_dir() and (child / "meta.json").exists():
                     names.add(child.name)
         infos = []
         for name in sorted(names):
-            live = self._live.get(name)
+            live = live_map.get(name)
             if live is not None:
                 with live.lock:
                     infos.append(self._info_locked(live))

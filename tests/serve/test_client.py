@@ -1,0 +1,68 @@
+"""SessionClient unit behaviour: URL safety, keep-alive bookkeeping."""
+
+import threading
+
+import pytest
+
+from repro.serve.client import SessionClient, _path_segment
+
+
+class TestPathSegments:
+    def test_plain_names_pass_through(self):
+        for name in ("s1", "user.session-2", "A_b-c.d"):
+            assert _path_segment(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "a/propose",  # unquoted, this silently hits the propose route
+            "../escape",
+            "a b",
+            "name?x=1",
+            "sess#frag",
+            "ünïcode",
+            "",
+        ],
+    )
+    def test_unsafe_names_rejected_client_side(self, name):
+        """A name quoting would alter (or an empty one) cannot name a served
+        session — reject it before it silently addresses the wrong route."""
+        with pytest.raises(ValueError, match="path segment"):
+            _path_segment(name)
+
+    def test_client_methods_reject_unsafe_names_before_any_io(self):
+        # Port 9 (discard) is never dialed: the name check fires first.
+        client = SessionClient("http://127.0.0.1:9")
+        for method in (client.info, client.propose, client.decline, client.step,
+                       client.score, client.snapshot):
+            with pytest.raises(ValueError, match="path segment"):
+                method("a/propose")
+        with pytest.raises(ValueError, match="path segment"):
+            client.submit("a/submit", "tok", 1)
+
+
+class TestClientConstruction:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            SessionClient("ftp://127.0.0.1:1")
+        with pytest.raises(ValueError):
+            SessionClient("not-a-url")
+
+    def test_connections_are_per_thread(self):
+        client = SessionClient("http://127.0.0.1:9")
+        conn_a, fresh_a = client._connection()
+        assert fresh_a
+        seen = {}
+
+        def other():
+            conn, fresh = client._connection()
+            seen["conn"], seen["fresh"] = conn, fresh
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        assert seen["fresh"] and seen["conn"] is not conn_a
+        client.close()
+        _, fresh_again = client._connection()
+        assert fresh_again  # close dropped this thread's connection
+        client.close()

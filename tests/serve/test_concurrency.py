@@ -1,0 +1,353 @@
+"""SessionManager under real concurrency: latches, eviction, listing.
+
+The serve path's concurrency mechanisms, each pinned by a hammer:
+
+* per-name loading latches — a cold-start storm of K distinct sessions
+  restores them in *parallel* (wall clock well under the serial sum),
+  while a storm on one name restores it exactly once;
+* LRU/idle eviction — snapshot-before-evict, transparent bit-identical
+  lazy restore on the next touch, and refusal to evict a session with an
+  open interaction (its RNG already advanced past the last snapshot);
+* ``sessions()`` — safe against concurrent creates/evictions mutating
+  the live map mid-listing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.manager import (
+    ServeError,
+    SessionManager,
+    _LiveSession,
+)
+
+CFG = dict(method="snorkel", dataset="amazon", scale="tiny", seed=7)
+
+
+def fingerprint(manager: SessionManager, name: str) -> tuple:
+    info = manager.info(name)
+    return (
+        info["iteration"],
+        tuple((lf["primitive"], lf["label"]) for lf in info["lfs"]),
+        manager.score(name)["test_score"],
+    )
+
+
+def make_store(root, n_sessions, steps=2) -> list[str]:
+    """A root with ``n_sessions`` snapshotted sessions, then forget them."""
+    seeder = SessionManager(root, snapshot_every=1)
+    names = [f"s{i}" for i in range(n_sessions)]
+    for name in names:
+        seeder.create(name, **CFG)
+        for _ in range(steps):
+            seeder.step(name)
+    return names
+
+
+class _SlowRestore:
+    """Wrap ``manager._restore`` with a delay + concurrency bookkeeping.
+
+    The delay sleeps (releasing the GIL, like real checkpoint I/O), so
+    genuinely parallel restores overlap even on one core; the counters
+    record per-name call totals and the high-water mark of simultaneous
+    restores.
+    """
+
+    def __init__(self, manager: SessionManager, delay: float) -> None:
+        self._inner = manager._restore
+        self.delay = delay
+        self.lock = threading.Lock()
+        self.calls: dict[str, int] = {}
+        self.active = 0
+        self.max_active = 0
+
+    def __call__(self, name: str) -> _LiveSession:
+        with self.lock:
+            self.calls[name] = self.calls.get(name, 0) + 1
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        try:
+            time.sleep(self.delay)
+            return self._inner(name)
+        finally:
+            with self.lock:
+                self.active -= 1
+
+
+class TestLoadingLatches:
+    def test_cold_start_storm_restores_in_parallel(self, tmp_path):
+        """K distinct first touches: wall clock ≪ the serial restore sum."""
+        n, delay = 6, 0.3
+        names = make_store(tmp_path, n)
+        manager = SessionManager(tmp_path)
+        slow = _SlowRestore(manager, delay)
+        manager._restore = slow
+
+        errors: list[Exception] = []
+
+        def touch(name: str) -> None:
+            try:
+                manager.info(name)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=touch, args=(name,)) for name in names]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+
+        assert errors == []
+        assert all(slow.calls[name] == 1 for name in names)  # never double-loaded
+        assert slow.max_active >= 2  # restores genuinely overlapped
+        # Serial behaviour (restores under the manager lock) would cost at
+        # least n*delay; parallel latched restores finish in ~delay.
+        assert wall < n * delay * 0.7, f"wall {wall:.2f}s vs serial floor {n * delay:.2f}s"
+
+    def test_same_name_storm_loads_once_and_all_wait(self, tmp_path):
+        make_store(tmp_path, 1)
+        manager = SessionManager(tmp_path)
+        slow = _SlowRestore(manager, 0.2)
+        manager._restore = slow
+
+        results: list[int] = []
+        errors: list[Exception] = []
+
+        def touch() -> None:
+            try:
+                results.append(manager.info("s0")["iteration"])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=touch) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert slow.calls == {"s0": 1}  # one restore, seven latch waiters
+        assert len(set(results)) == 1
+
+    def test_failed_restore_propagates_to_waiters_and_is_not_sticky(self, tmp_path):
+        names = make_store(tmp_path, 1)
+        manager = SessionManager(tmp_path)
+        inner = manager._restore
+        fail_once = {"armed": True}
+        entered = threading.Event()
+        release = threading.Event()
+
+        def flaky(name: str):
+            entered.set()
+            release.wait(5.0)
+            if fail_once["armed"]:
+                fail_once["armed"] = False
+                raise ServeError("transient restore failure")
+            return inner(name)
+
+        manager._restore = flaky
+        outcomes: list[object] = []
+
+        def touch() -> None:
+            try:
+                outcomes.append(manager.info(names[0])["iteration"])
+            except ServeError as exc:
+                outcomes.append(exc)
+
+        threads = [threading.Thread(target=touch) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        entered.wait(5.0)
+        release.set()
+        for thread in threads:
+            thread.join()
+
+        # Every stormer saw the one failure — nobody half-loaded a session.
+        assert all(isinstance(o, ServeError) for o in outcomes)
+        # The failure is not sticky: the latch was unregistered, so the
+        # next touch retries the restore and succeeds.
+        assert manager.info(names[0])["iteration"] == 2
+
+    def test_concurrent_restores_share_one_dataset_load(self, tmp_path):
+        names = make_store(tmp_path, 4)
+        manager = SessionManager(tmp_path)
+        threads = [
+            threading.Thread(target=manager.info, args=(name,)) for name in names
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(manager._datasets) == 1  # one cache entry, no duplicates
+
+
+class TestEviction:
+    def test_lru_eviction_over_max_live(self, tmp_path):
+        manager = SessionManager(tmp_path, snapshot_every=1, max_live=2)
+        for i in range(4):
+            manager.create(f"s{i}", **{**CFG, "seed": i})
+        with manager._lock:
+            live_names = set(manager._live)
+        assert len(live_names) <= 2
+        assert "s3" in live_names  # the newest touch survives
+
+    def test_eviction_snapshots_dirty_sessions_first(self, tmp_path):
+        # snapshot_every=100: commits never hit the periodic cadence, so
+        # only eviction itself can have written the pre-evict snapshot.
+        manager = SessionManager(tmp_path, snapshot_every=100, max_live=1)
+        manager.create("s0", **CFG)
+        for _ in range(3):
+            manager.step("s0")
+        manager.create("s1", **CFG)  # pushes s0 over the cap
+        with manager._lock:
+            assert "s0" not in manager._live
+        files = manager._checkpoint_files("s0")
+        assert files and files[-1].name == "step-00000003.ckpt.npz"
+
+    def test_evicted_session_continues_bit_identically(self, tmp_path):
+        manager = SessionManager(tmp_path / "evicting", snapshot_every=100, max_live=1)
+        manager.create("s0", **CFG)
+        for _ in range(3):
+            manager.step("s0")
+        manager.create("other", **CFG)  # evicts s0 (snapshot-first)
+        with manager._lock:
+            assert "s0" not in manager._live
+        for _ in range(3):  # transparent lazy restore, then continue
+            manager.step("s0")
+
+        reference = SessionManager(tmp_path / "reference", snapshot_every=100)
+        reference.create("s0", **CFG)
+        for _ in range(6):
+            reference.step("s0")
+        assert fingerprint(manager, "s0") == fingerprint(reference, "s0")
+
+    def test_pending_session_is_never_evicted(self, tmp_path):
+        manager = SessionManager(tmp_path, snapshot_every=1, max_live=1)
+        manager.create("s0", **CFG)
+        manager.propose("s0")  # open interaction: eviction must refuse
+        manager.create("s1", **CFG)
+        manager.create("s2", **CFG)
+        with manager._lock:
+            # s0 is pinned by its open interaction (cap exceeded rather
+            # than evicted); s1 was the cap's legitimate LRU victim, and
+            # s2 — the hottest session — is never cap-evicted.
+            assert set(manager._live) == {"s0", "s2"}
+        result = manager.submit(
+            "s0", sorted(manager.propose("s0")["primitives"])[0], 1
+        )
+        assert result["outcome"] == "submitted"
+        with manager._lock:
+            manager._live["s0"].last_touch = 0.0  # oldest again
+        assert manager.evict() == ["s0"]  # interaction closed: now evictable
+        with manager._lock:
+            assert set(manager._live) == {"s2"}
+
+    def test_idle_eviction_by_age(self, tmp_path):
+        manager = SessionManager(tmp_path, snapshot_every=1, idle_evict_seconds=60.0)
+        manager.create("s0", **CFG)
+        manager.create("s1", **CFG)
+        manager.step("s1")
+        with manager._lock:
+            idle = manager._live["s0"]
+        idle.last_touch -= 120.0  # age s0 past the idle bound
+        evicted = manager.evict()
+        assert evicted == ["s0"]
+        with manager._lock:
+            assert set(manager._live) == {"s1"}
+        assert manager.info("s0")["iteration"] == 0  # lazy restore still works
+
+    def test_command_racing_eviction_retries_on_fresh_restore(self, tmp_path):
+        """A command holding a stale evicted object must not mutate it."""
+        manager = SessionManager(tmp_path, snapshot_every=1)
+        manager.create("s0", **CFG)
+        stale = manager._get("s0")
+        # Simulate the eviction sweep winning the race between the
+        # command's _get and its lock acquisition.
+        with stale.lock:
+            with manager._lock:
+                del manager._live["s0"]
+        result = manager.step("s0")  # retries via _command, restores fresh
+        assert result["iteration"] == 1
+        with manager._lock:
+            assert manager._live["s0"] is not stale
+        assert stale.session.iteration == 0  # the orphan was never driven
+
+
+class TestListingHammer:
+    def test_sessions_listing_survives_concurrent_mutation(self, tmp_path):
+        """set(self._live) without the lock dies with 'dict changed size'."""
+        manager = SessionManager(tmp_path, snapshot_every=1, max_live=4)
+        manager.create("seed0", **CFG)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def lister() -> None:
+            while not stop.is_set():
+                try:
+                    manager.sessions()
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=lister) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            # Creates + cap-driven evictions churn the live map while the
+            # listers iterate it.
+            for i in range(30):
+                manager.create(f"churn{i}", **CFG)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+
+    def test_concurrent_steps_on_distinct_sessions(self, tmp_path):
+        """Commands on different sessions proceed in parallel, isolated."""
+        manager = SessionManager(tmp_path / "hammer", snapshot_every=2)
+        names = [f"s{i}" for i in range(3)]
+        for i, name in enumerate(names):
+            manager.create(name, **{**CFG, "seed": i})
+        errors: list[Exception] = []
+
+        def drive(name: str) -> None:
+            try:
+                for _ in range(4):
+                    manager.step(name)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(name,)) for name in names]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        reference = SessionManager(tmp_path / "reference", snapshot_every=2)
+        for i, name in enumerate(names):
+            reference.create(name, **{**CFG, "seed": i})
+            for _ in range(4):
+                reference.step(name)
+        for name in names:
+            assert fingerprint(manager, name) == fingerprint(reference, name)
+
+
+class TestEvictionValidation:
+    def test_bad_policy_values_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SessionManager(tmp_path, max_live=0)
+        with pytest.raises(ValueError):
+            SessionManager(tmp_path, idle_evict_seconds=0)
+
+    def test_evict_noop_without_policy(self, tmp_path):
+        manager = SessionManager(tmp_path)
+        manager.create("s0", **CFG)
+        assert manager.evict() == []
+        with manager._lock:
+            assert "s0" in manager._live

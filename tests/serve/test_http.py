@@ -85,6 +85,51 @@ class TestRoutes:
             client._request("POST", "/sessions/s1/unknown-verb")
         assert err.value.status == 404
 
+    def test_keepalive_connection_reused_across_commands(self, service):
+        """HTTP/1.1 + Content-Length: one TCP connection serves many commands."""
+        _, client, _ = service
+        client.create("s1", **CFG)
+        conn, fresh = client._connection()
+        assert not fresh  # create already opened this thread's connection
+        for _ in range(3):
+            client.step("s1")
+        again, fresh = client._connection()
+        assert again is conn and not fresh  # never re-dialed
+        client.close()
+
+    def test_disconnect_mid_response_does_not_kill_handler(self, service, capsys):
+        """A client that vanishes before reading the response must be
+        absorbed — the success-path write raises from the handler thread."""
+        import socket
+        import struct
+        import time
+
+        _, client, _ = service
+        client.create("s1", **CFG)
+        host, port = client._host, client._port
+        for _ in range(3):
+            raw = socket.create_connection((host, port))
+            # RST on close (SO_LINGER 0): the handler's response write
+            # raises ConnectionResetError instead of buffering into a FIN.
+            raw.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            raw.sendall(b"GET /sessions HTTP/1.1\r\nHost: x\r\n\r\n")
+            raw.close()
+        time.sleep(0.3)  # let the handler threads hit the dead sockets
+        assert client.sessions()  # server still answers
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_unread_body_is_drained_for_keepalive(self, service):
+        """An errored POST whose body was never read must not leave the
+        body bytes on the socket to corrupt the next keep-alive request."""
+        _, client, _ = service
+        with pytest.raises(ServeClientError) as err:
+            client._request("POST", "/sessions/ghost/unknown-verb", {"pad": "x" * 256})
+        assert err.value.status == 404
+        # Same connection, next command parses cleanly.
+        assert client.health()["ok"] is True
+
     def test_restart_resumes_over_http(self, service, tmp_path):
         manager, client, root = service
         client.create("s1", **CFG)

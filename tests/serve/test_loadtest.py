@@ -1,0 +1,127 @@
+"""The loadtest harness: record schema gate + an end-to-end multi-client run."""
+
+import copy
+import json
+
+import pytest
+
+from repro.serve.loadtest import LoadTestConfig, check_record, decide, run_loadtest
+
+VALID = {
+    "benchmark": "serve_latency",
+    "schema_version": 1,
+    "quick": False,
+    "machine": {"platform": "x", "python": "3", "cpu_count": 4},
+    "config": {
+        "clients": 4,
+        "sessions_per_client": 2,
+        "iterations": 6,
+        "method": "snorkel",
+        "dataset": "amazon",
+        "scale": "tiny",
+        "seed": 0,
+    },
+    "server": {"spawned": True, "snapshot_every": 4, "max_live": None, "idle_evict_seconds": None},
+    "wall_seconds": 3.2,
+    "sessions_total": 8,
+    "sessions_per_second": 2.5,
+    "commands_total": 64,
+    "commands_per_second": 20.0,
+    "errors": {"total": 0, "by_kind": {}},
+    "latency_ms": {
+        command: {"n": 8, "mean": 5.0, "p50": 4.0, "p99": 9.0, "max": 9.5}
+        for command in ("create", "propose", "submit", "score")
+    },
+    "cold_start": {
+        "sessions": 4,
+        "wall_seconds": 0.5,
+        "sum_touch_seconds": 1.6,
+        "parallel_speedup": 3.2,
+        "errors": 0,
+    },
+}
+
+
+class TestCheckRecord:
+    def test_valid_record_passes(self):
+        assert check_record(copy.deepcopy(VALID)) == []
+
+    def test_missing_keys_reported(self):
+        record = copy.deepcopy(VALID)
+        del record["latency_ms"]
+        del record["errors"]
+        problems = check_record(record)
+        assert any("latency_ms" in p for p in problems)
+        assert any("errors" in p for p in problems)
+
+    def test_single_client_rejected(self):
+        record = copy.deepcopy(VALID)
+        record["config"]["clients"] = 1
+        assert any("clients" in p for p in check_record(record))
+
+    def test_command_errors_fail_the_gate(self):
+        record = copy.deepcopy(VALID)
+        record["errors"] = {"total": 3, "by_kind": {"submit:http_500": 3}}
+        assert any("error" in p for p in check_record(record))
+
+    def test_percentile_ordering_enforced(self):
+        record = copy.deepcopy(VALID)
+        record["latency_ms"]["propose"]["p99"] = 1.0  # below p50
+        assert any("propose" in p for p in check_record(record))
+
+    def test_missing_required_command_reported(self):
+        record = copy.deepcopy(VALID)
+        del record["latency_ms"]["submit"]
+        assert any("submit" in p for p in check_record(record))
+
+    def test_spawned_record_requires_cold_start(self):
+        record = copy.deepcopy(VALID)
+        record["cold_start"] = None
+        assert any("cold_start" in p for p in check_record(record))
+        record["server"]["spawned"] = False  # external target: no cold phase
+        assert check_record(record) == []
+
+    def test_record_is_json_serializable_shape(self):
+        json.dumps(VALID)
+
+
+class TestDecide:
+    def test_deterministic_and_duplicate_free(self):
+        proposal = {"dev_index": 3, "primitives": ["bb", "aaa", "cc"]}
+        used = set()
+        first = decide(proposal, used)
+        assert first == ("aaa", 1 if len("aaa") % 2 == 0 else -1)
+        used.add(first)
+        second = decide(proposal, used)
+        assert second[0] == "bb"
+        assert decide({"dev_index": None, "primitives": []}, set()) is None
+
+    def test_exhausted_primitives_decline(self):
+        proposal = {"dev_index": 0, "primitives": ["ab"]}
+        assert decide(proposal, {("ab", 1)}) is None
+
+
+class TestConfigValidation:
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            LoadTestConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(sessions_per_client=0)
+        with pytest.raises(ValueError):
+            LoadTestConfig(iterations=0)
+
+
+class TestEndToEnd:
+    def test_multi_client_run_produces_valid_record(self, tmp_path):
+        """Two real client threads against a spawned server over real HTTP;
+        the record must pass its own schema gate with zero errors."""
+        config = LoadTestConfig(
+            clients=2, sessions_per_client=1, iterations=3, quick=True
+        )
+        record = run_loadtest(config, log=lambda *_: None)
+        assert check_record(record) == []
+        assert record["sessions_total"] == 2
+        assert record["errors"]["total"] == 0
+        assert record["cold_start"]["sessions"] == 2
+        # propose count = clients * sessions * iterations
+        assert record["latency_ms"]["propose"]["n"] == 6

@@ -216,3 +216,28 @@ class TestDurability:
         files[-1].write_bytes(b"torn garbage")
         fresh = SessionManager(tmp_path, snapshot_every=1, keep_last=3)
         assert fresh.info("s1")["iteration"] == 3  # newest loadable snapshot
+
+    def test_checkpoint_order_survives_padding_rollover(self, tmp_path):
+        """Iterations ≥ 10^8 overflow the 8-digit padding: ``step-100000000``
+        sorts lexicographically *before* ``step-99999999``, so a filename
+        sort would restore the older snapshot as "newest"."""
+        import shutil
+
+        manager = SessionManager(tmp_path, snapshot_every=1, keep_last=3)
+        manager.create("s1", **CFG_A)
+        manager.step("s1")  # snapshot @1
+        manager.step("s1")  # snapshot @2
+        directory = manager.session_dir("s1")
+        # Re-stamp the snapshots as a rollover pair: iteration 99 999 999
+        # holds the @1 state, iteration 100 000 000 the (newer) @2 state.
+        shutil.move(directory / "step-00000001.ckpt.npz", directory / "step-99999999.ckpt.npz")
+        shutil.move(directory / "step-00000002.ckpt.npz", directory / "step-100000000.ckpt.npz")
+        (directory / "step-00000000.ckpt.npz").unlink()
+
+        fresh = SessionManager(tmp_path, snapshot_every=1, keep_last=3)
+        assert [p.name for p in fresh._checkpoint_files("s1")] == [
+            "step-99999999.ckpt.npz",
+            "step-100000000.ckpt.npz",
+        ]
+        # Newest-first restore picks the 10^8 file (the @2 state).
+        assert fresh.info("s1")["iteration"] == 2

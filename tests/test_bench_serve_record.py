@@ -1,0 +1,58 @@
+"""Guards on the committed serve-latency benchmark record.
+
+`BENCH_serve_latency.json` is the serve path's performance ledger: the
+multi-client latency percentiles, the zero-error requirement, and the
+cold-start-storm measurement must not silently disappear when the
+loadtest is regenerated.  The same check runs in the CI serve smoke
+(`repro loadtest --quick`).
+"""
+
+import json
+from pathlib import Path
+
+from repro.serve.loadtest import REQUIRED_COMMANDS, check_record
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_record():
+    return json.loads((REPO_ROOT / "BENCH_serve_latency.json").read_text())
+
+
+class TestCommittedServeBenchRecord:
+    def test_record_passes_schema_check(self):
+        assert check_record(load_record()) == []
+
+    def test_record_is_a_full_run_not_a_smoke(self):
+        record = load_record()
+        assert record["quick"] is False
+        assert record["config"]["clients"] >= 4
+        assert record["sessions_total"] >= 8
+
+    def test_zero_errors_under_concurrency(self):
+        record = load_record()
+        assert record["errors"]["total"] == 0
+        assert record["errors"]["by_kind"] == {}
+
+    def test_latency_aggregates_for_every_lifecycle_command(self):
+        record = load_record()
+        for command in REQUIRED_COMMANDS:
+            entry = record["latency_ms"][command]
+            assert entry["n"] >= record["config"]["clients"]
+            assert 0 < entry["p50"] <= entry["p99"] <= entry["max"]
+
+    def test_throughput_fields_positive(self):
+        record = load_record()
+        assert record["sessions_per_second"] > 0
+        assert record["commands_per_second"] > 0
+
+    def test_cold_start_storm_recorded(self):
+        cold = load_record()["cold_start"]
+        assert cold is not None
+        assert cold["sessions"] >= 4
+        assert cold["errors"] == 0
+        # The summed individual restore latencies must exceed the storm's
+        # wall clock — first touches overlapped instead of serializing.
+        # (The hard K-way parallelism guarantee, independent of machine
+        # speed, is pinned by tests/serve/test_concurrency.py.)
+        assert cold["parallel_speedup"] > 1.0
