@@ -1,0 +1,141 @@
+"""Grow-only buffer of covered feature rows for warm end-model refits.
+
+Under append-only votes, coverage is monotone: once any LF votes on a
+row, the row stays covered forever.  The incremental session exploits
+this by keeping the covered rows' feature vectors in a grow-only buffer
+that appends only *newly* covered rows after each develop commit —
+turning the per-refit ``X[np.flatnonzero(covered)]`` fancy-index copy
+(O(n_covered · d)) into an amortized O(new · d) append (ENGINE.md §7).
+
+Buffer rows are kept in coverage-first-seen order, a pure function of
+the committed LF column sequence, so a session rebuilt from a checkpoint
+reproduces the identical buffer by replaying :meth:`sync` on the same
+coverage history.  :meth:`sync` verifies monotonicity and reports a
+regression (a previously covered row going uncovered — impossible under
+the append-only contract, but asserted rather than assumed) by returning
+``False``; the engine then falls back to the exact slice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def _grown(arr: np.ndarray, used: int, extra: int) -> np.ndarray:
+    """``arr`` with capacity for ``used + extra`` items, doubling to amortize."""
+    needed = used + extra
+    if len(arr) >= needed:
+        return arr
+    capacity = max(needed, 2 * len(arr), 16)
+    out = np.empty((capacity,) + arr.shape[1:], dtype=arr.dtype)
+    out[:used] = arr[:used]
+    return out
+
+
+class CoveredFeatureBuffer:
+    """Incrementally maintained ``X[covered]`` in first-covered order.
+
+    Parameters
+    ----------
+    X:
+        The full training feature matrix (CSR sparse or dense ndarray).
+        Held by reference; newly covered rows are copied out of it on
+        :meth:`sync`.
+    """
+
+    def __init__(self, X) -> None:
+        self._sparse = sp.issparse(X)
+        self._X = X.tocsr() if self._sparse else np.asarray(X)
+        n, d = self._X.shape
+        self._n, self._d = n, d
+        self._seen = np.zeros(n, dtype=bool)
+        self._rows = np.empty(0, dtype=np.intp)
+        self._n_rows = 0
+        if self._sparse:
+            self._data = np.empty(0, dtype=self._X.data.dtype)
+            self._indices = np.empty(0, dtype=self._X.indices.dtype)
+            self._indptr = np.zeros(1, dtype=np.int64)
+            self._nnz = 0
+        else:
+            self._dense = np.empty((0, d), dtype=self._X.dtype)
+
+    @property
+    def size(self) -> int:
+        """Number of buffered (covered) rows."""
+        return self._n_rows
+
+    @property
+    def rows(self) -> np.ndarray:
+        """Buffered row indices into ``X``, in first-covered order."""
+        return self._rows[: self._n_rows]
+
+    def sync(self, covered: np.ndarray) -> bool:
+        """Append rows newly covered since the last sync.
+
+        Returns ``True`` if the buffer is consistent with ``covered``
+        afterwards, ``False`` if coverage regressed (some previously
+        buffered row is no longer covered) — the buffer is then stale and
+        the caller must fall back to the exact slice.
+        """
+        covered = np.asarray(covered, dtype=bool)
+        if covered.shape != (self._n,):
+            return False
+        if np.any(self._seen & ~covered):  # monotonicity violated
+            return False
+        new = np.flatnonzero(covered & ~self._seen)
+        if new.size:
+            self._append(new)
+            self._seen[new] = True
+        return True
+
+    def preload(self, rows: np.ndarray) -> None:
+        """Seed an empty buffer with an explicit row order.
+
+        Checkpoint restore: the first-covered order is part of session
+        state (it fixes minibatch gradient summation order), so a restored
+        buffer must reproduce it exactly rather than rebuild from the
+        coverage mask.
+        """
+        if self._n_rows:
+            raise ValueError("preload requires an empty buffer")
+        rows = np.asarray(rows, dtype=np.intp)
+        if rows.size:
+            self._append(rows)
+            self._seen[rows] = True
+
+    def _append(self, new_rows: np.ndarray) -> None:
+        k = self._n_rows
+        self._rows = _grown(self._rows, k, new_rows.size)
+        self._rows[k : k + new_rows.size] = new_rows
+        if self._sparse:
+            block = self._X[new_rows]
+            self._data = _grown(self._data, self._nnz, block.nnz)
+            self._indices = _grown(self._indices, self._nnz, block.nnz)
+            self._data[self._nnz : self._nnz + block.nnz] = block.data
+            self._indices[self._nnz : self._nnz + block.nnz] = block.indices
+            self._indptr = _grown(self._indptr, k + 1, new_rows.size)
+            self._indptr[k + 1 : k + 1 + new_rows.size] = (
+                block.indptr[1:].astype(np.int64) + self._nnz
+            )
+            self._nnz += block.nnz
+        else:
+            self._dense = _grown(self._dense, k, new_rows.size)
+            self._dense[k : k + new_rows.size] = self._X[new_rows]
+        self._n_rows = k + new_rows.size
+
+    def matrix(self):
+        """The buffered feature rows as a ``(size, d)`` matrix.
+
+        Sparse buffers return a zero-copy CSR view over the internal
+        arrays; treat it as read-only and do not hold it across the next
+        :meth:`sync`.
+        """
+        k = self._n_rows
+        if self._sparse:
+            return sp.csr_matrix(
+                (self._data[: self._nnz], self._indices[: self._nnz], self._indptr[: k + 1]),
+                shape=(k, self._d),
+                copy=False,
+            )
+        return self._dense[:k]

@@ -64,9 +64,24 @@ import time
 import numpy as np
 
 from repro.core.convention import VoteConvention
+from repro.core.covered import CoveredFeatureBuffer
 from repro.core.lineage import LineageStore
 from repro.core.protocol import PendingInteraction, ProtocolError, SimulatedDriver
 from repro.labelmodel.matrix import VoteMatrix, column_nonzero_rows
+from repro.utils.rng import stable_hash_seed
+
+#: Accepted values for the engine's ``warm_end_mode`` knob.
+WARM_END_MODES = ("minibatch", "lbfgs")
+
+#: Saturation point of the covered-row gate on warm minibatch end refits
+#: (``_fit_end_model``): the gate tracks ``warm_min_train`` below this
+#: value but never demands more covered rows than this.  Deliberately
+#: decoupled upward: ``warm_min_train`` decides whether a *session* is
+#: big enough for warm paths at all, and raising that floor must not
+#: silently push out the point where the end model switches optimizers —
+#: past ~a thousand covered rows the capped L-BFGS is already the
+#: expensive path the minibatch continuation exists to replace.
+MINIBATCH_MIN_COVERED = 1000
 
 #: The IDP phases attributed by the engine's built-in timing bookkeeping.
 PHASES = ("select", "develop", "label_model", "end_model")
@@ -122,11 +137,16 @@ class IncrementalSessionEngine:
         warm_after: int = 8,
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
-        warm_min_train: int = 1000,
+        warm_min_train: int = 2000,
         lazy_proxy: bool = True,
+        warm_end_mode: str = "minibatch",
     ) -> None:
         if tune_every < 1:
             raise ValueError(f"tune_every must be >= 1, got {tune_every}")
+        if warm_end_mode not in WARM_END_MODES:
+            raise ValueError(
+                f"warm_end_mode must be one of {WARM_END_MODES}, got {warm_end_mode!r}"
+            )
         if full_refit_every < 1:
             raise ValueError(f"full_refit_every must be >= 1, got {full_refit_every}")
         if warm_after < 0:
@@ -156,10 +176,22 @@ class IncrementalSessionEngine:
         self.warm_end_iter = warm_end_iter
         self.warm_min_train = warm_min_train
         self.lazy_proxy = lazy_proxy
+        self.warm_end_mode = warm_end_mode
         self._end_model_accepts_max_iter = (
             "max_iter" in inspect.signature(end_model.fit).parameters
         )
+        self._end_model_accepts_minibatch = hasattr(end_model, "fit_minibatch")
+        self._end_model_snapshotable = hasattr(end_model, "state_dict") and hasattr(
+            end_model, "load_state_dict"
+        )
         self._lm_accepts_stats: bool | None = None  # resolved on first refit
+        # Warm end-model plumbing (ENGINE.md §7): the grow-only covered
+        # feature buffer, the minibatch shuffle seed stream, and the
+        # last-backstop coefficient anchor that keeps backstop fits
+        # path-independent of the warm mode.
+        self._covered_buf: CoveredFeatureBuffer | None = None
+        self._end_mb_rng: np.random.Generator | None = None
+        self._end_anchor_: dict | None = None
 
         self.lineage = LineageStore(self.dataset)
         self.iteration = 0
@@ -204,6 +236,9 @@ class IncrementalSessionEngine:
     @L_train.setter
     def L_train(self, L: np.ndarray) -> None:
         self._L_train = VoteMatrix.from_dense(L, abstain=self.abstain_value)
+        # A wholesale matrix replacement voids the append-only coverage
+        # history the buffer was built from; it is rebuilt lazily.
+        self._covered_buf = None
 
     @property
     def L_valid(self) -> np.ndarray:
@@ -390,20 +425,60 @@ class IncrementalSessionEngine:
 
         Cold refits happen (a) always, when warm-starting is off; (b) on
         the ``full_refit_every`` cadence — the correctness backstop; (c)
-        while fewer than ``warm_after`` LFs exist; and (d) whenever the
-        training split is smaller than ``warm_min_train``.  The low-LF
-        regime is where the label model's likelihood is most multimodal (a
-        one-sided early LF set can collapse the posterior onto one class,
-        and a warm continuation would stay stuck in that mode), and it is
-        also where from-scratch fits are cheapest — so incrementality buys
-        nothing there and risks much.  The same cost argument gates on the
-        training size: every refit cost scales with ``n_train``, so below
-        ``warm_min_train`` the exact path is already fast and the engine
-        keeps its from-scratch semantics outright.
+        while fewer than ``warm_after`` LFs exist *and* every LF votes the
+        same class; and (d) whenever the training split is smaller than
+        ``warm_min_train``.  The low-LF regime is where the label model's
+        likelihood is most multimodal — but the failure mode the guard
+        exists for is specific: a *one-sided* LF coalition can collapse
+        the posterior onto one class (the label-swap mode discussed in
+        :mod:`repro.labelmodel.metal`), and a warm continuation seeded
+        from that posterior would stay stuck there.  Once the developed
+        LFs span at least two classes the swap mode is penalized by the
+        fire-propensity evidence and the majority-vote-seeded balance
+        estimate, so warm continuation is safe — and at large ``n_train``
+        those early full-``n`` cold EM runs are the dominant label-model
+        cost of an incremental session, so keying the guard on the actual
+        risk condition instead of a fixed LF count is a real throughput
+        lever.  The size gate is a cost argument: every refit cost scales
+        with ``n_train``, so below ``warm_min_train`` the exact path is
+        already fast and the engine keeps its from-scratch semantics
+        outright.
         """
         if self._backstop_due():
             return True
-        return len(self.lineage) <= self.warm_after
+        if len(self.lineage) > self.warm_after:
+            return False
+        return self._lf_set_one_sided() or self._newest_lf_opened_class()
+
+    def _lf_set_one_sided(self) -> bool:
+        """Whether every developed LF votes the same class.
+
+        The degenerate label-model optimum that motivates the low-LF cold
+        guard needs a one-sided coalition; with two classes represented the
+        propensity terms make the swap mode strictly worse.  Selector
+        warm-up phases (e.g. :class:`~repro.core.seu.SEUSelector`) keep
+        the LF set two-sided from the second iteration precisely to
+        protect the label model, so in practice this clears the guard
+        almost immediately.
+        """
+        return len({int(lf.label) for lf in self.lineage.lfs}) < 2
+
+    def _newest_lf_opened_class(self) -> bool:
+        """Whether the most recent LF is its class's only representative.
+
+        The first LF of a class re-opens the multimodality hazard for that
+        class's parameters: the previous refit's posterior has never
+        placed mass there, so a warm continuation seeded from it can
+        settle far from the from-scratch optimum (observed as a drift
+        spike exactly at class-introduction iterations).  A pure function
+        of the lineage, so the warm cadence stays checkpoint/resume
+        deterministic without extra persisted state.
+        """
+        lfs = self.lineage.lfs
+        if not lfs:
+            return True
+        newest = lfs[-1]
+        return all(int(lf.label) != int(newest.label) for lf in lfs[:-1])
 
     def _backstop_due(self) -> bool:
         """The exact-semantics opt-outs plus the periodic backstop cadence.
@@ -488,17 +563,134 @@ class IncrementalSessionEngine:
         else:
             covered = self._L_train.coverage_mask()
         if covered.any():
-            X = self.dataset.train.X
-            X_covered = X[np.flatnonzero(covered)]
-            targets = self.soft_labels[covered]
-            if self._end_uncapped_ or not self._end_model_accepts_max_iter:
-                self.end_model.fit(X_covered, targets)
-            else:
-                self.end_model.fit(X_covered, targets, max_iter=self.warm_end_iter)
+            self._fit_end_model(covered, refined)
             self._end_model_fitted = True
             self._update_proxy()
         self.phase_timings["end_model"] += time.perf_counter() - t1
         self._selector_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # end-model refits (ENGINE.md §7)
+    # ------------------------------------------------------------------ #
+    def _warm_cadence_active(self) -> bool:
+        """Whether warm end fits actually happen between backstops.
+
+        The complement of the always-backstop opt-outs in
+        :meth:`_backstop_due`; the backstop anchor is only maintained
+        under this cadence, so the exact-semantics configurations
+        (``warm_start=False`` / ``full_refit_every=1`` / small train
+        split) keep their historical fit sequence untouched.
+        """
+        return (
+            self.warm_start
+            and self.full_refit_every > 1
+            and self.dataset.train.n >= self.warm_min_train
+        )
+
+    def _end_minibatch_rng(self) -> np.random.Generator:
+        """The minibatch shuffle seed stream (lazily spawned once).
+
+        A child spawned off the session RNG's seed sequence: adopting it
+        never advances the parent stream, so selector/user draws stay
+        bit-identical between the ``minibatch`` and ``lbfgs`` modes.  It
+        only seeds the end model's *first* ``fit_minibatch`` call — the
+        model owns (and checkpoints) the stream state from then on — and
+        spawning is deterministic per session seed, so a restored session
+        re-derives the identical stream.
+        """
+        if self._end_mb_rng is None:
+            if isinstance(self.rng, np.random.Generator) and hasattr(self.rng, "spawn"):
+                self._end_mb_rng = self.rng.spawn(1)[0]
+            else:
+                self._end_mb_rng = np.random.default_rng(
+                    stable_hash_seed("warm_end_minibatch")
+                )
+        return self._end_mb_rng
+
+    def _covered_training_set(self, covered: np.ndarray):
+        """``(X_covered, targets)`` for a warm minibatch refit.
+
+        Served from the grow-only :class:`CoveredFeatureBuffer` (amortized
+        O(new·d) per refit); falls back to the exact fancy-index slice if
+        the buffer reports a coverage regression — impossible under the
+        append-only vote contract, but asserted rather than assumed.
+        """
+        X = self.dataset.train.X
+        if self._covered_buf is None:
+            self._covered_buf = CoveredFeatureBuffer(X)
+        if self._covered_buf.sync(covered):
+            return self._covered_buf.matrix(), self.soft_labels[self._covered_buf.rows]
+        self._covered_buf = None  # stale — rebuilt lazily on the next sync
+        idx = np.flatnonzero(covered)
+        return X[idx], self.soft_labels[idx]
+
+    def _restore_end_anchor(self) -> None:
+        """Reset the end model to the last backstop's state (ENGINE.md §7).
+
+        Restoring the anchor before every uncapped fit makes the backstop
+        sequence a pure function of the backstop inputs — each full
+        L-BFGS fit warm-starts from the previous backstop's solution, not
+        from wherever the warm path drifted — so backstop label/end state
+        is bit-identical across ``warm_end_mode`` settings.  The minibatch
+        shuffle stream is carried over: it advances monotonically with
+        the session, never rewinding to the anchor's position.
+        """
+        if self._end_anchor_ is None:
+            return
+        keep_rng = getattr(self.end_model, "mb_rng_state_", None)
+        self.end_model.load_state_dict(self._end_anchor_)
+        if keep_rng is not None:
+            self.end_model.mb_rng_state_ = keep_rng
+
+    def _fit_end_model(self, covered: np.ndarray, refined: bool) -> None:
+        """Route one end-model refit: backstop, warm-capped, or minibatch.
+
+        Uncapped (backstop) fits always use the exact ascending-order
+        fancy-index slice, so their inputs are bit-for-bit those of the
+        from-scratch path.  Warm refits in ``minibatch`` mode stream the
+        covered buffer through ``fit_minibatch``; refined (contextualized)
+        coverage is not monotone, so those sessions keep the exact slice
+        as input even for minibatch fits.
+
+        Like warm starts themselves, stochastic refits are a *scale*
+        feature: on a small covered set a "minibatch" is just full-batch
+        gradient descent — no cheaper than the capped L-BFGS it replaces
+        and lower-fidelity — so the covered-row gate tracks
+        ``warm_min_train``, saturating at ``MINIBATCH_MIN_COVERED``
+        (raising the session floor must not push the optimizer switch
+        point out with it).
+        """
+        use_minibatch = (
+            self.warm_end_mode == "minibatch"
+            and not self._end_uncapped_
+            and self._end_model_fitted
+            and self._end_model_accepts_minibatch
+            and int(covered.sum()) >= max(min(self.warm_min_train, MINIBATCH_MIN_COVERED), 1)
+        )
+        if use_minibatch:
+            if refined:
+                idx = np.flatnonzero(covered)
+                X_covered, targets = self.dataset.train.X[idx], self.soft_labels[idx]
+            else:
+                X_covered, targets = self._covered_training_set(covered)
+            self.end_model.fit_minibatch(X_covered, targets, rng=self._end_minibatch_rng())
+            return
+        idx = np.flatnonzero(covered)
+        X_covered = self.dataset.train.X[idx]
+        targets = self.soft_labels[covered]
+        if self._end_uncapped_ or not self._end_model_accepts_max_iter:
+            anchored = (
+                self._end_uncapped_
+                and self._warm_cadence_active()
+                and self._end_model_snapshotable
+            )
+            if anchored:
+                self._restore_end_anchor()
+            self.end_model.fit(X_covered, targets)
+            if anchored:
+                self._end_anchor_ = self.end_model.state_dict()
+        else:
+            self.end_model.fit(X_covered, targets, max_iter=self.warm_end_iter)
 
     def _effective_label_matrix(self) -> np.ndarray:
         if self.contextualizer is None:
@@ -703,6 +895,10 @@ class IncrementalSessionEngine:
                 else self._selection_model_.state_dict()
             ),
             "end_model": self.end_model.state_dict(),
+            "end_anchor": self._end_anchor_,
+            "covered_rows": (
+                None if self._covered_buf is None else self._covered_buf.rows.copy()
+            ),
         }
 
     def load_state_dict(self, state: dict) -> "IncrementalSessionEngine":
@@ -810,6 +1006,19 @@ class IncrementalSessionEngine:
             state.get("selection_model"), self.label_model_factory
         )
         self.end_model.load_state_dict(state["end_model"])
+        anchor = state.get("end_anchor")
+        self._end_anchor_ = anchor if anchor else None
+        covered_rows = state.get("covered_rows")
+        if covered_rows is None:
+            self._covered_buf = None
+        else:
+            # The buffer's row order is first-covered order, which a lazy
+            # rebuild from the current coverage mask would not reproduce —
+            # restore the exact recorded order so minibatch gradient sums
+            # stay bit-identical to the uninterrupted session.
+            buf = CoveredFeatureBuffer(self.dataset.train.X)
+            buf.preload(np.asarray(covered_rows, dtype=np.intp))
+            self._covered_buf = buf
 
         # The refit-scoped cache holds memoized pure functions of the
         # restored state; dropping it is bit-identical (entries are

@@ -155,6 +155,13 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
         restores the eager refresh every refit (the original behaviour).
         Ignored when ``calibrate_proxy=True`` (calibration is inherently
         eager).
+    warm_end_mode:
+        How warm (between-backstop) end-model refits run: ``"minibatch"``
+        streams them through the end model's Adam continuation
+        (:meth:`~repro.endmodel.logistic.SoftLabelLogisticRegression.fit_minibatch`)
+        fed by the engine's grow-only covered-feature buffer; ``"lbfgs"``
+        is the defeat switch keeping the capped warm L-BFGS fit.  Cold
+        backstops are bit-identical full fits either way (ENGINE.md §7).
     seed:
         Seed for all session randomness.
     """
@@ -183,8 +190,9 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
         warm_after: int = 8,
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
-        warm_min_train: int = 1000,
+        warm_min_train: int = 2000,
         lazy_proxy: bool = True,
+        warm_end_mode: str = "minibatch",
         seed=None,
     ) -> None:
         InteractiveMethod.__init__(self, dataset, seed)
@@ -217,6 +225,7 @@ class DataProgrammingSession(IncrementalSessionEngine, InteractiveMethod):
             warm_end_iter=warm_end_iter,
             warm_min_train=warm_min_train,
             lazy_proxy=lazy_proxy,
+            warm_end_mode=warm_end_mode,
         )
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,7 @@ class as ``MCSEUSelector``.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.selection import BaseSessionState, DevDataSelector
 from repro.core.user_model import UserModel, make_user_model
@@ -128,17 +129,42 @@ class SEUSelector(DevDataSelector):
             B, state.entropies, convention.signed_agreement(proxy)
         )  # (|Z|, K)
         priors = convention.class_prior_vector(state.dataset)
-        expected = np.zeros(state.n_train)
-        for j in range(len(convention.labels)):
-            numerator = np.asarray(B @ (weights[:, j] * utils[:, j])).ravel()
-            denominator = np.asarray(B @ weights[:, j]).ravel()
-            contribution = np.divide(
-                numerator,
-                denominator,
-                out=np.zeros_like(numerator),
-                where=denominator > 1e-12,
+        K = len(convention.labels)
+        if sp.issparse(B):
+            # One sparse×dense product per table instead of K sparse
+            # mat-vecs: CSR accumulates each output element over the same
+            # nonzeros in the same order either way, so the numbers are
+            # bit-identical to the historical per-column loop (pinned by
+            # the equivalence tests) while amortizing the row traversal
+            # across all K label columns.
+            numerators = np.asarray(B @ (weights * utils))  # (n, K)
+            denominators = np.asarray(B @ weights)  # (n, K)
+            contributions = np.divide(
+                numerators,
+                denominators,
+                out=np.zeros_like(numerators),
+                where=denominators > 1e-12,
             )
-            expected += priors[j] * contribution
+            expected = np.zeros(state.n_train)
+            # The K-reduction stays an explicit loop: a BLAS mat-vec here
+            # could fuse multiply-adds and drift from the loop's bits.
+            for j in range(K):
+                expected += priors[j] * contributions[:, j]
+        else:
+            # Dense incidence matrices would route the fused product
+            # through GEMM, whose accumulation order differs from the
+            # per-column GEMV — keep the exact historical arithmetic.
+            expected = np.zeros(state.n_train)
+            for j in range(K):
+                numerator = np.asarray(B @ (weights[:, j] * utils[:, j])).ravel()
+                denominator = np.asarray(B @ weights[:, j]).ravel()
+                contribution = np.divide(
+                    numerator,
+                    denominator,
+                    out=np.zeros_like(numerator),
+                    where=denominator > 1e-12,
+                )
+                expected += priors[j] * contribution
         if cache is not None:
             cache[cache_key] = expected
         return expected

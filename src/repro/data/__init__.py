@@ -11,6 +11,7 @@ from repro.data.dataset import (
     featurize_corpus,
     train_valid_test_split,
 )
+from repro.data.growth import grow_corpus
 from repro.data.recipes import (
     DATASET_NAMES,
     load_dataset,
@@ -34,6 +35,7 @@ __all__ = [
     "Split",
     "featurize_corpus",
     "train_valid_test_split",
+    "grow_corpus",
     "DATASET_NAMES",
     "load_dataset",
     "make_amazon",

@@ -21,6 +21,7 @@ from collections.abc import Callable
 from repro.data import wordbanks as wb
 from repro.data.minting import expand_bank
 from repro.data.dataset import FeaturizedDataset, featurize_corpus
+from repro.data.growth import grow_corpus
 from repro.data.synthetic import ClusterSpec, CorpusGenerator, CorpusSpec
 from repro.utils.rng import stable_hash_seed
 
@@ -135,7 +136,12 @@ def _expanded_globals(
 
 
 def _build(
-    spec: CorpusSpec, scale: str, seed, metric: str, n_docs: int | None = None
+    spec: CorpusSpec,
+    scale: str,
+    seed,
+    metric: str,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
@@ -143,7 +149,13 @@ def _build(
         n_docs = SCALE_SIZES[spec.name][scale]
     corpus_seed = stable_hash_seed(spec.name, "corpus", seed)
     split_seed = stable_hash_seed(spec.name, "split", seed)
-    corpus = CorpusGenerator(spec).generate(n_docs, seed=corpus_seed)
+    if grow_from is not None and grow_from < n_docs:
+        base = CorpusGenerator(spec).generate(grow_from, seed=corpus_seed)
+        corpus = grow_corpus(
+            base, n_docs, seed=stable_hash_seed(spec.name, "grow", seed)
+        )
+    else:
+        corpus = CorpusGenerator(spec).generate(n_docs, seed=corpus_seed)
     min_df = 3 if scale == "paper" else 2
     return featurize_corpus(corpus, metric=metric, min_df=min_df, seed=split_seed)
 
@@ -152,7 +164,10 @@ def _build(
 # Sentiment classification
 # --------------------------------------------------------------------- #
 def make_amazon(
-    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """Amazon product reviews: 4 product categories, balanced sentiment."""
     targets = BANK_TARGETS["long"]
@@ -177,11 +192,14 @@ def make_amazon(
         local_reliability=0.85,
         local_leak=0.30,
     )
-    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs, grow_from=grow_from)
 
 
 def make_yelp(
-    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """Yelp business reviews: 3 business categories, balanced sentiment."""
     targets = BANK_TARGETS["long"]
@@ -206,11 +224,14 @@ def make_yelp(
         local_reliability=0.85,
         local_leak=0.30,
     )
-    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs, grow_from=grow_from)
 
 
 def make_imdb(
-    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """IMDB movie reviews: 2 genre clusters, long documents."""
     targets = BANK_TARGETS["long"]
@@ -235,14 +256,17 @@ def make_imdb(
         local_reliability=0.85,
         local_leak=0.30,
     )
-    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs, grow_from=grow_from)
 
 
 # --------------------------------------------------------------------- #
 # Spam classification
 # --------------------------------------------------------------------- #
 def make_youtube(
-    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """YouTube comment spam: short comments, roughly balanced classes."""
     targets = BANK_TARGETS["short"]
@@ -266,11 +290,14 @@ def make_youtube(
         p_local=0.18,
         global_reliability=0.85,
     )
-    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs, grow_from=grow_from)
 
 
 def make_sms(
-    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """SMS spam: heavily imbalanced (~13% spam), evaluated with F1."""
     targets = BANK_TARGETS["short"]
@@ -308,14 +335,17 @@ def make_sms(
         # cue worse than a coin flip.
         local_leak=0.02,
     )
-    return _build(spec, scale, seed, metric="f1", n_docs=n_docs)
+    return _build(spec, scale, seed, metric="f1", n_docs=n_docs, grow_from=grow_from)
 
 
 # --------------------------------------------------------------------- #
 # Visual relation classification
 # --------------------------------------------------------------------- #
 def make_vg(
-    scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """Visual Genome "riding" (+1) vs "carrying" (-1) relation classification.
 
@@ -350,7 +380,7 @@ def make_vg(
         p_global=0.22,
         p_local=0.18,
     )
-    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs)
+    return _build(spec, scale, seed, metric="accuracy", n_docs=n_docs, grow_from=grow_from)
 
 
 #: Registry used by :func:`load_dataset` and the benchmark harness.
@@ -367,7 +397,11 @@ DATASET_NAMES = tuple(DATASET_BUILDERS)
 
 
 def load_dataset(
-    name: str, scale: str = "bench", seed: int = 0, n_docs: int | None = None
+    name: str,
+    scale: str = "bench",
+    seed: int = 0,
+    n_docs: int | None = None,
+    grow_from: int | None = None,
 ) -> FeaturizedDataset:
     """Build a named benchmark dataset.
 
@@ -383,6 +417,13 @@ def load_dataset(
         Optional total corpus size overriding the scale's default — used
         by the perf benchmarks to sweep dataset sizes beyond the three
         named scales.
+    grow_from:
+        Optional base corpus size for sampled growth: generate this many
+        documents with the full token-level generator, then grow to
+        ``n_docs`` by document bootstrap (:func:`repro.data.growth.
+        grow_corpus`).  Ignored unless it is smaller than the target size.
+        This is the perf-bench path to 500k+ rows; quality benchmarks
+        should leave it unset.
     """
     try:
         builder = DATASET_BUILDERS[name]
@@ -390,4 +431,4 @@ def load_dataset(
         raise ValueError(
             f"unknown dataset {name!r}; choose from {sorted(DATASET_BUILDERS)}"
         ) from None
-    return builder(scale=scale, seed=seed, n_docs=n_docs)
+    return builder(scale=scale, seed=seed, n_docs=n_docs, grow_from=grow_from)

@@ -1,0 +1,107 @@
+"""Shared minibatch-continuation (Adam) machinery for the end models.
+
+Both soft-label end models expose ``fit_minibatch`` — a warm stochastic
+continuation of their convex objective used by the incremental session
+between cold backstops (ENGINE.md §7).  The optimizer is plain Adam over
+the same analytic per-example gradients the L-BFGS path uses, so the two
+paths descend the identical loss surface; only the step rule differs.
+
+Everything that makes a minibatch pass non-deterministic lives here and
+is owned *by the model* as fitted state (``mb_m_``/``mb_v_``/``mb_t_``
+moments and step count, ``mb_rng_state_`` shuffle-stream state), so a
+checkpoint round-trip resumes the exact trajectory: the first
+``fit_minibatch`` call adopts the caller-provided seed stream, and every
+later call resumes from the stored bit-generator state, ignoring the
+argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Adam hyperparameters (the standard defaults).
+ADAM_BETA1 = 0.9
+ADAM_BETA2 = 0.999
+ADAM_EPS = 1e-8
+
+#: Adam steps per ``fit_minibatch`` call when ``epochs`` is left on auto:
+#: at small n (a single batch) the pass repeats until the update count is
+#: useful, and at large n the pass stops mid-epoch once the budget is
+#: spent — either way the per-call cost is O(steps × batch), *flat* in
+#: the training size, which is what keeps warm refit cost from scaling
+#: with n between backstops.
+MIN_STEPS_PER_CALL = 16
+
+
+def resolve_step_budget(epochs: int | None, n: int, batch_size: int, lr: float) -> int:
+    """Validate the minibatch arguments and resolve the Adam step budget.
+
+    Explicit ``epochs`` means whole shuffled passes — ``epochs`` ×
+    ``ceil(n / batch_size)`` steps, the historical semantics.  Auto mode
+    (``epochs=None``) runs exactly :data:`MIN_STEPS_PER_CALL` steps,
+    drawing fresh permutations as needed and abandoning the remainder of
+    the final epoch: warm refits track the shifting soft targets with a
+    useful number of updates per call without ever paying a full O(n)
+    pass on a large covered set.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if lr <= 0:
+        raise ValueError(f"lr must be > 0, got {lr}")
+    if epochs is None:
+        return MIN_STEPS_PER_CALL
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    return epochs * max(1, -(-n // batch_size))
+
+
+def resume_minibatch_rng(model, rng) -> np.random.Generator:
+    """The model's private shuffle generator, resumed from fitted state.
+
+    On the first call the stream is *adopted* from ``rng`` (a seed, a
+    ``Generator``, or ``None``) by copying its current bit-generator
+    state — the caller's stream is never advanced, so an engine handing
+    over a spawned child keeps its own draw sequence untouched.  Every
+    subsequent call resumes from ``model.mb_rng_state_`` regardless of
+    the argument, which is what makes restored checkpoints continue the
+    identical shuffle sequence.
+    """
+    if model.mb_rng_state_ is None:
+        seed_gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        model.mb_rng_state_ = seed_gen.bit_generator.state
+    gen = np.random.default_rng()
+    gen.bit_generator.state = model.mb_rng_state_
+    return gen
+
+
+def adam_step(model, theta: np.ndarray, grad: np.ndarray, lr: float) -> None:
+    """One in-place Adam update of ``theta``; moments live on the model.
+
+    The moment buffers are (re)initialized whenever their shape stops
+    matching ``theta`` — a dimensionality change means a new feature
+    space, where stale moments are meaningless.
+    """
+    if model.mb_m_ is None or model.mb_m_.shape != theta.shape:
+        model.mb_m_ = np.zeros_like(theta)
+        model.mb_v_ = np.zeros_like(theta)
+        model.mb_t_ = 0
+    model.mb_t_ += 1
+    m, v = model.mb_m_, model.mb_v_
+    m += (1.0 - ADAM_BETA1) * (grad - m)
+    v += (1.0 - ADAM_BETA2) * (grad * grad - v)
+    mhat = m / (1.0 - ADAM_BETA1**model.mb_t_)
+    vhat = v / (1.0 - ADAM_BETA2**model.mb_t_)
+    theta -= lr * mhat / (np.sqrt(vhat) + ADAM_EPS)
+
+
+def reset_adam_moments(model) -> None:
+    """Drop the moment estimates (a full fit moved the parameters far).
+
+    The shuffle-stream state is deliberately kept: the minibatch RNG is a
+    single session-long stream, not a per-fit one.
+    """
+    model.mb_m_ = None
+    model.mb_v_ = None
+    model.mb_t_ = 0
+
+

@@ -13,6 +13,13 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.optimize import minimize
 
+from repro.endmodel.logistic import LBFGS_HISTORY
+from repro.endmodel.minibatch import (
+    adam_step,
+    reset_adam_moments,
+    resolve_step_budget,
+    resume_minibatch_rng,
+)
 from repro.utils.state import FittedStateMixin
 
 
@@ -20,6 +27,33 @@ def _softmax(scores: np.ndarray) -> np.ndarray:
     shifted = scores - scores.max(axis=1, keepdims=True)
     exp = np.exp(shifted)
     return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _canonical_targets(soft_labels, n: int, K: int) -> np.ndarray:
+    """Row-stochastic ``(n, K)`` targets; 1-D hard labels are one-hot encoded."""
+    Q = np.asarray(soft_labels, dtype=float)
+    if Q.ndim == 1:
+        y = Q.astype(int)
+        if np.any(y < 0) or np.any(y >= K):
+            raise ValueError(f"hard labels must lie in [0, {K}), got values outside")
+        Q = np.zeros((n, K))
+        Q[np.arange(n), y] = 1.0
+    if Q.shape != (n, K):
+        raise ValueError(f"soft labels must have shape ({n}, {K}), got {Q.shape}")
+    if np.any(Q < -1e-9) or not np.allclose(Q.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError("soft labels must be row-stochastic")
+    return Q
+
+
+def _canonical_weights(sample_weight, n: int) -> np.ndarray:
+    if sample_weight is None:
+        return np.ones(n)
+    weight = np.asarray(sample_weight, dtype=float).ravel()
+    if len(weight) != n:
+        raise ValueError(f"got {len(weight)} sample weights for {n} rows")
+    if np.any(weight < 0):
+        raise ValueError("sample weights must be non-negative")
+    return weight
 
 
 class SoftLabelSoftmaxRegression(FittedStateMixin):
@@ -47,9 +81,24 @@ class SoftLabelSoftmaxRegression(FittedStateMixin):
     >>> clf = SoftLabelSoftmaxRegression(n_classes=2).fit(X, Q)
     >>> int(clf.predict(np.array([[5.0]]))[0])
     1
+
+    Besides the full L-BFGS :meth:`fit`, the model offers
+    :meth:`fit_minibatch` — a warm Adam continuation over the same
+    analytic gradient, used by the incremental session between cold
+    backstops (ENGINE.md §7).  Its optimizer state is part of
+    ``_FITTED_ATTRS`` so a checkpointed session resumes the exact same
+    minibatch trajectory.
     """
 
-    _FITTED_ATTRS = ("coef_", "intercept_", "n_features_")
+    _FITTED_ATTRS = (
+        "coef_",
+        "intercept_",
+        "n_features_",
+        "mb_m_",
+        "mb_v_",
+        "mb_t_",
+        "mb_rng_state_",
+    )
 
     def __init__(
         self,
@@ -73,6 +122,11 @@ class SoftLabelSoftmaxRegression(FittedStateMixin):
         self.coef_: np.ndarray | None = None  # (d, K)
         self.intercept_: np.ndarray | None = None  # (K,)
         self.n_features_: int | None = None
+        # Minibatch-continuation (Adam) state — see fit_minibatch.
+        self.mb_m_: np.ndarray | None = None
+        self.mb_v_: np.ndarray | None = None
+        self.mb_t_: int = 0
+        self.mb_rng_state_: dict | None = None
 
     def fit(
         self,
@@ -91,25 +145,8 @@ class SoftLabelSoftmaxRegression(FittedStateMixin):
         X = sp.csr_matrix(X) if not sp.issparse(X) else X.tocsr()
         n, d = X.shape
         K = self.n_classes
-        Q = np.asarray(soft_labels, dtype=float)
-        if Q.ndim == 1:
-            y = Q.astype(int)
-            if np.any(y < 0) or np.any(y >= K):
-                raise ValueError(f"hard labels must lie in [0, {K}), got values outside")
-            Q = np.zeros((n, K))
-            Q[np.arange(n), y] = 1.0
-        if Q.shape != (n, K):
-            raise ValueError(f"soft labels must have shape ({n}, {K}), got {Q.shape}")
-        if np.any(Q < -1e-9) or not np.allclose(Q.sum(axis=1), 1.0, atol=1e-6):
-            raise ValueError("soft labels must be row-stochastic")
-        if sample_weight is None:
-            weight = np.ones(n)
-        else:
-            weight = np.asarray(sample_weight, dtype=float).ravel()
-            if len(weight) != n:
-                raise ValueError(f"got {len(weight)} sample weights for {n} rows")
-            if np.any(weight < 0):
-                raise ValueError("sample weights must be non-negative")
+        Q = _canonical_targets(soft_labels, n, K)
+        weight = _canonical_weights(sample_weight, n)
 
         theta0 = np.zeros((d + 1) * K)
         if self.warm_start and self.coef_ is not None and self.n_features_ == d:
@@ -137,11 +174,71 @@ class SoftLabelSoftmaxRegression(FittedStateMixin):
             theta0,
             jac=True,
             method="L-BFGS-B",
-            options={"maxiter": maxiter, "gtol": self.tol},
+            options={"maxiter": maxiter, "gtol": self.tol, "maxcor": LBFGS_HISTORY},
         )
         self.coef_ = result.x[: d * K].reshape(d, K)
         self.intercept_ = result.x[d * K :]
         self.n_features_ = d
+        reset_adam_moments(self)
+        return self
+
+    def fit_minibatch(
+        self,
+        X,
+        soft_labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        epochs: int | None = None,
+        batch_size: int = 2048,
+        lr: float = 0.05,
+        rng=None,
+    ) -> "SoftLabelSoftmaxRegression":
+        """Warm Adam continuation over the same expected-CE objective.
+
+        The K-class mirror of the binary end model's
+        :meth:`~repro.endmodel.logistic.SoftLabelLogisticRegression.fit_minibatch`:
+        shuffled minibatch Adam from the current coefficients over the
+        per-example mean of :meth:`fit`'s analytic gradient (L2 scaled by
+        1/n), with ``epochs=None`` running the same flat
+        ``MIN_STEPS_PER_CALL`` step budget as the binary model
+        (:func:`repro.endmodel.minibatch.resolve_step_budget`).
+        Deterministic given the adopted RNG stream; falls back to a full
+        :meth:`fit` when there is no compatible fitted state.
+        """
+        X = sp.csr_matrix(X) if not sp.issparse(X) else X.tocsr()
+        n, d = X.shape
+        n_steps = resolve_step_budget(epochs, n, batch_size, lr)
+        K = self.n_classes
+        Q = _canonical_targets(soft_labels, n, K)
+        weight = _canonical_weights(sample_weight, n)
+        if self.coef_ is None or self.n_features_ != d or n == 0:
+            return self.fit(X, Q, sample_weight=sample_weight)
+
+        gen = resume_minibatch_rng(self, rng)
+        theta = np.concatenate([self.coef_.ravel(), self.intercept_])
+        l2_scale = self.l2 / n
+        grad = np.empty((d + 1) * K)
+        step = 0
+        while step < n_steps:
+            order = gen.permutation(n)
+            for start in range(0, n, batch_size):
+                if step == n_steps:
+                    break
+                batch = order[start : start + batch_size]
+                Xb = X[batch]
+                W = theta[: d * K].reshape(d, K)
+                scores = np.asarray(Xb @ W) + theta[d * K :][None, :]
+                residual = weight[batch, None] * (_softmax(scores) - Q[batch])
+                inv_b = 1.0 / len(batch)
+                grad[: d * K] = (
+                    np.asarray(Xb.T @ residual).ravel() * inv_b + l2_scale * theta[: d * K]
+                )
+                grad[d * K :] = residual.sum(axis=0) * inv_b
+                adam_step(self, theta, grad, lr)
+                step += 1
+        self.coef_ = theta[: d * K].reshape(d, K).copy()
+        self.intercept_ = theta[d * K :].copy()
+        self.n_features_ = d
+        self.mb_rng_state_ = gen.bit_generator.state
         return self
 
     def decision_function(self, X) -> np.ndarray:
@@ -163,6 +260,11 @@ class SoftLabelSoftmaxRegression(FittedStateMixin):
         rows = np.asarray(rows, dtype=np.intp)
         if rows.size == 0:
             return np.zeros((0, self.n_classes))
+        lo, hi = int(rows.min()), int(rows.max())
+        if lo < 0 or hi >= X.shape[0]:
+            raise IndexError(
+                f"row indices must lie in [0, {X.shape[0]}), got range [{lo}, {hi}]"
+            )
         return _softmax(self.decision_function(X[rows]))
 
     def predict(self, X) -> np.ndarray:

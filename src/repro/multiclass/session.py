@@ -90,6 +90,12 @@ class MultiClassSession(IncrementalSessionEngine):
         values for selectors that read it; no prediction at all for
         selectors that never do); cold refits always refresh eagerly.
         ``False`` restores the eager refresh every refit.
+    warm_end_mode:
+        How warm (between-backstop) end-model refits run: ``"minibatch"``
+        streams them through the softmax end model's Adam continuation fed
+        by the engine's grow-only covered-feature buffer; ``"lbfgs"`` is
+        the defeat switch keeping the capped warm L-BFGS fit.  Cold
+        backstops are bit-identical full fits either way (ENGINE.md §7).
     seed:
         Seed for all session randomness.
     """
@@ -111,8 +117,9 @@ class MultiClassSession(IncrementalSessionEngine):
         warm_after: int = 8,
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
-        warm_min_train: int = 1000,
+        warm_min_train: int = 2000,
         lazy_proxy: bool = True,
+        warm_end_mode: str = "minibatch",
         seed=None,
     ) -> None:
         self.dataset = dataset
@@ -143,6 +150,7 @@ class MultiClassSession(IncrementalSessionEngine):
             warm_end_iter=warm_end_iter,
             warm_min_train=warm_min_train,
             lazy_proxy=lazy_proxy,
+            warm_end_mode=warm_end_mode,
         )
 
     # ------------------------------------------------------------------ #

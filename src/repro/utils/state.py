@@ -31,7 +31,12 @@ class FittedStateMixin:
         """The fitted parameters as ``{"class": name, "attrs": {...}}``.
 
         Array values are copied so a checkpoint captured mid-session is
-        immune to later in-place mutation of the live model.
+        immune to later in-place mutation of the live model.  Dict values
+        (e.g. the minibatch RNG state ``mb_rng_state_``, a
+        ``bit_generator.state`` payload) are captured by reference — safe
+        only because models *reassign* those attributes with fresh dicts
+        after each fit instead of mutating them in place; any model adding
+        a dict-valued fitted attribute must keep that discipline.
         """
         attrs = {}
         for name in self._FITTED_ATTRS:

@@ -1,0 +1,124 @@
+"""Unit tests for the grow-only covered-feature buffer (ENGINE.md §7)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.covered import CoveredFeatureBuffer
+
+
+def _random_X(seed: int, n: int = 120, d: int = 17):
+    return sp.random(n, d, density=0.3, format="csr", random_state=seed)
+
+
+class TestSync:
+    def test_incremental_growth_matches_slice(self):
+        X = _random_X(0)
+        buf = CoveredFeatureBuffer(X)
+        rng = np.random.default_rng(1)
+        covered = np.zeros(X.shape[0], dtype=bool)
+        for _ in range(7):
+            covered[rng.choice(X.shape[0], 15)] = True
+            assert buf.sync(covered)
+            assert buf.size == covered.sum()
+            np.testing.assert_array_equal(
+                np.asarray(buf.matrix().todense()),
+                np.asarray(X[buf.rows].todense()),
+            )
+        assert set(buf.rows.tolist()) == set(np.flatnonzero(covered).tolist())
+
+    def test_rows_in_first_covered_order(self):
+        X = _random_X(2, n=10)
+        buf = CoveredFeatureBuffer(X)
+        covered = np.zeros(10, dtype=bool)
+        covered[[7, 8]] = True
+        assert buf.sync(covered)
+        covered[[1, 3]] = True
+        assert buf.sync(covered)
+        np.testing.assert_array_equal(buf.rows, [7, 8, 1, 3])
+
+    def test_noop_sync_appends_nothing(self):
+        X = _random_X(3, n=20)
+        buf = CoveredFeatureBuffer(X)
+        covered = np.zeros(20, dtype=bool)
+        covered[:5] = True
+        assert buf.sync(covered)
+        assert buf.sync(covered)
+        assert buf.size == 5
+
+    def test_dense_inputs_supported(self):
+        X = np.asarray(_random_X(4).todense())
+        buf = CoveredFeatureBuffer(X)
+        covered = np.zeros(X.shape[0], dtype=bool)
+        covered[::3] = True
+        assert buf.sync(covered)
+        np.testing.assert_array_equal(buf.matrix(), X[buf.rows])
+
+
+class TestMonotonicityGuard:
+    def test_regression_reported_not_assumed(self):
+        X = _random_X(5, n=30)
+        buf = CoveredFeatureBuffer(X)
+        covered = np.zeros(30, dtype=bool)
+        covered[:10] = True
+        assert buf.sync(covered)
+        covered[4] = False  # a covered row un-covers: contract violation
+        assert buf.sync(covered) is False
+
+    def test_wrong_shape_rejected(self):
+        buf = CoveredFeatureBuffer(_random_X(6, n=30))
+        assert buf.sync(np.zeros(29, dtype=bool)) is False
+
+
+class TestPreload:
+    def test_restores_explicit_row_order(self):
+        X = _random_X(7)
+        rows = np.array([9, 2, 44, 13], dtype=np.intp)
+        buf = CoveredFeatureBuffer(X)
+        buf.preload(rows)
+        np.testing.assert_array_equal(buf.rows, rows)
+        np.testing.assert_array_equal(
+            np.asarray(buf.matrix().todense()), np.asarray(X[rows].todense())
+        )
+        # Subsequent syncs continue from the preloaded coverage.
+        covered = np.zeros(X.shape[0], dtype=bool)
+        covered[rows] = True
+        covered[50] = True
+        assert buf.sync(covered)
+        np.testing.assert_array_equal(buf.rows, [9, 2, 44, 13, 50])
+
+    def test_requires_empty_buffer(self):
+        buf = CoveredFeatureBuffer(_random_X(8))
+        buf.preload(np.array([1, 2], dtype=np.intp))
+        with pytest.raises(ValueError, match="empty"):
+            buf.preload(np.array([3], dtype=np.intp))
+
+
+class TestEngineFallback:
+    def test_engine_falls_back_to_slice_on_regression(self, tiny_dataset):
+        from repro.core.session import DataProgrammingSession
+        from repro.interactive.basic_selectors import RandomSelector
+        from repro.interactive.simulated_user import SimulatedUser
+
+        session = DataProgrammingSession(
+            tiny_dataset,
+            RandomSelector(),
+            SimulatedUser(tiny_dataset, seed=3),
+            warm_min_train=0,
+            full_refit_every=5,
+            seed=11,
+        ).run(8)
+        buf = session._covered_buf
+        assert buf is not None and buf.size > 0
+        # Simulate a (contract-violating) coverage regression: the engine
+        # must serve the exact slice and drop the stale buffer.
+        covered = np.zeros(tiny_dataset.train.n, dtype=bool)
+        covered[buf.rows[1:]] = True
+        X_cov, targets = session._covered_training_set(covered)
+        idx = np.flatnonzero(covered)
+        np.testing.assert_array_equal(
+            np.asarray(X_cov.todense()),
+            np.asarray(tiny_dataset.train.X[idx].todense()),
+        )
+        np.testing.assert_array_equal(targets, session.soft_labels[idx])
+        assert session._covered_buf is None

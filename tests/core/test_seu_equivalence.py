@@ -90,3 +90,46 @@ class TestCachingIsTransparent:
         selector = SEUSelector(warmup=0)
         scalar = selector.expected_utility_of(0, state)
         assert scalar != pytest.approx(123.0)
+
+
+def per_column_loop_reference(selector: SEUSelector, state) -> np.ndarray:
+    """The historical per-label-column scoring loop, kept as a bit oracle.
+
+    This is the exact arithmetic ``expected_utilities`` used before the
+    single-matmul rewrite: one sparse mat-vec pair and one safe-divide per
+    label column.  The fused path must reproduce it bit for bit.
+    """
+    convention = state.convention
+    B = state.B
+    proxy = state.resolve_proxy()
+    acc = convention.accuracy_table(state.family, proxy)
+    weights = selector.user_model.pick_weight_table(acc)
+    utils = selector.utility.score_table(
+        B, state.entropies, convention.signed_agreement(proxy)
+    )
+    priors = convention.class_prior_vector(state.dataset)
+    expected = np.zeros(state.n_train)
+    for j in range(len(convention.labels)):
+        numerator = np.asarray(B @ (weights[:, j] * utils[:, j])).ravel()
+        denominator = np.asarray(B @ weights[:, j]).ravel()
+        contribution = np.divide(
+            numerator,
+            denominator,
+            out=np.zeros_like(numerator),
+            where=denominator > 1e-12,
+        )
+        expected += priors[j] * contribution
+    return expected
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("utility", ["full", "no-informativeness", "no-correctness"])
+@pytest.mark.parametrize("user_model", ["accuracy", "uniform", "thresholded"])
+class TestSingleMatmulBitIdentical:
+    def test_equals_historical_per_column_loop(self, seed, utility, user_model):
+        state = random_state(seed)
+        selector = SEUSelector(user_model=user_model, utility=utility, warmup=0)
+        np.testing.assert_array_equal(
+            selector.expected_utilities(state),
+            per_column_loop_reference(selector, state),
+        )

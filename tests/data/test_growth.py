@@ -1,0 +1,102 @@
+"""Tests for sampled corpus growth (the perf-bench path to 500k rows)."""
+
+import numpy as np
+import pytest
+
+from repro.data import grow_corpus, load_dataset
+from repro.data.synthetic import CorpusGenerator
+
+
+def _base(n_docs=200, seed=5):
+    from repro.data import recipes, wordbanks as wb
+    from repro.data.synthetic import CorpusSpec
+
+    targets = recipes.BANK_TARGETS["long"]
+    g_pos, g_neg, common, taken = recipes._expanded_globals(
+        "amazon", wb.SENTIMENT_POSITIVE, wb.SENTIMENT_NEGATIVE, wb.COMMON_FILLER, targets
+    )
+    clusters = recipes._clusters_from_banks(
+        "amazon", wb.AMAZON_CLUSTERS, wb.AMAZON_LOCAL_CUES,
+        recipes.CLUSTER_WEIGHTS["amazon"], targets, taken,
+    )
+    spec = CorpusSpec(
+        name="amazon", clusters=clusters, global_positive=g_pos,
+        global_negative=g_neg, common_words=common,
+    )
+    return CorpusGenerator(spec).generate(n_docs, seed=seed)
+
+
+class TestGrowCorpus:
+    def test_reaches_target_size_and_keeps_base_prefix(self):
+        base = _base()
+        grown = grow_corpus(base, 500, seed=1)
+        assert len(grown) == 500
+        assert grown.texts[: len(base)] == base.texts
+        np.testing.assert_array_equal(grown.labels[: len(base)], base.labels)
+        np.testing.assert_array_equal(grown.clusters[: len(base)], base.clusters)
+
+    def test_no_new_vocabulary(self):
+        base = _base()
+        grown = grow_corpus(base, 450, seed=2)
+        base_vocab = set(" ".join(base.texts).split())
+        grown_vocab = set(" ".join(grown.texts).split())
+        assert grown_vocab <= base_vocab
+
+    def test_bootstrap_docs_keep_source_metadata_and_length(self):
+        base = _base()
+        grown = grow_corpus(base, 300, seed=3)
+        base_by_text_len = {}
+        for i, text in enumerate(base.texts):
+            base_by_text_len.setdefault(len(text.split()), []).append(i)
+        for i in range(len(base), len(grown)):
+            tokens = grown.texts[i].split()
+            # Every grown doc's length must match some base doc of the same
+            # cluster and label (bootstrap preserves all three).
+            candidates = base_by_text_len.get(len(tokens), [])
+            assert any(
+                base.labels[j] == grown.labels[i]
+                and base.clusters[j] == grown.clusters[i]
+                for j in candidates
+            )
+
+    def test_deterministic_given_seed(self):
+        base = _base()
+        a = grow_corpus(base, 400, seed=7)
+        b = grow_corpus(base, 400, seed=7)
+        assert a.texts == b.texts
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_same_size_returns_base(self):
+        base = _base()
+        assert grow_corpus(base, len(base), seed=0) is base
+
+    def test_shrinking_rejected(self):
+        base = _base()
+        with pytest.raises(ValueError, match="grow"):
+            grow_corpus(base, len(base) - 1, seed=0)
+
+    def test_lexicon_and_cluster_names_carried(self):
+        base = _base()
+        grown = grow_corpus(base, 260, seed=4)
+        assert grown.lexicon == base.lexicon
+        assert grown.cluster_names == base.cluster_names
+
+
+class TestLoadDatasetGrowFrom:
+    def test_grow_from_builds_full_sized_dataset(self):
+        ds = load_dataset("amazon", scale="bench", seed=0, n_docs=600, grow_from=300)
+        total = sum(split.n for split in ds.splits.values())
+        assert total == 600
+        # Same feature-space family as a directly generated corpus: the
+        # vocabulary comes from the same word banks (min_df/max_df cutoffs
+        # fall differently, so only substantial overlap is guaranteed).
+        direct = load_dataset("amazon", scale="bench", seed=0, n_docs=600)
+        overlap = set(ds.primitive_names) & set(direct.primitive_names)
+        assert len(overlap) > 0.5 * len(direct.primitive_names)
+
+    def test_grow_from_noop_when_not_smaller(self):
+        grown = load_dataset("amazon", scale="tiny", seed=0, grow_from=10**9)
+        direct = load_dataset("amazon", scale="tiny", seed=0)
+        np.testing.assert_array_equal(
+            np.asarray(grown.train.X.todense()), np.asarray(direct.train.X.todense())
+        )

@@ -1,0 +1,89 @@
+"""Edge cases of the sliced prediction path on both end models.
+
+``predict_proba_rows`` feeds the partial-split consumers (serve-layer
+score requests, the lazy proxy); its contract is plain: empty row sets
+are legal, duplicate rows are legal (each occurrence predicted), indices
+outside the matrix must raise instead of wrapping Python-style, and every
+returned row must equal the corresponding row of the full
+``predict_proba``.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.endmodel.logistic import SoftLabelLogisticRegression
+from repro.endmodel.softmax import SoftLabelSoftmaxRegression
+
+N, D, K = 80, 12, 4
+
+
+@pytest.fixture(scope="module")
+def fitted_binary():
+    rng = np.random.default_rng(0)
+    X = sp.random(N, D, density=0.4, format="csr", random_state=1)
+    q = rng.uniform(0, 1, size=N)
+    return SoftLabelLogisticRegression().fit(X, q), X
+
+
+@pytest.fixture(scope="module")
+def fitted_softmax():
+    rng = np.random.default_rng(2)
+    X = sp.random(N, D, density=0.4, format="csr", random_state=3)
+    Q = rng.dirichlet(np.ones(K), size=N)
+    return SoftLabelSoftmaxRegression(n_classes=K).fit(X, Q), X
+
+
+class TestBinary:
+    def test_empty_rows(self, fitted_binary):
+        model, X = fitted_binary
+        out = model.predict_proba_rows(X, np.array([], dtype=int))
+        assert out.shape == (0,)
+
+    def test_duplicate_rows_predicted_per_occurrence(self, fitted_binary):
+        model, X = fitted_binary
+        out = model.predict_proba_rows(X, [5, 5, 9, 5])
+        assert out.shape == (4,)
+        assert out[0] == out[1] == out[3]
+        full = model.predict_proba(X)
+        np.testing.assert_array_equal(out, full[[5, 5, 9, 5]])
+
+    @pytest.mark.parametrize("bad", [[N], [0, -1], [-N - 1], [3, N + 7]])
+    def test_out_of_range_raises_not_wraps(self, fitted_binary, bad):
+        model, X = fitted_binary
+        with pytest.raises(IndexError):
+            model.predict_proba_rows(X, bad)
+
+    def test_row_for_row_parity_with_full_prediction(self, fitted_binary):
+        model, X = fitted_binary
+        rows = np.random.default_rng(4).choice(N, size=37, replace=True)
+        np.testing.assert_array_equal(
+            model.predict_proba_rows(X, rows), model.predict_proba(X)[rows]
+        )
+
+
+class TestSoftmax:
+    def test_empty_rows(self, fitted_softmax):
+        model, X = fitted_softmax
+        out = model.predict_proba_rows(X, [])
+        assert out.shape == (0, K)
+
+    def test_duplicate_rows_predicted_per_occurrence(self, fitted_softmax):
+        model, X = fitted_softmax
+        out = model.predict_proba_rows(X, [7, 2, 7])
+        assert out.shape == (3, K)
+        np.testing.assert_array_equal(out[0], out[2])
+
+    @pytest.mark.parametrize("bad", [[N], [0, -1], [-N - 1], [3, N + 7]])
+    def test_out_of_range_raises_not_wraps(self, fitted_softmax, bad):
+        model, X = fitted_softmax
+        with pytest.raises(IndexError):
+            model.predict_proba_rows(X, bad)
+
+    def test_row_for_row_parity_with_full_prediction_k_gt_2(self, fitted_softmax):
+        model, X = fitted_softmax
+        assert model.n_classes > 2
+        rows = np.random.default_rng(5).choice(N, size=29, replace=True)
+        np.testing.assert_array_equal(
+            model.predict_proba_rows(X, rows), model.predict_proba(X)[rows]
+        )

@@ -153,6 +153,70 @@ class TestRoundTripAllFamilies:
         assert plain.rng.bit_generator.state == snapped.rng.bit_generator.state
 
 
+class TestWarmMinibatchRoundTrip:
+    """Mid-warm-cycle restore under ``warm_end_mode`` (ENGINE.md §7).
+
+    The generic family round-trips above already run with the default
+    ``"minibatch"`` mode; these tests make the coverage non-vacuous: the
+    snapshot point must land with live Adam state, a populated covered
+    buffer, and a captured backstop anchor — and all of it must continue
+    bit-identically after restore.  The ``"lbfgs"`` defeat switch gets
+    its own round-trip.
+    """
+
+    @pytest.mark.parametrize("warm_end_mode", ["minibatch", "lbfgs"])
+    def test_mid_warm_cycle_restore_continues_bit_identically(
+        self, binary_dataset, tmp_path, warm_end_mode
+    ):
+        def build():
+            return DataProgrammingSession(
+                binary_dataset,
+                SEUSelector(),
+                SimulatedUser(binary_dataset, seed=11),
+                warm_end_mode=warm_end_mode,
+                seed=3,
+                **ENGINE_KWARGS,
+            )
+
+        ref = build()
+        for _ in range(TOTAL_ITERATIONS):
+            ref.step()
+        ref._resolve_proxy()
+
+        first = build()
+        for _ in range(SNAPSHOT_AT):
+            first.step()
+        if warm_end_mode == "minibatch":
+            # The snapshot point is genuinely mid-warm-cycle: Adam has
+            # stepped, the covered buffer exists, the anchor is set.
+            assert first.end_model.mb_t_ > 0
+            assert first.end_model.mb_rng_state_ is not None
+            assert first._covered_buf is not None and first._covered_buf.size > 0
+            assert first._end_anchor_ is not None
+        path = save_session_checkpoint(first, tmp_path / "warm.ckpt.npz")
+
+        restored = build()
+        load_session_checkpoint(restored, path)
+        if warm_end_mode == "minibatch":
+            assert restored.end_model.mb_t_ == first.end_model.mb_t_
+            assert restored.end_model.mb_rng_state_ == first.end_model.mb_rng_state_
+            np.testing.assert_array_equal(
+                restored._covered_buf.rows, first._covered_buf.rows
+            )
+        for _ in range(TOTAL_ITERATIONS - SNAPSHOT_AT):
+            restored.step()
+        restored._resolve_proxy()
+
+        np.testing.assert_array_equal(ref.soft_labels, restored.soft_labels)
+        np.testing.assert_array_equal(ref.proxy_proba, restored.proxy_proba)
+        np.testing.assert_array_equal(ref.end_model.coef_, restored.end_model.coef_)
+        assert ref.end_model.intercept_ == restored.end_model.intercept_
+        assert ref.end_model.mb_t_ == restored.end_model.mb_t_
+        assert ref.end_model.mb_rng_state_ == restored.end_model.mb_rng_state_
+        assert ref.rng.bit_generator.state == restored.rng.bit_generator.state
+        assert ref.test_score() == restored.test_score()
+
+
 class TestFailClosedLoading:
     def test_missing_file(self, tmp_path):
         with pytest.raises(CheckpointError, match="does not exist"):

@@ -75,3 +75,41 @@ class TestCachingIsTransparent:
         np.testing.assert_allclose(first, baseline, rtol=0, atol=0)
         assert second is first, "second call should return the memoized vector"
         assert ("seu_expected", "accuracy", "full") in cached.cache
+
+
+def per_column_loop_reference(selector: MCSEUSelector, state) -> np.ndarray:
+    """The historical per-label-column scoring loop, kept as a bit oracle."""
+    convention = state.convention
+    B = state.B
+    proxy = state.resolve_proxy()
+    acc = convention.accuracy_table(state.family, proxy)
+    weights = selector.user_model.pick_weight_table(acc)
+    utils = selector.utility.score_table(
+        B, state.entropies, convention.signed_agreement(proxy)
+    )
+    priors = convention.class_prior_vector(state.dataset)
+    expected = np.zeros(state.n_train)
+    for j in range(len(convention.labels)):
+        numerator = np.asarray(B @ (weights[:, j] * utils[:, j])).ravel()
+        denominator = np.asarray(B @ weights[:, j]).ravel()
+        contribution = np.divide(
+            numerator,
+            denominator,
+            out=np.zeros_like(numerator),
+            where=denominator > 1e-12,
+        )
+        expected += priors[j] * contribution
+    return expected
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("n_classes", [3, 5])
+@pytest.mark.parametrize("utility", ["full", "no-informativeness", "no-correctness"])
+class TestSingleMatmulBitIdentical:
+    def test_equals_historical_per_column_loop(self, seed, n_classes, utility):
+        state = random_mc_state(seed, n_classes=n_classes)
+        selector = MCSEUSelector(utility=utility, warmup=0)
+        np.testing.assert_array_equal(
+            selector.expected_utilities(state),
+            per_column_loop_reference(selector, state),
+        )

@@ -61,3 +61,79 @@ class TestCommittedBenchRecord:
             if r["task"] == "binary" and r["n_train"] == target["n_train"]
         ]
         assert rows and rows[0]["speedup"] >= target["min_speedup"]
+
+    def test_xl_ceiling_row_present(self):
+        sys.path.insert(0, str(REPO_ROOT))
+        from benchmarks.bench_perf_session import XL_N_TRAIN
+
+        rows = [
+            r
+            for r in load_record()["results"]
+            if r["task"] == "binary" and r["n_train"] == XL_N_TRAIN
+        ]
+        assert rows, f"binary n_train={XL_N_TRAIN} ceiling row missing"
+
+    def test_every_row_reports_peak_rss(self):
+        for entry in load_record()["results"]:
+            assert isinstance(entry.get("peak_rss_mb"), (int, float)), (
+                entry["task"],
+                entry["n_train"],
+            )
+            assert entry["peak_rss_mb"] > 0
+
+    def test_end_model_share_below_30pct_at_50k(self):
+        """The PR-7 lever: warm minibatch refits must keep the end-model
+        phase under 30% of incremental wall-clock at the 50k row."""
+        rows = [
+            r
+            for r in load_record()["results"]
+            if r["task"] == "binary" and r["n_train"] == 50_000
+        ]
+        assert rows
+        inc = rows[0]["incremental"]
+        share = inc["phase_seconds"]["end_model"] / inc["seconds"]
+        assert share < 0.30, f"end_model share {share:.1%} >= 30%"
+
+
+class TestQuickModeCannotClobber:
+    """`--quick` must never write over the committed full-sweep record."""
+
+    def _args(self, output):
+        import argparse
+
+        return argparse.Namespace(
+            sizes=[1_000, 10_000],
+            mc_sizes=[1_000],
+            iterations=30,
+            output=output,
+        )
+
+    def test_default_output_redirected(self):
+        sys.path.insert(0, str(REPO_ROOT))
+        from benchmarks.bench_perf_session import apply_quick_mode
+
+        committed = REPO_ROOT / "BENCH_session_throughput.json"
+        args = self._args(str(committed))
+        apply_quick_mode(args)
+        assert Path(args.output).resolve() != committed.resolve()
+        assert args.output.endswith(".quick.json")
+        assert args.sizes == [1_000] and args.mc_sizes == [1_000]
+        assert args.iterations == 10
+
+    def test_explicit_committed_path_also_redirected(self):
+        sys.path.insert(0, str(REPO_ROOT))
+        from benchmarks.bench_perf_session import apply_quick_mode
+
+        # A sneaky relative spelling of the committed path still redirects.
+        committed = REPO_ROOT / "benchmarks" / ".." / "BENCH_session_throughput.json"
+        args = self._args(str(committed))
+        apply_quick_mode(args)
+        assert args.output.endswith(".quick.json")
+
+    def test_other_outputs_left_alone(self):
+        sys.path.insert(0, str(REPO_ROOT))
+        from benchmarks.bench_perf_session import apply_quick_mode
+
+        args = self._args("/tmp/somewhere_else.json")
+        apply_quick_mode(args)
+        assert args.output == "/tmp/somewhere_else.json"
