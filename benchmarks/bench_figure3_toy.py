@@ -10,11 +10,12 @@ import numpy as np
 
 from repro.data.synthetic import make_toy_clusters
 from repro.experiments.reporting import format_table
+from repro.utils.rng import ensure_rng
 
 
 def _run():
     X, y, clusters = make_toy_clusters(n_docs=600, n_clusters=4, seed=0)
-    rng = np.random.default_rng(1)
+    rng = ensure_rng(1)
     rows = {}
     near_accs, far_accs = [], []
     for trial in range(20):

@@ -13,18 +13,19 @@ conflict region, while radius refinement (Eq. 4) resolves it.
 import numpy as np
 
 from benchmarks.conftest import get_dataset
-from repro.core import LFContextualizer, LFFamily, LineageStore, SEUSelector
+from repro.core import LFFamily, SEUSelector
 from repro.core.selection import SessionState
 from repro.experiments.reporting import format_table
 from repro.labelmodel import MetalLabelModel, apply_lfs
 from repro.labelmodel.base import posterior_entropy
+from repro.utils.rng import ensure_rng
 
 
 def _figure6():
     dataset = get_dataset("amazon")
     train = dataset.train
     family = LFFamily(dataset.primitive_names, train.B)
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
 
     # Cover the two dominant clusters with simulated-user-style LFs.
     from repro.interactive.simulated_user import SimulatedUser

@@ -18,7 +18,6 @@ import numpy as np
 from benchmarks.conftest import current_scale, get_dataset
 from repro.experiments.protocol import run_learning_curve
 from repro.experiments.reporting import format_table
-from repro.experiments.runners import make_method
 from repro.interactive.simulated_user import NoisyUser
 from repro.utils.rng import ensure_rng, stable_hash_seed
 

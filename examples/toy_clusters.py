@@ -15,6 +15,7 @@ Run:  python examples/toy_clusters.py
 import numpy as np
 
 from repro.data.synthetic import make_toy_clusters
+from repro.utils.rng import ensure_rng
 
 
 def ascii_plot(X, y, highlight=None, width=56, height=20) -> str:
@@ -41,7 +42,7 @@ def main() -> None:
     print(ascii_plot(X, y))
 
     # --- Figure 6 mechanics -------------------------------------------- #
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     big = np.isin(clusters, [0, 1])
     covered = big.copy()  # imagine LFs already cover the two big clusters
     uncovered_share = (~covered).mean()
@@ -52,7 +53,7 @@ def main() -> None:
     print("\nFigure 6 - after covering the two dominant clusters:")
     print(f"  uncovered mass                      : {uncovered_share:.0%}")
     print(f"  random picks landing on uncovered   : {random_hit_rate:.0%}")
-    print(f"  uncertainty-driven picks on uncovered: 100% (by construction)")
+    print("  uncertainty-driven picks on uncovered: 100% (by construction)")
     print(ascii_plot(X, y, highlight=uncertain_picks))
 
     # --- Figure 7 mechanics -------------------------------------------- #

@@ -1,0 +1,34 @@
+"""Repo-specific static analysis: the ``repro lint`` invariant checker.
+
+The speedups and durability guarantees of the incremental engine rest on
+contracts that plain Python cannot express — checkpoint-deterministic
+warm refits, fully-declared fitted state, serve-path mutation only under
+the session lock.  This package turns those prose contracts (ENGINE.md,
+``utils/state.py``, ``serve/manager.py``) into AST-enforced invariants:
+a small rule engine (stdlib ``ast``/``tokenize`` only), a rule registry,
+per-line pragma suppressions with mandatory reasons, and a
+machine-readable findings format, wired to the ``repro lint`` CLI
+subcommand and CI.
+
+See ENGINE.md §8 for the enforced invariants and the pragma syntax, and
+:mod:`repro.analysis.registry` for how to register a new rule.
+"""
+
+from repro.analysis.engine import DEFAULT_LINT_PATHS, LintReport, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PRAGMA_TAG, Pragma, parse_pragmas
+from repro.analysis.registry import Rule, all_rule_names, default_rules, register
+
+__all__ = [
+    "DEFAULT_LINT_PATHS",
+    "Finding",
+    "LintReport",
+    "PRAGMA_TAG",
+    "Pragma",
+    "Rule",
+    "all_rule_names",
+    "default_rules",
+    "parse_pragmas",
+    "register",
+    "run_lint",
+]

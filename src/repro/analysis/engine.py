@@ -1,0 +1,213 @@
+"""The lint engine: walk files, run rules, apply pragma suppressions.
+
+The engine owns everything rule-agnostic: the file walk (``__pycache__``,
+hidden directories, and egg-info trees are always skipped so compiled
+noise can never shadow a source finding), the two-phase collect/check
+drive, per-line pragma application, and three meta findings it emits
+itself:
+
+* ``parse-error`` — a walked file does not parse; nothing can be checked.
+* ``bad-pragma`` — a suppression comment is malformed, reason-less, or
+  names an unknown rule.
+* ``unused-pragma`` — a pragma that suppressed no finding on its line
+  (stale suppressions must not outlive the code they excused).
+
+Meta findings are never suppressible: a pragma cannot excuse itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, findings_to_json
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.registry import RULE_REGISTRY, FileContext, Rule
+
+#: Directories ``repro lint`` walks when invoked without explicit paths.
+DEFAULT_LINT_PATHS = ("src", "tools", "benchmarks", "examples")
+
+META_PARSE_ERROR = "parse-error"
+META_BAD_PRAGMA = "bad-pragma"
+META_UNUSED_PRAGMA = "unused-pragma"
+META_RULES = (META_PARSE_ERROR, META_BAD_PRAGMA, META_UNUSED_PRAGMA)
+
+#: Directory names never descended into.
+_SKIPPED_DIR_NAMES = ("__pycache__",)
+
+
+def _skip_dir(name: str) -> bool:
+    return name in _SKIPPED_DIR_NAMES or name.startswith(".") or name.endswith(".egg-info")
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (sorted, noise directories skipped)."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            if any(_skip_dir(part) for part in candidate.parent.parts):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run (all findings, suppressed included)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 only when no finding is unsuppressed."""
+        return 1 if self.unsuppressed else 0
+
+    def to_json(self) -> str:
+        return findings_to_json(self.findings)
+
+
+def _rel_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[str | Path] | None = None,
+    root: str | Path | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Run the rule engine and return the full report.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to walk, relative to ``root``; defaults to
+        :data:`DEFAULT_LINT_PATHS` (missing entries are skipped, so the
+        default works from any checkout subset).
+    root:
+        Directory findings are reported relative to (default: cwd).
+        Rules that key on repo-relative paths (the adapter budget, the
+        RNG allowlist) resolve against the same root.
+    rules:
+        Rule instances to run; defaults to every registered rule.
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    if paths is None:
+        walk = [root_path / p for p in DEFAULT_LINT_PATHS if (root_path / p).exists()]
+    else:
+        walk = [root_path / p for p in paths]
+        missing = [p for p in walk if not p.exists()]
+        if missing:
+            raise FileNotFoundError(f"lint paths do not exist: {[str(p) for p in missing]}")
+    if rules is None:
+        from repro.analysis.registry import default_rules
+
+        rules = default_rules()
+
+    known_names = set(RULE_REGISTRY) | set(META_RULES)
+    known_names.update(rule.name for rule in rules)
+
+    report = LintReport()
+    contexts: list[FileContext] = []
+    for file_path in iter_python_files(walk):
+        rel = _rel_posix(file_path, root_path)
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule=META_PARSE_ERROR,
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(
+            FileContext(
+                path=file_path,
+                rel_path=rel,
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+            )
+        )
+    report.n_files = len(contexts)
+
+    # Phase 1: cross-file collection, complete before any check runs.
+    for rule in rules:
+        for ctx in contexts:
+            rule.collect(ctx)
+
+    # Phase 2: per-file checks + pragma application.
+    for ctx in contexts:
+        pragmas = parse_pragmas(ctx.source)
+        for rule in rules:
+            for finding in rule.check(ctx):
+                pragma = pragmas.get(finding.line)
+                if pragma is not None and pragma.covers(finding.rule):
+                    finding.suppressed = True
+                    finding.suppress_reason = pragma.reason
+                    pragma.used.add(finding.rule)
+                report.findings.append(finding)
+        for pragma in pragmas.values():
+            if pragma.problem is not None:
+                report.findings.append(
+                    Finding(
+                        rule=META_BAD_PRAGMA,
+                        path=ctx.rel_path,
+                        line=pragma.line,
+                        col=0,
+                        message=pragma.problem,
+                    )
+                )
+                continue
+            unknown = [r for r in pragma.rules if r not in known_names]
+            for name in unknown:
+                report.findings.append(
+                    Finding(
+                        rule=META_BAD_PRAGMA,
+                        path=ctx.rel_path,
+                        line=pragma.line,
+                        col=0,
+                        message=f"pragma disables unknown rule {name!r}",
+                    )
+                )
+            stale = [r for r in pragma.rules if r in known_names and r not in pragma.used]
+            for name in stale:
+                report.findings.append(
+                    Finding(
+                        rule=META_UNUSED_PRAGMA,
+                        path=ctx.rel_path,
+                        line=pragma.line,
+                        col=0,
+                        message=(
+                            f"pragma disables {name!r} but no such finding fires on "
+                            "this line; delete the stale suppression"
+                        ),
+                    )
+                )
+
+    report.findings.sort(key=lambda f: f.sort_key)
+    return report

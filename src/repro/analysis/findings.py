@@ -1,0 +1,78 @@
+"""The machine-readable finding record shared by every lint rule.
+
+A finding pins one contract violation to one source line.  Suppressed
+findings are kept in the report (with the pragma's mandatory reason)
+rather than dropped: the JSON artifact CI uploads is the full audit
+trail, and "suppressed with reason X" is information, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Registry name of the rule that fired (or a meta name such as
+        ``bad-pragma`` emitted by the engine itself).
+    path:
+        Path of the offending file, relative to the lint root, in POSIX
+        form (stable across platforms for golden JSON comparisons).
+    line / col:
+        1-based line and 0-based column of the violating node.
+    message:
+        Human-readable description of the violation.
+    suppressed:
+        Whether a same-line ``# repro-lint: disable=<rule> -- <reason>``
+        pragma covers this finding.
+    suppress_reason:
+        The pragma's reason when ``suppressed`` (reasons are mandatory;
+        a reason-less pragma suppresses nothing and is itself reported).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: str | None = field(default=None)
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+    def format(self) -> str:
+        """One-line human-readable rendering (``path:line:col rule message``)."""
+        tag = " [suppressed]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{tag}: {self.message}"
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """Serialize findings (sorted, stable) as the CI artifact payload."""
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    payload = {
+        "format": "repro-lint-findings",
+        "version": 1,
+        "n_findings": len(ordered),
+        "n_unsuppressed": sum(1 for f in ordered if not f.suppressed),
+        "findings": [f.to_dict() for f in ordered],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,93 @@
+"""Per-line pragma suppressions: ``# repro-lint: disable=<rule> -- <reason>``.
+
+A pragma suppresses findings of the named rule(s) *on its own line only*
+— suppression is a surgical, reviewable act, not a file-wide switch.
+The reason after ``--`` is mandatory: every suppression in the tree must
+say why the contract deliberately does not apply, and a pragma without a
+reason (or naming no rule, or an unknown rule) is itself reported by the
+engine as a ``bad-pragma`` finding.  Pragmas that suppress nothing are
+reported as ``unused-pragma`` so stale suppressions cannot outlive the
+code they excused.
+
+Comments are located with :mod:`tokenize`, not substring search, so the
+pragma tag inside a string literal is never mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: The comment prefix every pragma starts with.
+PRAGMA_TAG = "repro-lint:"
+
+#: Full pragma shape (hash, tag, rule list, ``--``, mandatory reason).
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,-]+)\s*--\s*(?P<reason>\S.*)$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment.
+
+    ``problem`` is ``None`` for a well-formed pragma; otherwise it holds
+    the malformation message the engine reports as ``bad-pragma``.
+    ``used`` accumulates the rule names that actually suppressed a
+    finding, so the engine can flag the stale remainder.
+    """
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+    problem: str | None = None
+    used: set = field(default_factory=set)
+
+    def covers(self, rule: str) -> bool:
+        return self.problem is None and rule in self.rules
+
+
+def parse_pragmas(source: str) -> dict[int, Pragma]:
+    """Extract every ``repro-lint`` pragma comment, keyed by line number.
+
+    Malformed pragmas are returned too (with ``problem`` set) — silently
+    ignoring a typo'd suppression would leave the author believing a
+    finding is excused when it is not.
+    """
+    pragmas: dict[int, Pragma] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparseable files separately; no pragmas here.
+        return pragmas
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or PRAGMA_TAG not in tok.string:
+            continue
+        line = tok.start[0]
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            pragmas[line] = Pragma(
+                line=line,
+                rules=(),
+                reason=None,
+                problem=(
+                    "malformed pragma: expected "
+                    "'# repro-lint: disable=<rule>[,<rule>] -- <reason>' "
+                    "(the reason is mandatory)"
+                ),
+            )
+            continue
+        rules = tuple(r for r in match.group("rules").split(",") if r)
+        reason = match.group("reason").strip()
+        if not rules:
+            pragmas[line] = Pragma(
+                line=line,
+                rules=(),
+                reason=reason,
+                problem="pragma names no rules to disable",
+            )
+            continue
+        pragmas[line] = Pragma(line=line, rules=rules, reason=reason)
+    return pragmas

@@ -1,0 +1,114 @@
+"""Rule registry and the two-phase rule contract.
+
+A rule is a class with a unique ``name``, a one-line ``description``,
+and two hooks the engine calls with a :class:`FileContext` per file:
+
+* ``collect(ctx)`` — optional pre-pass over *every* walked file, run to
+  completion before any checking.  Rules that need cross-file facts
+  (e.g. the ``FittedStateMixin`` class hierarchy, which spans modules)
+  build their index here.
+* ``check(ctx)`` — yield :class:`~repro.analysis.findings.Finding`
+  objects for this file.  ``self.finding(ctx, node, message)`` anchors
+  one to an AST node.
+
+Registering a rule is one decorator::
+
+    from repro.analysis.registry import Rule, register
+
+    @register
+    class MyRule(Rule):
+        name = "my-rule"
+        description = "what contract this enforces"
+
+        def check(self, ctx):
+            yield self.finding(ctx, some_node, "explanation")
+
+and importing its module from ``repro.analysis.rules`` makes it part of
+every ``repro lint`` run.  Rules are instantiated fresh per run, so
+``collect`` state never leaks across invocations.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one walked file."""
+
+    path: Path  # absolute on-disk location
+    rel_path: str  # POSIX path relative to the lint root (finding anchor)
+    source: str
+    tree: ast.Module
+    lines: list[str]
+
+    _parents: dict | None = None
+
+    def parent_map(self) -> dict:
+        """``child -> parent`` over the whole tree (built once, memoized)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+
+class Rule:
+    """Base class for lint rules; subclass, set ``name``, implement ``check``."""
+
+    name: str = "abstract"
+    description: str = ""
+
+    def collect(self, ctx: FileContext) -> None:
+        """Optional cross-file pre-pass (runs on every file before checks)."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(self, ctx: FileContext, node: ast.AST | None, message: str) -> Finding:
+        """A finding of this rule anchored to ``node`` (or the file's line 1)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(rule=self.name, path=ctx.rel_path, line=line, col=col, message=message)
+
+
+#: name -> rule class.  Populated by the ``@register`` decorator at import
+#: time of ``repro.analysis.rules``.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (names must be unique)."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError(f"rule class {cls.__name__} must define a non-default 'name'")
+    existing = RULE_REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule name {cls.name!r} ({existing.__name__} vs {cls.__name__})")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in stable name order."""
+    import repro.analysis.rules  # noqa: F401  (importing registers the rules)
+
+    return [RULE_REGISTRY[name]() for name in sorted(RULE_REGISTRY)]
+
+
+def all_rule_names(extra: Iterable[str] = ()) -> set[str]:
+    """Registered rule names plus the engine's meta-finding names."""
+    import repro.analysis.rules  # noqa: F401
+
+    names = set(RULE_REGISTRY)
+    names.update(extra)
+    return names

@@ -1,0 +1,242 @@
+"""Checkpoint-contract rules over ``FittedStateMixin`` subclasses.
+
+The checkpoint layer (ENGINE.md §5) persists exactly the attributes a
+model declares in ``_FITTED_ATTRS``; ``state_dict`` copies array values
+but captures everything else — notably the dict-valued
+``mb_rng_state_`` — *by reference* (``utils/state.py``).  Two invariants
+follow, each enforced here:
+
+* **fitted-state-complete** — every ``self.<name>_`` a ``fit*`` method
+  assigns must be declared, or checkpoints silently drop that state and
+  a restored session diverges from the live one.
+* **fitted-dict-mutation** — declared fitted attributes must never be
+  mutated in place (``[...] = ``, ``.update``, ``.pop``, …): a snapshot
+  holding a reference would be retroactively corrupted.  Models reassign
+  a fresh object instead.
+
+Both rules resolve the ``FittedStateMixin`` hierarchy *across* walked
+files in the collect pass (subclass chains span ``labelmodel/base.py``
+and the concrete models), by simple class name — a deliberate
+approximation that matches this repo's flat, unique model names.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: The mixin whose subclasses the rules apply to (``repro.utils.state``).
+MIXIN_NAME = "FittedStateMixin"
+
+#: Dict/list methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"update", "pop", "popitem", "setdefault", "clear", "append", "extend", "insert", "remove"}
+)
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """The simple name a base-class expression refers to (best effort)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _ClassIndex:
+    """Cross-file class hierarchy keyed by simple class name."""
+
+    def __init__(self) -> None:
+        #: name -> (base names, own literal _FITTED_ATTRS or None, declares_any)
+        self.classes: dict[str, tuple[tuple[str, ...], tuple[str, ...] | None, bool]] = {}
+
+    def collect(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = tuple(b for b in (_base_name(base) for base in node.bases) if b)
+            own_attrs: tuple[str, ...] | None = None
+            declares = False
+            for stmt in node.body:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign):
+                    targets, value = stmt.targets, stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    targets, value = [stmt.target], stmt.value
+                if not any(
+                    isinstance(t, ast.Name) and t.id == "_FITTED_ATTRS" for t in targets
+                ):
+                    continue
+                declares = True
+                if isinstance(value, (ast.Tuple, ast.List)) and all(
+                    isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    for el in value.elts
+                ):
+                    own_attrs = tuple(el.value for el in value.elts)
+            self.classes[node.name] = (bases, own_attrs, declares)
+
+    def is_fitted(self, name: str, _seen: frozenset[str] = frozenset()) -> bool:
+        """Whether ``name`` transitively subclasses the mixin (or declares attrs)."""
+        if name == MIXIN_NAME:
+            return True
+        if name in _seen or name not in self.classes:
+            return False
+        bases, _own, declares = self.classes[name]
+        if declares:
+            return True
+        seen = _seen | {name}
+        return any(self.is_fitted(base, seen) for base in bases)
+
+    def effective_attrs(self, name: str, _seen: frozenset[str] = frozenset()) -> set[str] | None:
+        """Union of literal ``_FITTED_ATTRS`` up the resolvable chain.
+
+        ``None`` means some class in the chain declares ``_FITTED_ATTRS``
+        with a non-literal value — completeness cannot be checked then.
+        """
+        if name == MIXIN_NAME or name in _seen or name not in self.classes:
+            return set()
+        bases, own, declares = self.classes[name]
+        if declares and own is None:
+            return None
+        attrs = set(own or ())
+        seen = _seen | {name}
+        for base in bases:
+            inherited = self.effective_attrs(base, seen)
+            if inherited is None:
+                return None
+            attrs.update(inherited)
+        return attrs
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _FittedRuleBase(Rule):
+    """Shared hierarchy collection for the two fitted-state rules."""
+
+    def __init__(self) -> None:
+        self.index = _ClassIndex()
+
+    def collect(self, ctx: FileContext) -> None:
+        self.index.collect(ctx)
+
+    def fitted_classes(self, ctx: FileContext) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and self.index.is_fitted(node.name):
+                yield node
+
+
+@register
+class FittedStateComplete(_FittedRuleBase):
+    name = "fitted-state-complete"
+    description = (
+        "every self.<name>_ assigned in a fit* method of a FittedStateMixin "
+        "subclass must appear in _FITTED_ATTRS (else checkpoints drop it)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in self.fitted_classes(ctx):
+            declared = self.index.effective_attrs(cls.name)
+            if declared is None:
+                continue  # dynamic _FITTED_ATTRS: completeness is unknowable
+            for meth in cls.body:
+                if not isinstance(meth, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not meth.name.startswith("fit"):
+                    continue
+                for node in ast.walk(meth):
+                    targets: list[ast.expr]
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                        targets = [node.target]
+                    else:
+                        continue
+                    for target in targets:
+                        elements = target.elts if isinstance(target, ast.Tuple) else [target]
+                        for el in elements:
+                            attr = _self_attr(el)
+                            if attr is None:
+                                continue
+                            if not attr.endswith("_") or attr.endswith("__"):
+                                continue  # only sklearn-style fitted names
+                            if attr.startswith("_"):
+                                continue  # private scratch, not public fitted state
+                            if attr not in declared:
+                                yield self.finding(
+                                    ctx,
+                                    node,
+                                    f"{cls.name}.{meth.name} assigns self.{attr} "
+                                    f"but {attr!r} is not in _FITTED_ATTRS — "
+                                    "checkpoints will silently drop it "
+                                    "(declare it, or rename it without the "
+                                    "trailing underscore if it is not fitted "
+                                    "state)",
+                                )
+
+
+@register
+class FittedDictMutation(_FittedRuleBase):
+    name = "fitted-dict-mutation"
+    description = (
+        "declared _FITTED_ATTRS members must be reassigned, never mutated in "
+        "place (state_dict captures non-array values by reference)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in self.fitted_classes(ctx):
+            declared = self.index.effective_attrs(cls.name) or set()
+            if not declared:
+                continue
+            for node in ast.walk(cls):
+                # self.attr[...] = ... / self.attr[...] += ... / del self.attr[...]
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+                    if isinstance(node, ast.Assign):
+                        targets = node.targets
+                    elif isinstance(node, ast.Delete):
+                        targets = node.targets
+                    else:
+                        targets = [node.target]
+                    for target in targets:
+                        elements = target.elts if isinstance(target, ast.Tuple) else [target]
+                        for el in elements:
+                            if not isinstance(el, ast.Subscript):
+                                continue
+                            attr = _self_attr(el.value)
+                            if attr in declared:
+                                yield self.finding(
+                                    ctx,
+                                    node,
+                                    f"in-place mutation of fitted attribute "
+                                    f"self.{attr} in {cls.name} — state_dict "
+                                    "captures non-array values by reference, so "
+                                    "a checkpoint taken earlier would be "
+                                    "retroactively corrupted; reassign a fresh "
+                                    "object instead",
+                                )
+                # self.attr.update(...) / .pop(...) / ...
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr not in _MUTATING_METHODS:
+                        continue
+                    attr = _self_attr(node.func.value)
+                    if attr in declared:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"self.{attr}.{node.func.attr}(...) mutates fitted "
+                            f"attribute {attr!r} of {cls.name} in place — "
+                            "state_dict captures non-array values by reference; "
+                            "reassign a fresh object instead",
+                        )

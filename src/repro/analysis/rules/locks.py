@@ -1,0 +1,86 @@
+"""Serve-path lock discipline: ``*_locked`` methods need a held lock.
+
+``serve/manager.py`` documents the convention the whole session service
+rests on: methods suffixed ``_locked`` mutate shared session state and
+may only run while the caller holds the relevant lock (the session's
+``live.lock``, the manager's ``self._lock``, or the ``_command``
+context manager that acquires the session lock eviction-safely).  This
+rule is the static half of that contract — a lightweight race detector:
+
+A call to any ``*_locked`` method is legal only when, *within the
+enclosing function*, it sits lexically inside a ``with`` statement whose
+context expression mentions a lock (``... .lock`` / ``self._lock``) or
+enters ``self._command(...)``, or when the enclosing function is itself
+``*_locked``-suffixed (the contract then propagates to *its* callers).
+Lock handoffs the AST cannot see (e.g. a victim lock acquired
+non-blocking by a helper and released in ``finally``) carry a pragma
+with the reason spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: A with-item expression that evidences a held lock: any dotted path
+#: ending in ``lock``/``_lock`` (``live.lock``, ``self._lock``,
+#: ``self._datasets_lock``) or a ``_command(...)`` entry.
+_LOCKISH_RE = re.compile(r"(^|[._])_?lock(\b|$)|_command\(", re.IGNORECASE)
+
+
+def _lockish(item: ast.withitem) -> bool:
+    return bool(_LOCKISH_RE.search(ast.unparse(item.context_expr)))
+
+
+@register
+class ServeLockDiscipline(Rule):
+    name = "serve-lock-discipline"
+    description = (
+        "*_locked methods may only be called under a with-lock / _command "
+        "block, or from another *_locked method"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parents = ctx.parent_map()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                callee = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                callee = node.func.id
+            else:
+                continue
+            if not callee.endswith("_locked"):
+                continue
+            if self._lock_held(node, parents):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"call to {callee}(...) outside any `with <lock>` / "
+                "`with self._command(...)` block and outside a *_locked "
+                "method — the _locked suffix is a contract that the caller "
+                "holds the lock (serve/manager.py)",
+            )
+
+    @staticmethod
+    def _lock_held(call: ast.Call, parents: dict) -> bool:
+        node: ast.AST | None = parents.get(call)
+        while node is not None:
+            if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                _lockish(item) for item in node.items
+            ):
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A lexically-outer `with` beyond this boundary belongs to
+                # the *defining* frame, not the calling one: stop here.
+                return node.name.endswith("_locked")
+            if isinstance(node, ast.Lambda):
+                return False
+            node = parents.get(node)
+        return False

@@ -1,0 +1,117 @@
+"""Seeded-RNG discipline: all randomness flows through ``utils/rng.py``.
+
+Checkpoint-deterministic sessions (the property the whole warm-refit
+stack rests on — ENGINE.md §5/§7) require every random stream to be
+derivable from a seed the session owns.  A bare
+``np.random.default_rng()`` call mid-library creates OS-entropy state no
+checkpoint can reproduce, and module-level draws (``np.random.rand``,
+``RandomState``) share hidden global state between components.  This
+rule bans *calling into* ``numpy.random`` anywhere outside the allowlist
+(:mod:`repro.utils.rng`, the one place the normalization lives), forcing
+call sites through ``ensure_rng`` / ``spawn_children`` /
+``stable_hash_seed``.
+
+Non-call attribute access stays legal: ``np.random.Generator`` in a type
+annotation or an ``isinstance`` check creates no stream.  Intentional
+exceptions carry a pragma with a reason (e.g. the minibatch scratch
+generator whose state is overwritten on the next line).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: Files allowed to construct numpy generators directly, relative to the
+#: lint root.  Deliberately tiny: the whole point is one choke point.
+ALLOWED_FILES = frozenset({"src/repro/utils/rng.py"})
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string when the expression is a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class SeededRngDiscipline(Rule):
+    name = "seeded-rng"
+    description = (
+        "numpy.random may only be called from utils/rng.py — use "
+        "ensure_rng/spawn_children so every stream is checkpoint-derivable"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel_path in ALLOWED_FILES:
+            return
+        # Names the file binds to the numpy.random *module*.
+        module_aliases: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        module_aliases.add(f"{alias.asname or 'numpy'}.random")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            module_aliases.add(alias.asname)
+                        else:
+                            module_aliases.add("numpy.random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            module_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing from numpy.random bypasses the seeded-RNG "
+                        "choke point — use repro.utils.rng (ensure_rng, "
+                        "spawn_children, stable_hash_seed) instead",
+                    )
+        if not module_aliases:
+            return
+        call_funcs: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner = _dotted(func.value)
+            if owner in module_aliases:
+                call_funcs.add(id(func))
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to {owner}.{func.attr}(...) outside utils/rng.py — "
+                    "randomness must flow through ensure_rng/spawn_children so "
+                    "the stream is derivable from a session seed",
+                )
+        # Bare references to factory *functions* (lowercase names such as
+        # default_rng passed as a default_factory) escape the choke point
+        # just as surely as calling them here; class references
+        # (np.random.Generator in annotations/isinstance) create no stream
+        # and stay legal.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute) or id(node) in call_funcs:
+                continue
+            owner = _dotted(node.value)
+            if owner in module_aliases and node.attr[:1].islower():
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"reference to {owner}.{node.attr} outside utils/rng.py — "
+                    "passing the factory around still creates a stream no "
+                    "checkpoint can re-derive; route it through "
+                    "ensure_rng/spawn_children",
+                )

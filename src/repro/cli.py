@@ -18,6 +18,9 @@ writing Python:
   HTTP; p50/p99 per-command latency, sessions/sec, and error counts as a
   schema-gated JSON record (see :mod:`repro.serve.loadtest`).
 * ``sessions`` — list the sessions stored under a serve root.
+* ``lint``     — the repo's AST-based invariant checker: determinism,
+  checkpoint, and lock contracts enforced as static rules (see
+  :mod:`repro.analysis` and ENGINE.md §8).
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -234,6 +237,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sessions.add_argument(
         "--root", default="serve_sessions", help="session store directory"
+    )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker (determinism/checkpoint/lock contracts)",
+        description=(
+            "Walk the given paths (default: src tools benchmarks examples) and "
+            "enforce the repo's static invariants: fitted-state completeness, "
+            "no in-place mutation of fitted attributes, seeded-RNG discipline, "
+            "serve-path lock discipline, and the multiclass adapter budget. "
+            "Suppress a finding per line with "
+            "'# repro-lint: disable=<rule> -- <reason>' (the reason is "
+            "mandatory). Exits 1 on any unsuppressed finding."
+        ),
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to walk (default: src tools benchmarks examples)",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=".",
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="stdout format",
+    )
+    p_lint.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON findings artifact here (CI uploads this)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="print the registered rules and exit"
     )
 
     p_replay = sub.add_parser(
@@ -600,6 +641,34 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import default_rules, run_lint
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.name:<24} {rule.description}")
+        return 0
+    report = run_lint(paths=args.paths or None, root=args.root)
+    if args.fmt == "json":
+        print(report.to_json(), end="")
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        n_sup = len(report.suppressed)
+        print(
+            f"[lint] {report.n_files} files checked: "
+            f"{len(report.unsuppressed)} finding(s), {n_sup} suppressed"
+        )
+    if args.output:
+        out = Path(args.output)
+        out.write_text(report.to_json())
+        if args.fmt != "json":
+            print(f"[lint] findings artifact written to {out}")
+    return report.exit_code
+
+
 def cmd_sessions(args: argparse.Namespace) -> int:
     from repro.serve import SessionManager
 
@@ -632,6 +701,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,
     "sessions": cmd_sessions,
+    "lint": cmd_lint,
 }
 
 

@@ -68,7 +68,7 @@ from repro.core.covered import CoveredFeatureBuffer
 from repro.core.lineage import LineageStore
 from repro.core.protocol import PendingInteraction, ProtocolError, SimulatedDriver
 from repro.labelmodel.matrix import VoteMatrix, column_nonzero_rows
-from repro.utils.rng import stable_hash_seed
+from repro.utils.rng import ensure_rng, stable_hash_seed
 
 #: Accepted values for the engine's ``warm_end_mode`` knob.
 WARM_END_MODES = ("minibatch", "lbfgs")
@@ -602,9 +602,7 @@ class IncrementalSessionEngine:
             if isinstance(self.rng, np.random.Generator) and hasattr(self.rng, "spawn"):
                 self._end_mb_rng = self.rng.spawn(1)[0]
             else:
-                self._end_mb_rng = np.random.default_rng(
-                    stable_hash_seed("warm_end_minibatch")
-                )
+                self._end_mb_rng = ensure_rng(stable_hash_seed("warm_end_minibatch"))
         return self._end_mb_rng
 
     def _covered_training_set(self, covered: np.ndarray):

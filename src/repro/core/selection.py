@@ -25,6 +25,7 @@ import scipy.sparse as sp
 from repro.core.convention import BINARY, VoteConvention, multiclass_convention
 from repro.core.lf import LFFamily, PrimitiveLF
 from repro.data.dataset import FeaturizedDataset
+from repro.utils.rng import ensure_rng
 
 
 @dataclass
@@ -147,7 +148,10 @@ class SessionState(BaseSessionState):
     proxy_labels: np.ndarray = None
     proxy_proba: np.ndarray = None
     selected: set[int] = field(default_factory=set)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Sessions always thread their own stream; the hand-built-state
+    # default is a *deterministic* seed-0 stream, not OS entropy, so a
+    # state built without an rng still replays bit-identically.
+    rng: np.random.Generator = field(default_factory=lambda: ensure_rng(0))
     cache: dict | None = None
     #: Optional callable materializing deferred proxy predictions (set by
     #: sessions running with on-demand proxy; see resolve_proxy).
@@ -184,7 +188,8 @@ class MulticlassSessionState(BaseSessionState):
 
     proxy_proba: np.ndarray = None
     selected: set[int] = field(default_factory=set)
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Deterministic hand-built-state default; see SessionState.rng.
+    rng: np.random.Generator = field(default_factory=lambda: ensure_rng(0))
     cache: dict | None = None
     #: See SessionState.proxy_provider / BaseSessionState.resolve_proxy.
     proxy_provider: object = None

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.rng import ensure_rng
+
 #: Adam hyperparameters (the standard defaults).
 ADAM_BETA1 = 0.9
 ADAM_BETA2 = 0.999
@@ -67,9 +69,8 @@ def resume_minibatch_rng(model, rng) -> np.random.Generator:
     identical shuffle sequence.
     """
     if model.mb_rng_state_ is None:
-        seed_gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        model.mb_rng_state_ = seed_gen.bit_generator.state
-    gen = np.random.default_rng()
+        model.mb_rng_state_ = ensure_rng(rng).bit_generator.state
+    gen = np.random.default_rng()  # repro-lint: disable=seeded-rng -- scratch generator; its state is overwritten from mb_rng_state_ on the next line
     gen.bit_generator.state = model.mb_rng_state_
     return gen
 

@@ -20,7 +20,6 @@ Implementation notes (offline surrogates for the reference system):
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 from scipy.sparse.linalg import svds
 
 from repro.core.lf import PrimitiveLF

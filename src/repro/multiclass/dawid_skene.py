@@ -382,7 +382,6 @@ class MCDawidSkeneModel(MultiClassLabelModel):
     ) -> np.ndarray:
         """``P(y = k | L_i)`` under parameters ``(theta, rho, priors_)``."""
         n, m = L.shape
-        K = self.n_classes
         log_post = np.tile(np.log(self.priors_)[None, :], (n, 1))
         log_theta = np.log(np.clip(theta, _THETA_FLOOR, 1.0))  # (m, K, K)
         log_rho = np.log(rho)  # (m, K)
@@ -406,7 +405,6 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             raise RuntimeError("model is not fitted")
         L = self._validated(L)
         n, m = L.shape
-        K = self.n_classes
         log_joint = np.tile(np.log(self.priors_)[None, :], (n, 1))
         log_theta = np.log(np.clip(self.confusions_, _THETA_FLOOR, 1.0))
         log_rho = np.log(self.propensities_)

@@ -34,7 +34,6 @@ Usage::
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import signal

@@ -453,7 +453,13 @@ class SessionManager:
         live.commits_since_snapshot = 0
         return path
 
-    def _after_commit(self, live: _LiveSession) -> bool:
+    def _after_commit_locked(self, live: _LiveSession) -> bool:
+        """Count a closed interaction; snapshot when the cadence is due.
+
+        Caller holds ``live.lock`` (the ``_locked`` suffix is the
+        contract — enforced by ``repro lint``'s serve-lock-discipline
+        rule).
+        """
         live.commits_since_snapshot += 1
         if live.commits_since_snapshot >= self.snapshot_every:
             self._snapshot_locked(live)
@@ -524,7 +530,7 @@ class SessionManager:
                 return evicted
             try:
                 if victim.commits_since_snapshot > 0:
-                    self._snapshot_locked(victim)
+                    self._snapshot_locked(victim)  # repro-lint: disable=serve-lock-discipline -- victim.lock was acquired non-blocking by _pick_victim and is held until the finally below releases it
                 with self._lock:
                     if self._live.get(victim.name) is victim:
                         del self._live[victim.name]
@@ -583,12 +589,12 @@ class SessionManager:
                 # Count the commit toward the snapshot cadence and say
                 # what actually happened — a 400 here would invite a
                 # retry against an interaction that no longer exists.
-                self._after_commit(live)
+                self._after_commit_locked(live)
                 raise ServeError(
                     f"LF committed at iteration {session.iteration} but the "
                     f"refit failed: {exc}"
                 ) from exc
-            snapshotted = self._after_commit(live)
+            snapshotted = self._after_commit_locked(live)
             return {
                 "name": name,
                 "outcome": "submitted",
@@ -607,7 +613,7 @@ class SessionManager:
                 pending = session.decline()
             except ProtocolError as exc:
                 raise SessionConflictError(str(exc)) from exc
-            snapshotted = self._after_commit(live)
+            snapshotted = self._after_commit_locked(live)
             return {
                 "name": name,
                 "outcome": "declined",
@@ -633,7 +639,7 @@ class SessionManager:
                     "decline it first"
                 )
             outcome = SimulatedDriver(session).step()
-            snapshotted = self._after_commit(live)
+            snapshotted = self._after_commit_locked(live)
             return {
                 "name": name,
                 "outcome": outcome.kind,

@@ -1,0 +1,35 @@
+"""Shared fixture for the lint-engine tests: lint an in-memory file tree."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a ``{relpath: source}`` tree under ``tmp_path`` and lint it.
+
+    ``paths`` defaults to the top-level entries of the tree so the walk
+    covers exactly the fixture files.  ``rules=None`` runs the full
+    default registry (engine tests); rule tests pass a single fresh
+    instance to isolate the rule under test.
+    """
+
+    def _lint(files, rules=None, paths=None):
+        tops = []
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+            top = rel.split("/", 1)[0]
+            if top not in tops:
+                tops.append(top)
+        return run_lint(
+            paths=paths if paths is not None else sorted(tops),
+            root=tmp_path,
+            rules=rules,
+        )
+
+    return _lint

@@ -1,0 +1,150 @@
+"""Engine behaviour: walking, suppression flow, meta findings, JSON shape."""
+
+import json
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.engine import iter_python_files
+from repro.analysis.rules.rng import SeededRngDiscipline
+
+#: A one-line seeded-rng violation used throughout as the canonical finding.
+VIOLATION = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+class TestFileWalk:
+    def test_pycache_and_hidden_dirs_are_skipped(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/ok.py": "x = 1\n",
+                "pkg/__pycache__/bad.py": VIOLATION,
+                "pkg/.hidden/bad.py": VIOLATION,
+                "pkg/sub.egg-info/bad.py": VIOLATION,
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert report.n_files == 1
+        assert report.findings == []
+
+    def test_explicit_file_path_is_linted(self, lint_tree):
+        report = lint_tree(
+            {"pkg/bad.py": VIOLATION}, rules=[SeededRngDiscipline()],
+            paths=["pkg/bad.py"],
+        )
+        assert report.n_files == 1
+        assert len(report.unsuppressed) == 1
+
+    def test_missing_explicit_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint(paths=["no_such_dir"], root=tmp_path)
+
+    def test_default_paths_skip_missing_entries(self, tmp_path):
+        # An empty root has none of src/tools/benchmarks/examples: the
+        # default walk degrades to zero files instead of erroring.
+        report = run_lint(root=tmp_path)
+        assert report.n_files == 0
+        assert report.exit_code == 0
+
+    def test_iter_python_files_dedupes_overlapping_paths(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        f = tmp_path / "pkg" / "mod.py"
+        f.write_text("x = 1\n")
+        files = list(iter_python_files([tmp_path / "pkg", f]))
+        assert len(files) == 1
+
+
+class TestSuppression:
+    def test_pragma_suppresses_finding_on_its_line(self, lint_tree):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# repro-lint: disable=seeded-rng -- fixture exception\n"
+        )
+        report = lint_tree({"pkg/mod.py": src}, rules=[SeededRngDiscipline()])
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1
+        finding = report.suppressed[0]
+        assert finding.suppressed
+        assert finding.suppress_reason == "fixture exception"
+        assert report.exit_code == 0
+
+    def test_pragma_on_wrong_line_does_not_suppress(self, lint_tree):
+        src = (
+            "import numpy as np\n"
+            "# repro-lint: disable=seeded-rng -- wrong line\n"
+            "rng = np.random.default_rng()\n"
+        )
+        report = lint_tree({"pkg/mod.py": src}, rules=[SeededRngDiscipline()])
+        assert report.exit_code == 1
+        # Both the finding and the stale pragma are reported, unsuppressed.
+        assert sorted(f.rule for f in report.unsuppressed) == [
+            "seeded-rng",
+            "unused-pragma",
+        ]
+
+    def test_pragma_for_other_rule_does_not_suppress(self, lint_tree):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# repro-lint: disable=adapter-budget -- wrong rule\n"
+        )
+        report = lint_tree({"pkg/mod.py": src})
+        assert any(f.rule == "seeded-rng" and not f.suppressed for f in report.findings)
+
+
+class TestMetaFindings:
+    def test_parse_error_is_reported(self, lint_tree):
+        report = lint_tree({"pkg/broken.py": "def f(:\n"})
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert report.exit_code == 1
+        # Unparseable files are not counted as checked.
+        assert report.n_files == 0
+
+    def test_reasonless_pragma_is_bad(self, lint_tree):
+        report = lint_tree(
+            {"pkg/mod.py": "x = 1  # repro-lint: disable=seeded-rng\n"}
+        )
+        assert [f.rule for f in report.findings] == ["bad-pragma"]
+
+    def test_unknown_rule_in_pragma_is_bad(self, lint_tree):
+        report = lint_tree(
+            {"pkg/mod.py": "x = 1  # repro-lint: disable=not-a-rule -- because\n"}
+        )
+        bad = [f for f in report.findings if f.rule == "bad-pragma"]
+        assert len(bad) == 1
+        assert "not-a-rule" in bad[0].message
+
+    def test_stale_pragma_is_unused(self, lint_tree):
+        report = lint_tree(
+            {"pkg/mod.py": "x = 1  # repro-lint: disable=seeded-rng -- stale\n"}
+        )
+        assert [f.rule for f in report.findings] == ["unused-pragma"]
+        assert report.exit_code == 1
+
+
+class TestReportShape:
+    def test_json_format(self, lint_tree):
+        report = lint_tree({"pkg/bad.py": VIOLATION}, rules=[SeededRngDiscipline()])
+        payload = json.loads(report.to_json())
+        assert payload["format"] == "repro-lint-findings"
+        assert payload["version"] == 1
+        assert payload["n_findings"] == 1
+        assert payload["n_unsuppressed"] == 1
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "seeded-rng"
+        assert entry["path"] == "pkg/bad.py"
+        assert entry["line"] == 2
+        assert entry["suppressed"] is False
+
+    def test_findings_are_sorted_by_path_then_line(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/b.py": VIOLATION,
+                "pkg/a.py": "import numpy as np\nx = 1\ny = np.random.default_rng()\n",
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert [(f.path, f.line) for f in report.findings] == [
+            ("pkg/a.py", 3),
+            ("pkg/b.py", 2),
+        ]

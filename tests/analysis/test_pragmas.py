@@ -1,0 +1,60 @@
+"""Pragma comment parsing: shape, malformations, string-literal immunity."""
+
+from repro.analysis import parse_pragmas
+
+
+class TestWellFormed:
+    def test_single_rule_with_reason(self):
+        src = "x = rng()  # repro-lint: disable=seeded-rng -- scratch stream\n"
+        pragmas = parse_pragmas(src)
+        assert list(pragmas) == [1]
+        p = pragmas[1]
+        assert p.problem is None
+        assert p.rules == ("seeded-rng",)
+        assert p.reason == "scratch stream"
+        assert p.covers("seeded-rng")
+        assert not p.covers("adapter-budget")
+
+    def test_multiple_rules_comma_separated(self):
+        src = "y = 1  # repro-lint: disable=rule-a,rule-b -- spans two contracts\n"
+        p = parse_pragmas(src)[1]
+        assert p.problem is None
+        assert p.rules == ("rule-a", "rule-b")
+        assert p.covers("rule-a") and p.covers("rule-b")
+
+    def test_line_numbers_are_physical_lines(self):
+        src = "a = 1\nb = 2  # repro-lint: disable=r -- why\nc = 3\n"
+        assert list(parse_pragmas(src)) == [2]
+
+
+class TestMalformed:
+    def test_missing_reason_is_a_problem(self):
+        src = "x = 1  # repro-lint: disable=seeded-rng\n"
+        p = parse_pragmas(src)[1]
+        assert p.problem is not None
+        assert "mandatory" in p.problem
+        assert not p.covers("seeded-rng")
+
+    def test_missing_rule_list_is_a_problem(self):
+        src = "x = 1  # repro-lint: everything is fine\n"
+        p = parse_pragmas(src)[1]
+        assert p.problem is not None
+
+    def test_empty_reason_after_dashes_is_a_problem(self):
+        src = "x = 1  # repro-lint: disable=seeded-rng --\n"
+        p = parse_pragmas(src)[1]
+        assert p.problem is not None
+
+
+class TestNonPragmas:
+    def test_plain_comments_are_ignored(self):
+        assert parse_pragmas("x = 1  # just a note\n") == {}
+
+    def test_tag_inside_string_literal_is_not_a_pragma(self):
+        # tokenize-based location: the tag inside a string is data, not
+        # a suppression.
+        src = 'msg = "# repro-lint: disable=seeded-rng -- nope"\n'
+        assert parse_pragmas(src) == {}
+
+    def test_unparseable_source_yields_no_pragmas(self):
+        assert parse_pragmas("def f(:\n    'unterminated\n") == {}

@@ -1,0 +1,59 @@
+"""Adapter line budget, plus the tools/adapter_budget.py shim contract."""
+
+import importlib.util
+from pathlib import Path
+
+from repro.analysis.rules.budget import ADAPTER_MODULES, LINE_BUDGET, AdapterBudget
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _module_of_lines(n):
+    return "\n".join(f"x{i} = {i}" for i in range(n)) + "\n"
+
+
+class TestAdapterBudget:
+    def test_over_budget_adapter_is_flagged_at_line_one(self, lint_tree):
+        report = lint_tree(
+            {ADAPTER_MODULES[0]: _module_of_lines(LINE_BUDGET + 5)},
+            rules=[AdapterBudget()],
+        )
+        (finding,) = report.findings
+        assert finding.rule == "adapter-budget"
+        assert finding.line == 1
+        assert str(LINE_BUDGET) in finding.message
+
+    def test_under_budget_adapter_passes(self, lint_tree):
+        report = lint_tree(
+            {ADAPTER_MODULES[0]: _module_of_lines(LINE_BUDGET - 5)},
+            rules=[AdapterBudget()],
+        )
+        assert report.findings == []
+
+    def test_non_adapter_module_is_exempt(self, lint_tree):
+        report = lint_tree(
+            {"src/repro/core/engine.py": _module_of_lines(LINE_BUDGET * 4)},
+            rules=[AdapterBudget()],
+        )
+        assert report.findings == []
+
+
+class TestShim:
+    """tools/adapter_budget.py must keep its historical API over the rule."""
+
+    def _load_shim(self):
+        spec = importlib.util.spec_from_file_location(
+            "adapter_budget_shim", REPO_ROOT / "tools" / "adapter_budget.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_shim_shares_the_rule_constants(self):
+        shim = self._load_shim()
+        assert shim.ADAPTER_MODULES is ADAPTER_MODULES
+        assert shim.LINE_BUDGET == LINE_BUDGET
+
+    def test_shim_check_is_clean_on_the_committed_tree(self):
+        shim = self._load_shim()
+        assert shim.check() == []

@@ -1,0 +1,202 @@
+"""The two checkpoint-contract rules over FittedStateMixin subclasses."""
+
+from repro.analysis.rules.fitted_state import FittedDictMutation, FittedStateComplete
+
+
+class TestFittedStateComplete:
+    def test_undeclared_fitted_attr_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("coef_",)
+
+                    def fit(self, X):
+                        self.coef_ = X
+                        self.extra_ = 1
+                        return self
+                """
+            },
+            rules=[FittedStateComplete()],
+        )
+        (finding,) = report.findings
+        assert finding.rule == "fitted-state-complete"
+        assert "extra_" in finding.message
+
+    def test_declared_private_and_unsuffixed_attrs_pass(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("coef_",)
+
+                    def fit_partial(self, X):
+                        self.coef_ = X          # declared
+                        self._scratch_ = 2      # private scratch
+                        self.n_iter = 3         # no trailing underscore
+                        local_ = 4              # not a self attribute
+                        return self
+
+                    def helper(self):
+                        self.anything_ = 5      # not a fit* method
+                """
+            },
+            rules=[FittedStateComplete()],
+        )
+        assert report.findings == []
+
+    def test_hierarchy_resolves_across_files(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/base.py": """
+                class FittedStateMixin:
+                    pass
+
+                class LabelBase(FittedStateMixin):
+                    _FITTED_ATTRS = ("priors_",)
+                """,
+                "pkg/model.py": """
+                from pkg.base import LabelBase
+
+                class Concrete(LabelBase):
+                    _FITTED_ATTRS = ("coef_",)
+
+                    def fit(self, X):
+                        self.priors_ = X        # inherited declaration
+                        self.coef_ = X          # own declaration
+                        self.rogue_ = X         # declared nowhere
+                """,
+            },
+            rules=[FittedStateComplete()],
+        )
+        (finding,) = report.findings
+        assert "rogue_" in finding.message
+        assert finding.path == "pkg/model.py"
+
+    def test_dynamic_fitted_attrs_disables_completeness(self, lint_tree):
+        # A computed _FITTED_ATTRS makes the declared set unknowable; the
+        # rule must stay silent rather than flag every assignment.
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                EXTRA = ("coef_",)
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = EXTRA + ("bias_",)
+
+                    def fit(self, X):
+                        self.coef_ = X
+                        self.mystery_ = X
+                """
+            },
+            rules=[FittedStateComplete()],
+        )
+        assert report.findings == []
+
+    def test_pragma_suppresses(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("coef_",)
+
+                    def fit(self, X):
+                        self.tmp_ = X  # repro-lint: disable=fitted-state-complete -- derived cache, rebuilt on load
+                """
+            },
+            rules=[FittedStateComplete()],
+        )
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1
+
+
+class TestFittedDictMutation:
+    def test_subscript_store_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("state_",)
+
+                    def refresh(self):
+                        self.state_["k"] = 1
+                """
+            },
+            rules=[FittedDictMutation()],
+        )
+        (finding,) = report.findings
+        assert finding.rule == "fitted-dict-mutation"
+        assert "state_" in finding.message
+
+    def test_mutating_method_call_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("state_",)
+
+                    def refresh(self, other):
+                        self.state_.update(other)
+                """
+            },
+            rules=[FittedDictMutation()],
+        )
+        (finding,) = report.findings
+        assert ".update(" in finding.message
+
+    def test_reassignment_and_undeclared_attrs_pass(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("state_",)
+
+                    def refresh(self, other):
+                        self.state_ = {**other}     # reassignment is the fix
+                        self.cache["k"] = 1         # not a fitted attribute
+                        other.update({})            # not on self
+                """
+            },
+            rules=[FittedDictMutation()],
+        )
+        assert report.findings == []
+
+    def test_pragma_suppresses(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/model.py": """
+                class FittedStateMixin:
+                    pass
+
+                class Model(FittedStateMixin):
+                    _FITTED_ATTRS = ("state_",)
+
+                    def refresh(self):
+                        self.state_.clear()  # repro-lint: disable=fitted-dict-mutation -- attr is re-snapshotted immediately after
+                """
+            },
+            rules=[FittedDictMutation()],
+        )
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1

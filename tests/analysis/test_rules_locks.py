@@ -1,0 +1,114 @@
+"""Serve lock discipline: *_locked calls need a lexically held lock."""
+
+from repro.analysis.rules.locks import ServeLockDiscipline
+
+
+class TestViolations:
+    def test_bare_call_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def evict(self):
+                        self._snapshot_locked()
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        (finding,) = report.findings
+        assert finding.rule == "serve-lock-discipline"
+        assert "_snapshot_locked" in finding.message
+
+    def test_lambda_defers_past_the_with_block(self, lint_tree):
+        # The lambda body runs later, when the with-block's lock is long
+        # released — lexical nesting inside `with` proves nothing.
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def schedule(self):
+                        with self._lock:
+                            return lambda: self._snapshot_locked()
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        assert len(report.findings) == 1
+
+    def test_lock_in_enclosing_function_does_not_leak_into_nested_def(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def outer(self):
+                        with self._lock:
+                            def cb():
+                                self._snapshot_locked()
+                            return cb
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        assert len(report.findings) == 1
+
+
+class TestAllowed:
+    def test_call_under_with_lock(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def commit(self, live):
+                        with live.lock:
+                            self._after_commit_locked(live)
+                        with self._lock:
+                            self._snapshot_locked()
+                        with self._datasets_lock:
+                            self._load_locked()
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        assert report.findings == []
+
+    def test_call_under_command_context(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def step(self, name):
+                        with self._command(name) as live:
+                            self._after_commit_locked(live)
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        assert report.findings == []
+
+    def test_locked_method_may_call_locked_methods(self, lint_tree):
+        # The suffix propagates the contract to *its* callers.
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def _after_commit_locked(self, live):
+                        self._snapshot_locked(live)
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        assert report.findings == []
+
+    def test_pragma_suppresses_handoff_the_ast_cannot_see(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/manager.py": """
+                class Manager:
+                    def evict(self, victim):
+                        self._snapshot_locked(victim)  # repro-lint: disable=serve-lock-discipline -- victim.lock acquired non-blocking by _pick_victim
+                """
+            },
+            rules=[ServeLockDiscipline()],
+        )
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1

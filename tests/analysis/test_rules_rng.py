@@ -1,0 +1,137 @@
+"""Seeded-RNG discipline: every numpy.random touch outside utils/rng.py."""
+
+from repro.analysis.rules.rng import SeededRngDiscipline
+
+
+class TestViolations:
+    def test_direct_call_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                import numpy as np
+
+                def draw():
+                    return np.random.default_rng().random()
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        (finding,) = report.findings
+        assert finding.rule == "seeded-rng"
+        assert "np.random.default_rng" in finding.message
+
+    def test_legacy_global_draw_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                import numpy
+
+                x = numpy.random.rand(3)
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert len(report.findings) == 1
+
+    def test_import_from_numpy_random_is_flagged(self, lint_tree):
+        report = lint_tree(
+            {"pkg/mod.py": "from numpy.random import default_rng\n"},
+            rules=[SeededRngDiscipline()],
+        )
+        (finding,) = report.findings
+        assert "choke point" in finding.message
+
+    def test_bare_factory_reference_is_flagged_once(self, lint_tree):
+        # default_factory=np.random.default_rng never *calls* at the use
+        # site, but still routes a stream around the choke point.  The
+        # reference check must not double-report actual calls.
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                import numpy as np
+                from dataclasses import dataclass, field
+
+                @dataclass
+                class State:
+                    rng: object = field(default_factory=np.random.default_rng)
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert len(report.findings) == 1
+        assert "factory" in report.findings[0].message
+
+    def test_module_alias_via_from_numpy_import_random(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                from numpy import random as npr
+
+                g = npr.default_rng(0)
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert len(report.findings) == 1
+
+
+class TestAllowed:
+    def test_class_references_create_no_stream(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                import numpy as np
+
+                def use(rng: np.random.Generator) -> bool:
+                    return isinstance(rng, np.random.Generator)
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert report.findings == []
+
+    def test_allowlisted_choke_point_file(self, lint_tree):
+        report = lint_tree(
+            {
+                "src/repro/utils/rng.py": """
+                import numpy as np
+
+                def ensure_rng(seed):
+                    return np.random.default_rng(seed)
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert report.findings == []
+
+    def test_unrelated_random_attribute_is_not_numpy(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                import numpy as np
+
+                class Box:
+                    random = None
+
+                b = Box()
+                b.random.default_rng = 1
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        # b.random is not one of the file's numpy.random aliases.
+        assert report.findings == []
+
+    def test_pragma_suppresses(self, lint_tree):
+        report = lint_tree(
+            {
+                "pkg/mod.py": """
+                import numpy as np
+
+                gen = np.random.default_rng()  # repro-lint: disable=seeded-rng -- state overwritten from checkpoint on next line
+                """
+            },
+            rules=[SeededRngDiscipline()],
+        )
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1

@@ -1,0 +1,67 @@
+"""The committed tree must lint clean: `repro lint` is CI's gate.
+
+This is the same invariant the CI lint job enforces; running it in the
+test suite keeps `pytest` sufficient to know a change will pass CI.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import DEFAULT_LINT_PATHS, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestCommittedTree:
+    def test_zero_unsuppressed_findings(self):
+        report = run_lint(root=REPO_ROOT)
+        assert report.n_files > 100  # the walk really covered the tree
+        offenders = [f.format() for f in report.unsuppressed]
+        assert offenders == [], "\n".join(offenders)
+
+    def test_every_suppression_carries_a_reason(self):
+        report = run_lint(root=REPO_ROOT)
+        assert report.suppressed, "expected the documented pragma exceptions"
+        for finding in report.suppressed:
+            assert finding.suppress_reason, finding.format()
+
+    def test_default_paths_all_exist_here(self):
+        for rel in DEFAULT_LINT_PATHS:
+            assert (REPO_ROOT / rel).is_dir(), rel
+
+
+class TestCli:
+    def test_lint_command_exits_zero_and_writes_artifact(self, tmp_path):
+        out = tmp_path / "findings.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--root", str(REPO_ROOT),
+             "--output", str(out)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-lint-findings"
+        assert payload["n_unsuppressed"] == 0
+
+    def test_list_rules_names_the_five_contracts(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        for rule in (
+            "adapter-budget",
+            "fitted-dict-mutation",
+            "fitted-state-complete",
+            "seeded-rng",
+            "serve-lock-discipline",
+        ):
+            assert rule in proc.stdout

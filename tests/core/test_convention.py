@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.convention import (
     BINARY,
-    BinaryVoteConvention,
     MulticlassVoteConvention,
     convention_for,
     multiclass_convention,

@@ -5,7 +5,6 @@ corpora, and assert the paper's *qualitative* claims where they are robust
 enough to hold at test scale across seeds.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,7 +1,6 @@
 """Tests for Active WeaSuL's maxKL internals and IWS acquisition details."""
 
 import numpy as np
-import pytest
 
 from repro.interactive.active_weasul import ActiveWeaSuLMethod
 from repro.interactive.iws import IWSLSEMethod

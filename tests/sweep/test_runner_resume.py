@@ -7,7 +7,6 @@ from repro.data import load_dataset
 from repro.experiments import evaluate_method, make_method
 from repro.sweep import ResultStore, SweepSpec, run_sweep
 from repro.sweep.runner import _validate_spec_resolvable
-from repro.sweep.spec import SweepJob
 from repro.sweep.worker import (
     SweepJobCrash,
     load_named_dataset,

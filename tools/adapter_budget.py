@@ -1,12 +1,11 @@
-"""Duplication guard: the multiclass adapter modules must stay thin.
+"""Duplication guard shim over the ``adapter-budget`` lint rule.
 
-The mirror-removal refactor rewrote the formerly duplicated
-``repro.multiclass`` subsystems as adapters/re-exports over the
-cardinality-generic ``core``/``interactive`` implementations (see
-ARCHITECTURE.md).  This guard fails — in CI's lint job and in the test
-suite via ``tests/multiclass/test_adapter_budget.py`` — as soon as one of
-them grows past a small line budget, which is the tell-tale of logic being
-re-duplicated into the adapter layer instead of generalized in ``core``.
+The guard itself now lives in the ``repro lint`` rule registry
+(:mod:`repro.analysis.rules.budget`) and runs as part of CI's lint job;
+this module keeps the historical entry points working — ``python
+tools/adapter_budget.py`` and the ``check()`` function the test suite
+imports — by delegating to the rule's single source of truth for the
+module list and line budget.
 """
 
 from __future__ import annotations
@@ -16,18 +15,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Per-module total line budget (blank lines and docstrings included: the
-#: point is that these files stay *small*, not merely logic-free).
-LINE_BUDGET = 55
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
-ADAPTER_MODULES = (
-    "src/repro/multiclass/contextualizer.py",
-    "src/repro/multiclass/selection.py",
-    "src/repro/multiclass/seu.py",
-    "src/repro/multiclass/simulated_user.py",
-    "src/repro/multiclass/user_model.py",
-    "src/repro/multiclass/utility.py",
-)
+from repro.analysis.rules.budget import ADAPTER_MODULES, LINE_BUDGET  # noqa: E402
 
 
 def check() -> list[str]:
