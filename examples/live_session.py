@@ -14,7 +14,9 @@ plays both sides in one process:
    primitives, ``submit``/``decline`` answer with an LF (or without one);
 4. hand some iterations to the session's built-in simulated user
    (``step``) and watch the score move;
-5. restart the manager over the same root to show the session resuming
+5. read the server's own telemetry: ``/statusz`` for the operational
+   summary and ``/metrics`` for the Prometheus exposition (ENGINE.md §9);
+6. restart the manager over the same root to show the session resuming
    from its latest rotated snapshot.
 
 Run:  python examples/live_session.py
@@ -85,11 +87,31 @@ def main() -> None:
             lf_str = "-" if lf is None else f"{lf['primitive']!r}->{lf['label']:+d}"
             print(f"  it {result['iteration']:>2}: {result['outcome']:<9} {lf_str}")
         print(f"score after simulated turns: {client.score('demo')['test_score']:.3f}")
+
+        # 5. The server watched itself the whole time: /statusz summarizes
+        # command latencies and engine phase attribution, /metrics exposes
+        # the same registry as Prometheus text (try `repro metrics <url>`).
+        status = client.statusz()
+        cmds = status["commands"]
+        print("\nserver telemetry (/statusz):")
+        for command in sorted(cmds):
+            entry = cmds[command]
+            print(
+                f"  {command:<8} n={entry['count']:<3} "
+                f"p50={entry['p50_ms']}ms p99={entry['p99_ms']}ms"
+            )
+        phases = status["engine"]["phase_seconds"]
+        top = max(phases, key=phases.get)
+        print(f"  engine compute is dominated by {top!r} ({phases[top]:.2f}s)")
+        n_samples = len(
+            [l for l in client.metrics().splitlines() if not l.startswith("#")]
+        )
+        print(f"  /metrics exposes {n_samples} samples")
         before = client.info("demo")
         server.shutdown()
         server.server_close()
 
-        # 5. "Restart": a fresh service over the same root resumes the
+        # 6. "Restart": a fresh service over the same root resumes the
         # session from its latest rotated snapshot.
         server, url = serve_in_thread(root)
         client = SessionClient(url)

@@ -1,5 +1,5 @@
 """Rule modules; importing this package registers every shipped rule."""
 
-from repro.analysis.rules import budget, fitted_state, locks, rng
+from repro.analysis.rules import budget, fitted_state, locks, obs_state, rng
 
-__all__ = ["budget", "fitted_state", "locks", "rng"]
+__all__ = ["budget", "fitted_state", "locks", "obs_state", "rng"]

@@ -1,0 +1,163 @@
+"""Observability must stay out of checkpointed state (ENGINE.md §9).
+
+The instrumentation layer (:mod:`repro.obs`) is determinism-neutral by
+contract: registries, observers, and spans are transient process state,
+never part of a session's ``state_dict``, and checkpoint payloads never
+carry wall-clock readings (two snapshots of the same session must be
+bit-identical).  One rule enforces both halves:
+
+* an obs object (``Counter``, ``Histogram``, ``EngineObserver``, …)
+  assigned to a *checkpointed* attribute — one declared in
+  ``_FITTED_ATTRS``, or a sklearn-style ``<name>_`` fitted attribute of a
+  ``FittedStateMixin`` subclass — would be captured by ``state_dict`` and
+  either fail to serialize or smuggle live instrument references into
+  snapshots;
+* a wall-clock read (``time.time()``, ``datetime.now()``,
+  ``datetime.utcnow()``) inside any ``state_dict`` method stamps the
+  payload with the time of the snapshot, so two checkpoints of identical
+  state compare different.
+
+Class-hierarchy resolution reuses the fitted-state rules' cross-file
+index (same simple-name approximation, same collect pass).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, register
+from repro.analysis.rules.fitted_state import _FittedRuleBase, _self_attr
+
+#: Public instrument/observer types of :mod:`repro.obs` — any of these on
+#: the right-hand side of a checkpointed-attribute assignment is a leak.
+OBS_TYPE_NAMES = frozenset(
+    {
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "MetricsRegistry",
+        "EngineObserver",
+        "Span",
+    }
+)
+
+#: ``(module-ish base, attribute)`` call pairs that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "localtime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+    }
+)
+
+
+def _call_type_name(value: ast.expr) -> str | None:
+    """The simple callee name when ``value`` is a ``Name(...)`` style call."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _wall_clock_call(node: ast.Call) -> str | None:
+    """``"time.time"``-style dotted name when ``node`` reads the clock."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name):
+        base_name = base.id
+    elif isinstance(base, ast.Attribute):  # datetime.datetime.now(...)
+        base_name = base.attr
+    else:
+        return None
+    if (base_name, func.attr) in _WALL_CLOCK_CALLS:
+        return f"{base_name}.{func.attr}"
+    return None
+
+
+@register
+class ObsNoStateLeak(_FittedRuleBase):
+    name = "obs-no-state-leak"
+    description = (
+        "repro.obs instruments must never be assigned to checkpointed "
+        "attributes, and state_dict methods must not read the wall clock "
+        "(instrumentation is determinism-neutral by contract)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_obs_assignments(ctx)
+        yield from self._check_state_dict_clocks(ctx)
+
+    # -- half 1: obs objects into checkpointed attributes ---------------- #
+    def _check_obs_assignments(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            fitted = self.index.is_fitted(cls.name)
+            declared = self.index.effective_attrs(cls.name) or set()
+            if not fitted and not declared:
+                continue
+            for node in ast.walk(cls):
+                targets: list[ast.expr]
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                type_name = _call_type_name(value)
+                if type_name not in OBS_TYPE_NAMES:
+                    continue
+                for target in targets:
+                    elements = target.elts if isinstance(target, ast.Tuple) else [target]
+                    for el in elements:
+                        attr = _self_attr(el)
+                        if attr is None:
+                            continue
+                        checkpointed = attr in declared or (
+                            fitted
+                            and attr.endswith("_")
+                            and not attr.endswith("__")
+                            and not attr.startswith("_")
+                        )
+                        if checkpointed:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"{cls.name} assigns a {type_name} to "
+                                f"self.{attr}, a checkpointed attribute — "
+                                "obs instruments are transient process state "
+                                "and must stay out of state_dict; hold it on "
+                                "a non-fitted attribute instead",
+                            )
+
+    # -- half 2: wall-clock reads inside state_dict ----------------------- #
+    def _check_state_dict_clocks(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name != "state_dict":
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _wall_clock_call(node)
+                if dotted is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() inside state_dict stamps the checkpoint "
+                        "payload with the wall clock — two snapshots of "
+                        "identical state would compare different; keep "
+                        "timestamps in sidecar metadata, not the payload",
+                    )

@@ -179,6 +179,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also evict sessions untouched for this long (a background "
         "sweeper enforces it even without traffic)",
     )
+    p_serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON log line per request on stderr "
+        "(request id, outcome, per-phase span timings)",
+    )
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running server's /statusz (or raw /metrics) and pretty-print it",
+        description=(
+            "Fetch GET /statusz from a running 'repro serve' endpoint and "
+            "pretty-print the operational snapshot: session population, "
+            "per-command latency, cold starts, snapshot cadence health, and "
+            "engine phase/refit attribution. With --raw, print the raw "
+            "Prometheus text exposition from GET /metrics instead."
+        ),
+    )
+    p_metrics.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8765")
+    p_metrics.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the raw Prometheus /metrics exposition instead of /statusz",
+    )
+    p_metrics.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the /statusz payload as JSON instead of the table view",
+    )
+    p_metrics.add_argument("--timeout", type=float, default=10.0)
 
     p_loadtest = sub.add_parser(
         "loadtest",
@@ -452,7 +481,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
-    from repro.sweep import SweepSpec, run_sweep
+    from repro.sweep import ResultStore, SweepSpec, run_sweep
 
     spec = SweepSpec(
         methods=tuple(args.methods),
@@ -490,6 +519,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     if not report.complete:
         print(f"{len(report.pending)} jobs still pending; rerun to resume")
+    obs = ResultStore(args.out).summarize_obs()
+    if obs["jobs"]:
+        phase_total = sum(obs["phase_seconds"].values())
+        phases = "  ".join(
+            f"{name}={seconds:.1f}s" for name, seconds in sorted(obs["phase_seconds"].items())
+        )
+        print(
+            f"engine obs ({obs['jobs']} instrumented jobs, "
+            f"{phase_total:.1f}s compute): {phases}"
+        )
+        if obs["refits"] or obs["end_fits"]:
+            refits = " ".join(f"{k}={v}" for k, v in sorted(obs["refits"].items()))
+            end_fits = " ".join(f"{k}={v}" for k, v in sorted(obs["end_fits"].items()))
+            print(f"  refits: {refits or '-'}; end fits: {end_fits or '-'}")
     # Table of curve averages for every complete cell, one block per dataset.
     for dataset in spec.datasets:
         cells, names = [], []
@@ -552,6 +595,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import SessionManager, make_server
 
+    if args.access_log:
+        from repro.obs import attach_stderr_handler
+
+        attach_stderr_handler()
     manager = SessionManager(
         args.root,
         snapshot_every=args.snapshot_every,
@@ -623,6 +670,17 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             f"[loadtest]   {command:<8} n={entry['n']:<4} p50={entry['p50']}ms "
             f"p99={entry['p99']}ms max={entry['max']}ms"
         )
+    if record.get("server_metrics"):
+        sm = record["server_metrics"]
+        print(
+            f"[loadtest] server-side histograms "
+            f"({sm['lost_commands_total']} lost command(s)):"
+        )
+        for command, entry in sm["commands"].items():
+            print(
+                f"[loadtest]   {command:<8} n={entry['server_count']:<4} "
+                f"p50={entry['p50_ms']}ms p99={entry['p99_ms']}ms"
+            )
     if problems:
         print("[loadtest] record FAILED its own schema check:")
         for problem in problems:
@@ -638,6 +696,68 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                     print(f"[loadtest]   - {problem}")
                 return 1
             print(f"[loadtest] committed record {committed} passes the schema check")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClientError, SessionClient
+
+    client = SessionClient(args.url, timeout=args.timeout)
+    try:
+        if args.raw:
+            sys.stdout.write(client.metrics())
+            return 0
+        status = client.statusz()
+    except (ServeClientError, OSError) as exc:
+        print(f"[metrics] cannot scrape {args.url}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    if args.as_json:
+        print(_json.dumps(status, indent=2))
+        return 0
+    sessions = status["sessions"]
+    snapshots = status["snapshots"]
+    print(f"server {args.url}  up {status['uptime_seconds']:.0f}s")
+    print(
+        f"sessions: {sessions['live']} live, {sessions['loading']} loading, "
+        f"{sessions['stored']} stored, {sessions['open_interactions']} open "
+        f"interaction(s); {sessions['created_total']} created, "
+        f"{sessions['restored_total']} restored, {sessions['evicted_total']} "
+        f"evicted, {sessions['restore_failures_total']} restore failure(s)"
+    )
+    print(
+        f"snapshots: {snapshots['total']} written (cadence every "
+        f"{snapshots['cadence_commits']} commits); {snapshots['dirty_sessions']} "
+        f"dirty session(s), worst {snapshots['max_commits_since_snapshot']} "
+        "commit(s) behind"
+    )
+    if status["commands"]:
+        header = f"{'command':<10} {'count':>7} {'p50 ms':>9} {'p99 ms':>9}  outcomes"
+        print(header)
+        print("-" * len(header))
+        for command, entry in sorted(status["commands"].items()):
+            outcomes = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry["by_outcome"].items())
+            )
+            p50 = "-" if entry["p50_ms"] is None else f"{entry['p50_ms']:.2f}"
+            p99 = "-" if entry["p99_ms"] is None else f"{entry['p99_ms']:.2f}"
+            print(f"{command:<10} {entry['count']:>7} {p50:>9} {p99:>9}  {outcomes}")
+    engine = status["engine"]
+    if engine["phase_seconds"]:
+        total = sum(engine["phase_seconds"].values()) or 1.0
+        phases = "  ".join(
+            f"{phase}={seconds:.2f}s ({100.0 * seconds / total:.0f}%)"
+            for phase, seconds in sorted(engine["phase_seconds"].items())
+        )
+        print(f"engine phases: {phases}")
+    if engine["refits"]:
+        refits = ", ".join(f"{k}={v}" for k, v in sorted(engine["refits"].items()))
+        end_fits = ", ".join(f"{k}={v}" for k, v in sorted(engine["end_fits"].items()))
+        print(f"refits: {refits}; end fits: {end_fits}")
+        print(f"open-interval wall: {engine['open_interval_seconds']:.2f}s")
     return 0
 
 
@@ -701,6 +821,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,
     "sessions": cmd_sessions,
+    "metrics": cmd_metrics,
     "lint": cmd_lint,
 }
 

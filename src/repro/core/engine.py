@@ -108,7 +108,13 @@ class IncrementalSessionEngine:
     ``self.phase_timings`` (seconds per :data:`PHASES` entry, plus
     ``"contextualize"`` for the Eq.-4 refinement inside the label-model
     phase) — the attribution record ``benchmarks/bench_perf_session.py``
-    reports.
+    reports.  ``"develop"`` times only the commit compute of
+    :meth:`submit`; the wall time a proposal sat open awaiting the user
+    (human think-time) accrues separately on the transient
+    ``open_interval_seconds`` so serve latency attribution is never
+    polluted by it.  Per-command attribution additionally flows to an
+    optional transient ``observer`` (see ``repro.obs`` and ENGINE.md §9);
+    none of that state enters :meth:`state_dict`.
     """
 
     #: The session's vote convention; subclasses MUST assign one (class or
@@ -217,6 +223,20 @@ class IncrementalSessionEngine:
         # repro.core.protocol) and its transient proposal counter.
         self._pending: PendingInteraction | None = None
         self._proposal_token = 0
+        # Transient observability (never checkpointed — the obs-no-state-leak
+        # lint rule keeps it that way): an optional observer sink with an
+        # ``on_command(info)`` method (repro.obs.EngineObserver), cumulative
+        # open-interval wall (proposal sat open awaiting the user — human
+        # latency, deliberately NOT part of phase_timings since the
+        # develop-split fix), and per-refit attribution scratch.
+        self.observer = None
+        self.open_interval_seconds = 0.0
+        self.last_open_interval: float | None = None
+        self.last_refit_obs: dict | None = None
+        self.last_command_obs: dict | None = None
+        self.refit_counts: dict[str, int] = {"warm": 0, "cold": 0}
+        self.end_fit_counts: dict[str, int] = {}
+        self._last_end_fit_mode = "skipped"
         self.active_percentile_: float | None = (
             contextualizer.percentile if contextualizer is not None else None
         )
@@ -323,6 +343,7 @@ class IncrementalSessionEngine:
             state=state,
             ready_at=t1,
         )
+        self._notify_obs("propose", {"select": t1 - t0})
         return self._pending
 
     def _require_pending(self) -> PendingInteraction:
@@ -351,12 +372,26 @@ class IncrementalSessionEngine:
             )
         if lf is None:
             raise ProtocolError("submit() requires an LF; use decline() instead")
+        # Open-interval wall: how long the proposal sat awaiting the user.
+        # Human think-time, not compute — it goes to the transient span
+        # accumulator, NOT phase_timings["develop"], which since the
+        # develop-split fix times only the commit itself.
+        open_wall = time.perf_counter() - pending.ready_at
+        before = dict(self.phase_timings)
+        t0 = time.perf_counter()
         self._commit_develop(lf, pending.dev_index, pending.iteration)
         self.selected.add(pending.dev_index)
         self.iteration = pending.iteration + 1
         self._pending = None
-        self.phase_timings["develop"] += time.perf_counter() - pending.ready_at
+        self.phase_timings["develop"] += time.perf_counter() - t0
+        self._record_open_interval(open_wall)
         self._refit()
+        self._notify_obs(
+            "submit",
+            self._phase_deltas(before),
+            refit=self.last_refit_obs,
+            open_interval_seconds=open_wall,
+        )
         return pending
 
     def decline(self) -> PendingInteraction:
@@ -369,12 +404,56 @@ class IncrementalSessionEngine:
         eligible example.
         """
         pending = self._require_pending()
+        open_wall = None
         if pending.dev_index is not None:
             self.selected.add(pending.dev_index)
-            self.phase_timings["develop"] += time.perf_counter() - pending.ready_at
+            # No commit compute happens on decline — the old accrual of
+            # the whole open interval into phase_timings["develop"] was
+            # the think-time conflation the develop-split fix removed.
+            open_wall = time.perf_counter() - pending.ready_at
+            self._record_open_interval(open_wall)
         self.iteration = pending.iteration + 1
         self._pending = None
+        self._notify_obs("decline", {}, open_interval_seconds=open_wall)
         return pending
+
+    # ------------------------------------------------------------------ #
+    # transient observability (ENGINE.md §9)
+    # ------------------------------------------------------------------ #
+    def _record_open_interval(self, seconds: float) -> None:
+        self.last_open_interval = seconds
+        self.open_interval_seconds += seconds
+
+    def _phase_deltas(self, before: dict) -> dict:
+        """Per-command phase seconds: current totals minus a snapshot."""
+        return {
+            k: v - before.get(k, 0.0)
+            for k, v in self.phase_timings.items()
+            if v != before.get(k, 0.0)
+        }
+
+    def _notify_obs(
+        self,
+        command: str,
+        phases: dict,
+        refit: dict | None = None,
+        open_interval_seconds: float | None = None,
+    ) -> None:
+        """Build this command's attribution dict and hand it to the observer.
+
+        Everything here is transient and JSON-safe; it never enters
+        :meth:`state_dict`, touches no RNG, and a ``None`` observer makes
+        the whole path a dict build — cheap enough to leave always-on.
+        """
+        self.last_command_obs = {
+            "command": command,
+            "iteration": int(self.iteration),
+            "phases": phases,
+            "refit": refit,
+            "open_interval_seconds": open_interval_seconds,
+        }
+        if self.observer is not None:
+            self.observer.on_command(self.last_command_obs)
 
     def cancel(self) -> PendingInteraction | None:
         """Discard the open interaction without consuming the iteration.
@@ -545,6 +624,7 @@ class IncrementalSessionEngine:
         self._cold_warranted_ = self._cold_refit_due()
         self._end_uncapped_ = self._end_refit_uncapped_due()
         self._refit_count += 1
+        self._last_end_fit_mode = "skipped"
         L_effective = self._effective_label_matrix()
         refined = self.contextualizer is not None
         # The handle is only valid for the raw vote matrix; refinement
@@ -568,6 +648,12 @@ class IncrementalSessionEngine:
             self._update_proxy()
         self.phase_timings["end_model"] += time.perf_counter() - t1
         self._selector_cache.clear()
+        # Transient refit attribution for the observer / sweep payloads.
+        path = "cold" if self._cold_warranted_ else "warm"
+        self.refit_counts[path] = self.refit_counts.get(path, 0) + 1
+        mode = self._last_end_fit_mode
+        self.end_fit_counts[mode] = self.end_fit_counts.get(mode, 0) + 1
+        self.last_refit_obs = {"path": path, "end_fit_mode": mode}
 
     # ------------------------------------------------------------------ #
     # end-model refits (ENGINE.md §7)
@@ -672,6 +758,7 @@ class IncrementalSessionEngine:
             else:
                 X_covered, targets = self._covered_training_set(covered)
             self.end_model.fit_minibatch(X_covered, targets, rng=self._end_minibatch_rng())
+            self._last_end_fit_mode = "minibatch"
             return
         idx = np.flatnonzero(covered)
         X_covered = self.dataset.train.X[idx]
@@ -687,8 +774,10 @@ class IncrementalSessionEngine:
             self.end_model.fit(X_covered, targets)
             if anchored:
                 self._end_anchor_ = self.end_model.state_dict()
+            self._last_end_fit_mode = "uncapped"
         else:
             self.end_model.fit(X_covered, targets, max_iter=self.warm_end_iter)
+            self._last_end_fit_mode = "warm_capped"
 
     def _effective_label_matrix(self) -> np.ndarray:
         if self.contextualizer is None:

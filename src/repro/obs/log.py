@@ -1,0 +1,69 @@
+"""Structured JSON logging for the serve path.
+
+One logger (``repro.obs.log``), one formatter: every record renders as a
+single JSON object per line with a stable field order (ts, level, msg,
+then sorted extras).  Libraries must stay silent by default, so the
+logger ships with a ``NullHandler``; ``repro serve`` attaches a stderr
+handler via :func:`attach_stderr_handler`.
+
+Timestamps come from ``time.time`` at emit — they live only on the log
+stream, never in fitted state, so determinism-neutrality holds.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+__all__ = ["JsonLineFormatter", "attach_stderr_handler", "get_logger", "log_event"]
+
+LOGGER_NAME = "repro.obs.log"
+
+_RESERVED = frozenset(logging.LogRecord("", 0, "", 0, "", (), None).__dict__) | {
+    "message",
+    "asctime",
+    "taskName",
+}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render a LogRecord as one JSON line; extras become fields."""
+
+    def format(self, record):
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "msg": record.getMessage(),
+        }
+        for key in sorted(record.__dict__):
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = record.__dict__[key]
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+def get_logger():
+    logger = logging.getLogger(LOGGER_NAME)
+    if not logger.handlers:
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def attach_stderr_handler(level=logging.INFO, stream=None):
+    """Attach the shared JSON formatter to stderr (idempotent)."""
+    logger = get_logger()
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_obs_stderr", False):
+            return logger
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLineFormatter())
+    handler._repro_obs_stderr = True
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+def log_event(msg, /, **fields):
+    """Emit one structured line (no-op unless a handler is attached)."""
+    get_logger().info(msg, extra=fields)

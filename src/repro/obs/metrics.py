@@ -1,0 +1,403 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (see ENGINE.md §9):
+
+* stdlib only — no prometheus_client, no third-party exporters;
+* thread-safe under the serve layer's ``ThreadingHTTPServer`` — every
+  instrument guards its numbers with one small lock, updates are a few
+  adds, never an allocation in the hot path after first touch;
+* determinism-neutral — instruments never touch any RNG and never live
+  inside fitted state (``obs-no-state-leak`` enforces the latter);
+* snapshot-able to plain JSON and renderable in the Prometheus text
+  exposition format (version 0.0.4) so the same registry backs
+  ``GET /metrics``, ``GET /statusz``, and offline artifacts.
+
+Label values are caller-supplied and MUST be bounded (command names,
+outcome classes) — never session names, paths, or request ids, which
+would grow child maps without bound.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_prometheus_text",
+]
+
+# Seconds.  Spans 1ms..10s, enough resolution around the interactive
+# 10-500ms band the serve path targets; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _validate_labels(names, values):
+    if len(values) != len(names):
+        raise ValueError(
+            f"expected {len(names)} label value(s) for {names!r}, got {values!r}"
+        )
+    return tuple(str(v) for v in values)
+
+
+def _escape_label_value(value):
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value):
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+class _Instrument:
+    """Shared shell: name, help text, label schema, per-child cells."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help_text, label_names=()):
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._children = {}
+
+    def _cell(self, label_values):
+        key = _validate_labels(self.label_names, label_values)
+        cell = self._children.get(key)
+        if cell is None:
+            with self._lock:
+                cell = self._children.setdefault(key, self._new_cell())
+        return cell
+
+    def _new_cell(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, *label_values):
+        """Return a bound child; with no labels the single default child."""
+        return _Bound(self, _validate_labels(self.label_names, label_values))
+
+    def label_sets(self):
+        """Every label-value tuple this instrument has been touched with."""
+        with self._lock:
+            return sorted(self._children)
+
+    def _iter_children(self):
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class _Bound:
+    """A (instrument, label values) pair exposing the write methods."""
+
+    def __init__(self, instrument, label_values):
+        self._instrument = instrument
+        self._label_values = label_values
+
+    def inc(self, amount=1.0):
+        self._instrument.inc(*self._label_values, amount=amount)
+
+    def set(self, value):
+        self._instrument.set(*self._label_values, value=value)
+
+    def observe(self, value):
+        self._instrument.observe(*self._label_values, value=value)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing float, optionally labeled."""
+
+    kind = "counter"
+
+    def _new_cell(self):
+        return [0.0]
+
+    def inc(self, *label_values, amount=1.0):
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        cell = self._cell(label_values)
+        with self._lock:
+            cell[0] += amount
+
+    def value(self, *label_values):
+        cell = self._cell(label_values)
+        with self._lock:
+            return cell[0]
+
+    def items(self):
+        """``[(label_values, value), ...]`` over every touched child."""
+        return [(key, cell[0]) for key, cell in self._iter_children()]
+
+    def snapshot(self):
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "values": [
+                {"labels": list(key), "value": cell[0]}
+                for key, cell in self._iter_children()
+            ],
+        }
+
+    def render(self, lines):
+        lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, cell in self._iter_children():
+            lines.append(f"{self.name}{_label_suffix(self.label_names, key)} {_format_value(cell[0])}")
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (live sessions, active cold starts)."""
+
+    kind = "gauge"
+
+    def _new_cell(self):
+        return [0.0]
+
+    def set(self, *label_values, value):
+        cell = self._cell(label_values)
+        with self._lock:
+            cell[0] = float(value)
+
+    def inc(self, *label_values, amount=1.0):
+        cell = self._cell(label_values)
+        with self._lock:
+            cell[0] += amount
+
+    def dec(self, *label_values, amount=1.0):
+        self.inc(*label_values, amount=-amount)
+
+    def value(self, *label_values):
+        cell = self._cell(label_values)
+        with self._lock:
+            return cell[0]
+
+    items = Counter.items
+    snapshot = Counter.snapshot
+    render = Counter.render
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with cumulative bucket counts.
+
+    Buckets are upper bounds (le); +Inf is implicit.  ``quantile`` gives a
+    bucket-interpolated estimate — good enough for statusz p50/p99, not a
+    substitute for client-side percentiles (the loadtest keeps both and
+    cross-checks the counts).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, label_names=(), buckets=DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help_text, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+
+    def _new_cell(self):
+        # [count, sum, per-bucket counts...] — bucket counts stored
+        # non-cumulative, cumulated at render/snapshot time.
+        return [0, 0.0] + [0] * (len(self.bounds) + 1)
+
+    def observe(self, *label_values, value):
+        value = float(value)
+        cell = self._cell(label_values)
+        idx = _bucket_index(self.bounds, value)
+        with self._lock:
+            cell[0] += 1
+            cell[1] += value
+            cell[2 + idx] += 1
+
+    def count(self, *label_values):
+        cell = self._cell(label_values)
+        with self._lock:
+            return cell[0]
+
+    def sum(self, *label_values):
+        cell = self._cell(label_values)
+        with self._lock:
+            return cell[1]
+
+    def quantile(self, q, *label_values):
+        """Bucket-interpolated quantile estimate in the observed unit."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        cell = self._cell(label_values)
+        with self._lock:
+            total = cell[0]
+            counts = list(cell[2:])
+        if total == 0:
+            return None
+        rank = q * total
+        seen = 0
+        for i, n in enumerate(counts):
+            seen += n
+            if seen >= rank and n:
+                hi = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                lo = self.bounds[i - 1] if 0 < i <= len(self.bounds) else 0.0
+                frac = (rank - (seen - n)) / n
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        return self.bounds[-1]
+
+    def snapshot(self):
+        values = []
+        for key, cell in self._iter_children():
+            with self._lock:
+                count, total = cell[0], cell[1]
+                counts = list(cell[2:])
+            cumulative = []
+            running = 0
+            for n in counts:
+                running += n
+                cumulative.append(running)
+            values.append(
+                {
+                    "labels": list(key),
+                    "count": count,
+                    "sum": total,
+                    "buckets": [
+                        {"le": le, "count": c}
+                        for le, c in zip(list(self.bounds) + [math.inf], cumulative)
+                    ],
+                }
+            )
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "values": values,
+        }
+
+    def render(self, lines):
+        lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, cell in self._iter_children():
+            with self._lock:
+                count, total = cell[0], cell[1]
+                counts = list(cell[2:])
+            running = 0
+            for le, n in zip(list(self.bounds) + [math.inf], counts):
+                running += n
+                suffix = _label_suffix(self.label_names + ("le",), key + (_format_value(le),))
+                lines.append(f"{self.name}_bucket{suffix} {running}")
+            base = _label_suffix(self.label_names, key)
+            lines.append(f"{self.name}_sum{base} {_format_value(total)}")
+            lines.append(f"{self.name}_count{base} {count}")
+
+
+def _bucket_index(bounds, value):
+    lo, hi = 0, len(bounds)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= bounds[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _label_suffix(names, values):
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class MetricsRegistry:
+    """A named collection of instruments, one per process component.
+
+    Instruments are created once (``counter``/``gauge``/``histogram`` are
+    get-or-create, raising on a kind mismatch) so call sites can re-declare
+    rather than thread instrument handles through every layer.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments = {}
+
+    def _get_or_create(self, cls, name, help_text, label_names, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.label_names != tuple(label_names):
+                    raise ValueError(
+                        f"metric {name!r} re-registered with a different "
+                        f"kind or label schema"
+                    )
+                return existing
+            instrument = cls(name, help_text, label_names, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name, help_text, label_names=()):
+        return self._get_or_create(Counter, name, help_text, label_names)
+
+    def gauge(self, name, help_text, label_names=()):
+        return self._get_or_create(Gauge, name, help_text, label_names)
+
+    def histogram(self, name, help_text, label_names=(), buckets=DEFAULT_LATENCY_BUCKETS):
+        return self._get_or_create(
+            Histogram, name, help_text, label_names, buckets=buckets
+        )
+
+    def get(self, name):
+        with self._lock:
+            return self._instruments.get(name)
+
+    def snapshot(self):
+        """JSON-safe dict of every instrument's current numbers."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in instruments}
+
+    def render_prometheus(self):
+        """Prometheus text exposition format (0.0.4), trailing newline."""
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        lines = []
+        for _, inst in instruments:
+            inst.render(lines)
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text back into ``{sample_name{labels}: value}``.
+
+    Deliberately minimal — enough for the smoke script and tests to check
+    non-emptiness and counter monotonicity across two scrapes.  Keys are
+    the raw sample lines' name+label strings, values are floats.
+    """
+    samples = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, raw = line.rpartition(" ")
+        if not key:
+            continue
+        value = math.inf if raw == "+Inf" else float(raw)
+        samples[key] = value
+    return samples

@@ -1,0 +1,91 @@
+"""EngineObserver: bridges engine-side attribution into metrics + spans.
+
+``IncrementalSessionEngine`` keeps a *transient* ``observer`` attribute
+(never checkpointed — see ``obs-no-state-leak``).  After each command it
+calls :meth:`EngineObserver.on_command` with a plain dict describing what
+just happened: which command, per-phase compute seconds, whether the
+refit took the cold path, which end-model fit mode ran, and — for
+submit/decline — how long the proposal sat open (human think-time, kept
+separate from compute since the develop-split fix).
+
+One observer instance is shared across all live sessions of a
+:class:`~repro.serve.manager.SessionManager`; label cardinality stays
+bounded (phase names, fit modes), never per-session.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import current_span
+
+__all__ = ["EngineObserver"]
+
+# Engine compute phases that may appear in a command's attribution.
+ENGINE_PHASES = ("select", "develop", "label_model", "end_model", "contextualize")
+
+
+class EngineObserver:
+    """Accumulates engine command attribution into a metrics registry."""
+
+    def __init__(self, registry=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.commands = r.counter(
+            "repro_engine_commands_total",
+            "Engine commands executed, by command.",
+            ("command",),
+        )
+        self.phase_seconds = r.counter(
+            "repro_engine_phase_seconds_total",
+            "Engine compute seconds accrued, by phase.",
+            ("phase",),
+        )
+        self.refits = r.counter(
+            "repro_engine_refits_total",
+            "Label-model refits, by path (warm or cold backstop).",
+            ("path",),
+        )
+        self.end_fits = r.counter(
+            "repro_engine_end_fits_total",
+            "End-model fits, by mode.",
+            ("mode",),
+        )
+        self.open_interval_seconds = r.counter(
+            "repro_engine_open_interval_seconds_total",
+            "Wall seconds proposals sat open awaiting the user (not compute).",
+        )
+
+    def on_command(self, info):
+        """Record one engine command's attribution dict.
+
+        ``info`` is engine-built and JSON-safe: ``command`` (str),
+        ``phases`` ({phase: seconds}), optional ``refit``
+        ({"path": "warm"|"cold", "end_fit_mode": str}), optional
+        ``open_interval_seconds`` (float).
+        """
+        command = info.get("command", "unknown")
+        self.commands.inc(command)
+        phases = info.get("phases") or {}
+        for phase, seconds in phases.items():
+            self.phase_seconds.inc(phase, amount=float(seconds))
+        refit = info.get("refit")
+        if refit:
+            self.refits.inc(refit.get("path", "unknown"))
+            mode = refit.get("end_fit_mode")
+            if mode:
+                self.end_fits.inc(mode)
+        open_interval = info.get("open_interval_seconds")
+        if open_interval is not None:
+            self.open_interval_seconds.inc(amount=float(open_interval))
+
+        span = current_span()
+        if span is not None:
+            for phase, seconds in phases.items():
+                span.add_phase(f"engine.{phase}", float(seconds))
+            if refit:
+                span.annotate(
+                    refit_path=refit.get("path"),
+                    end_fit_mode=refit.get("end_fit_mode"),
+                )
+            if open_interval is not None:
+                span.annotate(open_interval_ms=round(float(open_interval) * 1000.0, 3))

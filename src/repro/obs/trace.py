@@ -1,0 +1,130 @@
+"""Request tracing: ids, spans, per-phase child timings.
+
+A :class:`Span` is a lightweight in-process trace record for one serve
+command: request id, command name, wall-clock window, named phase
+timings (restore, latch_wait, engine select/develop/...), point events
+(eviction, snapshot, cold_start) and free-form annotations.  Spans are
+propagated down the call stack via a ``contextvars.ContextVar`` so the
+manager and engine can attribute work without threading a span argument
+through every signature.
+
+Request ids are minted without randomness — a process-wide monotonic
+counter plus the pid — so tracing stays determinism-neutral (nothing
+here touches any RNG; the ``obs-no-state-leak`` lint rule keeps span
+state out of checkpoints).  An inbound ``X-Request-Id`` always wins.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import os
+import time
+
+__all__ = ["Span", "current_span", "make_request_id", "normalize_request_id", "request_span"]
+
+_REQUEST_COUNTER = itertools.count(1)
+
+_CURRENT_SPAN = contextvars.ContextVar("repro_obs_current_span", default=None)
+
+# Inbound ids are caller-controlled; clamp what we echo back / log.
+_MAX_REQUEST_ID_LEN = 128
+
+
+def make_request_id():
+    """Mint a process-unique request id without touching any RNG."""
+    return f"req-{os.getpid():x}-{next(_REQUEST_COUNTER):08x}"
+
+
+def normalize_request_id(raw):
+    """Honor an inbound X-Request-Id when sane, mint otherwise."""
+    if raw:
+        cleaned = "".join(ch for ch in str(raw).strip() if ch.isprintable())
+        if cleaned:
+            return cleaned[:_MAX_REQUEST_ID_LEN]
+    return make_request_id()
+
+
+class Span:
+    """One command's trace record.
+
+    Not thread-safe by design: a span belongs to the single handler
+    thread that created it.  Cross-thread attribution (e.g. a latch wait
+    on another thread's restore) is recorded on the *waiting* thread's
+    span.
+    """
+
+    __slots__ = ("request_id", "name", "started_at", "ended_at", "phases", "events", "annotations")
+
+    def __init__(self, name, request_id=None):
+        self.request_id = request_id or make_request_id()
+        self.name = name
+        self.started_at = time.perf_counter()
+        self.ended_at = None
+        self.phases = {}
+        self.events = []
+        self.annotations = {}
+
+    def add_phase(self, phase, seconds):
+        """Accrue ``seconds`` of wall time to a named child phase."""
+        self.phases[phase] = self.phases.get(phase, 0.0) + float(seconds)
+
+    @contextlib.contextmanager
+    def phase(self, name):
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_phase(name, time.perf_counter() - t0)
+
+    def event(self, name, **fields):
+        """Record a point event (eviction, snapshot, cold_start, ...)."""
+        self.events.append({"event": name, **fields})
+
+    def annotate(self, **fields):
+        self.annotations.update(fields)
+
+    def finish(self):
+        if self.ended_at is None:
+            self.ended_at = time.perf_counter()
+        return self
+
+    @property
+    def duration(self):
+        end = self.ended_at if self.ended_at is not None else time.perf_counter()
+        return end - self.started_at
+
+    def to_dict(self):
+        """JSON-safe summary for the structured access log."""
+        out = {
+            "request_id": self.request_id,
+            "span": self.name,
+            "duration_ms": round(self.duration * 1000.0, 3),
+        }
+        if self.phases:
+            out["phases_ms"] = {
+                k: round(v * 1000.0, 3) for k, v in sorted(self.phases.items())
+            }
+        if self.events:
+            out["events"] = list(self.events)
+        if self.annotations:
+            out.update(self.annotations)
+        return out
+
+
+def current_span():
+    """The span of the request being handled on this thread, or None."""
+    return _CURRENT_SPAN.get()
+
+
+@contextlib.contextmanager
+def request_span(name, request_id=None):
+    """Install a span as the current one for the dynamic extent."""
+    span = Span(name, request_id=request_id)
+    token = _CURRENT_SPAN.set(span)
+    try:
+        yield span
+    finally:
+        span.finish()
+        _CURRENT_SPAN.reset(token)

@@ -94,7 +94,9 @@ class SessionClient:
             self._local.conn = None
             conn.close()
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request_raw(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, bytes]:
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if data else {}
         while True:
@@ -120,6 +122,10 @@ class SessionClient:
             except (ValueError, UnicodeDecodeError):
                 message = raw.decode("utf-8", errors="replace")
             raise ServeClientError(status, message)
+        return status, raw
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, raw = self._request_raw(method, path, body)
         try:
             return json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
@@ -159,3 +165,11 @@ class SessionClient:
 
     def snapshot(self, name: str) -> dict:
         return self._request("POST", f"/sessions/{_path_segment(name)}/snapshot")
+
+    def statusz(self) -> dict:
+        return self._request("GET", "/statusz")
+
+    def metrics(self) -> str:
+        """The server's raw Prometheus text exposition."""
+        _, raw = self._request_raw("GET", "/metrics")
+        return raw.decode("utf-8")

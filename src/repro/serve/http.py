@@ -8,6 +8,8 @@ reproduction adds no web-framework dependency:
 Method   Path                              Action
 =======  ================================  =====================================
 GET      ``/healthz``                      liveness probe
+GET      ``/metrics``                      Prometheus text exposition
+GET      ``/statusz``                      JSON operational snapshot
 GET      ``/sessions``                     list stored sessions (no restore)
 POST     ``/sessions``                     create (``{"name", "method", ...}``)
 GET      ``/sessions/<name>``              full session info (restores lazily)
@@ -28,14 +30,24 @@ setup per command); per-session locks in the manager serialize commands
 per session while letting different sessions proceed in parallel, and
 client disconnects mid-request *or* mid-response are absorbed rather
 than dumped as handler-thread tracebacks.
+
+Observability (ENGINE.md §9): every request gets a request id (an inbound
+``X-Request-Id`` is honored, one is minted otherwise — echoed back on the
+response) and a span; *every* outcome — success, pre-routing errors
+(405/413/unknown route), and swallowed disconnects alike — funnels
+through one accounting hook, so ``repro_http_requests_total`` /
+``repro_http_request_seconds`` reconcile exactly with what clients sent
+and the structured access log (``repro.obs.log``) never undercounts.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.protocol import ProtocolError
+from repro.obs import log_event, normalize_request_id, request_span
 from repro.serve.manager import BadSessionRequest, ServeError, SessionManager
 
 #: Request bodies above this are rejected (no legitimate payload is close).
@@ -48,6 +60,22 @@ class _HandledError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+class _TextPayload:
+    """A non-JSON response body (``GET /metrics``' exposition text)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: str, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
+
+
+#: Actions on /sessions/<name>/<action>; anything else labels as "unknown".
+_KNOWN_ACTIONS = frozenset(
+    {"propose", "submit", "decline", "step", "score", "snapshot"}
+)
 
 
 class SessionServiceHandler(BaseHTTPRequestHandler):
@@ -78,11 +106,19 @@ class SessionServiceHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
 
-    def _write_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _write_json(self, status: int, payload) -> None:
+        if isinstance(payload, _TextPayload):
+            body = payload.body.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -127,37 +163,107 @@ class SessionServiceHandler(BaseHTTPRequestHandler):
         elif length > 0:
             self.rfile.read(length)
 
+    def _parts(self) -> list[str]:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        return [p for p in path.split("/") if p]
+
+    def _command_label(self, verb: str) -> str:
+        """The bounded metrics/log label for this request's route.
+
+        Derived from the URL shape alone (wrong-verb requests still label
+        as their action) and never contains client-controlled strings —
+        session names and unparseable paths collapse to fixed labels so
+        metric cardinality cannot grow with traffic.
+        """
+        parts = self._parts()
+        if parts in (["healthz"], ["metrics"], ["statusz"]):
+            return parts[0]
+        if parts[:1] == ["sessions"]:
+            if len(parts) == 1:
+                return "list" if verb == "GET" else "create"
+            if len(parts) == 2:
+                return "info"
+            if len(parts) == 3 and parts[2] in _KNOWN_ACTIONS:
+                return parts[2]
+        return "unknown"
+
+    def _account(self, command: str, outcome: str, seconds: float, span) -> None:
+        """The single funnel every request outcome passes through.
+
+        Success, pre-routing errors (405/413/unknown route), and absorbed
+        disconnects all land here exactly once, so the request counters
+        reconcile with client-side totals and the access log never
+        undercounts.  ``outcome`` is the status code as text, or
+        ``"disconnect"``.
+        """
+        registry = self.manager.metrics
+        registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by command and outcome (status or disconnect).",
+            ("command", "outcome"),
+        ).inc(command, outcome)
+        registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request wall seconds, by command.",
+            ("command",),
+        ).observe(command, value=seconds)
+        log_event("http_request", command=command, outcome=outcome, **span.to_dict())
+
     def _route(self, verb: str) -> None:
         self._body_consumed = False
-        try:
-            status, payload = 200, self._dispatch(verb)
-        except _HandledError as exc:
-            status, payload = exc.status, {"error": str(exc)}
-        except ServeError as exc:
-            status, payload = exc.status, {"error": str(exc)}
-        except ProtocolError as exc:
-            status, payload = 409, {"error": str(exc)}
-        except (KeyError, TypeError, ValueError) as exc:
-            status, payload = 400, {"error": f"bad request: {exc}"}
-        except (BrokenPipeError, ConnectionResetError):
-            return  # client went away mid-request; nothing to answer
-        except Exception as exc:  # pragma: no cover - defensive last resort
-            status, payload = 500, {"error": f"internal error: {exc}"}
-        # The response write gets the same protection as the dispatch: a
-        # client that disconnects mid-response raises from the handler
-        # thread on the success path too, and must not dump a traceback.
-        try:
-            self._drain_body()
-            self._write_json(status, payload)
-        except (BrokenPipeError, ConnectionResetError):
-            self.close_connection = True
+        self._request_id = normalize_request_id(self.headers.get("X-Request-Id"))
+        command = self._command_label(verb)
+        t0 = time.perf_counter()
+        disconnected = False
+        with request_span(f"http.{command}", request_id=self._request_id) as span:
+            try:
+                status, payload = 200, self._dispatch(verb)
+            except _HandledError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except ServeError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except ProtocolError as exc:
+                status, payload = 409, {"error": str(exc)}
+            except (KeyError, TypeError, ValueError) as exc:
+                status, payload = 400, {"error": f"bad request: {exc}"}
+            except (BrokenPipeError, ConnectionResetError):
+                # Client went away mid-request; nothing to answer, but the
+                # outcome is still accounted below.
+                disconnected = True
+            except Exception as exc:  # pragma: no cover - defensive last resort
+                status, payload = 500, {"error": f"internal error: {exc}"}
+            # The response write gets the same protection as the dispatch:
+            # a client that disconnects mid-response raises from the
+            # handler thread on the success path too, and must not dump a
+            # traceback.
+            if not disconnected:
+                try:
+                    self._drain_body()
+                    self._write_json(status, payload)
+                except (BrokenPipeError, ConnectionResetError):
+                    self.close_connection = True
+                    disconnected = True
+        outcome = "disconnect" if disconnected else str(status)
+        self._account(command, outcome, time.perf_counter() - t0, span)
 
-    def _dispatch(self, verb: str) -> dict:
+    def _dispatch(self, verb: str) -> dict | _TextPayload:
         manager = self.manager
-        path = self.path.split("?", 1)[0].rstrip("/")
-        parts = [p for p in path.split("/") if p]
-        if verb == "GET" and parts == ["healthz"]:
+        parts = self._parts()
+        if parts == ["healthz"]:
+            if verb != "GET":
+                raise _HandledError(405, "healthz accepts GET only")
             return {"ok": True, "root": str(manager.root)}
+        if parts == ["metrics"]:
+            if verb != "GET":
+                raise _HandledError(405, "metrics accepts GET only")
+            return _TextPayload(
+                manager.metrics.render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if parts == ["statusz"]:
+            if verb != "GET":
+                raise _HandledError(405, "statusz accepts GET only")
+            return manager.statusz()
         if parts[:1] != ["sessions"] or len(parts) > 3:
             raise _HandledError(404, f"unknown path {self.path!r}")
         if len(parts) == 1:

@@ -25,6 +25,13 @@ proposal (the serve-smoke rule), so runs are reproducible command-for-
 command and every error in the report is a real serve-path defect, not
 client noise.
 
+Before the warm phase's server is restarted for the cold storm, the
+harness scrapes ``GET /metrics`` and ``GET /statusz`` and cross-checks
+the server's own per-command request histograms against the client-side
+command totals — ``server_metrics`` in the record carries the server's
+p50/p99 alongside the client numbers, and the schema gate requires zero
+lost commands (every client-counted success accounted server-side).
+
 Usage::
 
     PYTHONPATH=src python -m repro loadtest                # full run
@@ -34,6 +41,7 @@ Usage::
 
 from __future__ import annotations
 
+import math
 import os
 import platform
 import signal
@@ -47,9 +55,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import parse_prometheus_text
 from repro.serve.client import ServeClientError, SessionClient
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Commands the schema requires latency aggregates for (a full lifecycle
 #: always issues these; ``decline`` appears only when the rule declines).
@@ -80,6 +89,7 @@ def check_record(record: dict) -> list[str]:
         "commands_per_second",
         "errors",
         "latency_ms",
+        "server_metrics",
         "cold_start",
     ):
         if key not in record:
@@ -131,6 +141,48 @@ def check_record(record: dict) -> list[str]:
                 f"latency_ms[{command!r}] percentiles out of order: "
                 f"p50={p50} p99={p99} max={peak}"
             )
+    server_metrics = record["server_metrics"]
+    if server_metrics is None:
+        if record["server"].get("spawned"):
+            problems.append("a spawned-server record must include server_metrics")
+    else:
+        if "commands" not in server_metrics or "lost_commands_total" not in server_metrics:
+            problems.append("server_metrics must carry 'commands' and 'lost_commands_total'")
+        else:
+            # The cross-check that makes the client percentiles trustworthy:
+            # the server's own request histograms must account for every
+            # command the clients counted as successful — zero lost.
+            if server_metrics["lost_commands_total"] != 0:
+                problems.append(
+                    f"server histograms lost "
+                    f"{server_metrics['lost_commands_total']} command(s) vs "
+                    "client totals"
+                )
+            for command in REQUIRED_COMMANDS:
+                entry = server_metrics["commands"].get(command)
+                if not isinstance(entry, dict):
+                    problems.append(f"server_metrics.commands missing {command!r}")
+                    continue
+                for key in ("server_count", "client_count", "lost", "p50_ms", "p99_ms"):
+                    if key not in entry:
+                        problems.append(
+                            f"server_metrics.commands[{command!r}] missing {key!r}"
+                        )
+                if entry.get("lost", 0) != 0:
+                    problems.append(
+                        f"server_metrics.commands[{command!r}] lost "
+                        f"{entry.get('lost')} command(s)"
+                    )
+                p50, p99 = entry.get("p50_ms"), entry.get("p99_ms")
+                if not (
+                    isinstance(p50, (int, float))
+                    and isinstance(p99, (int, float))
+                    and 0 < p50 <= p99
+                ):
+                    problems.append(
+                        f"server_metrics.commands[{command!r}] percentiles invalid: "
+                        f"p50={p50} p99={p99}"
+                    )
     cold = record["cold_start"]
     if cold is not None:
         for key in ("sessions", "wall_seconds", "sum_touch_seconds", "parallel_speedup"):
@@ -349,6 +401,78 @@ def _cold_toucher(
 
 
 # --------------------------------------------------------------------- #
+# server-side cross-check (ENGINE.md §9)
+# --------------------------------------------------------------------- #
+def _bucket_quantile_ms(buckets: list[tuple[float, float]], total: float, q: float):
+    """Bucket-interpolated quantile (ms) from cumulative (le, count) pairs."""
+    if total <= 0 or not buckets:
+        return None
+    rank = q * total
+    prev_le, prev_cum = 0.0, 0.0
+    for le, cum in buckets:
+        if cum >= rank:
+            hi = prev_le if le == math.inf else le
+            span = cum - prev_cum
+            if span <= 0:
+                return round(hi * 1000.0, 3)
+            frac = min(max((rank - prev_cum) / span, 0.0), 1.0)
+            return round((prev_le + (hi - prev_le) * frac) * 1000.0, 3)
+        if le != math.inf:
+            prev_le = le
+        prev_cum = cum
+    return round(prev_le * 1000.0, 3)
+
+
+def scrape_server_metrics(
+    text: str, statusz: dict, latencies: dict[str, list[float]]
+) -> dict:
+    """Reconcile a ``/metrics`` scrape against client-side command counts.
+
+    For every command the clients measured, compare the client's success
+    count with the server's ``repro_http_requests_total`` 200-count and
+    estimate server-side p50/p99 from the scraped
+    ``repro_http_request_seconds`` buckets.  ``lost`` > 0 anywhere means
+    the server's accounting funnel dropped a command — the invariant the
+    schema gate enforces at zero.
+    """
+    samples = parse_prometheus_text(text)
+    commands = {}
+    lost_total = 0
+    for command, values in sorted(latencies.items()):
+        client_n = len(values)
+        server_n = int(
+            samples.get(
+                f'repro_http_requests_total{{command="{command}",outcome="200"}}', 0
+            )
+        )
+        prefix = f'repro_http_request_seconds_bucket{{command="{command}",le="'
+        buckets = sorted(
+            (
+                math.inf if key[len(prefix) : -2] == "+Inf" else float(key[len(prefix) : -2]),
+                value,
+            )
+            for key, value in samples.items()
+            if key.startswith(prefix)
+        )
+        total = samples.get(f'repro_http_request_seconds_count{{command="{command}"}}', 0)
+        lost = client_n - server_n
+        lost_total += max(lost, 0)
+        commands[command] = {
+            "client_count": client_n,
+            "server_count": server_n,
+            "lost": lost,
+            "p50_ms": _bucket_quantile_ms(buckets, total, 0.5),
+            "p99_ms": _bucket_quantile_ms(buckets, total, 0.99),
+        }
+    return {
+        "commands": commands,
+        "lost_commands_total": lost_total,
+        "sessions": statusz.get("sessions"),
+        "engine": statusz.get("engine"),
+    }
+
+
+# --------------------------------------------------------------------- #
 # aggregation
 # --------------------------------------------------------------------- #
 def _aggregate_latency(latencies: dict[str, list[float]]) -> dict[str, dict]:
@@ -423,6 +547,22 @@ def run_loadtest(config: LoadTestConfig, log=print) -> dict:
             f"{commands} commands in {wall:.2f}s "
             f"({commands / wall:.1f} cmd/s), {n_errors} errors"
         )
+
+        # ---- server-side cross-check (before the restart resets it) --- #
+        server_metrics = None
+        try:
+            scraper = SessionClient(url, timeout=config.timeout)
+            exposition = scraper.metrics()
+            statusz = scraper.statusz()
+            scraper.close()
+            server_metrics = scrape_server_metrics(exposition, statusz, latencies)
+            log(
+                f"[loadtest] server cross-check: "
+                f"{server_metrics['lost_commands_total']} lost command(s) "
+                f"across {len(server_metrics['commands'])} command kind(s)"
+            )
+        except (ServeClientError, OSError) as exc:
+            log(f"[loadtest] WARNING: /metrics scrape failed: {exc}")
 
         # ---- cold phase: restart, then a concurrent first-touch storm - #
         cold = None
@@ -499,5 +639,6 @@ def run_loadtest(config: LoadTestConfig, log=print) -> dict:
         "commands_per_second": round(commands / wall, 3),
         "errors": {"total": n_errors, "by_kind": errors},
         "latency_ms": _aggregate_latency(latencies),
+        "server_metrics": server_metrics,
         "cold_start": cold,
     }

@@ -55,6 +55,7 @@ from repro.io.checkpoint import (
     rotate_checkpoints,
     save_session_checkpoint,
 )
+from repro.obs import EngineObserver, MetricsRegistry, current_span, log_event
 
 #: meta.json layout version (bumped on incompatible change; fail-closed).
 SESSION_META_VERSION = 1
@@ -169,6 +170,10 @@ class SessionManager:
         Additionally evict sessions untouched for this long (``None`` =
         never).  Checked on every touch and by :meth:`evict`, which a
         server can also call from a periodic sweeper.
+    metrics:
+        Optional shared :class:`~repro.obs.MetricsRegistry`.  A private
+        registry is created when omitted; either way it backs the serve
+        front end's ``GET /metrics`` and :meth:`statusz`.
     """
 
     def __init__(
@@ -179,6 +184,7 @@ class SessionManager:
         max_age_seconds: float | None = None,
         max_live: int | None = None,
         idle_evict_seconds: float | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
@@ -198,6 +204,51 @@ class SessionManager:
         self._loading: dict[str, _LoadLatch] = {}
         self._datasets: dict[tuple[str, str, int], object] = {}
         self._datasets_lock = threading.Lock()
+        # Observability (ENGINE.md §9).  The registry backs GET /metrics
+        # and statusz(); one shared EngineObserver funnels per-session
+        # engine attribution into it (bounded labels — phase names and fit
+        # modes, never session names).  All of this is process state: it
+        # never enters session state_dicts or checkpoints.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        r = self.metrics
+        self.observer = EngineObserver(r)
+        self._started_wall = time.time()
+        self._m_commands = r.counter(
+            "repro_serve_commands_total",
+            "Manager commands executed, by command and outcome class.",
+            ("command", "outcome"),
+        )
+        self._m_command_seconds = r.histogram(
+            "repro_serve_command_seconds",
+            "Manager command latency in seconds, by command.",
+            ("command",),
+        )
+        self._m_sessions_live = r.gauge(
+            "repro_serve_sessions_live", "Sessions currently held in memory."
+        )
+        self._m_evictions = r.counter(
+            "repro_serve_evictions_total", "Sessions evicted from memory."
+        )
+        self._m_snapshots = r.counter(
+            "repro_serve_snapshots_total", "Session checkpoints written."
+        )
+        self._m_cold_starts = r.counter(
+            "repro_serve_cold_starts_total",
+            "Session loads into memory, by kind (create or restore).",
+            ("kind",),
+        )
+        self._m_cold_start_seconds = r.histogram(
+            "repro_serve_cold_start_seconds",
+            "Wall seconds to bring a session into memory, by kind.",
+            ("kind",),
+        )
+        self._m_latch_wait_seconds = r.histogram(
+            "repro_serve_latch_wait_seconds",
+            "Wall seconds commands waited on another thread's in-flight load.",
+        )
+        self._m_restore_failures = r.counter(
+            "repro_serve_restore_failures_total", "Session loads that raised."
+        )
 
     #: Monotonic clock for touch stamps / idle ages (patchable in tests).
     _now = staticmethod(time.monotonic)
@@ -263,6 +314,9 @@ class SessionManager:
                 "(active-learning baselines drive their own loop and cannot be "
                 "served interactively)"
             )
+        # Transient wiring only — the observer never enters state_dict, so
+        # checkpoints stay bit-identical with or without it.
+        session.observer = self.observer
         return session
 
     def create(
@@ -287,6 +341,21 @@ class SessionManager:
         session is built and snapshotted *outside* it — a create storm
         does not stall every other session's traffic.
         """
+        with self._observe("create"):
+            return self._create(
+                name, method, dataset, scale, seed, user_threshold, dataset_seed
+            )
+
+    def _create(
+        self,
+        name: str,
+        method: str,
+        dataset: str,
+        scale: str,
+        seed: int,
+        user_threshold: float,
+        dataset_seed: int,
+    ) -> dict:
         name = _validate_name(name)
         meta = {
             "format_version": SESSION_META_VERSION,
@@ -307,6 +376,7 @@ class SessionManager:
             ):
                 raise SessionExistsError(f"session {name!r} already exists")
             latch = self._loading[name] = _LoadLatch()
+        t0 = time.perf_counter()
         try:
             session = self._build_session(meta)
             atomic_write_text(self._meta_path(name), json.dumps(meta, indent=2) + "\n")
@@ -320,6 +390,7 @@ class SessionManager:
             latch.error = exc
             latch.done.set()
             raise
+        self._record_cold_start("create", time.perf_counter() - t0)
         self._resolve_latch(name, latch, live)
         self.evict()
         return info
@@ -367,12 +438,21 @@ class SessionManager:
                 )
         return _LiveSession(name, meta, session)
 
+    def _record_cold_start(self, kind: str, seconds: float) -> None:
+        """Account one session load; annotates the current span if any."""
+        self._m_cold_starts.inc(kind)
+        self._m_cold_start_seconds.observe(kind, value=seconds)
+        span = current_span()
+        if span is not None:
+            span.event("cold_start", kind=kind, seconds=round(seconds, 6))
+
     def _resolve_latch(self, name: str, latch: _LoadLatch, live: _LiveSession) -> None:
         """Publish a freshly loaded session and wake the latch's waiters."""
         with self._lock:
             self._live[name] = live
             self._loading.pop(name, None)
             live.last_touch = self._now()
+            self._m_sessions_live.set(value=len(self._live))
         latch.live = live
         latch.done.set()
 
@@ -396,7 +476,13 @@ class SessionManager:
                 if latch is None:
                     latch = self._loading[name] = _LoadLatch()
                     break  # this thread owns the load
+            t_wait = time.perf_counter()
             latch.done.wait()
+            waited = time.perf_counter() - t_wait
+            self._m_latch_wait_seconds.observe(value=waited)
+            span = current_span()
+            if span is not None:
+                span.add_phase("latch_wait", waited)
             if latch.error is not None:
                 raise latch.error
             # Loaded by the latch owner — loop to take the fast path (and
@@ -405,14 +491,17 @@ class SessionManager:
                 with self._lock:
                     latch.live.last_touch = self._now()
                 return latch.live
+        t0 = time.perf_counter()
         try:
             live = self._restore(name)
         except BaseException as exc:
+            self._m_restore_failures.inc()
             with self._lock:
                 self._loading.pop(name, None)
             latch.error = exc
             latch.done.set()
             raise
+        self._record_cold_start("restore", time.perf_counter() - t0)
         self._resolve_latch(name, latch, live)
         self.evict()
         return live
@@ -451,6 +540,10 @@ class SessionManager:
         )
         rotate_checkpoints(self.session_dir(live.name), self.policy)
         live.commits_since_snapshot = 0
+        self._m_snapshots.inc()
+        span = current_span()
+        if span is not None:
+            span.event("snapshot", iteration=int(session.iteration))
         return path
 
     def _after_commit_locked(self, live: _LiveSession) -> bool:
@@ -468,7 +561,7 @@ class SessionManager:
 
     def snapshot(self, name: str) -> dict:
         """Force a snapshot now (between interactions only)."""
-        with self._command(name) as live:
+        with self._observe("snapshot"), self._command(name) as live:
             if live.session.pending is not None:
                 raise SessionConflictError(
                     "cannot snapshot with an open interaction; submit or "
@@ -535,15 +628,53 @@ class SessionManager:
                     if self._live.get(victim.name) is victim:
                         del self._live[victim.name]
                         evicted.append(victim.name)
+                        self._m_evictions.inc()
+                        self._m_sessions_live.set(value=len(self._live))
+                        span = current_span()
+                        if span is not None:
+                            span.event("eviction", session=victim.name)
+                        log_event("session_evicted", session=victim.name)
             finally:
                 victim.lock.release()
+
+    # ------------------------------------------------------------------ #
+    # command accounting
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _observe(self, command: str):
+        """Time one public command into the registry (and current span).
+
+        Outcome labels are a bounded class — ``ok``, ``client_error``
+        (4xx-status serve errors), ``conflict`` (protocol), ``error`` —
+        never raw messages or session names.
+        """
+        t0 = time.perf_counter()
+        outcome = "ok"
+        try:
+            yield
+        except ServeError as exc:
+            outcome = "client_error" if exc.status < 500 else "error"
+            raise
+        except ProtocolError:
+            outcome = "conflict"
+            raise
+        except BaseException:
+            outcome = "error"
+            raise
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._m_commands.inc(command, outcome)
+            self._m_command_seconds.observe(command, value=elapsed)
+            span = current_span()
+            if span is not None:
+                span.add_phase(f"manager.{command}", elapsed)
 
     # ------------------------------------------------------------------ #
     # interaction commands
     # ------------------------------------------------------------------ #
     def propose(self, name: str) -> dict:
         """Run the selector; return the candidate interaction (idempotent)."""
-        with self._command(name) as live:
+        with self._observe("propose"), self._command(name) as live:
             session = live.session
             pending = session.propose()
             if pending.dev_index is None:
@@ -565,7 +696,7 @@ class SessionManager:
 
     def submit(self, name: str, primitive: str, label: int) -> dict:
         """Commit an LF (by primitive token) for the open interaction."""
-        with self._command(name) as live:
+        with self._observe("submit"), self._command(name) as live:
             session = live.session
             try:
                 lf = session.family.make_by_token(str(primitive), int(label))
@@ -607,7 +738,7 @@ class SessionManager:
 
     def decline(self, name: str) -> dict:
         """Close the open interaction without an LF."""
-        with self._command(name) as live:
+        with self._observe("decline"), self._command(name) as live:
             session = live.session
             try:
                 pending = session.decline()
@@ -631,7 +762,7 @@ class SessionManager:
         the user's RNG stream is part of the session snapshot, making
         stepped sessions restore bit-identically too.
         """
-        with self._command(name) as live:
+        with self._observe("step"), self._command(name) as live:
             session = live.session
             if session.pending is not None:
                 raise SessionConflictError(
@@ -659,7 +790,7 @@ class SessionManager:
 
     def score(self, name: str) -> dict:
         """The session's current test-split score."""
-        with self._command(name) as live:
+        with self._observe("score"), self._command(name) as live:
             return {
                 "name": name,
                 "iteration": int(live.session.iteration),
@@ -699,8 +830,95 @@ class SessionManager:
 
     def info(self, name: str) -> dict:
         """Full info for one session (loads it if not yet in memory)."""
-        with self._command(name) as live:
+        with self._observe("info"), self._command(name) as live:
             return self._info_locked(live)
+
+    def statusz(self) -> dict:
+        """A JSON-safe operational snapshot of the whole manager.
+
+        Backs ``GET /statusz`` and ``repro metrics``: session population
+        (live / loading / stored on disk), per-command latency summaries
+        estimated from the registry histograms, cold-start stats,
+        snapshot-cadence health (how far live sessions have drifted past
+        ``snapshot_every`` without a checkpoint), and the engine-side
+        phase/refit aggregates the shared observer accumulated.  Pure
+        read: touches no session locks beyond the manager registry lock,
+        restores nothing, and mutates no counters.
+        """
+        with self._lock:
+            live = list(self._live.values())
+            loading = len(self._loading)
+        stored = 0
+        if self.root.exists():
+            stored = sum(
+                1
+                for child in self.root.iterdir()
+                if child.is_dir() and (child / "meta.json").exists()
+            )
+        # Reading pending/commits without the session locks is a benign
+        # race: statusz reports a point-in-time estimate, not a contract.
+        open_interactions = sum(1 for l in live if l.session.pending is not None)
+        dirty = [l.commits_since_snapshot for l in live if l.commits_since_snapshot > 0]
+
+        def _latency(histogram, *labels):
+            count = histogram.count(*labels)
+            if count == 0:
+                return {"count": 0, "p50_ms": None, "p99_ms": None}
+            return {
+                "count": int(count),
+                "p50_ms": round(histogram.quantile(0.5, *labels) * 1000.0, 3),
+                "p99_ms": round(histogram.quantile(0.99, *labels) * 1000.0, 3),
+            }
+
+        commands = {}
+        for (command, outcome), count in self._m_commands.items():
+            entry = commands.setdefault(command, {"by_outcome": {}})
+            entry["by_outcome"][outcome] = int(count)
+        for command, entry in commands.items():
+            entry.update(_latency(self._m_command_seconds, command))
+        return {
+            "uptime_seconds": round(time.time() - self._started_wall, 3),
+            "sessions": {
+                "live": len(live),
+                "loading": loading,
+                "stored": stored,
+                "open_interactions": open_interactions,
+                "created_total": int(self._m_cold_starts.value("create")),
+                "restored_total": int(self._m_cold_starts.value("restore")),
+                "evicted_total": int(self._m_evictions.value()),
+                "restore_failures_total": int(self._m_restore_failures.value()),
+            },
+            "snapshots": {
+                "total": int(self._m_snapshots.value()),
+                "cadence_commits": int(self.snapshot_every),
+                "dirty_sessions": len(dirty),
+                "max_commits_since_snapshot": max(dirty, default=0),
+            },
+            "cold_starts": {
+                kind: _latency(self._m_cold_start_seconds, kind)
+                for kind in ("create", "restore")
+            },
+            "latch_waits": _latency(self._m_latch_wait_seconds),
+            "commands": commands,
+            "engine": {
+                "commands": {
+                    cmd: int(v) for (cmd,), v in self.observer.commands.items()
+                },
+                "phase_seconds": {
+                    phase: round(v, 6)
+                    for (phase,), v in self.observer.phase_seconds.items()
+                },
+                "refits": {
+                    path: int(v) for (path,), v in self.observer.refits.items()
+                },
+                "end_fits": {
+                    mode: int(v) for (mode,), v in self.observer.end_fits.items()
+                },
+                "open_interval_seconds": round(
+                    self.observer.open_interval_seconds.value(), 6
+                ),
+            },
+        }
 
     def sessions(self) -> list[dict]:
         """Summaries of every stored session, *without* restoring them.
@@ -713,6 +931,10 @@ class SessionManager:
         lock first: iterating it bare would race concurrent
         creates/restores/evictions into a ``RuntimeError``.
         """
+        with self._observe("list"):
+            return self._sessions()
+
+    def _sessions(self) -> list[dict]:
         with self._lock:
             live_map = dict(self._live)
         names: set[str] = set(live_map)

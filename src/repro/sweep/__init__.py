@@ -25,6 +25,7 @@ See ``examples/parallel_sweep.py`` for a walkthrough and the
 from repro.sweep.runner import SweepReport, run_sweep
 from repro.sweep.spec import SweepJob, SweepSpec
 from repro.sweep.store import ResultStore
+from repro.sweep.worker import session_obs
 
 __all__ = [
     "SweepSpec",
@@ -32,4 +33,5 @@ __all__ = [
     "ResultStore",
     "run_sweep",
     "SweepReport",
+    "session_obs",
 ]

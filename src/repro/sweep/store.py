@@ -148,6 +148,37 @@ class ResultStore:
             return set()
         return {p.stem for p in results_dir.glob("shard-*/*.json")}
 
+    def summarize_obs(self) -> dict:
+        """Aggregate the per-job ``obs`` sections across completed records.
+
+        Sums phase wall-seconds, refit-path counts, end-fit mode counts,
+        and the open-interval wall over every stored record that carries
+        an ``obs`` section (engine jobs; baselines contribute nothing).
+        Returns ``{"jobs", "phase_seconds", "refits", "end_fits",
+        "open_interval_seconds"}`` — ``jobs`` is the number of records
+        that contributed, so a caller can tell "no instrumented jobs"
+        from "instrumented jobs that measured zero".
+        """
+        summary: dict = {
+            "jobs": 0,
+            "phase_seconds": {},
+            "refits": {},
+            "end_fits": {},
+            "open_interval_seconds": 0.0,
+        }
+        for key in sorted(self.completed_keys()):
+            record = self.read_result(key)
+            obs = (record or {}).get("obs")
+            if not isinstance(obs, dict):
+                continue
+            summary["jobs"] += 1
+            for field in ("phase_seconds", "refits", "end_fits"):
+                bucket = summary[field]
+                for name, value in (obs.get(field) or {}).items():
+                    bucket[name] = bucket.get(name, 0) + value
+            summary["open_interval_seconds"] += float(obs.get("open_interval_seconds", 0.0))
+        return summary
+
     # -- checkpoints ------------------------------------------------------ #
     def clear_checkpoint(self, key: str) -> None:
         """Drop the in-flight checkpoint once a job's result is durable."""

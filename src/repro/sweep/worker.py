@@ -30,6 +30,7 @@ __all__ = [
     "SweepJobCrash",
     "resolve_factory",  # re-exported from repro.experiments.registry
     "run_sweep_job",
+    "session_obs",
     "mp_context",
     "parallel_learning_curves",
 ]
@@ -51,6 +52,29 @@ def _cached_dataset(job: SweepJob):
             job.dataset, scale=job.scale, seed=job.dataset_seed
         )
     return _DATASET_CACHE[key]
+
+
+def session_obs(method) -> dict | None:
+    """The engine's observability counters as a plain-JSON dict, or ``None``.
+
+    Baselines without the engine's instrumentation (no ``phase_timings``)
+    yield ``None`` so their records carry no empty section.  Of the
+    fields, only ``phase_seconds`` round-trips through checkpoints
+    (``phase_timings`` lives in ``state_dict``); the refit/end-fit
+    counters and the open-interval wall are transient, so on a resumed
+    job they cover the post-resume stretch only.
+    """
+    timings = getattr(method, "phase_timings", None)
+    if not isinstance(timings, dict):
+        return None
+    return {
+        "phase_seconds": {str(k): float(v) for k, v in sorted(timings.items())},
+        "refits": {str(k): int(v) for k, v in sorted(getattr(method, "refit_counts", {}).items())},
+        "end_fits": {
+            str(k): int(v) for k, v in sorted(getattr(method, "end_fit_counts", {}).items())
+        },
+        "open_interval_seconds": float(getattr(method, "open_interval_seconds", 0.0)),
+    }
 
 
 def run_sweep_job(
@@ -139,6 +163,9 @@ def run_sweep_job(
         "resumed_from_iteration": int(start_iteration),
         "wall_seconds": float(time.perf_counter() - t0),
     }
+    obs = session_obs(method)
+    if obs is not None:
+        payload["obs"] = obs
     store.write_result(job.key, payload)
     store.clear_checkpoint(job.key)
     return job.key, payload

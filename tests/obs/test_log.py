@@ -1,0 +1,69 @@
+"""Structured JSON logging: one line per record, silent by default."""
+
+import io
+import json
+import logging
+
+from repro.obs import JsonLineFormatter, attach_stderr_handler, get_logger
+from repro.obs.log import LOGGER_NAME, log_event
+
+
+def _drop_test_handlers():
+    logger = logging.getLogger(LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_stderr", False):
+            logger.removeHandler(handler)
+
+
+class TestJsonFormatter:
+    def test_record_renders_as_one_json_line(self):
+        record = logging.LogRecord(LOGGER_NAME, logging.INFO, __file__, 1, "hello %s", ("x",), None)
+        record.command = "step"
+        line = JsonLineFormatter().format(record)
+        payload = json.loads(line)
+        assert "\n" not in line
+        assert payload["msg"] == "hello x"
+        assert payload["level"] == "info"
+        assert payload["command"] == "step"
+        assert isinstance(payload["ts"], float)
+
+    def test_non_json_extras_stringified(self):
+        record = logging.LogRecord(LOGGER_NAME, logging.INFO, __file__, 1, "m", (), None)
+        record.path = object()
+        assert json.loads(JsonLineFormatter().format(record))["path"]
+
+
+class TestLogger:
+    def test_silent_by_default(self, capsys):
+        _drop_test_handlers()
+        log_event("nothing_attached", command="step")
+        captured = capsys.readouterr()
+        assert "nothing_attached" not in captured.err + captured.out
+
+    def test_attach_is_idempotent(self):
+        try:
+            logger = attach_stderr_handler()
+            attach_stderr_handler()
+            marked = [
+                h for h in logger.handlers if getattr(h, "_repro_obs_stderr", False)
+            ]
+            assert len(marked) == 1
+        finally:
+            _drop_test_handlers()
+
+    def test_log_event_emits_structured_line(self):
+        stream = io.StringIO()
+        try:
+            attach_stderr_handler(stream=stream)
+            log_event("http_request", command="propose", outcome="200")
+            payload = json.loads(stream.getvalue().strip())
+            assert payload["msg"] == "http_request"
+            assert payload["command"] == "propose"
+            assert payload["outcome"] == "200"
+        finally:
+            _drop_test_handlers()
+
+    def test_get_logger_has_null_handler(self):
+        assert any(
+            isinstance(h, logging.NullHandler) for h in get_logger().handlers
+        )

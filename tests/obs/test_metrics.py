@@ -1,0 +1,162 @@
+"""Instrument semantics, registry get-or-create, exposition round-trip."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c_total", "help")
+        c.inc()
+        c.inc(amount=2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(amount=-1)
+
+    def test_labeled_children_are_independent(self):
+        c = Counter("c_total", "help", ("command",))
+        c.inc("propose")
+        c.inc("propose")
+        c.inc("submit")
+        assert c.value("propose") == 2.0
+        assert c.value("submit") == 1.0
+        assert c.items() == [(("propose",), 2.0), (("submit",), 1.0)]
+
+    def test_wrong_label_arity_rejected(self):
+        c = Counter("c_total", "help", ("a", "b"))
+        with pytest.raises(ValueError, match="label value"):
+            c.inc("only-one")
+
+    def test_bound_child(self):
+        c = Counter("c_total", "help", ("command",))
+        bound = c.labels("step")
+        bound.inc()
+        bound.inc(amount=4)
+        assert c.value("step") == 5.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g", "help")
+        g.set(value=10)
+        g.inc(amount=2)
+        g.dec()
+        assert g.value() == 11.0
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self):
+        h = Histogram("h_seconds", "help", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(value=v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+        snap = h.snapshot()["values"][0]
+        assert [b["count"] for b in snap["buckets"]] == [1, 2, 3]  # cumulative
+        assert snap["buckets"][-1]["le"] == math.inf
+
+    def test_quantile_interpolates_and_handles_empty(self):
+        h = Histogram("h_seconds", "help", buckets=(1.0, 2.0))
+        assert h.quantile(0.5) is None
+        for _ in range(10):
+            h.observe(value=1.5)
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+
+    def test_quantile_range_checked(self):
+        h = Histogram("h", "help")
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_default_buckets_cover_interactive_band(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 10.0
+
+    def test_thread_safety_no_lost_updates(self):
+        h = Histogram("h_seconds", "help", ("command",), buckets=(0.5,))
+        n, threads = 200, 8
+
+        def work():
+            for _ in range(n):
+                h.observe("step", value=0.1)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert h.count("step") == n * threads
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "help", ("k",))
+        b = r.counter("x_total", "other help ignored", ("k",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "help")
+        with pytest.raises(ValueError, match="re-registered"):
+            r.gauge("x_total", "help")
+
+    def test_label_schema_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "help", ("a",))
+        with pytest.raises(ValueError, match="re-registered"):
+            r.counter("x_total", "help", ("b",))
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        r = MetricsRegistry()
+        r.counter("c_total", "help", ("k",)).inc("v")
+        r.histogram("h_seconds", "help", buckets=(1.0,)).observe(value=0.5)
+        snap = r.snapshot()
+        decoded = json.loads(json.dumps(snap))
+        assert decoded["c_total"]["type"] == "counter"
+        assert decoded["h_seconds"]["type"] == "histogram"
+
+
+class TestExposition:
+    def test_render_parse_round_trip(self):
+        r = MetricsRegistry()
+        r.counter("c_total", "a counter", ("command",)).inc("propose", amount=3)
+        r.gauge("g", "a gauge").set(value=7)
+        h = r.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0))
+        h.observe(value=0.05)
+        h.observe(value=0.5)
+        text = r.render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE c_total counter" in text
+        samples = parse_prometheus_text(text)
+        assert samples['c_total{command="propose"}'] == 3.0
+        assert samples["g"] == 7.0
+        assert samples['h_seconds_bucket{le="+Inf"}'] == 2.0
+        assert samples["h_seconds_count"] == 2.0
+
+    def test_label_values_escaped(self):
+        c = Counter("c_total", "help", ("k",))
+        c.inc('we"ird\nvalue')
+        lines = []
+        c.render(lines)
+        sample = [l for l in lines if not l.startswith("#")][0]
+        assert '\\"' in sample and "\\n" in sample and "\n" not in sample
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,94 @@
+"""Request ids, spans, and contextvar propagation."""
+
+import threading
+
+from repro.obs import (
+    Span,
+    current_span,
+    make_request_id,
+    normalize_request_id,
+    request_span,
+)
+
+
+class TestRequestIds:
+    def test_minted_ids_are_unique_and_rng_free(self):
+        ids = {make_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("req-") for i in ids)
+
+    def test_inbound_id_honored(self):
+        assert normalize_request_id("client-abc-123") == "client-abc-123"
+
+    def test_blank_or_unprintable_inbound_minted(self):
+        assert normalize_request_id(None).startswith("req-")
+        assert normalize_request_id("   ").startswith("req-")
+        assert normalize_request_id("\x00\x01").startswith("req-")
+
+    def test_inbound_id_clamped_and_sanitized(self):
+        long = "x" * 500
+        assert len(normalize_request_id(long)) == 128
+        assert normalize_request_id("a\nb\rc") == "abc"
+
+
+class TestSpan:
+    def test_phase_accrual(self):
+        span = Span("test")
+        span.add_phase("select", 0.1)
+        span.add_phase("select", 0.2)
+        assert span.phases["select"] == 0.30000000000000004 or span.phases[
+            "select"
+        ] == 0.3  # float accrual, exact sum either way
+
+    def test_phase_context_manager_times_body(self):
+        span = Span("test")
+        with span.phase("work"):
+            pass
+        assert span.phases["work"] >= 0.0
+
+    def test_events_and_annotations_in_to_dict(self):
+        span = Span("http.submit", request_id="req-1")
+        span.event("snapshot", step=4)
+        span.annotate(refit_path="warm")
+        span.add_phase("develop", 0.002)
+        span.finish()
+        d = span.to_dict()
+        assert d["request_id"] == "req-1"
+        assert d["span"] == "http.submit"
+        assert d["duration_ms"] >= 0.0
+        assert d["phases_ms"] == {"develop": 2.0}
+        assert d["events"] == [{"event": "snapshot", "step": 4}]
+        assert d["refit_path"] == "warm"
+
+    def test_finish_is_idempotent(self):
+        span = Span("test").finish()
+        ended = span.ended_at
+        span.finish()
+        assert span.ended_at == ended
+
+
+class TestCurrentSpan:
+    def test_request_span_installs_and_restores(self):
+        assert current_span() is None
+        with request_span("http.step", request_id="req-9") as span:
+            assert current_span() is span
+        assert current_span() is None
+        assert span.ended_at is not None
+
+    def test_nested_spans_restore_outer(self):
+        with request_span("outer") as outer:
+            with request_span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+
+    def test_spans_are_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["other"] = current_span()
+
+        with request_span("mine"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["other"] is None

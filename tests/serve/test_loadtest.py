@@ -9,7 +9,7 @@ from repro.serve.loadtest import LoadTestConfig, check_record, decide, run_loadt
 
 VALID = {
     "benchmark": "serve_latency",
-    "schema_version": 1,
+    "schema_version": 2,
     "quick": False,
     "machine": {"platform": "x", "python": "3", "cpu_count": 4},
     "config": {
@@ -31,6 +31,21 @@ VALID = {
     "latency_ms": {
         command: {"n": 8, "mean": 5.0, "p50": 4.0, "p99": 9.0, "max": 9.5}
         for command in ("create", "propose", "submit", "score")
+    },
+    "server_metrics": {
+        "commands": {
+            command: {
+                "client_count": 8,
+                "server_count": 8,
+                "lost": 0,
+                "p50_ms": 3.5,
+                "p99_ms": 8.0,
+            }
+            for command in ("create", "propose", "submit", "score")
+        },
+        "lost_commands_total": 0,
+        "sessions": {"live": 8},
+        "engine": {"phase_seconds": {"select": 0.4}},
     },
     "cold_start": {
         "sessions": 4,
@@ -80,6 +95,25 @@ class TestCheckRecord:
         assert any("cold_start" in p for p in check_record(record))
         record["server"]["spawned"] = False  # external target: no cold phase
         assert check_record(record) == []
+
+    def test_spawned_record_requires_server_metrics(self):
+        record = copy.deepcopy(VALID)
+        record["server_metrics"] = None
+        assert any("server_metrics" in p for p in check_record(record))
+        record["server"]["spawned"] = False  # external target: scrape optional
+        assert check_record(record) == []
+
+    def test_lost_commands_fail_the_gate(self):
+        record = copy.deepcopy(VALID)
+        record["server_metrics"]["lost_commands_total"] = 2
+        record["server_metrics"]["commands"]["propose"]["lost"] = 2
+        problems = check_record(record)
+        assert any("lost" in p for p in problems)
+
+    def test_server_percentile_ordering_enforced(self):
+        record = copy.deepcopy(VALID)
+        record["server_metrics"]["commands"]["submit"]["p99_ms"] = 0.5  # < p50
+        assert any("submit" in p for p in check_record(record))
 
     def test_record_is_json_serializable_shape(self):
         json.dumps(VALID)

@@ -13,7 +13,12 @@ Exercises the full serve-path durability story end-to-end over real HTTP:
 4. assert the killed-and-restored curve (including the re-recorded
    points) is bit-identical to an uninterrupted reference run of the
    same client against a fresh server, and that rotation kept only
-   ``--keep-last`` snapshots.
+   ``--keep-last`` snapshots;
+5. scrape ``/metrics`` twice during the reference run and schema-check
+   the exposition (non-empty, expected metric families present, counters
+   monotonic across scrapes, ``/statusz`` command counts populated).
+   When ``SERVE_SMOKE_METRICS_OUT`` is set, the final metrics + statusz
+   snapshot is written there as JSON (CI uploads it as an artifact).
 
 Exit code 0 on success; prints the failed assertion otherwise.
 
@@ -22,6 +27,7 @@ Run:  PYTHONPATH=src python tools/serve_smoke.py
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import subprocess
@@ -35,6 +41,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.obs import parse_prometheus_text  # noqa: E402
 from repro.serve import ServeClientError, SessionClient  # noqa: E402
 
 SESSION = "smoke"
@@ -151,6 +158,63 @@ def final_lfs(client: SessionClient) -> list[tuple[str, int]]:
     ]
 
 
+#: Metric families the serve path must always expose once driven.
+EXPECTED_FAMILIES = (
+    "repro_http_requests_total",
+    "repro_http_request_seconds_count",
+    "repro_serve_commands_total",
+    "repro_engine_commands_total",
+)
+
+
+def check_metrics(client: SessionClient) -> dict:
+    """Scrape /metrics twice and schema-check the exposition.
+
+    Non-empty, expected families present, and every counter-style sample
+    (``*_total``, ``*_count``, ``*_bucket``) monotonic across the two
+    scrapes — a command runs in between, so at least one must grow.
+    Returns the final snapshot (metrics samples + statusz) for the
+    artifact.
+    """
+    first = parse_prometheus_text(client.metrics())
+    check(first, "first /metrics scrape is empty")
+    client.health()  # traffic between scrapes: some counter must move
+    second_text = client.metrics()
+    second = parse_prometheus_text(second_text)
+    for family in EXPECTED_FAMILIES:
+        check(
+            any(key.startswith(family) for key in second),
+            f"/metrics is missing expected family {family}",
+        )
+    grew = 0
+    for key, before in first.items():
+        base = key.split("{", 1)[0]
+        if not base.endswith(("_total", "_count", "_bucket")):
+            continue
+        after = second.get(key)
+        check(
+            after is not None and after >= before,
+            f"counter sample {key} went backwards: {before} -> {after}",
+        )
+        if after > before:
+            grew += 1
+    check(grew > 0, "no counter sample grew between scrapes")
+
+    status = client.statusz()
+    for section in ("uptime_seconds", "sessions", "snapshots", "commands", "engine"):
+        check(section in status, f"/statusz is missing section {section!r}")
+    for command in ("propose", "submit"):
+        check(
+            status["commands"].get(command, {}).get("count", 0) > 0,
+            f"/statusz shows no {command} commands after a driven session",
+        )
+    print(
+        f"[serve-smoke] metrics OK: {len(second)} samples, "
+        f"{grew} counter(s) grew between scrapes"
+    )
+    return {"metrics": second_text, "statusz": status}
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="serve_smoke_") as tmp:
         # ---- reference: one uninterrupted server ---------------------- #
@@ -162,10 +226,15 @@ def main() -> int:
             drive(client, ref_curve)
             ref_lfs = final_lfs(client)
             ref_score = client.score(SESSION)["test_score"]
+            artifact = check_metrics(client)
         finally:
             proc.send_signal(signal.SIGTERM)
             proc.wait()
         print(f"[serve-smoke] reference run: {len(ref_lfs)} LFs, curve {ref_curve}")
+        artifact_out = os.environ.get("SERVE_SMOKE_METRICS_OUT")
+        if artifact_out:
+            Path(artifact_out).write_text(json.dumps(artifact, indent=2) + "\n")
+            print(f"[serve-smoke] wrote metrics artifact to {artifact_out}")
 
         # ---- victim: SIGKILLed mid-session, then restarted ------------ #
         root = Path(tmp) / "killed"
