@@ -1,5 +1,12 @@
 """Rule modules; importing this package registers every shipped rule."""
 
-from repro.analysis.rules import budget, fitted_state, locks, obs_state, rng
+from repro.analysis.rules import (
+    budget,
+    dense_vote_scan,
+    fitted_state,
+    locks,
+    obs_state,
+    rng,
+)
 
-__all__ = ["budget", "fitted_state", "locks", "obs_state", "rng"]
+__all__ = ["budget", "dense_vote_scan", "fitted_state", "locks", "obs_state", "rng"]

@@ -86,6 +86,23 @@ MINIBATCH_MIN_COVERED = 1000
 #: The IDP phases attributed by the engine's built-in timing bookkeeping.
 PHASES = ("select", "develop", "label_model", "end_model")
 
+#: Base cadence of the drift-adaptive backstop (``full_refit_every="auto"``):
+#: every ``AUTO_REFIT_BASE``-th refit is a backstop *candidate*, skipped
+#: when the warm trajectory measurably stayed near the last cold anchor.
+AUTO_REFIT_BASE = 10
+
+#: Max-abs parameter drift (current warm label model vs the last cold
+#: anchor, aligned on the shared column prefix) below which an "auto"
+#: backstop candidate is skipped.  All label-model parameters here are
+#: probabilities/accuracies in [0, 1], so one absolute threshold is
+#: meaningful across models.
+AUTO_DRIFT_TOL = 0.02
+
+#: Consecutive skips allowed before an "auto" backstop fires regardless of
+#: measured drift — bounds worst-case staleness at
+#: ``AUTO_REFIT_BASE * (AUTO_MAX_SKIPS + 1)`` refits.
+AUTO_MAX_SKIPS = 3
+
 
 class IncrementalSessionEngine:
     """Cardinality-agnostic select → develop → contextualize → learn loop.
@@ -139,7 +156,7 @@ class IncrementalSessionEngine:
         percentile_tuner,
         tune_every: int,
         warm_start: bool = True,
-        full_refit_every: int = 10,
+        full_refit_every: int | str = 10,
         warm_after: int = 8,
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,
@@ -153,7 +170,13 @@ class IncrementalSessionEngine:
             raise ValueError(
                 f"warm_end_mode must be one of {WARM_END_MODES}, got {warm_end_mode!r}"
             )
-        if full_refit_every < 1:
+        if isinstance(full_refit_every, str):
+            if full_refit_every != "auto":
+                raise ValueError(
+                    f"full_refit_every must be an int >= 1 or 'auto', "
+                    f"got {full_refit_every!r}"
+                )
+        elif full_refit_every < 1:
             raise ValueError(f"full_refit_every must be >= 1, got {full_refit_every}")
         if warm_after < 0:
             raise ValueError(f"warm_after must be >= 0, got {warm_after}")
@@ -215,6 +238,13 @@ class IncrementalSessionEngine:
         self._refit_count = 0
         self._cold_warranted_ = True
         self._end_uncapped_ = True
+        # Drift-adaptive backstop state (``full_refit_every="auto"``): the
+        # last cold fit's parameter snapshot and the consecutive-skip
+        # counter.  Both are checkpointed, and the skip decision is a pure
+        # function of them plus the (checkpointed) label model — the
+        # cadence is deterministic across checkpoint/restore.
+        self._label_anchor_: dict | None = None
+        self._backstops_skipped_ = 0
         self._selector_cache: dict = {}
         # Whether a warm refit deferred its proxy refresh to the first
         # selector read (see _resolve_proxy).
@@ -236,6 +266,11 @@ class IncrementalSessionEngine:
         self.last_command_obs: dict | None = None
         self.refit_counts: dict[str, int] = {"warm": 0, "cold": 0}
         self.end_fit_counts: dict[str, int] = {}
+        # Transient per-path label-model cost attribution (EM iterations
+        # actually run, label-fit wall seconds) — the obs layer's
+        # repro_labelmodel_* counters read these; never checkpointed.
+        self.em_iteration_counts: dict[str, int] = {"warm": 0, "cold": 0}
+        self.label_fit_seconds: dict[str, float] = {"warm": 0.0, "cold": 0.0}
         self._last_end_fit_mode = "skipped"
         self.active_percentile_: float | None = (
             contextualizer.percentile if contextualizer is not None else None
@@ -559,17 +594,79 @@ class IncrementalSessionEngine:
         newest = lfs[-1]
         return all(int(lf.label) != int(newest.label) for lf in lfs[:-1])
 
+    def _refit_base(self) -> int:
+        """The integer backstop cadence (``AUTO_REFIT_BASE`` under "auto")."""
+        if self.full_refit_every == "auto":
+            return AUTO_REFIT_BASE
+        return self.full_refit_every
+
+    def _auto_cadence(self) -> bool:
+        """Whether the drift-adaptive backstop cadence is configured."""
+        return self.full_refit_every == "auto"
+
     def _backstop_due(self) -> bool:
         """The exact-semantics opt-outs plus the periodic backstop cadence.
 
         Shared by both uncapped-fit conditions so the end-model cap can
         never silently desynchronize from the label-model backstop.
+
+        Under ``full_refit_every="auto"`` a periodic hit is additionally
+        *skipped* when the warm trajectory's measured parameter drift from
+        the last cold anchor is below ``AUTO_DRIFT_TOL`` (and fewer than
+        ``AUTO_MAX_SKIPS`` consecutive skips have accrued) — a pure
+        function of checkpointed state (:meth:`_drift_skip_allowed`), so
+        the cadence is deterministic across checkpoint/restore and sweep
+        resume.  The fixed-integer cadence is the default defeat switch.
         """
-        if not self.warm_start or self.full_refit_every == 1:
+        if not self.warm_start or self._refit_base() == 1:
             return True
         if self.dataset.train.n < self.warm_min_train:
             return True
-        return self._refit_count % self.full_refit_every == 0
+        due = self._refit_count % self._refit_base() == 0
+        if due and self._auto_cadence() and self._drift_skip_allowed():
+            return False
+        return due
+
+    def _label_drift(self) -> float | None:
+        """Max-abs parameter drift of the label model vs the cold anchor.
+
+        Compares every float-typed fitted attribute shared by the current
+        label model and the last cold anchor, aligned on the shared axis-0
+        (per-LF) prefix — the columns appended since the anchor have no
+        reference point and are excluded.  ``None`` when no comparison is
+        possible (no anchor yet, no fitted model, or a different model
+        class), which the caller treats as "cannot justify a skip".
+        """
+        anchor = self._label_anchor_
+        model = self.label_model_
+        if anchor is None or model is None or not hasattr(model, "state_dict"):
+            return None
+        current = model.state_dict()
+        if current.get("class") != anchor.get("class"):
+            return None
+        current_attrs = current.get("attrs", {})
+        drift = None
+        for name, anchor_value in anchor.get("attrs", {}).items():
+            value = current_attrs.get(name)
+            if value is None or anchor_value is None:
+                continue
+            a = np.atleast_1d(np.asarray(anchor_value))
+            c = np.atleast_1d(np.asarray(value))
+            if a.dtype.kind != "f" or c.dtype.kind != "f":
+                continue
+            shared = min(a.shape[0], c.shape[0])
+            if shared == 0 or a[:shared].shape != c[:shared].shape:
+                continue
+            gap = float(np.max(np.abs(a[:shared] - c[:shared])))
+            drift = gap if drift is None else max(drift, gap)
+        return drift
+
+    def _drift_skip_allowed(self) -> bool:
+        """Whether an "auto" backstop candidate may be skipped this refit."""
+        if self._backstops_skipped_ >= AUTO_MAX_SKIPS:
+            return False
+        drift = self._label_drift()
+        return drift is not None and drift < AUTO_DRIFT_TOL
 
     def _end_refit_uncapped_due(self) -> bool:
         """Whether this refit's *end-model* fit must be uncapped.
@@ -598,9 +695,11 @@ class IncrementalSessionEngine:
         """Fresh label model fitted on ``L``, warm-seeded when allowed.
 
         ``stats`` is the vote matrix's sufficient-statistics handle; it is
-        forwarded to models that accept it (warm fits then run O(nnz) EM
-        iterations; cold fits merely skip the redundant re-validation
-        scan — their arithmetic is untouched).
+        forwarded to models that accept it: warm fits run O(nnz) EM
+        iterations on it, and cold fits both skip the redundant
+        re-validation scan and (above the ``cold_path="auto"`` row
+        threshold) run the full EM on the same O(nnz) kernels
+        (ENGINE.md §10).
         """
         model = self.label_model_factory()
         kwargs = (
@@ -621,6 +720,14 @@ class IncrementalSessionEngine:
 
     def _refit(self) -> None:
         t0 = time.perf_counter()
+        # Whether this refit lands on the periodic backstop cadence before
+        # the "auto" skip logic — a skipped candidate advances the
+        # consecutive-skip counter below.
+        backstop_hit = (
+            self._auto_cadence()
+            and self._warm_cadence_active()
+            and self._refit_count % self._refit_base() == 0
+        )
         self._cold_warranted_ = self._cold_refit_due()
         self._end_uncapped_ = self._end_refit_uncapped_due()
         self._refit_count += 1
@@ -632,7 +739,18 @@ class IncrementalSessionEngine:
         # stats by a single scan).
         stats = None if refined else self._L_train.stats
         model = self._fit_label_model(L_effective, self.label_model_, stats)
+        label_fit_seconds = time.perf_counter() - t0
         self.label_model_ = model
+        if self._auto_cadence():
+            if self._cold_warranted_:
+                # A cold fit is the drift reference: re-anchor and reset
+                # the skip budget.
+                self._label_anchor_ = (
+                    model.state_dict() if hasattr(model, "state_dict") else None
+                )
+                self._backstops_skipped_ = 0
+            elif backstop_hit:
+                self._backstops_skipped_ += 1
         self.soft_labels = self._predict_label_model(model, L_effective, stats)
         self.entropies = self._entropy(self.soft_labels)
         self._refit_selection_view(refined)
@@ -653,7 +771,19 @@ class IncrementalSessionEngine:
         self.refit_counts[path] = self.refit_counts.get(path, 0) + 1
         mode = self._last_end_fit_mode
         self.end_fit_counts[mode] = self.end_fit_counts.get(mode, 0) + 1
-        self.last_refit_obs = {"path": path, "end_fit_mode": mode}
+        em_iterations = int(getattr(model, "em_iterations_", 0) or 0)
+        self.em_iteration_counts[path] = (
+            self.em_iteration_counts.get(path, 0) + em_iterations
+        )
+        self.label_fit_seconds[path] = (
+            self.label_fit_seconds.get(path, 0.0) + label_fit_seconds
+        )
+        self.last_refit_obs = {
+            "path": path,
+            "end_fit_mode": mode,
+            "em_iterations": em_iterations,
+            "fit_seconds": label_fit_seconds,
+        }
 
     # ------------------------------------------------------------------ #
     # end-model refits (ENGINE.md §7)
@@ -669,7 +799,7 @@ class IncrementalSessionEngine:
         """
         return (
             self.warm_start
-            and self.full_refit_every > 1
+            and self._refit_base() > 1
             and self.dataset.train.n >= self.warm_min_train
         )
 
@@ -952,6 +1082,8 @@ class IncrementalSessionEngine:
             "refit_count": int(self._refit_count),
             "cold_warranted": bool(self._cold_warranted_),
             "end_uncapped": bool(self._end_uncapped_),
+            "label_anchor": self._label_anchor_,
+            "backstops_skipped": int(self._backstops_skipped_),
             "end_model_fitted": bool(self._end_model_fitted),
             "selected": sorted(int(i) for i in self.selected),
             "active_percentile": (
@@ -1095,6 +1227,9 @@ class IncrementalSessionEngine:
         self.end_model.load_state_dict(state["end_model"])
         anchor = state.get("end_anchor")
         self._end_anchor_ = anchor if anchor else None
+        label_anchor = state.get("label_anchor")
+        self._label_anchor_ = label_anchor if label_anchor else None
+        self._backstops_skipped_ = int(state.get("backstops_skipped", 0))
         covered_rows = state.get("covered_rows")
         if covered_rows is None:
             self._covered_buf = None

@@ -14,8 +14,10 @@ import numpy as np
 
 from repro.labelmodel.base import LabelModel
 from repro.labelmodel.matrix import (
+    COLD_PATHS,
     ColumnStats,
     column_stats_from_dense,
+    resolve_cold_path,
     validated_or_stats,
 )
 
@@ -35,6 +37,12 @@ class DawidSkene(LabelModel):
         EM budget and convergence threshold (max parameter change).
     learn_prior:
         Whether the class prior is updated in the M-step.
+    cold_path:
+        Cold-fit kernel policy (``"auto"`` / ``"stats"`` / ``"dense"``):
+        same contract as
+        :class:`~repro.labelmodel.metal.MetalLabelModel` — ``"auto"``
+        picks the O(nnz) path at ``n >= COLD_STATS_MIN_ROWS``, ``"dense"``
+        is the bit-for-bit legacy defeat switch / parity oracle.
 
     Attributes
     ----------
@@ -43,9 +51,11 @@ class DawidSkene(LabelModel):
         with classes ordered ``(-1, +1)`` and outcomes ``(-1, 0, +1)``.
     prior_:
         Final ``P(y = +1)``.
+    em_iterations_:
+        EM iterations the last fit actually ran (obs attribution).
     """
 
-    _FITTED_ATTRS = ("confusion_", "prior_", "converged_")
+    _FITTED_ATTRS = ("confusion_", "prior_", "converged_", "em_iterations_")
 
     def __init__(
         self,
@@ -53,23 +63,32 @@ class DawidSkene(LabelModel):
         n_iter: int = 100,
         tol: float = 1e-5,
         learn_prior: bool = True,
+        cold_path: str = "auto",
     ) -> None:
         super().__init__(class_prior)
         if n_iter < 1:
             raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        if cold_path not in COLD_PATHS:
+            raise ValueError(f"cold_path must be one of {COLD_PATHS}, got {cold_path!r}")
         self.n_iter = n_iter
         self.tol = tol
         self.learn_prior = learn_prior
+        self.cold_path = cold_path
         self.confusion_: np.ndarray | None = None
         self.prior_: float = class_prior
         self.converged_: bool = False
+        self.em_iterations_: int = 0
 
     def fit(self, L: np.ndarray, stats: ColumnStats | None = None) -> "DawidSkene":
         """Cold EM fit from the smoothed majority-vote posterior.
 
         ``stats`` (a matching :class:`~repro.labelmodel.matrix.ColumnStats`
-        handle) only skips the dense re-validation scan; the cold
-        arithmetic is unchanged.
+        handle) skips the dense re-validation scan.  Under the resolved
+        ``cold_path`` the full EM runs either on the O(nnz)
+        sufficient-statistics kernels (a missing handle is built here by
+        one dense scan; fits are bit-identical whichever way the handle
+        was obtained) or on the legacy dense arithmetic
+        (``cold_path="dense"``, bit-for-bit the historical semantics).
         """
         L = self._validated_or_stats(L, stats)
         n, m = L.shape
@@ -77,17 +96,33 @@ class DawidSkene(LabelModel):
             self.confusion_ = np.zeros((0, 2, 3))
             self.prior_ = self.class_prior
             self.converged_ = True
+            self.em_iterations_ = 0
             return self
-        outcome_onehot = self._outcome_onehot(L)  # (n, m, 3)
+        if resolve_cold_path(self.cold_path, n) == "stats":
+            if stats is None:
+                stats = column_stats_from_dense(L, abstain=0)
+            masses = self._outcome_masses(stats)
+            pos = stats.row_value_counts(1)
+            neg = stats.row_value_counts(-1)
+            q = np.where(
+                pos + neg > 0, (pos + 0.5) / (pos + neg + 1.0), self.class_prior
+            )
+            self._em_loop(
+                q,
+                self.n_iter,
+                m_step=lambda q: self._m_step_stats(masses, q),
+                e_step=lambda conf, prior: self._e_step_stats(stats, conf, prior),
+            )
+            return self
+        outcome_onehot = self._outcome_onehot_dense(L)  # (n, m, 3)
         # Initialize from smoothed majority vote.
-        pos = (L == 1).sum(axis=1)
-        neg = (L == -1).sum(axis=1)
+        pos, neg = self._vote_tallies_dense(L)
         q = np.where(pos + neg > 0, (pos + 0.5) / (pos + neg + 1.0), self.class_prior)
         self._em_loop(
             q,
             self.n_iter,
-            m_step=lambda q: self._m_step(outcome_onehot, q),
-            e_step=lambda conf, prior: self._e_step(L, conf, prior),
+            m_step=lambda q: self._m_step_dense(outcome_onehot, q),
+            e_step=lambda conf, prior: self._e_step_dense(L, conf, prior),
         )
         return self
 
@@ -156,7 +191,9 @@ class DawidSkene(LabelModel):
         prior = self.class_prior
         confusion = None
         self.converged_ = False
+        iterations = 0
         for it in range(n_iter):
+            iterations = it + 1
             confusion_new = m_step(q)
             balance_q = q_prior if (it == 0 and q_prior is not None) else q
             prior_new = (
@@ -175,6 +212,7 @@ class DawidSkene(LabelModel):
             confusion, prior, q = confusion_new, prior_new, q_new
         self.confusion_ = confusion
         self.prior_ = prior
+        self.em_iterations_ = iterations
 
     def _validated_or_stats(self, L: np.ndarray, stats: ColumnStats | None) -> np.ndarray:
         return validated_or_stats(L, stats, self._validated)
@@ -182,6 +220,13 @@ class DawidSkene(LabelModel):
     def predict_proba(
         self, L: np.ndarray, stats: ColumnStats | None = None
     ) -> np.ndarray:
+        """``P(y=+1 | L_i)`` under the fitted confusions.
+
+        ``stats`` skips the dense re-validation scan; the posterior runs
+        on the kernel the ``cold_path`` policy resolves to at this ``n``
+        (a missing handle is built by one scan on the stats path, so the
+        result is byte-equal with or without ``stats``).
+        """
         if self.confusion_ is None:
             raise RuntimeError("DawidSkene.predict_proba called before fit")
         L = self._validated_or_stats(L, stats)
@@ -192,20 +237,29 @@ class DawidSkene(LabelModel):
             )
         if L.shape[1] == 0:
             return np.full(L.shape[0], self.prior_)
-        return self._e_step(L, self.confusion_, self.prior_)
+        if resolve_cold_path(self.cold_path, L.shape[0]) == "stats":
+            if stats is None:
+                stats = column_stats_from_dense(L, abstain=0)
+            return self._e_step_stats(stats, self.confusion_, self.prior_)
+        return self._e_step_dense(L, self.confusion_, self.prior_)
 
     # ------------------------------------------------------------------ #
     # EM internals
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _outcome_onehot(L: np.ndarray) -> np.ndarray:
+    def _vote_tallies_dense(L: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row (positive, negative) vote counts by dense scan."""
+        return (L == 1).sum(axis=1), (L == -1).sum(axis=1)
+
+    @staticmethod
+    def _outcome_onehot_dense(L: np.ndarray) -> np.ndarray:
         onehot = np.zeros((*L.shape, 3), dtype=float)
         for o_idx, outcome in enumerate(_OUTCOMES):
             onehot[..., o_idx] = L == outcome
         return onehot
 
     @staticmethod
-    def _m_step(outcome_onehot: np.ndarray, q: np.ndarray) -> np.ndarray:
+    def _m_step_dense(outcome_onehot: np.ndarray, q: np.ndarray) -> np.ndarray:
         """Update confusion matrices from posterior responsibilities ``q``."""
         weights = np.stack([1 - q, q], axis=1)  # (n, 2): P(y=-1), P(y=+1)
         # counts[j, c, o] = Σ_i weights[i, c] * onehot[i, j, o]
@@ -213,7 +267,7 @@ class DawidSkene(LabelModel):
         counts += _SMOOTH
         return counts / counts.sum(axis=2, keepdims=True)
 
-    # -- O(nnz) twins used by the warm path ---------------------------- #
+    # -- O(nnz) twins used by the warm and sparse-cold paths ----------- #
     @staticmethod
     def _outcome_masses(stats: ColumnStats) -> dict[str, object]:
         """Per-outcome sparse indicator structure, shared by all EM steps."""
@@ -238,19 +292,34 @@ class DawidSkene(LabelModel):
     def _e_step_stats(
         stats: ColumnStats, confusion: np.ndarray, prior: float
     ) -> np.ndarray:
-        """O(nnz) posterior: start every row from the all-abstain log-lik
-        and correct only the fired entries (column-sliced to the confusion
-        prefix when warm-seeding from a smaller previous fit)."""
+        """O(nnz) table-driven posterior.
+
+        Every row starts from the all-abstain log-likelihood
+        (``Σ_j log P(λ_j = 0 | y)`` per class); fired entries contribute a
+        correction looked up in one of two per-column tables built once
+        per call — ``Tn[j, c] = log conf[j, c, -1] − log conf[j, c, 0]``
+        for a −1 vote and ``Tp`` likewise for +1.  The tables are gathered
+        through the flat entry arrays (:meth:`ColumnStats.entries`) and
+        segment-summed into rows with one ``np.bincount`` per class —
+        replacing the per-column sparse mat-vec passes.  Column-sliced to
+        the confusion prefix (``indptr[m]``) when warm-seeding from a
+        smaller previous fit.
+        """
         m = confusion.shape[0]
         log_conf = np.log(np.clip(confusion, 1e-12, None))  # (m, 2, 3)
-        Fn, Fp = stats.value_csc(-1), stats.value_csc(1)
+        indptr, rows, cols, values = stats.entries()
         if m != stats.m:
-            Fn, Fp = Fn[:, :m], Fp[:, :m]
-        ll = (
-            log_conf[:, :, 1].sum(axis=0)[None, :]
-            + np.asarray(Fn @ (log_conf[:, :, 0] - log_conf[:, :, 1]))
-            + np.asarray(Fp @ (log_conf[:, :, 2] - log_conf[:, :, 1]))
-        )
+            end = int(indptr[m])
+            rows, cols, values = rows[:end], cols[:end], values[:end]
+        table_neg = log_conf[:, :, 0] - log_conf[:, :, 1]  # (m, 2)
+        table_pos = log_conf[:, :, 2] - log_conf[:, :, 1]
+        contrib = np.where((values == -1)[:, None], table_neg[cols], table_pos[cols])
+        ll = np.empty((stats.n_rows, 2))
+        base = log_conf[:, :, 1].sum(axis=0)  # (2,)
+        for c in range(2):
+            ll[:, c] = base[c] + np.bincount(
+                rows, weights=contrib[:, c], minlength=stats.n_rows
+            )
         ll[:, 0] += np.log(1 - prior)
         ll[:, 1] += np.log(prior)
         ll -= ll.max(axis=1, keepdims=True)
@@ -258,7 +327,7 @@ class DawidSkene(LabelModel):
         return probs[:, 1] / probs.sum(axis=1)
 
     @staticmethod
-    def _e_step(L: np.ndarray, confusion: np.ndarray, prior: float) -> np.ndarray:
+    def _e_step_dense(L: np.ndarray, confusion: np.ndarray, prior: float) -> np.ndarray:
         log_conf = np.log(np.clip(confusion, 1e-12, None))  # (m, 2, 3)
         n = L.shape[0]
         ll = np.zeros((n, 2))

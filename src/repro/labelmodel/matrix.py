@@ -14,6 +14,31 @@ import scipy.sparse as sp
 
 ABSTAIN = 0
 
+#: Row-count floor for the sparse cold path under ``cold_path="auto"``.
+#: Below it, cold fits keep the legacy dense arithmetic bit-for-bit — the
+#: historical transcripts (golden sessions, the 1k exact-parity bench row)
+#: were recorded on the dense kernels, and at small n the dense EM is
+#: already interactive-fast, so "auto" only flips where it pays.
+COLD_STATS_MIN_ROWS = 2048
+
+#: The accepted ``cold_path`` policies of the stats-aware label models.
+COLD_PATHS = ("auto", "stats", "dense")
+
+
+def resolve_cold_path(cold_path: str, n_rows: int) -> str:
+    """Resolve a model's ``cold_path`` policy to ``"stats"`` or ``"dense"``.
+
+    ``"auto"`` picks the sparse path iff ``n_rows >= COLD_STATS_MIN_ROWS``;
+    ``"stats"`` and ``"dense"`` are explicit overrides (the latter is the
+    defeat switch that preserves the pre-sparse arithmetic verbatim and
+    serves as the parity oracle in the tests).
+    """
+    if cold_path not in COLD_PATHS:
+        raise ValueError(f"cold_path must be one of {COLD_PATHS}, got {cold_path!r}")
+    if cold_path == "auto":
+        return "stats" if n_rows >= COLD_STATS_MIN_ROWS else "dense"
+    return cold_path
+
 
 def column_nonzero_rows(B: sp.spmatrix, j: int) -> np.ndarray:
     """Row indices with a nonzero in column ``j`` of a sparse matrix.
@@ -386,6 +411,9 @@ class ColumnStats:
         self._csc_cache: dict[object, tuple[int, sp.csc_matrix]] = {}
         self._nnz_cache: tuple[int, np.ndarray] | None = None
         self._count_cache: dict[int, tuple[int, np.ndarray]] = {}
+        self._entries_cache: (
+            tuple[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] | None
+        ) = None
 
     # -- identity ------------------------------------------------------ #
     @property
@@ -508,6 +536,45 @@ class ColumnStats:
         )
         self._csc_cache[("value", value)] = (self.m, mat)
         return mat
+
+    # -- flat entry arrays (the table-kernel gather layout) ------------- #
+    def entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Column-major flat arrays of the non-abstain entries.
+
+        Returns ``(indptr, rows, cols, values)``: ``indptr`` is the
+        ``(m+1,)`` int64 per-column offset vector, and ``rows``/``cols``/
+        ``values`` are the ``(nnz,)`` row index, column index, and int8
+        vote value of every entry, concatenated column by column with rows
+        ascending within each column — the canonical structure both the
+        live appends and a :func:`column_stats_from_dense` scan produce,
+        so kernels gathering from these arrays are bit-identical whichever
+        way the handle was obtained.
+
+        This is the layout of the table-driven E-step kernels: a per-
+        iteration ``(m, values, classes)`` log-likelihood lookup table is
+        gathered through ``cols``/``values`` and segment-summed into rows
+        with ``np.bincount`` (a deterministic sequential C loop).  A warm
+        fit over the first ``m' < m`` columns takes the ``indptr[m']``
+        prefix of each flat array — column-major order makes the prefix
+        exactly the old columns.
+
+        Cached per column count and shared across all EM iterations of a
+        fit (and across fits between appends).
+        """
+        if self._entries_cache is None or self._entries_cache[0] != self.m:
+            vm = self._vm
+            nnz = self.col_nnz()
+            indptr = np.zeros(self.m + 1, dtype=np.int64)
+            np.cumsum(nnz, out=indptr[1:])
+            rows = (
+                np.concatenate(vm._col_rows) if self.m else np.zeros(0, dtype=np.intp)
+            ).astype(np.intp, copy=False)
+            cols = np.repeat(np.arange(self.m, dtype=np.intp), nnz)
+            values = (
+                np.concatenate(vm._col_values) if self.m else np.zeros(0, dtype=np.int8)
+            )
+            self._entries_cache = (self.m, (indptr, rows, cols, values))
+        return self._entries_cache[1]
 
 
 def validated_or_stats(L: np.ndarray, stats: "ColumnStats | None", validator):

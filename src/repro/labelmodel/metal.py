@@ -30,8 +30,10 @@ import numpy as np
 
 from repro.labelmodel.base import LabelModel
 from repro.labelmodel.matrix import (
+    COLD_PATHS,
     ColumnStats,
     column_stats_from_dense,
+    resolve_cold_path,
     validated_or_stats,
 )
 
@@ -81,6 +83,15 @@ class MetalLabelModel(LabelModel):
         selection: under a one-sided LF set a learned prior drifts toward
         that side — the SEU selector's warm-up phase exists precisely to
         keep the LF set two-sided from the start.
+    cold_path:
+        Which arithmetic a cold :meth:`fit` (and an unfitted
+        :meth:`predict_proba`'s posterior) runs on.  ``"auto"`` (default)
+        picks the O(nnz) sufficient-statistics kernels at
+        ``n >= COLD_STATS_MIN_ROWS`` and the legacy dense kernels below;
+        ``"stats"`` / ``"dense"`` force one side.  ``"dense"`` is the
+        defeat switch: it preserves the pre-sparse arithmetic bit-for-bit
+        and is the parity oracle of the randomized tests.  Warm fits
+        always run on the stats path (unchanged).
     abstain_evidence:
         Whether :meth:`predict_proba` includes the *abstain* propensity
         evidence.  Off by default, recovering MeTaL's posterior semantics:
@@ -103,9 +114,18 @@ class MetalLabelModel(LabelModel):
         Final ``P(y = +1)``.
     converged_:
         Whether fitting reached ``tol`` before the iteration cap.
+    em_iterations_:
+        EM iterations (or Adam epochs) the last fit actually ran — the
+        obs layer attributes label-model cost with it.
     """
 
-    _FITTED_ATTRS = ("accuracies_", "propensities_", "prior_", "converged_")
+    _FITTED_ATTRS = (
+        "accuracies_",
+        "propensities_",
+        "prior_",
+        "converged_",
+        "em_iterations_",
+    )
 
     def __init__(
         self,
@@ -118,6 +138,7 @@ class MetalLabelModel(LabelModel):
         learning_rate: float = 0.1,
         learn_prior: bool = True,
         abstain_evidence: bool = False,
+        cold_path: str = "auto",
     ) -> None:
         super().__init__(class_prior)
         if n_iter < 1:
@@ -130,6 +151,8 @@ class MetalLabelModel(LabelModel):
             raise ValueError(f"anchor must be >= 0, got {anchor}")
         if method not in ("em", "sgd"):
             raise ValueError(f"method must be 'em' or 'sgd', got {method!r}")
+        if cold_path not in COLD_PATHS:
+            raise ValueError(f"cold_path must be one of {COLD_PATHS}, got {cold_path!r}")
         self.n_iter = n_iter
         self.tol = tol
         self.init_accuracy = init_accuracy
@@ -138,10 +161,12 @@ class MetalLabelModel(LabelModel):
         self.learning_rate = learning_rate
         self.learn_prior = learn_prior
         self.abstain_evidence = abstain_evidence
+        self.cold_path = cold_path
         self.accuracies_: np.ndarray | None = None
         self.propensities_: np.ndarray | None = None
         self.prior_: float = class_prior
         self.converged_: bool = False
+        self.em_iterations_: int = 0
 
     # ------------------------------------------------------------------ #
     # fitting
@@ -151,19 +176,31 @@ class MetalLabelModel(LabelModel):
 
         ``stats`` (an engine-threaded :class:`ColumnStats` handle matching
         ``L``) lets the fit skip the O(n·m) re-validation/densification
-        scan — the vote matrix validated every entry on append.  The cold
-        arithmetic itself is unchanged (dense, bit-for-bit the historical
-        from-scratch semantics); only :meth:`fit_warm` runs on the O(nnz)
-        sufficient-statistics path.
+        scan — the vote matrix validated every entry on append.  Under the
+        resolved ``cold_path`` the full EM (majority seeding, prior
+        estimate, M-steps, convergence check) runs either on the O(nnz)
+        sufficient-statistics kernels or on the legacy dense arithmetic
+        (``cold_path="dense"``, bit-for-bit the historical from-scratch
+        semantics).  On the stats path a missing handle is built here by
+        one dense scan; fits are bit-identical whichever way the handle
+        was obtained (the structure is canonical either way).
         """
         L = self._validated_or_stats(L, stats)
         self.prior_ = self.class_prior
+        self.em_iterations_ = 0
         if L.shape[1] == 0 or L.shape[0] == 0:
             self.accuracies_ = np.zeros(0)
             self.propensities_ = np.zeros((0, 2))
             self.converged_ = True
             return self
-        self._fit_from_posterior(L, self._majority_posterior(L))
+        if resolve_cold_path(self.cold_path, L.shape[0]) == "stats":
+            if stats is None:
+                stats = column_stats_from_dense(L, abstain=0)
+            self._fit_from_posterior(
+                L, self._majority_posterior(L, stats), stats=stats
+            )
+        else:
+            self._fit_from_posterior(L, self._majority_posterior(L))
         return self
 
     def fit_warm(
@@ -250,7 +287,9 @@ class MetalLabelModel(LabelModel):
         iterations run on the O(nnz) sufficient-statistics path.
         """
         if self.learn_prior:
-            covered = stats.coverage_mask() if stats is not None else (L != 0).any(axis=1)
+            covered = (
+                stats.coverage_mask() if stats is not None else self._covered_dense(L)
+            )
             if covered.any():
                 balance_q = q if q_prior is None else q_prior
                 self.prior_ = float(
@@ -270,11 +309,13 @@ class MetalLabelModel(LabelModel):
         stats: ColumnStats | None = None,
     ) -> None:
         self.converged_ = False
+        iterations = 0
         for _ in range(self.n_iter):
+            iterations += 1
             if stats is not None:
                 q = self._posterior_stats(stats, acc, rho, with_abstain=True)
             else:
-                q = self._posterior_params(L, acc, rho)
+                q = self._posterior_dense(L, acc, rho)
             new_acc, new_rho = self._m_step(L, q, stats)
             delta = max(
                 float(np.max(np.abs(new_acc - acc))),
@@ -284,6 +325,7 @@ class MetalLabelModel(LabelModel):
             if delta < self.tol:
                 self.converged_ = True
                 break
+        self.em_iterations_ = iterations
         self._finalize(acc, rho)
 
     def _fit_sgd(
@@ -306,13 +348,15 @@ class MetalLabelModel(LabelModel):
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         m = L.shape[1]
         self.converged_ = False
+        iterations = 0
         for t in range(1, self.n_iter + 1):
+            iterations = t
             acc = _sigmoid(theta[:m])
             rho = np.stack([_sigmoid(theta[m : 2 * m]), _sigmoid(theta[2 * m :])], axis=1)
             if stats is not None:
                 q = self._posterior_stats(stats, acc, rho, with_abstain=True)
             else:
-                q = self._posterior_params(L, acc, rho)
+                q = self._posterior_dense(L, acc, rho)
             suff = self._sufficient_stats(L, q, stats)
             # d ll / d logit(a) = (expected_correct - a * expected_fires) etc.
             grad_acc = suff["correct"] - acc * suff["fires"]
@@ -337,6 +381,7 @@ class MetalLabelModel(LabelModel):
             _RHO_FLOOR,
             _RHO_CEIL,
         )
+        self.em_iterations_ = iterations
         self._finalize(acc, rho)
 
     def _finalize(self, acc: np.ndarray, rho: np.ndarray) -> None:
@@ -354,28 +399,32 @@ class MetalLabelModel(LabelModel):
     def _sufficient_stats(
         self, L: np.ndarray, q: np.ndarray, stats: ColumnStats | None = None
     ) -> dict[str, np.ndarray]:
-        if stats is not None:
-            # O(nnz) path: two sparse mat-vecs against the per-column fire
-            # structure replace every dense (L != 0) / (L == ±1) scan.
-            # With t = Σ_fired q and s = Σ_fired v·q (v = ±1), the positive
-            # and negative vote masses are (t ± s) / 2, and
-            # correct = pos_mass + (n_neg − neg_mass).
-            F = stats.fires_csc()
-            S = stats.signed_csc()
-            t = np.asarray(F.T @ q).ravel()
-            s = np.asarray(S.T @ q).ravel()
-            pos_mass = 0.5 * (t + s)
-            neg_mass = 0.5 * (t - s)
-            neg_counts = stats.value_col_counts(-1).astype(float)
-            fires = stats.col_nnz().astype(float)
-            return {
-                "correct": pos_mass + (neg_counts - neg_mass),
-                "fires": fires,
-                "fires_pos": t,
-                "fires_neg": fires - t,
-                "mass_pos": np.full(stats.m, q.sum()),
-                "mass_neg": np.full(stats.m, (1 - q).sum()),
-            }
+        if stats is None:
+            return self._sufficient_stats_dense(L, q)
+        # O(nnz) path: two sparse mat-vecs against the per-column fire
+        # structure replace every dense (L != 0) / (L == ±1) scan.
+        # With t = Σ_fired q and s = Σ_fired v·q (v = ±1), the positive
+        # and negative vote masses are (t ± s) / 2, and
+        # correct = pos_mass + (n_neg − neg_mass).
+        F = stats.fires_csc()
+        S = stats.signed_csc()
+        t = np.asarray(F.T @ q).ravel()
+        s = np.asarray(S.T @ q).ravel()
+        pos_mass = 0.5 * (t + s)
+        neg_mass = 0.5 * (t - s)
+        neg_counts = stats.value_col_counts(-1).astype(float)
+        fires = stats.col_nnz().astype(float)
+        return {
+            "correct": pos_mass + (neg_counts - neg_mass),
+            "fires": fires,
+            "fires_pos": t,
+            "fires_neg": fires - t,
+            "mass_pos": np.full(stats.m, q.sum()),
+            "mass_neg": np.full(stats.m, (1 - q).sum()),
+        }
+
+    def _sufficient_stats_dense(self, L: np.ndarray, q: np.ndarray) -> dict[str, np.ndarray]:
+        """Dense twin of the stats branch (the ``cold_path="dense"`` oracle)."""
         fires = (L != 0).astype(float)
         correct = ((L == 1) * q[:, None] + (L == -1) * (1 - q)[:, None]).sum(axis=0)
         return {
@@ -418,14 +467,26 @@ class MetalLabelModel(LabelModel):
             neg = stats.row_value_counts(-1).astype(float)
             n = stats.n_rows
         else:
-            pos = (L == 1).sum(axis=1).astype(float)
-            neg = (L == -1).sum(axis=1).astype(float)
+            pos, neg = self._vote_tallies_dense(L)
             n = L.shape[0]
         total = pos + neg
         q = np.full(n, 0.5)
         covered = total > 0
         q[covered] = (pos[covered] + 0.5) / (total[covered] + 1.0)
         return q
+
+    @staticmethod
+    def _vote_tallies_dense(L: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row (positive, negative) vote counts by dense scan."""
+        return (
+            (L == 1).sum(axis=1).astype(float),
+            (L == -1).sum(axis=1).astype(float),
+        )
+
+    @staticmethod
+    def _covered_dense(L: np.ndarray) -> np.ndarray:
+        """Row coverage mask by dense scan (stats-less fallback)."""
+        return (L != 0).any(axis=1)
 
     # ------------------------------------------------------------------ #
     # inference
@@ -435,9 +496,11 @@ class MetalLabelModel(LabelModel):
     ) -> np.ndarray:
         """``P(y=+1 | L_i)`` per example.
 
-        ``stats`` (a matching handle) skips the dense re-validation scan —
-        the arithmetic is unchanged, so posteriors are bit-identical with
-        or without it.
+        ``stats`` (a matching handle) skips the dense re-validation scan.
+        The posterior runs on the kernel the model's ``cold_path`` policy
+        resolves to at this ``n``; on the stats path a missing handle is
+        built by one dense scan, so ``predict_proba(L)`` and
+        ``predict_proba(L, stats)`` are byte-equal at every size.
         """
         if self.accuracies_ is None or self.propensities_ is None:
             raise RuntimeError("MetalLabelModel.predict_proba called before fit")
@@ -449,14 +512,23 @@ class MetalLabelModel(LabelModel):
             )
         if L.shape[1] == 0:
             return np.full(L.shape[0], self.prior_)
-        return self._posterior_params(
+        if resolve_cold_path(self.cold_path, L.shape[0]) == "stats":
+            if stats is None:
+                stats = column_stats_from_dense(L, abstain=0)
+            return self._posterior_stats(
+                stats,
+                self.accuracies_,
+                self.propensities_,
+                with_abstain=self.abstain_evidence,
+            )
+        return self._posterior_dense(
             L,
             self.accuracies_,
             self.propensities_,
             with_abstain=self.abstain_evidence,
         )
 
-    def _posterior_params(
+    def _posterior_dense(
         self,
         L: np.ndarray,
         acc: np.ndarray,
@@ -490,29 +562,42 @@ class MetalLabelModel(LabelModel):
         rho: np.ndarray,
         with_abstain: bool = True,
     ) -> np.ndarray:
-        """The O(nnz) twin of :meth:`_posterior_params` (warm-path E-step).
+        """The O(nnz) twin of :meth:`_posterior_dense` (table-driven E-step).
 
-        Same log-odds decomposition, but the vote and fire evidence come
-        from sparse mat-vecs against the per-column fire structure, and the
-        abstain evidence is rewritten as ``Σ_j ae_j − (fires @ ae)`` so the
-        uncovered majority of rows is never touched.  When ``acc`` has
+        Votes take two non-abstain values, so each entry's log-odds
+        contribution collapses into one of two per-column table rows built
+        once per call: ``T₊ = vw + fe [− ae]`` for a +1 vote and
+        ``T₋ = −vw + fe [− ae]`` for a −1 vote (``vw`` the accuracy
+        log-odds, ``fe`` the fire-propensity log-ratio, ``ae`` the abstain
+        evidence — rewritten as a base offset ``Σ_j ae_j`` minus per-fire
+        corrections so the uncovered majority of rows is never touched).
+        The tables are gathered through the flat entry arrays
+        (:meth:`ColumnStats.entries`) and segment-summed into rows with
+        ``np.bincount`` — one deterministic C pass over the nnz entries,
+        replacing the per-column exp/log mat-vec passes.  When ``acc`` has
         fewer columns than the handle (warm seeding over the previous
-        fit's prefix), the structure is column-sliced to match.
+        fit's prefix), the column-major entry arrays are prefix-sliced at
+        ``indptr[m]``.
         """
         m = acc.shape[0]
-        S = stats.signed_csc()
-        F = stats.fires_csc()
+        indptr, rows, cols, values = stats.entries()
         if m != stats.m:
-            S = S[:, :m]
-            F = F[:, :m]
+            end = int(indptr[m])
+            rows, cols, values = rows[:end], cols[:end], values[:end]
         vote_weight = np.log(acc / (1 - acc))
         rho_neg = rho[:, 0]
         rho_pos = rho[:, 1]
         fire_evidence = np.log(rho_pos / rho_neg)
-        scores = _logit(self.prior_) + S @ vote_weight + F @ fire_evidence
+        base = _logit(self.prior_)
+        table_plus = vote_weight + fire_evidence
+        table_minus = -vote_weight + fire_evidence
         if with_abstain:
             abstain_evidence = np.log((1 - rho_pos) / (1 - rho_neg))
-            scores = scores + (float(abstain_evidence.sum()) - F @ abstain_evidence)
+            base = base + float(abstain_evidence.sum())
+            table_plus = table_plus - abstain_evidence
+            table_minus = table_minus - abstain_evidence
+        contrib = np.where(values == 1, table_plus[cols], table_minus[cols])
+        scores = base + np.bincount(rows, weights=contrib, minlength=stats.n_rows)
         return _sigmoid(scores)
 
     def _marginal_ll(self, L: np.ndarray) -> float:

@@ -21,8 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.labelmodel.matrix import (
+    COLD_PATHS,
     ColumnStats,
     column_stats_from_dense,
+    resolve_cold_path,
     validated_or_stats,
 )
 from repro.multiclass.base import MultiClassLabelModel
@@ -60,6 +62,11 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         (fitting always uses the full model).  Off by default so uncovered
         examples keep maximal uncertainty — the exploration signal the
         selectors need.
+    cold_path:
+        Cold-fit kernel policy (``"auto"`` / ``"stats"`` / ``"dense"``):
+        same contract as the binary models — ``"auto"`` picks the
+        O(nnz·K) path at ``n >= COLD_STATS_MIN_ROWS``, ``"dense"`` is the
+        bit-for-bit legacy defeat switch / parity oracle.
 
     Attributes
     ----------
@@ -71,9 +78,17 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         Final ``(K,)`` class priors.
     converged_:
         Whether EM reached ``tol`` before the iteration cap.
+    em_iterations_:
+        EM iterations the last fit actually ran (obs attribution).
     """
 
-    _FITTED_ATTRS = ("confusions_", "propensities_", "priors_", "converged_")
+    _FITTED_ATTRS = (
+        "confusions_",
+        "propensities_",
+        "priors_",
+        "converged_",
+        "em_iterations_",
+    )
 
     def __init__(
         self,
@@ -85,6 +100,7 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         anchor: float = 2.0,
         learn_priors: bool = True,
         abstain_evidence: bool = False,
+        cold_path: str = "auto",
     ) -> None:
         super().__init__(n_classes, class_priors)
         if n_iter < 1:
@@ -96,16 +112,20 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             )
         if anchor < 0:
             raise ValueError(f"anchor must be >= 0, got {anchor}")
+        if cold_path not in COLD_PATHS:
+            raise ValueError(f"cold_path must be one of {COLD_PATHS}, got {cold_path!r}")
         self.n_iter = n_iter
         self.tol = tol
         self.init_accuracy = init_accuracy
         self.anchor = anchor
         self.learn_priors = learn_priors
         self.abstain_evidence = abstain_evidence
+        self.cold_path = cold_path
         self.confusions_: np.ndarray | None = None
         self.propensities_: np.ndarray | None = None
         self.priors_: np.ndarray = self.class_priors.copy()
         self.converged_: bool = False
+        self.em_iterations_: int = 0
 
     # ------------------------------------------------------------------ #
     # fitting
@@ -116,8 +136,12 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         """Cold EM fit from the smoothed vote-share posterior.
 
         ``stats`` (a matching :class:`~repro.labelmodel.matrix.ColumnStats`
-        handle) only skips the dense re-validation scan; the cold
-        arithmetic is unchanged.
+        handle) skips the dense re-validation scan.  Under the resolved
+        ``cold_path`` the full EM runs either on the O(nnz·K)
+        sufficient-statistics kernels (a missing handle is built here by
+        one dense scan; fits are bit-identical whichever way the handle
+        was obtained) or on the legacy dense arithmetic
+        (``cold_path="dense"``, bit-for-bit the historical semantics).
         """
         L = self._validated_or_stats(L, stats)
         K = self.n_classes
@@ -126,8 +150,16 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             self.confusions_ = np.zeros((0, K, K))
             self.propensities_ = np.zeros((0, K))
             self.converged_ = True
+            self.em_iterations_ = 0
             return self
-        self._fit_from_posterior(L, self._majority_posterior(L))
+        if resolve_cold_path(self.cold_path, L.shape[0]) == "stats":
+            if stats is None:
+                stats = column_stats_from_dense(L, abstain=MC_ABSTAIN)
+            self._fit_from_posterior(
+                L, self._majority_posterior(L, stats), stats=stats
+            )
+        else:
+            self._fit_from_posterior(L, self._majority_posterior(L))
         return self
 
     def fit_warm(
@@ -209,11 +241,13 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             self._update_priors(L, Q if Q_prior is None else Q_prior, stats)
         theta, rho = self._m_step(L, Q, stats)
         self.converged_ = False
+        iterations = 0
         for _ in range(self.n_iter):
+            iterations += 1
             if stats is not None:
                 Q = self._posterior_stats(stats, theta, rho, with_abstain=True)
             else:
-                Q = self._posterior_params(L, theta, rho, with_abstain=True)
+                Q = self._posterior_dense(L, theta, rho, with_abstain=True)
             if self.learn_priors:
                 self._update_priors(L, Q, stats)
             new_theta, new_rho = self._m_step(L, Q, stats)
@@ -227,12 +261,13 @@ class MCDawidSkeneModel(MultiClassLabelModel):
                 break
         self.confusions_ = theta
         self.propensities_ = rho
+        self.em_iterations_ = iterations
 
     def _update_priors(
         self, L: np.ndarray, Q: np.ndarray, stats: ColumnStats | None = None
     ) -> None:
         covered = (
-            stats.coverage_mask() if stats is not None else (L != MC_ABSTAIN).any(axis=1)
+            stats.coverage_mask() if stats is not None else self._covered_dense(L)
         )
         if covered.any():
             priors = Q[covered].mean(axis=0)
@@ -254,11 +289,21 @@ class MCDawidSkeneModel(MultiClassLabelModel):
                 [stats.row_value_counts(k).astype(float) for k in range(K)], axis=1
             )
         else:
-            counts = np.zeros((L.shape[0], K))
-            for k in range(K):
-                counts[:, k] = (L == k).sum(axis=1)
+            counts = self._vote_counts_dense(L)
         smoothed = counts + self.class_priors[None, :]
         return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    def _vote_counts_dense(self, L: np.ndarray) -> np.ndarray:
+        """Per-row per-class vote counts by dense scan."""
+        counts = np.zeros((L.shape[0], self.n_classes))
+        for k in range(self.n_classes):
+            counts[:, k] = (L == k).sum(axis=1)
+        return counts
+
+    @staticmethod
+    def _covered_dense(L: np.ndarray) -> np.ndarray:
+        """Row coverage mask by dense scan (stats-less fallback)."""
+        return (L != MC_ABSTAIN).any(axis=1)
 
     def _m_step(
         self, L: np.ndarray, Q: np.ndarray, stats: ColumnStats | None = None
@@ -290,7 +335,14 @@ class MCDawidSkeneModel(MultiClassLabelModel):
                 )
             rho = np.clip(rho, _RHO_FLOOR, _RHO_CEIL)
             return theta, rho
+        return self._m_step_dense(L, Q, anchor_row)
 
+    def _m_step_dense(
+        self, L: np.ndarray, Q: np.ndarray, anchor_row: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense twin of the stats M-step (the ``cold_path="dense"`` oracle)."""
+        n, m = L.shape
+        K = self.n_classes
         theta = np.empty((m, K, K))
         rho = np.empty((m, K))
         class_mass = Q.sum(axis=0)  # (K,)
@@ -320,8 +372,13 @@ class MCDawidSkeneModel(MultiClassLabelModel):
     def predict_proba(
         self, L: np.ndarray, stats: ColumnStats | None = None
     ) -> np.ndarray:
-        """``(n, K)`` posterior; ``stats`` skips the dense re-validation
-        scan without changing the arithmetic."""
+        """``(n, K)`` posterior.
+
+        ``stats`` skips the dense re-validation scan; the posterior runs
+        on the kernel the ``cold_path`` policy resolves to at this ``n``
+        (a missing handle is built by one scan on the stats path, so the
+        result is byte-equal with or without ``stats``).
+        """
         if self.confusions_ is None or self.propensities_ is None:
             raise RuntimeError("MCDawidSkeneModel.predict_proba called before fit")
         L = self._validated_or_stats(L, stats)
@@ -332,7 +389,16 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             )
         if L.shape[1] == 0:
             return np.tile(self.priors_, (L.shape[0], 1))
-        return self._posterior_params(
+        if resolve_cold_path(self.cold_path, L.shape[0]) == "stats":
+            if stats is None:
+                stats = column_stats_from_dense(L, abstain=MC_ABSTAIN)
+            return self._posterior_stats(
+                stats,
+                self.confusions_,
+                self.propensities_,
+                with_abstain=self.abstain_evidence,
+            )
+        return self._posterior_dense(
             L, self.confusions_, self.propensities_, with_abstain=self.abstain_evidence
         )
 
@@ -343,13 +409,17 @@ class MCDawidSkeneModel(MultiClassLabelModel):
         rho: np.ndarray,
         with_abstain: bool,
     ) -> np.ndarray:
-        """The O(nnz·K) twin of :meth:`_posterior_params` (warm-path E-step).
+        """The O(nnz·K) twin of :meth:`_posterior_dense` (table-driven E-step).
 
         Every row starts from the all-abstain log-posterior (priors plus,
-        with abstain evidence, ``Σ_j log(1 − ρ_j)``); each emitted class
-        then corrects only its fired rows through one sparse mat-mat.
-        Column-sliced to the parameter prefix when warm-seeding from a
-        smaller previous fit.
+        with abstain evidence, ``Σ_j log(1 − ρ_j)``); each fired entry then
+        contributes a row of the ``(m, K, K)`` evidence table
+        ``E[j, k, l] = log ρ_j(k) + log Θ_j[k, l] [− log(1 − ρ_j(k))]``
+        built once per call: the table is gathered through the flat entry
+        arrays (:meth:`ColumnStats.entries`) as ``E[cols, :, values]`` and
+        segment-summed into rows with one ``np.bincount`` per class —
+        replacing the per-class sparse mat-mat passes.  Prefix-sliced at
+        ``indptr[m]`` when warm-seeding from a smaller previous fit.
         """
         m = theta.shape[0]
         K = self.n_classes
@@ -360,20 +430,25 @@ class MCDawidSkeneModel(MultiClassLabelModel):
             base = np.log(self.priors_) + log_not_rho.sum(axis=0)
         else:
             base = np.log(self.priors_)
-        log_post = np.tile(base[None, :], (stats.n_rows, 1))
-        for l in range(K):
-            Cl = stats.value_csc(l)
-            if m != stats.m:
-                Cl = Cl[:, :m]
-            evidence = log_rho + log_theta[:, :, l]  # (m, K): class-k evidence
-            if with_abstain:
-                evidence = evidence - log_not_rho
-            log_post += np.asarray(Cl @ evidence)
+        indptr, rows, cols, values = stats.entries()
+        if m != stats.m:
+            end = int(indptr[m])
+            rows, cols, values = rows[:end], cols[:end], values[:end]
+        # evidence[j, k, l]: class-k evidence of column j emitting class l.
+        evidence = log_rho[:, :, None] + log_theta  # (m, K, K)
+        if with_abstain:
+            evidence = evidence - log_not_rho[:, :, None]
+        contrib = evidence[cols, :, values.astype(np.intp)]  # (nnz, K)
+        log_post = np.empty((stats.n_rows, K))
+        for k in range(K):
+            log_post[:, k] = base[k] + np.bincount(
+                rows, weights=contrib[:, k], minlength=stats.n_rows
+            )
         log_post -= log_post.max(axis=1, keepdims=True)
         post = np.exp(log_post)
         return post / post.sum(axis=1, keepdims=True)
 
-    def _posterior_params(
+    def _posterior_dense(
         self,
         L: np.ndarray,
         theta: np.ndarray,

@@ -72,7 +72,11 @@ class MultiClassSession(IncrementalSessionEngine):
         refits — the original (seed) behaviour.
     full_refit_every:
         Force a cold label-model refit every this many refits — the
-        incremental path's correctness backstop.
+        incremental path's correctness backstop.  ``"auto"`` keeps the
+        default integer base but skips a due backstop when the warm model
+        has drifted less than ``AUTO_DRIFT_TOL`` from the last cold
+        anchor (at most ``AUTO_MAX_SKIPS`` consecutive skips; see
+        ENGINE.md §10).
     warm_after:
         Keep refits cold until this many LFs exist — the low-LF regime is
         both the cheapest to refit from scratch and the most multimodal
@@ -113,7 +117,7 @@ class MultiClassSession(IncrementalSessionEngine):
         percentile_tuner: MCPercentileTuner | None = None,
         tune_every: int = 5,
         warm_start: bool = True,
-        full_refit_every: int = 10,
+        full_refit_every: int | str = 10,
         warm_after: int = 8,
         warm_label_iter: int = 3,
         warm_end_iter: int = 15,

@@ -54,6 +54,16 @@ class EngineObserver:
             "repro_engine_open_interval_seconds_total",
             "Wall seconds proposals sat open awaiting the user (not compute).",
         )
+        self.em_iterations = r.counter(
+            "repro_labelmodel_em_iterations_total",
+            "Label-model EM/SGD iterations run, by refit path.",
+            ("path",),
+        )
+        self.label_fit_seconds = r.counter(
+            "repro_labelmodel_fit_seconds_total",
+            "Label-model fit wall seconds, by refit path.",
+            ("path",),
+        )
 
     def on_command(self, info):
         """Record one engine command's attribution dict.
@@ -70,10 +80,17 @@ class EngineObserver:
             self.phase_seconds.inc(phase, amount=float(seconds))
         refit = info.get("refit")
         if refit:
-            self.refits.inc(refit.get("path", "unknown"))
+            path = refit.get("path", "unknown")
+            self.refits.inc(path)
             mode = refit.get("end_fit_mode")
             if mode:
                 self.end_fits.inc(mode)
+            em_iterations = refit.get("em_iterations")
+            if em_iterations is not None:
+                self.em_iterations.inc(path, amount=int(em_iterations))
+            fit_seconds = refit.get("fit_seconds")
+            if fit_seconds is not None:
+                self.label_fit_seconds.inc(path, amount=float(fit_seconds))
         open_interval = info.get("open_interval_seconds")
         if open_interval is not None:
             self.open_interval_seconds.inc(amount=float(open_interval))

@@ -73,6 +73,14 @@ def session_obs(method) -> dict | None:
         "end_fits": {
             str(k): int(v) for k, v in sorted(getattr(method, "end_fit_counts", {}).items())
         },
+        "em_iterations": {
+            str(k): int(v)
+            for k, v in sorted(getattr(method, "em_iteration_counts", {}).items())
+        },
+        "label_fit_seconds": {
+            str(k): float(v)
+            for k, v in sorted(getattr(method, "label_fit_seconds", {}).items())
+        },
         "open_interval_seconds": float(getattr(method, "open_interval_seconds", 0.0)),
     }
 

@@ -1,0 +1,159 @@
+"""Drift-adaptive backstop cadence (``full_refit_every="auto"``, ENGINE.md §10).
+
+The "auto" cadence keeps the integer backstop base but *skips* a due cold
+refit when the warm trajectory's measured drift from the last cold anchor
+is below ``AUTO_DRIFT_TOL`` (bounded by ``AUTO_MAX_SKIPS`` consecutive
+skips).  Its contract: the skip decision is a pure function of
+checkpointed state (``_label_anchor_``, ``_backstops_skipped_``, the
+refit counter, the live label model), so an interrupted-and-resumed
+session reproduces the exact backstop schedule of an uninterrupted one.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.engine as engine_mod
+from repro.core.engine import AUTO_MAX_SKIPS, AUTO_REFIT_BASE
+from repro.core.session import DataProgrammingSession
+from repro.interactive.basic_selectors import RandomSelector
+from repro.interactive.simulated_user import SimulatedUser
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+
+
+def make_auto(ds, **kwargs):
+    kwargs.setdefault("full_refit_every", "auto")
+    return DataProgrammingSession(
+        ds,
+        RandomSelector(),
+        SimulatedUser(ds, seed=123),
+        warm_min_train=0,  # exercise the warm path despite the tiny dataset
+        seed=42,
+        **kwargs,
+    )
+
+
+def step_schedule(session, n):
+    """Step ``n`` times; record the per-iteration cadence observables."""
+    records = []
+    for _ in range(n):
+        session.step()
+        records.append(
+            {
+                "cold": session._cold_warranted_,
+                "skipped": session._backstops_skipped_,
+                "refit_count": session._refit_count,
+                "lfs": [lf.name for lf in session.lfs],
+            }
+        )
+    return records
+
+
+N_TOTAL = 16
+N_BEFORE = 8
+
+
+class TestCheckpointDeterminism:
+    def test_resumed_schedule_matches_uninterrupted(self, tiny_dataset, tmp_path):
+        straight = make_auto(tiny_dataset)
+        want = step_schedule(straight, N_TOTAL)
+
+        first = make_auto(tiny_dataset)
+        got = step_schedule(first, N_BEFORE)
+        ckpt = tmp_path / "session.ckpt.npz"
+        save_checkpoint(ckpt, first.state_dict())
+
+        resumed = make_auto(tiny_dataset)
+        resumed.load_state_dict(load_checkpoint(ckpt))
+        got += step_schedule(resumed, N_TOTAL - N_BEFORE)
+
+        assert got == want
+        assert resumed._backstops_skipped_ == straight._backstops_skipped_
+        assert (
+            resumed.soft_labels.tobytes() == straight.soft_labels.tobytes()
+        ), "resumed posteriors must be bit-identical to the uninterrupted run"
+
+    def test_anchor_round_trips_through_checkpoint(self, tiny_dataset, tmp_path):
+        session = make_auto(tiny_dataset)
+        step_schedule(session, 3)  # past the first cold fit — anchor exists
+        assert session._label_anchor_ is not None
+
+        ckpt = tmp_path / "anchor.ckpt.npz"
+        save_checkpoint(ckpt, session.state_dict())
+        twin = make_auto(tiny_dataset)
+        twin.load_state_dict(load_checkpoint(ckpt))
+
+        assert twin._label_anchor_ is not None
+        assert twin._label_anchor_["class"] == session._label_anchor_["class"]
+        for name, value in session._label_anchor_["attrs"].items():
+            restored = twin._label_anchor_["attrs"][name]
+            if isinstance(value, np.ndarray):
+                assert restored.tobytes() == value.tobytes(), name
+            else:
+                assert restored == value, name
+        # The skip decision derives from the restored state identically.
+        assert twin._label_drift() == session._label_drift()
+        assert twin._drift_skip_allowed() == session._drift_skip_allowed()
+
+    def test_legacy_checkpoint_without_cadence_keys_restores(self, tiny_dataset):
+        session = make_auto(tiny_dataset)
+        step_schedule(session, 2)
+        state = session.state_dict()
+        state.pop("label_anchor")
+        state.pop("backstops_skipped")
+        twin = make_auto(tiny_dataset)
+        twin.load_state_dict(state)
+        assert twin._label_anchor_ is None
+        assert twin._backstops_skipped_ == 0
+
+
+class TestSkipMechanics:
+    def test_zero_drift_skips_until_budget_exhausted(self, tiny_dataset, monkeypatch):
+        # Infinite tolerance makes every due backstop a skip candidate, so
+        # the schedule reduces to the skip-budget arithmetic: after each
+        # cold anchor, exactly AUTO_MAX_SKIPS due backstops are skipped,
+        # then the next one fires.
+        monkeypatch.setattr(engine_mod, "AUTO_DRIFT_TOL", float("inf"))
+        monkeypatch.setattr(engine_mod, "AUTO_REFIT_BASE", 2)
+        session = make_auto(tiny_dataset, warm_after=2)
+        records = step_schedule(session, 18)
+
+        skipped = [r for r in records if r["skipped"] > 0]
+        assert skipped, "expected at least one skipped backstop"
+        assert max(r["skipped"] for r in records) <= AUTO_MAX_SKIPS
+        # A skipped backstop leaves the refit warm on a due count.
+        warm_due = [
+            r
+            for r in records
+            if not r["cold"] and (r["refit_count"] - 1) % 2 == 0
+        ]
+        assert warm_due, "expected a warm refit on a due backstop count"
+        # Cold backstops still happen after the budget runs out.
+        late_cold = [r for r in records[6:] if r["cold"]]
+        assert late_cold, "the skip budget must not starve cold backstops"
+
+    def test_infinite_drift_never_skips(self, tiny_dataset, monkeypatch):
+        # Tolerance below any representable drift: "auto" degrades to the
+        # fixed-integer cadence exactly.
+        monkeypatch.setattr(engine_mod, "AUTO_DRIFT_TOL", -1.0)
+        auto = make_auto(tiny_dataset)
+        fixed = make_auto(tiny_dataset, full_refit_every=AUTO_REFIT_BASE)
+        auto_records = step_schedule(auto, N_TOTAL)
+        fixed_records = step_schedule(fixed, N_TOTAL)
+        assert [r["cold"] for r in auto_records] == [r["cold"] for r in fixed_records]
+        assert all(r["skipped"] == 0 for r in auto_records)
+
+    def test_fixed_integer_cadence_never_engages_skip_state(self, tiny_dataset):
+        session = make_auto(tiny_dataset, full_refit_every=10)
+        records = step_schedule(session, 12)
+        assert all(r["skipped"] == 0 for r in records)
+        assert session._label_anchor_ is None
+
+
+class TestValidation:
+    def test_bad_string_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="full_refit_every"):
+            make_auto(tiny_dataset, full_refit_every="adaptive")
+
+    def test_nonpositive_integer_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError, match="full_refit_every"):
+            make_auto(tiny_dataset, full_refit_every=0)

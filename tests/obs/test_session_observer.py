@@ -43,6 +43,35 @@ class TestEngineObserver:
         end_fits = registry.get("repro_engine_end_fits_total")
         assert sum(v for _, v in end_fits.items()) == n
 
+    def test_label_model_attribution_counters(self, dataset):
+        registry = MetricsRegistry()
+        session = _session(dataset)
+        session.observer = EngineObserver(registry)
+        session.run(5)
+
+        em = dict(
+            (labels[0], value)
+            for labels, value in registry.get(
+                "repro_labelmodel_em_iterations_total"
+            ).items()
+        )
+        assert set(em) <= {"warm", "cold"}
+        assert sum(em.values()) > 0
+        # The observer's totals mirror the engine's transient attribution.
+        for path, total in em.items():
+            assert total == session.em_iteration_counts[path]
+
+        fit_seconds = dict(
+            (labels[0], value)
+            for labels, value in registry.get(
+                "repro_labelmodel_fit_seconds_total"
+            ).items()
+        )
+        assert set(fit_seconds) == set(em)
+        for path, total in fit_seconds.items():
+            assert total == pytest.approx(session.label_fit_seconds[path])
+            assert total >= 0.0
+
     def test_phase_seconds_accrue_known_phases(self, dataset):
         registry = MetricsRegistry()
         session = _session(dataset)
@@ -99,3 +128,5 @@ class TestEngineObserver:
         assert "observer" not in flat
         assert "refit_counts" not in flat
         assert "open_interval" not in flat
+        assert "em_iteration_counts" not in flat
+        assert "label_fit_seconds" not in flat

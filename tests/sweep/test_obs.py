@@ -21,12 +21,23 @@ class TestSweepObs:
     def test_engine_job_records_obs_section(self, tmp_path):
         payload, _ = _run(tmp_path, "snorkel")
         obs = payload["obs"]
-        assert set(obs) == {"phase_seconds", "refits", "end_fits", "open_interval_seconds"}
+        assert set(obs) == {
+            "phase_seconds",
+            "refits",
+            "end_fits",
+            "em_iterations",
+            "label_fit_seconds",
+            "open_interval_seconds",
+        }
         assert obs["phase_seconds"]  # engine sessions always accrue phases
         assert all(isinstance(v, float) for v in obs["phase_seconds"].values())
         # Every protocol iteration ends in exactly one refit.
         assert sum(obs["refits"].values()) == SPEC_KW["n_iterations"]
         assert sum(obs["end_fits"].values()) == SPEC_KW["n_iterations"]
+        # Label-model attribution: EM iterations ran and wall time accrued.
+        assert set(obs["em_iterations"]) <= {"warm", "cold"}
+        assert sum(obs["em_iterations"].values()) > 0
+        assert all(v >= 0.0 for v in obs["label_fit_seconds"].values())
         assert obs["open_interval_seconds"] >= 0.0
 
     def test_non_engine_baseline_has_no_obs_section(self, tmp_path):

@@ -81,18 +81,53 @@ class TestCommittedBenchRecord:
             )
             assert entry["peak_rss_mb"] > 0
 
-    def test_end_model_share_below_30pct_at_50k(self):
-        """The PR-7 lever: warm minibatch refits must keep the end-model
-        phase under 30% of incremental wall-clock at the 50k row."""
+    def test_label_model_attribution_present_everywhere(self):
+        sys.path.insert(0, str(REPO_ROOT))
+        from benchmarks.bench_perf_session import LABEL_MODEL_KEYS
+
+        for entry in load_record()["results"]:
+            for mode in ("scratch", "incremental"):
+                lm = entry[mode]["label_model"]
+                for key in LABEL_MODEL_KEYS:
+                    assert key in lm, (entry["task"], entry["n_train"], mode, key)
+                assert set(lm["refits"]) <= {"warm", "cold"}
+                assert sum(lm["em_iterations"].values()) > 0
+                # scratch = every refit cold, by construction
+                if mode == "scratch":
+                    assert lm["refits"].get("warm", 0) == 0
+
+    def test_xl_row_meets_sparse_cold_floor(self):
+        sys.path.insert(0, str(REPO_ROOT))
+        from benchmarks.bench_perf_session import XL_N_SPEEDUP, XL_N_TRAIN
+
+        rows = [
+            r
+            for r in load_record()["results"]
+            if r["task"] == "binary" and r["n_train"] == XL_N_TRAIN
+        ]
+        assert rows and rows[0]["speedup"] >= XL_N_SPEEDUP
+
+    def test_incremental_scores_at_least_scratch_everywhere(self):
+        for entry in load_record()["results"]:
+            assert entry["score_gap"] >= 0, (entry["task"], entry["n_train"])
+
+    def test_end_model_warm_refits_beat_scratch_at_50k(self):
+        """The PR-7 lever: warm minibatch refits must keep the incremental
+        end-model phase well under the scratch (full-refit) end-model
+        phase at the 50k row.  (Formerly a <30%-of-incremental-wall-clock
+        share guard; the sparse label-model cold path shrank the
+        denominator, so the lever is now pinned against scratch's own
+        end-model seconds — a ratio the label-model phase can't move.)"""
         rows = [
             r
             for r in load_record()["results"]
             if r["task"] == "binary" and r["n_train"] == 50_000
         ]
         assert rows
-        inc = rows[0]["incremental"]
-        share = inc["phase_seconds"]["end_model"] / inc["seconds"]
-        assert share < 0.30, f"end_model share {share:.1%} >= 30%"
+        inc_end = rows[0]["incremental"]["phase_seconds"]["end_model"]
+        scratch_end = rows[0]["scratch"]["phase_seconds"]["end_model"]
+        ratio = inc_end / scratch_end
+        assert ratio < 0.60, f"incremental end_model {ratio:.1%} of scratch's"
 
 
 class TestQuickModeCannotClobber:
